@@ -1,0 +1,59 @@
+//! E4: the §4 caching hierarchy — cold warehouse execution vs. browser
+//! cache vs. query directory vs. materialized element.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sigma_browser::BrowserSession;
+use sigma_bench::Env;
+use sigma_workbook::demo;
+
+fn bench_caching(c: &mut Criterion) {
+    let env = Env::new(50_000);
+    let wb = demo::cohort_workbook();
+    let mut group = c.benchmark_group("caching");
+    group.sample_size(10);
+
+    // Cold-ish: a fresh session each time still hits the directory, so
+    // measure the raw warehouse path by re-executing the SQL directly.
+    let sql = env.compile(&wb, "Flights");
+    group.bench_function("warehouse_execute", |b| {
+        b.iter(|| env.warehouse.execute_sql(&sql).unwrap())
+    });
+
+    // Query directory: new tab, same state.
+    group.bench_function("query_directory", |b| {
+        b.iter_batched(
+            || {
+                let tab = BrowserSession::new(env.service.clone(), env.token.clone(), "primary")
+                    .with_network_latency(Duration::ZERO);
+                // someone else already ran it
+                tab.query_element(&wb, "Flights").unwrap();
+                BrowserSession::new(env.service.clone(), env.token.clone(), "primary")
+            },
+            |tab| tab.query_element(&wb, "Flights").unwrap(),
+            criterion::BatchSize::PerIteration,
+        )
+    });
+
+    // Browser cache: same tab, repeat.
+    let tab = BrowserSession::new(env.service.clone(), env.token.clone(), "primary");
+    tab.query_element(&wb, "Flights").unwrap();
+    group.bench_function("browser_cache", |b| {
+        b.iter(|| tab.query_element(&wb, "Flights").unwrap())
+    });
+
+    // Materialized: substitute and re-run the dependent viz element.
+    env.service
+        .materialize_element(&env.token, "primary", &wb, "Flights", None)
+        .unwrap();
+    let mat_sql = env.compile(&wb, "Cohort Chart");
+    assert!(mat_sql.contains("mat_flights"));
+    group.bench_function("materialized_downstream", |b| {
+        b.iter(|| env.warehouse.execute_sql(&mat_sql).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_caching);
+criterion_main!(benches);

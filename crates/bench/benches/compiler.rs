@@ -1,0 +1,53 @@
+//! E7: compiler micro-benchmarks — compile time vs. workbook complexity
+//! (columns, levels, lookups). The paper's claim is *dynamic* compilation
+//! on every interaction, so compilation must stay far below query latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigma_bench::Env;
+use sigma_core::document::ElementKind;
+use sigma_core::table::{ColumnDef, DataSource, Level, TableSpec};
+use sigma_core::Workbook;
+use sigma_workbook::demo;
+
+fn wide_workbook(columns: usize, levels: usize) -> Workbook {
+    let mut wb = Workbook::new(Some("wide"));
+    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
+    t.add_column(ColumnDef::source("Carrier", "carrier")).unwrap();
+    t.add_column(ColumnDef::source("Tail Number", "tail_number")).unwrap();
+    t.add_column(ColumnDef::source("Dep Delay", "dep_delay")).unwrap();
+    for i in 0..columns {
+        t.add_column(ColumnDef::formula(
+            format!("c{i}"),
+            format!("[Dep Delay] * {i} + Abs([Dep Delay] - {i})"),
+            0,
+        ))
+        .unwrap();
+    }
+    if levels >= 1 {
+        t.add_level(1, Level::keyed("L1", vec!["Carrier".into()])).unwrap();
+        t.add_column(ColumnDef::formula("agg1", "Avg([Dep Delay])", 1)).unwrap();
+    }
+    if levels >= 2 {
+        t.add_level(1, Level::keyed("L0", vec!["Tail Number".into()])).unwrap();
+        t.add_column(ColumnDef::formula("agg0", "Sum([Dep Delay])", 1)).unwrap();
+    }
+    wb.add_element(0, "Wide", ElementKind::Table(t)).unwrap();
+    wb
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let env = Env::new(1_000);
+    let mut group = c.benchmark_group("compiler");
+    for &cols in &[5usize, 20, 80] {
+        let wb = wide_workbook(cols, 2);
+        group.bench_with_input(BenchmarkId::new("columns", cols), &cols, |b, _| {
+            b.iter(|| env.compile(&wb, "Wide"))
+        });
+    }
+    let cohort = demo::cohort_workbook();
+    group.bench_function("scenario1_full", |b| b.iter(|| env.compile(&cohort, "Flights")));
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E8: warehouse engine scaling — scan+filter+aggregate throughput vs.
+//! partition parallelism and row count (the "scalable CDW" substrate the
+//! paper leans on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sigma_bench::Env;
+
+const SQL: &str = "SELECT carrier, COUNT(*) AS n, AVG(dep_delay) AS d \
+                   FROM flights WHERE dep_delay > 10 GROUP BY carrier";
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for &rows in &[50_000usize, 200_000] {
+        let env = Env::new(rows);
+        group.throughput(Throughput::Elements(rows as u64));
+        for threads in [1usize, 2, 4] {
+            env.warehouse.set_parallelism(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("scan_agg_p{threads}"), rows),
+                &rows,
+                |b, _| b.iter(|| env.warehouse.execute_sql(SQL).unwrap()),
+            );
+        }
+        env.warehouse.set_parallelism(1);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

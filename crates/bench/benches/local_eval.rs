@@ -1,0 +1,58 @@
+//! E5: in-browser evaluation vs. warehouse round trip (§4). The local
+//! engine answers refinements over prefetched low-cardinality tables with
+//! zero network; the round trip pays 2x the simulated RTT.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sigma_browser::{BrowserSession, PrefetchPolicy, Source};
+use sigma_bench::Env;
+use sigma_core::document::ElementKind;
+use sigma_core::table::{ColumnDef, DataSource, Level, TableSpec};
+use sigma_core::Workbook;
+
+fn airports_workbook() -> Workbook {
+    let mut wb = Workbook::new(Some("dims"));
+    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "airports".into() });
+    t.add_column(ColumnDef::source("State", "state")).unwrap();
+    t.add_level(1, Level::keyed("By State", vec!["State".into()])).unwrap();
+    t.add_column(ColumnDef::formula("Airports", "Count()", 1)).unwrap();
+    t.detail_level = 1;
+    wb.add_element(0, "ByState", ElementKind::Table(t)).unwrap();
+    wb
+}
+
+fn bench_local_eval(c: &mut Criterion) {
+    let env = Env::new(20_000);
+    let wb = airports_workbook();
+    let mut group = c.benchmark_group("local_eval");
+    group.sample_size(10);
+
+    for rtt_ms in [0u64, 25, 50] {
+        let remote_tab =
+            BrowserSession::new(env.service.clone(), env.token.clone(), "primary")
+                .with_network_latency(Duration::from_millis(rtt_ms));
+        group.bench_function(format!("round_trip_rtt_{rtt_ms}ms"), |b| {
+            b.iter(|| {
+                // Bust the browser cache each time by invalidating.
+                remote_tab.cache.invalidate_element("ByState");
+                let out = remote_tab.query_element(&wb, "ByState").unwrap();
+                assert_ne!(out.source, Source::LocalEngine);
+            })
+        });
+    }
+
+    let local_tab = BrowserSession::new(env.service.clone(), env.token.clone(), "primary");
+    local_tab.prefetch(&env.warehouse, &PrefetchPolicy::default());
+    group.bench_function("local_engine", |b| {
+        b.iter(|| {
+            local_tab.cache.invalidate_element("ByState");
+            let out = local_tab.query_element(&wb, "ByState").unwrap();
+            assert_eq!(out.source, Source::LocalEngine);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_eval);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E1/E2/E3: the paper's three demonstration scenarios, end to end through
+//! the service, swept over fact-table sizes. The paper's claim is
+//! interactivity at warehouse scale; the reproducible shape is near-linear
+//! scaling of each scenario's backing query with row count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigma_bench::Env;
+use sigma_workbook::demo;
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenarios");
+    group.sample_size(10);
+    for &rows in &[10_000usize, 50_000] {
+        let env = Env::new(rows);
+        let cohort = demo::cohort_workbook();
+        let session = demo::sessionization_workbook();
+        group.bench_with_input(BenchmarkId::new("cohort", rows), &rows, |b, _| {
+            b.iter(|| env.run(&cohort, "Flights"))
+        });
+        group.bench_with_input(BenchmarkId::new("sessionization", rows), &rows, |b, _| {
+            b.iter(|| env.run(&session, "Service Life"))
+        });
+        // Scenario 3's hot path once projected: the Lookup join.
+        let mut aug = demo::augmentation_workbook();
+        env.service
+            .project_input_table(&env.token, "primary", &mut aug, "Airport Info")
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("augmentation", rows), &rows, |b, _| {
+            b.iter(|| env.run(&aug, "Flights"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

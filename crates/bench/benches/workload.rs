@@ -1,0 +1,46 @@
+//! E6: workload management — N concurrent browsers against one warehouse
+//! with a fixed admission limit; collaborative identical queries coalesce.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigma_bench::Env;
+use sigma_service::workload::Priority;
+use sigma_service::QueryRequest;
+use sigma_workbook::demo;
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(10);
+    let env = Env::new(20_000);
+    let wb = demo::cohort_workbook();
+    let json = wb.to_json().unwrap();
+    for users in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("concurrent_users", users), &users, |b, &n| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for i in 0..n {
+                        let env = &env;
+                        let json = &json;
+                        scope.spawn(move || {
+                            // Vary the element per user so half the fleet
+                            // coalesces and half computes.
+                            let element = if i % 2 == 0 { "Flights" } else { "Cohort Chart" };
+                            env.service
+                                .run_query(&QueryRequest {
+                                    token: &env.token,
+                                    connection: "primary",
+                                    workbook_json: json,
+                                    element,
+                                    priority: Priority::Interactive,
+                                })
+                                .unwrap();
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! The browser result cache: LRU by (approximate) byte footprint.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use sigma_value::Batch;
+
+/// Cache statistics (experiment E4/E5 observables).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub bytes: usize,
+}
+
+struct Entry {
+    batch: Batch,
+    /// Elements this result depends on (for edit invalidation).
+    depends_on: Vec<String>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// LRU result cache with a byte budget.
+pub struct ResultCache {
+    entries: Mutex<HashMap<String, Entry>>,
+    stats: Mutex<CacheStats>,
+    clock: Mutex<u64>,
+    budget_bytes: usize,
+}
+
+impl ResultCache {
+    pub fn new(budget_bytes: usize) -> ResultCache {
+        ResultCache {
+            entries: Mutex::new(HashMap::new()),
+            stats: Mutex::new(CacheStats::default()),
+            clock: Mutex::new(0),
+            budget_bytes: budget_bytes.max(1),
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    fn tick(&self) -> u64 {
+        let mut c = self.clock.lock();
+        *c += 1;
+        *c
+    }
+
+    pub fn get(&self, key: &str) -> Option<Batch> {
+        let now = self.tick();
+        let mut entries = self.entries.lock();
+        let hit = entries.get_mut(key).map(|e| {
+            e.last_used = now;
+            e.batch.clone()
+        });
+        let mut stats = self.stats.lock();
+        if hit.is_some() {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+        hit
+    }
+
+    pub fn put(&self, key: &str, batch: Batch, depends_on: Vec<String>) {
+        let now = self.tick();
+        let bytes = batch.byte_size();
+        let mut entries = self.entries.lock();
+        entries.insert(
+            key.to_string(),
+            Entry { batch, depends_on, bytes, last_used: now },
+        );
+        // Evict least-recently-used entries until within budget.
+        let mut total: usize = entries.values().map(|e| e.bytes).sum();
+        let mut evictions = 0;
+        while total > self.budget_bytes && entries.len() > 1 {
+            let victim = entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            if victim == key && entries.len() == 1 {
+                break;
+            }
+            if let Some(e) = entries.remove(&victim) {
+                total -= e.bytes;
+                evictions += 1;
+            }
+        }
+        let mut stats = self.stats.lock();
+        stats.evictions += evictions;
+        stats.bytes = total;
+    }
+
+    /// Drop every result that depends on the given element (edits to an
+    /// input table invalidate downstream results).
+    pub fn invalidate_element(&self, element: &str) -> usize {
+        let mut entries = self.entries.lock();
+        let victims: Vec<String> = entries
+            .iter()
+            .filter(|(_, e)| {
+                e.depends_on
+                    .iter()
+                    .any(|d| d.eq_ignore_ascii_case(element))
+            })
+            .map(|(k, _)| k.clone())
+            .collect();
+        for v in &victims {
+            entries.remove(v);
+        }
+        let mut stats = self.stats.lock();
+        stats.bytes = entries.values().map(|e| e.bytes).sum();
+        victims.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_value::{Column, DataType, Field, Schema};
+    use std::sync::Arc;
+
+    fn batch(n: usize) -> Batch {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]));
+        Batch::new(schema, vec![Column::from_ints((0..n as i64).collect())]).unwrap()
+    }
+
+    #[test]
+    fn hit_miss_counting() {
+        let cache = ResultCache::new(1 << 20);
+        assert!(cache.get("a").is_none());
+        cache.put("a", batch(10), vec!["E".into()]);
+        assert!(cache.get("a").is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_budget() {
+        // Each 100-row Int batch is ~800 bytes; budget fits ~2.
+        let cache = ResultCache::new(1_700);
+        cache.put("a", batch(100), vec![]);
+        cache.put("b", batch(100), vec![]);
+        let _ = cache.get("a"); // freshen a
+        cache.put("c", batch(100), vec![]); // evicts b (LRU)
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("c").is_some());
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn dependency_invalidation() {
+        let cache = ResultCache::new(1 << 20);
+        cache.put("q1", batch(5), vec!["Notes".into(), "Flights".into()]);
+        cache.put("q2", batch(5), vec!["Flights".into()]);
+        assert_eq!(cache.invalidate_element("notes"), 1);
+        assert!(cache.get("q1").is_none());
+        assert!(cache.get("q2").is_some());
+    }
+}

@@ -1,0 +1,181 @@
+//! The browser session: ties the result cache, the local engine, and the
+//! service round-trip together, choosing the cheapest source for each
+//! query (cache → local evaluation → service).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sigma_core::schema::SchemaProvider;
+use sigma_core::{CompileOptions, Compiler, Workbook};
+use sigma_service::workload::Priority;
+use sigma_service::{QueryRequest, ServedFrom, ServiceError, SigmaService};
+use sigma_value::Batch;
+
+use crate::cache::ResultCache;
+use crate::local::LocalEngine;
+use crate::prefetch::PrefetchPolicy;
+
+/// Where an answer came from (experiment E4/E5 observable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Browser result cache (undo / page switch).
+    BrowserCache,
+    /// Local evaluation over prefetched rows (no round trip).
+    LocalEngine,
+    /// Service round trip, answered by the query directory.
+    ServiceDirectory,
+    /// Service round trip, executed on the warehouse.
+    Warehouse,
+}
+
+/// One answered query.
+#[derive(Debug, Clone)]
+pub struct ClientOutcome {
+    pub batch: Batch,
+    pub source: Source,
+    /// End-to-end latency as seen by the user (includes simulated network).
+    pub elapsed: Duration,
+}
+
+/// A browser tab connected to the service.
+pub struct BrowserSession {
+    pub service: Arc<SigmaService>,
+    pub token: String,
+    pub connection: String,
+    pub cache: ResultCache,
+    pub local: LocalEngine,
+    /// Simulated one-way network latency browser <-> service (applied
+    /// twice per round trip).
+    pub network_latency: Duration,
+}
+
+/// Schema provider over the local engine's prefetched tables only.
+struct LocalSchemas<'a>(&'a LocalEngine);
+
+impl SchemaProvider for LocalSchemas<'_> {
+    fn table_schema(&self, table: &str) -> Option<Arc<sigma_value::Schema>> {
+        self.0.table_schema(table)
+    }
+}
+
+impl BrowserSession {
+    pub fn new(
+        service: Arc<SigmaService>,
+        token: impl Into<String>,
+        connection: impl Into<String>,
+    ) -> BrowserSession {
+        BrowserSession {
+            service,
+            token: token.into(),
+            connection: connection.into(),
+            cache: ResultCache::new(64 << 20),
+            local: LocalEngine::new(),
+            network_latency: Duration::ZERO,
+        }
+    }
+
+    pub fn with_network_latency(mut self, latency: Duration) -> BrowserSession {
+        self.network_latency = latency;
+        self
+    }
+
+    /// Cache key: the element plus the specs of everything it depends on,
+    /// so unrelated edits don't invalidate and undo re-hits old entries.
+    pub fn fingerprint(&self, workbook: &Workbook, element: &str) -> String {
+        let mut key = String::new();
+        let deps = sigma_core::graph::resolve_order(workbook, &[element])
+            .unwrap_or_else(|_| vec![element.to_string()]);
+        for name in &deps {
+            if let Some(el) = workbook.element(name) {
+                key.push_str(&el.name.to_ascii_lowercase());
+                key.push('=');
+                key.push_str(&serde_json::to_string(&el.kind).unwrap_or_default());
+                key.push(';');
+            }
+        }
+        // Controls feed compiled literals: include all control values.
+        for el in workbook.elements() {
+            if let sigma_core::ElementKind::Control(c) = &el.kind {
+                key.push_str(&format!("@{}={};", el.name, c.value.render()));
+            }
+        }
+        format!("{}:{}", element.to_ascii_lowercase(), key)
+    }
+
+    /// Run the prefetch policy against the connection's warehouse. (In the
+    /// product this rides on the service API; the simulation reaches the
+    /// warehouse through the service's connection registry.)
+    pub fn prefetch(&self, warehouse: &sigma_cdw::Warehouse, policy: &PrefetchPolicy) -> Vec<String> {
+        policy.prefetch_all(warehouse, &self.local)
+    }
+
+    /// Answer an element query from the cheapest source.
+    pub fn query_element(
+        &self,
+        workbook: &Workbook,
+        element: &str,
+    ) -> Result<ClientOutcome, ServiceError> {
+        let started = Instant::now();
+        let key = self.fingerprint(workbook, element);
+
+        // 1. Browser cache.
+        if let Some(batch) = self.cache.get(&key) {
+            return Ok(ClientOutcome {
+                batch,
+                source: Source::BrowserCache,
+                elapsed: started.elapsed(),
+            });
+        }
+
+        let deps = sigma_core::graph::resolve_order(workbook, &[element])
+            .unwrap_or_else(|_| vec![element.to_string()]);
+
+        // 2. Local evaluation over prefetched tables: compile against the
+        // local schemas; if that succeeds and every scanned table is
+        // prefetched, evaluate without a round trip.
+        let local_schemas = LocalSchemas(&self.local);
+        let compiler = Compiler::new(workbook, &local_schemas, CompileOptions::default());
+        if let Ok(compiled) = compiler.compile_element(element) {
+            if self.local.can_answer(&compiled.query) {
+                let batch = self
+                    .local
+                    .evaluate(&compiled.sql)
+                    .map_err(|e| ServiceError::Warehouse(e.to_string()))?;
+                self.cache.put(&key, batch.clone(), deps);
+                return Ok(ClientOutcome {
+                    batch,
+                    source: Source::LocalEngine,
+                    elapsed: started.elapsed(),
+                });
+            }
+        }
+
+        // 3. Service round trip (simulated network both ways).
+        std::thread::sleep(self.network_latency);
+        let json = workbook
+            .to_json()
+            .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+        let outcome = self.service.run_query(&QueryRequest {
+            token: &self.token,
+            connection: &self.connection,
+            workbook_json: &json,
+            element,
+            priority: Priority::Interactive,
+        })?;
+        std::thread::sleep(self.network_latency);
+        self.cache.put(&key, outcome.batch.clone(), deps);
+        Ok(ClientOutcome {
+            batch: outcome.batch,
+            source: match outcome.served_from {
+                ServedFrom::QueryDirectory => Source::ServiceDirectory,
+                ServedFrom::Warehouse => Source::Warehouse,
+            },
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// Edits to an element invalidate dependent cached results.
+    pub fn on_element_edited(&self, element: &str) -> usize {
+        self.cache.invalidate_element(element)
+    }
+}

@@ -1,0 +1,197 @@
+//! The in-browser evaluation engine.
+//!
+//! Holds fully prefetched tables in an embedded instance of the warehouse
+//! kernels and answers a compiled query locally when every base table it
+//! scans is present. This models the paper's WASM engine synthesizing "new
+//! results from existing rows already fetched from the CDW".
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use sigma_cdw::{CdwError, Warehouse};
+use sigma_sql::{Query, SetExpr, TableRef};
+use sigma_value::Batch;
+
+/// The local evaluation engine.
+pub struct LocalEngine {
+    engine: Warehouse,
+    /// Lower-cased names of fully prefetched tables.
+    tables: parking_lot::RwLock<HashSet<String>>,
+    /// Local evaluations performed (experiment observable).
+    local_evals: std::sync::atomic::AtomicU64,
+}
+
+impl Default for LocalEngine {
+    fn default() -> Self {
+        LocalEngine::new()
+    }
+}
+
+impl LocalEngine {
+    pub fn new() -> LocalEngine {
+        LocalEngine {
+            engine: Warehouse::default(),
+            tables: parking_lot::RwLock::new(HashSet::new()),
+            local_evals: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    pub fn local_evals(&self) -> u64 {
+        self.local_evals.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Install a fully fetched table.
+    pub fn install_table(&self, name: &str, batch: Batch) -> Result<(), CdwError> {
+        self.engine.load_table(name, batch)?;
+        self.tables.write().insert(name.to_ascii_lowercase());
+        Ok(())
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains(&name.to_ascii_lowercase())
+    }
+
+    pub fn installed_tables(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Schema access for compiling against local data.
+    pub fn table_schema(&self, name: &str) -> Option<Arc<sigma_value::Schema>> {
+        if !self.has_table(name) {
+            return None;
+        }
+        self.engine.table_schema(name)
+    }
+
+    /// Can this compiled query be answered entirely from prefetched rows?
+    pub fn can_answer(&self, query: &Query) -> bool {
+        let mut tables = Vec::new();
+        collect_base_tables(query, &mut tables);
+        let installed = self.tables.read();
+        !tables.is_empty()
+            && tables
+                .iter()
+                .all(|t| installed.contains(&t.to_ascii_lowercase()))
+    }
+
+    /// Evaluate locally (no round trip). Callers check `can_answer` first;
+    /// a missing table surfaces as an error.
+    pub fn evaluate(&self, sql: &str) -> Result<Batch, CdwError> {
+        let result = self.engine.execute_sql(sql)?;
+        self.local_evals
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(result.batch)
+    }
+}
+
+/// Collect base-table names referenced by a query, excluding its own CTEs.
+pub fn collect_base_tables(query: &Query, out: &mut Vec<String>) {
+    let mut cte_names: HashSet<String> = HashSet::new();
+    collect_query(query, &mut cte_names, out);
+}
+
+fn collect_query(query: &Query, ctes_in_scope: &mut HashSet<String>, out: &mut Vec<String>) {
+    // CTEs bind sequentially: each body may reference earlier CTEs.
+    let mut scope = ctes_in_scope.clone();
+    for (name, cte) in &query.ctes {
+        collect_query(cte, &mut scope, out);
+        scope.insert(name.to_ascii_lowercase());
+    }
+    collect_set(&query.body, &scope, out);
+}
+
+fn collect_set(body: &SetExpr, scope: &HashSet<String>, out: &mut Vec<String>) {
+    match body {
+        SetExpr::Select(s) => {
+            let mut handle = |t: &TableRef| match t {
+                TableRef::Table { name, .. } => {
+                    let base = name.to_dotted();
+                    if name.0.len() > 1 || !scope.contains(&base.to_ascii_lowercase()) {
+                        if !out.iter().any(|o| o.eq_ignore_ascii_case(&base)) {
+                            out.push(base);
+                        }
+                    }
+                }
+                TableRef::Subquery { query, .. } => {
+                    let mut inner_scope = scope.clone();
+                    collect_query(query, &mut inner_scope, out);
+                }
+                TableRef::Function { .. } => {
+                    // RESULT_SCAN needs the warehouse: mark unanswerable by
+                    // inventing an impossible table name.
+                    out.push("$result_scan".into());
+                }
+            };
+            if let Some(from) = &s.from {
+                handle(from);
+            }
+            for j in &s.joins {
+                handle(&j.relation);
+            }
+        }
+        SetExpr::UnionAll(l, r) => {
+            collect_set(l, scope, out);
+            collect_set(r, scope, out);
+        }
+        SetExpr::Values(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_sql::parse_query;
+    use sigma_value::{Column, DataType, Field, Schema, Value};
+
+    fn sample() -> Batch {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Text),
+            Field::new("v", DataType::Int),
+        ]));
+        Batch::new(
+            schema,
+            vec![
+                Column::from_texts(vec!["a".into(), "b".into(), "a".into()]),
+                Column::from_ints(vec![1, 2, 3]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn base_table_collection_skips_ctes() {
+        let q = parse_query(
+            "WITH x AS (SELECT * FROM t1) SELECT * FROM x JOIN t2 ON x.a = t2.a \
+             JOIN (SELECT * FROM t3) s ON s.b = t2.b",
+        )
+        .unwrap();
+        let mut tables = Vec::new();
+        collect_base_tables(&q, &mut tables);
+        assert_eq!(tables, vec!["t1".to_string(), "t2".into(), "t3".into()]);
+    }
+
+    #[test]
+    fn answerability_and_local_eval() {
+        let engine = LocalEngine::new();
+        engine.install_table("dim", sample()).unwrap();
+        let local = parse_query("SELECT k, SUM(v) AS s FROM dim GROUP BY k").unwrap();
+        assert!(engine.can_answer(&local));
+        let remote = parse_query("SELECT * FROM dim JOIN facts ON dim.k = facts.k").unwrap();
+        assert!(!engine.can_answer(&remote));
+        let b = engine
+            .evaluate("SELECT k, SUM(v) AS s FROM dim GROUP BY k ORDER BY k")
+            .unwrap();
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(b.value(0, 1), Value::Int(4));
+        assert_eq!(engine.local_evals(), 1);
+    }
+
+    #[test]
+    fn result_scan_is_never_local() {
+        let engine = LocalEngine::new();
+        let q = parse_query("SELECT * FROM TABLE(RESULT_SCAN('q-1')) AS r").unwrap();
+        assert!(!engine.can_answer(&q));
+    }
+}

@@ -1,0 +1,99 @@
+//! Prefetch policy (paper §4): "In some cases (e.g. lower cardinality
+//! tables), we are able to prefetch a resultset that could be used to
+//! fully evaluate all future operations on the table locally in the
+//! browser."
+
+use sigma_cdw::Warehouse;
+
+use crate::local::LocalEngine;
+
+/// Decides which warehouse tables are small enough to ship wholesale.
+#[derive(Debug, Clone)]
+pub struct PrefetchPolicy {
+    /// Tables at or below this row count are prefetched.
+    pub max_rows: usize,
+    /// ... as long as they also fit this byte budget.
+    pub max_bytes: usize,
+}
+
+impl Default for PrefetchPolicy {
+    fn default() -> Self {
+        PrefetchPolicy { max_rows: 10_000, max_bytes: 8 << 20 }
+    }
+}
+
+impl PrefetchPolicy {
+    /// Should this table be prefetched?
+    pub fn wants(&self, row_count: usize, byte_size: usize) -> bool {
+        row_count <= self.max_rows && byte_size <= self.max_bytes
+    }
+
+    /// Scan the warehouse catalog and install every qualifying table into
+    /// the local engine. Returns the names prefetched.
+    pub fn prefetch_all(
+        &self,
+        warehouse: &Warehouse,
+        engine: &LocalEngine,
+    ) -> Vec<String> {
+        let mut fetched = Vec::new();
+        for name in warehouse.table_names() {
+            if engine.has_table(&name) {
+                continue;
+            }
+            let Ok(stats) = warehouse.table_stats(&name) else { continue };
+            if !self.wants(stats.row_count, stats.byte_size) {
+                continue;
+            }
+            // Full fetch: SELECT * (one warehouse query per table).
+            let Ok(result) = warehouse.execute_sql(&format!("SELECT * FROM {name}")) else {
+                continue;
+            };
+            if engine.install_table(&name, result.batch).is_ok() {
+                fetched.push(name);
+            }
+        }
+        fetched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_value::{Batch, Column, DataType, Field, Schema};
+    use std::sync::Arc;
+
+    fn table(n: usize) -> Batch {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]));
+        Batch::new(schema, vec![Column::from_ints((0..n as i64).collect())]).unwrap()
+    }
+
+    #[test]
+    fn only_small_tables_prefetched() {
+        let wh = Warehouse::default();
+        wh.load_table("small", table(100)).unwrap();
+        wh.load_table("large", table(50_000)).unwrap();
+        let engine = LocalEngine::new();
+        let policy = PrefetchPolicy { max_rows: 1_000, max_bytes: 1 << 20 };
+        let fetched = policy.prefetch_all(&wh, &engine);
+        assert_eq!(fetched, vec!["small".to_string()]);
+        assert!(engine.has_table("small"));
+        assert!(!engine.has_table("large"));
+    }
+
+    #[test]
+    fn byte_budget_respected() {
+        let policy = PrefetchPolicy { max_rows: 1_000_000, max_bytes: 100 };
+        assert!(!policy.wants(10, 101));
+        assert!(policy.wants(10, 99));
+    }
+
+    #[test]
+    fn idempotent() {
+        let wh = Warehouse::default();
+        wh.load_table("small", table(10)).unwrap();
+        let engine = LocalEngine::new();
+        let policy = PrefetchPolicy::default();
+        assert_eq!(policy.prefetch_all(&wh, &engine).len(), 1);
+        assert_eq!(policy.prefetch_all(&wh, &engine).len(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Browser-session tests: the cache hierarchy in action.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sigma_browser::{BrowserSession, PrefetchPolicy, Source};
+use sigma_cdw::Warehouse;
+use sigma_core::document::ElementKind;
+use sigma_core::table::{ColumnDef, DataSource, Level, TableSpec};
+use sigma_core::Workbook;
+use sigma_flights::{load_airports, load_flights, FlightsConfig};
+use sigma_service::SigmaService;
+use sigma_value::Value;
+
+fn setup() -> (Arc<SigmaService>, Arc<Warehouse>, String) {
+    let service = SigmaService::new();
+    let org = service.tenancy.create_org("acme");
+    let user = service
+        .tenancy
+        .create_user(org, "ada", sigma_service::tenancy::Role::Creator)
+        .unwrap();
+    let token = service.tenancy.issue_token(user).unwrap();
+    let wh = Arc::new(Warehouse::default());
+    load_flights(&wh, &FlightsConfig::with_rows(3_000)).unwrap();
+    load_airports(&wh).unwrap();
+    service.add_connection(org, "primary", wh.clone());
+    (Arc::new(service), wh, token)
+}
+
+fn carrier_workbook() -> Workbook {
+    let mut wb = Workbook::new(Some("demo"));
+    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
+    t.add_column(ColumnDef::source("Carrier", "carrier")).unwrap();
+    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()])).unwrap();
+    t.add_column(ColumnDef::formula("Flights", "Count()", 1)).unwrap();
+    t.detail_level = 1;
+    wb.add_element(0, "ByCarrier", ElementKind::Table(t)).unwrap();
+    wb
+}
+
+#[test]
+fn cache_hierarchy_sources() {
+    let (service, _wh, token) = setup();
+    let session = BrowserSession::new(service, token, "primary");
+    let wb = carrier_workbook();
+
+    // Cold: warehouse execution.
+    let first = session.query_element(&wb, "ByCarrier").unwrap();
+    assert_eq!(first.source, Source::Warehouse);
+    assert_eq!(first.batch.num_rows(), 8);
+
+    // Same state again: browser cache (undo / page switch path).
+    let second = session.query_element(&wb, "ByCarrier").unwrap();
+    assert_eq!(second.source, Source::BrowserCache);
+    assert_eq!(second.batch, first.batch);
+
+    // A *different tab* (fresh cache) of the same state: query directory.
+    let session2 = BrowserSession::new(session.service.clone(), session.token.clone(), "primary");
+    let third = session2.query_element(&wb, "ByCarrier").unwrap();
+    assert_eq!(third.source, Source::ServiceDirectory);
+    assert_eq!(third.batch.num_rows(), 8);
+}
+
+#[test]
+fn control_change_misses_then_undo_hits() {
+    let (service, _wh, token) = setup();
+    let session = BrowserSession::new(service, token, "primary");
+    let mut wb = carrier_workbook();
+    wb.add_element(
+        0,
+        "Min Flights",
+        ElementKind::Control(sigma_core::controls::ControlSpec::slider(0.0, 10_000.0, 1.0, 0.0)),
+    )
+    .unwrap();
+    {
+        let t = wb.table_mut("ByCarrier").unwrap();
+        t.add_column(ColumnDef::formula("Enough", "[Flights] >= [Min Flights]", 1))
+            .unwrap();
+    }
+
+    let a = session.query_element(&wb, "ByCarrier").unwrap();
+    assert_eq!(a.source, Source::Warehouse);
+
+    // Move the slider: new fingerprint, fresh execution.
+    wb.element_mut("Min Flights").map(|e| {
+        if let ElementKind::Control(c) = &mut e.kind {
+            c.set_value(Value::Float(500.0)).unwrap();
+        }
+    });
+    let b = session.query_element(&wb, "ByCarrier").unwrap();
+    assert_eq!(b.source, Source::Warehouse);
+
+    // Undo (slider back): browser cache hit, no round trip.
+    wb.element_mut("Min Flights").map(|e| {
+        if let ElementKind::Control(c) = &mut e.kind {
+            c.set_value(Value::Float(0.0)).unwrap();
+        }
+    });
+    let c = session.query_element(&wb, "ByCarrier").unwrap();
+    assert_eq!(c.source, Source::BrowserCache);
+}
+
+#[test]
+fn prefetched_tables_evaluate_locally() {
+    let (service, wh, token) = setup();
+    let session = BrowserSession::new(service, token, "primary");
+    // Airports is tiny: prefetched. Flights is large: not.
+    let policy = PrefetchPolicy { max_rows: 1_000, max_bytes: 8 << 20 };
+    let fetched = session.prefetch(&wh, &policy);
+    assert!(fetched.contains(&"airports".to_string()), "{fetched:?}");
+    assert!(!fetched.contains(&"flights".to_string()));
+
+    // A workbook over the airports dimension runs locally.
+    let mut wb = Workbook::new(Some("dims"));
+    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "airports".into() });
+    t.add_column(ColumnDef::source("State", "state")).unwrap();
+    t.add_level(1, Level::keyed("By State", vec!["State".into()])).unwrap();
+    t.add_column(ColumnDef::formula("Airports", "Count()", 1)).unwrap();
+    t.detail_level = 1;
+    wb.add_element(0, "ByState", ElementKind::Table(t)).unwrap();
+
+    let queries_before = wh.queries_executed();
+    let out = session.query_element(&wb, "ByState").unwrap();
+    assert_eq!(out.source, Source::LocalEngine);
+    assert!(out.batch.num_rows() >= 10);
+    // No warehouse query was issued.
+    assert_eq!(wh.queries_executed(), queries_before);
+    assert_eq!(session.local.local_evals(), 1);
+
+    // Refinements (a filter) stay local too.
+    {
+        let t = wb.table_mut("ByState").unwrap();
+        t.filters.push(sigma_core::table::FilterSpec {
+            column: "State".into(),
+            predicate: sigma_core::table::FilterPredicate::OneOf(vec![
+                "CA".into(),
+                "TX".into(),
+            ]),
+        });
+    }
+    let refined = session.query_element(&wb, "ByState").unwrap();
+    assert_eq!(refined.source, Source::LocalEngine);
+    assert_eq!(refined.batch.num_rows(), 2);
+    assert_eq!(wh.queries_executed(), queries_before);
+}
+
+#[test]
+fn network_latency_charged_only_on_round_trips() {
+    let (service, _wh, token) = setup();
+    let session = BrowserSession::new(service, token, "primary")
+        .with_network_latency(Duration::from_millis(30));
+    let wb = carrier_workbook();
+    let cold = session.query_element(&wb, "ByCarrier").unwrap();
+    assert!(cold.elapsed >= Duration::from_millis(60), "{:?}", cold.elapsed);
+    let warm = session.query_element(&wb, "ByCarrier").unwrap();
+    assert_eq!(warm.source, Source::BrowserCache);
+    assert!(warm.elapsed < Duration::from_millis(30), "{:?}", warm.elapsed);
+}
+
+#[test]
+fn edit_invalidation_forces_refetch() {
+    let (service, _wh, token) = setup();
+    let session = BrowserSession::new(service, token, "primary");
+    let wb = carrier_workbook();
+    session.query_element(&wb, "ByCarrier").unwrap();
+    assert_eq!(session.on_element_edited("ByCarrier"), 1);
+    let again = session.query_element(&wb, "ByCarrier").unwrap();
+    // Cache was invalidated; the service directory still remembers.
+    assert_eq!(again.source, Source::ServiceDirectory);
+}

@@ -1,0 +1,61 @@
+//! Warehouse error type.
+
+use std::fmt;
+
+use sigma_sql::SqlParseError;
+use sigma_value::ValueError;
+
+/// Errors from planning or executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CdwError {
+    /// SQL text failed to parse.
+    Parse(SqlParseError),
+    /// Name resolution or semantic analysis failed.
+    Plan(String),
+    /// Runtime failure (type errors surfacing at execution, bad casts...).
+    Execution(String),
+    /// Catalog object missing or duplicated.
+    Catalog(String),
+    /// Underlying columnar-layer error.
+    Value(ValueError),
+}
+
+impl fmt::Display for CdwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdwError::Parse(e) => write!(f, "{e}"),
+            CdwError::Plan(m) => write!(f, "plan error: {m}"),
+            CdwError::Execution(m) => write!(f, "execution error: {m}"),
+            CdwError::Catalog(m) => write!(f, "catalog error: {m}"),
+            CdwError::Value(e) => write!(f, "value error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CdwError {}
+
+impl From<SqlParseError> for CdwError {
+    fn from(e: SqlParseError) -> Self {
+        CdwError::Parse(e)
+    }
+}
+
+impl From<ValueError> for CdwError {
+    fn from(e: ValueError) -> Self {
+        CdwError::Value(e)
+    }
+}
+
+impl CdwError {
+    pub fn plan(msg: impl Into<String>) -> CdwError {
+        CdwError::Plan(msg.into())
+    }
+
+    pub fn exec(msg: impl Into<String>) -> CdwError {
+        CdwError::Execution(msg.into())
+    }
+
+    pub fn catalog(msg: impl Into<String>) -> CdwError {
+        CdwError::Catalog(msg.into())
+    }
+}

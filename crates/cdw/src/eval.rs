@@ -1,0 +1,1256 @@
+//! Physical scalar expressions and their vectorized evaluator.
+//!
+//! `PhysExpr` references input columns by ordinal; the planner resolves all
+//! names before execution. Evaluation is column-at-a-time with fast paths
+//! for numeric arithmetic and comparisons; everything else goes through the
+//! scalar [`Value`] kernels, which keeps the (long) SQL function tail
+//! simple and obviously correct.
+//!
+//! Error isolation: following the spreadsheet affordance the paper calls
+//! out ("isolation of errors"), cell-level domain errors — division by
+//! zero, bad casts of dirty data, invalid dates — evaluate to NULL rather
+//! than failing the whole query. Structural errors (unknown columns, type
+//! confusion the planner should have caught) still fail loudly.
+
+use std::cmp::Ordering;
+
+use sigma_value::{calendar, calendar::DateUnit, Batch, Column, ColumnBuilder, DataType, Value};
+
+use crate::error::CdwError;
+
+/// Scalar functions executed by the engine (generic-dialect spellings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarFunc {
+    Abs,
+    Round,
+    Floor,
+    Ceil,
+    Sqrt,
+    Exp,
+    Ln,
+    Log,
+    Power,
+    Mod,
+    Sign,
+    Greatest,
+    Least,
+    Concat,
+    Upper,
+    Lower,
+    Trim,
+    LTrim,
+    RTrim,
+    Length,
+    Left,
+    Right,
+    Substring,
+    Contains,
+    StartsWith,
+    EndsWith,
+    Replace,
+    SplitPart,
+    Lpad,
+    Rpad,
+    Repeat,
+    Coalesce,
+    Nullif,
+    DateTrunc,
+    DatePart,
+    DateAdd,
+    DateDiff,
+    MakeDate,
+    CurrentDate,
+    CurrentTimestamp,
+}
+
+impl ScalarFunc {
+    /// Resolve a generic-dialect SQL function name.
+    pub fn from_name(name: &str) -> Option<ScalarFunc> {
+        use ScalarFunc::*;
+        Some(match name.to_ascii_uppercase().as_str() {
+            "ABS" => Abs,
+            "ROUND" => Round,
+            "FLOOR" => Floor,
+            "CEIL" | "CEILING" => Ceil,
+            "SQRT" => Sqrt,
+            "EXP" => Exp,
+            "LN" => Ln,
+            "LOG" => Log,
+            "POWER" | "POW" => Power,
+            "MOD" => Mod,
+            "SIGN" => Sign,
+            "GREATEST" => Greatest,
+            "LEAST" => Least,
+            "CONCAT" => Concat,
+            "UPPER" => Upper,
+            "LOWER" => Lower,
+            "TRIM" => Trim,
+            "LTRIM" => LTrim,
+            "RTRIM" => RTrim,
+            "LENGTH" | "LEN" => Length,
+            "LEFT" => Left,
+            "RIGHT" => Right,
+            "SUBSTRING" | "SUBSTR" => Substring,
+            "CONTAINS" => Contains,
+            "STARTS_WITH" | "STARTSWITH" => StartsWith,
+            "ENDS_WITH" | "ENDSWITH" => EndsWith,
+            "REPLACE" => Replace,
+            "SPLIT_PART" => SplitPart,
+            "LPAD" => Lpad,
+            "RPAD" => Rpad,
+            "REPEAT" => Repeat,
+            "COALESCE" | "IFNULL" | "NVL" => Coalesce,
+            "NULLIF" => Nullif,
+            "DATE_TRUNC" => DateTrunc,
+            "DATE_PART" => DatePart,
+            "DATEADD" | "DATE_ADD" => DateAdd,
+            "DATEDIFF" | "DATE_DIFF" => DateDiff,
+            "MAKE_DATE" | "DATE_FROM_PARTS" => MakeDate,
+            "CURRENT_DATE" => CurrentDate,
+            "CURRENT_TIMESTAMP" | "NOW" => CurrentTimestamp,
+            _ => return None,
+        })
+    }
+}
+
+/// Binary operators at the physical level (same set as the SQL AST).
+pub use sigma_sql::SqlBinaryOp as BinOp;
+pub use sigma_sql::SqlUnaryOp as UnOp;
+
+/// A fully resolved scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysExpr {
+    Literal(Value),
+    /// Input column ordinal.
+    Col(usize),
+    Unary {
+        op: UnOp,
+        expr: Box<PhysExpr>,
+    },
+    Binary {
+        op: BinOp,
+        left: Box<PhysExpr>,
+        right: Box<PhysExpr>,
+    },
+    Func {
+        func: ScalarFunc,
+        args: Vec<PhysExpr>,
+    },
+    Case {
+        operand: Option<Box<PhysExpr>>,
+        whens: Vec<(PhysExpr, PhysExpr)>,
+        else_: Option<Box<PhysExpr>>,
+    },
+    Cast {
+        expr: Box<PhysExpr>,
+        dtype: DataType,
+    },
+    InList {
+        expr: Box<PhysExpr>,
+        list: Vec<PhysExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<PhysExpr>,
+        low: Box<PhysExpr>,
+        high: Box<PhysExpr>,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<PhysExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<PhysExpr>,
+        pattern: Box<PhysExpr>,
+        negated: bool,
+    },
+}
+
+impl PhysExpr {
+    pub fn lit(v: impl Into<Value>) -> PhysExpr {
+        PhysExpr::Literal(v.into())
+    }
+
+    /// Collect referenced column ordinals.
+    pub fn columns_used(&self, out: &mut Vec<usize>) {
+        match self {
+            PhysExpr::Literal(_) => {}
+            PhysExpr::Col(i) => out.push(*i),
+            PhysExpr::Unary { expr, .. } => expr.columns_used(out),
+            PhysExpr::Binary { left, right, .. } => {
+                left.columns_used(out);
+                right.columns_used(out);
+            }
+            PhysExpr::Func { args, .. } => {
+                for a in args {
+                    a.columns_used(out);
+                }
+            }
+            PhysExpr::Case { operand, whens, else_ } => {
+                if let Some(o) = operand {
+                    o.columns_used(out);
+                }
+                for (w, t) in whens {
+                    w.columns_used(out);
+                    t.columns_used(out);
+                }
+                if let Some(e) = else_ {
+                    e.columns_used(out);
+                }
+            }
+            PhysExpr::Cast { expr, .. } => expr.columns_used(out),
+            PhysExpr::InList { expr, list, .. } => {
+                expr.columns_used(out);
+                for l in list {
+                    l.columns_used(out);
+                }
+            }
+            PhysExpr::Between { expr, low, high, .. } => {
+                expr.columns_used(out);
+                low.columns_used(out);
+                high.columns_used(out);
+            }
+            PhysExpr::IsNull { expr, .. } => expr.columns_used(out),
+            PhysExpr::Like { expr, pattern, .. } => {
+                expr.columns_used(out);
+                pattern.columns_used(out);
+            }
+        }
+    }
+
+    /// Rewrite column ordinals through a mapping (projection pruning).
+    pub fn remap_columns(&mut self, map: &dyn Fn(usize) -> usize) {
+        match self {
+            PhysExpr::Literal(_) => {}
+            PhysExpr::Col(i) => *i = map(*i),
+            PhysExpr::Unary { expr, .. } => expr.remap_columns(map),
+            PhysExpr::Binary { left, right, .. } => {
+                left.remap_columns(map);
+                right.remap_columns(map);
+            }
+            PhysExpr::Func { args, .. } => {
+                for a in args {
+                    a.remap_columns(map);
+                }
+            }
+            PhysExpr::Case { operand, whens, else_ } => {
+                if let Some(o) = operand {
+                    o.remap_columns(map);
+                }
+                for (w, t) in whens {
+                    w.remap_columns(map);
+                    t.remap_columns(map);
+                }
+                if let Some(e) = else_ {
+                    e.remap_columns(map);
+                }
+            }
+            PhysExpr::Cast { expr, .. } => expr.remap_columns(map),
+            PhysExpr::InList { expr, list, .. } => {
+                expr.remap_columns(map);
+                for l in list {
+                    l.remap_columns(map);
+                }
+            }
+            PhysExpr::Between { expr, low, high, .. } => {
+                expr.remap_columns(map);
+                low.remap_columns(map);
+                high.remap_columns(map);
+            }
+            PhysExpr::IsNull { expr, .. } => expr.remap_columns(map),
+            PhysExpr::Like { expr, pattern, .. } => {
+                expr.remap_columns(map);
+                pattern.remap_columns(map);
+            }
+        }
+    }
+}
+
+/// Evaluation context: the session clock, so `CURRENT_DATE` is
+/// deterministic and testable.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalCtx {
+    /// Session "now" in microseconds since the epoch.
+    pub now_micros: i64,
+}
+
+impl Default for EvalCtx {
+    fn default() -> Self {
+        // 2020-06-01 00:00:00 UTC: inside the paper's 1987-2020 dataset.
+        EvalCtx {
+            now_micros: calendar::days_from_civil(2020, 6, 1) as i64 * calendar::MICROS_PER_DAY,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// type inference
+// ---------------------------------------------------------------------
+
+/// Infer the output type of an expression over the given input types.
+/// `None` means "unknown / all-null" and defaults to Text at column-build
+/// time.
+pub fn infer_type(expr: &PhysExpr, input: &[DataType]) -> Result<Option<DataType>, CdwError> {
+    use PhysExpr::*;
+    match expr {
+        Literal(v) => Ok(v.dtype()),
+        Col(i) => input
+            .get(*i)
+            .copied()
+            .map(Some)
+            .ok_or_else(|| CdwError::plan(format!("column ordinal {i} out of range"))),
+        Unary { op, expr } => {
+            let t = infer_type(expr, input)?;
+            Ok(match op {
+                UnOp::Neg => t.or(Some(DataType::Float)),
+                UnOp::Not => Some(DataType::Bool),
+            })
+        }
+        Binary { op, left, right } => {
+            let lt = infer_type(left, input)?;
+            let rt = infer_type(right, input)?;
+            Ok(binary_type(*op, lt, rt))
+        }
+        Func { func, args } => {
+            let tys: Vec<Option<DataType>> = args
+                .iter()
+                .map(|a| infer_type(a, input))
+                .collect::<Result<_, _>>()?;
+            Ok(func_type(*func, &tys))
+        }
+        Case { whens, else_, .. } => {
+            let mut acc: Option<DataType> = None;
+            for (_, t) in whens {
+                acc = unify_opt(acc, infer_type(t, input)?);
+            }
+            if let Some(e) = else_ {
+                acc = unify_opt(acc, infer_type(e, input)?);
+            }
+            Ok(acc)
+        }
+        Cast { dtype, .. } => Ok(Some(*dtype)),
+        InList { .. } | Between { .. } | IsNull { .. } | Like { .. } => Ok(Some(DataType::Bool)),
+    }
+}
+
+fn unify_opt(a: Option<DataType>, b: Option<DataType>) -> Option<DataType> {
+    match (a, b) {
+        (None, t) | (t, None) => t,
+        (Some(x), Some(y)) => x.unify(y).or(Some(DataType::Text)),
+    }
+}
+
+fn binary_type(op: BinOp, lt: Option<DataType>, rt: Option<DataType>) -> Option<DataType> {
+    use BinOp::*;
+    match op {
+        Add | Sub => match (lt, rt) {
+            (Some(d), Some(DataType::Int)) if d.is_temporal() => Some(d),
+            (Some(DataType::Int), Some(d)) if d.is_temporal() => Some(d),
+            (Some(a), Some(b)) if a.is_temporal() && b.is_temporal() => Some(DataType::Int),
+            (Some(DataType::Int), Some(DataType::Int)) => Some(DataType::Int),
+            _ => Some(DataType::Float),
+        },
+        Mul | Mod => match (lt, rt) {
+            (Some(DataType::Int), Some(DataType::Int)) => Some(DataType::Int),
+            _ => Some(DataType::Float),
+        },
+        Div => Some(DataType::Float),
+        Concat => Some(DataType::Text),
+        Eq | NotEq | Lt | LtEq | Gt | GtEq | And | Or => Some(DataType::Bool),
+    }
+}
+
+fn func_type(func: ScalarFunc, tys: &[Option<DataType>]) -> Option<DataType> {
+    use ScalarFunc::*;
+    match func {
+        Abs | Round => tys[0].or(Some(DataType::Float)),
+        Floor | Ceil | Sign | Length | DatePart | DateDiff => Some(DataType::Int),
+        Sqrt | Exp | Ln | Log | Power => Some(DataType::Float),
+        Mod => match (tys[0], tys.get(1).copied().flatten()) {
+            (Some(DataType::Int), Some(DataType::Int)) => Some(DataType::Int),
+            _ => Some(DataType::Float),
+        },
+        Greatest | Least | Coalesce => {
+            let mut acc = None;
+            for &t in tys {
+                acc = unify_opt(acc, t);
+            }
+            acc
+        }
+        Nullif => tys[0],
+        Concat | Upper | Lower | Trim | LTrim | RTrim | Left | Right | Substring | Replace
+        | SplitPart | Lpad | Rpad | Repeat => Some(DataType::Text),
+        Contains | StartsWith | EndsWith => Some(DataType::Bool),
+        DateTrunc => tys[1].or(Some(DataType::Date)),
+        DateAdd => tys[2].or(Some(DataType::Date)),
+        MakeDate | CurrentDate => Some(DataType::Date),
+        CurrentTimestamp => Some(DataType::Timestamp),
+    }
+}
+
+// ---------------------------------------------------------------------
+// evaluation
+// ---------------------------------------------------------------------
+
+/// Evaluate an expression over a batch, producing one column.
+pub fn eval(expr: &PhysExpr, batch: &Batch, ctx: &EvalCtx) -> Result<Column, CdwError> {
+    let rows = batch.num_rows();
+    let input_types: Vec<DataType> =
+        batch.schema().fields().iter().map(|f| f.dtype).collect();
+    let out_type = infer_type(expr, &input_types)?.unwrap_or(DataType::Text);
+    match expr {
+        PhysExpr::Col(i) => {
+            let col = batch.column(*i);
+            return Ok(col.clone());
+        }
+        PhysExpr::Literal(v) => {
+            let mut b = ColumnBuilder::new(out_type, rows);
+            for _ in 0..rows {
+                b.push(v.clone()).map_err(CdwError::from)?;
+            }
+            return Ok(b.finish());
+        }
+        // Fast path: numeric binary ops over two evaluated columns.
+        PhysExpr::Binary { op, left, right } => {
+            let l = eval(left, batch, ctx)?;
+            let r = eval(right, batch, ctx)?;
+            return eval_binary_columns(*op, &l, &r, out_type);
+        }
+        _ => {}
+    }
+    // General path: evaluate sub-expressions to columns, then combine
+    // row-wise.
+    let mut b = ColumnBuilder::new(out_type, rows);
+    match expr {
+        PhysExpr::Unary { op, expr } => {
+            let c = eval(expr, batch, ctx)?;
+            for i in 0..rows {
+                b.push(eval_unary_value(*op, c.value(i))?)
+                    .map_err(CdwError::from)?;
+            }
+        }
+        PhysExpr::Func { func, args } => {
+            let cols: Vec<Column> = args
+                .iter()
+                .map(|a| eval(a, batch, ctx))
+                .collect::<Result<_, _>>()?;
+            let mut argv: Vec<Value> = Vec::with_capacity(cols.len());
+            for i in 0..rows {
+                argv.clear();
+                argv.extend(cols.iter().map(|c| c.value(i)));
+                b.push(eval_func_value(*func, &argv, ctx)?)
+                    .map_err(CdwError::from)?;
+            }
+            if rows == 0 && cols.is_empty() {
+                // zero-arg funcs over empty batches: nothing to do
+            }
+        }
+        PhysExpr::Case { operand, whens, else_ } => {
+            let op_col = operand
+                .as_ref()
+                .map(|o| eval(o, batch, ctx))
+                .transpose()?;
+            let when_cols: Vec<(Column, Column)> = whens
+                .iter()
+                .map(|(w, t)| Ok::<_, CdwError>((eval(w, batch, ctx)?, eval(t, batch, ctx)?)))
+                .collect::<Result<_, _>>()?;
+            let else_col = else_.as_ref().map(|e| eval(e, batch, ctx)).transpose()?;
+            for i in 0..rows {
+                let mut result = Value::Null;
+                let mut matched = false;
+                for (w, t) in &when_cols {
+                    let hit = match &op_col {
+                        Some(op) => {
+                            let ov = op.value(i);
+                            let wv = w.value(i);
+                            !ov.is_null() && !wv.is_null() && ov.sql_eq(&wv)
+                        }
+                        None => w.value(i) == Value::Bool(true),
+                    };
+                    if hit {
+                        result = t.value(i);
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    if let Some(e) = &else_col {
+                        result = e.value(i);
+                    }
+                }
+                b.push(result).map_err(CdwError::from)?;
+            }
+        }
+        PhysExpr::Cast { expr, dtype } => {
+            let c = eval(expr, batch, ctx)?;
+            for i in 0..rows {
+                // Dirty-cast isolation: unparseable cells become NULL.
+                let v = sigma_value::column::cast_value(c.value(i), *dtype)
+                    .unwrap_or(Value::Null);
+                b.push(v).map_err(CdwError::from)?;
+            }
+        }
+        PhysExpr::InList { expr, list, negated } => {
+            let c = eval(expr, batch, ctx)?;
+            let list_cols: Vec<Column> = list
+                .iter()
+                .map(|l| eval(l, batch, ctx))
+                .collect::<Result<_, _>>()?;
+            for i in 0..rows {
+                let v = c.value(i);
+                if v.is_null() {
+                    b.push_null();
+                    continue;
+                }
+                let mut found = false;
+                let mut saw_null = false;
+                for lc in &list_cols {
+                    let lv = lc.value(i);
+                    if lv.is_null() {
+                        saw_null = true;
+                    } else if v.sql_eq(&lv) {
+                        found = true;
+                        break;
+                    }
+                }
+                let out = if found {
+                    Some(!negated)
+                } else if saw_null {
+                    None
+                } else {
+                    Some(*negated)
+                };
+                match out {
+                    Some(x) => b.push(Value::Bool(x)).map_err(CdwError::from)?,
+                    None => b.push_null(),
+                }
+            }
+        }
+        PhysExpr::Between { expr, low, high, negated } => {
+            let c = eval(expr, batch, ctx)?;
+            let lo = eval(low, batch, ctx)?;
+            let hi = eval(high, batch, ctx)?;
+            for i in 0..rows {
+                let (v, l, h) = (c.value(i), lo.value(i), hi.value(i));
+                if v.is_null() || l.is_null() || h.is_null() {
+                    b.push_null();
+                    continue;
+                }
+                let inside = v.total_cmp(&l) != Ordering::Less
+                    && v.total_cmp(&h) != Ordering::Greater;
+                b.push(Value::Bool(inside != *negated)).map_err(CdwError::from)?;
+            }
+        }
+        PhysExpr::IsNull { expr, negated } => {
+            let c = eval(expr, batch, ctx)?;
+            for i in 0..rows {
+                b.push(Value::Bool(c.is_null(i) != *negated))
+                    .map_err(CdwError::from)?;
+            }
+        }
+        PhysExpr::Like { expr, pattern, negated } => {
+            let c = eval(expr, batch, ctx)?;
+            let p = eval(pattern, batch, ctx)?;
+            for i in 0..rows {
+                let (v, pv) = (c.value(i), p.value(i));
+                match (v.as_text(), pv.as_text()) {
+                    (Some(s), Some(pat)) => {
+                        b.push(Value::Bool(like_match(s, pat) != *negated))
+                            .map_err(CdwError::from)?;
+                    }
+                    _ => b.push_null(),
+                }
+            }
+        }
+        PhysExpr::Literal(_) | PhysExpr::Col(_) | PhysExpr::Binary { .. } => unreachable!(),
+    }
+    Ok(b.finish())
+}
+
+/// SQL LIKE with `%` and `_` wildcards (no escape syntax).
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    // Iterative wildcard matching with backtracking on the last `%`.
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star, mut star_si) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = pi;
+            star_si = si;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            star_si += 1;
+            si = star_si;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+fn eval_unary_value(op: UnOp, v: Value) -> Result<Value, CdwError> {
+    Ok(match op {
+        UnOp::Neg => match v {
+            Value::Null => Value::Null,
+            Value::Int(i) => Value::Int(-i),
+            Value::Float(f) => Value::Float(-f),
+            other => {
+                return Err(CdwError::exec(format!("cannot negate {}", other.render())))
+            }
+        },
+        UnOp::Not => match v {
+            Value::Null => Value::Null,
+            Value::Bool(b) => Value::Bool(!b),
+            other => return Err(CdwError::exec(format!("NOT of non-boolean {}", other.render()))),
+        },
+    })
+}
+
+/// Columnar binary evaluation with fast paths for Int/Float slices.
+fn eval_binary_columns(
+    op: BinOp,
+    l: &Column,
+    r: &Column,
+    out_type: DataType,
+) -> Result<Column, CdwError> {
+    let rows = l.len();
+    // Fast path: Int op Int arithmetic with no nulls.
+    if l.null_count() == 0 && r.null_count() == 0 {
+        if let (Some(a), Some(b)) = (l.ints(), r.ints()) {
+            match op {
+                BinOp::Add => {
+                    return Ok(Column::from_ints(
+                        a.iter().zip(b).map(|(x, y)| x.wrapping_add(*y)).collect(),
+                    ))
+                }
+                BinOp::Sub => {
+                    return Ok(Column::from_ints(
+                        a.iter().zip(b).map(|(x, y)| x.wrapping_sub(*y)).collect(),
+                    ))
+                }
+                BinOp::Mul => {
+                    return Ok(Column::from_ints(
+                        a.iter().zip(b).map(|(x, y)| x.wrapping_mul(*y)).collect(),
+                    ))
+                }
+                BinOp::Lt => {
+                    return Ok(Column::from_bools(
+                        a.iter().zip(b).map(|(x, y)| x < y).collect(),
+                    ))
+                }
+                BinOp::Gt => {
+                    return Ok(Column::from_bools(
+                        a.iter().zip(b).map(|(x, y)| x > y).collect(),
+                    ))
+                }
+                BinOp::Eq => {
+                    return Ok(Column::from_bools(
+                        a.iter().zip(b).map(|(x, y)| x == y).collect(),
+                    ))
+                }
+                _ => {}
+            }
+        }
+        if let (Some(a), Some(b)) = (l.floats(), r.floats()) {
+            match op {
+                BinOp::Add => {
+                    return Ok(Column::from_floats(
+                        a.iter().zip(b).map(|(x, y)| x + y).collect(),
+                    ))
+                }
+                BinOp::Sub => {
+                    return Ok(Column::from_floats(
+                        a.iter().zip(b).map(|(x, y)| x - y).collect(),
+                    ))
+                }
+                BinOp::Mul => {
+                    return Ok(Column::from_floats(
+                        a.iter().zip(b).map(|(x, y)| x * y).collect(),
+                    ))
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut builder = ColumnBuilder::new(out_type, rows);
+    for i in 0..rows {
+        builder
+            .push(eval_binary_value(op, l.value(i), r.value(i))?)
+            .map_err(CdwError::from)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Scalar binary kernel with SQL null semantics (three-valued logic for
+/// AND/OR; null-propagating otherwise).
+pub fn eval_binary_value(op: BinOp, l: Value, r: Value) -> Result<Value, CdwError> {
+    use BinOp::*;
+    // AND/OR have non-strict null handling.
+    match op {
+        And => {
+            return Ok(match (l.as_bool(), r.as_bool(), l.is_null(), r.is_null()) {
+                (Some(false), _, _, _) | (_, Some(false), _, _) => Value::Bool(false),
+                (Some(true), Some(true), _, _) => Value::Bool(true),
+                _ => Value::Null,
+            })
+        }
+        Or => {
+            return Ok(match (l.as_bool(), r.as_bool()) {
+                (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            })
+        }
+        _ => {}
+    }
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        Add | Sub => {
+            // Temporal arithmetic in days.
+            match (&l, &r, op) {
+                (Value::Date(d), Value::Int(n), Add) => return Ok(Value::Date(d + *n as i32)),
+                (Value::Date(d), Value::Int(n), Sub) => return Ok(Value::Date(d - *n as i32)),
+                (Value::Int(n), Value::Date(d), Add) => return Ok(Value::Date(d + *n as i32)),
+                (Value::Timestamp(t), Value::Int(n), Add) => {
+                    return Ok(Value::Timestamp(t + *n * calendar::MICROS_PER_DAY))
+                }
+                (Value::Timestamp(t), Value::Int(n), Sub) => {
+                    return Ok(Value::Timestamp(t - *n * calendar::MICROS_PER_DAY))
+                }
+                (a, b, Sub) if a.dtype().is_some_and(|d| d.is_temporal())
+                    && b.dtype().is_some_and(|d| d.is_temporal()) =>
+                {
+                    let days = (a.as_micros().unwrap() - b.as_micros().unwrap())
+                        / calendar::MICROS_PER_DAY;
+                    return Ok(Value::Int(days));
+                }
+                _ => {}
+            }
+            numeric_arith(op, &l, &r)
+        }
+        Mul => numeric_arith(op, &l, &r),
+        Div => match (l.as_f64(), r.as_f64()) {
+            (Some(a), Some(b)) => {
+                if b == 0.0 {
+                    Ok(Value::Null) // cell-level error isolation
+                } else {
+                    Ok(Value::Float(a / b))
+                }
+            }
+            _ => Err(type_err("/", &l, &r)),
+        },
+        Mod => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Int(a.rem_euclid(*b)))
+                }
+            }
+            _ => match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => {
+                    if b == 0.0 {
+                        Ok(Value::Null)
+                    } else {
+                        Ok(Value::Float(a.rem_euclid(b)))
+                    }
+                }
+                _ => Err(type_err("%", &l, &r)),
+            },
+        },
+        Concat => Ok(Value::Text(format!("{}{}", l.render(), r.render()))),
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            if !comparable(&l, &r) {
+                return Err(type_err(op.symbol(), &l, &r));
+            }
+            let ord = l.total_cmp(&r);
+            let out = match op {
+                Eq => ord == Ordering::Equal,
+                NotEq => ord != Ordering::Equal,
+                Lt => ord == Ordering::Less,
+                LtEq => ord != Ordering::Greater,
+                Gt => ord == Ordering::Greater,
+                GtEq => ord != Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(out))
+        }
+        And | Or => unreachable!(),
+    }
+}
+
+fn comparable(l: &Value, r: &Value) -> bool {
+    match (l.dtype(), r.dtype()) {
+        (Some(a), Some(b)) => a.unify(b).is_some(),
+        _ => true,
+    }
+}
+
+fn type_err(op: &str, l: &Value, r: &Value) -> CdwError {
+    CdwError::exec(format!(
+        "cannot apply {op} to {} and {}",
+        l.dtype().map_or("NULL".into(), |d| d.to_string()),
+        r.dtype().map_or("NULL".into(), |d| d.to_string())
+    ))
+}
+
+fn numeric_arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, CdwError> {
+    use BinOp::*;
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(Value::Int(match op {
+            Add => a.wrapping_add(*b),
+            Sub => a.wrapping_sub(*b),
+            Mul => a.wrapping_mul(*b),
+            _ => unreachable!(),
+        })),
+        _ => match (l.as_f64(), r.as_f64()) {
+            (Some(a), Some(b)) => Ok(Value::Float(match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                _ => unreachable!(),
+            })),
+            _ => Err(type_err(op.symbol(), l, r)),
+        },
+    }
+}
+
+/// Scalar function kernel over one row of argument values.
+pub fn eval_func_value(func: ScalarFunc, args: &[Value], ctx: &EvalCtx) -> Result<Value, CdwError> {
+    use ScalarFunc::*;
+    // Null-propagating functions bail early; the exceptions handle nulls
+    // themselves.
+    let null_tolerant = matches!(func, Coalesce | Nullif | Concat | CurrentDate | CurrentTimestamp);
+    if !null_tolerant && args.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    let num = |i: usize| args[i].as_f64().ok_or_else(|| arg_err(func, i, &args[i]));
+    let int = |i: usize| args[i].as_i64().ok_or_else(|| arg_err(func, i, &args[i]));
+    let text = |i: usize| {
+        args[i]
+            .as_text()
+            .map(str::to_owned)
+            .ok_or_else(|| arg_err(func, i, &args[i]))
+    };
+    let unit = |i: usize| -> Result<DateUnit, CdwError> {
+        let s = args[i]
+            .as_text()
+            .ok_or_else(|| arg_err(func, i, &args[i]))?;
+        DateUnit::parse(s).ok_or_else(|| CdwError::exec(format!("unknown date unit {s:?}")))
+    };
+    Ok(match func {
+        Abs => match &args[0] {
+            Value::Int(i) => Value::Int(i.wrapping_abs()),
+            _ => Value::Float(num(0)?.abs()),
+        },
+        Round => {
+            let digits = if args.len() > 1 { int(1)? } else { 0 };
+            let factor = 10f64.powi(digits as i32);
+            match &args[0] {
+                Value::Int(i) if digits >= 0 => Value::Int(*i),
+                _ => Value::Float((num(0)? * factor).round() / factor),
+            }
+        }
+        Floor => Value::Int(num(0)?.floor() as i64),
+        Ceil => Value::Int(num(0)?.ceil() as i64),
+        Sqrt => {
+            let x = num(0)?;
+            if x < 0.0 {
+                Value::Null
+            } else {
+                Value::Float(x.sqrt())
+            }
+        }
+        Exp => Value::Float(num(0)?.exp()),
+        Ln => {
+            let x = num(0)?;
+            if x <= 0.0 {
+                Value::Null
+            } else {
+                Value::Float(x.ln())
+            }
+        }
+        Log => {
+            let x = num(0)?;
+            let base = if args.len() > 1 { num(1)? } else { 10.0 };
+            if x <= 0.0 || base <= 0.0 || base == 1.0 {
+                Value::Null
+            } else {
+                Value::Float(x.log(base))
+            }
+        }
+        Power => Value::Float(num(0)?.powf(num(1)?)),
+        Mod => eval_binary_value(BinOp::Mod, args[0].clone(), args[1].clone())?,
+        Sign => Value::Int(match num(0)? {
+            x if x > 0.0 => 1,
+            x if x < 0.0 => -1,
+            _ => 0,
+        }),
+        Greatest => args
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null),
+        Least => args
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null),
+        Concat => {
+            let mut s = String::new();
+            for a in args {
+                s.push_str(&a.render());
+            }
+            Value::Text(s)
+        }
+        Upper => Value::Text(text(0)?.to_uppercase()),
+        Lower => Value::Text(text(0)?.to_lowercase()),
+        Trim => Value::Text(text(0)?.trim().to_string()),
+        LTrim => Value::Text(text(0)?.trim_start().to_string()),
+        RTrim => Value::Text(text(0)?.trim_end().to_string()),
+        Length => Value::Int(text(0)?.chars().count() as i64),
+        Left => {
+            let s = text(0)?;
+            let n = int(1)?.max(0) as usize;
+            Value::Text(s.chars().take(n).collect())
+        }
+        Right => {
+            let s = text(0)?;
+            let n = int(1)?.max(0) as usize;
+            let len = s.chars().count();
+            Value::Text(s.chars().skip(len.saturating_sub(n)).collect())
+        }
+        Substring => {
+            let s = text(0)?;
+            let start = int(1)?;
+            let len = int(2)?.max(0) as usize;
+            let skip = (start.max(1) - 1) as usize;
+            Value::Text(s.chars().skip(skip).take(len).collect())
+        }
+        Contains => Value::Bool(text(0)?.contains(&text(1)?)),
+        StartsWith => Value::Bool(text(0)?.starts_with(&text(1)?)),
+        EndsWith => Value::Bool(text(0)?.ends_with(&text(1)?)),
+        Replace => Value::Text(text(0)?.replace(&text(1)?, &text(2)?)),
+        SplitPart => {
+            let s = text(0)?;
+            let delim = text(1)?;
+            let n = int(2)?;
+            if delim.is_empty() || n < 1 {
+                Value::Null
+            } else {
+                s.split(&delim)
+                    .nth((n - 1) as usize)
+                    .map(|p| Value::Text(p.to_string()))
+                    .unwrap_or(Value::Null)
+            }
+        }
+        Lpad | Rpad => {
+            let s = text(0)?;
+            let target = int(1)?.max(0) as usize;
+            let pad = if args.len() > 2 { text(2)? } else { " ".to_string() };
+            let len = s.chars().count();
+            if len >= target || pad.is_empty() {
+                Value::Text(s.chars().take(target).collect())
+            } else {
+                let fill: String = pad.chars().cycle().take(target - len).collect();
+                if func == Lpad {
+                    Value::Text(format!("{fill}{s}"))
+                } else {
+                    Value::Text(format!("{s}{fill}"))
+                }
+            }
+        }
+        Repeat => {
+            let s = text(0)?;
+            let n = int(1)?.clamp(0, 10_000) as usize;
+            Value::Text(s.repeat(n))
+        }
+        Coalesce => args
+            .iter()
+            .find(|a| !a.is_null())
+            .cloned()
+            .unwrap_or(Value::Null),
+        Nullif => {
+            if !args[0].is_null() && !args[1].is_null() && args[0].sql_eq(&args[1]) {
+                Value::Null
+            } else {
+                args[0].clone()
+            }
+        }
+        DateTrunc => {
+            let u = unit(0)?;
+            match &args[1] {
+                Value::Date(d) => Value::Date(calendar::trunc_date(*d, u)),
+                Value::Timestamp(t) => Value::Timestamp(calendar::trunc_timestamp(*t, u)),
+                other => return Err(arg_err(func, 1, other)),
+            }
+        }
+        DatePart => {
+            let u = unit(0)?;
+            match &args[1] {
+                Value::Date(d) => Value::Int(calendar::date_part(*d, u)),
+                Value::Timestamp(t) => Value::Int(calendar::timestamp_part(*t, u)),
+                other => return Err(arg_err(func, 1, other)),
+            }
+        }
+        DateAdd => {
+            let u = unit(0)?;
+            let n = int(1)?;
+            match &args[2] {
+                Value::Date(d) => Value::Date(calendar::date_add(*d, u, n)),
+                Value::Timestamp(t) => Value::Timestamp(calendar::timestamp_add(*t, u, n)),
+                other => return Err(arg_err(func, 2, other)),
+            }
+        }
+        DateDiff => {
+            let u = unit(0)?;
+            match (&args[1], &args[2]) {
+                (Value::Date(a), Value::Date(b)) => Value::Int(calendar::date_diff(*a, *b, u)),
+                (a, b) => {
+                    let (am, bm) = (a.as_micros(), b.as_micros());
+                    match (am, bm) {
+                        (Some(am), Some(bm)) => {
+                            Value::Int(calendar::timestamp_diff(am, bm, u))
+                        }
+                        _ => return Err(arg_err(func, 1, a)),
+                    }
+                }
+            }
+        }
+        MakeDate => {
+            let (y, m, d) = (int(0)? as i32, int(1)?, int(2)?);
+            if !(1..=12).contains(&m) {
+                Value::Null
+            } else {
+                let m = m as u32;
+                if d < 1 || d as u32 > calendar::last_day_of_month(y, m) {
+                    Value::Null
+                } else {
+                    Value::Date(calendar::days_from_civil(y, m, d as u32))
+                }
+            }
+        }
+        CurrentDate => Value::Date((ctx.now_micros / calendar::MICROS_PER_DAY) as i32),
+        CurrentTimestamp => Value::Timestamp(ctx.now_micros),
+    })
+}
+
+fn arg_err(func: ScalarFunc, i: usize, v: &Value) -> CdwError {
+    CdwError::exec(format!(
+        "{func:?}: argument {i} has unexpected type {}",
+        v.dtype().map_or("NULL".into(), |d| d.to_string())
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_value::{Field, Schema};
+    use std::sync::Arc;
+
+    fn batch() -> Batch {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+            Field::new("t", DataType::Text),
+            Field::new("f", DataType::Float),
+        ]));
+        Batch::new(
+            schema,
+            vec![
+                Column::from_ints(vec![1, 2, 3]),
+                Column::from_opt_ints(vec![Some(10), None, Some(30)]),
+                Column::from_texts(vec!["alpha".into(), "Beta".into(), "x,y".into()]),
+                Column::from_floats(vec![1.5, 2.5, -3.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn ev(e: &PhysExpr) -> Column {
+        eval(e, &batch(), &EvalCtx::default()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_fast_path_and_nulls() {
+        let e = PhysExpr::Binary {
+            op: BinOp::Add,
+            left: Box::new(PhysExpr::Col(0)),
+            right: Box::new(PhysExpr::Col(1)),
+        };
+        let c = ev(&e);
+        assert_eq!(c.value(0), Value::Int(11));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::Int(33));
+    }
+
+    #[test]
+    fn division_by_zero_isolates() {
+        let e = PhysExpr::Binary {
+            op: BinOp::Div,
+            left: Box::new(PhysExpr::Col(0)),
+            right: Box::new(PhysExpr::lit(0i64)),
+        };
+        let c = ev(&e);
+        assert!(c.is_null(0));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        // null AND false = false; null AND true = null; null OR true = true.
+        let null = PhysExpr::Literal(Value::Null);
+        let f = PhysExpr::lit(false);
+        let t = PhysExpr::lit(true);
+        let and_nf = PhysExpr::Binary {
+            op: BinOp::And,
+            left: Box::new(null.clone()),
+            right: Box::new(f),
+        };
+        assert_eq!(ev(&and_nf).value(0), Value::Bool(false));
+        let and_nt = PhysExpr::Binary {
+            op: BinOp::And,
+            left: Box::new(null.clone()),
+            right: Box::new(t.clone()),
+        };
+        assert!(ev(&and_nt).is_null(0));
+        let or_nt = PhysExpr::Binary { op: BinOp::Or, left: Box::new(null), right: Box::new(t) };
+        assert_eq!(ev(&or_nt).value(0), Value::Bool(true));
+    }
+
+    #[test]
+    fn string_functions() {
+        let upper = PhysExpr::Func {
+            func: ScalarFunc::Upper,
+            args: vec![PhysExpr::Col(2)],
+        };
+        assert_eq!(ev(&upper).value(0), Value::Text("ALPHA".into()));
+        let left = PhysExpr::Func {
+            func: ScalarFunc::Left,
+            args: vec![PhysExpr::Col(2), PhysExpr::lit(2i64)],
+        };
+        assert_eq!(ev(&left).value(1), Value::Text("Be".into()));
+        let split = PhysExpr::Func {
+            func: ScalarFunc::SplitPart,
+            args: vec![PhysExpr::Col(2), PhysExpr::lit(","), PhysExpr::lit(2i64)],
+        };
+        assert_eq!(ev(&split).value(2), Value::Text("y".into()));
+        assert!(ev(&split).is_null(0)); // "alpha" has no second field
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("alpha", "al%"));
+        assert!(like_match("alpha", "%pha"));
+        assert!(like_match("alpha", "a_pha"));
+        assert!(!like_match("alpha", "beta%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("a%b", "a%b"));
+    }
+
+    #[test]
+    fn date_functions() {
+        let d = calendar::days_from_civil(2019, 8, 17);
+        let trunc = PhysExpr::Func {
+            func: ScalarFunc::DateTrunc,
+            args: vec![PhysExpr::lit("quarter"), PhysExpr::Literal(Value::Date(d))],
+        };
+        let c = ev(&trunc);
+        assert_eq!(c.value(0), Value::Date(calendar::days_from_civil(2019, 7, 1)));
+        let bad = PhysExpr::Func {
+            func: ScalarFunc::MakeDate,
+            args: vec![PhysExpr::lit(2021i64), PhysExpr::lit(2i64), PhysExpr::lit(29i64)],
+        };
+        assert!(ev(&bad).is_null(0));
+    }
+
+    #[test]
+    fn cast_isolation() {
+        let c = PhysExpr::Cast {
+            expr: Box::new(PhysExpr::Col(2)),
+            dtype: DataType::Int,
+        };
+        // None of "alpha"/"Beta"/"x,y" parse as ints -> NULLs, not errors.
+        let out = ev(&c);
+        assert_eq!(out.null_count(), 3);
+    }
+
+    #[test]
+    fn case_simple_and_searched() {
+        let searched = PhysExpr::Case {
+            operand: None,
+            whens: vec![(
+                PhysExpr::Binary {
+                    op: BinOp::Gt,
+                    left: Box::new(PhysExpr::Col(0)),
+                    right: Box::new(PhysExpr::lit(1i64)),
+                },
+                PhysExpr::lit("big"),
+            )],
+            else_: Some(Box::new(PhysExpr::lit("small"))),
+        };
+        let c = ev(&searched);
+        assert_eq!(c.value(0), Value::Text("small".into()));
+        assert_eq!(c.value(2), Value::Text("big".into()));
+        let simple = PhysExpr::Case {
+            operand: Some(Box::new(PhysExpr::Col(0))),
+            whens: vec![(PhysExpr::lit(2i64), PhysExpr::lit("two"))],
+            else_: None,
+        };
+        let c2 = ev(&simple);
+        assert!(c2.is_null(0));
+        assert_eq!(c2.value(1), Value::Text("two".into()));
+    }
+
+    #[test]
+    fn in_list_three_valued() {
+        // 1 IN (1, NULL) = true; 2 IN (1, NULL) = NULL; 2 IN (1, 3) = false.
+        let mk = |v: i64, list: Vec<PhysExpr>| PhysExpr::InList {
+            expr: Box::new(PhysExpr::lit(v)),
+            list,
+            negated: false,
+        };
+        let t = mk(1, vec![PhysExpr::lit(1i64), PhysExpr::Literal(Value::Null)]);
+        assert_eq!(ev(&t).value(0), Value::Bool(true));
+        let n = mk(2, vec![PhysExpr::lit(1i64), PhysExpr::Literal(Value::Null)]);
+        assert!(ev(&n).is_null(0));
+        let f = mk(2, vec![PhysExpr::lit(1i64), PhysExpr::lit(3i64)]);
+        assert_eq!(ev(&f).value(0), Value::Bool(false));
+    }
+
+    #[test]
+    fn type_inference_matches_eval() {
+        let input = [DataType::Int, DataType::Int, DataType::Text, DataType::Float];
+        let div = PhysExpr::Binary {
+            op: BinOp::Div,
+            left: Box::new(PhysExpr::Col(0)),
+            right: Box::new(PhysExpr::Col(1)),
+        };
+        assert_eq!(infer_type(&div, &input).unwrap(), Some(DataType::Float));
+        assert_eq!(ev(&div).dtype(), DataType::Float);
+        let concat = PhysExpr::Binary {
+            op: BinOp::Concat,
+            left: Box::new(PhysExpr::Col(2)),
+            right: Box::new(PhysExpr::Col(0)),
+        };
+        assert_eq!(ev(&concat).value(0), Value::Text("alpha1".into()));
+    }
+
+    #[test]
+    fn current_date_uses_session_clock() {
+        let e = PhysExpr::Func { func: ScalarFunc::CurrentDate, args: vec![] };
+        let c = eval(&e, &batch(), &EvalCtx::default()).unwrap();
+        assert_eq!(c.value(0), Value::Date(calendar::days_from_civil(2020, 6, 1)));
+    }
+}

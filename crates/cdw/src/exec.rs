@@ -1,0 +1,640 @@
+//! The vectorized executor: [`Plan`] → [`Batch`].
+//!
+//! Operators materialize whole batches. Scan → Filter → Project chains run
+//! partition-parallel (crossbeam scoped threads) when the warehouse is
+//! configured with `parallelism > 1` — the knob the scalability experiment
+//! (E8) sweeps. Everything downstream (joins, aggregation, windows, sorts)
+//! runs single-threaded on the concatenated result.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sigma_sql::JoinKind;
+use sigma_value::{hash, sort, Batch, Column, ColumnBuilder, DataType, Schema, Value};
+
+use crate::catalog::Catalog;
+use crate::error::CdwError;
+use crate::eval::{eval, EvalCtx, PhysExpr};
+use crate::plan::{AggCall, AggFunc, Plan};
+use crate::window::compute_window;
+
+/// Execution context (read access to storage plus settings).
+pub struct ExecCtx<'a> {
+    pub catalog: &'a Catalog,
+    pub results: &'a HashMap<String, Batch>,
+    pub eval: EvalCtx,
+    /// Worker threads for partition-parallel stages (1 = serial).
+    pub parallelism: usize,
+}
+
+/// Counters accumulated during one query execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    pub rows_scanned: usize,
+    pub partitions_scanned: usize,
+}
+
+/// Execute a plan to a single batch.
+pub fn execute(plan: &Plan, ctx: &ExecCtx, stats: &mut ExecStats) -> Result<Batch, CdwError> {
+    let parts = execute_parts(plan, ctx, stats)?;
+    match parts.len() {
+        0 => Ok(Batch::empty(plan.schema())),
+        1 => Ok(parts.into_iter().next().unwrap()),
+        _ => {
+            let refs: Vec<&Batch> = parts.iter().collect();
+            Batch::concat(&refs).map_err(CdwError::from)
+        }
+    }
+}
+
+/// Execute retaining partition structure for the parallel-friendly prefix
+/// (Scan / Filter / Project); all other operators collapse to one batch.
+fn execute_parts(
+    plan: &Plan,
+    ctx: &ExecCtx,
+    stats: &mut ExecStats,
+) -> Result<Vec<Batch>, CdwError> {
+    match plan {
+        Plan::Scan { table, .. } => {
+            let stored = ctx.catalog.get(table)?;
+            stats.rows_scanned += stored.num_rows();
+            stats.partitions_scanned += stored.partitions().len();
+            Ok(stored.partitions().to_vec())
+        }
+        Plan::ResultScan { id, .. } => {
+            let batch = ctx
+                .results
+                .get(id)
+                .ok_or_else(|| CdwError::catalog(format!("persisted result not found: {id}")))?;
+            Ok(vec![batch.clone()])
+        }
+        Plan::Values { batch } => Ok(vec![batch.clone()]),
+        Plan::Filter { input, predicate } => {
+            let parts = execute_parts(input, ctx, stats)?;
+            par_map(ctx, parts, |b| {
+                let mask_col = eval(predicate, &b, &ctx.eval)?;
+                let mask: Vec<bool> = (0..b.num_rows())
+                    .map(|i| mask_col.value(i) == Value::Bool(true))
+                    .collect();
+                Ok(b.filter(&mask))
+            })
+        }
+        Plan::Project { input, exprs, schema } => {
+            let parts = execute_parts(input, ctx, stats)?;
+            let exprs = exprs.clone();
+            let schema = schema.clone();
+            par_map(ctx, parts, move |b| {
+                let cols: Vec<Column> = exprs
+                    .iter()
+                    .zip(schema.fields())
+                    .map(|(e, f)| coerce_column(eval(e, &b, &ctx.eval)?, f.dtype))
+                    .collect::<Result<_, _>>()?;
+                Batch::new(schema.clone(), cols).map_err(CdwError::from)
+            })
+        }
+        Plan::Aggregate { input, groups, aggs, schema } => {
+            let batch = execute(input, ctx, stats)?;
+            Ok(vec![aggregate(&batch, groups, aggs, schema, &ctx.eval)?])
+        }
+        Plan::Window { input, calls, schema } => {
+            let batch = execute(input, ctx, stats)?;
+            let mut cols: Vec<Column> = batch.columns().to_vec();
+            for (i, call) in calls.iter().enumerate() {
+                let out_type = schema.field(batch.num_columns() + i).dtype;
+                cols.push(compute_window(call, &batch, out_type, &ctx.eval)?);
+            }
+            Ok(vec![Batch::new(schema.clone(), cols)?])
+        }
+        Plan::Join { left, right, kind, left_keys, right_keys, residual, schema } => {
+            let l = execute(left, ctx, stats)?;
+            let r = execute(right, ctx, stats)?;
+            Ok(vec![hash_join(
+                &l, &r, *kind, left_keys, right_keys, residual.as_ref(), schema, &ctx.eval,
+            )?])
+        }
+        Plan::Sort { input, keys } => {
+            let batch = execute(input, ctx, stats)?;
+            let key_cols: Vec<Column> = keys
+                .iter()
+                .map(|k| eval(&k.expr, &batch, &ctx.eval))
+                .collect::<Result<_, _>>()?;
+            let refs: Vec<&Column> = key_cols.iter().collect();
+            let sort_keys: Vec<sort::SortKey> = keys
+                .iter()
+                .map(|k| sort::SortKey {
+                    descending: k.descending,
+                    nulls_last: k.nulls_last.unwrap_or(k.descending),
+                })
+                .collect();
+            let idx = sort::sort_indices(&refs, &sort_keys);
+            Ok(vec![batch.take(&idx)])
+        }
+        Plan::Limit { input, limit, offset } => {
+            let batch = execute(input, ctx, stats)?;
+            let start = (*offset as usize).min(batch.num_rows());
+            let len = match limit {
+                Some(l) => (*l as usize).min(batch.num_rows() - start),
+                None => batch.num_rows() - start,
+            };
+            Ok(vec![batch.slice(start, len)])
+        }
+        Plan::UnionAll { inputs, schema } => {
+            let mut parts = Vec::new();
+            for input in inputs {
+                let b = execute(input, ctx, stats)?;
+                // Re-tag with the union schema (names from the first input).
+                parts.push(Batch::new(schema.clone(), b.columns().to_vec())?);
+            }
+            Ok(parts)
+        }
+        Plan::Distinct { input } => {
+            let batch = execute(input, ctx, stats)?;
+            let refs: Vec<&Column> = batch.columns().iter().collect();
+            let mut seen = std::collections::HashSet::new();
+            let mut keep = Vec::new();
+            let mut key = Vec::new();
+            for row in 0..batch.num_rows() {
+                key.clear();
+                hash::encode_key(&refs, row, &mut key);
+                if seen.insert(key.clone()) {
+                    keep.push(row);
+                }
+            }
+            Ok(vec![batch.take(&keep)])
+        }
+    }
+}
+
+/// Coerce an evaluated column to the declared output type (Int -> Float and
+/// Date -> Timestamp widening; all-null columns adopt the target type).
+fn coerce_column(col: Column, target: DataType) -> Result<Column, CdwError> {
+    if col.dtype() == target {
+        return Ok(col);
+    }
+    // Columns that are entirely null can be retyped freely; typed columns
+    // may widen (the cast kernels handle Int->Float and Date->Timestamp).
+    col.cast(target).map_err(CdwError::from)
+}
+
+/// Map over partitions, in parallel when configured and worthwhile.
+fn par_map<F>(ctx: &ExecCtx, parts: Vec<Batch>, f: F) -> Result<Vec<Batch>, CdwError>
+where
+    F: Fn(Batch) -> Result<Batch, CdwError> + Sync,
+{
+    if ctx.parallelism <= 1 || parts.len() <= 1 {
+        return parts.into_iter().map(f).collect();
+    }
+    let n = parts.len();
+    let threads = ctx.parallelism.min(n);
+    let inputs: Vec<(usize, Batch)> = parts.into_iter().enumerate().collect();
+    let mut chunks: Vec<Vec<(usize, Batch)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in inputs.into_iter().enumerate() {
+        chunks[i % threads].push(item);
+    }
+    // Each worker owns its chunk and returns its results; no shared state.
+    let per_thread: Vec<Vec<(usize, Result<Batch, CdwError>)>> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let f = &f;
+                    scope.spawn(move |_| {
+                        chunk
+                            .into_iter()
+                            .map(|(i, batch)| (i, f(batch)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker does not panic"))
+                .collect()
+        })
+        .map_err(|_| CdwError::exec("parallel worker panicked"))?;
+    let mut results: Vec<Option<Result<Batch, CdwError>>> = Vec::new();
+    results.resize_with(n, || None);
+    for chunk in per_thread {
+        for (i, r) in chunk {
+            results[i] = Some(r);
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// aggregation
+// ---------------------------------------------------------------------
+
+/// Per-group aggregate state.
+#[derive(Debug)]
+pub enum AggState {
+    CountStar(i64),
+    Count(i64),
+    CountDistinct(std::collections::HashSet<Vec<u8>>),
+    SumInt { sum: i64, any: bool },
+    SumFloat { sum: f64, any: bool },
+    Avg { sum: f64, count: i64 },
+    MinMax { best: Option<Value>, is_min: bool },
+    Collect { values: Vec<f64>, frac: f64, median: bool },
+    Welford { n: i64, mean: f64, m2: f64, variance: bool },
+    Attr { value: Option<Value>, conflicted: bool },
+}
+
+impl AggState {
+    pub fn new(func: &AggFunc) -> AggState {
+        match func {
+            AggFunc::CountStar => AggState::CountStar(0),
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::CountDistinct => AggState::CountDistinct(Default::default()),
+            // Int-ness is decided at finish time by what was accumulated.
+            AggFunc::Sum => AggState::SumFloat { sum: 0.0, any: false },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggFunc::Min => AggState::MinMax { best: None, is_min: true },
+            AggFunc::Max => AggState::MinMax { best: None, is_min: false },
+            AggFunc::Median => AggState::Collect { values: Vec::new(), frac: 0.5, median: true },
+            AggFunc::Percentile(p) => {
+                AggState::Collect { values: Vec::new(), frac: *p, median: false }
+            }
+            AggFunc::StdDev => AggState::Welford { n: 0, mean: 0.0, m2: 0.0, variance: false },
+            AggFunc::Variance => AggState::Welford { n: 0, mean: 0.0, m2: 0.0, variance: true },
+            AggFunc::Attr => AggState::Attr { value: None, conflicted: false },
+        }
+    }
+
+    /// Sum over an Int column keeps Int output.
+    pub fn new_for(func: &AggFunc, arg_type: Option<DataType>) -> AggState {
+        match (func, arg_type) {
+            (AggFunc::Sum, Some(DataType::Int)) => AggState::SumInt { sum: 0, any: false },
+            _ => AggState::new(func),
+        }
+    }
+
+    pub fn update(&mut self, v: &Value) {
+        match self {
+            AggState::CountStar(n) => *n += 1,
+            AggState::Count(n) => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            AggState::CountDistinct(set) => {
+                if !v.is_null() {
+                    let mut key = Vec::new();
+                    hash::encode_value(v, &mut key);
+                    set.insert(key);
+                }
+            }
+            AggState::SumInt { sum, any } => {
+                if let Some(x) = v.as_i64() {
+                    *sum = sum.wrapping_add(x);
+                    *any = true;
+                }
+            }
+            AggState::SumFloat { sum, any } => {
+                if let Some(x) = v.as_f64() {
+                    *sum += x;
+                    *any = true;
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if let Some(x) = v.as_f64() {
+                    *sum += x;
+                    *count += 1;
+                }
+            }
+            AggState::MinMax { best, is_min } => {
+                if !v.is_null() {
+                    let replace = match best {
+                        None => true,
+                        Some(b) => {
+                            let ord = v.total_cmp(b);
+                            if *is_min {
+                                ord == std::cmp::Ordering::Less
+                            } else {
+                                ord == std::cmp::Ordering::Greater
+                            }
+                        }
+                    };
+                    if replace {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Collect { values, .. } => {
+                if let Some(x) = v.as_f64() {
+                    values.push(x);
+                }
+            }
+            AggState::Welford { n, mean, m2, .. } => {
+                if let Some(x) = v.as_f64() {
+                    *n += 1;
+                    let delta = x - *mean;
+                    *mean += delta / *n as f64;
+                    *m2 += delta * (x - *mean);
+                }
+            }
+            AggState::Attr { value, conflicted } => {
+                if !v.is_null() && !*conflicted {
+                    match value {
+                        None => *value = Some(v.clone()),
+                        Some(prev) => {
+                            if !prev.sql_eq(v) {
+                                *conflicted = true;
+                                *value = None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn finish(self) -> Value {
+        match self {
+            AggState::CountStar(n) | AggState::Count(n) => Value::Int(n),
+            AggState::CountDistinct(set) => Value::Int(set.len() as i64),
+            AggState::SumInt { sum, any } => {
+                if any {
+                    Value::Int(sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumFloat { sum, any } => {
+                if any {
+                    Value::Float(sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / count as f64)
+                }
+            }
+            AggState::MinMax { best, .. } => best.unwrap_or(Value::Null),
+            AggState::Collect { mut values, frac, .. } => {
+                if values.is_empty() {
+                    return Value::Null;
+                }
+                values.sort_by(f64::total_cmp);
+                let rank = frac.clamp(0.0, 1.0) * (values.len() - 1) as f64;
+                let lo = rank.floor() as usize;
+                let hi = rank.ceil() as usize;
+                let v = if lo == hi {
+                    values[lo]
+                } else {
+                    values[lo] + (values[hi] - values[lo]) * (rank - lo as f64)
+                };
+                Value::Float(v)
+            }
+            AggState::Welford { n, m2, variance, .. } => {
+                if n < 2 {
+                    return Value::Null;
+                }
+                let var = m2 / (n - 1) as f64;
+                Value::Float(if variance { var } else { var.sqrt() })
+            }
+            AggState::Attr { value, .. } => value.unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn aggregate(
+    batch: &Batch,
+    groups: &[PhysExpr],
+    aggs: &[AggCall],
+    schema: &Arc<Schema>,
+    ctx: &EvalCtx,
+) -> Result<Batch, CdwError> {
+    let rows = batch.num_rows();
+    let group_cols: Vec<Column> = groups
+        .iter()
+        .map(|g| eval(g, batch, ctx))
+        .collect::<Result<_, _>>()?;
+    let arg_cols: Vec<Option<Column>> = aggs
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| eval(e, batch, ctx)).transpose())
+        .collect::<Result<_, _>>()?;
+
+    let mut group_index: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut representatives: Vec<usize> = Vec::new();
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+    let new_states = || -> Vec<AggState> {
+        aggs.iter()
+            .zip(&arg_cols)
+            .map(|(a, c)| AggState::new_for(&a.func, c.as_ref().map(|c| c.dtype())))
+            .collect()
+    };
+
+    if groups.is_empty() {
+        // Global aggregate: one group even over zero rows.
+        states.push(new_states());
+        representatives.push(0);
+        for row in 0..rows {
+            for (slot, state) in states[0].iter_mut().enumerate() {
+                match &arg_cols[slot] {
+                    Some(c) => state.update(&c.value(row)),
+                    None => state.update(&Value::Int(1)),
+                }
+            }
+        }
+    } else {
+        let refs: Vec<&Column> = group_cols.iter().collect();
+        let mut key = Vec::new();
+        for row in 0..rows {
+            key.clear();
+            hash::encode_key(&refs, row, &mut key);
+            let next = states.len();
+            let idx = *group_index.entry(key.clone()).or_insert(next);
+            if idx == states.len() {
+                states.push(new_states());
+                representatives.push(row);
+            }
+            for (slot, state) in states[idx].iter_mut().enumerate() {
+                match &arg_cols[slot] {
+                    Some(c) => state.update(&c.value(row)),
+                    None => state.update(&Value::Int(1)),
+                }
+            }
+        }
+    }
+
+    let ngroups = states.len();
+    let mut builders: Vec<ColumnBuilder> = schema
+        .fields()
+        .iter()
+        .map(|f| ColumnBuilder::new(f.dtype, ngroups))
+        .collect();
+    for (gi, state_row) in states.into_iter().enumerate() {
+        for (ci, gcol) in group_cols.iter().enumerate() {
+            let v = if groups.is_empty() {
+                Value::Null
+            } else {
+                gcol.value(representatives[gi])
+            };
+            builders[ci].push(v).map_err(CdwError::from)?;
+        }
+        for (si, state) in state_row.into_iter().enumerate() {
+            builders[group_cols.len() + si]
+                .push(state.finish())
+                .map_err(CdwError::from)?;
+        }
+    }
+    Batch::new(
+        schema.clone(),
+        builders.into_iter().map(|b| b.finish()).collect(),
+    )
+    .map_err(CdwError::from)
+}
+
+// ---------------------------------------------------------------------
+// joins
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    left: &Batch,
+    right: &Batch,
+    kind: JoinKind,
+    left_keys: &[PhysExpr],
+    right_keys: &[PhysExpr],
+    residual: Option<&PhysExpr>,
+    schema: &Arc<Schema>,
+    ctx: &EvalCtx,
+) -> Result<Batch, CdwError> {
+    let lrows = left.num_rows();
+    let rrows = right.num_rows();
+
+    // Candidate (left, right) pairs.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    if kind == JoinKind::Cross || left_keys.is_empty() {
+        for li in 0..lrows {
+            for ri in 0..rrows {
+                pairs.push((li, ri));
+            }
+        }
+    } else {
+        let lcols: Vec<Column> = left_keys
+            .iter()
+            .map(|k| eval(k, left, ctx))
+            .collect::<Result<_, _>>()?;
+        let rcols: Vec<Column> = right_keys
+            .iter()
+            .map(|k| eval(k, right, ctx))
+            .collect::<Result<_, _>>()?;
+        // SQL join keys never match on NULL.
+        let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+        let rrefs: Vec<&Column> = rcols.iter().collect();
+        let mut key = Vec::new();
+        for ri in 0..rrows {
+            if rrefs.iter().any(|c| c.is_null(ri)) {
+                continue;
+            }
+            key.clear();
+            hash::encode_key(&rrefs, ri, &mut key);
+            table.entry(key.clone()).or_default().push(ri);
+        }
+        let lrefs: Vec<&Column> = lcols.iter().collect();
+        for li in 0..lrows {
+            if lrefs.iter().any(|c| c.is_null(li)) {
+                continue;
+            }
+            key.clear();
+            hash::encode_key(&lrefs, li, &mut key);
+            if let Some(matches) = table.get(&key) {
+                for &ri in matches {
+                    pairs.push((li, ri));
+                }
+            }
+        }
+    }
+
+    // Residual filtering on the candidate pairs.
+    if let Some(pred) = residual {
+        if !pairs.is_empty() {
+            let lidx: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+            let ridx: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+            let candidate = hstack(schema, &left.take(&lidx), &right.take(&ridx))?;
+            let mask_col = eval(pred, &candidate, ctx)?;
+            let mut kept = Vec::with_capacity(pairs.len());
+            for (i, pair) in pairs.iter().enumerate() {
+                if mask_col.value(i) == Value::Bool(true) {
+                    kept.push(*pair);
+                }
+            }
+            pairs = kept;
+        }
+    }
+
+    let mut lidx: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+    let mut ridx: Vec<Option<usize>> = pairs.iter().map(|p| Some(p.1)).collect();
+
+    if matches!(kind, JoinKind::Left | JoinKind::Full) {
+        let mut matched_left = vec![false; lrows];
+        for &(li, _) in &pairs {
+            matched_left[li] = true;
+        }
+        for (li, m) in matched_left.iter().enumerate() {
+            if !m {
+                lidx.push(li);
+                ridx.push(None);
+            }
+        }
+    }
+    let mut extra_right: Vec<usize> = Vec::new();
+    if kind == JoinKind::Full {
+        let mut matched_right = vec![false; rrows];
+        for &(_, ri) in &pairs {
+            matched_right[ri] = true;
+        }
+        for (ri, m) in matched_right.iter().enumerate() {
+            if !m {
+                extra_right.push(ri);
+            }
+        }
+    }
+
+    // Assemble output columns.
+    let lwidth = left.num_columns();
+    let total = lidx.len() + extra_right.len();
+    let mut columns: Vec<Column> = Vec::with_capacity(schema.len());
+    for (c, field) in schema.fields().iter().enumerate() {
+        let mut b = ColumnBuilder::new(field.dtype, total);
+        if c < lwidth {
+            let src = left.column(c);
+            for &li in &lidx {
+                b.push(src.value(li)).map_err(CdwError::from)?;
+            }
+            for _ in &extra_right {
+                b.push_null();
+            }
+        } else {
+            let src = right.column(c - lwidth);
+            for ri in &ridx {
+                match ri {
+                    Some(ri) => b.push(src.value(*ri)).map_err(CdwError::from)?,
+                    None => b.push_null(),
+                }
+            }
+            for &ri in &extra_right {
+                b.push(src.value(ri)).map_err(CdwError::from)?;
+            }
+        }
+        columns.push(b.finish());
+    }
+    Batch::new(schema.clone(), columns).map_err(CdwError::from)
+}
+
+/// Horizontally stack two equal-length batches under the join schema.
+fn hstack(schema: &Arc<Schema>, left: &Batch, right: &Batch) -> Result<Batch, CdwError> {
+    let mut cols = left.columns().to_vec();
+    cols.extend(right.columns().iter().cloned());
+    Batch::new(schema.clone(), cols).map_err(CdwError::from)
+}

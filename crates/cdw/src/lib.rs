@@ -1,0 +1,34 @@
+//! An in-process cloud data warehouse simulator.
+//!
+//! The paper's Sigma service compiles workbook specs to SQL and executes
+//! them "directly on CDWs" (Snowflake, BigQuery, Redshift, PostgreSQL,
+//! Databricks). This crate is the stand-in for those engines: a columnar
+//! SQL warehouse with
+//!
+//! * a catalog and partitioned columnar storage,
+//! * a SQL front end (reusing `sigma-sql`'s parser),
+//! * a logical planner with name resolution and aggregate/window rewriting,
+//! * a rule-based optimizer (predicate pushdown, projection pruning,
+//!   constant folding),
+//! * a vectorized executor (optionally partition-parallel via crossbeam),
+//! * DDL/DML (materialization, CSV upload, editable-table edit propagation),
+//! * persisted result sets addressable by query id (`RESULT_SCAN`), which
+//!   the service's query-directory cache relies on (paper §4).
+//!
+//! The substitution rationale is recorded in DESIGN.md: the compiler's
+//! contract is SQL text, so any engine with standard semantics exercises
+//! the same code path as the production warehouses.
+
+pub mod catalog;
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod optimizer;
+pub mod plan;
+pub mod planner;
+pub mod session;
+pub mod storage;
+pub mod window;
+
+pub use error::CdwError;
+pub use session::{ResultSet, Warehouse, WarehouseConfig};

@@ -1,0 +1,514 @@
+//! The warehouse facade: parse → plan → optimize → execute, plus DDL/DML,
+//! persisted result sets, and the configuration knobs experiments sweep.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+use sigma_sql::{parse_statement, Dialect, Query, Statement};
+use sigma_value::{Batch, Value};
+
+use crate::catalog::{Catalog, TableStats};
+use crate::error::CdwError;
+use crate::eval::{self, EvalCtx, PhysExpr};
+use crate::exec::{execute, ExecCtx, ExecStats};
+use crate::optimizer::optimize;
+use crate::plan::Plan;
+use crate::planner::Planner;
+use crate::storage::DEFAULT_PARTITION_ROWS;
+
+/// Warehouse configuration.
+#[derive(Debug, Clone)]
+pub struct WarehouseConfig {
+    /// Worker threads for partition-parallel stages.
+    pub parallelism: usize,
+    /// Simulated per-query compute startup latency (models the cloud
+    /// warehouse's dispatch overhead; 0 for raw engine benchmarks).
+    pub query_overhead: Duration,
+    /// Session clock for CURRENT_DATE / CURRENT_TIMESTAMP.
+    pub now_micros: i64,
+    /// How many recent result sets to keep addressable via RESULT_SCAN.
+    pub max_persisted_results: usize,
+}
+
+impl Default for WarehouseConfig {
+    fn default() -> Self {
+        WarehouseConfig {
+            parallelism: 1,
+            query_overhead: Duration::ZERO,
+            now_micros: EvalCtx::default().now_micros,
+            max_persisted_results: 256,
+        }
+    }
+}
+
+/// One executed query's outcome.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    /// Warehouse-assigned id; pass to `RESULT_SCAN('<id>')` to re-fetch.
+    pub query_id: String,
+    pub batch: Batch,
+    pub rows_scanned: usize,
+    pub partitions_scanned: usize,
+    pub elapsed: Duration,
+    /// Number of rows affected, for DML (0 for queries).
+    pub rows_affected: usize,
+}
+
+/// An in-process cloud data warehouse.
+pub struct Warehouse {
+    catalog: RwLock<Catalog>,
+    /// Persisted result sets by query id (FIFO-capped).
+    results: RwLock<HashMap<String, Batch>>,
+    result_order: RwLock<Vec<String>>,
+    next_query_id: AtomicU64,
+    config: RwLock<WarehouseConfig>,
+    /// Total queries executed (for experiment bookkeeping).
+    queries_executed: AtomicU64,
+}
+
+impl Default for Warehouse {
+    fn default() -> Self {
+        Warehouse::new(WarehouseConfig::default())
+    }
+}
+
+impl Warehouse {
+    pub fn new(config: WarehouseConfig) -> Warehouse {
+        Warehouse {
+            catalog: RwLock::new(Catalog::new()),
+            results: RwLock::new(HashMap::new()),
+            result_order: RwLock::new(Vec::new()),
+            next_query_id: AtomicU64::new(1),
+            config: RwLock::new(config),
+            queries_executed: AtomicU64::new(0),
+        }
+    }
+
+    /// The dialect this warehouse parses (the generic superset).
+    pub fn dialect(&self) -> Dialect {
+        Dialect::generic()
+    }
+
+    pub fn config(&self) -> WarehouseConfig {
+        self.config.read().clone()
+    }
+
+    pub fn set_parallelism(&self, parallelism: usize) {
+        self.config.write().parallelism = parallelism.max(1);
+    }
+
+    pub fn set_query_overhead(&self, overhead: Duration) {
+        self.config.write().query_overhead = overhead;
+    }
+
+    /// Number of queries executed since startup (experiment counters).
+    pub fn queries_executed(&self) -> u64 {
+        self.queries_executed.load(Ordering::Relaxed)
+    }
+
+    /// Register a table directly from a batch (bulk load path).
+    pub fn load_table(&self, name: &str, batch: Batch) -> Result<(), CdwError> {
+        self.catalog
+            .write()
+            .create_table_from_batch(name, batch, true)
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.read().table_names()
+    }
+
+    pub fn table_stats(&self, name: &str) -> Result<TableStats, CdwError> {
+        self.catalog.read().stats(name)
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.catalog.read().contains(name)
+    }
+
+    /// Schema of a stored table.
+    pub fn table_schema(&self, name: &str) -> Option<std::sync::Arc<sigma_value::Schema>> {
+        self.catalog.read().get(name).ok().map(|t| t.schema().clone())
+    }
+
+    /// Output schema of a query, derived by planning it (used by the
+    /// service to type raw-SQL workbook sources without executing them).
+    pub fn query_schema(&self, sql: &str) -> Result<std::sync::Arc<sigma_value::Schema>, CdwError> {
+        Ok(self.plan_sql(sql)?.schema())
+    }
+
+    /// Fetch a persisted result set by query id (the query-directory
+    /// cache's re-fetch path).
+    pub fn persisted_result(&self, query_id: &str) -> Option<Batch> {
+        self.results.read().get(query_id).cloned()
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute_sql(&self, sql: &str) -> Result<ResultSet, CdwError> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute an already parsed statement.
+    pub fn execute_statement(&self, stmt: &Statement) -> Result<ResultSet, CdwError> {
+        let started = Instant::now();
+        let config = self.config();
+        if !config.query_overhead.is_zero() {
+            std::thread::sleep(config.query_overhead);
+        }
+        self.queries_executed.fetch_add(1, Ordering::Relaxed);
+        let mut stats = ExecStats::default();
+        let outcome = match stmt {
+            Statement::Query(q) => {
+                let batch = self.run_query(q, &mut stats)?;
+                let query_id = self.persist_result(batch.clone());
+                ResultSet {
+                    query_id,
+                    batch,
+                    rows_scanned: stats.rows_scanned,
+                    partitions_scanned: stats.partitions_scanned,
+                    elapsed: started.elapsed(),
+                    rows_affected: 0,
+                }
+            }
+            Statement::CreateTable { name, columns, if_not_exists } => {
+                let fields = columns
+                    .iter()
+                    .map(|(n, t)| sigma_value::Field::new(n.clone(), *t))
+                    .collect();
+                self.catalog.write().create_table(
+                    &name.to_dotted(),
+                    std::sync::Arc::new(sigma_value::Schema::new(fields)),
+                    *if_not_exists,
+                )?;
+                self.empty_result(started)
+            }
+            Statement::CreateTableAs { name, query, or_replace } => {
+                let batch = self.run_query(query, &mut stats)?;
+                let rows = batch.num_rows();
+                self.catalog
+                    .write()
+                    .create_table_from_batch(&name.to_dotted(), batch, *or_replace)?;
+                ResultSet { rows_affected: rows, ..self.empty_result(started) }
+            }
+            Statement::Insert { table, columns, source } => {
+                let batch = self.run_query(source, &mut stats)?;
+                let rows = batch.num_rows();
+                let mut catalog = self.catalog.write();
+                let stored = catalog.get_mut(&table.to_dotted())?;
+                let batch = align_insert(stored.schema(), columns.as_deref(), batch)?;
+                stored.append(batch)?;
+                ResultSet { rows_affected: rows, ..self.empty_result(started) }
+            }
+            Statement::Update { table, assignments, selection } => {
+                let rows = self.run_update(&table.to_dotted(), assignments, selection.as_ref())?;
+                ResultSet { rows_affected: rows, ..self.empty_result(started) }
+            }
+            Statement::Delete { table, selection } => {
+                let rows = self.run_delete(&table.to_dotted(), selection.as_ref())?;
+                ResultSet { rows_affected: rows, ..self.empty_result(started) }
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.catalog.write().drop_table(&name.to_dotted(), *if_exists)?;
+                self.empty_result(started)
+            }
+        };
+        Ok(ResultSet { elapsed: started.elapsed(), ..outcome })
+    }
+
+    /// Plan (without executing) — exposed for EXPLAIN-style tooling/tests.
+    pub fn plan_sql(&self, sql: &str) -> Result<Plan, CdwError> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Query(q) = stmt else {
+            return Err(CdwError::plan("EXPLAIN supports only queries"));
+        };
+        let catalog = self.catalog.read();
+        let results = self.results.read();
+        let planner = Planner::new(&catalog, &results);
+        let plan = planner.plan_query(&q)?;
+        optimize(plan, &self.eval_ctx())
+    }
+
+    fn eval_ctx(&self) -> EvalCtx {
+        EvalCtx { now_micros: self.config.read().now_micros }
+    }
+
+    fn run_query(&self, q: &Query, stats: &mut ExecStats) -> Result<Batch, CdwError> {
+        let catalog = self.catalog.read();
+        let results = self.results.read();
+        let planner = Planner::new(&catalog, &results);
+        let plan = planner.plan_query(q)?;
+        let plan = optimize(plan, &self.eval_ctx())?;
+        let ctx = ExecCtx {
+            catalog: &catalog,
+            results: &results,
+            eval: self.eval_ctx(),
+            parallelism: self.config.read().parallelism,
+        };
+        execute(&plan, &ctx, stats)
+    }
+
+    fn run_update(
+        &self,
+        table: &str,
+        assignments: &[(String, sigma_sql::SqlExpr)],
+        selection: Option<&sigma_sql::SqlExpr>,
+    ) -> Result<usize, CdwError> {
+        let mut catalog = self.catalog.write();
+        let results = self.results.read();
+        // Resolve assignment expressions against the table schema.
+        let schema = catalog.get(table)?.schema().clone();
+        let full = catalog.get(table)?.to_batch();
+        let planner = Planner::new(&catalog, &results);
+        let scope_resolve = |e: &sigma_sql::SqlExpr| -> Result<PhysExpr, CdwError> {
+            resolve_against_schema(&planner, e, &schema, table)
+        };
+        let ctx = self.eval_ctx();
+        let mask: Vec<bool> = match selection {
+            Some(sel) => {
+                let pred = scope_resolve(sel)?;
+                let col = eval::eval(&pred, &full, &ctx)?;
+                (0..full.num_rows())
+                    .map(|i| col.value(i) == Value::Bool(true))
+                    .collect()
+            }
+            None => vec![true; full.num_rows()],
+        };
+        let affected = mask.iter().filter(|&&b| b).count();
+        let mut new_columns = Vec::with_capacity(full.num_columns());
+        for (ci, field) in schema.fields().iter().enumerate() {
+            let target = assignments
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case(&field.name));
+            match target {
+                None => new_columns.push(full.column(ci).clone()),
+                Some((_, expr)) => {
+                    let phys = scope_resolve(expr)?;
+                    let evaluated = eval::eval(&phys, &full, &ctx)?;
+                    let evaluated = evaluated.cast(field.dtype)?;
+                    let mut b =
+                        sigma_value::ColumnBuilder::new(field.dtype, full.num_rows());
+                    for i in 0..full.num_rows() {
+                        let v = if mask[i] {
+                            evaluated.value(i)
+                        } else {
+                            full.column(ci).value(i)
+                        };
+                        b.push(v).map_err(CdwError::from)?;
+                    }
+                    new_columns.push(b.finish());
+                }
+            }
+        }
+        let rebuilt = Batch::new(schema, new_columns)?;
+        catalog
+            .get_mut(table)?
+            .replace_all(rebuilt, DEFAULT_PARTITION_ROWS);
+        Ok(affected)
+    }
+
+    fn run_delete(
+        &self,
+        table: &str,
+        selection: Option<&sigma_sql::SqlExpr>,
+    ) -> Result<usize, CdwError> {
+        let mut catalog = self.catalog.write();
+        let results = self.results.read();
+        let schema = catalog.get(table)?.schema().clone();
+        let full = catalog.get(table)?.to_batch();
+        let planner = Planner::new(&catalog, &results);
+        let ctx = self.eval_ctx();
+        let keep: Vec<bool> = match selection {
+            Some(sel) => {
+                let pred = resolve_against_schema(&planner, sel, &schema, table)?;
+                let col = eval::eval(&pred, &full, &ctx)?;
+                (0..full.num_rows())
+                    .map(|i| col.value(i) != Value::Bool(true))
+                    .collect()
+            }
+            None => vec![false; full.num_rows()],
+        };
+        let deleted = keep.iter().filter(|&&k| !k).count();
+        let remaining = full.filter(&keep);
+        catalog
+            .get_mut(table)?
+            .replace_all(remaining, DEFAULT_PARTITION_ROWS);
+        Ok(deleted)
+    }
+
+    fn empty_result(&self, started: Instant) -> ResultSet {
+        ResultSet {
+            query_id: self.fresh_query_id(),
+            batch: Batch::empty(std::sync::Arc::new(sigma_value::Schema::empty())),
+            rows_scanned: 0,
+            partitions_scanned: 0,
+            elapsed: started.elapsed(),
+            rows_affected: 0,
+        }
+    }
+
+    fn fresh_query_id(&self) -> String {
+        format!("q-{}", self.next_query_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn persist_result(&self, batch: Batch) -> String {
+        let id = self.fresh_query_id();
+        let max = self.config.read().max_persisted_results;
+        let mut results = self.results.write();
+        let mut order = self.result_order.write();
+        results.insert(id.clone(), batch);
+        order.push(id.clone());
+        while order.len() > max {
+            let evicted = order.remove(0);
+            results.remove(&evicted);
+        }
+        id
+    }
+}
+
+/// Resolve an expression against a single table's schema (UPDATE/DELETE).
+fn resolve_against_schema(
+    planner: &Planner<'_>,
+    expr: &sigma_sql::SqlExpr,
+    schema: &std::sync::Arc<sigma_value::Schema>,
+    table: &str,
+) -> Result<PhysExpr, CdwError> {
+    // Reuse the planner's resolver by planning a fake SELECT over the
+    // table; cheaper to just inline the resolution logic via a select.
+    let _ = planner;
+    resolve_simple(expr, schema, table)
+}
+
+fn resolve_simple(
+    e: &sigma_sql::SqlExpr,
+    schema: &std::sync::Arc<sigma_value::Schema>,
+    table: &str,
+) -> Result<PhysExpr, CdwError> {
+    use sigma_sql::SqlExpr as S;
+    Ok(match e {
+        S::Literal(v) => PhysExpr::Literal(v.clone()),
+        S::Column { table: t, name } => {
+            if let Some(t) = t {
+                if !t.eq_ignore_ascii_case(table) {
+                    return Err(CdwError::plan(format!("unknown table {t}")));
+                }
+            }
+            let idx = schema
+                .index_of(name)
+                .ok_or_else(|| CdwError::plan(format!("column not found: {name}")))?;
+            PhysExpr::Col(idx)
+        }
+        S::Unary { op, expr } => PhysExpr::Unary {
+            op: *op,
+            expr: Box::new(resolve_simple(expr, schema, table)?),
+        },
+        S::Binary { op, left, right } => PhysExpr::Binary {
+            op: *op,
+            left: Box::new(resolve_simple(left, schema, table)?),
+            right: Box::new(resolve_simple(right, schema, table)?),
+        },
+        S::Func { name, args, .. } => {
+            let func = eval::ScalarFunc::from_name(name)
+                .ok_or_else(|| CdwError::plan(format!("unknown function {name} in DML")))?;
+            PhysExpr::Func {
+                func,
+                args: args
+                    .iter()
+                    .map(|a| resolve_simple(a, schema, table))
+                    .collect::<Result<_, _>>()?,
+            }
+        }
+        S::Case { operand, whens, else_ } => PhysExpr::Case {
+            operand: operand
+                .as_ref()
+                .map(|o| resolve_simple(o, schema, table).map(Box::new))
+                .transpose()?,
+            whens: whens
+                .iter()
+                .map(|(w, t)| {
+                    Ok((resolve_simple(w, schema, table)?, resolve_simple(t, schema, table)?))
+                })
+                .collect::<Result<_, CdwError>>()?,
+            else_: else_
+                .as_ref()
+                .map(|x| resolve_simple(x, schema, table).map(Box::new))
+                .transpose()?,
+        },
+        S::Cast { expr, dtype } => PhysExpr::Cast {
+            expr: Box::new(resolve_simple(expr, schema, table)?),
+            dtype: *dtype,
+        },
+        S::InList { expr, list, negated } => PhysExpr::InList {
+            expr: Box::new(resolve_simple(expr, schema, table)?),
+            list: list
+                .iter()
+                .map(|l| resolve_simple(l, schema, table))
+                .collect::<Result<_, _>>()?,
+            negated: *negated,
+        },
+        S::Between { expr, low, high, negated } => PhysExpr::Between {
+            expr: Box::new(resolve_simple(expr, schema, table)?),
+            low: Box::new(resolve_simple(low, schema, table)?),
+            high: Box::new(resolve_simple(high, schema, table)?),
+            negated: *negated,
+        },
+        S::IsNull { expr, negated } => PhysExpr::IsNull {
+            expr: Box::new(resolve_simple(expr, schema, table)?),
+            negated: *negated,
+        },
+        S::Like { expr, pattern, negated } => PhysExpr::Like {
+            expr: Box::new(resolve_simple(expr, schema, table)?),
+            pattern: Box::new(resolve_simple(pattern, schema, table)?),
+            negated: *negated,
+        },
+        S::Star | S::WindowFunc { .. } => {
+            return Err(CdwError::plan("unsupported expression in DML"))
+        }
+    })
+}
+
+/// Align an INSERT source batch to the table schema, handling an explicit
+/// column list (missing columns become NULL) and Int->Float/Date->Timestamp
+/// widening.
+fn align_insert(
+    schema: &std::sync::Arc<sigma_value::Schema>,
+    columns: Option<&[String]>,
+    batch: Batch,
+) -> Result<Batch, CdwError> {
+    let mut out_cols = Vec::with_capacity(schema.len());
+    match columns {
+        None => {
+            if batch.num_columns() != schema.len() {
+                return Err(CdwError::exec(format!(
+                    "INSERT has {} columns, table expects {}",
+                    batch.num_columns(),
+                    schema.len()
+                )));
+            }
+            for (i, field) in schema.fields().iter().enumerate() {
+                out_cols.push(batch.column(i).cast(field.dtype)?);
+            }
+        }
+        Some(cols) => {
+            if batch.num_columns() != cols.len() {
+                return Err(CdwError::exec(format!(
+                    "INSERT names {} columns but supplies {}",
+                    cols.len(),
+                    batch.num_columns()
+                )));
+            }
+            for field in schema.fields() {
+                let src = cols
+                    .iter()
+                    .position(|c| c.eq_ignore_ascii_case(&field.name));
+                match src {
+                    Some(i) => out_cols.push(batch.column(i).cast(field.dtype)?),
+                    None => out_cols
+                        .push(sigma_value::Column::nulls(field.dtype, batch.num_rows())),
+                }
+            }
+        }
+    }
+    Batch::new(schema.clone(), out_cols).map_err(CdwError::from)
+}

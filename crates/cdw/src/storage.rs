@@ -1,0 +1,150 @@
+//! Partitioned columnar table storage.
+//!
+//! Tables hold their rows as a list of same-schema [`Batch`] partitions, the
+//! unit of parallel scanning. Writes append new partitions; UPDATE/DELETE
+//! rewrite affected partitions in place (the simulator favors simplicity
+//! over MVCC — the paper's warehouses own that problem).
+
+use std::sync::Arc;
+
+use sigma_value::{Batch, Schema};
+
+use crate::error::CdwError;
+
+/// Default number of rows per partition for bulk loads.
+pub const DEFAULT_PARTITION_ROWS: usize = 65_536;
+
+/// One stored table.
+#[derive(Debug, Clone)]
+pub struct StoredTable {
+    schema: Arc<Schema>,
+    partitions: Vec<Batch>,
+}
+
+impl StoredTable {
+    pub fn empty(schema: Arc<Schema>) -> StoredTable {
+        StoredTable { schema, partitions: Vec::new() }
+    }
+
+    /// Build from a single batch, splitting into partitions of
+    /// `partition_rows` rows.
+    pub fn from_batch(batch: Batch, partition_rows: usize) -> StoredTable {
+        let schema = batch.schema().clone();
+        let mut partitions = Vec::new();
+        let rows = batch.num_rows();
+        if rows == 0 {
+            return StoredTable { schema, partitions };
+        }
+        let step = partition_rows.max(1);
+        let mut start = 0;
+        while start < rows {
+            let len = step.min(rows - start);
+            partitions.push(batch.slice(start, len));
+            start += len;
+        }
+        StoredTable { schema, partitions }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    pub fn partitions(&self) -> &[Batch] {
+        &self.partitions
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.partitions.iter().map(|b| b.num_rows()).sum()
+    }
+
+    pub fn byte_size(&self) -> usize {
+        self.partitions.iter().map(|b| b.byte_size()).sum()
+    }
+
+    /// Append a batch (schema must match by type, positionally).
+    pub fn append(&mut self, batch: Batch) -> Result<(), CdwError> {
+        if batch.num_columns() != self.schema.len() {
+            return Err(CdwError::exec(format!(
+                "insert has {} columns, table has {}",
+                batch.num_columns(),
+                self.schema.len()
+            )));
+        }
+        for (i, field) in self.schema.fields().iter().enumerate() {
+            if batch.column(i).dtype() != field.dtype {
+                return Err(CdwError::exec(format!(
+                    "insert column {} has type {}, expected {}",
+                    field.name,
+                    batch.column(i).dtype(),
+                    field.dtype
+                )));
+            }
+        }
+        // Re-tag the batch with the table's schema so names line up.
+        let retagged = Batch::new(self.schema.clone(), batch.columns().to_vec())
+            .map_err(CdwError::from)?;
+        self.partitions.push(retagged);
+        Ok(())
+    }
+
+    /// Replace all partitions (used by UPDATE/DELETE rewrites and CTAS
+    /// OR REPLACE).
+    pub fn replace_all(&mut self, batch: Batch, partition_rows: usize) {
+        let table = StoredTable::from_batch(batch, partition_rows);
+        self.schema = table.schema;
+        self.partitions = table.partitions;
+    }
+
+    /// Materialize the whole table as one batch.
+    pub fn to_batch(&self) -> Batch {
+        if self.partitions.is_empty() {
+            return Batch::empty(self.schema.clone());
+        }
+        let refs: Vec<&Batch> = self.partitions.iter().collect();
+        Batch::concat(&refs).expect("partitions share a schema")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_value::{Column, DataType, Field};
+
+    fn batch(n: usize) -> Batch {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]));
+        Batch::new(schema, vec![Column::from_ints((0..n as i64).collect())]).unwrap()
+    }
+
+    #[test]
+    fn partitioning() {
+        let t = StoredTable::from_batch(batch(10), 4);
+        assert_eq!(t.partitions().len(), 3);
+        assert_eq!(t.partitions()[0].num_rows(), 4);
+        assert_eq!(t.partitions()[2].num_rows(), 2);
+        assert_eq!(t.num_rows(), 10);
+        let whole = t.to_batch();
+        assert_eq!(whole.num_rows(), 10);
+        assert_eq!(whole.value(9, 0), sigma_value::Value::Int(9));
+    }
+
+    #[test]
+    fn append_validates_types() {
+        let mut t = StoredTable::from_batch(batch(2), 10);
+        assert!(t.append(batch(3)).is_ok());
+        assert_eq!(t.num_rows(), 5);
+        let wrong = Batch::new(
+            Arc::new(Schema::new(vec![Field::new("x", DataType::Text)])),
+            vec![Column::from_texts(vec!["a".into()])],
+        )
+        .unwrap();
+        assert!(t.append(wrong).is_err());
+    }
+
+    #[test]
+    fn empty_table() {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]));
+        let t = StoredTable::empty(schema);
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.to_batch().num_rows(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Direct checks on the optimizer's three rewrites, via EXPLAIN-style
+//! plan inspection.
+
+use std::sync::Arc;
+
+use sigma_cdw::Warehouse;
+use sigma_value::{Batch, Column, DataType, Field, Schema};
+
+fn wh() -> Warehouse {
+    let wh = Warehouse::default();
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("a", DataType::Int),
+        Field::new("b", DataType::Int),
+        Field::new("c", DataType::Text),
+        Field::new("d", DataType::Float),
+    ]));
+    let batch = Batch::new(
+        schema,
+        vec![
+            Column::from_ints((0..100).collect()),
+            Column::from_ints((0..100).map(|i| i * 2).collect()),
+            Column::from_texts((0..100).map(|i| format!("t{i}")).collect()),
+            Column::from_floats((0..100).map(|i| i as f64).collect()),
+        ],
+    )
+    .unwrap();
+    wh.load_table("t", batch).unwrap();
+    let dim = Batch::new(
+        Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("label", DataType::Text),
+        ])),
+        vec![
+            Column::from_ints((0..10).collect()),
+            Column::from_texts((0..10).map(|i| format!("l{i}")).collect()),
+        ],
+    )
+    .unwrap();
+    wh.load_table("dim", dim).unwrap();
+    wh
+}
+
+#[test]
+fn constant_folding_inlines_literals() {
+    let wh = wh();
+    let plan = wh
+        .plan_sql("SELECT a FROM t WHERE a > 1 + 2 * 3 AND LENGTH('abcd') = 4")
+        .unwrap();
+    let explain = format!("{plan:?}");
+    // 1 + 2 * 3 folds to 7; LENGTH('abcd') = 4 folds to true.
+    assert!(explain.contains("Int(7)"), "{explain}");
+    assert!(!explain.contains("Length"), "{explain}");
+}
+
+#[test]
+fn filter_pushed_below_projection_and_sort() {
+    let wh = wh();
+    let plan = wh
+        .plan_sql(
+            "SELECT x FROM (SELECT a + 1 AS x, c FROM t ORDER BY a) s WHERE x > 10",
+        )
+        .unwrap();
+    let explain = plan.explain();
+    let filter = explain.find("Filter").expect("filter exists");
+    let sort = explain.find("Sort").expect("sort exists");
+    let scan = explain.find("Scan").expect("scan exists");
+    assert!(filter > 0 && filter < scan, "filter should sit near the scan:\n{explain}");
+    assert!(sort < filter, "filter should be pushed below the sort:\n{explain}");
+}
+
+#[test]
+fn filter_split_across_join_sides() {
+    let wh = wh();
+    let plan = wh
+        .plan_sql(
+            "SELECT t.a, dim.label FROM t JOIN dim ON t.a = dim.k \
+             WHERE t.b > 50 AND dim.label <> 'l1'",
+        )
+        .unwrap();
+    let explain = plan.explain();
+    // Both conjuncts push into their own sides: two filters below the join.
+    let join_pos = explain.find("Join").expect("join exists");
+    let filters: Vec<usize> = explain
+        .match_indices("Filter")
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(filters.len(), 2, "{explain}");
+    assert!(filters.iter().all(|&f| f > join_pos), "{explain}");
+}
+
+#[test]
+fn projection_pruning_narrows_scan() {
+    let wh = wh();
+    // Only `a` of four columns is needed.
+    let plan = wh.plan_sql("SELECT a + 1 AS x FROM t").unwrap();
+    fn scan_project_width(plan: &sigma_cdw::plan::Plan) -> Option<usize> {
+        use sigma_cdw::plan::Plan;
+        match plan {
+            Plan::Project { input, exprs, .. } => {
+                if matches!(**input, Plan::Scan { .. }) {
+                    Some(exprs.len())
+                } else {
+                    scan_project_width(input)
+                }
+            }
+            Plan::Filter { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Window { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Distinct { input } => scan_project_width(input),
+            _ => None,
+        }
+    }
+    // The narrow projection over the scan selects exactly 1 column.
+    assert_eq!(scan_project_width(&plan), Some(1), "{}", plan.explain());
+}
+
+#[test]
+fn left_join_right_filter_not_pushed() {
+    let wh = wh();
+    // For LEFT JOIN, a WHERE on the right side cannot push into the right
+    // input (it would change null-extension semantics) — it must stay above.
+    let plan = wh
+        .plan_sql(
+            "SELECT t.a FROM t LEFT JOIN dim ON t.a = dim.k WHERE dim.label IS NULL",
+        )
+        .unwrap();
+    let explain = plan.explain();
+    let join_pos = explain.find("Join").expect("join");
+    let filter_pos = explain.find("Filter").expect("filter");
+    assert!(filter_pos < join_pos, "filter must stay above the join:\n{explain}");
+    // And the semantics hold: rows 10..99 have no dim match.
+    let rows = wh
+        .execute_sql("SELECT COUNT(*) AS n FROM t LEFT JOIN dim ON t.a = dim.k WHERE dim.label IS NULL")
+        .unwrap()
+        .batch;
+    assert_eq!(rows.value(0, 0), sigma_value::Value::Int(90));
+}

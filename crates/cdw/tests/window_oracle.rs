@@ -1,0 +1,136 @@
+//! Window-frame semantics checked against a naive O(n^2) oracle.
+
+use proptest::prelude::*;
+use sigma_cdw::Warehouse;
+use sigma_value::{Batch, Column, DataType, Field, Schema, Value};
+use std::sync::Arc;
+
+fn load(values: &[(i64, Option<i64>)]) -> Warehouse {
+    let wh = Warehouse::default();
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("g", DataType::Int),
+        Field::new("pos", DataType::Int),
+        Field::new("v", DataType::Int),
+    ]));
+    let batch = Batch::new(
+        schema,
+        vec![
+            Column::from_ints(values.iter().map(|(g, _)| *g).collect()),
+            Column::from_ints((0..values.len() as i64).collect()),
+            Column::from_opt_ints(values.iter().map(|(_, v)| *v).collect()),
+        ],
+    )
+    .unwrap();
+    wh.load_table("t", batch).unwrap();
+    wh
+}
+
+/// Naive frame sum: rows of the same group ordered by pos, ROWS BETWEEN
+/// `back` PRECEDING AND `fwd` FOLLOWING.
+fn oracle_sum(
+    values: &[(i64, Option<i64>)],
+    back: usize,
+    fwd: usize,
+) -> Vec<Option<i64>> {
+    let n = values.len();
+    let mut out = vec![None; n];
+    for g in values.iter().map(|(g, _)| *g).collect::<std::collections::BTreeSet<_>>() {
+        let rows: Vec<usize> = (0..n).filter(|&i| values[i].0 == g).collect();
+        for (idx, &row) in rows.iter().enumerate() {
+            let start = idx.saturating_sub(back);
+            let end = (idx + fwd + 1).min(rows.len());
+            let mut sum = None;
+            for &peer in &rows[start..end] {
+                if let Some(v) = values[peer].1 {
+                    sum = Some(sum.unwrap_or(0) + v);
+                }
+            }
+            out[row] = sum;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn moving_frame_sum_matches_oracle(
+        values in proptest::collection::vec((0i64..4, proptest::option::of(-20i64..20)), 1..60),
+        back in 0usize..5,
+        fwd in 0usize..5,
+    ) {
+        let wh = load(&values);
+        let sql = format!(
+            "SELECT pos, SUM(v) OVER (PARTITION BY g ORDER BY pos \
+             ROWS BETWEEN {back} PRECEDING AND {fwd} FOLLOWING) AS s \
+             FROM t ORDER BY pos"
+        );
+        let got = wh.execute_sql(&sql).unwrap().batch;
+        let expected = oracle_sum(&values, back, fwd);
+        for (i, e) in expected.iter().enumerate() {
+            let want = e.map(Value::Int).unwrap_or(Value::Null);
+            prop_assert_eq!(got.value(i, 1), want, "row {} (back={}, fwd={})", i, back, fwd);
+        }
+    }
+
+    #[test]
+    fn rank_and_row_number_consistent(
+        values in proptest::collection::vec((0i64..3, 0i64..5), 1..60),
+    ) {
+        let wh = load(&values.iter().map(|&(g, v)| (g, Some(v))).collect::<Vec<_>>());
+        let got = wh.execute_sql(
+            "SELECT g, v, ROW_NUMBER() OVER (PARTITION BY g ORDER BY v) AS rn, \
+                    RANK() OVER (PARTITION BY g ORDER BY v) AS rk, \
+                    DENSE_RANK() OVER (PARTITION BY g ORDER BY v) AS dr \
+             FROM t ORDER BY g, v, rn",
+        ).unwrap().batch;
+        // Invariants per partition: rn is 1..n; rk <= rn; dr <= rk; equal
+        // v => equal rk/dr; rn strictly increasing.
+        let mut last: Option<(Value, Value, i64)> = None; // (g, v, rn)
+        for i in 0..got.num_rows() {
+            let g = got.value(i, 0);
+            let v = got.value(i, 1);
+            let rn = got.value(i, 2).as_i64().unwrap();
+            let rk = got.value(i, 3).as_i64().unwrap();
+            let dr = got.value(i, 4).as_i64().unwrap();
+            prop_assert!(rk <= rn);
+            prop_assert!(dr <= rk);
+            if let Some((lg, lv, lrn)) = &last {
+                if *lg == g {
+                    prop_assert_eq!(rn, lrn + 1);
+                    if *lv == v {
+                        // peers share rank
+                        let prev_rk = got.value(i - 1, 3).as_i64().unwrap();
+                        prop_assert_eq!(rk, prev_rk);
+                    }
+                } else {
+                    prop_assert_eq!(rn, 1);
+                }
+            } else {
+                prop_assert_eq!(rn, 1);
+            }
+            last = Some((g, v, rn));
+        }
+    }
+
+    #[test]
+    fn lag_lead_inverse(
+        values in proptest::collection::vec(0i64..100, 2..50),
+        offset in 1usize..4,
+    ) {
+        let wh = load(&values.iter().map(|&v| (0, Some(v))).collect::<Vec<_>>());
+        let sql = format!(
+            "SELECT pos, LAG(v, {offset}) OVER (ORDER BY pos) AS lagged, \
+                    LEAD(v, {offset}) OVER (ORDER BY pos) AS led \
+             FROM t ORDER BY pos"
+        );
+        let got = wh.execute_sql(&sql).unwrap().batch;
+        let n = values.len();
+        for i in 0..n {
+            let lag_want = if i >= offset { Value::Int(values[i - offset]) } else { Value::Null };
+            let lead_want = if i + offset < n { Value::Int(values[i + offset]) } else { Value::Null };
+            prop_assert_eq!(got.value(i, 1), lag_want, "lag at {}", i);
+            prop_assert_eq!(got.value(i, 2), lead_want, "lead at {}", i);
+        }
+    }
+}

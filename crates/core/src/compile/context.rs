@@ -1,0 +1,828 @@
+//! Per-element compilation context: resolved columns, types, phases, and
+//! lookup joins.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sigma_expr::{analyze, parse_formula, ColumnRef, Formula, FunctionKind};
+use sigma_value::{DataType, Field, Schema};
+
+use crate::error::CoreError;
+use crate::table::{ColumnExpr, DataSource, TableSpec};
+
+use super::Compiler;
+
+/// Safety cap on cross-level phase depth (each phase adds a join-back CTE
+/// round; real workbooks never need more than two or three).
+pub(crate) const MAX_PHASES: usize = 6;
+
+/// How a column's value is produced.
+#[derive(Debug, Clone)]
+pub(crate) enum ColumnOrigin {
+    /// Materialized by the `source` CTE under this physical name (raw
+    /// source columns and lookup/rollup values).
+    SourceCol(String),
+    /// A formula evaluated at the column's resident stage.
+    Formula(Formula),
+}
+
+/// One resolved column (user-defined or synthesized).
+#[derive(Debug, Clone)]
+pub(crate) struct ColumnInfo {
+    pub name: String,
+    pub origin: ColumnOrigin,
+    /// Resident stage: 0 = base, 1..k = keyed levels, k+1 = summary.
+    pub level: usize,
+    pub phase: usize,
+    pub visible: bool,
+    pub dtype: Option<DataType>,
+}
+
+/// One Lookup/Rollup call, joined in the `source` CTE.
+#[derive(Debug, Clone)]
+pub(crate) struct LookupJoin {
+    /// Join alias (`lr0`, `lr1`, ...) and the pseudo-column name (`$lr0`).
+    pub alias: String,
+    pub pseudo: String,
+    /// Canonical formula text used for de-duplication.
+    pub canonical: String,
+    pub target: String,
+    pub is_self: bool,
+    /// Target-side value expression (aggregate for Rollup; wrapped in the
+    /// virtual aggregate ATTR for Lookup — §3.2).
+    pub value: Formula,
+    pub is_rollup: bool,
+    pub local_keys: Vec<Formula>,
+    pub target_keys: Vec<Formula>,
+    pub dtype: Option<DataType>,
+}
+
+/// The fully resolved compilation context for one table element.
+pub(crate) struct TableCtx<'a> {
+    pub compiler: &'a Compiler<'a>,
+    pub element_name: String,
+    pub spec: &'a TableSpec,
+    /// Combined source schema (primary + joined links).
+    pub source_fields: Vec<Field>,
+    pub columns: Vec<ColumnInfo>,
+    pub lookups: Vec<LookupJoin>,
+    pub max_phase: usize,
+}
+
+impl<'a> TableCtx<'a> {
+    pub fn build(
+        compiler: &'a Compiler<'a>,
+        spec: &'a TableSpec,
+        self_name: &str,
+    ) -> Result<TableCtx<'a>, CoreError> {
+        let source_fields = resolve_source_fields(compiler, spec, self_name)?;
+        let mut ctx = TableCtx {
+            compiler,
+            element_name: self_name.to_string(),
+            spec,
+            source_fields,
+            columns: Vec::new(),
+            lookups: Vec::new(),
+            max_phase: 0,
+        };
+
+        // 1. Seed user columns, parsing formulas.
+        for def in &spec.columns {
+            let origin = match &def.expr {
+                ColumnExpr::Source(raw) => {
+                    if ctx.source_field(raw).is_none() {
+                        return Err(CoreError::Unresolved(format!(
+                            "column {}: source column {raw} not found",
+                            def.name
+                        )));
+                    }
+                    ColumnOrigin::SourceCol(raw.clone())
+                }
+                ColumnExpr::Formula(text) => ColumnOrigin::Formula(
+                    parse_formula(text).map_err(|e| {
+                        CoreError::Formula(format!("column {}: {e}", def.name))
+                    })?,
+                ),
+            };
+            ctx.columns.push(ColumnInfo {
+                name: def.name.clone(),
+                origin,
+                level: def.level,
+                phase: 0,
+                visible: def.visible,
+                dtype: None,
+            });
+        }
+
+        // 2. Implicit source passthroughs: formula refs that match raw
+        // source columns but no element column become hidden base columns.
+        ctx.add_implicit_source_columns()?;
+
+        // 3. Extract Lookup/Rollup calls into source-CTE joins and rewrite
+        // the formulas to reference their pseudo-columns.
+        ctx.extract_lookups()?;
+
+        // 4. Decompose nested aggregates / windows-inside-aggregates into
+        // synthesized finer-level columns so each formula needs at most one
+        // aggregation step.
+        ctx.decompose_nested()?;
+
+        // 5. Column dependency order, type inference, phase assignment.
+        ctx.infer_types_and_phases()?;
+        Ok(ctx)
+    }
+
+    pub fn source_field(&self, name: &str) -> Option<&Field> {
+        self.source_fields
+            .iter()
+            .find(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn column(&self, name: &str) -> Option<&ColumnInfo> {
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn summary_stage(&self) -> usize {
+        self.spec.levels.len()
+    }
+
+    /// Visible output columns at the detail level and coarser: the detail
+    /// level's grouping keys first (for keyed detail levels), then the
+    /// visible columns in definition order.
+    pub fn output_columns(&self) -> Vec<(String, DataType)> {
+        let d = self.spec.detail_level;
+        let mut out: Vec<(String, DataType)> = Vec::new();
+        if d >= 1 && d < self.summary_stage() {
+            for k in self.spec.effective_keys(d) {
+                if let Some(col) = self.column(&k) {
+                    out.push((col.name.clone(), col.dtype.unwrap_or(DataType::Text)));
+                }
+            }
+        }
+        for c in &self.columns {
+            if c.visible
+                && c.level >= d
+                && !out.iter().any(|(n, _)| n.eq_ignore_ascii_case(&c.name))
+            {
+                out.push((c.name.clone(), c.dtype.unwrap_or(DataType::Text)));
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // construction passes
+    // ------------------------------------------------------------------
+
+    fn add_implicit_source_columns(&mut self) -> Result<(), CoreError> {
+        // A column whose formula references *its own name* means the raw
+        // source column (common for viz encodings like `Origin = [origin]`);
+        // rewrite such refs to a hidden passthrough to avoid a false cycle.
+        let mut self_shadows: Vec<String> = Vec::new();
+        for col in &mut self.columns {
+            let own = col.name.clone();
+            let ColumnOrigin::Formula(f) = &mut col.origin else { continue };
+            let mut rewrote = false;
+            analyze::walk_mut(f, &mut |node| {
+                if let Formula::Ref(r) = node {
+                    if r.element.is_none() && r.name.eq_ignore_ascii_case(&own) {
+                        r.name = format!("$src:{}", r.name.to_ascii_lowercase());
+                        rewrote = true;
+                    }
+                }
+            });
+            if rewrote {
+                self_shadows.push(own);
+            }
+        }
+        for name in self_shadows {
+            let Some(field) = self.source_field(&name) else {
+                return Err(CoreError::Cycle(format!(
+                    "column {name} references itself and no source column shares its name"
+                )));
+            };
+            let raw = field.name.clone();
+            let hidden = format!("$src:{}", name.to_ascii_lowercase());
+            if self.column(&hidden).is_none() {
+                self.columns.push(ColumnInfo {
+                    name: hidden,
+                    origin: ColumnOrigin::SourceCol(raw),
+                    level: 0,
+                    phase: 0,
+                    visible: false,
+                    dtype: None,
+                });
+            }
+        }
+
+        let mut to_add: Vec<String> = Vec::new();
+        for col in &self.columns {
+            let ColumnOrigin::Formula(f) = &col.origin else { continue };
+            for name in analyze::local_ref_names(f) {
+                let known = self.column(&name).is_some()
+                    || self.compiler.workbook.control(&name).is_some()
+                    || to_add.iter().any(|n| n.eq_ignore_ascii_case(&name));
+                if !known && self.source_field(&name).is_some() {
+                    to_add.push(name);
+                }
+            }
+        }
+        for name in to_add {
+            self.columns.push(ColumnInfo {
+                name: name.clone(),
+                origin: ColumnOrigin::SourceCol(name),
+                level: 0,
+                phase: 0,
+                visible: false,
+                dtype: None,
+            });
+        }
+        Ok(())
+    }
+
+    fn extract_lookups(&mut self) -> Result<(), CoreError> {
+        // Walk formulas, replacing each Lookup/Rollup call with a ref to a
+        // synthesized pseudo-column; register the join.
+        let mut lookups: Vec<LookupJoin> = Vec::new();
+        let mut new_columns = self.columns.clone();
+        for col in &mut new_columns {
+            let ColumnOrigin::Formula(f) = &mut col.origin else { continue };
+            let mut formula = f.clone();
+            rewrite_specials(&mut formula, &mut lookups, &self.element_name)?;
+            *f = formula;
+        }
+        // Validate targets exist (self-references are allowed) and nested
+        // lookups inside key formulas are rejected for sanity.
+        for lr in &lookups {
+            if !lr.is_self && self.compiler.workbook.element(&lr.target).is_none() {
+                return Err(CoreError::Unresolved(format!(
+                    "Lookup/Rollup target element {}",
+                    lr.target
+                )));
+            }
+            for k in &lr.local_keys {
+                if analyze::has_special(k) || analyze::has_aggregate(k) || analyze::has_window(k) {
+                    return Err(CoreError::Compile(
+                        "Lookup/Rollup local keys must be plain row expressions".into(),
+                    ));
+                }
+            }
+        }
+        // Register pseudo-columns for the join values.
+        for lr in &lookups {
+            new_columns.push(ColumnInfo {
+                name: lr.pseudo.clone(),
+                origin: ColumnOrigin::SourceCol(lr.pseudo.clone()),
+                level: 0,
+                phase: 0,
+                visible: false,
+                dtype: None, // filled during type inference
+            });
+        }
+        self.columns = new_columns;
+        self.lookups = lookups;
+        Ok(())
+    }
+
+    fn decompose_nested(&mut self) -> Result<(), CoreError> {
+        let mut synth: Vec<ColumnInfo> = Vec::new();
+        let mut counter = 0usize;
+        for col in &mut self.columns {
+            let level = col.level;
+            let ColumnOrigin::Formula(f) = &mut col.origin else { continue };
+            if level == 0 && analyze::has_aggregate(f) {
+                return Err(CoreError::Type(format!(
+                    "column {}: aggregates cannot reside at the base level; move the column to a grouping level",
+                    col.name
+                )));
+            }
+            let mut formula = f.clone();
+            decompose(&mut formula, level, &col.name, &mut synth, &mut counter)?;
+            *f = formula;
+        }
+        self.columns.extend(synth);
+        Ok(())
+    }
+
+    fn infer_types_and_phases(&mut self) -> Result<(), CoreError> {
+        // Topological order over local column references.
+        let order = self.column_topo_order()?;
+
+        // Lookup value types need target output schemas; compute lazily.
+        let mut lookup_types: HashMap<String, Option<DataType>> = HashMap::new();
+        for lr in &self.lookups {
+            let t = self.lookup_value_type(lr)?;
+            lookup_types.insert(lr.pseudo.clone(), t);
+        }
+        for lr in self.lookups.iter_mut() {
+            lr.dtype = lookup_types.get(&lr.pseudo).copied().flatten();
+        }
+
+        let mut types: HashMap<String, Option<DataType>> = HashMap::new();
+        let mut phases: HashMap<String, usize> = HashMap::new();
+        // "Effectively windowed" columns: inlining them injects a window
+        // expression, so using them *inside another window's argument*
+        // must move to a later phase (window-over-window splits into
+        // successive CTEs, like FillDown over RunningSum in Scenario 2).
+        let mut windowed: HashMap<String, bool> = HashMap::new();
+        for name in &order {
+            let col = self.column(name).expect("ordered name exists").clone();
+            let (dtype, phase, is_windowed) = match &col.origin {
+                ColumnOrigin::SourceCol(raw) => {
+                    let t = if let Some(t) = lookup_types.get(raw.as_str()).copied() {
+                        t
+                    } else {
+                        Some(
+                            self.source_field(raw)
+                                .ok_or_else(|| {
+                                    CoreError::Unresolved(format!("source column {raw}"))
+                                })?
+                                .dtype,
+                        )
+                    };
+                    (t, 0, false)
+                }
+                ColumnOrigin::Formula(f) => {
+                    let dtype = self.infer_formula_type(f, &types)?;
+                    let phase = self.formula_phase(f, col.level, &phases, &windowed)?;
+                    let mut w = analyze::has_window(f);
+                    if !w {
+                        // Same-level refs inline, importing their windows.
+                        for r in analyze::column_refs(f) {
+                            if r.element.is_none() {
+                                if let Some(dep) = self.column(&r.name) {
+                                    if dep.level == col.level
+                                        && *windowed
+                                            .get(&r.name.to_ascii_lowercase())
+                                            .unwrap_or(&false)
+                                    {
+                                        w = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    (dtype, phase, w)
+                }
+            };
+            types.insert(col.name.to_ascii_lowercase(), dtype);
+            phases.insert(col.name.to_ascii_lowercase(), phase);
+            windowed.insert(col.name.to_ascii_lowercase(), is_windowed);
+        }
+        let mut max_phase = 0;
+        for col in &mut self.columns {
+            let key = col.name.to_ascii_lowercase();
+            col.dtype = types.get(&key).copied().flatten();
+            col.phase = *phases.get(&key).unwrap_or(&0);
+            max_phase = max_phase.max(col.phase);
+        }
+        if max_phase > MAX_PHASES {
+            return Err(CoreError::Compile(format!(
+                "cross-level reference chain needs {max_phase} phases; the maximum is {MAX_PHASES}"
+            )));
+        }
+        self.max_phase = max_phase;
+        Ok(())
+    }
+
+    fn column_topo_order(&self) -> Result<Vec<String>, CoreError> {
+        let mut order = Vec::new();
+        let mut state: HashMap<String, u8> = HashMap::new();
+        fn visit(
+            ctx: &TableCtx<'_>,
+            name: &str,
+            state: &mut HashMap<String, u8>,
+            order: &mut Vec<String>,
+        ) -> Result<(), CoreError> {
+            let key = name.to_ascii_lowercase();
+            match state.get(&key) {
+                Some(2) => return Ok(()),
+                Some(1) => {
+                    return Err(CoreError::Cycle(format!(
+                        "column {name} depends on itself"
+                    )))
+                }
+                _ => {}
+            }
+            state.insert(key.clone(), 1);
+            let col = ctx
+                .column(name)
+                .ok_or_else(|| CoreError::Unresolved(format!("column {name}")))?;
+            if let ColumnOrigin::Formula(f) = &col.origin {
+                for dep in analyze::local_ref_names(f) {
+                    if ctx.column(&dep).is_some() {
+                        visit(ctx, &dep, state, order)?;
+                    }
+                }
+            }
+            state.insert(key, 2);
+            order.push(col.name.clone());
+            Ok(())
+        }
+        for col in &self.columns {
+            visit(self, &col.name, &mut state, &mut order)?;
+        }
+        Ok(order)
+    }
+
+    fn infer_formula_type(
+        &self,
+        f: &Formula,
+        types: &HashMap<String, Option<DataType>>,
+    ) -> Result<Option<DataType>, CoreError> {
+        let env = |r: &ColumnRef| -> Option<DataType> {
+            if r.element.is_some() {
+                return None; // qualified refs only survive inside lookups
+            }
+            let key = r.name.to_ascii_lowercase();
+            if let Some(t) = types.get(&key) {
+                // Unknown-typed (all-null) columns report Text.
+                return Some(t.unwrap_or(DataType::Text));
+            }
+            if let Some(c) = self.compiler.workbook.control(&r.name) {
+                return Some(c.value.dtype().unwrap_or(DataType::Text));
+            }
+            self.source_field(&r.name).map(|f| f.dtype)
+        };
+        Ok(sigma_expr::infer_type(f, &env)?)
+    }
+
+    fn formula_phase(
+        &self,
+        f: &Formula,
+        level: usize,
+        phases: &HashMap<String, usize>,
+        windowed: &HashMap<String, bool>,
+    ) -> Result<usize, CoreError> {
+        fn walk(
+            ctx: &TableCtx<'_>,
+            f: &Formula,
+            level: usize,
+            in_window_arg: bool,
+            phases: &HashMap<String, usize>,
+            windowed: &HashMap<String, bool>,
+            phase: &mut usize,
+        ) {
+            match f {
+                Formula::Ref(r) if r.element.is_none() => {
+                    let Some(dep) = ctx.column(&r.name) else { return };
+                    let key = r.name.to_ascii_lowercase();
+                    let dep_phase = *phases.get(&key).unwrap_or(&dep.phase);
+                    if dep.level > level {
+                        // Cross-level (downward) reference: needs the
+                        // coarser value materialized first.
+                        *phase = (*phase).max(dep_phase + 1);
+                    } else if in_window_arg
+                        && dep.level == level
+                        && *windowed.get(&key).unwrap_or(&false)
+                    {
+                        // Window-over-window: the inner window must be a
+                        // materialized column before this one computes.
+                        *phase = (*phase).max(dep_phase + 1);
+                    } else {
+                        *phase = (*phase).max(dep_phase);
+                    }
+                }
+                Formula::Call { func, args } => {
+                    let is_window = sigma_expr::registry(func)
+                        .is_some_and(|d| d.kind == FunctionKind::Window);
+                    for a in args {
+                        walk(ctx, a, level, in_window_arg || is_window, phases, windowed, phase);
+                    }
+                }
+                Formula::Unary { expr, .. } => {
+                    walk(ctx, expr, level, in_window_arg, phases, windowed, phase)
+                }
+                Formula::Binary { left, right, .. } => {
+                    walk(ctx, left, level, in_window_arg, phases, windowed, phase);
+                    walk(ctx, right, level, in_window_arg, phases, windowed, phase);
+                }
+                _ => {}
+            }
+        }
+        let mut phase = 0usize;
+        walk(self, f, level, false, phases, windowed, &mut phase);
+        Ok(phase)
+    }
+
+    /// Type of a lookup's value expression, resolved against the target.
+    fn lookup_value_type(&self, lr: &LookupJoin) -> Result<Option<DataType>, CoreError> {
+        let target_types: HashMap<String, DataType> = if lr.is_self {
+            // Self-lookups read this element's *source*.
+            self.spec
+                .columns
+                .iter()
+                .filter_map(|c| match &c.expr {
+                    ColumnExpr::Source(raw) => self
+                        .source_field(raw)
+                        .map(|f| (c.name.to_ascii_lowercase(), f.dtype)),
+                    _ => None,
+                })
+                .chain(
+                    self.source_fields
+                        .iter()
+                        .map(|f| (f.name.to_ascii_lowercase(), f.dtype)),
+                )
+                .collect()
+        } else {
+            let compiled = self
+                .compiler
+                .compile_element_unchecked(&lr.target)?;
+            compiled
+                .output
+                .iter()
+                .map(|(n, t)| (n.to_ascii_lowercase(), *t))
+                .collect()
+        };
+        let env = |r: &ColumnRef| -> Option<DataType> {
+            match &r.element {
+                Some(el) if el.eq_ignore_ascii_case(&lr.target) => {
+                    target_types.get(&r.name.to_ascii_lowercase()).copied()
+                }
+                _ => None,
+            }
+        };
+        Ok(sigma_expr::infer_type(&lr.value, &env)?)
+    }
+}
+
+/// Replace Lookup/Rollup calls with pseudo-column refs, registering joins.
+fn rewrite_specials(
+    f: &mut Formula,
+    lookups: &mut Vec<LookupJoin>,
+    self_name: &str,
+) -> Result<(), CoreError> {
+    // Post-order so nested scalar args are rewritten first.
+    match f {
+        Formula::Unary { expr, .. } => rewrite_specials(expr, lookups, self_name)?,
+        Formula::Binary { left, right, .. } => {
+            rewrite_specials(left, lookups, self_name)?;
+            rewrite_specials(right, lookups, self_name)?;
+        }
+        Formula::Call { args, .. } => {
+            for a in args.iter_mut() {
+                rewrite_specials(a, lookups, self_name)?;
+            }
+        }
+        Formula::Literal(_) | Formula::Ref(_) => {}
+    }
+    let Formula::Call { func, args } = f else { return Ok(()) };
+    let Some(def) = sigma_expr::registry(func) else { return Ok(()) };
+    if def.kind != FunctionKind::Special {
+        return Ok(());
+    }
+    let is_rollup = func == "Rollup";
+    if args.len() < 3 || (args.len() - 1) % 2 != 0 {
+        return Err(CoreError::Compile(format!(
+            "{func} expects a value expression followed by local/target key pairs"
+        )));
+    }
+    let value = args[0].clone();
+    // The target element is named by the qualified refs on the target side.
+    let targets = analyze::referenced_elements(&value);
+    let mut local_keys = Vec::new();
+    let mut target_keys = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        local_keys.push(args[i].clone());
+        target_keys.push(args[i + 1].clone());
+        i += 2;
+    }
+    let mut all_target_side = targets.clone();
+    for tk in &target_keys {
+        for t in analyze::referenced_elements(tk) {
+            if !all_target_side.iter().any(|x| x.eq_ignore_ascii_case(&t)) {
+                all_target_side.push(t);
+            }
+        }
+    }
+    if all_target_side.is_empty() {
+        return Err(CoreError::Compile(format!(
+            "{func}: the value expression must reference the target element with [Element/Column]"
+        )));
+    }
+    if all_target_side.len() > 1 {
+        return Err(CoreError::Compile(format!(
+            "{func}: references mix multiple target elements: {}",
+            all_target_side.join(", ")
+        )));
+    }
+    let target = all_target_side[0].clone();
+    for lk in &local_keys {
+        if !analyze::referenced_elements(lk).is_empty() {
+            return Err(CoreError::Compile(format!(
+                "{func}: local keys must reference this element's columns"
+            )));
+        }
+    }
+    if is_rollup && !analyze::has_aggregate(&value) {
+        return Err(CoreError::Compile(
+            "Rollup's first argument must be an aggregate expression".into(),
+        ));
+    }
+    if !is_rollup && analyze::has_aggregate(&value) {
+        return Err(CoreError::Compile(
+            "Lookup's value must be a row expression (use Rollup to aggregate)".into(),
+        ));
+    }
+    // Lookup is Rollup with the virtual aggregate ATTR (paper §3.2).
+    let value = if is_rollup {
+        value
+    } else {
+        Formula::call("ATTR", vec![value])
+    };
+    let canonical = f.to_string();
+    let existing = lookups.iter().find(|l| l.canonical == canonical);
+    let pseudo = match existing {
+        Some(l) => l.pseudo.clone(),
+        None => {
+            let idx = lookups.len();
+            let lr = LookupJoin {
+                alias: format!("lr{idx}"),
+                pseudo: format!("$lr{idx}"),
+                canonical,
+                is_self: target.eq_ignore_ascii_case(self_name),
+                target,
+                value,
+                is_rollup,
+                local_keys,
+                target_keys,
+                dtype: None,
+            };
+            let pseudo = lr.pseudo.clone();
+            lookups.push(lr);
+            pseudo
+        }
+    };
+    *f = Formula::Ref(ColumnRef::local(pseudo));
+    Ok(())
+}
+
+/// Pull inner aggregates (and windows inside aggregate args) out into
+/// synthesized columns one level finer, so every formula performs at most
+/// one aggregation step in its own stage.
+fn decompose(
+    f: &mut Formula,
+    level: usize,
+    owner: &str,
+    synth: &mut Vec<ColumnInfo>,
+    counter: &mut usize,
+) -> Result<(), CoreError> {
+    let kind = |name: &str| sigma_expr::registry(name).map(|d| d.kind);
+    // Inside an aggregate argument, any aggregate or window subtree gets
+    // extracted to a synthesized column at `level - 1`.
+    fn extract_in_arg(
+        f: &mut Formula,
+        level: usize,
+        owner: &str,
+        synth: &mut Vec<ColumnInfo>,
+        counter: &mut usize,
+    ) -> Result<(), CoreError> {
+        let is_extractable = match f {
+            Formula::Call { func, .. } => matches!(
+                sigma_expr::registry(func).map(|d| d.kind),
+                Some(FunctionKind::Aggregate) | Some(FunctionKind::Window)
+            ),
+            _ => false,
+        };
+        if is_extractable {
+            if level == 0 {
+                return Err(CoreError::Type(format!(
+                    "column {owner}: nested aggregation would reside below the base level"
+                )));
+            }
+            let mut inner = f.clone();
+            // Recursively decompose the extracted formula at its new level.
+            decompose(&mut inner, level, owner, synth, counter)?;
+            let name = format!("$n{}", *counter);
+            *counter += 1;
+            synth.push(ColumnInfo {
+                name: name.clone(),
+                origin: ColumnOrigin::Formula(inner),
+                level,
+                phase: 0,
+                visible: false,
+                dtype: None,
+            });
+            *f = Formula::Ref(ColumnRef::local(name));
+            return Ok(());
+        }
+        match f {
+            Formula::Unary { expr, .. } => extract_in_arg(expr, level, owner, synth, counter),
+            Formula::Binary { left, right, .. } => {
+                extract_in_arg(left, level, owner, synth, counter)?;
+                extract_in_arg(right, level, owner, synth, counter)
+            }
+            Formula::Call { args, .. } => {
+                for a in args.iter_mut() {
+                    extract_in_arg(a, level, owner, synth, counter)?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    match f {
+        Formula::Call { func, args } if kind(func) == Some(FunctionKind::Aggregate) => {
+            if level == 0 {
+                return Err(CoreError::Type(format!(
+                    "column {owner}: aggregates cannot reside at the base level"
+                )));
+            }
+            for a in args.iter_mut() {
+                extract_in_arg(a, level - 1, owner, synth, counter)?;
+            }
+            Ok(())
+        }
+        Formula::Call { args, .. } => {
+            for a in args.iter_mut() {
+                decompose(a, level, owner, synth, counter)?;
+            }
+            Ok(())
+        }
+        Formula::Unary { expr, .. } => decompose(expr, level, owner, synth, counter),
+        Formula::Binary { left, right, .. } => {
+            decompose(left, level, owner, synth, counter)?;
+            decompose(right, level, owner, synth, counter)
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Resolve the combined (primary + links) source schema for a table.
+fn resolve_source_fields(
+    compiler: &Compiler<'_>,
+    spec: &TableSpec,
+    self_name: &str,
+) -> Result<Vec<Field>, CoreError> {
+    let mut fields = source_schema(compiler, &spec.source, self_name)?;
+    for link in &spec.links {
+        match link {
+            crate::table::SourceLink::Join { source, prefix, .. } => {
+                let joined = source_schema(compiler, source, self_name)?;
+                for f in joined {
+                    let name = format!("{prefix}{}", f.name);
+                    if fields.iter().any(|x| x.name.eq_ignore_ascii_case(&name)) {
+                        return Err(CoreError::Document(format!(
+                            "joined column {name} collides; adjust the link prefix"
+                        )));
+                    }
+                    fields.push(Field::new(name, f.dtype));
+                }
+            }
+            crate::table::SourceLink::Union { .. } => {
+                // Unions match by name; they add no fields.
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Schema of one data source.
+pub(crate) fn source_schema(
+    compiler: &Compiler<'_>,
+    source: &DataSource,
+    self_name: &str,
+) -> Result<Vec<Field>, CoreError> {
+    match source {
+        DataSource::WarehouseTable { table } | DataSource::Csv { table } => {
+            let schema: Arc<Schema> = compiler.schemas.table_schema(table).ok_or_else(|| {
+                CoreError::Unresolved(format!("warehouse table {table}"))
+            })?;
+            Ok(schema.fields().to_vec())
+        }
+        DataSource::RawSql { sql } => {
+            let schema = compiler.schemas.query_schema(sql).ok_or_else(|| {
+                CoreError::Compile(
+                    "the schema provider cannot derive a schema for this SQL source".into(),
+                )
+            })?;
+            Ok(schema.fields().to_vec())
+        }
+        DataSource::Element { name } => {
+            if name.eq_ignore_ascii_case(self_name) {
+                return Err(CoreError::Cycle(format!("{name} sources itself")));
+            }
+            // Materialization substitution applies to element sources too.
+            if let Some(table) = compiler
+                .options
+                .materializations
+                .get(&name.to_ascii_lowercase())
+            {
+                let schema = compiler.schemas.table_schema(table).ok_or_else(|| {
+                    CoreError::Unresolved(format!("materialization table {table}"))
+                })?;
+                return Ok(schema.fields().to_vec());
+            }
+            let compiled = compiler.compile_element_unchecked(name)?;
+            Ok(compiled
+                .output
+                .iter()
+                .map(|(n, t)| Field::new(n.clone(), *t))
+                .collect())
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Interactive control elements (paper §3.5): sliders, lists, text inputs,
+//! date pickers. Controls are referenced by column formulas and can be set
+//! by parameters to the workbook document URL.
+
+use serde::{Deserialize, Serialize};
+use sigma_value::{calendar, Value};
+
+use crate::error::CoreError;
+
+/// The kind of widget and its constraints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlKind {
+    Slider { min: f64, max: f64, step: f64 },
+    List { options: Vec<Value> },
+    TextInput,
+    DatePicker,
+}
+
+/// A control element's specification and current value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlSpec {
+    pub kind: ControlKind,
+    pub value: Value,
+}
+
+impl ControlSpec {
+    pub fn slider(min: f64, max: f64, step: f64, value: f64) -> ControlSpec {
+        ControlSpec {
+            kind: ControlKind::Slider { min, max, step },
+            value: Value::Float(value),
+        }
+    }
+
+    pub fn list(options: Vec<Value>, value: Value) -> ControlSpec {
+        ControlSpec { kind: ControlKind::List { options }, value }
+    }
+
+    pub fn text(value: impl Into<String>) -> ControlSpec {
+        ControlSpec { kind: ControlKind::TextInput, value: Value::Text(value.into()) }
+    }
+
+    pub fn date_picker(days: i32) -> ControlSpec {
+        ControlSpec { kind: ControlKind::DatePicker, value: Value::Date(days) }
+    }
+
+    /// Set the control's value, validating against the widget constraints.
+    pub fn set_value(&mut self, value: Value) -> Result<(), CoreError> {
+        match (&self.kind, &value) {
+            (ControlKind::Slider { min, max, .. }, v) => {
+                let x = v
+                    .as_f64()
+                    .ok_or_else(|| CoreError::Document("slider values must be numeric".into()))?;
+                if x < *min || x > *max {
+                    return Err(CoreError::Document(format!(
+                        "slider value {x} outside [{min}, {max}]"
+                    )));
+                }
+            }
+            (ControlKind::List { options }, v) => {
+                if !v.is_null() && !options.iter().any(|o| o == v) {
+                    return Err(CoreError::Document(format!(
+                        "{} is not one of the list options",
+                        v.render()
+                    )));
+                }
+            }
+            (ControlKind::TextInput, Value::Text(_) | Value::Null) => {}
+            (ControlKind::TextInput, _) => {
+                return Err(CoreError::Document("text controls hold text".into()))
+            }
+            (ControlKind::DatePicker, Value::Date(_) | Value::Null) => {}
+            (ControlKind::DatePicker, _) => {
+                return Err(CoreError::Document("date controls hold dates".into()))
+            }
+        }
+        self.value = value;
+        Ok(())
+    }
+
+    /// Parse a URL-parameter string into this control's value type
+    /// ("controls … can be set by parameters to the Workbook document URL",
+    /// §3.5).
+    pub fn parse_url_value(&self, raw: &str) -> Result<Value, CoreError> {
+        let parsed = match &self.kind {
+            ControlKind::Slider { .. } => raw
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| CoreError::Document(format!("bad slider value {raw:?}")))?,
+            ControlKind::List { options } => {
+                // Match by rendered form so numbers and text both work.
+                options
+                    .iter()
+                    .find(|o| o.render() == raw)
+                    .cloned()
+                    .ok_or_else(|| {
+                        CoreError::Document(format!("{raw:?} is not a list option"))
+                    })?
+            }
+            ControlKind::TextInput => Value::Text(raw.to_string()),
+            ControlKind::DatePicker => calendar::parse_date(raw)
+                .map(Value::Date)
+                .ok_or_else(|| CoreError::Document(format!("bad date {raw:?}")))?,
+        };
+        Ok(parsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slider_bounds() {
+        let mut c = ControlSpec::slider(0.0, 10.0, 1.0, 5.0);
+        c.set_value(Value::Float(7.0)).unwrap();
+        assert!(c.set_value(Value::Float(11.0)).is_err());
+        assert!(c.set_value(Value::Text("x".into())).is_err());
+    }
+
+    #[test]
+    fn list_membership() {
+        let mut c = ControlSpec::list(vec![Value::Text("AA".into()), Value::Text("UA".into())],
+            Value::Text("AA".into()));
+        c.set_value(Value::Text("UA".into())).unwrap();
+        assert!(c.set_value(Value::Text("ZZ".into())).is_err());
+        c.set_value(Value::Null).unwrap();
+    }
+
+    #[test]
+    fn url_parsing() {
+        let c = ControlSpec::date_picker(0);
+        assert_eq!(
+            c.parse_url_value("2020-03-01").unwrap(),
+            Value::Date(calendar::days_from_civil(2020, 3, 1))
+        );
+        assert!(c.parse_url_value("yesterday").is_err());
+        let s = ControlSpec::slider(0.0, 100.0, 1.0, 0.0);
+        assert_eq!(s.parse_url_value("42.5").unwrap(), Value::Float(42.5));
+    }
+}

@@ -1,0 +1,317 @@
+//! The workbook document: pages of elements on a canvas (paper §3),
+//! JSON-serializable ("sent to the Sigma service as a JSON-encoding of the
+//! Workbook state", §2), with layout, presentation elements, and URL
+//! parameter binding.
+
+use serde::{Deserialize, Serialize};
+
+use crate::controls::ControlSpec;
+use crate::editable::InputTableSpec;
+use crate::error::CoreError;
+use crate::pivot::PivotSpec;
+use crate::table::TableSpec;
+use crate::viz::VizSpec;
+
+/// Stable element identifier within a workbook.
+pub type ElementId = u64;
+
+/// The three element categories of §3: data elements, UI elements, and
+/// interactive controls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ElementKind {
+    // data elements
+    Table(TableSpec),
+    Viz(VizSpec),
+    Pivot(PivotSpec),
+    Input(InputTableSpec),
+    // UI elements
+    /// Text with embedded formulas: `{=  ...}` spans render inline (§3.5).
+    Text { template: String },
+    Image { url: String },
+    Spacer,
+    // interactive controls
+    Control(ControlSpec),
+}
+
+impl ElementKind {
+    /// Data elements can be referenced as sources and in Lookup/Rollup.
+    pub fn is_data(&self) -> bool {
+        matches!(
+            self,
+            ElementKind::Table(_)
+                | ElementKind::Viz(_)
+                | ElementKind::Pivot(_)
+                | ElementKind::Input(_)
+        )
+    }
+}
+
+/// One element placed on the canvas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Element {
+    pub id: ElementId,
+    /// Unique (case-insensitive) across the workbook; qualified formula
+    /// references use it: `[Flights/Tail Number]`.
+    pub name: String,
+    pub kind: ElementKind,
+}
+
+/// A page partitions the canvas (§3: "Users can partition the canvas into
+/// pages to organize their analysis"). Elements lay out as a sequence of
+/// sections; we keep the order, which is all the model needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Page {
+    pub name: String,
+    pub elements: Vec<Element>,
+}
+
+/// A workbook document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workbook {
+    /// `None` marks an unnamed, persistent anonymous "exploration" (§2).
+    pub name: Option<String>,
+    pub pages: Vec<Page>,
+    next_id: ElementId,
+}
+
+impl Workbook {
+    pub fn new(name: Option<&str>) -> Workbook {
+        Workbook {
+            name: name.map(str::to_owned),
+            pages: vec![Page { name: "Page 1".into(), elements: Vec::new() }],
+            next_id: 1,
+        }
+    }
+
+    /// An anonymous exploration, discardable by the document store.
+    pub fn exploration() -> Workbook {
+        Workbook::new(None)
+    }
+
+    pub fn is_exploration(&self) -> bool {
+        self.name.is_none()
+    }
+
+    pub fn add_page(&mut self, name: impl Into<String>) -> usize {
+        self.pages.push(Page { name: name.into(), elements: Vec::new() });
+        self.pages.len() - 1
+    }
+
+    /// Add an element to a page, enforcing workbook-wide name uniqueness
+    /// for data elements and controls (anything referenceable).
+    pub fn add_element(
+        &mut self,
+        page: usize,
+        name: impl Into<String>,
+        kind: ElementKind,
+    ) -> Result<ElementId, CoreError> {
+        let name = name.into();
+        if name.trim().is_empty() {
+            return Err(CoreError::Document("element names cannot be empty".into()));
+        }
+        if name.contains('/') {
+            return Err(CoreError::Document(
+                "element names cannot contain '/' (reserved for qualified references)".into(),
+            ));
+        }
+        if self.element(&name).is_some() {
+            return Err(CoreError::Document(format!("duplicate element name: {name}")));
+        }
+        let Some(page) = self.pages.get_mut(page) else {
+            return Err(CoreError::Document("no such page".into()));
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        page.elements.push(Element { id, name, kind });
+        Ok(id)
+    }
+
+    /// Look up an element by name (case-insensitive), across pages.
+    pub fn element(&self, name: &str) -> Option<&Element> {
+        self.pages
+            .iter()
+            .flat_map(|p| &p.elements)
+            .find(|e| e.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn element_mut(&mut self, name: &str) -> Option<&mut Element> {
+        self.pages
+            .iter_mut()
+            .flat_map(|p| &mut p.elements)
+            .find(|e| e.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn element_by_id(&self, id: ElementId) -> Option<&Element> {
+        self.pages
+            .iter()
+            .flat_map(|p| &p.elements)
+            .find(|e| e.id == id)
+    }
+
+    /// All elements in page order.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.pages.iter().flat_map(|p| &p.elements)
+    }
+
+    /// Convenience accessors for typed specs.
+    pub fn table(&self, name: &str) -> Option<&TableSpec> {
+        match &self.element(name)?.kind {
+            ElementKind::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut TableSpec> {
+        match &mut self.element_mut(name)?.kind {
+            ElementKind::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn control(&self, name: &str) -> Option<&ControlSpec> {
+        match &self.element(name)?.kind {
+            ElementKind::Control(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub fn input_table_mut(&mut self, name: &str) -> Option<&mut InputTableSpec> {
+        match &mut self.element_mut(name)?.kind {
+            ElementKind::Input(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Serialize to the JSON document interchanged with the service.
+    pub fn to_json(&self) -> Result<String, CoreError> {
+        serde_json::to_string_pretty(self).map_err(|e| CoreError::Serde(e.to_string()))
+    }
+
+    pub fn from_json(json: &str) -> Result<Workbook, CoreError> {
+        serde_json::from_str(json).map_err(|e| CoreError::Serde(e.to_string()))
+    }
+
+    /// Apply `?name=value&...` URL parameters to controls (§3.5: "controls
+    /// … can be set by parameters to the Workbook document URL").
+    pub fn apply_url_params(&mut self, query_string: &str) -> Result<usize, CoreError> {
+        let mut applied = 0;
+        for pair in query_string.trim_start_matches('?').split('&') {
+            if pair.is_empty() {
+                continue;
+            }
+            let (raw_name, raw_value) = pair
+                .split_once('=')
+                .ok_or_else(|| CoreError::Document(format!("malformed parameter {pair:?}")))?;
+            let name = url_decode(raw_name);
+            let value = url_decode(raw_value);
+            let Some(element) = self.element_mut(&name) else {
+                continue; // unknown params are ignored, like the product
+            };
+            if let ElementKind::Control(control) = &mut element.kind {
+                let parsed = control.parse_url_value(&value)?;
+                control.set_value(parsed)?;
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+}
+
+/// Minimal percent-decoding for URL parameters.
+fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 3 <= bytes.len() => {
+                if let Ok(b) = u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                    out.push(b);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::DataSource;
+    use sigma_value::Value;
+
+    fn wb() -> Workbook {
+        let mut wb = Workbook::new(Some("demo"));
+        wb.add_element(
+            0,
+            "Flights",
+            ElementKind::Table(TableSpec::new(DataSource::WarehouseTable {
+                table: "flights".into(),
+            })),
+        )
+        .unwrap();
+        wb.add_element(0, "Min Delay", ElementKind::Control(ControlSpec::slider(0.0, 120.0, 5.0, 15.0)))
+            .unwrap();
+        wb
+    }
+
+    #[test]
+    fn names_unique_case_insensitive() {
+        let mut wb = wb();
+        assert!(wb
+            .add_element(0, "flights", ElementKind::Spacer)
+            .is_err());
+        assert!(wb.add_element(0, "A/B", ElementKind::Spacer).is_err());
+        assert!(wb.add_element(0, "  ", ElementKind::Spacer).is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let wb = wb();
+        let json = wb.to_json().unwrap();
+        let back = Workbook::from_json(&json).unwrap();
+        assert_eq!(wb, back);
+        // The JSON mentions the element names (human-auditable payload).
+        assert!(json.contains("Flights"));
+    }
+
+    #[test]
+    fn url_params_set_controls() {
+        let mut wb = wb();
+        let n = wb.apply_url_params("?Min%20Delay=30&unknown=1").unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(wb.control("Min Delay").unwrap().value, Value::Float(30.0));
+        // Out-of-range slider value errors.
+        assert!(wb.apply_url_params("Min+Delay=999").is_err());
+    }
+
+    #[test]
+    fn pages_and_lookup() {
+        let mut wb = wb();
+        let p2 = wb.add_page("Analysis");
+        wb.add_element(p2, "Notes", ElementKind::Text { template: "hello".into() })
+            .unwrap();
+        assert!(wb.element("notes").is_some());
+        assert_eq!(wb.elements().count(), 3);
+        let id = wb.element("Flights").unwrap().id;
+        assert_eq!(wb.element_by_id(id).unwrap().name, "Flights");
+    }
+
+    #[test]
+    fn exploration_flag() {
+        assert!(Workbook::exploration().is_exploration());
+        assert!(!wb().is_exploration());
+    }
+}

@@ -1,0 +1,210 @@
+//! Editable input tables (paper §3.4): free-form user tables whose values
+//! are projected into the warehouse, letting users augment shared data and
+//! run what-if scenarios. Edits propagate to the warehouse (the service
+//! turns the dirty-row journal into DML).
+
+use serde::{Deserialize, Serialize};
+use sigma_value::{Batch, ColumnBuilder, DataType, Field, Schema, Value};
+use std::sync::Arc;
+
+use crate::error::CoreError;
+
+/// One pending edit, journaled for warehouse propagation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Edit {
+    SetCell { row: u64, column: String, value: Value },
+    InsertRow { row_id: u64 },
+    DeleteRow { row_id: u64 },
+}
+
+/// An editable table: a schema, rows addressed by stable row ids, and a
+/// journal of edits not yet propagated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputTableSpec {
+    pub columns: Vec<(String, DataType)>,
+    /// (row id, values) — ids are stable across edits so the journal can
+    /// target warehouse rows.
+    pub rows: Vec<(u64, Vec<Value>)>,
+    next_row_id: u64,
+    /// Warehouse table backing this element once projected.
+    pub warehouse_table: Option<String>,
+    /// Edits made since the last propagation.
+    pub journal: Vec<Edit>,
+}
+
+impl InputTableSpec {
+    pub fn new(columns: Vec<(String, DataType)>) -> InputTableSpec {
+        InputTableSpec {
+            columns,
+            rows: Vec::new(),
+            next_row_id: 1,
+            warehouse_table: None,
+            journal: Vec::new(),
+        }
+    }
+
+    /// Build from pasted CSV-ish rows (used by Scenario 3's copy-paste).
+    pub fn from_batch(batch: &Batch) -> InputTableSpec {
+        let columns = batch
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| (f.name.clone(), f.dtype))
+            .collect();
+        let mut t = InputTableSpec::new(columns);
+        for r in 0..batch.num_rows() {
+            t.insert_row(batch.row(r)).expect("schema-shaped row");
+        }
+        t.journal.clear(); // initial load is not an edit
+        t
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n.eq_ignore_ascii_case(name))
+    }
+
+    /// Append a row; returns its stable id.
+    pub fn insert_row(&mut self, values: Vec<Value>) -> Result<u64, CoreError> {
+        if values.len() != self.columns.len() {
+            return Err(CoreError::Document(format!(
+                "row has {} values, table has {} columns",
+                values.len(),
+                self.columns.len()
+            )));
+        }
+        let id = self.next_row_id;
+        self.next_row_id += 1;
+        self.rows.push((id, values));
+        self.journal.push(Edit::InsertRow { row_id: id });
+        Ok(id)
+    }
+
+    /// Edit one cell ("e.g., by editing in values or copy-and-pasting from
+    /// a spreadsheet" — §3.4).
+    pub fn set_cell(&mut self, row_id: u64, column: &str, value: Value) -> Result<(), CoreError> {
+        let col = self
+            .column_index(column)
+            .ok_or_else(|| CoreError::Unresolved(format!("column {column}")))?;
+        let row = self
+            .rows
+            .iter_mut()
+            .find(|(id, _)| *id == row_id)
+            .ok_or_else(|| CoreError::Unresolved(format!("row {row_id}")))?;
+        row.1[col] = value.clone();
+        self.journal.push(Edit::SetCell {
+            row: row_id,
+            column: self.columns[col].0.clone(),
+            value,
+        });
+        Ok(())
+    }
+
+    pub fn delete_row(&mut self, row_id: u64) -> Result<(), CoreError> {
+        let pos = self
+            .rows
+            .iter()
+            .position(|(id, _)| *id == row_id)
+            .ok_or_else(|| CoreError::Unresolved(format!("row {row_id}")))?;
+        self.rows.remove(pos);
+        self.journal.push(Edit::DeleteRow { row_id });
+        Ok(())
+    }
+
+    /// Materialize current contents as a batch, with a leading `_row_id`
+    /// column (the warehouse projection's key).
+    pub fn to_batch(&self) -> Result<Batch, CoreError> {
+        let mut fields = vec![Field::new("_row_id", DataType::Int)];
+        for (n, t) in &self.columns {
+            fields.push(Field::new(n.clone(), *t));
+        }
+        let schema = Arc::new(Schema::new(fields));
+        let mut builders: Vec<ColumnBuilder> = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::new(f.dtype, self.rows.len()))
+            .collect();
+        for (id, values) in &self.rows {
+            builders[0]
+                .push(Value::Int(*id as i64))
+                .map_err(|e| CoreError::Document(e.to_string()))?;
+            for (i, v) in values.iter().enumerate() {
+                // Dirty cells degrade to NULL rather than failing the whole
+                // projection — the paper's Scenario 3 pastes dirty data and
+                // fixes it by direct editing afterwards.
+                let coerced = sigma_value::column::cast_value(v.clone(), self.columns[i].1)
+                    .unwrap_or(Value::Null);
+                builders[i + 1]
+                    .push(coerced)
+                    .map_err(|e| CoreError::Document(e.to_string()))?;
+            }
+        }
+        Batch::new(schema, builders.into_iter().map(|b| b.finish()).collect())
+            .map_err(|e| CoreError::Document(e.to_string()))
+    }
+
+    /// Drain the journal (called by the service after propagating edits).
+    pub fn take_journal(&mut self) -> Vec<Edit> {
+        std::mem::take(&mut self.journal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> InputTableSpec {
+        InputTableSpec::new(vec![
+            ("Code".into(), DataType::Text),
+            ("City".into(), DataType::Text),
+            ("Elevation".into(), DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn insert_edit_delete_journal() {
+        let mut t = t();
+        let r1 = t
+            .insert_row(vec!["ORD".into(), "Chicago".into(), Value::Int(672)])
+            .unwrap();
+        let r2 = t
+            .insert_row(vec!["SFO".into(), "SF".into(), Value::Int(13)])
+            .unwrap();
+        t.set_cell(r2, "City", "San Francisco".into()).unwrap();
+        t.delete_row(r1).unwrap();
+        assert_eq!(t.rows.len(), 1);
+        let journal = t.take_journal();
+        assert_eq!(journal.len(), 4);
+        assert!(t.take_journal().is_empty());
+        assert!(matches!(journal[2], Edit::SetCell { .. }));
+    }
+
+    #[test]
+    fn dirty_values_nulled_in_projection() {
+        let mut t = t();
+        t.insert_row(vec!["ORD".into(), "Chicago".into(), Value::Text("not a number".into())])
+            .unwrap();
+        let b = t.to_batch().unwrap();
+        assert_eq!(b.num_columns(), 4); // _row_id + 3
+        assert!(b.column_by_name("Elevation").unwrap().is_null(0));
+        assert_eq!(b.column_by_name("_row_id").unwrap().value(0), Value::Int(1));
+    }
+
+    #[test]
+    fn row_ids_stable_after_delete() {
+        let mut t = t();
+        let _r1 = t.insert_row(vec!["A".into(), "a".into(), Value::Int(1)]).unwrap();
+        let r2 = t.insert_row(vec!["B".into(), "b".into(), Value::Int(2)]).unwrap();
+        t.delete_row(r2).unwrap();
+        let r3 = t.insert_row(vec!["C".into(), "c".into(), Value::Int(3)]).unwrap();
+        assert_eq!(r3, 3); // ids never reused
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let mut t = t();
+        assert!(t.insert_row(vec!["X".into()]).is_err());
+        assert!(t.set_cell(99, "Code", "Y".into()).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Edit operations over workbook documents: the "easy refactoring"
+//! affordance (§1) — renames rewrite every dependent formula — plus an
+//! undo/redo history of document snapshots (the browser result cache makes
+//! undo cheap to re-display, §4).
+
+use sigma_expr::{analyze, parse_formula};
+
+use crate::document::{ElementKind, Workbook};
+use crate::error::CoreError;
+use crate::table::ColumnExpr;
+
+/// Rename a column of a table element, rewriting every formula in the
+/// workbook that references it (same element: local refs; other elements:
+/// qualified refs). Returns how many formulas changed.
+pub fn rename_column(
+    wb: &mut Workbook,
+    element: &str,
+    old: &str,
+    new: &str,
+) -> Result<usize, CoreError> {
+    let el_name = wb
+        .element(element)
+        .ok_or_else(|| CoreError::Unresolved(format!("element {element}")))?
+        .name
+        .clone();
+    {
+        let table = wb
+            .table_mut(&el_name)
+            .ok_or_else(|| CoreError::Document(format!("{element} is not a table")))?;
+        if table.column(old).is_none() {
+            return Err(CoreError::Unresolved(format!("column {old}")));
+        }
+        if table.column(new).is_some() && !old.eq_ignore_ascii_case(new) {
+            return Err(CoreError::Document(format!("column {new} already exists")));
+        }
+    }
+    let mut rewritten = 0;
+
+    // Pass 1: the owning table — rename the column, its key/order/filter
+    // references, and local formula refs.
+    {
+        let table = wb.table_mut(&el_name).expect("checked above");
+        for level in &mut table.levels {
+            for k in &mut level.keys {
+                if k.eq_ignore_ascii_case(old) {
+                    *k = new.to_string();
+                }
+            }
+            for o in &mut level.ordering {
+                if o.column.eq_ignore_ascii_case(old) {
+                    o.column = new.to_string();
+                }
+            }
+        }
+        for f in &mut table.filters {
+            if f.column.eq_ignore_ascii_case(old) {
+                f.column = new.to_string();
+            }
+        }
+        for col in &mut table.columns {
+            if col.name.eq_ignore_ascii_case(old) {
+                col.name = new.to_string();
+            }
+            if let ColumnExpr::Formula(text) = &mut col.expr {
+                let mut parsed = parse_formula(text)?;
+                let n = analyze::rename_ref(&mut parsed, old, new);
+                if n > 0 {
+                    *text = parsed.to_string();
+                    rewritten += 1;
+                }
+            }
+        }
+    }
+
+    // Pass 2: qualified references from other elements.
+    for page in &mut wb.pages {
+        for el in &mut page.elements {
+            if el.name.eq_ignore_ascii_case(&el_name) {
+                continue;
+            }
+            if let ElementKind::Table(t) = &mut el.kind {
+                for col in &mut t.columns {
+                    if let ColumnExpr::Formula(text) = &mut col.expr {
+                        let mut parsed = parse_formula(text)?;
+                        let mut n = 0;
+                        analyze::walk_mut(&mut parsed, &mut |node| {
+                            if let sigma_expr::Formula::Ref(r) = node {
+                                if r.element
+                                    .as_deref()
+                                    .is_some_and(|e| e.eq_ignore_ascii_case(&el_name))
+                                    && r.name.eq_ignore_ascii_case(old)
+                                {
+                                    r.name = new.to_string();
+                                    n += 1;
+                                }
+                            }
+                        });
+                        if n > 0 {
+                            *text = parsed.to_string();
+                            rewritten += 1;
+                        }
+                    }
+                }
+                // Element-sourced tables pass columns through by name.
+                if matches!(&t.source, crate::table::DataSource::Element { name } if name.eq_ignore_ascii_case(&el_name))
+                {
+                    for col in &mut t.columns {
+                        if let ColumnExpr::Source(raw) = &mut col.expr {
+                            if raw.eq_ignore_ascii_case(old) {
+                                *raw = new.to_string();
+                                rewritten += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(rewritten)
+}
+
+/// Rename an element, rewriting qualified `[Element/...]` references and
+/// `DataSource::Element` pointers.
+pub fn rename_element(wb: &mut Workbook, old: &str, new: &str) -> Result<usize, CoreError> {
+    if wb.element(old).is_none() {
+        return Err(CoreError::Unresolved(format!("element {old}")));
+    }
+    if wb.element(new).is_some() && !old.eq_ignore_ascii_case(new) {
+        return Err(CoreError::Document(format!("element {new} already exists")));
+    }
+    if new.contains('/') || new.trim().is_empty() {
+        return Err(CoreError::Document("invalid element name".into()));
+    }
+    let mut rewritten = 0;
+    for page in &mut wb.pages {
+        for el in &mut page.elements {
+            if el.name.eq_ignore_ascii_case(old) {
+                el.name = new.to_string();
+                continue;
+            }
+            let sources: Vec<&mut crate::table::DataSource> = match &mut el.kind {
+                ElementKind::Table(t) => {
+                    for col in &mut t.columns {
+                        if let ColumnExpr::Formula(text) = &mut col.expr {
+                            let mut parsed = parse_formula(text)?;
+                            let n = analyze::rename_element(&mut parsed, old, new);
+                            if n > 0 {
+                                *text = parsed.to_string();
+                                rewritten += 1;
+                            }
+                        }
+                    }
+                    let mut v = vec![&mut t.source];
+                    for link in &mut t.links {
+                        match link {
+                            crate::table::SourceLink::Join { source, .. }
+                            | crate::table::SourceLink::Union { source } => v.push(source),
+                        }
+                    }
+                    v
+                }
+                ElementKind::Viz(v) => vec![&mut v.source],
+                ElementKind::Pivot(p) => vec![&mut p.source],
+                _ => vec![],
+            };
+            for s in sources {
+                if let crate::table::DataSource::Element { name } = s {
+                    if name.eq_ignore_ascii_case(old) {
+                        *name = new.to_string();
+                        rewritten += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(rewritten)
+}
+
+/// Undo/redo history over document snapshots. Cloning a workbook is cheap
+/// relative to query execution, and snapshots pair naturally with the
+/// browser's result cache (undoing re-displays a cached result, §4).
+#[derive(Debug, Default)]
+pub struct History {
+    undo: Vec<Workbook>,
+    redo: Vec<Workbook>,
+}
+
+/// Cap on retained snapshots.
+const MAX_HISTORY: usize = 128;
+
+impl History {
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Record the state *before* an edit.
+    pub fn checkpoint(&mut self, wb: &Workbook) {
+        self.undo.push(wb.clone());
+        if self.undo.len() > MAX_HISTORY {
+            self.undo.remove(0);
+        }
+        self.redo.clear();
+    }
+
+    pub fn can_undo(&self) -> bool {
+        !self.undo.is_empty()
+    }
+
+    pub fn can_redo(&self) -> bool {
+        !self.redo.is_empty()
+    }
+
+    /// Swap the current state for the previous snapshot.
+    pub fn undo(&mut self, current: &mut Workbook) -> bool {
+        match self.undo.pop() {
+            Some(prev) => {
+                self.redo.push(std::mem::replace(current, prev));
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn redo(&mut self, current: &mut Workbook) -> bool {
+        match self.redo.pop() {
+            Some(next) => {
+                self.undo.push(std::mem::replace(current, next));
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::ElementKind;
+    use crate::table::{ColumnDef, DataSource, TableSpec};
+
+    fn wb() -> Workbook {
+        let mut wb = Workbook::new(Some("edit-me"));
+        let mut flights = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
+        flights.add_column(ColumnDef::source("Dep Delay", "dep_delay")).unwrap();
+        flights
+            .add_column(ColumnDef::formula("Is Late", "[Dep Delay] > 15", 0))
+            .unwrap();
+        wb.add_element(0, "Flights", ElementKind::Table(flights)).unwrap();
+
+        let mut other = TableSpec::new(DataSource::WarehouseTable { table: "x".into() });
+        other.add_column(ColumnDef::source("k", "k")).unwrap();
+        other
+            .add_column(ColumnDef::formula(
+                "Avg Delay",
+                "Rollup(Avg([Flights/Dep Delay]), [k], [Flights/Dep Delay])",
+                0,
+            ))
+            .unwrap();
+        wb.add_element(0, "Other", ElementKind::Table(other)).unwrap();
+        wb
+    }
+
+    #[test]
+    fn rename_column_rewrites_local_and_qualified() {
+        let mut wb = wb();
+        let n = rename_column(&mut wb, "Flights", "Dep Delay", "Departure Delay").unwrap();
+        assert_eq!(n, 2); // "Is Late" + Other's rollup
+        let flights = wb.table("Flights").unwrap();
+        assert!(flights.column("Departure Delay").is_some());
+        let is_late = flights.column("Is Late").unwrap();
+        assert_eq!(
+            match &is_late.expr {
+                crate::table::ColumnExpr::Formula(t) => t.as_str(),
+                _ => panic!(),
+            },
+            "[Departure Delay] > 15"
+        );
+        let other = wb.table("Other").unwrap();
+        let rollup = other.column("Avg Delay").unwrap();
+        if let crate::table::ColumnExpr::Formula(t) = &rollup.expr {
+            assert!(t.contains("[Flights/Departure Delay]"), "{t}");
+        }
+    }
+
+    #[test]
+    fn rename_column_conflicts_rejected() {
+        let mut wb = wb();
+        assert!(rename_column(&mut wb, "Flights", "Dep Delay", "Is Late").is_err());
+        assert!(rename_column(&mut wb, "Flights", "missing", "X").is_err());
+    }
+
+    #[test]
+    fn rename_element_rewrites_refs() {
+        let mut wb = wb();
+        let n = rename_element(&mut wb, "Flights", "All Flights").unwrap();
+        assert_eq!(n, 1);
+        assert!(wb.element("All Flights").is_some());
+        let other = wb.table("Other").unwrap();
+        if let crate::table::ColumnExpr::Formula(t) = &other.column("Avg Delay").unwrap().expr {
+            assert!(t.contains("[All Flights/Dep Delay]"), "{t}");
+        }
+        assert!(rename_element(&mut wb, "Other", "All Flights").is_err());
+        assert!(rename_element(&mut wb, "All Flights", "a/b").is_err());
+    }
+
+    #[test]
+    fn undo_redo_round_trip() {
+        let mut wb = wb();
+        let mut history = History::new();
+        let original = wb.clone();
+        history.checkpoint(&wb);
+        rename_element(&mut wb, "Flights", "Renamed").unwrap();
+        assert!(wb.element("Renamed").is_some());
+        assert!(history.undo(&mut wb));
+        assert_eq!(wb, original);
+        assert!(history.can_redo());
+        assert!(history.redo(&mut wb));
+        assert!(wb.element("Renamed").is_some());
+        assert!(!history.undo(&mut wb) || true);
+    }
+}

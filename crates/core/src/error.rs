@@ -1,0 +1,50 @@
+//! Error type for the workbook model and compiler.
+
+use std::fmt;
+
+/// Errors from document manipulation or compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A formula failed to parse.
+    Formula(String),
+    /// A formula failed type checking.
+    Type(String),
+    /// Document-structure validation failed (bad levels, duplicate names…).
+    Document(String),
+    /// Reference to a missing element/column/control.
+    Unresolved(String),
+    /// Cyclic dependency between elements or columns.
+    Cycle(String),
+    /// Compilation cannot express the requested construct.
+    Compile(String),
+    /// Serialization problems.
+    Serde(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Formula(m) => write!(f, "formula error: {m}"),
+            CoreError::Type(m) => write!(f, "type error: {m}"),
+            CoreError::Document(m) => write!(f, "document error: {m}"),
+            CoreError::Unresolved(m) => write!(f, "unresolved reference: {m}"),
+            CoreError::Cycle(m) => write!(f, "cycle: {m}"),
+            CoreError::Compile(m) => write!(f, "compile error: {m}"),
+            CoreError::Serde(m) => write!(f, "serialization error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<sigma_expr::ParseError> for CoreError {
+    fn from(e: sigma_expr::ParseError) -> Self {
+        CoreError::Formula(e.to_string())
+    }
+}
+
+impl From<sigma_expr::TypeError> for CoreError {
+    fn from(e: sigma_expr::TypeError) -> Self {
+        CoreError::Type(e.to_string())
+    }
+}

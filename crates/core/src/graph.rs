@@ -1,0 +1,213 @@
+//! The query input graph: which elements feed which (paper §2: the service
+//! performs "query input graph resolution" before compiling). Edges come
+//! from `DataSource::Element` sources and from `Lookup`/`Rollup` targets in
+//! formulas. Cycles are compile errors (self-Lookups are allowed — they
+//! read the element's *source*, not its output).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::document::{ElementKind, Workbook};
+use crate::error::CoreError;
+use crate::table::{ColumnExpr, DataSource, SourceLink};
+
+/// Direct dependencies of one element (element names, deduplicated,
+/// excluding self-references).
+pub fn element_dependencies(wb: &Workbook, name: &str) -> Result<Vec<String>, CoreError> {
+    let element = wb
+        .element(name)
+        .ok_or_else(|| CoreError::Unresolved(format!("element {name}")))?;
+    let mut deps: Vec<String> = Vec::new();
+    let mut push = |dep: &str| {
+        if !dep.eq_ignore_ascii_case(name)
+            && !deps.iter().any(|d| d.eq_ignore_ascii_case(dep))
+        {
+            deps.push(dep.to_string());
+        }
+    };
+    let mut sources: Vec<&DataSource> = Vec::new();
+    match &element.kind {
+        ElementKind::Table(t) => {
+            sources.push(&t.source);
+            for link in &t.links {
+                match link {
+                    SourceLink::Join { source, .. } | SourceLink::Union { source } => {
+                        sources.push(source)
+                    }
+                }
+            }
+            for col in &t.columns {
+                if let ColumnExpr::Formula(text) = &col.expr {
+                    let parsed = sigma_expr::parse_formula(text)?;
+                    for el in sigma_expr::analyze::referenced_elements(&parsed) {
+                        push(&el);
+                    }
+                }
+            }
+        }
+        ElementKind::Viz(v) => sources.push(&v.source),
+        ElementKind::Pivot(p) => sources.push(&p.source),
+        ElementKind::Input(_)
+        | ElementKind::Text { .. }
+        | ElementKind::Image { .. }
+        | ElementKind::Spacer
+        | ElementKind::Control(_) => {}
+    }
+    for s in sources {
+        if let DataSource::Element { name: dep } = s {
+            push(dep);
+        }
+    }
+    Ok(deps)
+}
+
+/// Topological order over the data elements reachable from `roots`
+/// (dependencies first). Errors on cycles and on references to missing or
+/// non-data elements.
+pub fn resolve_order(wb: &Workbook, roots: &[&str]) -> Result<Vec<String>, CoreError> {
+    let mut order: Vec<String> = Vec::new();
+    let mut state: HashMap<String, u8> = HashMap::new(); // 1 = visiting, 2 = done
+
+    fn visit(
+        wb: &Workbook,
+        name: &str,
+        state: &mut HashMap<String, u8>,
+        order: &mut Vec<String>,
+        stack: &mut Vec<String>,
+    ) -> Result<(), CoreError> {
+        let key = name.to_ascii_lowercase();
+        match state.get(&key) {
+            Some(2) => return Ok(()),
+            Some(1) => {
+                let cycle = stack.join(" -> ");
+                return Err(CoreError::Cycle(format!("{cycle} -> {name}")));
+            }
+            _ => {}
+        }
+        let element = wb
+            .element(name)
+            .ok_or_else(|| CoreError::Unresolved(format!("element {name}")))?;
+        if !element.kind.is_data() {
+            return Err(CoreError::Document(format!(
+                "{name} is not a data element and cannot be a source"
+            )));
+        }
+        state.insert(key.clone(), 1);
+        stack.push(element.name.clone());
+        for dep in element_dependencies(wb, name)? {
+            visit(wb, &dep, state, order, stack)?;
+        }
+        stack.pop();
+        state.insert(key, 2);
+        order.push(element.name.clone());
+        Ok(())
+    }
+
+    let mut stack = Vec::new();
+    for root in roots {
+        visit(wb, root, &mut state, &mut order, &mut stack)?;
+    }
+    Ok(order)
+}
+
+/// Every element that (transitively) consumes `name` — used to know which
+/// queries to re-run when an editable table changes (paper §3.4: "these
+/// edits propagate to downstream queries automatically").
+pub fn downstream_of(wb: &Workbook, name: &str) -> Result<Vec<String>, CoreError> {
+    let mut consumers: Vec<String> = Vec::new();
+    let mut frontier: HashSet<String> = HashSet::new();
+    frontier.insert(name.to_ascii_lowercase());
+    loop {
+        let mut grew = false;
+        for el in wb.elements().filter(|e| e.kind.is_data()) {
+            let key = el.name.to_ascii_lowercase();
+            if frontier.contains(&key) {
+                continue;
+            }
+            let deps = element_dependencies(wb, &el.name)?;
+            if deps.iter().any(|d| frontier.contains(&d.to_ascii_lowercase())) {
+                frontier.insert(key);
+                consumers.push(el.name.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            return Ok(consumers);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{ElementKind, Workbook};
+    use crate::table::{ColumnDef, DataSource, TableSpec};
+
+    fn wb() -> Workbook {
+        let mut wb = Workbook::new(Some("g"));
+        let mut flights = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
+        flights.add_column(ColumnDef::source("Origin", "origin")).unwrap();
+        wb.add_element(0, "Flights", ElementKind::Table(flights)).unwrap();
+
+        let mut derived = TableSpec::new(DataSource::Element { name: "Flights".into() });
+        derived.add_column(ColumnDef::source("Origin", "Origin")).unwrap();
+        wb.add_element(0, "Derived", ElementKind::Table(derived)).unwrap();
+        wb
+    }
+
+    #[test]
+    fn order_dependencies_first() {
+        let wb = wb();
+        let order = resolve_order(&wb, &["Derived"]).unwrap();
+        assert_eq!(order, vec!["Flights".to_string(), "Derived".to_string()]);
+    }
+
+    #[test]
+    fn lookup_edges_counted() {
+        let mut wb = wb();
+        let t = wb.table_mut("Derived").unwrap();
+        t.add_column(ColumnDef::formula(
+            "Name",
+            "Lookup([Airports/name], [Origin], [Airports/code])",
+            0,
+        ))
+        .unwrap();
+        // Airports doesn't exist yet -> unresolved.
+        assert!(resolve_order(&wb, &["Derived"]).is_err());
+        let mut airports = TableSpec::new(DataSource::WarehouseTable { table: "airports".into() });
+        airports.add_column(ColumnDef::source("code", "code")).unwrap();
+        wb.add_element(0, "Airports", ElementKind::Table(airports)).unwrap();
+        let order = resolve_order(&wb, &["Derived"]).unwrap();
+        assert_eq!(order.len(), 3);
+        assert_eq!(order.last().unwrap(), "Derived");
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut wb = wb();
+        // Make Flights source from Derived: cycle.
+        wb.table_mut("Flights").unwrap().source = DataSource::Element { name: "Derived".into() };
+        let err = resolve_order(&wb, &["Derived"]).unwrap_err();
+        assert!(matches!(err, CoreError::Cycle(_)), "{err:?}");
+    }
+
+    #[test]
+    fn self_lookup_is_not_a_cycle() {
+        let mut wb = wb();
+        let t = wb.table_mut("Flights").unwrap();
+        t.add_column(ColumnDef::formula(
+            "First",
+            "Rollup(Min([Flights/Origin]), [Origin], [Flights/Origin])",
+            0,
+        ))
+        .unwrap();
+        resolve_order(&wb, &["Flights"]).unwrap();
+    }
+
+    #[test]
+    fn downstream_propagation_set() {
+        let wb = wb();
+        let down = downstream_of(&wb, "Flights").unwrap();
+        assert_eq!(down, vec!["Derived".to_string()]);
+        assert!(downstream_of(&wb, "Derived").unwrap().is_empty());
+    }
+}

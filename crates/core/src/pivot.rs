@@ -1,0 +1,230 @@
+//! Pivot table elements (paper §3.3). A pivot groups by row dimensions,
+//! spreads a column dimension across the header, and aggregates values in
+//! the cells. Compilation is two-phase: discover the distinct pivot-column
+//! values (capped), then emit one conditional aggregate per value.
+
+use serde::{Deserialize, Serialize};
+use sigma_value::Value;
+
+use crate::error::CoreError;
+use crate::table::{DataSource, FilterSpec};
+
+/// Cap on discovered pivot header values, mirroring product guardrails.
+pub const MAX_PIVOT_VALUES: usize = 50;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PivotSpec {
+    pub source: DataSource,
+    /// Row dimension formulas (name, formula).
+    pub rows: Vec<(String, String)>,
+    /// The column dimension spread across the header.
+    pub column: (String, String),
+    /// Cell measures: (name, aggregate formula).
+    pub values: Vec<(String, String)>,
+    pub filters: Vec<FilterSpec>,
+}
+
+impl PivotSpec {
+    pub fn new(
+        source: DataSource,
+        rows: Vec<(String, String)>,
+        column: (String, String),
+        values: Vec<(String, String)>,
+    ) -> PivotSpec {
+        PivotSpec { source, rows, column, values, filters: Vec::new() }
+    }
+
+    /// Validate the formulas parse and that measures aggregate.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for (name, f) in self.rows.iter().chain([&self.column]) {
+            let parsed = sigma_expr::parse_formula(f)?;
+            if sigma_expr::analyze::has_aggregate(&parsed) {
+                return Err(CoreError::Document(format!(
+                    "pivot dimension {name} cannot aggregate"
+                )));
+            }
+        }
+        for (name, f) in &self.values {
+            let parsed = sigma_expr::parse_formula(f)?;
+            if !sigma_expr::analyze::has_aggregate(&parsed) {
+                return Err(CoreError::Document(format!(
+                    "pivot value {name} must be an aggregate"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 1: the formula whose distinct values become header columns.
+    pub fn discovery_formula(&self) -> &str {
+        &self.column.1
+    }
+
+    /// Phase 2: given discovered header values, the per-cell measure
+    /// formulas — each value becomes `<agg>If`-style conditional aggregates
+    /// in the expression language, so the ordinary table compiler handles
+    /// the rest.
+    pub fn pivoted_value_formulas(
+        &self,
+        header_values: &[Value],
+    ) -> Result<Vec<(String, String)>, CoreError> {
+        if header_values.len() > MAX_PIVOT_VALUES {
+            return Err(CoreError::Compile(format!(
+                "pivot spreads {} values; the maximum is {MAX_PIVOT_VALUES}",
+                header_values.len()
+            )));
+        }
+        let mut out = Vec::new();
+        for hv in header_values {
+            let literal = value_literal(hv);
+            for (vname, vformula) in &self.values {
+                let parsed = sigma_expr::parse_formula(vformula)?;
+                let guarded = guard_aggregates(&parsed, &self.column.1, &literal)?;
+                let col_name = format!("{} ({})", vname, hv.render());
+                out.push((col_name, guarded.to_string()));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Render a value as a formula literal.
+fn value_literal(v: &Value) -> String {
+    match v {
+        Value::Null => "Null".to_string(),
+        Value::Bool(true) => "True".to_string(),
+        Value::Bool(false) => "False".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f}"),
+        Value::Text(s) => format!("\"{}\"", s.replace('"', "\"\"")),
+        Value::Date(_) => format!("Date(\"{}\")", v.render()),
+        Value::Timestamp(_) => format!("DateTime(\"{}\")", v.render()),
+    }
+}
+
+/// Rewrite each aggregate call `Agg(e...)` into its conditional form
+/// filtered to one header value: `SumIf(cond, e)`, `CountIf(cond)`, etc.
+fn guard_aggregates(
+    f: &sigma_expr::Formula,
+    column_formula: &str,
+    literal: &str,
+) -> Result<sigma_expr::Formula, CoreError> {
+    use sigma_expr::{Formula, FunctionKind};
+    let cond_text = if literal == "Null" {
+        format!("IsNull({column_formula})")
+    } else {
+        format!("({column_formula}) = {literal}")
+    };
+    let cond = sigma_expr::parse_formula(&cond_text)?;
+    fn rewrite(
+        f: &sigma_expr::Formula,
+        cond: &sigma_expr::Formula,
+    ) -> Result<sigma_expr::Formula, CoreError> {
+        Ok(match f {
+            Formula::Call { func, args } => {
+                let kind = sigma_expr::registry(func).map(|d| d.kind);
+                if kind == Some(FunctionKind::Aggregate) {
+                    match func.as_str() {
+                        "Sum" | "Avg" | "Min" | "Max" => Formula::Call {
+                            func: format!("{func}If"),
+                            args: vec![cond.clone(), args[0].clone()],
+                        },
+                        "Count" => Formula::Call {
+                            func: "CountIf".into(),
+                            args: vec![cond.clone()],
+                        },
+                        "CountIf" | "SumIf" | "AvgIf" | "MinIf" | "MaxIf" => {
+                            // Already conditional: conjoin.
+                            let mut args = args.clone();
+                            args[0] = sigma_expr::Formula::binary(
+                                sigma_expr::BinaryOp::And,
+                                args[0].clone(),
+                                cond.clone(),
+                            );
+                            Formula::Call { func: func.clone(), args }
+                        }
+                        other => {
+                            return Err(CoreError::Compile(format!(
+                                "pivot cannot condition aggregate {other}; use Sum/Avg/Min/Max/Count"
+                            )))
+                        }
+                    }
+                } else {
+                    Formula::Call {
+                        func: func.clone(),
+                        args: args
+                            .iter()
+                            .map(|a| rewrite(a, cond))
+                            .collect::<Result<_, _>>()?,
+                    }
+                }
+            }
+            Formula::Binary { op, left, right } => Formula::Binary {
+                op: *op,
+                left: Box::new(rewrite(left, cond)?),
+                right: Box::new(rewrite(right, cond)?),
+            },
+            Formula::Unary { op, expr } => Formula::Unary {
+                op: *op,
+                expr: Box::new(rewrite(expr, cond)?),
+            },
+            leaf => leaf.clone(),
+        })
+    }
+    rewrite(f, &cond)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pivot() -> PivotSpec {
+        PivotSpec::new(
+            DataSource::WarehouseTable { table: "flights".into() },
+            vec![("Carrier".into(), "[carrier]".into())],
+            ("Year".into(), "Year([flight_date])".into()),
+            vec![("Flights".into(), "Count()".into())],
+        )
+    }
+
+    #[test]
+    fn validation() {
+        pivot().validate().unwrap();
+        let mut bad = pivot();
+        bad.values[0].1 = "[carrier]".into();
+        assert!(bad.validate().is_err());
+        let mut bad2 = pivot();
+        bad2.rows[0].1 = "Sum([x])".into();
+        assert!(bad2.validate().is_err());
+    }
+
+    #[test]
+    fn pivoted_formulas() {
+        let p = pivot();
+        let cols = p
+            .pivoted_value_formulas(&[Value::Int(2019), Value::Int(2020)])
+            .unwrap();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].0, "Flights (2019)");
+        assert_eq!(cols[0].1, "CountIf(Year(flight_date) = 2019)");
+    }
+
+    #[test]
+    fn sum_becomes_sumif_and_null_header() {
+        let p = PivotSpec::new(
+            DataSource::WarehouseTable { table: "t".into() },
+            vec![],
+            ("k".into(), "[k]".into()),
+            vec![("Total".into(), "Sum([x]) / Count()".into())],
+        );
+        let cols = p.pivoted_value_formulas(&[Value::Null]).unwrap();
+        assert_eq!(cols[0].1, "SumIf(IsNull(k), x) / CountIf(IsNull(k))");
+    }
+
+    #[test]
+    fn value_cap() {
+        let p = pivot();
+        let many: Vec<Value> = (0..51).map(|i| Value::Int(i)).collect();
+        assert!(p.pivoted_value_formulas(&many).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Schema access and compiled-query types shared with the service/browser.
+
+use std::sync::Arc;
+
+use sigma_value::{DataType, Schema};
+
+/// Supplies warehouse schemas to the compiler. The service implements this
+/// against the customer's CDW; tests implement it in memory.
+pub trait SchemaProvider {
+    /// Schema of a warehouse table, if it exists.
+    fn table_schema(&self, table: &str) -> Option<Arc<Schema>>;
+
+    /// Output schema of a raw SQL query (used for `DataSource::RawSql`).
+    /// The default declines, which surfaces a compile error for raw-SQL
+    /// sources — providers backed by a live warehouse plan the query.
+    fn query_schema(&self, _sql: &str) -> Option<Arc<Schema>> {
+        None
+    }
+}
+
+/// In-memory provider for tests and examples.
+#[derive(Default)]
+pub struct StaticSchemas {
+    pub tables: std::collections::HashMap<String, Arc<Schema>>,
+}
+
+impl StaticSchemas {
+    pub fn with(mut self, name: &str, schema: Schema) -> Self {
+        self.tables
+            .insert(name.to_ascii_lowercase(), Arc::new(schema));
+        self
+    }
+}
+
+impl SchemaProvider for StaticSchemas {
+    fn table_schema(&self, table: &str) -> Option<Arc<Schema>> {
+        self.tables.get(&table.to_ascii_lowercase()).cloned()
+    }
+}
+
+/// The compiler's output for one element.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The SQL query as an AST (dialect-independent).
+    pub query: sigma_sql::Query,
+    /// Rendered SQL in the requested dialect.
+    pub sql: String,
+    /// Visible output columns at the detail level, in display order.
+    pub output: Vec<(String, DataType)>,
+    /// Which grouping level the rows materialize at.
+    pub detail_level: usize,
+}

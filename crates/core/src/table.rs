@@ -1,0 +1,409 @@
+//! The Workbook table element (paper §3.1, Figure 3): grouping levels,
+//! columns, and filters over a data source.
+
+use serde::{Deserialize, Serialize};
+use sigma_value::Value;
+
+use crate::error::CoreError;
+
+/// Where a table element's rows come from (paper §3.1 "Data Sources"):
+/// a database table, a SQL query, an uploaded CSV, or another element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DataSource {
+    /// A table in the customer's warehouse.
+    WarehouseTable { table: String },
+    /// A raw SQL query executed on the warehouse.
+    RawSql { sql: String },
+    /// Another workbook data element, referenced by name.
+    Element { name: String },
+    /// An uploaded CSV, marshaled into the warehouse under this table name
+    /// by the service (§3.4).
+    Csv { table: String },
+}
+
+/// How an additional input is combined with the primary source
+/// ("Additional inputs can be included from the same types of sources via
+/// joins or unions", §3.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceLink {
+    Join {
+        source: DataSource,
+        /// (left column, right column) equality pairs.
+        on: Vec<(String, String)>,
+        /// Left joins keep all primary-source rows.
+        left_outer: bool,
+        /// Prefix applied to the joined input's column names.
+        prefix: String,
+    },
+    Union {
+        source: DataSource,
+    },
+}
+
+/// One grouping level. Levels are ordered finest-to-coarsest with the base
+/// at index 0; the summary level is implicit (always present, empty keys).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Level {
+    pub name: String,
+    /// Grouping key column names. Empty only for the base level.
+    /// "The only restriction is that level keys must reference columns from
+    /// a lower level" (§3.1).
+    pub keys: Vec<String>,
+    /// Ordering annotation: how this level's rows are arranged, which
+    /// window expressions derive their ordering from.
+    pub ordering: Vec<LevelOrdering>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelOrdering {
+    pub column: String,
+    pub descending: bool,
+}
+
+impl Level {
+    pub fn base() -> Level {
+        Level { name: "Base".into(), keys: Vec::new(), ordering: Vec::new() }
+    }
+
+    pub fn keyed(name: impl Into<String>, keys: Vec<String>) -> Level {
+        Level { name: name.into(), keys, ordering: Vec::new() }
+    }
+
+    pub fn with_ordering(mut self, column: impl Into<String>, descending: bool) -> Level {
+        self.ordering
+            .push(LevelOrdering { column: column.into(), descending });
+        self
+    }
+}
+
+/// A column's defining expression: either a direct reference to a source
+/// column or a formula in the expression language.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ColumnExpr {
+    /// Passes through a column of the data source (base level only).
+    Source(String),
+    /// A formula, stored as text exactly as the user typed it.
+    Formula(String),
+}
+
+/// One table column: expression, visibility, and resident level (§3.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    pub expr: ColumnExpr,
+    /// Resident level (index into `TableSpec::levels`;
+    /// `levels.len()` = the summary level).
+    pub level: usize,
+    pub visible: bool,
+    /// Display format hint (the model keeps it; rendering is the client's).
+    pub format: Option<String>,
+}
+
+impl ColumnDef {
+    pub fn source(name: impl Into<String>, source_col: impl Into<String>) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            expr: ColumnExpr::Source(source_col.into()),
+            level: 0,
+            visible: true,
+            format: None,
+        }
+    }
+
+    pub fn formula(
+        name: impl Into<String>,
+        formula: impl Into<String>,
+        level: usize,
+    ) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            expr: ColumnExpr::Formula(formula.into()),
+            level,
+            visible: true,
+            format: None,
+        }
+    }
+
+    pub fn hidden(mut self) -> ColumnDef {
+        self.visible = false;
+        self
+    }
+}
+
+/// Filter widgets (§3.1): a predicate applied to one column's values.
+/// Filters apply greedily, as soon as their dependencies are met.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterSpec {
+    pub column: String,
+    pub predicate: FilterPredicate,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FilterPredicate {
+    /// Keep rows whose value is one of these.
+    OneOf(Vec<Value>),
+    /// Drop rows whose value is one of these.
+    NotOneOf(Vec<Value>),
+    /// Inclusive range (either bound may be open).
+    Range { min: Option<Value>, max: Option<Value> },
+    /// Text containment.
+    Contains(String),
+    Equals(Value),
+    IsNull,
+    IsNotNull,
+}
+
+/// The table element specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableSpec {
+    pub source: DataSource,
+    /// Extra inputs joined or unioned into the source.
+    pub links: Vec<SourceLink>,
+    /// Finest-to-coarsest; index 0 is the base (no keys). The summary level
+    /// (empty key set, scalar aggregates) is implicit at index
+    /// `levels.len()`.
+    pub levels: Vec<Level>,
+    pub columns: Vec<ColumnDef>,
+    pub filters: Vec<FilterSpec>,
+    /// Which level the compiled query materializes rows at (default base).
+    pub detail_level: usize,
+    /// Row limit applied to the compiled query (grids fetch pages).
+    pub limit: Option<u64>,
+}
+
+impl TableSpec {
+    /// A table over a source with only the base level.
+    pub fn new(source: DataSource) -> TableSpec {
+        TableSpec {
+            source,
+            links: Vec::new(),
+            levels: vec![Level::base()],
+            columns: Vec::new(),
+            filters: Vec::new(),
+            detail_level: 0,
+            limit: None,
+        }
+    }
+
+    /// Index of the implicit summary level.
+    pub fn summary_level(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn column_mut(&mut self, name: &str) -> Option<&mut ColumnDef> {
+        self.columns
+            .iter_mut()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Add a column, rejecting duplicates.
+    pub fn add_column(&mut self, col: ColumnDef) -> Result<(), CoreError> {
+        if self.column(&col.name).is_some() {
+            return Err(CoreError::Document(format!(
+                "duplicate column name: {}",
+                col.name
+            )));
+        }
+        if col.level > self.summary_level() {
+            return Err(CoreError::Document(format!(
+                "column {} resident at level {} but the table has {} levels",
+                col.name,
+                col.level,
+                self.summary_level() + 1
+            )));
+        }
+        self.columns.push(col);
+        Ok(())
+    }
+
+    /// Insert a keyed grouping level above the base (finer-to-coarser
+    /// position `index`, where 1 is just above the base).
+    pub fn add_level(&mut self, index: usize, level: Level) -> Result<(), CoreError> {
+        if index == 0 {
+            return Err(CoreError::Document("cannot insert below the base level".into()));
+        }
+        if index > self.levels.len() {
+            return Err(CoreError::Document(format!(
+                "level index {index} out of range"
+            )));
+        }
+        if level.keys.is_empty() {
+            return Err(CoreError::Document(
+                "grouping levels require at least one key".into(),
+            ));
+        }
+        self.levels.insert(index, level);
+        // Shift resident levels at or above the insertion point.
+        for c in &mut self.columns {
+            if c.level >= index {
+                c.level += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Structural validation: base has no keys, keys reference columns at
+    /// finer levels, filters reference existing columns.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let Some(base) = self.levels.first() else {
+            return Err(CoreError::Document("table has no base level".into()));
+        };
+        if !base.keys.is_empty() {
+            return Err(CoreError::Document("the base level cannot have keys".into()));
+        }
+        for (i, level) in self.levels.iter().enumerate() {
+            if i > 0 && level.keys.is_empty() {
+                return Err(CoreError::Document(format!(
+                    "level {} has no keys",
+                    level.name
+                )));
+            }
+            for key in &level.keys {
+                let Some(col) = self.column(key) else {
+                    return Err(CoreError::Unresolved(format!(
+                        "level {} keys on unknown column {key}",
+                        level.name
+                    )));
+                };
+                if col.level >= i {
+                    return Err(CoreError::Document(format!(
+                        "level {} key {key} must reference a column from a lower level",
+                        level.name
+                    )));
+                }
+            }
+            for o in &level.ordering {
+                if self.column(&o.column).is_none() {
+                    return Err(CoreError::Unresolved(format!(
+                        "level {} orders by unknown column {}",
+                        level.name, o.column
+                    )));
+                }
+            }
+        }
+        for f in &self.filters {
+            if self.column(&f.column).is_none() {
+                return Err(CoreError::Unresolved(format!(
+                    "filter on unknown column {}",
+                    f.column
+                )));
+            }
+        }
+        if self.detail_level > self.summary_level() {
+            return Err(CoreError::Document(format!(
+                "detail level {} out of range",
+                self.detail_level
+            )));
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for c in &self.columns {
+            if seen.iter().any(|s| s.eq_ignore_ascii_case(&c.name)) {
+                return Err(CoreError::Document(format!(
+                    "duplicate column name: {}",
+                    c.name
+                )));
+            }
+            seen.push(&c.name);
+            if c.level > self.summary_level() {
+                return Err(CoreError::Document(format!(
+                    "column {} level out of range",
+                    c.name
+                )));
+            }
+            if c.level > 0 && matches!(c.expr, ColumnExpr::Source(_)) {
+                return Err(CoreError::Document(format!(
+                    "source column {} must live at the base level",
+                    c.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective grouping key of a level: the union of its keys and every
+    /// coarser level's keys (paper: levels arrange records in a nested
+    /// fashion; the summary's effective key is empty).
+    pub fn effective_keys(&self, level: usize) -> Vec<String> {
+        let mut keys = Vec::new();
+        for l in self.levels.iter().skip(level.max(1)) {
+            for k in &l.keys {
+                if !keys.iter().any(|e: &String| e.eq_ignore_ascii_case(k)) {
+                    keys.push(k.clone());
+                }
+            }
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TableSpec {
+        let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
+        t.add_column(ColumnDef::source("Tail Number", "tail_number")).unwrap();
+        t.add_column(ColumnDef::source("Flight Date", "flight_date")).unwrap();
+        t.add_column(ColumnDef::formula("Cohort", "DateTrunc(\"quarter\", [Flight Date])", 0))
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn validate_ok_and_duplicates() {
+        let mut t = spec();
+        t.validate().unwrap();
+        assert!(t.add_column(ColumnDef::source("cohort", "x")).is_err());
+    }
+
+    #[test]
+    fn add_level_shifts_residents() {
+        let mut t = spec();
+        // Level 1 is the implicit summary while only the base exists;
+        // level 2 is out of range.
+        t.add_column(ColumnDef::formula("Total", "Count()", 2)).unwrap_err();
+        t.add_level(1, Level::keyed("By Cohort", vec!["Cohort".into()])).unwrap();
+        t.add_column(ColumnDef::formula("Planes", "CountDistinct([Tail Number])", 1))
+            .unwrap();
+        t.validate().unwrap();
+        // Insert a finer level below "By Cohort": resident levels shift.
+        t.add_level(1, Level::keyed("By Tail", vec!["Tail Number".into()])).unwrap();
+        assert_eq!(t.column("Planes").unwrap().level, 2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn level_keys_must_be_lower() {
+        let mut t = spec();
+        t.add_level(1, Level::keyed("G", vec!["Cohort".into()])).unwrap();
+        t.add_column(ColumnDef::formula("N", "Count()", 1)).unwrap();
+        // A level keyed on its own level's column is invalid.
+        t.levels[1].keys = vec!["N".into()];
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn effective_keys_union() {
+        let mut t = spec();
+        t.add_level(1, Level::keyed("Quarter", vec!["Flight Date".into()])).unwrap();
+        t.add_level(2, Level::keyed("Cohort", vec!["Cohort".into()])).unwrap();
+        assert_eq!(t.effective_keys(1), vec!["Flight Date".to_string(), "Cohort".to_string()]);
+        assert_eq!(t.effective_keys(2), vec!["Cohort".to_string()]);
+        assert_eq!(t.effective_keys(3), Vec::<String>::new()); // summary
+        // Base's effective key equals level 1's.
+        assert_eq!(t.effective_keys(0), t.effective_keys(1));
+    }
+
+    #[test]
+    fn base_keys_rejected() {
+        let mut t = spec();
+        t.levels[0].keys.push("Cohort".into());
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Visualization elements (paper §3.3). "Workbook visualization elements
+//! use Vega and support common visualization types. … Like tables,
+//! visualization and pivot table elements include columns and filters.
+//! Similarly, both elements have a data source and may be a source for
+//! other elements."
+//!
+//! The DB-relevant half is the backing query: a viz compiles exactly like a
+//! table whose detail level groups by the non-aggregated encodings. The
+//! rendering half is emitted as a Vega-lite-flavored JSON spec.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::table::{ColumnDef, ColumnExpr, DataSource, FilterSpec, Level, TableSpec};
+
+/// Mark types, matching Vega-lite's common set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mark {
+    Bar,
+    Line,
+    Area,
+    Point,
+    Scatter,
+}
+
+impl Mark {
+    fn vega_name(self) -> &'static str {
+        match self {
+            Mark::Bar => "bar",
+            Mark::Line => "line",
+            Mark::Area => "area",
+            Mark::Point | Mark::Scatter => "point",
+        }
+    }
+}
+
+/// Encoding channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Channel {
+    X,
+    Y,
+    Color,
+    Size,
+    Tooltip,
+}
+
+impl Channel {
+    fn vega_name(self) -> &'static str {
+        match self {
+            Channel::X => "x",
+            Channel::Y => "y",
+            Channel::Color => "color",
+            Channel::Size => "size",
+            Channel::Tooltip => "tooltip",
+        }
+    }
+}
+
+/// One encoding: a named column (formula) bound to a channel. Aggregate
+/// formulas become measures; scalar formulas become grouping dimensions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Encoding {
+    pub channel: Channel,
+    pub name: String,
+    pub formula: String,
+}
+
+/// A visualization element specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VizSpec {
+    pub source: DataSource,
+    pub mark: Mark,
+    pub encodings: Vec<Encoding>,
+    pub filters: Vec<FilterSpec>,
+    pub title: Option<String>,
+}
+
+impl VizSpec {
+    pub fn new(source: DataSource, mark: Mark) -> VizSpec {
+        VizSpec { source, mark, encodings: Vec::new(), filters: Vec::new(), title: None }
+    }
+
+    pub fn encode(
+        mut self,
+        channel: Channel,
+        name: impl Into<String>,
+        formula: impl Into<String>,
+    ) -> VizSpec {
+        self.encodings.push(Encoding {
+            channel,
+            name: name.into(),
+            formula: formula.into(),
+        });
+        self
+    }
+
+    /// Lower to an equivalent table spec: dimensions key an intermediate
+    /// level, measures reside at it, and the detail level is that level.
+    pub fn to_table_spec(&self) -> Result<TableSpec, CoreError> {
+        let mut spec = TableSpec::new(self.source.clone());
+        let mut dims: Vec<String> = Vec::new();
+        let mut measures: Vec<&Encoding> = Vec::new();
+        for e in &self.encodings {
+            let parsed = sigma_expr::parse_formula(&e.formula)?;
+            if sigma_expr::analyze::has_aggregate(&parsed) {
+                measures.push(e);
+            } else {
+                dims.push(e.name.clone());
+                spec.add_column(ColumnDef {
+                    name: e.name.clone(),
+                    expr: ColumnExpr::Formula(e.formula.clone()),
+                    level: 0,
+                    visible: true,
+                    format: None,
+                })?;
+            }
+        }
+        if dims.is_empty() {
+            // Pure-measure viz: everything lives at the summary.
+            for m in &measures {
+                spec.add_column(ColumnDef {
+                    name: m.name.clone(),
+                    expr: ColumnExpr::Formula(m.formula.clone()),
+                    level: 1, // summary when only the base exists
+                    visible: true,
+                    format: None,
+                })?;
+            }
+            spec.detail_level = 1;
+        } else {
+            spec.add_level(1, Level::keyed("Marks", dims))?;
+            for m in &measures {
+                spec.add_column(ColumnDef {
+                    name: m.name.clone(),
+                    expr: ColumnExpr::Formula(m.formula.clone()),
+                    level: 1,
+                    visible: true,
+                    format: None,
+                })?;
+            }
+            spec.detail_level = 1;
+        }
+        spec.filters = self.filters.clone();
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Emit a Vega-lite-flavored spec describing the rendering; `data_url`
+    /// is where the client serves the backing query's result.
+    pub fn to_vega_spec(&self, data_url: &str) -> serde_json::Value {
+        let mut encoding = serde_json::Map::new();
+        for e in &self.encodings {
+            let parsed = sigma_expr::parse_formula(&e.formula).ok();
+            let is_measure = parsed
+                .as_ref()
+                .map(sigma_expr::analyze::has_aggregate)
+                .unwrap_or(false);
+            encoding.insert(
+                e.channel.vega_name().to_string(),
+                serde_json::json!({
+                    "field": e.name,
+                    "type": if is_measure { "quantitative" } else { "nominal" },
+                }),
+            );
+        }
+        serde_json::json!({
+            "$schema": "https://vega.github.io/schema/vega-lite/v5.json",
+            "title": self.title,
+            "mark": self.mark.vega_name(),
+            "data": {"url": data_url},
+            "encoding": encoding,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn viz() -> VizSpec {
+        VizSpec::new(DataSource::WarehouseTable { table: "flights".into() }, Mark::Scatter)
+            .encode(Channel::X, "Quarter", "DateTrunc(\"quarter\", [flight_date])")
+            .encode(Channel::Y, "Flights", "Count()")
+            .encode(Channel::Color, "Carrier", "[carrier]")
+    }
+
+    #[test]
+    fn lowering_splits_dims_and_measures() {
+        let spec = viz().to_table_spec().unwrap();
+        assert_eq!(spec.levels.len(), 2); // base + Marks
+        assert_eq!(spec.levels[1].keys, vec!["Quarter".to_string(), "Carrier".to_string()]);
+        let measure = spec.column("Flights").unwrap();
+        assert_eq!(measure.level, 1);
+        assert_eq!(spec.detail_level, 1);
+    }
+
+    #[test]
+    fn pure_measure_viz_uses_summary() {
+        let v = VizSpec::new(DataSource::WarehouseTable { table: "t".into() }, Mark::Bar)
+            .encode(Channel::Y, "Total", "Sum([x])");
+        let spec = v.to_table_spec().unwrap();
+        assert_eq!(spec.levels.len(), 1);
+        assert_eq!(spec.column("Total").unwrap().level, 1);
+    }
+
+    #[test]
+    fn vega_spec_shape() {
+        let spec = viz().to_vega_spec("/results/q-1.json");
+        assert_eq!(spec["mark"], "point");
+        assert_eq!(spec["encoding"]["y"]["type"], "quantitative");
+        assert_eq!(spec["encoding"]["color"]["type"], "nominal");
+        assert_eq!(spec["data"]["url"], "/results/q-1.json");
+    }
+
+    #[test]
+    fn bad_formula_is_an_error() {
+        let v = VizSpec::new(DataSource::WarehouseTable { table: "t".into() }, Mark::Bar)
+            .encode(Channel::X, "Bad", "Sum((");
+        assert!(v.to_table_spec().is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Structural analyses over formulas: referenced columns, aggregate/window
+//! usage, `Lookup`/`Rollup` extraction, and rename refactoring.
+//!
+//! The paper highlights "easy refactoring" as a spreadsheet affordance
+//! Workbook keeps: renaming a column rewrites every formula that references
+//! it ([`rename_ref`]).
+
+use crate::ast::{ColumnRef, Formula};
+use crate::functions::{registry, FunctionKind};
+
+/// Collect every column reference (local and qualified), in evaluation
+/// order, including duplicates.
+pub fn column_refs(f: &Formula) -> Vec<&ColumnRef> {
+    let mut out = Vec::new();
+    walk(f, &mut |node| {
+        if let Formula::Ref(r) = node {
+            out.push(r);
+        }
+    });
+    out
+}
+
+/// Distinct local (unqualified) reference names.
+pub fn local_ref_names(f: &Formula) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for r in column_refs(f) {
+        if r.element.is_none() && !out.iter().any(|n| n.eq_ignore_ascii_case(&r.name)) {
+            out.push(r.name.clone());
+        }
+    }
+    out
+}
+
+/// Pre-order walk.
+pub fn walk<'a>(f: &'a Formula, visit: &mut impl FnMut(&'a Formula)) {
+    visit(f);
+    match f {
+        Formula::Unary { expr, .. } => walk(expr, visit),
+        Formula::Binary { left, right, .. } => {
+            walk(left, visit);
+            walk(right, visit);
+        }
+        Formula::Call { args, .. } => {
+            for a in args {
+                walk(a, visit);
+            }
+        }
+        Formula::Literal(_) | Formula::Ref(_) => {}
+    }
+}
+
+/// Mutable pre-order walk.
+pub fn walk_mut(f: &mut Formula, visit: &mut impl FnMut(&mut Formula)) {
+    visit(f);
+    match f {
+        Formula::Unary { expr, .. } => walk_mut(expr, visit),
+        Formula::Binary { left, right, .. } => {
+            walk_mut(left, visit);
+            walk_mut(right, visit);
+        }
+        Formula::Call { args, .. } => {
+            for a in args {
+                walk_mut(a, visit);
+            }
+        }
+        Formula::Literal(_) | Formula::Ref(_) => {}
+    }
+}
+
+fn kind_of(func: &str) -> Option<FunctionKind> {
+    registry(func).map(|d| d.kind)
+}
+
+/// True when the formula contains any aggregate call (at any depth).
+pub fn has_aggregate(f: &Formula) -> bool {
+    let mut found = false;
+    walk(f, &mut |node| {
+        if let Formula::Call { func, .. } = node {
+            if kind_of(func) == Some(FunctionKind::Aggregate) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// True when the formula contains any window call (at any depth).
+pub fn has_window(f: &Formula) -> bool {
+    let mut found = false;
+    walk(f, &mut |node| {
+        if let Formula::Call { func, .. } = node {
+            if kind_of(func) == Some(FunctionKind::Window) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// True when the formula contains `Lookup` or `Rollup`.
+pub fn has_special(f: &Formula) -> bool {
+    let mut found = false;
+    walk(f, &mut |node| {
+        if let Formula::Call { func, .. } = node {
+            if kind_of(func) == Some(FunctionKind::Special) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Maximum nesting depth of aggregate calls. `Sum(x)` is 1;
+/// `Avg(Sum(x))` is 2; scalar-only formulas are 0. The compiler uses this
+/// to know how many intermediate grouping stages a column needs.
+pub fn agg_depth(f: &Formula) -> usize {
+    match f {
+        Formula::Literal(_) | Formula::Ref(_) => 0,
+        Formula::Unary { expr, .. } => agg_depth(expr),
+        Formula::Binary { left, right, .. } => agg_depth(left).max(agg_depth(right)),
+        Formula::Call { func, args } => {
+            let inner = args.iter().map(agg_depth).max().unwrap_or(0);
+            if kind_of(func) == Some(FunctionKind::Aggregate) {
+                inner + 1
+            } else {
+                inner
+            }
+        }
+    }
+}
+
+/// The target elements named by qualified refs anywhere in the formula.
+pub fn referenced_elements(f: &Formula) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for r in column_refs(f) {
+        if let Some(el) = &r.element {
+            if !out.iter().any(|n| n.eq_ignore_ascii_case(el)) {
+                out.push(el.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Rewrite every local reference to `old` into `new` (case-insensitive
+/// match, the workbook's name semantics). Returns how many refs changed.
+pub fn rename_ref(f: &mut Formula, old: &str, new: &str) -> usize {
+    let mut count = 0;
+    walk_mut(f, &mut |node| {
+        if let Formula::Ref(r) = node {
+            if r.element.is_none() && r.name.eq_ignore_ascii_case(old) {
+                r.name = new.to_string();
+                count += 1;
+            }
+        }
+    });
+    count
+}
+
+/// Rewrite qualified refs `[old_element/...]` to `[new_element/...]` (used
+/// when an element is renamed).
+pub fn rename_element(f: &mut Formula, old: &str, new: &str) -> usize {
+    let mut count = 0;
+    walk_mut(f, &mut |node| {
+        if let Formula::Ref(r) = node {
+            if r.element.as_deref().is_some_and(|e| e.eq_ignore_ascii_case(old)) {
+                r.element = Some(new.to_string());
+                count += 1;
+            }
+        }
+    });
+    count
+}
+
+/// Substitute every local reference to `name` with a copy of `replacement`
+/// (used to inline one column's formula into another).
+pub fn substitute_ref(f: &mut Formula, name: &str, replacement: &Formula) -> usize {
+    let mut count = 0;
+    walk_mut(f, &mut |node| {
+        let is_match = matches!(
+            node,
+            Formula::Ref(r) if r.element.is_none() && r.name.eq_ignore_ascii_case(name)
+        );
+        if is_match {
+            *node = replacement.clone();
+            count += 1;
+        }
+    });
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn p(src: &str) -> Formula {
+        parse_formula(src).unwrap()
+    }
+
+    #[test]
+    fn collects_refs() {
+        let f = p("Sum([Dep Delay]) / Count() + [Dep Delay]");
+        let names = local_ref_names(&f);
+        assert_eq!(names, vec!["Dep Delay"]);
+        assert_eq!(column_refs(&f).len(), 2);
+    }
+
+    #[test]
+    fn detects_kinds() {
+        assert!(has_aggregate(&p("Sum(x) + 1")));
+        assert!(!has_aggregate(&p("x + 1")));
+        assert!(has_window(&p("Lag(x, 1)")));
+        assert!(has_special(&p("Lookup([E/c], k, [E/k2])")));
+        assert!(!has_special(&p("Sum(x)")));
+    }
+
+    #[test]
+    fn agg_depth_nesting() {
+        assert_eq!(agg_depth(&p("x + 1")), 0);
+        assert_eq!(agg_depth(&p("Sum(x)")), 1);
+        assert_eq!(agg_depth(&p("Avg(Sum(x))")), 2);
+        assert_eq!(agg_depth(&p("Sum(x) / Avg(Sum(y))")), 2);
+        // Windows don't add aggregate depth.
+        assert_eq!(agg_depth(&p("Lag(Sum(x), 1)")), 1);
+    }
+
+    #[test]
+    fn rename_is_case_insensitive() {
+        let mut f = p("[dep delay] + Sum([Dep Delay])");
+        let n = rename_ref(&mut f, "Dep Delay", "Departure Delay");
+        assert_eq!(n, 2);
+        assert_eq!(f.to_string(), "[Departure Delay] + Sum([Departure Delay])");
+    }
+
+    #[test]
+    fn rename_element_only_touches_qualified() {
+        let mut f = p("Lookup([Airports/Name], Origin, [Airports/Code]) & Origin");
+        let n = rename_element(&mut f, "airports", "US Airports");
+        assert_eq!(n, 2);
+        assert!(f.to_string().contains("[US Airports/Name]"));
+        // Local refs unchanged.
+        assert!(f.to_string().contains("Origin"));
+    }
+
+    #[test]
+    fn substitution_inlines() {
+        let mut f = p("margin * 100");
+        let repl = p("(revenue - cost) / revenue");
+        assert_eq!(substitute_ref(&mut f, "Margin", &repl), 1);
+        assert_eq!(f.to_string(), "(revenue - cost) / revenue * 100");
+    }
+
+    #[test]
+    fn referenced_elements_dedup() {
+        let f = p("Lookup([A/x], k, [A/k]) + Rollup(Sum([B/y]), k, [B/k])");
+        assert_eq!(referenced_elements(&f), vec!["A", "B"]);
+    }
+}

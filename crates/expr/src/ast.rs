@@ -1,0 +1,288 @@
+//! Formula AST and its canonical, round-trippable textual form.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sigma_value::Value;
+
+/// A reference to a column — `[Name]`, a bare identifier, or a qualified
+/// `[Element/Name]` reference to another workbook element (only meaningful
+/// inside `Lookup`/`Rollup` arguments). Controls are referenced with the
+/// same syntax and resolved against the control namespace when no column
+/// matches.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Target element name for qualified refs (`[Flights/Tail Number]`).
+    pub element: Option<String>,
+    pub name: String,
+}
+
+impl ColumnRef {
+    pub fn local(name: impl Into<String>) -> ColumnRef {
+        ColumnRef { element: None, name: name.into() }
+    }
+
+    pub fn qualified(element: impl Into<String>, name: impl Into<String>) -> ColumnRef {
+        ColumnRef { element: Some(element.into()), name: name.into() }
+    }
+}
+
+/// Binary operators, in the order users write them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Pow,
+    /// `&` — text concatenation.
+    Concat,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinaryOp {
+    /// Parser/printer precedence; higher binds tighter.
+    pub fn precedence(self) -> u8 {
+        use BinaryOp::*;
+        match self {
+            Or => 1,
+            And => 2,
+            Eq | Ne | Lt | Le | Gt | Ge => 4,
+            Concat => 5,
+            Add | Sub => 6,
+            Mul | Div | Mod => 7,
+            Pow => 9,
+        }
+    }
+
+    /// Pow is right-associative; all others are left-associative.
+    pub fn right_assoc(self) -> bool {
+        matches!(self, BinaryOp::Pow)
+    }
+
+    pub fn symbol(self) -> &'static str {
+        use BinaryOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Mod => "%",
+            Pow => "^",
+            Concat => "&",
+            Eq => "=",
+            Ne => "!=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            And => "and",
+            Or => "or",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// A parsed formula.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Formula {
+    Literal(Value),
+    Ref(ColumnRef),
+    Unary { op: UnaryOp, expr: Box<Formula> },
+    Binary { op: BinaryOp, left: Box<Formula>, right: Box<Formula> },
+    /// Function call; `func` holds the registry's canonical casing.
+    Call { func: String, args: Vec<Formula> },
+}
+
+impl Formula {
+    pub fn lit(v: impl Into<Value>) -> Formula {
+        Formula::Literal(v.into())
+    }
+
+    pub fn col(name: impl Into<String>) -> Formula {
+        Formula::Ref(ColumnRef::local(name))
+    }
+
+    pub fn call(func: impl Into<String>, args: Vec<Formula>) -> Formula {
+        Formula::Call { func: func.into(), args }
+    }
+
+    pub fn binary(op: BinaryOp, left: Formula, right: Formula) -> Formula {
+        Formula::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Printer precedence of this node (atoms are maximal). Negative
+    /// numeric literals print with a leading `-`, so they carry unary-minus
+    /// precedence — `(-2) ^ x` must keep its parentheses.
+    fn precedence(&self) -> u8 {
+        match self {
+            Formula::Binary { op, .. } => op.precedence(),
+            Formula::Unary { op: UnaryOp::Neg, .. } => 8,
+            Formula::Unary { op: UnaryOp::Not, .. } => 3,
+            Formula::Literal(Value::Int(i)) if *i < 0 => 8,
+            Formula::Literal(Value::Float(f)) if *f < 0.0 => 8,
+            _ => 10,
+        }
+    }
+}
+
+/// True when a name can be written bare (identifier) rather than `[..]`.
+pub fn is_bare_identifier(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else { return false };
+    if !(first.is_ascii_alphabetic() || first == '_') {
+        return false;
+    }
+    if !chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return false;
+    }
+    // Keywords must be bracketed to be treated as refs.
+    !matches!(
+        name.to_ascii_lowercase().as_str(),
+        "and" | "or" | "not" | "true" | "false" | "null"
+    )
+}
+
+fn write_ref(f: &mut fmt::Formatter<'_>, r: &ColumnRef) -> fmt::Result {
+    match &r.element {
+        Some(el) => write!(f, "[{}/{}]", el, r.name),
+        None => {
+            if is_bare_identifier(&r.name) {
+                f.write_str(&r.name)
+            } else {
+                write!(f, "[{}]", r.name)
+            }
+        }
+    }
+}
+
+fn write_literal(f: &mut fmt::Formatter<'_>, v: &Value) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("Null"),
+        Value::Bool(true) => f.write_str("True"),
+        Value::Bool(false) => f.write_str("False"),
+        Value::Int(i) => write!(f, "{i}"),
+        Value::Float(x) => {
+            if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                write!(f, "{x:.1}")
+            } else {
+                write!(f, "{x}")
+            }
+        }
+        Value::Text(s) => write!(f, "\"{}\"", s.replace('"', "\"\"")),
+        // Date/timestamp literals only arise from control binding; they
+        // print as constructor calls so the text stays parseable.
+        Value::Date(_) => write!(f, "Date(\"{}\")", v.render()),
+        Value::Timestamp(_) => write!(f, "DateTime(\"{}\")", v.render()),
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Literal(v) => write_literal(f, v),
+            Formula::Ref(r) => write_ref(f, r),
+            Formula::Unary { op, expr } => {
+                let sym = match op {
+                    UnaryOp::Neg => "-",
+                    UnaryOp::Not => "not ",
+                };
+                f.write_str(sym)?;
+                if expr.precedence() < self.precedence() {
+                    write!(f, "({expr})")
+                } else {
+                    write!(f, "{expr}")
+                }
+            }
+            Formula::Binary { op, left, right } => {
+                let p = op.precedence();
+                // Parenthesize a child when it binds looser, or equally on
+                // the side where associativity would regroup it.
+                let left_needs =
+                    left.precedence() < p || (left.precedence() == p && op.right_assoc());
+                let right_needs =
+                    right.precedence() < p || (right.precedence() == p && !op.right_assoc());
+                if left_needs {
+                    write!(f, "({left})")?;
+                } else {
+                    write!(f, "{left}")?;
+                }
+                write!(f, " {} ", op.symbol())?;
+                if right_needs {
+                    write!(f, "({right})")
+                } else {
+                    write!(f, "{right}")
+                }
+            }
+            Formula::Call { func, args } => {
+                write!(f, "{func}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_brackets_when_needed() {
+        assert_eq!(Formula::col("Revenue").to_string(), "Revenue");
+        assert_eq!(Formula::col("Flight Date").to_string(), "[Flight Date]");
+        assert_eq!(Formula::col("and").to_string(), "[and]");
+        assert_eq!(
+            Formula::Ref(ColumnRef::qualified("Flights", "Tail Number")).to_string(),
+            "[Flights/Tail Number]"
+        );
+    }
+
+    #[test]
+    fn display_parenthesization() {
+        // (a + b) * c needs parens; a + b * c does not.
+        let sum = Formula::binary(BinaryOp::Add, Formula::col("a"), Formula::col("b"));
+        let f = Formula::binary(BinaryOp::Mul, sum.clone(), Formula::col("c"));
+        assert_eq!(f.to_string(), "(a + b) * c");
+        let g = Formula::binary(
+            BinaryOp::Add,
+            Formula::col("a"),
+            Formula::binary(BinaryOp::Mul, Formula::col("b"), Formula::col("c")),
+        );
+        assert_eq!(g.to_string(), "a + b * c");
+        // Left-assoc: a - (b - c) keeps parens, (a - b) - c drops them.
+        let h = Formula::binary(
+            BinaryOp::Sub,
+            Formula::col("a"),
+            Formula::binary(BinaryOp::Sub, Formula::col("b"), Formula::col("c")),
+        );
+        assert_eq!(h.to_string(), "a - (b - c)");
+    }
+
+    #[test]
+    fn display_literals() {
+        assert_eq!(Formula::lit(3i64).to_string(), "3");
+        assert_eq!(Formula::lit(2.5).to_string(), "2.5");
+        assert_eq!(Formula::lit(2.0).to_string(), "2.0");
+        assert_eq!(Formula::lit("he said \"hi\"").to_string(), "\"he said \"\"hi\"\"\"");
+        assert_eq!(Formula::Literal(Value::Null).to_string(), "Null");
+    }
+}

@@ -1,0 +1,408 @@
+//! Tokenizer for the formula language.
+
+use std::fmt;
+
+/// A lexical token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal (no decimal point or exponent).
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// `"..."` string; doubled quotes escape.
+    Str(String),
+    /// Bare identifier (function name, column ref, or keyword).
+    Ident(String),
+    /// `[...]` bracketed reference, verbatim interior.
+    Bracket(String),
+    LParen,
+    RParen,
+    Comma,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Caret,
+    Amp,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Bracket(s) => write!(f, "[{s}]"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Percent => f.write_str("%"),
+            TokenKind::Caret => f.write_str("^"),
+            TokenKind::Amp => f.write_str("&"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::Ne => f.write_str("!="),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::AndAnd => f.write_str("&&"),
+            TokenKind::OrOr => f.write_str("||"),
+            TokenKind::Bang => f.write_str("!"),
+        }
+    }
+}
+
+/// A lexing failure: message plus byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+/// Tokenize a formula.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token { kind: TokenKind::Percent, offset: start });
+                i += 1;
+            }
+            '^' => {
+                tokens.push(Token { kind: TokenKind::Caret, offset: start });
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token { kind: TokenKind::AndAnd, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Amp, offset: start });
+                    i += 1;
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token { kind: TokenKind::OrOr, offset: start });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "unexpected '|'".into(), offset: start });
+                }
+            }
+            '=' => {
+                // Accept both `=` and `==`.
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Bang, offset: start });
+                    i += 1;
+                }
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(&b'=') => {
+                        tokens.push(Token { kind: TokenKind::Le, offset: start });
+                        i += 2;
+                    }
+                    Some(&b'>') => {
+                        tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(&b'"') => {
+                            if bytes.get(i + 1) == Some(&b'"') {
+                                s.push('"');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 scalar.
+                            let rest = &input[i..];
+                            let ch = rest.chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            '[' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated [reference]".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(&b']') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b'[') => {
+                            return Err(LexError {
+                                message: "nested '[' in reference".into(),
+                                offset: i,
+                            })
+                        }
+                        Some(_) => {
+                            let rest = &input[i..];
+                            let ch = rest.chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                if s.trim().is_empty() {
+                    return Err(LexError { message: "empty [reference]".into(), offset: start });
+                }
+                tokens.push(Token { kind: TokenKind::Bracket(s.trim().to_string()), offset: start });
+            }
+            _ if c.is_ascii_digit()
+                || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
+                let mut end = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while end < bytes.len() {
+                    let b = bytes[end] as char;
+                    if b.is_ascii_digit() {
+                        end += 1;
+                    } else if b == '.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        end += 1;
+                    } else if (b == 'e' || b == 'E')
+                        && !saw_exp
+                        && end + 1 < bytes.len()
+                        && (bytes[end + 1].is_ascii_digit()
+                            || ((bytes[end + 1] == b'+' || bytes[end + 1] == b'-')
+                                && end + 2 < bytes.len()
+                                && bytes[end + 2].is_ascii_digit()))
+                    {
+                        saw_exp = true;
+                        end += 2; // consume 'e' and sign/first digit
+                        while end < bytes.len() && bytes[end].is_ascii_digit() {
+                            end += 1;
+                        }
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[i..end];
+                let kind = if saw_dot || saw_exp {
+                    TokenKind::Float(text.parse().map_err(|_| LexError {
+                        message: format!("bad number {text:?}"),
+                        offset: start,
+                    })?)
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => TokenKind::Int(v),
+                        // Overflowing integers degrade to floats.
+                        Err(_) => TokenKind::Float(text.parse().map_err(|_| LexError {
+                            message: format!("bad number {text:?}"),
+                            offset: start,
+                        })?),
+                    }
+                };
+                tokens.push(Token { kind, offset: start });
+                i = end;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len()
+                    && ((bytes[end] as char).is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[i..end].to_string()),
+                    offset: start,
+                });
+                i = end;
+            }
+            _ => {
+                return Err(LexError {
+                    message: format!("unexpected character {c:?}"),
+                    offset: start,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![TokenKind::Int(42)]);
+        assert_eq!(kinds("4.5"), vec![TokenKind::Float(4.5)]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Float(1000.0)]);
+        assert_eq!(kinds("2.5e-1"), vec![TokenKind::Float(0.25)]);
+        assert_eq!(kinds(".5"), vec![TokenKind::Float(0.5)]);
+        // Overflow degrades to float.
+        assert!(matches!(kinds("99999999999999999999")[0], TokenKind::Float(_)));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("\"he said \"\"hi\"\"\""),
+            vec![TokenKind::Str("he said \"hi\"".into())]
+        );
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn brackets() {
+        assert_eq!(
+            kinds("[Flight Date]"),
+            vec![TokenKind::Bracket("Flight Date".into())]
+        );
+        assert_eq!(
+            kinds("[Flights/Tail Number]"),
+            vec![TokenKind::Bracket("Flights/Tail Number".into())]
+        );
+        assert!(lex("[oops").is_err());
+        assert!(lex("[]").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a <= b != c <> d == e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("c".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("e".into()),
+            ]
+        );
+        assert_eq!(kinds("&& || &"), vec![TokenKind::AndAnd, TokenKind::OrOr, TokenKind::Amp]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("#").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings_and_brackets() {
+        assert_eq!(kinds("\"héllo\""), vec![TokenKind::Str("héllo".into())]);
+        assert_eq!(kinds("[Ça va]"), vec![TokenKind::Bracket("Ça va".into())]);
+    }
+}

@@ -1,0 +1,27 @@
+//! The Sigma Workbook spreadsheet formula language (paper §3.1).
+//!
+//! Column expressions, known as *formulas*, are written in an expression
+//! language familiar to users of spreadsheet and BI tools. Like SQL,
+//! supported functions fall into one of three categories: single row,
+//! aggregate, and window — plus the two *special* functions `Lookup` and
+//! `Rollup` (§3.2) that express ad-hoc joins against other workbook
+//! elements. Unlike SQL, there are no restrictions on how these functions
+//! are composed; the compiler in `sigma-core` lowers arbitrary compositions
+//! onto grouping levels.
+//!
+//! This crate provides the textual language only: lexing, parsing, a
+//! round-trippable printer, the function registry, type inference, and the
+//! structural analyses (referenced columns, aggregate depth, lookup
+//! extraction, rename refactoring) that the compiler builds on.
+
+pub mod analyze;
+pub mod ast;
+pub mod functions;
+pub mod lexer;
+pub mod parser;
+pub mod typecheck;
+
+pub use ast::{BinaryOp, ColumnRef, Formula, UnaryOp};
+pub use functions::{registry, FunctionDef, FunctionKind};
+pub use parser::{parse_formula, ParseError};
+pub use typecheck::{infer_type, TypeEnv, TypeError};

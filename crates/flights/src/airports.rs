@@ -1,0 +1,132 @@
+//! The airports dimension: the "plausible dataset" Scenario 3 finds on the
+//! web and pastes into an editable table — plus a deliberately dirty
+//! variant to reproduce the demo's data-cleaning step.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sigma_value::{Batch, Column, DataType, Field, Schema};
+
+/// One airport row.
+pub struct Airport {
+    pub code: &'static str,
+    pub city: &'static str,
+    pub state: &'static str,
+    pub elevation_ft: i64,
+}
+
+/// A realistic set of large US airports.
+pub static AIRPORTS: &[Airport] = &[
+    Airport { code: "ATL", city: "Atlanta", state: "GA", elevation_ft: 1026 },
+    Airport { code: "LAX", city: "Los Angeles", state: "CA", elevation_ft: 128 },
+    Airport { code: "ORD", city: "Chicago", state: "IL", elevation_ft: 672 },
+    Airport { code: "DFW", city: "Dallas-Fort Worth", state: "TX", elevation_ft: 607 },
+    Airport { code: "DEN", city: "Denver", state: "CO", elevation_ft: 5431 },
+    Airport { code: "JFK", city: "New York", state: "NY", elevation_ft: 13 },
+    Airport { code: "SFO", city: "San Francisco", state: "CA", elevation_ft: 13 },
+    Airport { code: "SEA", city: "Seattle", state: "WA", elevation_ft: 433 },
+    Airport { code: "LAS", city: "Las Vegas", state: "NV", elevation_ft: 2181 },
+    Airport { code: "MCO", city: "Orlando", state: "FL", elevation_ft: 96 },
+    Airport { code: "EWR", city: "Newark", state: "NJ", elevation_ft: 18 },
+    Airport { code: "CLT", city: "Charlotte", state: "NC", elevation_ft: 748 },
+    Airport { code: "PHX", city: "Phoenix", state: "AZ", elevation_ft: 1135 },
+    Airport { code: "IAH", city: "Houston", state: "TX", elevation_ft: 97 },
+    Airport { code: "MIA", city: "Miami", state: "FL", elevation_ft: 8 },
+    Airport { code: "BOS", city: "Boston", state: "MA", elevation_ft: 20 },
+    Airport { code: "MSP", city: "Minneapolis", state: "MN", elevation_ft: 841 },
+    Airport { code: "DTW", city: "Detroit", state: "MI", elevation_ft: 645 },
+    Airport { code: "FLL", city: "Fort Lauderdale", state: "FL", elevation_ft: 9 },
+    Airport { code: "PHL", city: "Philadelphia", state: "PA", elevation_ft: 36 },
+    Airport { code: "SLC", city: "Salt Lake City", state: "UT", elevation_ft: 4227 },
+    Airport { code: "BWI", city: "Baltimore", state: "MD", elevation_ft: 146 },
+    Airport { code: "DCA", city: "Washington", state: "DC", elevation_ft: 15 },
+    Airport { code: "SAN", city: "San Diego", state: "CA", elevation_ft: 17 },
+    Airport { code: "TPA", city: "Tampa", state: "FL", elevation_ft: 26 },
+    Airport { code: "PDX", city: "Portland", state: "OR", elevation_ft: 31 },
+    Airport { code: "STL", city: "St. Louis", state: "MO", elevation_ft: 618 },
+    Airport { code: "HNL", city: "Honolulu", state: "HI", elevation_ft: 13 },
+    Airport { code: "AUS", city: "Austin", state: "TX", elevation_ft: 542 },
+    Airport { code: "MSY", city: "New Orleans", state: "LA", elevation_ft: 4 },
+];
+
+/// The clean dimension as a batch.
+pub fn airports_batch() -> Batch {
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("code", DataType::Text),
+        Field::new("city", DataType::Text),
+        Field::new("state", DataType::Text),
+        Field::new("elevation_ft", DataType::Int),
+    ]));
+    Batch::new(
+        schema,
+        vec![
+            Column::from_texts(AIRPORTS.iter().map(|a| a.code.to_string()).collect()),
+            Column::from_texts(AIRPORTS.iter().map(|a| a.city.to_string()).collect()),
+            Column::from_texts(AIRPORTS.iter().map(|a| a.state.to_string()).collect()),
+            Column::from_ints(AIRPORTS.iter().map(|a| a.elevation_ft).collect()),
+        ],
+    )
+    .expect("static data is valid")
+}
+
+/// The "web-found" CSV with deliberate dirt (Scenario 3): lower-cased
+/// codes, blank cells, and non-numeric elevations that users then fix by
+/// direct editing.
+pub fn dirty_airports_csv(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::from("code,city,state,elevation_ft\n");
+    for a in AIRPORTS {
+        let code = if rng.random::<f64>() < 0.1 {
+            a.code.to_lowercase()
+        } else {
+            a.code.to_string()
+        };
+        let city = if rng.random::<f64>() < 0.07 { String::new() } else { a.city.to_string() };
+        let elevation = if rng.random::<f64>() < 0.08 {
+            format!("{} ft", a.elevation_ft) // dirty: unit suffix
+        } else {
+            a.elevation_ft.to_string()
+        };
+        out.push_str(&format!("{code},{city},{},{elevation}\n", a.state));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_batch_shape() {
+        let b = airports_batch();
+        assert_eq!(b.num_rows(), AIRPORTS.len());
+        assert_eq!(b.num_columns(), 4);
+        assert_eq!(b.column_by_name("code").unwrap().distinct_count(), AIRPORTS.len());
+    }
+
+    #[test]
+    fn dirty_csv_parses_with_nulls() {
+        let csv = dirty_airports_csv(42);
+        let parsed = sigma_value::csv::read_csv(&csv, &Default::default()).unwrap();
+        assert_eq!(parsed.num_rows(), AIRPORTS.len());
+        // The dirt shows up as NULL elevations (unit suffixes fail the Int
+        // parse) and/or blank cities.
+        let dirty_cells = parsed.column_by_name("elevation_ft").unwrap().null_count()
+            + parsed.column_by_name("city").unwrap().null_count();
+        assert!(dirty_cells > 0, "dirty CSV produced no dirt");
+        // Deterministic.
+        assert_eq!(csv, dirty_airports_csv(42));
+        assert_ne!(csv, dirty_airports_csv(43));
+    }
+
+    #[test]
+    fn dirty_elevation_column_becomes_text_or_nullable() {
+        let csv = dirty_airports_csv(42);
+        let parsed = sigma_value::csv::read_csv(&csv, &Default::default()).unwrap();
+        // Inference sampled the whole file: mixed ints and "### ft" make it
+        // Text OR Int-with-nulls depending on the sample; both acceptable.
+        let dtype = parsed.schema().field_named("elevation_ft").unwrap().dtype;
+        assert!(matches!(dtype, DataType::Int | DataType::Text));
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic BTS On-Time flights workload.
+//!
+//! The paper's demonstration uses "the On-Time database of the United
+//! States domestic airline carrier flights between 1987–2020" (200M rows).
+//! That dataset is public but large and external; this crate generates a
+//! deterministic, seedable synthetic equivalent whose *distributions* are
+//! shaped so the paper's three scenarios produce meaningful results:
+//!
+//! * **Cohorts** (Scenario 1): planes enter service in staggered quarters
+//!   and retire after a plane-specific lifetime, so per-cohort activity
+//!   decays over time.
+//! * **Sessionization** (Scenario 2): each plane's flights cluster between
+//!   maintenance gaps (> 30 idle days), and cancellation probability rises
+//!   with accumulated air time since the last service — the line chart of
+//!   cancellations vs. hours-since-service has the expected upward shape.
+//! * **Augmentation** (Scenario 3): an airports dimension (with a
+//!   deliberately dirty variant for the copy-paste step) joins on origin.
+
+pub mod airports;
+pub mod gen;
+pub mod load;
+
+pub use airports::{airports_batch, dirty_airports_csv, AIRPORTS};
+pub use gen::{generate_flights, FlightsConfig};
+pub use load::{load_airports, load_flights};

@@ -1,0 +1,220 @@
+//! The app-server **query directory** — the second cache level of §4.
+//!
+//! "The second level of caching is a directory of recent queries maintained
+//! by the Sigma app server. The directory points to available result sets,
+//! stored in the CDW by their query-id, which can be re-fetched as
+//! requested. It also tracks in-flight query requests, enabling multiple
+//! browsers to share results when collaboratively editing a document."
+//!
+//! Entries hold only `(fingerprint -> query id)` — never warehouse data,
+//! honoring the constraint that "user warehouse data is never stored
+//! within the Sigma service cloud".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Statistics exposed for the caching experiments (E4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectoryStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Queries that piggybacked on an identical in-flight request.
+    pub coalesced: u64,
+}
+
+#[derive(Default)]
+struct InFlight {
+    done: Mutex<Option<String>>, // query id once complete
+    cv: Condvar,
+}
+
+/// Directory of recent query fingerprints.
+pub struct QueryDirectory {
+    /// fingerprint -> warehouse query id (re-fetchable via RESULT_SCAN).
+    entries: Mutex<HashMap<String, String>>,
+    order: Mutex<Vec<String>>,
+    in_flight: Mutex<HashMap<String, Arc<InFlight>>>,
+    stats: Mutex<DirectoryStats>,
+    capacity: usize,
+}
+
+impl QueryDirectory {
+    pub fn new(capacity: usize) -> QueryDirectory {
+        QueryDirectory {
+            entries: Mutex::new(HashMap::new()),
+            order: Mutex::new(Vec::new()),
+            in_flight: Mutex::new(HashMap::new()),
+            stats: Mutex::new(DirectoryStats::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn stats(&self) -> DirectoryStats {
+        *self.stats.lock()
+    }
+
+    /// Look up a completed query id for a fingerprint.
+    pub fn lookup(&self, fingerprint: &str) -> Option<String> {
+        let hit = self.entries.lock().get(fingerprint).cloned();
+        let mut stats = self.stats.lock();
+        if hit.is_some() {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+        hit
+    }
+
+    /// Record a completed query.
+    pub fn insert(&self, fingerprint: &str, query_id: &str) {
+        let mut entries = self.entries.lock();
+        let mut order = self.order.lock();
+        if entries.insert(fingerprint.to_string(), query_id.to_string()).is_none() {
+            order.push(fingerprint.to_string());
+        }
+        while order.len() > self.capacity {
+            let evicted = order.remove(0);
+            entries.remove(&evicted);
+        }
+    }
+
+    /// Drop entries (called when underlying data changes, e.g. after edit
+    /// propagation invalidates downstream results).
+    pub fn invalidate(&self, predicate: impl Fn(&str) -> bool) -> usize {
+        let mut entries = self.entries.lock();
+        let mut order = self.order.lock();
+        let victims: Vec<String> = entries
+            .keys()
+            .filter(|k| predicate(k))
+            .cloned()
+            .collect();
+        for v in &victims {
+            entries.remove(v);
+            order.retain(|o| o != v);
+        }
+        victims.len()
+    }
+
+    /// Run `execute` once per fingerprint even under concurrency: the first
+    /// caller executes; identical concurrent requests block and share the
+    /// resulting query id (collaborative editing, §4).
+    pub fn run_coalesced<E>(
+        &self,
+        fingerprint: &str,
+        execute: impl FnOnce() -> Result<String, E>,
+    ) -> Result<(String, bool), E> {
+        // Fast path: already in the directory.
+        if let Some(qid) = self.lookup(fingerprint) {
+            return Ok((qid, true));
+        }
+        let (flight, leader) = {
+            let mut in_flight = self.in_flight.lock();
+            match in_flight.get(fingerprint) {
+                Some(f) => (f.clone(), false),
+                None => {
+                    let f = Arc::new(InFlight::default());
+                    in_flight.insert(fingerprint.to_string(), f.clone());
+                    (f, true)
+                }
+            }
+        };
+        if leader {
+            let outcome = execute();
+            match &outcome {
+                Ok(qid) => {
+                    self.insert(fingerprint, qid);
+                    *flight.done.lock() = Some(qid.clone());
+                }
+                Err(_) => {
+                    // Leave `done` empty; followers will re-drive.
+                    *flight.done.lock() = Some(String::new());
+                }
+            }
+            flight.cv.notify_all();
+            self.in_flight.lock().remove(fingerprint);
+            outcome.map(|qid| (qid, false))
+        } else {
+            let mut done = flight.done.lock();
+            while done.is_none() {
+                flight.cv.wait(&mut done);
+            }
+            let qid = done.clone().unwrap();
+            drop(done);
+            if qid.is_empty() {
+                // Leader failed: retry as a new leader.
+                return self.run_coalesced(fingerprint, execute);
+            }
+            self.stats.lock().coalesced += 1;
+            Ok((qid, true))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn lookup_insert_evict() {
+        let dir = QueryDirectory::new(2);
+        assert_eq!(dir.lookup("a"), None);
+        dir.insert("a", "q-1");
+        dir.insert("b", "q-2");
+        assert_eq!(dir.lookup("a"), Some("q-1".into()));
+        dir.insert("c", "q-3"); // evicts "a"
+        assert_eq!(dir.lookup("a"), None);
+        assert_eq!(dir.lookup("c"), Some("q-3".into()));
+        let stats = dir.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn invalidation() {
+        let dir = QueryDirectory::new(10);
+        dir.insert("doc1:el1", "q-1");
+        dir.insert("doc1:el2", "q-2");
+        dir.insert("doc2:el1", "q-3");
+        assert_eq!(dir.invalidate(|k| k.starts_with("doc1:")), 2);
+        assert_eq!(dir.lookup("doc2:el1"), Some("q-3".into()));
+        assert_eq!(dir.lookup("doc1:el1"), None);
+    }
+
+    #[test]
+    fn coalescing_runs_execute_once() {
+        let dir = Arc::new(QueryDirectory::new(10));
+        let executions = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let dir = dir.clone();
+            let executions = executions.clone();
+            handles.push(std::thread::spawn(move || {
+                dir.run_coalesced("same-query", || {
+                    executions.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    Ok::<_, ()>("q-77".to_string())
+                })
+                .unwrap()
+            }));
+        }
+        let results: Vec<(String, bool)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(executions.load(Ordering::SeqCst), 1);
+        assert!(results.iter().all(|(qid, _)| qid == "q-77"));
+        // At least one request was served from cache/coalescing.
+        assert!(results.iter().filter(|(_, cached)| *cached).count() >= 7);
+    }
+
+    #[test]
+    fn failed_leader_retries() {
+        let dir = QueryDirectory::new(10);
+        let r: Result<(String, bool), &str> = dir.run_coalesced("f", || Err("boom"));
+        assert!(r.is_err());
+        // A later attempt can succeed.
+        let ok = dir.run_coalesced("f", || Ok::<_, &str>("q-9".into())).unwrap();
+        assert_eq!(ok.0, "q-9");
+    }
+}

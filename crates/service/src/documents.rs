@@ -1,0 +1,220 @@
+//! The workbook document store (paper §2): "Workbook state can be saved
+//! and restored as a document. These documents can be named and organized
+//! in a file system within Sigma and may be shared or copied. Unnamed
+//! Workbook documents are stored as persistent, anonymous 'explorations'
+//! which can be easily discarded."
+//!
+//! Documents are stored as their JSON encoding with a linear version
+//! history (the paper's §3.5 mentions viewing "the history of edits").
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use sigma_core::Workbook;
+
+use crate::error::ServiceError;
+use crate::tenancy::{OrgId, UserId};
+
+pub type DocumentId = u64;
+
+/// Stored document metadata plus versioned JSON payloads.
+#[derive(Debug, Clone)]
+pub struct DocumentMeta {
+    pub id: DocumentId,
+    pub org: OrgId,
+    pub owner: UserId,
+    /// Folder path within the org's file system, e.g. "Sales/Q3".
+    pub folder: String,
+    /// `None` marks an anonymous exploration.
+    pub name: Option<String>,
+    pub versions: usize,
+}
+
+struct StoredDocument {
+    meta: DocumentMeta,
+    /// JSON payloads, oldest first.
+    versions: Vec<String>,
+}
+
+/// In-memory document store.
+#[derive(Default)]
+pub struct DocumentStore {
+    docs: RwLock<HashMap<DocumentId, StoredDocument>>,
+    next_id: AtomicU64,
+}
+
+impl DocumentStore {
+    pub fn new() -> DocumentStore {
+        DocumentStore { next_id: AtomicU64::new(1), ..Default::default() }
+    }
+
+    /// Save a new document (named) or exploration (unnamed workbook).
+    pub fn create(
+        &self,
+        org: OrgId,
+        owner: UserId,
+        folder: &str,
+        wb: &Workbook,
+    ) -> Result<DocumentMeta, ServiceError> {
+        let json = wb.to_json().map_err(ServiceError::from)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let meta = DocumentMeta {
+            id,
+            org,
+            owner,
+            folder: folder.to_string(),
+            name: wb.name.clone(),
+            versions: 1,
+        };
+        self.docs.write().insert(
+            id,
+            StoredDocument { meta: meta.clone(), versions: vec![json] },
+        );
+        Ok(meta)
+    }
+
+    /// Append a new version.
+    pub fn save(&self, id: DocumentId, wb: &Workbook) -> Result<DocumentMeta, ServiceError> {
+        let json = wb.to_json().map_err(ServiceError::from)?;
+        let mut docs = self.docs.write();
+        let doc = docs
+            .get_mut(&id)
+            .ok_or_else(|| ServiceError::NotFound(format!("document {id}")))?;
+        doc.versions.push(json);
+        doc.meta.versions = doc.versions.len();
+        doc.meta.name = wb.name.clone();
+        Ok(doc.meta.clone())
+    }
+
+    /// Load the latest (or a specific) version.
+    pub fn open(&self, id: DocumentId, version: Option<usize>) -> Result<Workbook, ServiceError> {
+        let docs = self.docs.read();
+        let doc = docs
+            .get(&id)
+            .ok_or_else(|| ServiceError::NotFound(format!("document {id}")))?;
+        let idx = match version {
+            Some(v) => {
+                if v == 0 || v > doc.versions.len() {
+                    return Err(ServiceError::NotFound(format!(
+                        "version {v} of document {id}"
+                    )));
+                }
+                v - 1
+            }
+            None => doc.versions.len() - 1,
+        };
+        Workbook::from_json(&doc.versions[idx]).map_err(ServiceError::from)
+    }
+
+    pub fn meta(&self, id: DocumentId) -> Option<DocumentMeta> {
+        self.docs.read().get(&id).map(|d| d.meta.clone())
+    }
+
+    /// List an org's documents, optionally filtered to a folder.
+    pub fn list(&self, org: OrgId, folder: Option<&str>) -> Vec<DocumentMeta> {
+        let mut out: Vec<DocumentMeta> = self
+            .docs
+            .read()
+            .values()
+            .map(|d| d.meta.clone())
+            .filter(|m| m.org == org)
+            .filter(|m| folder.is_none_or(|f| m.folder == f))
+            .collect();
+        out.sort_by_key(|m| m.id);
+        out
+    }
+
+    /// Copy a document into a new one ("may be shared or copied").
+    pub fn copy(
+        &self,
+        id: DocumentId,
+        new_owner: UserId,
+        new_name: Option<&str>,
+    ) -> Result<DocumentMeta, ServiceError> {
+        let mut wb = self.open(id, None)?;
+        wb.name = new_name.map(str::to_owned);
+        let src = self
+            .meta(id)
+            .ok_or_else(|| ServiceError::NotFound(format!("document {id}")))?;
+        self.create(src.org, new_owner, &src.folder, &wb)
+    }
+
+    pub fn delete(&self, id: DocumentId) -> Result<(), ServiceError> {
+        self.docs
+            .write()
+            .remove(&id)
+            .map(|_| ())
+            .ok_or_else(|| ServiceError::NotFound(format!("document {id}")))
+    }
+
+    /// Drop anonymous explorations ("easily discarded").
+    pub fn discard_explorations(&self, org: OrgId) -> usize {
+        let mut docs = self.docs.write();
+        let victims: Vec<DocumentId> = docs
+            .values()
+            .filter(|d| d.meta.org == org && d.meta.name.is_none())
+            .map(|d| d.meta.id)
+            .collect();
+        for v in &victims {
+            docs.remove(v);
+        }
+        victims.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wb(name: Option<&str>) -> Workbook {
+        Workbook::new(name)
+    }
+
+    #[test]
+    fn create_save_open_versions() {
+        let store = DocumentStore::new();
+        let meta = store.create(1, 10, "Sales", &wb(Some("Q3"))).unwrap();
+        assert_eq!(meta.versions, 1);
+        let mut doc = store.open(meta.id, None).unwrap();
+        doc.add_page("Extra");
+        let meta2 = store.save(meta.id, &doc).unwrap();
+        assert_eq!(meta2.versions, 2);
+        // Version 1 lacks the extra page; version 2 has it.
+        assert_eq!(store.open(meta.id, Some(1)).unwrap().pages.len(), 1);
+        assert_eq!(store.open(meta.id, Some(2)).unwrap().pages.len(), 2);
+        assert!(store.open(meta.id, Some(3)).is_err());
+    }
+
+    #[test]
+    fn listing_and_folders() {
+        let store = DocumentStore::new();
+        store.create(1, 10, "Sales", &wb(Some("A"))).unwrap();
+        store.create(1, 10, "Ops", &wb(Some("B"))).unwrap();
+        store.create(2, 20, "Sales", &wb(Some("C"))).unwrap();
+        assert_eq!(store.list(1, None).len(), 2);
+        assert_eq!(store.list(1, Some("Sales")).len(), 1);
+        assert_eq!(store.list(2, None).len(), 1);
+    }
+
+    #[test]
+    fn copy_documents() {
+        let store = DocumentStore::new();
+        let meta = store.create(1, 10, "Sales", &wb(Some("A"))).unwrap();
+        let copy = store.copy(meta.id, 11, Some("A (copy)")).unwrap();
+        assert_ne!(copy.id, meta.id);
+        assert_eq!(copy.name.as_deref(), Some("A (copy)"));
+        assert_eq!(store.list(1, None).len(), 2);
+    }
+
+    #[test]
+    fn explorations_discardable() {
+        let store = DocumentStore::new();
+        store.create(1, 10, "", &wb(None)).unwrap();
+        store.create(1, 10, "", &wb(None)).unwrap();
+        let named = store.create(1, 10, "", &wb(Some("keep"))).unwrap();
+        assert_eq!(store.discard_explorations(1), 2);
+        assert!(store.meta(named.id).is_some());
+        assert_eq!(store.list(1, None).len(), 1);
+    }
+}

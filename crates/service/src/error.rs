@@ -1,0 +1,46 @@
+//! Service error type.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Bad or expired token.
+    Unauthenticated,
+    /// Authenticated but not allowed.
+    Forbidden(String),
+    /// Missing org/user/document/connection.
+    NotFound(String),
+    /// Workbook model or compilation failure.
+    Core(String),
+    /// Warehouse failure.
+    Warehouse(String),
+    /// Invalid request shape.
+    BadRequest(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Unauthenticated => write!(f, "unauthenticated"),
+            ServiceError::Forbidden(m) => write!(f, "forbidden: {m}"),
+            ServiceError::NotFound(m) => write!(f, "not found: {m}"),
+            ServiceError::Core(m) => write!(f, "workbook error: {m}"),
+            ServiceError::Warehouse(m) => write!(f, "warehouse error: {m}"),
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<sigma_core::CoreError> for ServiceError {
+    fn from(e: sigma_core::CoreError) -> Self {
+        ServiceError::Core(e.to_string())
+    }
+}
+
+impl From<sigma_cdw::CdwError> for ServiceError {
+    fn from(e: sigma_cdw::CdwError) -> Self {
+        ServiceError::Warehouse(e.to_string())
+    }
+}

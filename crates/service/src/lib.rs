@@ -1,0 +1,27 @@
+//! The Sigma service (paper §2, Figure 2): the multi-tenant cloud tier
+//! between browsers and the customer's CDW.
+//!
+//! "Access to the customer's data warehouse by the Sigma web application is
+//! always mediated by the Sigma service. Interactive data operations
+//! expressed by a user are sent to the Sigma service as a JSON-encoding of
+//! the Workbook state. The Sigma service performs authentication, access
+//! control checks, query input graph resolution, and materialized view
+//! substitution. The validated, fully resolved query graph is compiled into
+//! a corresponding SQL query. The SQL query is then placed into a workload
+//! management queue and subsequently executed in the customer's database."
+//!
+//! This crate implements that paragraph, plus the second cache level of §4:
+//! the app-server *query directory* that maps recent query fingerprints to
+//! result sets persisted in the CDW (re-fetched via `RESULT_SCAN`) and
+//! de-duplicates in-flight queries between collaborating browsers.
+
+pub mod cache;
+pub mod documents;
+pub mod error;
+pub mod materialize;
+pub mod service;
+pub mod tenancy;
+pub mod workload;
+
+pub use error::ServiceError;
+pub use service::{QueryOutcome, QueryRequest, ServedFrom, SigmaService};

@@ -1,0 +1,145 @@
+//! Element materialization (paper §4): "the result sets of user-selected
+//! Workbook elements can be materialized into a warehouse table. The
+//! queries for elements that reference the element are automatically
+//! re-written by the Workbook compiler to use these tables. The
+//! materialization can be configured by the user to refresh on a
+//! schedule."
+//!
+//! A simulated clock drives scheduled refreshes deterministically.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// One materialization registration.
+#[derive(Debug, Clone)]
+pub struct Materialization {
+    /// Element name (lower-cased key).
+    pub element: String,
+    /// Warehouse table holding the result.
+    pub table: String,
+    /// Refresh period in simulated seconds (None = manual only).
+    pub refresh_every: Option<u64>,
+    /// Simulated time of the last refresh.
+    pub last_refreshed: u64,
+    pub refresh_count: u64,
+}
+
+/// Registry of materializations with a simulated clock.
+#[derive(Default)]
+pub struct Materializer {
+    entries: Mutex<HashMap<String, Materialization>>,
+    clock: Mutex<u64>,
+}
+
+impl Materializer {
+    pub fn new() -> Materializer {
+        Materializer::default()
+    }
+
+    pub fn now(&self) -> u64 {
+        *self.clock.lock()
+    }
+
+    /// Register (or replace) a materialization.
+    pub fn register(&self, element: &str, table: &str, refresh_every: Option<u64>) {
+        let now = self.now();
+        self.entries.lock().insert(
+            element.to_ascii_lowercase(),
+            Materialization {
+                element: element.to_string(),
+                table: table.to_string(),
+                refresh_every,
+                last_refreshed: now,
+                refresh_count: 0,
+            },
+        );
+    }
+
+    pub fn unregister(&self, element: &str) -> bool {
+        self.entries
+            .lock()
+            .remove(&element.to_ascii_lowercase())
+            .is_some()
+    }
+
+    pub fn get(&self, element: &str) -> Option<Materialization> {
+        self.entries
+            .lock()
+            .get(&element.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// The element -> table map the compiler substitutes with.
+    pub fn substitutions(&self) -> HashMap<String, String> {
+        self.entries
+            .lock()
+            .iter()
+            .map(|(k, m)| (k.clone(), m.table.clone()))
+            .collect()
+    }
+
+    /// Advance the simulated clock and return the elements due for refresh.
+    pub fn tick(&self, seconds: u64) -> Vec<Materialization> {
+        let now = {
+            let mut clock = self.clock.lock();
+            *clock += seconds;
+            *clock
+        };
+        let mut due = Vec::new();
+        let entries = self.entries.lock();
+        for m in entries.values() {
+            if let Some(period) = m.refresh_every {
+                if now.saturating_sub(m.last_refreshed) >= period {
+                    due.push(m.clone());
+                }
+            }
+        }
+        due
+    }
+
+    /// Record that a refresh completed.
+    pub fn mark_refreshed(&self, element: &str) {
+        let now = self.now();
+        if let Some(m) = self
+            .entries
+            .lock()
+            .get_mut(&element.to_ascii_lowercase())
+        {
+            m.last_refreshed = now;
+            m.refresh_count += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_and_substitutions() {
+        let m = Materializer::new();
+        m.register("Flights", "mat_flights", None);
+        assert!(m.get("flights").is_some());
+        let subs = m.substitutions();
+        assert_eq!(subs.get("flights").map(String::as_str), Some("mat_flights"));
+        assert!(m.unregister("FLIGHTS"));
+        assert!(m.get("flights").is_none());
+    }
+
+    #[test]
+    fn scheduled_refreshes_fire_on_tick() {
+        let m = Materializer::new();
+        m.register("A", "mat_a", Some(60));
+        m.register("B", "mat_b", None);
+        assert!(m.tick(30).is_empty());
+        let due = m.tick(40); // t = 70
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].element, "A");
+        m.mark_refreshed("A");
+        assert!(m.tick(30).is_empty()); // only 30s since refresh at t=70
+        let due2 = m.tick(40); // 70s since refresh
+        assert_eq!(due2.len(), 1);
+        assert_eq!(m.get("A").unwrap().refresh_count, 1);
+    }
+}

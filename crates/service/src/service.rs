@@ -1,0 +1,414 @@
+//! The service facade: the full request lifecycle of Figure 2.
+//!
+//! Browser → (JSON workbook state) → authenticate → access control → query
+//! input graph resolution → materialized view substitution → compile →
+//! workload queue → customer CDW → result back (by query id).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use sigma_cdw::Warehouse;
+use sigma_core::schema::SchemaProvider;
+use sigma_core::{CompileOptions, Compiler, Workbook};
+use sigma_value::Batch;
+
+use crate::cache::{DirectoryStats, QueryDirectory};
+use crate::documents::DocumentStore;
+use crate::error::ServiceError;
+use crate::materialize::Materializer;
+use crate::tenancy::{Grants, Role, Tenancy, User};
+use crate::workload::{Priority, WorkloadManager, WorkloadStats};
+
+/// A configured warehouse connection ("Sigma allows multiple warehouse
+/// configurations per customer", §2).
+struct Connection {
+    org: u64,
+    warehouse: Arc<Warehouse>,
+    directory: Arc<QueryDirectory>,
+    workload: Arc<WorkloadManager>,
+}
+
+/// Where a query answer came from (experiment E4's observable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// Fresh execution on the warehouse.
+    Warehouse,
+    /// Query-directory hit: result re-fetched from the CDW by query id.
+    QueryDirectory,
+}
+
+/// One query request: the browser ships the JSON-encoded workbook state.
+pub struct QueryRequest<'a> {
+    pub token: &'a str,
+    pub connection: &'a str,
+    pub workbook_json: &'a str,
+    pub element: &'a str,
+    pub priority: Priority,
+}
+
+/// The service's answer.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    pub batch: Batch,
+    pub query_id: String,
+    pub sql: String,
+    pub served_from: ServedFrom,
+    pub queue_wait: Duration,
+}
+
+/// The multi-tenant Sigma service.
+pub struct SigmaService {
+    pub tenancy: Tenancy,
+    pub grants: Grants,
+    pub documents: DocumentStore,
+    pub materializer: Materializer,
+    connections: RwLock<HashMap<String, Connection>>,
+    /// Admission limit applied to newly added connections.
+    default_concurrency: usize,
+}
+
+/// `SchemaProvider` over a live warehouse connection.
+pub struct WarehouseSchemas<'a>(pub &'a Warehouse);
+
+impl SchemaProvider for WarehouseSchemas<'_> {
+    fn table_schema(&self, table: &str) -> Option<Arc<sigma_value::Schema>> {
+        self.0.table_schema(table)
+    }
+    fn query_schema(&self, sql: &str) -> Option<Arc<sigma_value::Schema>> {
+        self.0.query_schema(sql).ok()
+    }
+}
+
+impl SigmaService {
+    pub fn new() -> SigmaService {
+        SigmaService {
+            tenancy: Tenancy::new(),
+            grants: Grants::new(),
+            documents: DocumentStore::new(),
+            materializer: Materializer::new(),
+            connections: RwLock::new(HashMap::new()),
+            default_concurrency: 8,
+        }
+    }
+
+    pub fn with_concurrency(mut self, max_concurrent: usize) -> SigmaService {
+        self.default_concurrency = max_concurrent.max(1);
+        self
+    }
+
+    /// Register a warehouse connection for an org.
+    pub fn add_connection(&self, org: u64, name: &str, warehouse: Arc<Warehouse>) {
+        self.connections.write().insert(
+            name.to_string(),
+            Connection {
+                org,
+                warehouse,
+                directory: Arc::new(QueryDirectory::new(512)),
+                workload: Arc::new(WorkloadManager::new(self.default_concurrency)),
+            },
+        );
+    }
+
+    fn connection_for(
+        &self,
+        user: &User,
+        name: &str,
+    ) -> Result<(Arc<Warehouse>, Arc<QueryDirectory>, Arc<WorkloadManager>), ServiceError> {
+        let conns = self.connections.read();
+        let conn = conns
+            .get(name)
+            .ok_or_else(|| ServiceError::NotFound(format!("connection {name}")))?;
+        if conn.org != user.org {
+            return Err(ServiceError::Forbidden(format!(
+                "connection {name} belongs to another organization"
+            )));
+        }
+        Ok((conn.warehouse.clone(), conn.directory.clone(), conn.workload.clone()))
+    }
+
+    /// Cache statistics for a connection (experiment E4/E6 observables).
+    pub fn directory_stats(&self, connection: &str) -> Option<DirectoryStats> {
+        self.connections
+            .read()
+            .get(connection)
+            .map(|c| c.directory.stats())
+    }
+
+    pub fn workload_stats(&self, connection: &str) -> Option<WorkloadStats> {
+        self.connections
+            .read()
+            .get(connection)
+            .map(|c| c.workload.stats())
+    }
+
+    /// Compile an element of a workbook against a connection, applying
+    /// materialized-view substitution.
+    pub fn compile(
+        &self,
+        user: &User,
+        connection: &str,
+        workbook: &Workbook,
+        element: &str,
+    ) -> Result<sigma_core::compile::CompiledQuery, ServiceError> {
+        let (warehouse, _, _) = self.connection_for(user, connection)?;
+        let schemas = WarehouseSchemas(&warehouse);
+        let options = CompileOptions {
+            dialect: warehouse.dialect(),
+            materializations: self.materializer.substitutions(),
+        };
+        let compiler = Compiler::new(workbook, &schemas, options);
+        Ok(compiler.compile_element(element)?)
+    }
+
+    /// The full §2 lifecycle for one element query.
+    pub fn run_query(&self, req: &QueryRequest<'_>) -> Result<QueryOutcome, ServiceError> {
+        // 1. Authentication.
+        let user = self.tenancy.authenticate(req.token)?;
+        // 2. Access control (connection scoping).
+        let (warehouse, directory, workload) = self.connection_for(&user, req.connection)?;
+        // 3. Workbook state arrives as JSON.
+        let workbook = Workbook::from_json(req.workbook_json)?;
+        // 4. Graph resolution + matview substitution + compilation.
+        let compiled = self.compile(&user, req.connection, &workbook, req.element)?;
+        // 5. Query directory: serve identical recent/in-flight queries from
+        // the CDW-persisted result set instead of recomputing.
+        let sql = compiled.sql.clone();
+        let fingerprint = format!("{}:{}", req.connection, sql);
+        let wh = warehouse.clone();
+        let wl = workload.clone();
+        let mut queue_wait = Duration::ZERO;
+        let (query_id, cached) = directory
+            .run_coalesced(&fingerprint, || {
+                let (result, wait) =
+                    wl.submit(req.priority, || wh.execute_sql(&sql));
+                queue_wait = wait;
+                result.map(|r| r.query_id)
+            })
+            .map_err(ServiceError::from)?;
+        // 6. Fetch the result set (fresh executions persist it; directory
+        // hits re-fetch by query id).
+        let (batch, served_from) = match warehouse.persisted_result(&query_id) {
+            Some(batch) if cached => (batch, ServedFrom::QueryDirectory),
+            Some(batch) => (batch, ServedFrom::Warehouse),
+            None => {
+                // Evicted from the warehouse's persisted results: re-run.
+                directory.invalidate(|k| k == fingerprint);
+                let (result, wait) = workload.submit(req.priority, || warehouse.execute_sql(&sql));
+                queue_wait = wait;
+                let r = result?;
+                directory.insert(&fingerprint, &r.query_id);
+                (r.batch, ServedFrom::Warehouse)
+            }
+        };
+        Ok(QueryOutcome { batch, query_id, sql, served_from, queue_wait })
+    }
+
+    // ------------------------------------------------------------------
+    // ad-hoc data (§3.4)
+    // ------------------------------------------------------------------
+
+    /// Marshal an uploaded CSV into the customer's warehouse as a table.
+    pub fn upload_csv(
+        &self,
+        token: &str,
+        connection: &str,
+        table: &str,
+        csv_text: &str,
+    ) -> Result<usize, ServiceError> {
+        let user = self.tenancy.authenticate(token)?;
+        if user.role == Role::Viewer {
+            return Err(ServiceError::Forbidden("viewers cannot upload data".into()));
+        }
+        let (warehouse, directory, _) = self.connection_for(&user, connection)?;
+        let batch = sigma_value::csv::read_csv(csv_text, &Default::default())
+            .map_err(|e| ServiceError::BadRequest(format!("csv: {e}")))?;
+        let rows = batch.num_rows();
+        warehouse.load_table(table, batch)?;
+        directory.invalidate(|_| true);
+        Ok(rows)
+    }
+
+    /// Project an editable input table into the warehouse (first save).
+    pub fn project_input_table(
+        &self,
+        token: &str,
+        connection: &str,
+        workbook: &mut Workbook,
+        element: &str,
+    ) -> Result<String, ServiceError> {
+        let user = self.tenancy.authenticate(token)?;
+        let (warehouse, directory, _) = self.connection_for(&user, connection)?;
+        let table = format!(
+            "input_{}_{}",
+            user.org,
+            element.to_ascii_lowercase().replace(' ', "_")
+        );
+        let input = workbook
+            .input_table_mut(element)
+            .ok_or_else(|| ServiceError::NotFound(format!("input table {element}")))?;
+        let batch = input.to_batch()?;
+        warehouse.load_table(&table, batch)?;
+        input.warehouse_table = Some(table.clone());
+        input.take_journal(); // initial projection covers everything so far
+        directory.invalidate(|_| true);
+        Ok(table)
+    }
+
+    /// Propagate accumulated edits to the warehouse as DML ("the edits are
+    /// propagated to the warehouse", §3.4) and invalidate cached queries so
+    /// downstream elements recompute.
+    pub fn propagate_edits(
+        &self,
+        token: &str,
+        connection: &str,
+        workbook: &mut Workbook,
+        element: &str,
+    ) -> Result<usize, ServiceError> {
+        let user = self.tenancy.authenticate(token)?;
+        let (warehouse, directory, _) = self.connection_for(&user, connection)?;
+        let input = workbook
+            .input_table_mut(element)
+            .ok_or_else(|| ServiceError::NotFound(format!("input table {element}")))?;
+        let Some(table) = input.warehouse_table.clone() else {
+            return Err(ServiceError::BadRequest(format!(
+                "input table {element} has not been projected yet"
+            )));
+        };
+        let columns = input.columns.clone();
+        let rows = input.rows.clone();
+        let journal = input.take_journal();
+        let n = journal.len();
+        for edit in journal {
+            match edit {
+                sigma_core::editable::Edit::SetCell { row, column, value } => {
+                    let dtype = columns
+                        .iter()
+                        .find(|(c, _)| c.eq_ignore_ascii_case(&column))
+                        .map(|(_, t)| *t)
+                        .ok_or_else(|| {
+                            ServiceError::BadRequest(format!("unknown column {column}"))
+                        })?;
+                    let coerced = sigma_value::column::cast_value(value, dtype)
+                        .unwrap_or(sigma_value::Value::Null);
+                    let stmt = sigma_sql::Statement::Update {
+                        table: sigma_sql::ObjectName::bare(table.clone()),
+                        assignments: vec![(
+                            column,
+                            sigma_sql::SqlExpr::Literal(coerced),
+                        )],
+                        selection: Some(sigma_sql::SqlExpr::eq(
+                            sigma_sql::SqlExpr::col("_row_id"),
+                            sigma_sql::SqlExpr::lit(row as i64),
+                        )),
+                    };
+                    warehouse.execute_statement(&stmt)?;
+                }
+                sigma_core::editable::Edit::InsertRow { row_id } => {
+                    let Some((_, values)) = rows.iter().find(|(id, _)| *id == row_id) else {
+                        continue; // inserted then deleted before propagation
+                    };
+                    let mut row_exprs =
+                        vec![sigma_sql::SqlExpr::lit(row_id as i64)];
+                    for (v, (_, t)) in values.iter().zip(&columns) {
+                        let coerced = sigma_value::column::cast_value(v.clone(), *t)
+                            .unwrap_or(sigma_value::Value::Null);
+                        row_exprs.push(sigma_sql::SqlExpr::Literal(coerced));
+                    }
+                    let stmt = sigma_sql::Statement::Insert {
+                        table: sigma_sql::ObjectName::bare(table.clone()),
+                        columns: None,
+                        source: sigma_sql::Query {
+                            ctes: vec![],
+                            body: sigma_sql::SetExpr::Values(vec![row_exprs]),
+                            order_by: vec![],
+                            limit: None,
+                            offset: None,
+                        },
+                    };
+                    warehouse.execute_statement(&stmt)?;
+                }
+                sigma_core::editable::Edit::DeleteRow { row_id } => {
+                    let stmt = sigma_sql::Statement::Delete {
+                        table: sigma_sql::ObjectName::bare(table.clone()),
+                        selection: Some(sigma_sql::SqlExpr::eq(
+                            sigma_sql::SqlExpr::col("_row_id"),
+                            sigma_sql::SqlExpr::lit(row_id as i64),
+                        )),
+                    };
+                    warehouse.execute_statement(&stmt)?;
+                }
+            }
+        }
+        if n > 0 {
+            directory.invalidate(|_| true);
+        }
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------------
+    // materialization (§4)
+    // ------------------------------------------------------------------
+
+    /// Materialize an element's result set into a warehouse table and
+    /// register it for compiler substitution.
+    pub fn materialize_element(
+        &self,
+        token: &str,
+        connection: &str,
+        workbook: &Workbook,
+        element: &str,
+        refresh_every: Option<u64>,
+    ) -> Result<String, ServiceError> {
+        let user = self.tenancy.authenticate(token)?;
+        if user.role == Role::Viewer {
+            return Err(ServiceError::Forbidden("viewers cannot materialize".into()));
+        }
+        let (warehouse, directory, workload) = self.connection_for(&user, connection)?;
+        // Compile WITHOUT substituting this element itself.
+        let schemas = WarehouseSchemas(&warehouse);
+        let mut subs = self.materializer.substitutions();
+        subs.remove(&element.to_ascii_lowercase());
+        let options = CompileOptions { dialect: warehouse.dialect(), materializations: subs };
+        let compiled = Compiler::new(workbook, &schemas, options).compile_element(element)?;
+        let table = format!("mat_{}", element.to_ascii_lowercase().replace(' ', "_"));
+        let ddl = format!("CREATE OR REPLACE TABLE {table} AS\n{}", compiled.sql);
+        let (result, _) =
+            workload.submit(Priority::Background, || warehouse.execute_sql(&ddl));
+        result?;
+        self.materializer.register(element, &table, refresh_every);
+        self.materializer.mark_refreshed(element);
+        directory.invalidate(|_| true);
+        Ok(table)
+    }
+
+    /// Advance the simulated clock; refresh any due materializations.
+    pub fn tick_materializations(
+        &self,
+        token: &str,
+        connection: &str,
+        workbook: &Workbook,
+        seconds: u64,
+    ) -> Result<usize, ServiceError> {
+        let due = self.materializer.tick(seconds);
+        let mut refreshed = 0;
+        for m in due {
+            self.materialize_element(
+                token,
+                connection,
+                workbook,
+                &m.element,
+                m.refresh_every,
+            )?;
+            refreshed += 1;
+        }
+        Ok(refreshed)
+    }
+}
+
+impl Default for SigmaService {
+    fn default() -> Self {
+        SigmaService::new()
+    }
+}

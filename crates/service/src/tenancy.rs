@@ -1,0 +1,180 @@
+//! Multi-tenant accounts: orgs, users, tokens, and access control.
+//!
+//! "Sigma customers configure the service with access to a CDW they
+//! control" (§2). The paper leans on the CDW's compliance properties; the
+//! service's own job is authentication and access-control checks, modeled
+//! here as org-scoped users with roles and per-document grants.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::error::ServiceError;
+
+pub type OrgId = u64;
+pub type UserId = u64;
+
+/// Role within an org.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Full control, including connection management.
+    Admin,
+    /// Can create and edit workbooks.
+    Creator,
+    /// Read-only access to shared documents.
+    Viewer,
+}
+
+#[derive(Debug, Clone)]
+pub struct User {
+    pub id: UserId,
+    pub org: OrgId,
+    pub name: String,
+    pub role: Role,
+}
+
+/// Document sharing level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Access {
+    View,
+    Edit,
+}
+
+/// The account directory.
+#[derive(Default)]
+pub struct Tenancy {
+    orgs: RwLock<HashMap<OrgId, String>>,
+    users: RwLock<HashMap<UserId, User>>,
+    tokens: RwLock<HashMap<String, UserId>>,
+    next_id: AtomicU64,
+}
+
+impl Tenancy {
+    pub fn new() -> Tenancy {
+        Tenancy { next_id: AtomicU64::new(1), ..Default::default() }
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn create_org(&self, name: &str) -> OrgId {
+        let id = self.fresh_id();
+        self.orgs.write().insert(id, name.to_string());
+        id
+    }
+
+    pub fn create_user(&self, org: OrgId, name: &str, role: Role) -> Result<UserId, ServiceError> {
+        if !self.orgs.read().contains_key(&org) {
+            return Err(ServiceError::NotFound(format!("org {org}")));
+        }
+        let id = self.fresh_id();
+        self.users
+            .write()
+            .insert(id, User { id, org, name: name.to_string(), role });
+        Ok(id)
+    }
+
+    /// Issue a bearer token for a user.
+    pub fn issue_token(&self, user: UserId) -> Result<String, ServiceError> {
+        if !self.users.read().contains_key(&user) {
+            return Err(ServiceError::NotFound(format!("user {user}")));
+        }
+        let token = format!("tok-{}-{}", user, self.fresh_id());
+        self.tokens.write().insert(token.clone(), user);
+        Ok(token)
+    }
+
+    pub fn revoke_token(&self, token: &str) {
+        self.tokens.write().remove(token);
+    }
+
+    /// Resolve a token to its user.
+    pub fn authenticate(&self, token: &str) -> Result<User, ServiceError> {
+        let users = self.users.read();
+        self.tokens
+            .read()
+            .get(token)
+            .and_then(|id| users.get(id).cloned())
+            .ok_or(ServiceError::Unauthenticated)
+    }
+
+    pub fn user(&self, id: UserId) -> Option<User> {
+        self.users.read().get(&id).cloned()
+    }
+}
+
+/// Per-document grants. The owner implicitly has `Edit`.
+#[derive(Default)]
+pub struct Grants {
+    /// (document id, user id) -> access.
+    by_user: RwLock<HashMap<(u64, UserId), Access>>,
+    /// (document id, org id) -> access granted to the whole org.
+    by_org: RwLock<HashMap<(u64, OrgId), Access>>,
+}
+
+impl Grants {
+    pub fn new() -> Grants {
+        Grants::default()
+    }
+
+    pub fn grant_user(&self, doc: u64, user: UserId, access: Access) {
+        self.by_user.write().insert((doc, user), access);
+    }
+
+    pub fn grant_org(&self, doc: u64, org: OrgId, access: Access) {
+        self.by_org.write().insert((doc, org), access);
+    }
+
+    pub fn revoke_user(&self, doc: u64, user: UserId) {
+        self.by_user.write().remove(&(doc, user));
+    }
+
+    /// Effective access for a user (max of direct and org-wide grants).
+    pub fn access(&self, doc: u64, user: &User) -> Option<Access> {
+        let direct = self.by_user.read().get(&(doc, user.id)).copied();
+        let org = self.by_org.read().get(&(doc, user.org)).copied();
+        match (direct, org) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (Some(a), None) | (None, Some(a)) => Some(a),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_lifecycle() {
+        let t = Tenancy::new();
+        let org = t.create_org("acme");
+        let user = t.create_user(org, "ada", Role::Creator).unwrap();
+        let token = t.issue_token(user).unwrap();
+        assert_eq!(t.authenticate(&token).unwrap().name, "ada");
+        t.revoke_token(&token);
+        assert!(matches!(
+            t.authenticate(&token),
+            Err(ServiceError::Unauthenticated)
+        ));
+        assert!(t.create_user(999, "ghost", Role::Viewer).is_err());
+    }
+
+    #[test]
+    fn grants_max_of_user_and_org() {
+        let t = Tenancy::new();
+        let org = t.create_org("acme");
+        let user_id = t.create_user(org, "ada", Role::Viewer).unwrap();
+        let user = t.user(user_id).unwrap();
+        let g = Grants::new();
+        assert_eq!(g.access(1, &user), None);
+        g.grant_org(1, org, Access::View);
+        assert_eq!(g.access(1, &user), Some(Access::View));
+        g.grant_user(1, user_id, Access::Edit);
+        assert_eq!(g.access(1, &user), Some(Access::Edit));
+        g.revoke_user(1, user_id);
+        assert_eq!(g.access(1, &user), Some(Access::View));
+    }
+}

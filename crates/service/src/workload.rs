@@ -1,0 +1,184 @@
+//! Workload management (paper §2): "The SQL query is then placed into a
+//! workload management queue and subsequently executed in the customer's
+//! database." A proxy per warehouse admits at most `max_concurrent`
+//! queries; excess requests wait in a priority queue (interactive ahead of
+//! background materializations). Experiment E6 sweeps the admission limit.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Request priority classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Scheduled materialization refreshes and uploads.
+    Background = 0,
+    /// User-facing queries.
+    Interactive = 1,
+}
+
+/// Aggregate queue statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkloadStats {
+    pub admitted: u64,
+    pub queued: u64,
+    pub total_wait: Duration,
+    pub max_wait: Duration,
+}
+
+struct QueueState {
+    running: usize,
+    /// Waiting tickets: (priority, arrival sequence). Highest priority,
+    /// then FIFO.
+    waiting: VecDeque<(Priority, u64)>,
+    next_ticket: u64,
+    stats: WorkloadStats,
+}
+
+/// Admission-controlled gateway to one warehouse.
+pub struct WorkloadManager {
+    max_concurrent: usize,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl WorkloadManager {
+    pub fn new(max_concurrent: usize) -> WorkloadManager {
+        WorkloadManager {
+            max_concurrent: max_concurrent.max(1),
+            state: Mutex::new(QueueState {
+                running: 0,
+                waiting: VecDeque::new(),
+                next_ticket: 0,
+                stats: WorkloadStats::default(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub fn stats(&self) -> WorkloadStats {
+        self.state.lock().stats
+    }
+
+    /// Run `work` under admission control; returns (result, queue wait).
+    pub fn submit<T>(&self, priority: Priority, work: impl FnOnce() -> T) -> (T, Duration) {
+        let arrived = Instant::now();
+        let ticket = {
+            let mut st = self.state.lock();
+            let ticket = st.next_ticket;
+            st.next_ticket += 1;
+            if st.running < self.max_concurrent && st.waiting.is_empty() {
+                st.running += 1;
+                st.stats.admitted += 1;
+                None
+            } else {
+                st.stats.queued += 1;
+                // Insert by priority (stable within a class).
+                let pos = st
+                    .waiting
+                    .iter()
+                    .position(|&(p, _)| p < priority)
+                    .unwrap_or(st.waiting.len());
+                st.waiting.insert(pos, (priority, ticket));
+                Some(ticket)
+            }
+        };
+        if let Some(ticket) = ticket {
+            let mut st = self.state.lock();
+            loop {
+                let at_head = st.waiting.front().is_some_and(|&(_, t)| t == ticket);
+                if at_head && st.running < self.max_concurrent {
+                    st.waiting.pop_front();
+                    st.running += 1;
+                    st.stats.admitted += 1;
+                    break;
+                }
+                self.cv.wait(&mut st);
+            }
+            let wait = arrived.elapsed();
+            st.stats.total_wait += wait;
+            if wait > st.stats.max_wait {
+                st.stats.max_wait = wait;
+            }
+        }
+        let wait = arrived.elapsed();
+        let out = work();
+        {
+            let mut st = self.state.lock();
+            st.running -= 1;
+        }
+        self.cv.notify_all();
+        (out, wait)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn admission_limit_enforced() {
+        let mgr = Arc::new(WorkloadManager::new(2));
+        let concurrent = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let mgr = mgr.clone();
+            let concurrent = concurrent.clone();
+            let peak = peak.clone();
+            handles.push(std::thread::spawn(move || {
+                mgr.submit(Priority::Interactive, || {
+                    let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(15));
+                    concurrent.fetch_sub(1, Ordering::SeqCst);
+                })
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "admission limit exceeded");
+        let stats = mgr.stats();
+        assert_eq!(stats.admitted, 8);
+        assert!(stats.queued >= 6);
+        assert!(stats.max_wait > Duration::ZERO);
+    }
+
+    #[test]
+    fn interactive_jumps_background() {
+        // One slot busy; a background and an interactive request queue up:
+        // interactive must run first.
+        let mgr = Arc::new(WorkloadManager::new(1));
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+
+        let m1 = mgr.clone();
+        let blocker = std::thread::spawn(move || {
+            m1.submit(Priority::Interactive, || {
+                std::thread::sleep(Duration::from_millis(60));
+            })
+        });
+        std::thread::sleep(Duration::from_millis(10));
+
+        let m2 = mgr.clone();
+        let o2 = order.clone();
+        let bg = std::thread::spawn(move || {
+            m2.submit(Priority::Background, move || o2.lock().push("background"))
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let m3 = mgr.clone();
+        let o3 = order.clone();
+        let fg = std::thread::spawn(move || {
+            m3.submit(Priority::Interactive, move || o3.lock().push("interactive"))
+        });
+
+        blocker.join().unwrap();
+        bg.join().unwrap();
+        fg.join().unwrap();
+        let order = order.lock();
+        assert_eq!(order.as_slice(), ["interactive", "background"]);
+    }
+}

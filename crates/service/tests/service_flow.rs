@@ -1,0 +1,236 @@
+//! End-to-end service tests: the Figure 2 lifecycle against a live
+//! warehouse with the flights workload.
+
+use std::sync::Arc;
+
+use sigma_cdw::Warehouse;
+use sigma_core::document::ElementKind;
+use sigma_core::table::{ColumnDef, DataSource, Level, TableSpec};
+use sigma_core::Workbook;
+use sigma_flights::{load_airports, load_flights, FlightsConfig};
+use sigma_service::workload::Priority;
+use sigma_service::{QueryRequest, ServedFrom, ServiceError, SigmaService};
+use sigma_value::{DataType, Value};
+
+fn setup() -> (SigmaService, Arc<Warehouse>, String, u64) {
+    let service = SigmaService::new();
+    let org = service.tenancy.create_org("acme");
+    let user = service
+        .tenancy
+        .create_user(org, "ada", sigma_service::tenancy::Role::Creator)
+        .unwrap();
+    let token = service.tenancy.issue_token(user).unwrap();
+    let wh = Arc::new(Warehouse::default());
+    load_flights(&wh, &FlightsConfig::with_rows(2_000)).unwrap();
+    load_airports(&wh).unwrap();
+    service.add_connection(org, "primary", wh.clone());
+    (service, wh, token, org)
+}
+
+fn flights_workbook() -> Workbook {
+    let mut wb = Workbook::new(Some("demo"));
+    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
+    t.add_column(ColumnDef::source("Carrier", "carrier")).unwrap();
+    t.add_column(ColumnDef::source("Cancelled", "cancelled")).unwrap();
+    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()])).unwrap();
+    t.add_column(ColumnDef::formula("Flights", "Count()", 1)).unwrap();
+    t.detail_level = 1;
+    wb.add_element(0, "ByCarrier", ElementKind::Table(t)).unwrap();
+    wb
+}
+
+#[test]
+fn full_lifecycle_with_query_directory() {
+    let (service, wh, token, _) = setup();
+    let wb = flights_workbook();
+    let json = wb.to_json().unwrap();
+    let req = QueryRequest {
+        token: &token,
+        connection: "primary",
+        workbook_json: &json,
+        element: "ByCarrier",
+        priority: Priority::Interactive,
+    };
+    let first = service.run_query(&req).unwrap();
+    assert_eq!(first.served_from, ServedFrom::Warehouse);
+    assert_eq!(first.batch.num_rows(), 8); // 8 carriers
+    let executed_before = wh.queries_executed();
+
+    // Identical state: served from the query directory (no recompute).
+    let second = service.run_query(&req).unwrap();
+    assert_eq!(second.served_from, ServedFrom::QueryDirectory);
+    assert_eq!(second.query_id, first.query_id);
+    assert_eq!(second.batch.num_rows(), 8);
+    // The directory hit did not issue a new warehouse query.
+    assert_eq!(wh.queries_executed(), executed_before);
+
+    let stats = service.directory_stats("primary").unwrap();
+    assert!(stats.hits >= 1);
+}
+
+#[test]
+fn auth_and_acl_enforced() {
+    let (service, wh, _token, _org) = setup();
+    let wb = flights_workbook();
+    let json = wb.to_json().unwrap();
+    let bad = QueryRequest {
+        token: "tok-bogus",
+        connection: "primary",
+        workbook_json: &json,
+        element: "ByCarrier",
+        priority: Priority::Interactive,
+    };
+    assert_eq!(service.run_query(&bad).unwrap_err(), ServiceError::Unauthenticated);
+
+    // A user from another org cannot use this org's connection.
+    let other_org = service.tenancy.create_org("rival");
+    let outsider = service
+        .tenancy
+        .create_user(other_org, "eve", sigma_service::tenancy::Role::Admin)
+        .unwrap();
+    let outsider_token = service.tenancy.issue_token(outsider).unwrap();
+    let req = QueryRequest {
+        token: &outsider_token,
+        connection: "primary",
+        workbook_json: &json,
+        element: "ByCarrier",
+        priority: Priority::Interactive,
+    };
+    assert!(matches!(service.run_query(&req), Err(ServiceError::Forbidden(_))));
+    let _ = wh;
+}
+
+#[test]
+fn materialization_substitutes_and_refreshes() {
+    let (service, wh, token, _) = setup();
+    let mut wb = flights_workbook();
+    // A derived element over ByCarrier.
+    let mut derived = TableSpec::new(DataSource::Element { name: "ByCarrier".into() });
+    derived.add_column(ColumnDef::source("Carrier", "Carrier")).unwrap();
+    derived.add_column(ColumnDef::source("Flights", "Flights")).unwrap();
+    wb.add_element(0, "Derived", ElementKind::Table(derived)).unwrap();
+
+    let table = service
+        .materialize_element(&token, "primary", &wb, "ByCarrier", Some(60))
+        .unwrap();
+    assert!(wh.has_table(&table));
+
+    // Derived now compiles against the materialization.
+    let user = service.tenancy.authenticate(&token).unwrap();
+    let compiled = service.compile(&user, "primary", &wb, "Derived").unwrap();
+    assert!(compiled.sql.contains(&table), "{}", compiled.sql);
+
+    // Scheduled refresh fires after the period elapses.
+    let refreshed = service
+        .tick_materializations(&token, "primary", &wb, 61)
+        .unwrap();
+    assert_eq!(refreshed, 1);
+}
+
+#[test]
+fn csv_upload_and_lookup() {
+    let (service, wh, token, _) = setup();
+    let rows = service
+        .upload_csv(
+            &token,
+            "primary",
+            "uploaded_airports",
+            &sigma_flights::dirty_airports_csv(42),
+        )
+        .unwrap();
+    assert_eq!(rows, 30);
+    assert!(wh.has_table("uploaded_airports"));
+
+    // Viewers cannot upload.
+    let user = service.tenancy.authenticate(&token).unwrap();
+    let viewer = service
+        .tenancy
+        .create_user(user.org, "vic", sigma_service::tenancy::Role::Viewer)
+        .unwrap();
+    let viewer_token = service.tenancy.issue_token(viewer).unwrap();
+    assert!(matches!(
+        service.upload_csv(&viewer_token, "primary", "x", "a\n1\n"),
+        Err(ServiceError::Forbidden(_))
+    ));
+}
+
+#[test]
+fn input_table_projection_and_edit_propagation() {
+    let (service, wh, token, _) = setup();
+    let mut wb = Workbook::new(Some("inputs"));
+    let mut input = sigma_core::editable::InputTableSpec::new(vec![
+        ("Code".into(), DataType::Text),
+        ("Note".into(), DataType::Text),
+    ]);
+    let r1 = input.insert_row(vec!["ORD".into(), "hub".into()]).unwrap();
+    let _r2 = input.insert_row(vec!["SFO".into(), "coastal".into()]).unwrap();
+    wb.add_element(0, "Notes", ElementKind::Input(input)).unwrap();
+
+    let table = service
+        .project_input_table(&token, "primary", &mut wb, "Notes")
+        .unwrap();
+    let count = wh
+        .execute_sql(&format!("SELECT COUNT(*) AS n FROM {table}"))
+        .unwrap();
+    assert_eq!(count.batch.value(0, 0), Value::Int(2));
+
+    // Edit a cell, add a row, delete a row; propagate as DML.
+    {
+        let input = wb.input_table_mut("Notes").unwrap();
+        input.set_cell(r1, "Note", "major hub".into()).unwrap();
+        input.insert_row(vec!["JFK".into(), "east".into()]).unwrap();
+        input.delete_row(2).unwrap(); // SFO
+    }
+    let n = service
+        .propagate_edits(&token, "primary", &mut wb, "Notes")
+        .unwrap();
+    assert_eq!(n, 3);
+    let rows = wh
+        .execute_sql(&format!(
+            "SELECT \"Code\", \"Note\" FROM {table} ORDER BY \"Code\""
+        ))
+        .unwrap()
+        .batch;
+    assert_eq!(rows.num_rows(), 2);
+    assert_eq!(rows.value(0, 0), Value::Text("JFK".into()));
+    assert_eq!(rows.value(1, 1), Value::Text("major hub".into()));
+
+    // Downstream queries see the edits (the paper's Scenario 3 ending).
+    let mut consumer = TableSpec::new(DataSource::Element { name: "Notes".into() });
+    consumer.add_column(ColumnDef::source("Code", "Code")).unwrap();
+    consumer.add_column(ColumnDef::source("Note", "Note")).unwrap();
+    wb.add_element(0, "Consumer", ElementKind::Table(consumer)).unwrap();
+    let json = wb.to_json().unwrap();
+    let req = QueryRequest {
+        token: &token,
+        connection: "primary",
+        workbook_json: &json,
+        element: "Consumer",
+        priority: Priority::Interactive,
+    };
+    let out = service.run_query(&req).unwrap();
+    assert_eq!(out.batch.num_rows(), 2);
+}
+
+#[test]
+fn document_store_round_trip_through_service() {
+    let (service, _wh, token, org) = setup();
+    let user = service.tenancy.authenticate(&token).unwrap();
+    let wb = flights_workbook();
+    let meta = service.documents.create(org, user.id, "Demos", &wb).unwrap();
+    let loaded = service.documents.open(meta.id, None).unwrap();
+    assert_eq!(loaded, wb);
+    // Share with a viewer.
+    let viewer = service
+        .tenancy
+        .create_user(org, "vic", sigma_service::tenancy::Role::Viewer)
+        .unwrap();
+    let viewer_user = service.tenancy.user(viewer).unwrap();
+    service
+        .grants
+        .grant_user(meta.id, viewer, sigma_service::tenancy::Access::View);
+    assert_eq!(
+        service.grants.access(meta.id, &viewer_user),
+        Some(sigma_service::tenancy::Access::View)
+    );
+}

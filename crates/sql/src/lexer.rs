@@ -1,0 +1,357 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+/// One SQL token with its source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlToken {
+    pub kind: SqlTokenKind,
+    pub offset: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlTokenKind {
+    /// Bare word: keyword, identifier, or function name.
+    Word(String),
+    /// `"..."` or `` `...` `` quoted identifier.
+    QuotedIdent(String),
+    /// Numeric literal, verbatim text.
+    Number(String),
+    /// `'...'` string literal ('' escapes).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    ConcatOp,
+}
+
+impl fmt::Display for SqlTokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use SqlTokenKind::*;
+        match self {
+            Word(s) => write!(f, "{s}"),
+            QuotedIdent(s) => write!(f, "\"{s}\""),
+            Number(s) => write!(f, "{s}"),
+            Str(s) => write!(f, "'{s}'"),
+            LParen => f.write_str("("),
+            RParen => f.write_str(")"),
+            Comma => f.write_str(","),
+            Dot => f.write_str("."),
+            Plus => f.write_str("+"),
+            Minus => f.write_str("-"),
+            Star => f.write_str("*"),
+            Slash => f.write_str("/"),
+            Percent => f.write_str("%"),
+            Eq => f.write_str("="),
+            NotEq => f.write_str("<>"),
+            Lt => f.write_str("<"),
+            LtEq => f.write_str("<="),
+            Gt => f.write_str(">"),
+            GtEq => f.write_str(">="),
+            ConcatOp => f.write_str("||"),
+        }
+    }
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlLexError {
+    pub message: String,
+    pub offset: usize,
+}
+
+/// Tokenize SQL text. Handles `--` line comments and `/* */` blocks.
+pub fn lex_sql(input: &str) -> Result<Vec<SqlToken>, SqlLexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(SqlLexError {
+                            message: "unterminated block comment".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(SqlToken { kind: SqlTokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(SqlToken { kind: SqlTokenKind::RParen, offset: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(SqlToken { kind: SqlTokenKind::Comma, offset: start });
+                i += 1;
+            }
+            '.' if !bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) => {
+                tokens.push(SqlToken { kind: SqlTokenKind::Dot, offset: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(SqlToken { kind: SqlTokenKind::Plus, offset: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(SqlToken { kind: SqlTokenKind::Minus, offset: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(SqlToken { kind: SqlTokenKind::Star, offset: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(SqlToken { kind: SqlTokenKind::Slash, offset: start });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(SqlToken { kind: SqlTokenKind::Percent, offset: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(SqlToken { kind: SqlTokenKind::Eq, offset: start });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(SqlToken { kind: SqlTokenKind::NotEq, offset: start });
+                i += 2;
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(SqlToken { kind: SqlTokenKind::LtEq, offset: start });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(SqlToken { kind: SqlTokenKind::NotEq, offset: start });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(SqlToken { kind: SqlTokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(SqlToken { kind: SqlTokenKind::GtEq, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(SqlToken { kind: SqlTokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                tokens.push(SqlToken { kind: SqlTokenKind::ConcatOp, offset: start });
+                i += 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlLexError {
+                                message: "unterminated string".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            let ch = input[i..].chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(SqlToken { kind: SqlTokenKind::Str(s), offset: start });
+            }
+            '"' | '`' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlLexError {
+                                message: "unterminated quoted identifier".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(&b) if b as char == quote => {
+                            if bytes.get(i + 1) == Some(&(quote as u8)) {
+                                s.push(quote);
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            let ch = input[i..].chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(SqlToken { kind: SqlTokenKind::QuotedIdent(s), offset: start });
+            }
+            _ if c.is_ascii_digit() || c == '.' => {
+                let mut end = i;
+                let mut saw_dot = false;
+                while end < bytes.len() {
+                    let b = bytes[end] as char;
+                    if b.is_ascii_digit() {
+                        end += 1;
+                    } else if b == '.' && !saw_dot {
+                        saw_dot = true;
+                        end += 1;
+                    } else if (b == 'e' || b == 'E')
+                        && end + 1 < bytes.len()
+                        && (bytes[end + 1].is_ascii_digit()
+                            || ((bytes[end + 1] == b'+' || bytes[end + 1] == b'-')
+                                && end + 2 < bytes.len()
+                                && bytes[end + 2].is_ascii_digit()))
+                    {
+                        end += 2;
+                        while end < bytes.len() && bytes[end].is_ascii_digit() {
+                            end += 1;
+                        }
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::Number(input[i..end].to_string()),
+                    offset: start,
+                });
+                i = end;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len()
+                    && ((bytes[end] as char).is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::Word(input[i..end].to_string()),
+                    offset: start,
+                });
+                i = end;
+            }
+            other => {
+                return Err(SqlLexError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: start,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<SqlTokenKind> {
+        lex_sql(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_and_symbols() {
+        assert_eq!(
+            kinds("SELECT a.b, 1.5 FROM t"),
+            vec![
+                SqlTokenKind::Word("SELECT".into()),
+                SqlTokenKind::Word("a".into()),
+                SqlTokenKind::Dot,
+                SqlTokenKind::Word("b".into()),
+                SqlTokenKind::Comma,
+                SqlTokenKind::Number("1.5".into()),
+                SqlTokenKind::Word("FROM".into()),
+                SqlTokenKind::Word("t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_quoted_idents() {
+        assert_eq!(
+            kinds("'o''hare' \"Flight Date\" `bq col`"),
+            vec![
+                SqlTokenKind::Str("o'hare".into()),
+                SqlTokenKind::QuotedIdent("Flight Date".into()),
+                SqlTokenKind::QuotedIdent("bq col".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("SELECT -- comment\n 1 /* block\nstill */ + 2"),
+            vec![
+                SqlTokenKind::Word("SELECT".into()),
+                SqlTokenKind::Number("1".into()),
+                SqlTokenKind::Plus,
+                SqlTokenKind::Number("2".into()),
+            ]
+        );
+        assert!(lex_sql("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("<> != <= >= || ="),
+            vec![
+                SqlTokenKind::NotEq,
+                SqlTokenKind::NotEq,
+                SqlTokenKind::LtEq,
+                SqlTokenKind::GtEq,
+                SqlTokenKind::ConcatOp,
+                SqlTokenKind::Eq,
+            ]
+        );
+    }
+}

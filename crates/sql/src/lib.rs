@@ -1,0 +1,23 @@
+//! SQL representation shared by the workbook compiler (which emits it) and
+//! the warehouse simulator (which consumes it).
+//!
+//! The crate deliberately models the *common subset* of the five dialects
+//! the paper supports (Snowflake, BigQuery, Redshift, PostgreSQL,
+//! Databricks): `WITH` pipelines of `SELECT` blocks with joins, grouping,
+//! window functions (including `IGNORE NULLS`), `QUALIFY`, set operations,
+//! `VALUES`, and the DDL/DML the service needs for materialization, CSV
+//! upload, and edit propagation.
+//!
+//! Round-trip guarantee: `parse(print(ast)) == ast` for every statement the
+//! printer can emit (property-tested).
+
+pub mod ast;
+pub mod dialect;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::*;
+pub use dialect::{Dialect, DialectKind};
+pub use parser::{parse_query, parse_statement, SqlParseError};
+pub use printer::print_statement;

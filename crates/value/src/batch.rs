@@ -1,0 +1,325 @@
+//! Record batches: a schema plus equal-length columns.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::column::Column;
+use crate::error::ValueError;
+use crate::types::{DataType, Value};
+
+/// A named, typed column slot in a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// An ordered collection of fields. Names are compared case-insensitively,
+/// matching the behaviour of the warehouses Sigma connects to.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    pub fn empty() -> Schema {
+        Schema { fields: Vec::new() }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Index of the field with the given name (case-insensitive).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn field_named(&self, name: &str) -> Option<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Append a field, erroring on duplicate names.
+    pub fn push(&mut self, field: Field) -> Result<(), ValueError> {
+        if self.index_of(&field.name).is_some() {
+            return Err(ValueError::invalid(format!(
+                "duplicate column name: {}",
+                field.name
+            )));
+        }
+        self.fields.push(field);
+        Ok(())
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+/// An immutable batch of rows: an `Arc<Schema>` plus one column per field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Batch {
+    schema: Arc<Schema>,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Batch {
+    /// Build a batch, validating column count, types, and lengths.
+    pub fn new(schema: Arc<Schema>, columns: Vec<Column>) -> Result<Batch, ValueError> {
+        if schema.len() != columns.len() {
+            return Err(ValueError::LengthMismatch {
+                expected: schema.len(),
+                found: columns.len(),
+            });
+        }
+        let rows = columns.first().map_or(0, |c| c.len());
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if c.dtype() != f.dtype {
+                return Err(ValueError::TypeMismatch {
+                    expected: format!("{} for column {}", f.dtype, f.name),
+                    found: c.dtype().name().to_string(),
+                });
+            }
+            if c.len() != rows {
+                return Err(ValueError::LengthMismatch { expected: rows, found: c.len() });
+            }
+        }
+        Ok(Batch { schema, columns, rows })
+    }
+
+    /// A zero-row batch with the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Batch {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::nulls(f.dtype, 0))
+            .collect();
+        Batch { columns, rows: 0, schema }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Scalar at (row, col).
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].value(row)
+    }
+
+    /// One full row as scalars.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(row)).collect()
+    }
+
+    /// Project to the given column indices (may repeat/reorder).
+    pub fn project(&self, indices: &[usize], names: Option<Vec<String>>) -> Batch {
+        let fields: Vec<Field> = indices
+            .iter()
+            .enumerate()
+            .map(|(out, &i)| {
+                let name = names
+                    .as_ref()
+                    .map(|n| n[out].clone())
+                    .unwrap_or_else(|| self.schema.field(i).name.clone());
+                Field::new(name, self.schema.field(i).dtype)
+            })
+            .collect();
+        let columns = indices.iter().map(|&i| self.columns[i].clone()).collect();
+        Batch {
+            schema: Arc::new(Schema::new(fields)),
+            columns,
+            rows: self.rows,
+        }
+    }
+
+    /// Keep rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Batch {
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.filter(mask)).collect();
+        let rows = columns.first().map_or_else(
+            || mask.iter().filter(|&&b| b).count(),
+            |c| c.len(),
+        );
+        Batch { schema: self.schema.clone(), columns, rows }
+    }
+
+    /// Gather rows by index.
+    pub fn take(&self, indices: &[usize]) -> Batch {
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.take(indices)).collect();
+        Batch { schema: self.schema.clone(), columns, rows: indices.len() }
+    }
+
+    /// Contiguous sub-range.
+    pub fn slice(&self, offset: usize, len: usize) -> Batch {
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.slice(offset, len)).collect();
+        Batch { schema: self.schema.clone(), columns, rows: len }
+    }
+
+    /// Concatenate same-schema batches (schema taken from the first).
+    pub fn concat(parts: &[&Batch]) -> Result<Batch, ValueError> {
+        let Some(first) = parts.first() else {
+            return Err(ValueError::invalid("concat of zero batches"));
+        };
+        let mut columns = Vec::with_capacity(first.num_columns());
+        for c in 0..first.num_columns() {
+            let cols: Vec<&Column> = parts.iter().map(|b| b.column(c)).collect();
+            columns.push(Column::concat(&cols)?);
+        }
+        let rows = parts.iter().map(|b| b.num_rows()).sum();
+        Ok(Batch { schema: first.schema.clone(), columns, rows })
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.byte_size()).sum()
+    }
+
+    /// Build a batch from rows of scalars (used by VALUES and tests).
+    pub fn from_rows(schema: Arc<Schema>, rows: &[Vec<Value>]) -> Result<Batch, ValueError> {
+        let mut builders: Vec<crate::column::ColumnBuilder> = schema
+            .fields()
+            .iter()
+            .map(|f| crate::column::ColumnBuilder::new(f.dtype, rows.len()))
+            .collect();
+        for row in rows {
+            if row.len() != schema.len() {
+                return Err(ValueError::LengthMismatch {
+                    expected: schema.len(),
+                    found: row.len(),
+                });
+            }
+            for (b, v) in builders.iter_mut().zip(row) {
+                b.push(v.clone())?;
+            }
+        }
+        Batch::new(schema, builders.into_iter().map(|b| b.finish()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Batch {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("name", DataType::Text),
+        ]));
+        Batch::new(
+            schema,
+            vec![
+                Column::from_ints(vec![1, 2, 3]),
+                Column::from_texts(vec!["a".into(), "b".into(), "c".into()]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let schema = Arc::new(Schema::new(vec![Field::new("id", DataType::Int)]));
+        // Wrong type.
+        assert!(Batch::new(schema.clone(), vec![Column::from_texts(vec!["x".into()])]).is_err());
+        // Wrong column count.
+        assert!(Batch::new(schema, vec![]).is_err());
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        let b = sample();
+        assert!(b.column_by_name("ID").is_some());
+        assert!(b.column_by_name("Name").is_some());
+        assert!(b.column_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn project_renames() {
+        let b = sample();
+        let p = b.project(&[1, 0], Some(vec!["n".into(), "i".into()]));
+        assert_eq!(p.schema().names(), vec!["n", "i"]);
+        assert_eq!(p.value(0, 0), Value::Text("a".into()));
+        assert_eq!(p.value(0, 1), Value::Int(1));
+    }
+
+    #[test]
+    fn filter_take_slice_concat() {
+        let b = sample();
+        let f = b.filter(&[true, false, true]);
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.value(1, 0), Value::Int(3));
+        let t = b.take(&[2, 2]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(0, 1), Value::Text("c".into()));
+        let s = b.slice(1, 1);
+        assert_eq!(s.value(0, 0), Value::Int(2));
+        let c = Batch::concat(&[&b, &s]).unwrap();
+        assert_eq!(c.num_rows(), 4);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::new("y", DataType::Text),
+        ]));
+        let rows = vec![
+            vec![Value::Int(1), Value::Text("p".into())],
+            vec![Value::Null, Value::Text("q".into())],
+        ];
+        let b = Batch::from_rows(schema, &rows).unwrap();
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(b.row(1), vec![Value::Null, Value::Text("q".into())]);
+    }
+
+    #[test]
+    fn duplicate_field_rejected() {
+        let mut s = Schema::empty();
+        s.push(Field::new("a", DataType::Int)).unwrap();
+        assert!(s.push(Field::new("A", DataType::Text)).is_err());
+    }
+}

@@ -1,0 +1,441 @@
+//! Proleptic Gregorian calendar arithmetic.
+//!
+//! Dates are day counts since 1970-01-01; timestamps are microseconds since
+//! the epoch. Conversions use Howard Hinnant's `days_from_civil` /
+//! `civil_from_days` algorithms, which are exact over the full i32 range.
+
+pub const MICROS_PER_SECOND: i64 = 1_000_000;
+pub const MICROS_PER_MINUTE: i64 = 60 * MICROS_PER_SECOND;
+pub const MICROS_PER_HOUR: i64 = 60 * MICROS_PER_MINUTE;
+pub const MICROS_PER_DAY: i64 = 24 * MICROS_PER_HOUR;
+
+/// Convert a civil date (year, month 1-12, day 1-31) to days since epoch.
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era: i32 = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe as i32 - 719_468
+}
+
+/// Convert days since epoch back to a civil (year, month, day).
+pub fn civil_from_days(days: i32) -> (i32, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Gregorian leap-year test.
+pub fn is_leap(y: i32) -> bool {
+    y % 4 == 0 && (y % 100 != 0 || y % 400 == 0)
+}
+
+/// Last day (28-31) of the given month.
+pub fn last_day_of_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {m}"),
+    }
+}
+
+/// ISO weekday: 1 = Monday ... 7 = Sunday.
+pub fn iso_weekday(days: i32) -> u32 {
+    // 1970-01-01 was a Thursday (ISO 4).
+    (((days % 7) + 7 + 3) % 7 + 1) as u32
+}
+
+/// Spreadsheet weekday convention: 1 = Sunday ... 7 = Saturday.
+pub fn spreadsheet_weekday(days: i32) -> u32 {
+    iso_weekday(days) % 7 + 1
+}
+
+/// Units understood by `DateTrunc`, `DatePart`, `DateAdd`, and `DateDiff`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DateUnit {
+    Year,
+    Quarter,
+    Month,
+    Week,
+    Day,
+    Hour,
+    Minute,
+    Second,
+}
+
+impl DateUnit {
+    /// Parse the unit names accepted by the formula language and SQL.
+    pub fn parse(s: &str) -> Option<DateUnit> {
+        match s.to_ascii_lowercase().as_str() {
+            "year" | "years" | "y" | "yy" => Some(DateUnit::Year),
+            "quarter" | "quarters" | "q" => Some(DateUnit::Quarter),
+            "month" | "months" | "mon" => Some(DateUnit::Month),
+            "week" | "weeks" | "w" => Some(DateUnit::Week),
+            "day" | "days" | "d" => Some(DateUnit::Day),
+            "hour" | "hours" | "h" => Some(DateUnit::Hour),
+            "minute" | "minutes" | "min" => Some(DateUnit::Minute),
+            "second" | "seconds" | "sec" | "s" => Some(DateUnit::Second),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DateUnit::Year => "year",
+            DateUnit::Quarter => "quarter",
+            DateUnit::Month => "month",
+            DateUnit::Week => "week",
+            DateUnit::Day => "day",
+            DateUnit::Hour => "hour",
+            DateUnit::Minute => "minute",
+            DateUnit::Second => "second",
+        }
+    }
+}
+
+/// Truncate a day count to the start of the given unit (returns days).
+pub fn trunc_date(days: i32, unit: DateUnit) -> i32 {
+    let (y, m, _) = civil_from_days(days);
+    match unit {
+        DateUnit::Year => days_from_civil(y, 1, 1),
+        DateUnit::Quarter => days_from_civil(y, (m - 1) / 3 * 3 + 1, 1),
+        DateUnit::Month => days_from_civil(y, m, 1),
+        // ISO weeks start on Monday.
+        DateUnit::Week => days - (iso_weekday(days) as i32 - 1),
+        DateUnit::Day | DateUnit::Hour | DateUnit::Minute | DateUnit::Second => days,
+    }
+}
+
+/// Truncate a timestamp (micros) to the start of the given unit.
+pub fn trunc_timestamp(micros: i64, unit: DateUnit) -> i64 {
+    let days = micros.div_euclid(MICROS_PER_DAY) as i32;
+    let within = micros.rem_euclid(MICROS_PER_DAY);
+    match unit {
+        DateUnit::Year | DateUnit::Quarter | DateUnit::Month | DateUnit::Week | DateUnit::Day => {
+            trunc_date(days, unit) as i64 * MICROS_PER_DAY
+        }
+        DateUnit::Hour => days as i64 * MICROS_PER_DAY + within / MICROS_PER_HOUR * MICROS_PER_HOUR,
+        DateUnit::Minute => {
+            days as i64 * MICROS_PER_DAY + within / MICROS_PER_MINUTE * MICROS_PER_MINUTE
+        }
+        DateUnit::Second => {
+            days as i64 * MICROS_PER_DAY + within / MICROS_PER_SECOND * MICROS_PER_SECOND
+        }
+    }
+}
+
+/// Extract a part from a day count.
+pub fn date_part(days: i32, unit: DateUnit) -> i64 {
+    let (y, m, d) = civil_from_days(days);
+    match unit {
+        DateUnit::Year => y as i64,
+        DateUnit::Quarter => ((m - 1) / 3 + 1) as i64,
+        DateUnit::Month => m as i64,
+        DateUnit::Week => iso_week_of_year(days) as i64,
+        DateUnit::Day => d as i64,
+        DateUnit::Hour | DateUnit::Minute | DateUnit::Second => 0,
+    }
+}
+
+/// Extract a part from a timestamp (micros).
+pub fn timestamp_part(micros: i64, unit: DateUnit) -> i64 {
+    let days = micros.div_euclid(MICROS_PER_DAY) as i32;
+    let within = micros.rem_euclid(MICROS_PER_DAY);
+    match unit {
+        DateUnit::Hour => within / MICROS_PER_HOUR,
+        DateUnit::Minute => within % MICROS_PER_HOUR / MICROS_PER_MINUTE,
+        DateUnit::Second => within % MICROS_PER_MINUTE / MICROS_PER_SECOND,
+        other => date_part(days, other),
+    }
+}
+
+/// ISO-8601 week number (1-53).
+pub fn iso_week_of_year(days: i32) -> u32 {
+    // Week containing the first Thursday of the year is week 1.
+    let thursday = days + (4 - iso_weekday(days) as i32); // Thursday of this ISO week
+    let (y, _, _) = civil_from_days(thursday);
+    let jan1 = days_from_civil(y, 1, 1);
+    ((thursday - jan1) / 7 + 1) as u32
+}
+
+/// Add months to a date, clamping the day to the target month's last day.
+pub fn add_months(days: i32, months: i64) -> i32 {
+    let (y, m, d) = civil_from_days(days);
+    let total = y as i64 * 12 + (m as i64 - 1) + months;
+    let ny = total.div_euclid(12) as i32;
+    let nm = (total.rem_euclid(12) + 1) as u32;
+    let nd = d.min(last_day_of_month(ny, nm));
+    days_from_civil(ny, nm, nd)
+}
+
+/// Add `n` units to a day count (hour/minute/second promote to timestamps at
+/// the caller's discretion; here sub-day units are a no-op on dates).
+pub fn date_add(days: i32, unit: DateUnit, n: i64) -> i32 {
+    match unit {
+        DateUnit::Year => add_months(days, n * 12),
+        DateUnit::Quarter => add_months(days, n * 3),
+        DateUnit::Month => add_months(days, n),
+        DateUnit::Week => days + (n * 7) as i32,
+        DateUnit::Day => days + n as i32,
+        _ => days,
+    }
+}
+
+/// Add `n` units to a timestamp.
+pub fn timestamp_add(micros: i64, unit: DateUnit, n: i64) -> i64 {
+    match unit {
+        DateUnit::Hour => micros + n * MICROS_PER_HOUR,
+        DateUnit::Minute => micros + n * MICROS_PER_MINUTE,
+        DateUnit::Second => micros + n * MICROS_PER_SECOND,
+        _ => {
+            let days = micros.div_euclid(MICROS_PER_DAY) as i32;
+            let within = micros.rem_euclid(MICROS_PER_DAY);
+            date_add(days, unit, n) as i64 * MICROS_PER_DAY + within
+        }
+    }
+}
+
+/// Count unit boundaries crossed between two day counts (Snowflake-style).
+pub fn date_diff(from_days: i32, to_days: i32, unit: DateUnit) -> i64 {
+    let (fy, fm, _) = civil_from_days(from_days);
+    let (ty, tm, _) = civil_from_days(to_days);
+    match unit {
+        DateUnit::Year => (ty - fy) as i64,
+        DateUnit::Quarter => {
+            (ty as i64 * 4 + ((tm - 1) / 3) as i64) - (fy as i64 * 4 + ((fm - 1) / 3) as i64)
+        }
+        DateUnit::Month => (ty as i64 * 12 + tm as i64) - (fy as i64 * 12 + fm as i64),
+        DateUnit::Week => {
+            (trunc_date(to_days, DateUnit::Week) as i64
+                - trunc_date(from_days, DateUnit::Week) as i64)
+                / 7
+        }
+        DateUnit::Day => (to_days - from_days) as i64,
+        _ => 0,
+    }
+}
+
+/// Count unit boundaries crossed between two timestamps.
+pub fn timestamp_diff(from: i64, to: i64, unit: DateUnit) -> i64 {
+    match unit {
+        DateUnit::Hour => to.div_euclid(MICROS_PER_HOUR) - from.div_euclid(MICROS_PER_HOUR),
+        DateUnit::Minute => to.div_euclid(MICROS_PER_MINUTE) - from.div_euclid(MICROS_PER_MINUTE),
+        DateUnit::Second => to.div_euclid(MICROS_PER_SECOND) - from.div_euclid(MICROS_PER_SECOND),
+        other => date_diff(
+            from.div_euclid(MICROS_PER_DAY) as i32,
+            to.div_euclid(MICROS_PER_DAY) as i32,
+            other,
+        ),
+    }
+}
+
+/// Format a day count as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Format a timestamp as `YYYY-MM-DD HH:MM:SS[.ffffff]`.
+pub fn format_timestamp(micros: i64) -> String {
+    let days = micros.div_euclid(MICROS_PER_DAY) as i32;
+    let within = micros.rem_euclid(MICROS_PER_DAY);
+    let (y, m, d) = civil_from_days(days);
+    let h = within / MICROS_PER_HOUR;
+    let mi = within % MICROS_PER_HOUR / MICROS_PER_MINUTE;
+    let s = within % MICROS_PER_MINUTE / MICROS_PER_SECOND;
+    let us = within % MICROS_PER_SECOND;
+    if us == 0 {
+        format!("{y:04}-{m:02}-{d:02} {h:02}:{mi:02}:{s:02}")
+    } else {
+        format!("{y:04}-{m:02}-{d:02} {h:02}:{mi:02}:{s:02}.{us:06}")
+    }
+}
+
+/// Parse `YYYY-MM-DD` into a day count.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let b = s.trim().as_bytes();
+    // Minimal fixed-format parser; rejects out-of-range components.
+    let dash1 = b.iter().position(|&c| c == b'-')?;
+    if dash1 == 0 {
+        return None;
+    }
+    let rest = &s.trim()[dash1 + 1..];
+    let dash2 = rest.find('-')?;
+    let y: i32 = s.trim()[..dash1].parse().ok()?;
+    let m: u32 = rest[..dash2].parse().ok()?;
+    let d: u32 = rest[dash2 + 1..].parse().ok()?;
+    if !(1..=12).contains(&m) || d < 1 || d > last_day_of_month(y, m) {
+        return None;
+    }
+    Some(days_from_civil(y, m, d))
+}
+
+/// Parse `YYYY-MM-DD[ T]HH:MM[:SS[.ffffff]]` into micros. A bare date parses
+/// as midnight.
+pub fn parse_timestamp(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(days) = parse_date(s) {
+        return Some(days as i64 * MICROS_PER_DAY);
+    }
+    let split = s.find([' ', 'T'])?;
+    let days = parse_date(&s[..split])? as i64;
+    let time = &s[split + 1..];
+    let mut parts = time.splitn(3, ':');
+    let h: i64 = parts.next()?.parse().ok()?;
+    let mi: i64 = parts.next()?.parse().ok()?;
+    let (sec, us) = match parts.next() {
+        None => (0, 0),
+        Some(sp) => {
+            if let Some(dot) = sp.find('.') {
+                let sec: i64 = sp[..dot].parse().ok()?;
+                let frac = &sp[dot + 1..];
+                if frac.len() > 6 || frac.is_empty() {
+                    return None;
+                }
+                let mut us: i64 = frac.parse().ok()?;
+                us *= 10_i64.pow(6 - frac.len() as u32);
+                (sec, us)
+            } else {
+                (sp.parse().ok()?, 0)
+            }
+        }
+    };
+    if !(0..24).contains(&h) || !(0..60).contains(&mi) || !(0..60).contains(&sec) {
+        return None;
+    }
+    Some(days * MICROS_PER_DAY + h * MICROS_PER_HOUR + mi * MICROS_PER_MINUTE + sec * MICROS_PER_SECOND + us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn civil_round_trip_wide_range() {
+        for days in (-800_000..800_000).step_by(997) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days, "at {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2024));
+        assert!(!is_leap(2023));
+        assert_eq!(last_day_of_month(2024, 2), 29);
+        assert_eq!(last_day_of_month(2023, 2), 28);
+    }
+
+    #[test]
+    fn weekday_known_dates() {
+        // 1970-01-01 was a Thursday.
+        assert_eq!(iso_weekday(0), 4);
+        // 2000-01-01 was a Saturday.
+        assert_eq!(iso_weekday(days_from_civil(2000, 1, 1)), 6);
+        // Negative days: 1969-12-31 was a Wednesday.
+        assert_eq!(iso_weekday(-1), 3);
+        assert_eq!(spreadsheet_weekday(0), 5); // Thursday = 5 in Sunday-first
+    }
+
+    #[test]
+    fn trunc_quarter() {
+        let d = days_from_civil(2019, 8, 17);
+        assert_eq!(civil_from_days(trunc_date(d, DateUnit::Quarter)), (2019, 7, 1));
+        let d2 = days_from_civil(2019, 1, 1);
+        assert_eq!(civil_from_days(trunc_date(d2, DateUnit::Quarter)), (2019, 1, 1));
+    }
+
+    #[test]
+    fn trunc_week_is_monday() {
+        // 2021-03-10 was a Wednesday; week starts 2021-03-08 (Monday).
+        let d = days_from_civil(2021, 3, 10);
+        assert_eq!(civil_from_days(trunc_date(d, DateUnit::Week)), (2021, 3, 8));
+        let monday = days_from_civil(2021, 3, 8);
+        assert_eq!(trunc_date(monday, DateUnit::Week), monday);
+    }
+
+    #[test]
+    fn add_months_clamps() {
+        let jan31 = days_from_civil(2021, 1, 31);
+        assert_eq!(civil_from_days(add_months(jan31, 1)), (2021, 2, 28));
+        assert_eq!(civil_from_days(add_months(jan31, 13)), (2022, 2, 28));
+        assert_eq!(civil_from_days(add_months(jan31, -2)), (2020, 11, 30));
+    }
+
+    #[test]
+    fn diff_counts_boundaries() {
+        let a = days_from_civil(2019, 12, 31);
+        let b = days_from_civil(2020, 1, 1);
+        assert_eq!(date_diff(a, b, DateUnit::Year), 1);
+        assert_eq!(date_diff(a, b, DateUnit::Month), 1);
+        assert_eq!(date_diff(a, b, DateUnit::Day), 1);
+        assert_eq!(date_diff(b, a, DateUnit::Year), -1);
+        let c = days_from_civil(2020, 12, 30);
+        assert_eq!(date_diff(a, c, DateUnit::Quarter), 4);
+    }
+
+    #[test]
+    fn parse_and_format_round_trip() {
+        for s in ["1987-10-01", "2020-02-29", "0001-01-01"] {
+            let d = parse_date(s).unwrap();
+            assert_eq!(format_date(d), s);
+        }
+        assert!(parse_date("2021-02-29").is_none());
+        assert!(parse_date("2021-13-01").is_none());
+        assert!(parse_date("garbage").is_none());
+    }
+
+    #[test]
+    fn parse_timestamps() {
+        let t = parse_timestamp("2020-05-01 13:45:30").unwrap();
+        assert_eq!(format_timestamp(t), "2020-05-01 13:45:30");
+        let t2 = parse_timestamp("2020-05-01T13:45:30.25").unwrap();
+        assert_eq!(format_timestamp(t2), "2020-05-01 13:45:30.250000");
+        let t3 = parse_timestamp("2020-05-01").unwrap();
+        assert_eq!(format_timestamp(t3), "2020-05-01 00:00:00");
+        assert!(parse_timestamp("2020-05-01 25:00:00").is_none());
+    }
+
+    #[test]
+    fn iso_weeks() {
+        // 2021-01-01 is a Friday, part of ISO week 53 of 2020.
+        assert_eq!(iso_week_of_year(days_from_civil(2021, 1, 1)), 53);
+        // 2021-01-04 is the first Monday -> week 1.
+        assert_eq!(iso_week_of_year(days_from_civil(2021, 1, 4)), 1);
+        assert_eq!(iso_week_of_year(days_from_civil(2020, 12, 31)), 53);
+    }
+
+    #[test]
+    fn timestamp_parts() {
+        let t = parse_timestamp("2020-05-01 13:45:30").unwrap();
+        assert_eq!(timestamp_part(t, DateUnit::Hour), 13);
+        assert_eq!(timestamp_part(t, DateUnit::Minute), 45);
+        assert_eq!(timestamp_part(t, DateUnit::Second), 30);
+        assert_eq!(timestamp_part(t, DateUnit::Year), 2020);
+        assert_eq!(trunc_timestamp(t, DateUnit::Hour), parse_timestamp("2020-05-01 13:00:00").unwrap());
+    }
+}

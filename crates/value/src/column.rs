@@ -1,0 +1,576 @@
+//! Typed columnar vectors with validity tracking.
+//!
+//! A [`Column`] stores values of a single [`DataType`] densely, with an
+//! optional validity mask (absent means "no nulls"). Null slots hold an
+//! arbitrary default in the data vector and must never be read through the
+//! typed accessors without consulting validity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ValueError;
+use crate::types::{DataType, Value};
+
+/// Physical storage for one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum ColumnData {
+    Bool(Vec<bool>),
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Text(Vec<String>),
+    Date(Vec<i32>),
+    Timestamp(Vec<i64>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Text(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::Timestamp(v) => v.len(),
+        }
+    }
+
+    fn dtype(&self) -> DataType {
+        match self {
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Text(_) => DataType::Text,
+            ColumnData::Date(_) => DataType::Date,
+            ColumnData::Timestamp(_) => DataType::Timestamp,
+        }
+    }
+
+    fn with_capacity(dtype: DataType, cap: usize) -> ColumnData {
+        match dtype {
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(cap)),
+            DataType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            DataType::Float => ColumnData::Float(Vec::with_capacity(cap)),
+            DataType::Text => ColumnData::Text(Vec::with_capacity(cap)),
+            DataType::Date => ColumnData::Date(Vec::with_capacity(cap)),
+            DataType::Timestamp => ColumnData::Timestamp(Vec::with_capacity(cap)),
+        }
+    }
+}
+
+/// An immutable column of values sharing one [`DataType`].
+///
+/// Internals are `Arc`-shared: cloning a column (and therefore a `Batch`)
+/// is O(1), which keeps scans, caches, and plan rewrites cheap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    data: std::sync::Arc<ColumnData>,
+    /// `None` means every slot is valid. `Some(mask)` marks valid slots true.
+    validity: Option<std::sync::Arc<Vec<bool>>>,
+}
+
+impl Column {
+    /// Build a column of `dtype` from scalar values, coercing `Int -> Float`
+    /// and `Date -> Timestamp` where the declared type requires it.
+    pub fn from_values(dtype: DataType, values: &[Value]) -> Result<Column, ValueError> {
+        let mut b = ColumnBuilder::new(dtype, values.len());
+        for v in values {
+            b.push(v.clone())?;
+        }
+        Ok(b.finish())
+    }
+
+    /// An all-null column of the given type and length.
+    pub fn nulls(dtype: DataType, len: usize) -> Column {
+        let mut b = ColumnBuilder::new(dtype, len);
+        for _ in 0..len {
+            b.push_null();
+        }
+        b.finish()
+    }
+
+    pub fn from_bools(v: Vec<bool>) -> Column {
+        Column { data: std::sync::Arc::new(ColumnData::Bool(v)), validity: None }
+    }
+    pub fn from_ints(v: Vec<i64>) -> Column {
+        Column { data: std::sync::Arc::new(ColumnData::Int(v)), validity: None }
+    }
+    pub fn from_floats(v: Vec<f64>) -> Column {
+        Column { data: std::sync::Arc::new(ColumnData::Float(v)), validity: None }
+    }
+    pub fn from_texts(v: Vec<String>) -> Column {
+        Column { data: std::sync::Arc::new(ColumnData::Text(v)), validity: None }
+    }
+    pub fn from_dates(v: Vec<i32>) -> Column {
+        Column { data: std::sync::Arc::new(ColumnData::Date(v)), validity: None }
+    }
+    pub fn from_timestamps(v: Vec<i64>) -> Column {
+        Column { data: std::sync::Arc::new(ColumnData::Timestamp(v)), validity: None }
+    }
+
+    pub fn from_opt_ints(v: Vec<Option<i64>>) -> Column {
+        let validity: Vec<bool> = v.iter().map(|x| x.is_some()).collect();
+        let data: Vec<i64> = v.into_iter().map(|x| x.unwrap_or_default()).collect();
+        Column {
+            data: std::sync::Arc::new(ColumnData::Int(data)),
+            validity: Some(std::sync::Arc::new(validity)),
+        }
+        .normalized()
+    }
+    pub fn from_opt_floats(v: Vec<Option<f64>>) -> Column {
+        let validity: Vec<bool> = v.iter().map(|x| x.is_some()).collect();
+        let data: Vec<f64> = v.into_iter().map(|x| x.unwrap_or_default()).collect();
+        Column {
+            data: std::sync::Arc::new(ColumnData::Float(data)),
+            validity: Some(std::sync::Arc::new(validity)),
+        }
+        .normalized()
+    }
+    pub fn from_opt_texts(v: Vec<Option<String>>) -> Column {
+        let validity: Vec<bool> = v.iter().map(|x| x.is_some()).collect();
+        let data: Vec<String> = v.into_iter().map(|x| x.unwrap_or_default()).collect();
+        Column {
+            data: std::sync::Arc::new(ColumnData::Text(data)),
+            validity: Some(std::sync::Arc::new(validity)),
+        }
+        .normalized()
+    }
+
+    /// Drop the validity mask if it is all-true.
+    fn normalized(mut self) -> Column {
+        if let Some(mask) = &self.validity {
+            if mask.iter().all(|&b| b) {
+                self.validity = None;
+            }
+        }
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn dtype(&self) -> DataType {
+        self.data.dtype()
+    }
+
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.validity {
+            Some(mask) => !mask[i],
+            None => false,
+        }
+    }
+
+    pub fn null_count(&self) -> usize {
+        match &self.validity {
+            Some(mask) => mask.iter().filter(|&&b| !b).count(),
+            None => 0,
+        }
+    }
+
+    /// Scalar at row `i` (clones text).
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match self.data.as_ref() {
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Text(v) => Value::Text(v[i].clone()),
+            ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::Timestamp(v) => Value::Timestamp(v[i]),
+        }
+    }
+
+    /// Iterate scalars (clones text values).
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.value(i))
+    }
+
+    /// Raw typed data, ignoring validity. Callers must pair with `is_null`.
+    pub fn bools(&self) -> Option<&[bool]> {
+        match self.data.as_ref() {
+            ColumnData::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+    pub fn ints(&self) -> Option<&[i64]> {
+        match self.data.as_ref() {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+    pub fn floats(&self) -> Option<&[f64]> {
+        match self.data.as_ref() {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+    pub fn texts(&self) -> Option<&[String]> {
+        match self.data.as_ref() {
+            ColumnData::Text(v) => Some(v),
+            _ => None,
+        }
+    }
+    pub fn dates(&self) -> Option<&[i32]> {
+        match self.data.as_ref() {
+            ColumnData::Date(v) => Some(v),
+            _ => None,
+        }
+    }
+    pub fn timestamps(&self) -> Option<&[i64]> {
+        match self.data.as_ref() {
+            ColumnData::Timestamp(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of row `i` as f64 (Int or Float), None when null or
+    /// non-numeric.
+    pub fn f64_at(&self, i: usize) -> Option<f64> {
+        if self.is_null(i) {
+            return None;
+        }
+        match self.data.as_ref() {
+            ColumnData::Int(v) => Some(v[i] as f64),
+            ColumnData::Float(v) => Some(v[i]),
+            _ => None,
+        }
+    }
+
+    /// Gather rows by index. Panics on out-of-bounds.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|mask| indices.iter().map(|&i| mask[i]).collect::<Vec<_>>());
+        // Drop an all-true mask produced by gathering only valid slots.
+        let validity = validity.filter(|m| m.iter().any(|&b| !b));
+        let data = match self.data.as_ref() {
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Text(v) => {
+                ColumnData::Text(indices.iter().map(|&i| v[i].clone()).collect())
+            }
+            ColumnData::Date(v) => ColumnData::Date(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Timestamp(v) => {
+                ColumnData::Timestamp(indices.iter().map(|&i| v[i]).collect())
+            }
+        };
+        Column {
+            data: std::sync::Arc::new(data),
+            validity: validity.map(std::sync::Arc::new),
+        }
+    }
+
+    /// Keep rows where `mask` is true. `mask.len()` must equal `self.len()`.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        debug_assert_eq!(mask.len(), self.len());
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect();
+        self.take(&indices)
+    }
+
+    /// Contiguous sub-range `[offset, offset+len)`.
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        let indices: Vec<usize> = (offset..offset + len).collect();
+        self.take(&indices)
+    }
+
+    /// Concatenate same-typed columns.
+    pub fn concat(parts: &[&Column]) -> Result<Column, ValueError> {
+        let Some(first) = parts.first() else {
+            return Err(ValueError::invalid("concat of zero columns"));
+        };
+        let dtype = first.dtype();
+        let total: usize = parts.iter().map(|c| c.len()).sum();
+        let mut b = ColumnBuilder::new(dtype, total);
+        for part in parts {
+            if part.dtype() != dtype {
+                return Err(ValueError::TypeMismatch {
+                    expected: dtype.name().to_string(),
+                    found: part.dtype().name().to_string(),
+                });
+            }
+            for i in 0..part.len() {
+                b.push(part.value(i))?;
+            }
+        }
+        Ok(b.finish())
+    }
+
+    /// Cast every value to `target`, erroring on lossy/unsupported casts.
+    pub fn cast(&self, target: DataType) -> Result<Column, ValueError> {
+        if self.dtype() == target {
+            return Ok(self.clone());
+        }
+        let mut b = ColumnBuilder::new(target, self.len());
+        for i in 0..self.len() {
+            b.push(cast_value(self.value(i), target)?)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Number of distinct non-null values (exact; used by prefetch policy
+    /// and pivot-value discovery).
+    pub fn distinct_count(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut buf = Vec::new();
+        for i in 0..self.len() {
+            if self.is_null(i) {
+                continue;
+            }
+            buf.clear();
+            crate::hash::encode_value(&self.value(i), &mut buf);
+            seen.insert(buf.clone());
+        }
+        seen.len()
+    }
+
+    /// Approximate heap footprint in bytes (used by cache budgets).
+    pub fn byte_size(&self) -> usize {
+        let base = match self.data.as_ref() {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Text(v) => v.iter().map(|s| s.len() + 24).sum(),
+            ColumnData::Date(v) => v.len() * 4,
+            ColumnData::Timestamp(v) => v.len() * 8,
+        };
+        base + self.validity.as_ref().map_or(0, |m| m.len())
+    }
+}
+
+/// Cast a scalar to `target`, with the same rules as `Column::cast`.
+pub fn cast_value(v: Value, target: DataType) -> Result<Value, ValueError> {
+    use crate::calendar;
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    if v.dtype() == Some(target) {
+        return Ok(v);
+    }
+    let err = |v: &Value| ValueError::Parse { input: v.render(), target: target.name().to_string() };
+    match target {
+        DataType::Bool => match &v {
+            Value::Text(s) => match s.to_ascii_lowercase().as_str() {
+                "true" | "t" | "1" | "yes" => Ok(Value::Bool(true)),
+                "false" | "f" | "0" | "no" => Ok(Value::Bool(false)),
+                _ => Err(err(&v)),
+            },
+            Value::Int(i) => Ok(Value::Bool(*i != 0)),
+            _ => Err(err(&v)),
+        },
+        DataType::Int => match &v {
+            Value::Float(f) => Ok(Value::Int(*f as i64)),
+            Value::Bool(b) => Ok(Value::Int(*b as i64)),
+            Value::Text(s) => s.trim().parse::<i64>().map(Value::Int).map_err(|_| err(&v)),
+            _ => Err(err(&v)),
+        },
+        DataType::Float => match &v {
+            Value::Int(i) => Ok(Value::Float(*i as f64)),
+            Value::Bool(b) => Ok(Value::Float(*b as i64 as f64)),
+            Value::Text(s) => s.trim().parse::<f64>().map(Value::Float).map_err(|_| err(&v)),
+            _ => Err(err(&v)),
+        },
+        DataType::Text => Ok(Value::Text(v.render())),
+        DataType::Date => match &v {
+            Value::Timestamp(t) => {
+                Ok(Value::Date(t.div_euclid(calendar::MICROS_PER_DAY) as i32))
+            }
+            Value::Text(s) => calendar::parse_date(s).map(Value::Date).ok_or_else(|| err(&v)),
+            _ => Err(err(&v)),
+        },
+        DataType::Timestamp => match &v {
+            Value::Date(d) => Ok(Value::Timestamp(*d as i64 * calendar::MICROS_PER_DAY)),
+            Value::Text(s) => calendar::parse_timestamp(s)
+                .map(Value::Timestamp)
+                .ok_or_else(|| err(&v)),
+            _ => Err(err(&v)),
+        },
+    }
+}
+
+/// Incrementally builds a [`Column`], tracking validity lazily.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    data: ColumnData,
+    validity: Vec<bool>,
+    any_null: bool,
+}
+
+impl ColumnBuilder {
+    pub fn new(dtype: DataType, capacity: usize) -> ColumnBuilder {
+        ColumnBuilder {
+            data: ColumnData::with_capacity(dtype, capacity),
+            validity: Vec::with_capacity(capacity),
+            any_null: false,
+        }
+    }
+
+    pub fn dtype(&self) -> DataType {
+        self.data.dtype()
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn push_null(&mut self) {
+        self.any_null = true;
+        self.validity.push(false);
+        match &mut self.data {
+            ColumnData::Bool(v) => v.push(false),
+            ColumnData::Int(v) => v.push(0),
+            ColumnData::Float(v) => v.push(0.0),
+            ColumnData::Text(v) => v.push(String::new()),
+            ColumnData::Date(v) => v.push(0),
+            ColumnData::Timestamp(v) => v.push(0),
+        }
+    }
+
+    /// Push a scalar, coercing `Int -> Float` and `Date -> Timestamp` when
+    /// the builder's type requires it.
+    pub fn push(&mut self, v: Value) -> Result<(), ValueError> {
+        if v.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        let mismatch = |b: &ColumnBuilder, v: &Value| ValueError::TypeMismatch {
+            expected: b.dtype().name().to_string(),
+            found: v.dtype().map(|d| d.name().to_string()).unwrap_or_default(),
+        };
+        match (&mut self.data, &v) {
+            (ColumnData::Bool(vec), Value::Bool(x)) => vec.push(*x),
+            (ColumnData::Int(vec), Value::Int(x)) => vec.push(*x),
+            (ColumnData::Float(vec), Value::Float(x)) => vec.push(*x),
+            (ColumnData::Float(vec), Value::Int(x)) => vec.push(*x as f64),
+            (ColumnData::Text(vec), Value::Text(x)) => vec.push(x.clone()),
+            (ColumnData::Date(vec), Value::Date(x)) => vec.push(*x),
+            (ColumnData::Timestamp(vec), Value::Timestamp(x)) => vec.push(*x),
+            (ColumnData::Timestamp(vec), Value::Date(x)) => {
+                vec.push(*x as i64 * crate::calendar::MICROS_PER_DAY)
+            }
+            _ => return Err(mismatch(self, &v)),
+        }
+        self.validity.push(true);
+        Ok(())
+    }
+
+    pub fn finish(self) -> Column {
+        Column {
+            data: std::sync::Arc::new(self.data),
+            validity: if self.any_null {
+                Some(std::sync::Arc::new(self.validity))
+            } else {
+                None
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_read_with_nulls() {
+        let col = Column::from_opt_ints(vec![Some(1), None, Some(3)]);
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.dtype(), DataType::Int);
+        assert_eq!(col.null_count(), 1);
+        assert_eq!(col.value(0), Value::Int(1));
+        assert_eq!(col.value(1), Value::Null);
+        assert_eq!(col.value(2), Value::Int(3));
+    }
+
+    #[test]
+    fn no_nulls_drops_mask() {
+        let col = Column::from_opt_ints(vec![Some(1), Some(2)]);
+        assert_eq!(col.null_count(), 0);
+        assert!(!col.is_null(0));
+    }
+
+    #[test]
+    fn builder_coerces_int_to_float() {
+        let mut b = ColumnBuilder::new(DataType::Float, 2);
+        b.push(Value::Int(2)).unwrap();
+        b.push(Value::Float(0.5)).unwrap();
+        let col = b.finish();
+        assert_eq!(col.floats().unwrap(), &[2.0, 0.5]);
+    }
+
+    #[test]
+    fn builder_rejects_mismatch() {
+        let mut b = ColumnBuilder::new(DataType::Int, 1);
+        assert!(b.push(Value::Text("x".into())).is_err());
+    }
+
+    #[test]
+    fn take_filter_slice() {
+        let col = Column::from_opt_ints(vec![Some(10), None, Some(30), Some(40)]);
+        let taken = col.take(&[3, 0]);
+        assert_eq!(taken.value(0), Value::Int(40));
+        assert_eq!(taken.value(1), Value::Int(10));
+        let filtered = col.filter(&[true, true, false, false]);
+        assert_eq!(filtered.len(), 2);
+        assert!(filtered.is_null(1));
+        let sliced = col.slice(1, 2);
+        assert_eq!(sliced.len(), 2);
+        assert!(sliced.is_null(0));
+        assert_eq!(sliced.value(1), Value::Int(30));
+    }
+
+    #[test]
+    fn concat_checks_types() {
+        let a = Column::from_ints(vec![1]);
+        let b = Column::from_ints(vec![2]);
+        let c = Column::concat(&[&a, &b]).unwrap();
+        assert_eq!(c.len(), 2);
+        let t = Column::from_texts(vec!["x".into()]);
+        assert!(Column::concat(&[&a, &t]).is_err());
+    }
+
+    #[test]
+    fn cast_text_to_date_and_back() {
+        let col = Column::from_texts(vec!["2020-01-15".into()]);
+        let dates = col.cast(DataType::Date).unwrap();
+        assert_eq!(dates.dtype(), DataType::Date);
+        let texts = dates.cast(DataType::Text).unwrap();
+        assert_eq!(texts.value(0), Value::Text("2020-01-15".into()));
+    }
+
+    #[test]
+    fn cast_preserves_nulls() {
+        let col = Column::from_opt_ints(vec![Some(1), None]);
+        let floats = col.cast(DataType::Float).unwrap();
+        assert!(floats.is_null(1));
+        assert_eq!(floats.value(0), Value::Float(1.0));
+    }
+
+    #[test]
+    fn distinct_count_ignores_nulls() {
+        let col = Column::from_opt_ints(vec![Some(1), Some(1), None, Some(2)]);
+        assert_eq!(col.distinct_count(), 2);
+    }
+
+    #[test]
+    fn cast_value_bool_text() {
+        assert_eq!(
+            cast_value(Value::Text("TRUE".into()), DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(cast_value(Value::Text("maybe".into()), DataType::Bool).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for the value layer.
+
+use std::fmt;
+
+/// Errors raised by columnar data operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueError {
+    /// A value of one type was used where another was required.
+    TypeMismatch { expected: String, found: String },
+    /// Two columns or batches that must agree in length did not.
+    LengthMismatch { expected: usize, found: usize },
+    /// A column or field name was not found in a schema.
+    UnknownColumn(String),
+    /// A textual value could not be parsed into the requested type.
+    Parse { input: String, target: String },
+    /// Malformed CSV input.
+    Csv(String),
+    /// Anything else (arithmetic domain errors, invalid dates, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ValueError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: expected {expected}, found {found}")
+            }
+            ValueError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            ValueError::Parse { input, target } => {
+                write!(f, "cannot parse {input:?} as {target}")
+            }
+            ValueError::Csv(msg) => write!(f, "csv error: {msg}"),
+            ValueError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ValueError {
+    /// Convenience constructor for [`ValueError::Invalid`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        ValueError::Invalid(msg.into())
+    }
+}

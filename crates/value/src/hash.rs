@@ -1,0 +1,144 @@
+//! Order-preserving-enough group-key encoding.
+//!
+//! Group-by, distinct, and join operators key their hash tables on a byte
+//! encoding of the key row. The encoding guarantees `encode(a) == encode(b)`
+//! iff the rows are SQL-equal under [`crate::types::Value::total_cmp`]
+//! semantics (so `Int(2)` and `Float(2.0)` encode identically, and all NaNs
+//! collapse to one key).
+
+use crate::column::Column;
+use crate::types::Value;
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_NUM: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_TEMPORAL: u8 = 4;
+
+/// Append the canonical encoding of one scalar to `buf`.
+pub fn encode_value(v: &Value, buf: &mut Vec<u8>) {
+    match v {
+        Value::Null => buf.push(TAG_NULL),
+        Value::Bool(b) => {
+            buf.push(TAG_BOOL);
+            buf.push(*b as u8);
+        }
+        // Ints that fit exactly in f64 share an encoding with the equal
+        // float, so mixed-type keys group correctly.
+        Value::Int(i) => {
+            buf.push(TAG_NUM);
+            encode_f64(*i as f64, buf);
+        }
+        Value::Float(f) => {
+            buf.push(TAG_NUM);
+            encode_f64(*f, buf);
+        }
+        Value::Text(s) => {
+            buf.push(TAG_TEXT);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Value::Date(d) => {
+            buf.push(TAG_TEMPORAL);
+            buf.extend_from_slice(
+                &(*d as i64 * crate::calendar::MICROS_PER_DAY).to_le_bytes(),
+            );
+        }
+        Value::Timestamp(t) => {
+            buf.push(TAG_TEMPORAL);
+            buf.extend_from_slice(&t.to_le_bytes());
+        }
+    }
+}
+
+fn encode_f64(f: f64, buf: &mut Vec<u8>) {
+    // Canonicalize -0.0 to +0.0 and all NaNs to one bit pattern.
+    let canon = if f == 0.0 {
+        0.0f64
+    } else if f.is_nan() {
+        f64::NAN
+    } else {
+        f
+    };
+    buf.extend_from_slice(&canon.to_bits().to_le_bytes());
+}
+
+/// Append the encoding of row `row` of each key column to `buf`.
+pub fn encode_key(columns: &[&Column], row: usize, buf: &mut Vec<u8>) {
+    for col in columns {
+        // Fast paths avoid materializing a Value for common types.
+        if col.is_null(row) {
+            buf.push(TAG_NULL);
+            continue;
+        }
+        if let Some(v) = col.ints() {
+            buf.push(TAG_NUM);
+            encode_f64(v[row] as f64, buf);
+        } else if let Some(v) = col.floats() {
+            buf.push(TAG_NUM);
+            encode_f64(v[row], buf);
+        } else if let Some(v) = col.texts() {
+            buf.push(TAG_TEXT);
+            buf.extend_from_slice(&(v[row].len() as u32).to_le_bytes());
+            buf.extend_from_slice(v[row].as_bytes());
+        } else {
+            encode_value(&col.value(row), buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(v: &Value) -> Vec<u8> {
+        let mut b = Vec::new();
+        encode_value(v, &mut b);
+        b
+    }
+
+    #[test]
+    fn int_float_equal_values_share_encoding() {
+        assert_eq!(enc(&Value::Int(2)), enc(&Value::Float(2.0)));
+        assert_ne!(enc(&Value::Int(2)), enc(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn zero_and_nan_canonicalized() {
+        assert_eq!(enc(&Value::Float(0.0)), enc(&Value::Float(-0.0)));
+        let nan1 = f64::NAN;
+        let nan2 = f64::from_bits(nan1.to_bits() | 1);
+        assert_eq!(enc(&Value::Float(nan1)), enc(&Value::Float(nan2)));
+    }
+
+    #[test]
+    fn date_timestamp_same_instant_share_encoding() {
+        assert_eq!(
+            enc(&Value::Date(3)),
+            enc(&Value::Timestamp(3 * crate::calendar::MICROS_PER_DAY))
+        );
+    }
+
+    #[test]
+    fn text_prefix_safety() {
+        // ("ab", "c") must not collide with ("a", "bc").
+        let mut k1 = Vec::new();
+        encode_value(&Value::Text("ab".into()), &mut k1);
+        encode_value(&Value::Text("c".into()), &mut k1);
+        let mut k2 = Vec::new();
+        encode_value(&Value::Text("a".into()), &mut k2);
+        encode_value(&Value::Text("bc".into()), &mut k2);
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn encode_key_matches_encode_value() {
+        let col = Column::from_opt_ints(vec![Some(5), None]);
+        let mut fast = Vec::new();
+        encode_key(&[&col], 0, &mut fast);
+        assert_eq!(fast, enc(&Value::Int(5)));
+        let mut null_key = Vec::new();
+        encode_key(&[&col], 1, &mut null_key);
+        assert_eq!(null_key, enc(&Value::Null));
+    }
+}

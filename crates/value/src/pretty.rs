@@ -1,0 +1,112 @@
+//! ASCII rendering of batches, used by examples to show the workbook grid.
+
+use crate::batch::Batch;
+
+/// Render a batch as an ASCII table (at most `max_rows` data rows; a
+/// trailing ellipsis row indicates truncation).
+pub fn render(batch: &Batch, max_rows: usize) -> String {
+    let ncols = batch.num_columns();
+    if ncols == 0 {
+        return format!("({} rows, no columns)\n", batch.num_rows());
+    }
+    let shown = batch.num_rows().min(max_rows);
+    let mut widths: Vec<usize> = batch
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.chars().count())
+        .collect();
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
+    for r in 0..shown {
+        let row: Vec<String> = (0..ncols)
+            .map(|c| {
+                let v = batch.value(r, c);
+                if v.is_null() {
+                    "∅".to_string()
+                } else {
+                    v.render()
+                }
+            })
+            .collect();
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.chars().count());
+        }
+        cells.push(row);
+    }
+
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    sep(&mut out);
+    out.push('|');
+    for (f, w) in batch.schema().fields().iter().zip(&widths) {
+        let pad = w - f.name.chars().count();
+        out.push(' ');
+        out.push_str(&f.name);
+        out.push_str(&" ".repeat(pad + 1));
+        out.push('|');
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in &cells {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            let pad = w - cell.chars().count();
+            out.push(' ');
+            out.push_str(cell);
+            out.push_str(&" ".repeat(pad + 1));
+            out.push('|');
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    if batch.num_rows() > shown {
+        out.push_str(&format!("({} of {} rows shown)\n", shown, batch.num_rows()));
+    } else {
+        out.push_str(&format!("({} rows)\n", batch.num_rows()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{Field, Schema};
+    use crate::column::Column;
+    use crate::types::DataType;
+    use std::sync::Arc;
+
+    #[test]
+    fn renders_grid() {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("name", DataType::Text),
+        ]));
+        let b = Batch::new(
+            schema,
+            vec![
+                Column::from_ints(vec![1, 22]),
+                Column::from_opt_texts(vec![Some("alpha".into()), None]),
+            ],
+        )
+        .unwrap();
+        let s = render(&b, 10);
+        assert!(s.contains("| id | name"));
+        assert!(s.contains("| 22 | ∅"));
+        assert!(s.contains("(2 rows)"));
+    }
+
+    #[test]
+    fn truncates() {
+        let schema = Arc::new(Schema::new(vec![Field::new("n", DataType::Int)]));
+        let b = Batch::new(schema, vec![Column::from_ints((0..100).collect())]).unwrap();
+        let s = render(&b, 5);
+        assert!(s.contains("(5 of 100 rows shown)"));
+    }
+}

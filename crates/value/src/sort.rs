@@ -1,0 +1,117 @@
+//! Sort-index computation for multi-key ordering.
+
+use std::cmp::Ordering;
+
+use crate::column::Column;
+
+/// One ORDER BY key: the column to sort by and its direction/null placement.
+#[derive(Debug, Clone, Copy)]
+pub struct SortKey {
+    pub descending: bool,
+    /// When true, nulls sort after all values regardless of direction.
+    pub nulls_last: bool,
+}
+
+impl SortKey {
+    pub fn asc() -> SortKey {
+        SortKey { descending: false, nulls_last: false }
+    }
+    pub fn desc() -> SortKey {
+        SortKey { descending: true, nulls_last: false }
+    }
+}
+
+/// Compare row `a` vs row `b` under the given keys.
+pub fn compare_rows(columns: &[&Column], keys: &[SortKey], a: usize, b: usize) -> Ordering {
+    for (col, key) in columns.iter().zip(keys) {
+        let an = col.is_null(a);
+        let bn = col.is_null(b);
+        let ord = match (an, bn) {
+            (true, true) => Ordering::Equal,
+            (true, false) => {
+                if key.nulls_last {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (false, true) => {
+                if key.nulls_last {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (false, false) => {
+                let ord = col.value(a).total_cmp(&col.value(b));
+                if key.descending {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            }
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Stable sort: returns row indices in sorted order.
+pub fn sort_indices(columns: &[&Column], keys: &[SortKey]) -> Vec<usize> {
+    assert_eq!(columns.len(), keys.len());
+    let rows = columns.first().map_or(0, |c| c.len());
+    let mut idx: Vec<usize> = (0..rows).collect();
+    idx.sort_by(|&a, &b| compare_rows(columns, keys, a, b));
+    idx
+}
+
+/// Sort only a pre-selected set of row indices (used by window partitions).
+pub fn sort_subset(columns: &[&Column], keys: &[SortKey], subset: &mut [usize]) {
+    subset.sort_by(|&a, &b| compare_rows(columns, keys, a, b));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Value;
+
+    #[test]
+    fn single_key_asc_nulls_first() {
+        let col = Column::from_opt_ints(vec![Some(3), None, Some(1)]);
+        let idx = sort_indices(&[&col], &[SortKey::asc()]);
+        assert_eq!(idx, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn desc_with_nulls_last() {
+        let col = Column::from_opt_ints(vec![Some(3), None, Some(1)]);
+        let key = SortKey { descending: true, nulls_last: true };
+        let idx = sort_indices(&[&col], &[key]);
+        assert_eq!(idx, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn multi_key_stability() {
+        let a = Column::from_ints(vec![1, 1, 0, 0]);
+        let b = Column::from_texts(vec!["z".into(), "a".into(), "z".into(), "a".into()]);
+        let idx = sort_indices(&[&a, &b], &[SortKey::asc(), SortKey::asc()]);
+        assert_eq!(idx, vec![3, 2, 1, 0]);
+        // Stability: equal keys keep input order.
+        let c = Column::from_ints(vec![7, 7, 7]);
+        let idx = sort_indices(&[&c], &[SortKey::asc()]);
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mixed_numeric_ordering() {
+        let col = Column::from_values(
+            crate::types::DataType::Float,
+            &[Value::Float(2.5), Value::Float(1.0), Value::Float(10.0)],
+        )
+        .unwrap();
+        let idx = sort_indices(&[&col], &[SortKey::asc()]);
+        assert_eq!(idx, vec![1, 0, 2]);
+    }
+}

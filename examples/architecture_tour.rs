@@ -1,0 +1,52 @@
+//! Figure 2 walked end to end: browser -> Sigma service (auth, ACL, graph
+//! resolution, matview substitution, compile, workload queue) -> customer
+//! CDW -> result caches on the way back.
+//!
+//! ```sh
+//! cargo run --example architecture_tour
+//! ```
+
+use std::time::Duration;
+
+use sigma_workbook::browser::{BrowserSession, PrefetchPolicy};
+use sigma_workbook::demo;
+
+fn main() {
+    println!("[CDW]      loading the customer warehouse with 30k flight rows");
+    let warehouse = demo::demo_warehouse(30_000);
+    println!("[service]  org + user + token + connection registered");
+    let (service, token) = demo::demo_service(warehouse.clone());
+
+    println!("[browser]  opening two collaborating tabs (30ms simulated RTT)");
+    let tab1 = BrowserSession::new(service.clone(), token.clone(), "primary")
+        .with_network_latency(Duration::from_millis(30));
+    let tab2 = BrowserSession::new(service.clone(), token.clone(), "primary")
+        .with_network_latency(Duration::from_millis(30));
+    println!(
+        "[browser]  prefetching low-cardinality tables: {:?}",
+        tab1.prefetch(&warehouse, &PrefetchPolicy::default())
+    );
+
+    let wb = demo::cohort_workbook();
+    println!("\n-- tab 1 runs the cohort element (cold) --");
+    let cold = tab1.query_element(&wb, "Flights").unwrap();
+    println!("   source: {:?}, latency: {:?}", cold.source, cold.elapsed);
+
+    println!("-- tab 1 re-runs after an undo --");
+    let undo = tab1.query_element(&wb, "Flights").unwrap();
+    println!("   source: {:?}, latency: {:?}", undo.source, undo.elapsed);
+
+    println!("-- tab 2 runs the identical state (collaboration) --");
+    let shared = tab2.query_element(&wb, "Flights").unwrap();
+    println!("   source: {:?}, latency: {:?}", shared.source, shared.elapsed);
+
+    println!("\n-- service-side telemetry --");
+    let dir = service.directory_stats("primary").unwrap();
+    println!(
+        "   query directory: {} hits / {} misses / {} coalesced",
+        dir.hits, dir.misses, dir.coalesced
+    );
+    let wl = service.workload_stats("primary").unwrap();
+    println!("   workload queue: {} admitted, {} queued", wl.admitted, wl.queued);
+    println!("   warehouse executed {} queries total", warehouse.queries_executed());
+}

@@ -1,0 +1,43 @@
+//! Interactive controls (§3.5): a slider wired into a formula, set by a
+//! workbook URL parameter — "dashboard"-style applications.
+//!
+//! ```sh
+//! cargo run --example dashboard_controls
+//! ```
+
+use sigma_workbook::core::controls::ControlSpec;
+use sigma_workbook::core::document::ElementKind;
+use sigma_workbook::core::table::{ColumnDef, DataSource, Level, TableSpec};
+use sigma_workbook::core::{CompileOptions, Compiler, Workbook};
+use sigma_workbook::demo;
+use sigma_workbook::value::pretty;
+
+fn main() {
+    let warehouse = demo::demo_warehouse(20_000);
+    let mut wb = Workbook::new(Some("Delay Dashboard"));
+    wb.add_element(
+        0,
+        "Delay Threshold",
+        ElementKind::Control(ControlSpec::slider(0.0, 180.0, 5.0, 15.0)),
+    )
+    .unwrap();
+
+    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
+    t.add_column(ColumnDef::source("Carrier", "carrier")).unwrap();
+    t.add_column(ColumnDef::source("Dep Delay", "dep_delay")).unwrap();
+    t.add_column(ColumnDef::formula("Over", "[Dep Delay] > [Delay Threshold]", 0)).unwrap();
+    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()])).unwrap();
+    t.add_column(ColumnDef::formula("Share Over", "Avg(If([Over], 1.0, 0.0))", 1)).unwrap();
+    t.detail_level = 1;
+    wb.add_element(0, "Delays", ElementKind::Table(t)).unwrap();
+
+    let schemas = demo::WarehouseSchemas(warehouse.clone());
+    for params in ["?Delay+Threshold=15", "?Delay+Threshold=60"] {
+        wb.apply_url_params(params).unwrap();
+        let compiler = Compiler::new(&wb, &schemas, CompileOptions::default());
+        let compiled = compiler.compile_element("Delays").unwrap();
+        let result = warehouse.execute_sql(&compiled.sql).unwrap();
+        println!("=== {params} (control value inlined as a literal) ===");
+        println!("{}", pretty::render(&result.batch, 10));
+    }
+}

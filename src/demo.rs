@@ -1,0 +1,240 @@
+//! The paper's three demonstration scenarios (§5) as workbook builders,
+//! shared by the examples, the integration tests, and the benchmark
+//! harness. All three run over the synthetic On-Time flights workload.
+
+use std::sync::Arc;
+
+use sigma_cdw::Warehouse;
+use sigma_core::document::ElementKind;
+use sigma_core::schema::SchemaProvider;
+use sigma_core::table::{ColumnDef, DataSource, Level, TableSpec};
+use sigma_core::viz::{Channel, Mark, VizSpec};
+use sigma_core::Workbook;
+use sigma_flights::{load_airports, load_flights, FlightsConfig};
+use sigma_service::SigmaService;
+
+/// A loaded warehouse with `flights` and `airports`.
+pub fn demo_warehouse(rows: usize) -> Arc<Warehouse> {
+    let wh = Arc::new(Warehouse::default());
+    load_flights(&wh, &FlightsConfig::with_rows(rows)).expect("load flights");
+    load_airports(&wh).expect("load airports");
+    wh
+}
+
+/// A service with one org, one creator, and one connection ("primary").
+/// Returns (service, bearer token).
+pub fn demo_service(warehouse: Arc<Warehouse>) -> (Arc<SigmaService>, String) {
+    let service = SigmaService::new();
+    let org = service.tenancy.create_org("acme");
+    let user = service
+        .tenancy
+        .create_user(org, "analyst", sigma_service::tenancy::Role::Creator)
+        .expect("org exists");
+    let token = service.tenancy.issue_token(user).expect("user exists");
+    service.add_connection(org, "primary", warehouse);
+    (Arc::new(service), token)
+}
+
+/// `SchemaProvider` over a warehouse, for driving the compiler directly.
+pub struct WarehouseSchemas(pub Arc<Warehouse>);
+
+impl SchemaProvider for WarehouseSchemas {
+    fn table_schema(&self, table: &str) -> Option<Arc<sigma_value::Schema>> {
+        self.0.table_schema(table)
+    }
+    fn query_schema(&self, sql: &str) -> Option<Arc<sigma_value::Schema>> {
+        self.0.query_schema(sql).ok()
+    }
+}
+
+fn base_flights_columns(t: &mut TableSpec) {
+    t.add_column(ColumnDef::source("Tail Number", "tail_number")).unwrap();
+    t.add_column(ColumnDef::source("Carrier", "carrier")).unwrap();
+    t.add_column(ColumnDef::source("Flight Date", "flight_date")).unwrap();
+    t.add_column(ColumnDef::source("Origin", "origin")).unwrap();
+    t.add_column(ColumnDef::source("Dep Delay", "dep_delay")).unwrap();
+    t.add_column(ColumnDef::source("Air Time", "air_time")).unwrap();
+    t.add_column(ColumnDef::source("Cancelled", "cancelled")).unwrap();
+}
+
+/// **Scenario 1 — cohort analysis** (§5). "(1) Starting with the FLIGHTS
+/// fact table, we create a self-join using Workbook's Rollup function to
+/// identify the date of the first flight for each plane. This date,
+/// truncated to the quarter-year, identifies the cohort for each plane;
+/// (2) We then create a hierarchy of grouping levels, first grouping by
+/// cohort and then by flight date truncated by quarter. We compute the
+/// total population of planes in each cohort and, using cross-level
+/// references, the percentage active in each quarter."
+pub fn cohort_workbook() -> Workbook {
+    let mut wb = Workbook::new(Some("Cohort Analysis"));
+    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
+    base_flights_columns(&mut t);
+    t.add_column(ColumnDef::formula(
+        "First Flight",
+        "Rollup(Min([Flights/Flight Date]), [Tail Number], [Flights/Tail Number])",
+        0,
+    ))
+    .unwrap();
+    t.add_column(ColumnDef::formula("Cohort", "DateTrunc(\"quarter\", [First Flight])", 0))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Quarter", "DateTrunc(\"quarter\", [Flight Date])", 0))
+        .unwrap();
+    t.add_level(1, Level::keyed("By Quarter", vec!["Quarter".into()])).unwrap();
+    t.add_level(2, Level::keyed("By Cohort", vec!["Cohort".into()])).unwrap();
+    t.add_column(ColumnDef::formula(
+        "Active Planes",
+        "CountDistinct([Tail Number])",
+        1,
+    ))
+    .unwrap();
+    t.add_column(ColumnDef::formula("Population", "CountDistinct([Tail Number])", 2))
+        .unwrap();
+    // Cross-level reference: quarter-level percentage of the cohort total.
+    t.add_column(ColumnDef::formula(
+        "Pct Active",
+        "[Active Planes] / [Population]",
+        1,
+    ))
+    .unwrap();
+    t.detail_level = 1;
+    wb.add_element(0, "Flights", ElementKind::Table(t)).unwrap();
+
+    // "(3) Finally we create a scatter-plot over this dataset, colored by
+    // active population."
+    let viz = VizSpec::new(DataSource::Element { name: "Flights".into() }, Mark::Scatter)
+        .encode(Channel::X, "Quarter", "[Quarter]")
+        .encode(Channel::Y, "Cohort", "[Cohort]")
+        .encode(Channel::Color, "Pct", "Avg([Pct Active])");
+    wb.add_element(0, "Cohort Chart", ElementKind::Viz(viz)).unwrap();
+    wb
+}
+
+/// **Scenario 2 — sessionization** (§5). "(1) Starting with the FLIGHTS
+/// table, we create a grouping by airplane tail number and then order the
+/// base level by flight date. We infer aircraft servicings from periods of
+/// inactivity by adding a window calculation, Lag of flight date, and
+/// comparing the result with the current flight date. We mark all flights
+/// with the time of service using another window calculation, FillDown, as
+/// a 'session identifier'; (2) In a child table element we group first by
+/// these discovered sessions and then by cumulative air-time since service
+/// was done, and compute cancellation rates…"
+pub fn sessionization_workbook() -> Workbook {
+    let mut wb = Workbook::new(Some("Sessionization"));
+    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
+    base_flights_columns(&mut t);
+    t.levels[0] = Level::base().with_ordering("Flight Date", false);
+    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()])).unwrap();
+    t.add_column(ColumnDef::formula("Prev Flight", "Lag([Flight Date], 1)", 0)).unwrap();
+    t.add_column(ColumnDef::formula(
+        "Service Start",
+        "If(IsNull([Prev Flight]) or DateDiff(\"day\", [Prev Flight], [Flight Date]) > 30, [Flight Date], Null)",
+        0,
+    ))
+    .unwrap();
+    t.add_column(ColumnDef::formula("Session", "FillDown([Service Start])", 0)).unwrap();
+    // Cumulative air time *since the last service*: a running sum, reset at
+    // each session start by subtracting the running total carried into the
+    // session (FillDown over a RunningSum — window-over-window, which the
+    // compiler splits across CTE phases).
+    t.add_column(
+        ColumnDef::formula("Run Total", "RunningSum([Air Time])", 0).hidden(),
+    )
+    .unwrap();
+    t.add_column(
+        ColumnDef::formula(
+            "Session Base",
+            "FillDown(If(IsNull([Service Start]), Null, [Run Total] - [Air Time]))",
+            0,
+        )
+        .hidden(),
+    )
+    .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Hours Since Service",
+        "([Run Total] - [Session Base]) / 60.0",
+        0,
+    ))
+    .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Wear Bucket",
+        "Floor([Hours Since Service] / 20.0)",
+        0,
+    ))
+    .unwrap();
+    wb.add_element(0, "Flights", ElementKind::Table(t)).unwrap();
+
+    // Child element: cancellation rate by wear bucket.
+    let mut child = TableSpec::new(DataSource::Element { name: "Flights".into() });
+    child.add_column(ColumnDef::source("Wear Bucket", "Wear Bucket")).unwrap();
+    child.add_column(ColumnDef::source("Cancelled", "Cancelled")).unwrap();
+    child
+        .add_level(1, Level::keyed("By Wear", vec!["Wear Bucket".into()]))
+        .unwrap();
+    child
+        .add_column(ColumnDef::formula(
+            "Cancel Rate",
+            "Avg(If([Cancelled], 1.0, 0.0))",
+            1,
+        ))
+        .unwrap();
+    child
+        .add_column(ColumnDef::formula("Flights", "Count()", 1))
+        .unwrap();
+    child.detail_level = 1;
+    wb.add_element(0, "Service Life", ElementKind::Table(child)).unwrap();
+
+    // "(3) We visualize this result with a line chart showing how
+    // cancellations change with flight hours."
+    let viz = VizSpec::new(DataSource::Element { name: "Service Life".into() }, Mark::Line)
+        .encode(Channel::X, "Wear", "[Wear Bucket]")
+        .encode(Channel::Y, "Rate", "Avg([Cancel Rate])");
+    wb.add_element(0, "Cancellations Chart", ElementKind::Viz(viz)).unwrap();
+    wb
+}
+
+/// **Scenario 3 — augmenting warehouse data** (§5): paste a (dirty)
+/// airports dataset into an editable table and join it to the fact table
+/// via `Lookup`. Returns the workbook; the editable table's content comes
+/// from `sigma_flights::dirty_airports_csv`.
+pub fn augmentation_workbook() -> Workbook {
+    let mut wb = Workbook::new(Some("Augmentation"));
+
+    // "(2) we perform a web search and find a plausible dataset that is
+    // copied into an editable Workbook table".
+    let csv = sigma_flights::dirty_airports_csv(42);
+    let parsed = sigma_value::csv::read_csv(&csv, &Default::default()).expect("dirty csv parses");
+    let input = sigma_core::editable::InputTableSpec::from_batch(&parsed);
+    wb.add_element(0, "Airport Info", ElementKind::Input(input)).unwrap();
+
+    // "(3) Now we join the new values into the fact table via a Lookup
+    // expression".
+    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
+    base_flights_columns(&mut t);
+    t.add_column(ColumnDef::formula(
+        "Origin City",
+        "Lookup([Airport Info/city], [Origin], [Airport Info/code])",
+        0,
+    ))
+    .unwrap();
+    wb.add_element(0, "Flights", ElementKind::Table(t)).unwrap();
+    wb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_workbooks_validate() {
+        for wb in [cohort_workbook(), sessionization_workbook(), augmentation_workbook()] {
+            for el in wb.elements() {
+                if let ElementKind::Table(t) = &el.kind {
+                    t.validate().unwrap_or_else(|e| panic!("{}: {e}", el.name));
+                }
+            }
+            // JSON round trip of full scenario documents.
+            let json = wb.to_json().unwrap();
+            assert_eq!(Workbook::from_json(&json).unwrap(), wb);
+        }
+    }
+}

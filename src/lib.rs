@@ -1,0 +1,27 @@
+//! Umbrella crate for the Sigma Workbook reproduction.
+//!
+//! Re-exports every subsystem crate under one name so the examples and the
+//! integration tests can depend on a single package:
+//!
+//! * [`value`] — columnar data layer (types, columns, batches, CSV, calendar)
+//! * [`expr`] — the spreadsheet formula language
+//! * [`sql`] — SQL AST, dialects, parser
+//! * [`cdw`] — the cloud data warehouse simulator
+//! * [`core`] — the workbook document model and formula-to-SQL compiler
+//! * [`service`] — the multi-tenant Sigma service (auth, caching, workload)
+//! * [`browser`] — the client runtime (result cache, local evaluation)
+//! * [`flights`] — the synthetic BTS On-Time flights workload
+//!
+//! [`demo`] builds the paper's three demonstration scenarios as reusable
+//! workbook specifications.
+
+pub use sigma_browser as browser;
+pub use sigma_cdw as cdw;
+pub use sigma_core as core;
+pub use sigma_expr as expr;
+pub use sigma_flights as flights;
+pub use sigma_service as service;
+pub use sigma_sql as sql;
+pub use sigma_value as value;
+
+pub mod demo;

@@ -1,0 +1,255 @@
+//! End-to-end reproduction of the paper's three demonstration scenarios
+//! (§5), exercising the full stack: workbook model → JSON → service →
+//! compiler → SQL → warehouse → results, and asserting the *shapes* the
+//! demo claims.
+
+use sigma_workbook::browser::{BrowserSession, Source};
+use sigma_workbook::demo;
+use sigma_workbook::service::workload::Priority;
+use sigma_workbook::service::QueryRequest;
+use sigma_workbook::value::Value;
+
+#[test]
+fn scenario_1_cohort_analysis() {
+    let wh = demo::demo_warehouse(8_000);
+    let (service, token) = demo::demo_service(wh);
+    let wb = demo::cohort_workbook();
+    let json = wb.to_json().unwrap();
+    let out = service
+        .run_query(&QueryRequest {
+            token: &token,
+            connection: "primary",
+            workbook_json: &json,
+            element: "Flights",
+            priority: Priority::Interactive,
+        })
+        .unwrap();
+    let b = &out.batch;
+    assert!(b.num_rows() > 20, "expected many (cohort, quarter) rows");
+    let cohort = b.column_by_name("Cohort").unwrap();
+    let quarter = b.column_by_name("Quarter").unwrap();
+    let active = b.column_by_name("Active Planes").unwrap();
+    let population = b.column_by_name("Population").unwrap();
+    let pct = b.column_by_name("Pct Active").unwrap();
+
+    let mut cohorts = std::collections::HashSet::new();
+    for i in 0..b.num_rows() {
+        cohorts.insert(cohort.value(i).render());
+        // A quarter can never be before its cohort's first flight.
+        assert!(quarter.value(i).total_cmp(&cohort.value(i)) != std::cmp::Ordering::Less);
+        // Percentages are in (0, 1] and consistent.
+        let a = active.value(i).as_f64().unwrap();
+        let p = population.value(i).as_f64().unwrap();
+        let share = pct.value(i).as_f64().unwrap();
+        assert!(a <= p, "active {a} exceeds population {p}");
+        assert!(share > 0.0 && share <= 1.0, "share {share}");
+        assert!((share - a / p).abs() < 1e-9);
+    }
+    assert!(cohorts.len() >= 5, "expected several cohorts: {}", cohorts.len());
+
+    // Cohort *retention decays*: the average share across each cohort's
+    // first 4 quarters exceeds the average across quarters 8+.
+    let mut early = Vec::new();
+    let mut late = Vec::new();
+    let mut per_cohort: std::collections::HashMap<String, Vec<(i64, f64)>> = Default::default();
+    for i in 0..b.num_rows() {
+        let c = cohort.value(i).render();
+        let Value::Date(cd) = cohort.value(i) else { panic!() };
+        let Value::Date(qd) = quarter.value(i) else { panic!() };
+        let age_quarters = ((qd - cd) / 90) as i64;
+        per_cohort
+            .entry(c)
+            .or_default()
+            .push((age_quarters, pct.value(i).as_f64().unwrap()));
+    }
+    for (_, points) in per_cohort {
+        for (age, share) in points {
+            if age < 4 {
+                early.push(share);
+            } else if age >= 8 {
+                late.push(share);
+            }
+        }
+    }
+    if !early.is_empty() && !late.is_empty() {
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&early) > avg(&late),
+            "retention should decay: early {} vs late {}",
+            avg(&early),
+            avg(&late)
+        );
+    }
+}
+
+#[test]
+fn scenario_2_sessionization() {
+    let wh = demo::demo_warehouse(12_000);
+    let (service, token) = demo::demo_service(wh);
+    let wb = demo::sessionization_workbook();
+    let json = wb.to_json().unwrap();
+
+    // The base element: sessions are well-formed.
+    let flights = service
+        .run_query(&QueryRequest {
+            token: &token,
+            connection: "primary",
+            workbook_json: &json,
+            element: "Flights",
+            priority: Priority::Interactive,
+        })
+        .unwrap()
+        .batch;
+    let session = flights.column_by_name("Session").unwrap();
+    let date = flights.column_by_name("Flight Date").unwrap();
+    let hours = flights.column_by_name("Hours Since Service").unwrap();
+    assert_eq!(session.null_count(), 0, "every flight belongs to a session");
+    for i in 0..flights.num_rows() {
+        // The session id is the service date: never after the flight.
+        assert!(session.value(i).total_cmp(&date.value(i)) != std::cmp::Ordering::Greater);
+        let h = hours.value(i).as_f64().unwrap();
+        assert!(h >= 0.0, "wear cannot be negative: {h}");
+    }
+
+    // The child element: cancellation rate rises with wear (the line chart
+    // the paper shows). Compare the first bucket against bucket 3+.
+    let life = service
+        .run_query(&QueryRequest {
+            token: &token,
+            connection: "primary",
+            workbook_json: &json,
+            element: "Service Life",
+            priority: Priority::Interactive,
+        })
+        .unwrap()
+        .batch;
+    assert!(life.num_rows() >= 4, "expected several wear buckets");
+    let bucket = life.column_by_name("Wear Bucket").unwrap();
+    let rate = life.column_by_name("Cancel Rate").unwrap();
+    let n = life.column_by_name("Flights").unwrap();
+    let mut first_rate = None;
+    let mut worn = Vec::new();
+    for i in 0..life.num_rows() {
+        let bk = bucket.value(i).as_i64().unwrap_or(0);
+        let r = rate.value(i).as_f64().unwrap();
+        let count = n.value(i).as_i64().unwrap();
+        if count < 50 {
+            continue; // skip noisy tiny buckets
+        }
+        if bk == 0 {
+            first_rate = Some(r);
+        } else if bk >= 3 {
+            worn.push(r);
+        }
+    }
+    let first = first_rate.expect("bucket 0 present");
+    let avg_worn = worn.iter().sum::<f64>() / worn.len().max(1) as f64;
+    assert!(
+        avg_worn > first,
+        "cancellations should rise with wear: fresh {first} vs worn {avg_worn}"
+    );
+}
+
+#[test]
+fn scenario_3_augmentation() {
+    let wh = demo::demo_warehouse(4_000);
+    let (service, token) = demo::demo_service(wh.clone());
+    let mut wb = demo::augmentation_workbook();
+
+    // "(1) we inspect the FLIGHTS records … missing some desired
+    // dimensional data": the fact table has no city column.
+    assert!(wh.table_schema("flights").unwrap().index_of("city").is_none());
+
+    // Project the pasted (dirty) editable table into the warehouse.
+    service
+        .project_input_table(&token, "primary", &mut wb, "Airport Info")
+        .unwrap();
+
+    // Join via Lookup: some cities come back NULL because the pasted codes
+    // are dirty (lower-cased).
+    let json = wb.to_json().unwrap();
+    let run = |json: &str| {
+        service
+            .run_query(&QueryRequest {
+                token: &token,
+                connection: "primary",
+                workbook_json: json,
+                element: "Flights",
+                priority: Priority::Interactive,
+            })
+            .unwrap()
+            .batch
+    };
+    let before = run(&json);
+    let city = before.column_by_name("Origin City").unwrap();
+    let dirty_misses = city.null_count();
+    assert!(dirty_misses > 0, "dirty codes should miss the lookup");
+
+    // "(4) … correct it with direct editing. The edits propagate to
+    // downstream queries automatically."
+    {
+        let input = wb.input_table_mut("Airport Info").unwrap();
+        let code_col = input.column_index("code").unwrap();
+        let fixes: Vec<(u64, String)> = input
+            .rows
+            .iter()
+            .filter_map(|(id, values)| {
+                let code = values[code_col].render();
+                let upper = code.to_uppercase();
+                (code != upper).then_some((*id, upper))
+            })
+            .collect();
+        assert!(!fixes.is_empty(), "the dirty CSV lower-cases some codes");
+        for (id, fixed) in fixes {
+            input.set_cell(id, "code", fixed.into()).unwrap();
+        }
+    }
+    service
+        .propagate_edits(&token, "primary", &mut wb, "Airport Info")
+        .unwrap();
+    let after = run(&wb.to_json().unwrap());
+    let city_after = after.column_by_name("Origin City").unwrap();
+    assert!(
+        city_after.null_count() < dirty_misses,
+        "fixing codes must repair lookups: {} -> {}",
+        dirty_misses,
+        city_after.null_count()
+    );
+}
+
+#[test]
+fn browser_cache_hierarchy_over_scenarios() {
+    let wh = demo::demo_warehouse(4_000);
+    let (service, token) = demo::demo_service(wh);
+    let session = BrowserSession::new(service, token, "primary");
+    let wb = demo::cohort_workbook();
+    let cold = session.query_element(&wb, "Flights").unwrap();
+    assert_eq!(cold.source, Source::Warehouse);
+    let warm = session.query_element(&wb, "Flights").unwrap();
+    assert_eq!(warm.source, Source::BrowserCache);
+    assert_eq!(cold.batch, warm.batch);
+}
+
+#[test]
+fn generated_sql_is_shown_and_deterministic() {
+    // "In each scenario, we also show the SQL queries generated by our
+    // compiler" — the outcome carries the SQL, stable across runs.
+    let wh = demo::demo_warehouse(2_000);
+    let (service, token) = demo::demo_service(wh);
+    let wb = demo::cohort_workbook();
+    let json = wb.to_json().unwrap();
+    let req = QueryRequest {
+        token: &token,
+        connection: "primary",
+        workbook_json: &json,
+        element: "Flights",
+        priority: Priority::Interactive,
+    };
+    let a = service.run_query(&req).unwrap();
+    let b = service.run_query(&req).unwrap();
+    assert_eq!(a.sql, b.sql);
+    assert!(a.sql.contains("WITH"), "CTE pipeline expected:\n{}", a.sql);
+    assert!(a.sql.to_uppercase().contains("GROUP BY"));
+    // Scenario 1's Rollup appears as a grouped LEFT JOIN.
+    assert!(a.sql.to_uppercase().contains("LEFT JOIN"), "{}", a.sql);
+}
