@@ -4,8 +4,8 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sigma_browser::BrowserSession;
 use sigma_bench::Env;
+use sigma_browser::BrowserSession;
 use sigma_workbook::demo;
 
 fn bench_caching(c: &mut Criterion) {

@@ -11,10 +11,15 @@ use sigma_workbook::demo;
 
 fn wide_workbook(columns: usize, levels: usize) -> Workbook {
     let mut wb = Workbook::new(Some("wide"));
-    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
-    t.add_column(ColumnDef::source("Carrier", "carrier")).unwrap();
-    t.add_column(ColumnDef::source("Tail Number", "tail_number")).unwrap();
-    t.add_column(ColumnDef::source("Dep Delay", "dep_delay")).unwrap();
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
+    t.add_column(ColumnDef::source("Carrier", "carrier"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Tail Number", "tail_number"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Dep Delay", "dep_delay"))
+        .unwrap();
     for i in 0..columns {
         t.add_column(ColumnDef::formula(
             format!("c{i}"),
@@ -24,12 +29,16 @@ fn wide_workbook(columns: usize, levels: usize) -> Workbook {
         .unwrap();
     }
     if levels >= 1 {
-        t.add_level(1, Level::keyed("L1", vec!["Carrier".into()])).unwrap();
-        t.add_column(ColumnDef::formula("agg1", "Avg([Dep Delay])", 1)).unwrap();
+        t.add_level(1, Level::keyed("L1", vec!["Carrier".into()]))
+            .unwrap();
+        t.add_column(ColumnDef::formula("agg1", "Avg([Dep Delay])", 1))
+            .unwrap();
     }
     if levels >= 2 {
-        t.add_level(1, Level::keyed("L0", vec!["Tail Number".into()])).unwrap();
-        t.add_column(ColumnDef::formula("agg0", "Sum([Dep Delay])", 1)).unwrap();
+        t.add_level(1, Level::keyed("L0", vec!["Tail Number".into()]))
+            .unwrap();
+        t.add_column(ColumnDef::formula("agg0", "Sum([Dep Delay])", 1))
+            .unwrap();
     }
     wb.add_element(0, "Wide", ElementKind::Table(t)).unwrap();
     wb
@@ -45,7 +54,9 @@ fn bench_compiler(c: &mut Criterion) {
         });
     }
     let cohort = demo::cohort_workbook();
-    group.bench_function("scenario1_full", |b| b.iter(|| env.compile(&cohort, "Flights")));
+    group.bench_function("scenario1_full", |b| {
+        b.iter(|| env.compile(&cohort, "Flights"))
+    });
     group.finish();
 }
 

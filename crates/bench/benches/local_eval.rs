@@ -5,18 +5,22 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sigma_browser::{BrowserSession, PrefetchPolicy, Source};
 use sigma_bench::Env;
+use sigma_browser::{BrowserSession, PrefetchPolicy, Source};
 use sigma_core::document::ElementKind;
 use sigma_core::table::{ColumnDef, DataSource, Level, TableSpec};
 use sigma_core::Workbook;
 
 fn airports_workbook() -> Workbook {
     let mut wb = Workbook::new(Some("dims"));
-    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "airports".into() });
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "airports".into(),
+    });
     t.add_column(ColumnDef::source("State", "state")).unwrap();
-    t.add_level(1, Level::keyed("By State", vec!["State".into()])).unwrap();
-    t.add_column(ColumnDef::formula("Airports", "Count()", 1)).unwrap();
+    t.add_level(1, Level::keyed("By State", vec!["State".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Airports", "Count()", 1))
+        .unwrap();
     t.detail_level = 1;
     wb.add_element(0, "ByState", ElementKind::Table(t)).unwrap();
     wb
@@ -29,9 +33,8 @@ fn bench_local_eval(c: &mut Criterion) {
     group.sample_size(10);
 
     for rtt_ms in [0u64, 25, 50] {
-        let remote_tab =
-            BrowserSession::new(env.service.clone(), env.token.clone(), "primary")
-                .with_network_latency(Duration::from_millis(rtt_ms));
+        let remote_tab = BrowserSession::new(env.service.clone(), env.token.clone(), "primary")
+            .with_network_latency(Duration::from_millis(rtt_ms));
         group.bench_function(format!("round_trip_rtt_{rtt_ms}ms"), |b| {
             b.iter(|| {
                 // Bust the browser cache each time by invalidating.

@@ -14,30 +14,38 @@ fn bench_workload(c: &mut Criterion) {
     let wb = demo::cohort_workbook();
     let json = wb.to_json().unwrap();
     for users in [1usize, 4, 16] {
-        group.bench_with_input(BenchmarkId::new("concurrent_users", users), &users, |b, &n| {
-            b.iter(|| {
-                std::thread::scope(|scope| {
-                    for i in 0..n {
-                        let env = &env;
-                        let json = &json;
-                        scope.spawn(move || {
-                            // Vary the element per user so half the fleet
-                            // coalesces and half computes.
-                            let element = if i % 2 == 0 { "Flights" } else { "Cohort Chart" };
-                            env.service
-                                .run_query(&QueryRequest {
-                                    token: &env.token,
-                                    connection: "primary",
-                                    workbook_json: json,
-                                    element,
-                                    priority: Priority::Interactive,
-                                })
-                                .unwrap();
-                        });
-                    }
-                });
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_users", users),
+            &users,
+            |b, &n| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for i in 0..n {
+                            let env = &env;
+                            let json = &json;
+                            scope.spawn(move || {
+                                // Vary the element per user so half the fleet
+                                // coalesces and half computes.
+                                let element = if i % 2 == 0 {
+                                    "Flights"
+                                } else {
+                                    "Cohort Chart"
+                                };
+                                env.service
+                                    .run_query(&QueryRequest {
+                                        token: &env.token,
+                                        connection: "primary",
+                                        workbook_json: json,
+                                        element,
+                                        priority: Priority::Interactive,
+                                    })
+                                    .unwrap();
+                            });
+                        }
+                    });
+                })
+            },
+        );
     }
     group.finish();
 }

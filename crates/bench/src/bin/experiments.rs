@@ -103,7 +103,10 @@ fn e4_caching() {
 
     println!("| source | latency (ms) | warehouse queries issued |");
     println!("|---|---|---|");
-    println!("| cold warehouse execution | {} | 1 per request |", ms(cold));
+    println!(
+        "| cold warehouse execution | {} | 1 per request |",
+        ms(cold)
+    );
     println!(
         "| query directory (2nd level) | {} | {extra_queries} (result re-served by id) |",
         ms(directory)
@@ -120,10 +123,14 @@ fn e5_local_eval() {
     println!("## E5: in-browser evaluation vs. round trip (airports dimension)\n");
     let env = Env::new(20_000);
     let mut wb = Workbook::new(Some("dims"));
-    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "airports".into() });
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "airports".into(),
+    });
     t.add_column(ColumnDef::source("State", "state")).unwrap();
-    t.add_level(1, Level::keyed("By State", vec!["State".into()])).unwrap();
-    t.add_column(ColumnDef::formula("Airports", "Count()", 1)).unwrap();
+    t.add_level(1, Level::keyed("By State", vec!["State".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Airports", "Count()", 1))
+        .unwrap();
     t.detail_level = 1;
     wb.add_element(0, "ByState", ElementKind::Table(t)).unwrap();
 
@@ -145,7 +152,10 @@ fn e5_local_eval() {
         let out = tab.query_element(&wb, "ByState").unwrap();
         assert_eq!(out.source, Source::LocalEngine);
     });
-    println!("| local engine (prefetched: {fetched:?}) | n/a | {} |", ms(time));
+    println!(
+        "| local engine (prefetched: {fetched:?}) | n/a | {} |",
+        ms(time)
+    );
     println!();
 }
 
@@ -173,7 +183,11 @@ fn e6_workload() {
                 let token = token.clone();
                 let json = json.clone();
                 scope.spawn(move || {
-                    let element = if i % 2 == 0 { "Flights" } else { "Cohort Chart" };
+                    let element = if i % 2 == 0 {
+                        "Flights"
+                    } else {
+                        "Cohort Chart"
+                    };
                     service
                         .run_query(&QueryRequest {
                             token: &token,
@@ -207,8 +221,16 @@ fn e7_compiler() {
     let cohort = demo::cohort_workbook();
     let session = demo::sessionization_workbook();
     for (name, wb, el) in [
-        ("scenario 1 (rollup + 3 levels + cross-level)", &cohort, "Flights"),
-        ("scenario 2 (window-over-window, 2 elements)", &session, "Service Life"),
+        (
+            "scenario 1 (rollup + 3 levels + cross-level)",
+            &cohort,
+            "Flights",
+        ),
+        (
+            "scenario 2 (window-over-window, 2 elements)",
+            &session,
+            "Service Life",
+        ),
     ] {
         let sql = env.compile(wb, el);
         let t = median_time(20, || {
@@ -220,7 +242,9 @@ fn e7_compiler() {
 }
 
 fn e8_engine() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("## E8: engine scaling (scan+filter, median of 5; {cores} cores available)\n");
     println!("| rows | threads | latency (ms) | speedup |");
     println!("|---|---|---|---|");
@@ -229,8 +253,12 @@ fn e8_engine() {
     const SQL: &str = "SELECT COUNT(*) AS n FROM flights \
                        WHERE CONTAINS(origin, 'A') AND dep_delay * 2.0 + Abs(dep_delay) > 60.0";
     let mut sweep = vec![1usize];
-    if cores >= 2 { sweep.push(2); }
-    if cores >= 4 { sweep.push(4); }
+    if cores >= 2 {
+        sweep.push(2);
+    }
+    if cores >= 4 {
+        sweep.push(4);
+    }
     for &rows in &[200_000usize, 1_000_000] {
         let env = Env::new(rows);
         let mut base = Duration::ZERO;

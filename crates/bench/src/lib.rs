@@ -25,7 +25,11 @@ impl Env {
     pub fn new(rows: usize) -> Env {
         let warehouse = demo::demo_warehouse(rows);
         let (service, token) = demo::demo_service(warehouse.clone());
-        Env { warehouse, service, token }
+        Env {
+            warehouse,
+            service,
+            token,
+        }
     }
 
     /// Run one element query through the full service path; returns

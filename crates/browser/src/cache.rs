@@ -72,7 +72,12 @@ impl ResultCache {
         let mut entries = self.entries.lock();
         entries.insert(
             key.to_string(),
-            Entry { batch, depends_on, bytes, last_used: now },
+            Entry {
+                batch,
+                depends_on,
+                bytes,
+                last_used: now,
+            },
         );
         // Evict least-recently-used entries until within budget.
         let mut total: usize = entries.values().map(|e| e.bytes).sum();
@@ -102,11 +107,7 @@ impl ResultCache {
         let mut entries = self.entries.lock();
         let victims: Vec<String> = entries
             .iter()
-            .filter(|(_, e)| {
-                e.depends_on
-                    .iter()
-                    .any(|d| d.eq_ignore_ascii_case(element))
-            })
+            .filter(|(_, e)| e.depends_on.iter().any(|d| d.eq_ignore_ascii_case(element)))
             .map(|(k, _)| k.clone())
             .collect();
         for v in &victims {

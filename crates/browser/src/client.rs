@@ -105,7 +105,11 @@ impl BrowserSession {
     /// Run the prefetch policy against the connection's warehouse. (In the
     /// product this rides on the service API; the simulation reaches the
     /// warehouse through the service's connection registry.)
-    pub fn prefetch(&self, warehouse: &sigma_cdw::Warehouse, policy: &PrefetchPolicy) -> Vec<String> {
+    pub fn prefetch(
+        &self,
+        warehouse: &sigma_cdw::Warehouse,
+        policy: &PrefetchPolicy,
+    ) -> Vec<String> {
         policy.prefetch_all(warehouse, &self.local)
     }
 

@@ -108,10 +108,10 @@ fn collect_set(body: &SetExpr, scope: &HashSet<String>, out: &mut Vec<String>) {
             let mut handle = |t: &TableRef| match t {
                 TableRef::Table { name, .. } => {
                     let base = name.to_dotted();
-                    if name.0.len() > 1 || !scope.contains(&base.to_ascii_lowercase()) {
-                        if !out.iter().any(|o| o.eq_ignore_ascii_case(&base)) {
-                            out.push(base);
-                        }
+                    if (name.0.len() > 1 || !scope.contains(&base.to_ascii_lowercase()))
+                        && !out.iter().any(|o| o.eq_ignore_ascii_case(&base))
+                    {
+                        out.push(base);
                     }
                 }
                 TableRef::Subquery { query, .. } => {

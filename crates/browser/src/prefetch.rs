@@ -18,7 +18,10 @@ pub struct PrefetchPolicy {
 
 impl Default for PrefetchPolicy {
     fn default() -> Self {
-        PrefetchPolicy { max_rows: 10_000, max_bytes: 8 << 20 }
+        PrefetchPolicy {
+            max_rows: 10_000,
+            max_bytes: 8 << 20,
+        }
     }
 }
 
@@ -30,17 +33,15 @@ impl PrefetchPolicy {
 
     /// Scan the warehouse catalog and install every qualifying table into
     /// the local engine. Returns the names prefetched.
-    pub fn prefetch_all(
-        &self,
-        warehouse: &Warehouse,
-        engine: &LocalEngine,
-    ) -> Vec<String> {
+    pub fn prefetch_all(&self, warehouse: &Warehouse, engine: &LocalEngine) -> Vec<String> {
         let mut fetched = Vec::new();
         for name in warehouse.table_names() {
             if engine.has_table(&name) {
                 continue;
             }
-            let Ok(stats) = warehouse.table_stats(&name) else { continue };
+            let Ok(stats) = warehouse.table_stats(&name) else {
+                continue;
+            };
             if !self.wants(stats.row_count, stats.byte_size) {
                 continue;
             }
@@ -73,7 +74,10 @@ mod tests {
         wh.load_table("small", table(100)).unwrap();
         wh.load_table("large", table(50_000)).unwrap();
         let engine = LocalEngine::new();
-        let policy = PrefetchPolicy { max_rows: 1_000, max_bytes: 1 << 20 };
+        let policy = PrefetchPolicy {
+            max_rows: 1_000,
+            max_bytes: 1 << 20,
+        };
         let fetched = policy.prefetch_all(&wh, &engine);
         assert_eq!(fetched, vec!["small".to_string()]);
         assert!(engine.has_table("small"));
@@ -82,7 +86,10 @@ mod tests {
 
     #[test]
     fn byte_budget_respected() {
-        let policy = PrefetchPolicy { max_rows: 1_000_000, max_bytes: 100 };
+        let policy = PrefetchPolicy {
+            max_rows: 1_000_000,
+            max_bytes: 100,
+        };
         assert!(!policy.wants(10, 101));
         assert!(policy.wants(10, 99));
     }

@@ -29,12 +29,18 @@ fn setup() -> (Arc<SigmaService>, Arc<Warehouse>, String) {
 
 fn carrier_workbook() -> Workbook {
     let mut wb = Workbook::new(Some("demo"));
-    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
-    t.add_column(ColumnDef::source("Carrier", "carrier")).unwrap();
-    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()])).unwrap();
-    t.add_column(ColumnDef::formula("Flights", "Count()", 1)).unwrap();
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
+    t.add_column(ColumnDef::source("Carrier", "carrier"))
+        .unwrap();
+    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Flights", "Count()", 1))
+        .unwrap();
     t.detail_level = 1;
-    wb.add_element(0, "ByCarrier", ElementKind::Table(t)).unwrap();
+    wb.add_element(0, "ByCarrier", ElementKind::Table(t))
+        .unwrap();
     wb
 }
 
@@ -69,33 +75,39 @@ fn control_change_misses_then_undo_hits() {
     wb.add_element(
         0,
         "Min Flights",
-        ElementKind::Control(sigma_core::controls::ControlSpec::slider(0.0, 10_000.0, 1.0, 0.0)),
+        ElementKind::Control(sigma_core::controls::ControlSpec::slider(
+            0.0, 10_000.0, 1.0, 0.0,
+        )),
     )
     .unwrap();
     {
         let t = wb.table_mut("ByCarrier").unwrap();
-        t.add_column(ColumnDef::formula("Enough", "[Flights] >= [Min Flights]", 1))
-            .unwrap();
+        t.add_column(ColumnDef::formula(
+            "Enough",
+            "[Flights] >= [Min Flights]",
+            1,
+        ))
+        .unwrap();
     }
 
     let a = session.query_element(&wb, "ByCarrier").unwrap();
     assert_eq!(a.source, Source::Warehouse);
 
     // Move the slider: new fingerprint, fresh execution.
-    wb.element_mut("Min Flights").map(|e| {
+    if let Some(e) = wb.element_mut("Min Flights") {
         if let ElementKind::Control(c) = &mut e.kind {
             c.set_value(Value::Float(500.0)).unwrap();
         }
-    });
+    }
     let b = session.query_element(&wb, "ByCarrier").unwrap();
     assert_eq!(b.source, Source::Warehouse);
 
     // Undo (slider back): browser cache hit, no round trip.
-    wb.element_mut("Min Flights").map(|e| {
+    if let Some(e) = wb.element_mut("Min Flights") {
         if let ElementKind::Control(c) = &mut e.kind {
             c.set_value(Value::Float(0.0)).unwrap();
         }
-    });
+    }
     let c = session.query_element(&wb, "ByCarrier").unwrap();
     assert_eq!(c.source, Source::BrowserCache);
 }
@@ -105,17 +117,24 @@ fn prefetched_tables_evaluate_locally() {
     let (service, wh, token) = setup();
     let session = BrowserSession::new(service, token, "primary");
     // Airports is tiny: prefetched. Flights is large: not.
-    let policy = PrefetchPolicy { max_rows: 1_000, max_bytes: 8 << 20 };
+    let policy = PrefetchPolicy {
+        max_rows: 1_000,
+        max_bytes: 8 << 20,
+    };
     let fetched = session.prefetch(&wh, &policy);
     assert!(fetched.contains(&"airports".to_string()), "{fetched:?}");
     assert!(!fetched.contains(&"flights".to_string()));
 
     // A workbook over the airports dimension runs locally.
     let mut wb = Workbook::new(Some("dims"));
-    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "airports".into() });
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "airports".into(),
+    });
     t.add_column(ColumnDef::source("State", "state")).unwrap();
-    t.add_level(1, Level::keyed("By State", vec!["State".into()])).unwrap();
-    t.add_column(ColumnDef::formula("Airports", "Count()", 1)).unwrap();
+    t.add_level(1, Level::keyed("By State", vec!["State".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Airports", "Count()", 1))
+        .unwrap();
     t.detail_level = 1;
     wb.add_element(0, "ByState", ElementKind::Table(t)).unwrap();
 
@@ -132,10 +151,7 @@ fn prefetched_tables_evaluate_locally() {
         let t = wb.table_mut("ByState").unwrap();
         t.filters.push(sigma_core::table::FilterSpec {
             column: "State".into(),
-            predicate: sigma_core::table::FilterPredicate::OneOf(vec![
-                "CA".into(),
-                "TX".into(),
-            ]),
+            predicate: sigma_core::table::FilterPredicate::OneOf(vec!["CA".into(), "TX".into()]),
         });
     }
     let refined = session.query_element(&wb, "ByState").unwrap();
@@ -151,10 +167,18 @@ fn network_latency_charged_only_on_round_trips() {
         .with_network_latency(Duration::from_millis(30));
     let wb = carrier_workbook();
     let cold = session.query_element(&wb, "ByCarrier").unwrap();
-    assert!(cold.elapsed >= Duration::from_millis(60), "{:?}", cold.elapsed);
+    assert!(
+        cold.elapsed >= Duration::from_millis(60),
+        "{:?}",
+        cold.elapsed
+    );
     let warm = session.query_element(&wb, "ByCarrier").unwrap();
     assert_eq!(warm.source, Source::BrowserCache);
-    assert!(warm.elapsed < Duration::from_millis(30), "{:?}", warm.elapsed);
+    assert!(
+        warm.elapsed < Duration::from_millis(30),
+        "{:?}",
+        warm.elapsed
+    );
 }
 
 #[test]

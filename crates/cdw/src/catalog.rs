@@ -88,8 +88,10 @@ impl Catalog {
         if self.contains(name) && !or_replace {
             return Err(CdwError::catalog(format!("table already exists: {name}")));
         }
-        self.tables
-            .insert(key(name), StoredTable::from_batch(batch, DEFAULT_PARTITION_ROWS));
+        self.tables.insert(
+            key(name),
+            StoredTable::from_batch(batch, DEFAULT_PARTITION_ROWS),
+        );
         Ok(())
     }
 
@@ -141,11 +143,15 @@ mod tests {
     #[test]
     fn create_and_lookup_case_insensitive() {
         let mut c = Catalog::new();
-        c.create_table_from_batch("Flights", sample(), false).unwrap();
+        c.create_table_from_batch("Flights", sample(), false)
+            .unwrap();
         assert!(c.contains("FLIGHTS"));
         assert_eq!(c.get("flights").unwrap().num_rows(), 3);
-        assert!(c.create_table_from_batch("fLiGhTs", sample(), false).is_err());
-        c.create_table_from_batch("flights", sample(), true).unwrap();
+        assert!(c
+            .create_table_from_batch("fLiGhTs", sample(), false)
+            .is_err());
+        c.create_table_from_batch("flights", sample(), true)
+            .unwrap();
     }
 
     #[test]

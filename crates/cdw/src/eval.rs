@@ -187,7 +187,11 @@ impl PhysExpr {
                     a.columns_used(out);
                 }
             }
-            PhysExpr::Case { operand, whens, else_ } => {
+            PhysExpr::Case {
+                operand,
+                whens,
+                else_,
+            } => {
                 if let Some(o) = operand {
                     o.columns_used(out);
                 }
@@ -206,7 +210,9 @@ impl PhysExpr {
                     l.columns_used(out);
                 }
             }
-            PhysExpr::Between { expr, low, high, .. } => {
+            PhysExpr::Between {
+                expr, low, high, ..
+            } => {
                 expr.columns_used(out);
                 low.columns_used(out);
                 high.columns_used(out);
@@ -234,7 +240,11 @@ impl PhysExpr {
                     a.remap_columns(map);
                 }
             }
-            PhysExpr::Case { operand, whens, else_ } => {
+            PhysExpr::Case {
+                operand,
+                whens,
+                else_,
+            } => {
                 if let Some(o) = operand {
                     o.remap_columns(map);
                 }
@@ -253,7 +263,9 @@ impl PhysExpr {
                     l.remap_columns(map);
                 }
             }
-            PhysExpr::Between { expr, low, high, .. } => {
+            PhysExpr::Between {
+                expr, low, high, ..
+            } => {
                 expr.remap_columns(map);
                 low.remap_columns(map);
                 high.remap_columns(map);
@@ -396,8 +408,7 @@ fn func_type(func: ScalarFunc, tys: &[Option<DataType>]) -> Option<DataType> {
 /// Evaluate an expression over a batch, producing one column.
 pub fn eval(expr: &PhysExpr, batch: &Batch, ctx: &EvalCtx) -> Result<Column, CdwError> {
     let rows = batch.num_rows();
-    let input_types: Vec<DataType> =
-        batch.schema().fields().iter().map(|f| f.dtype).collect();
+    let input_types: Vec<DataType> = batch.schema().fields().iter().map(|f| f.dtype).collect();
     let out_type = infer_type(expr, &input_types)?.unwrap_or(DataType::Text);
     match expr {
         PhysExpr::Col(i) => {
@@ -446,11 +457,12 @@ pub fn eval(expr: &PhysExpr, batch: &Batch, ctx: &EvalCtx) -> Result<Column, Cdw
                 // zero-arg funcs over empty batches: nothing to do
             }
         }
-        PhysExpr::Case { operand, whens, else_ } => {
-            let op_col = operand
-                .as_ref()
-                .map(|o| eval(o, batch, ctx))
-                .transpose()?;
+        PhysExpr::Case {
+            operand,
+            whens,
+            else_,
+        } => {
+            let op_col = operand.as_ref().map(|o| eval(o, batch, ctx)).transpose()?;
             let when_cols: Vec<(Column, Column)> = whens
                 .iter()
                 .map(|(w, t)| Ok::<_, CdwError>((eval(w, batch, ctx)?, eval(t, batch, ctx)?)))
@@ -486,12 +498,15 @@ pub fn eval(expr: &PhysExpr, batch: &Batch, ctx: &EvalCtx) -> Result<Column, Cdw
             let c = eval(expr, batch, ctx)?;
             for i in 0..rows {
                 // Dirty-cast isolation: unparseable cells become NULL.
-                let v = sigma_value::column::cast_value(c.value(i), *dtype)
-                    .unwrap_or(Value::Null);
+                let v = sigma_value::column::cast_value(c.value(i), *dtype).unwrap_or(Value::Null);
                 b.push(v).map_err(CdwError::from)?;
             }
         }
-        PhysExpr::InList { expr, list, negated } => {
+        PhysExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let c = eval(expr, batch, ctx)?;
             let list_cols: Vec<Column> = list
                 .iter()
@@ -527,7 +542,12 @@ pub fn eval(expr: &PhysExpr, batch: &Batch, ctx: &EvalCtx) -> Result<Column, Cdw
                 }
             }
         }
-        PhysExpr::Between { expr, low, high, negated } => {
+        PhysExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let c = eval(expr, batch, ctx)?;
             let lo = eval(low, batch, ctx)?;
             let hi = eval(high, batch, ctx)?;
@@ -537,9 +557,10 @@ pub fn eval(expr: &PhysExpr, batch: &Batch, ctx: &EvalCtx) -> Result<Column, Cdw
                     b.push_null();
                     continue;
                 }
-                let inside = v.total_cmp(&l) != Ordering::Less
-                    && v.total_cmp(&h) != Ordering::Greater;
-                b.push(Value::Bool(inside != *negated)).map_err(CdwError::from)?;
+                let inside =
+                    v.total_cmp(&l) != Ordering::Less && v.total_cmp(&h) != Ordering::Greater;
+                b.push(Value::Bool(inside != *negated))
+                    .map_err(CdwError::from)?;
             }
         }
         PhysExpr::IsNull { expr, negated } => {
@@ -549,7 +570,11 @@ pub fn eval(expr: &PhysExpr, batch: &Batch, ctx: &EvalCtx) -> Result<Column, Cdw
                     .map_err(CdwError::from)?;
             }
         }
-        PhysExpr::Like { expr, pattern, negated } => {
+        PhysExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let c = eval(expr, batch, ctx)?;
             let p = eval(pattern, batch, ctx)?;
             for i in 0..rows {
@@ -603,14 +628,17 @@ fn eval_unary_value(op: UnOp, v: Value) -> Result<Value, CdwError> {
             Value::Null => Value::Null,
             Value::Int(i) => Value::Int(-i),
             Value::Float(f) => Value::Float(-f),
-            other => {
-                return Err(CdwError::exec(format!("cannot negate {}", other.render())))
-            }
+            other => return Err(CdwError::exec(format!("cannot negate {}", other.render()))),
         },
         UnOp::Not => match v {
             Value::Null => Value::Null,
             Value::Bool(b) => Value::Bool(!b),
-            other => return Err(CdwError::exec(format!("NOT of non-boolean {}", other.render()))),
+            other => {
+                return Err(CdwError::exec(format!(
+                    "NOT of non-boolean {}",
+                    other.render()
+                )))
+            }
         },
     })
 }
@@ -728,8 +756,9 @@ pub fn eval_binary_value(op: BinOp, l: Value, r: Value) -> Result<Value, CdwErro
                 (Value::Timestamp(t), Value::Int(n), Sub) => {
                     return Ok(Value::Timestamp(t - *n * calendar::MICROS_PER_DAY))
                 }
-                (a, b, Sub) if a.dtype().is_some_and(|d| d.is_temporal())
-                    && b.dtype().is_some_and(|d| d.is_temporal()) =>
+                (a, b, Sub)
+                    if a.dtype().is_some_and(|d| d.is_temporal())
+                        && b.dtype().is_some_and(|d| d.is_temporal()) =>
                 {
                     let days = (a.as_micros().unwrap() - b.as_micros().unwrap())
                         / calendar::MICROS_PER_DAY;
@@ -831,7 +860,10 @@ pub fn eval_func_value(func: ScalarFunc, args: &[Value], ctx: &EvalCtx) -> Resul
     use ScalarFunc::*;
     // Null-propagating functions bail early; the exceptions handle nulls
     // themselves.
-    let null_tolerant = matches!(func, Coalesce | Nullif | Concat | CurrentDate | CurrentTimestamp);
+    let null_tolerant = matches!(
+        func,
+        Coalesce | Nullif | Concat | CurrentDate | CurrentTimestamp
+    );
     if !null_tolerant && args.iter().any(Value::is_null) {
         return Ok(Value::Null);
     }
@@ -958,7 +990,11 @@ pub fn eval_func_value(func: ScalarFunc, args: &[Value], ctx: &EvalCtx) -> Resul
         Lpad | Rpad => {
             let s = text(0)?;
             let target = int(1)?.max(0) as usize;
-            let pad = if args.len() > 2 { text(2)? } else { " ".to_string() };
+            let pad = if args.len() > 2 {
+                text(2)?
+            } else {
+                " ".to_string()
+            };
             let len = s.chars().count();
             if len >= target || pad.is_empty() {
                 Value::Text(s.chars().take(target).collect())
@@ -1020,9 +1056,7 @@ pub fn eval_func_value(func: ScalarFunc, args: &[Value], ctx: &EvalCtx) -> Resul
                 (a, b) => {
                     let (am, bm) = (a.as_micros(), b.as_micros());
                     match (am, bm) {
-                        (Some(am), Some(bm)) => {
-                            Value::Int(calendar::timestamp_diff(am, bm, u))
-                        }
+                        (Some(am), Some(bm)) => Value::Int(calendar::timestamp_diff(am, bm, u)),
                         _ => return Err(arg_err(func, 1, a)),
                     }
                 }
@@ -1124,7 +1158,11 @@ mod tests {
             right: Box::new(t.clone()),
         };
         assert!(ev(&and_nt).is_null(0));
-        let or_nt = PhysExpr::Binary { op: BinOp::Or, left: Box::new(null), right: Box::new(t) };
+        let or_nt = PhysExpr::Binary {
+            op: BinOp::Or,
+            left: Box::new(null),
+            right: Box::new(t),
+        };
         assert_eq!(ev(&or_nt).value(0), Value::Bool(true));
     }
 
@@ -1167,10 +1205,17 @@ mod tests {
             args: vec![PhysExpr::lit("quarter"), PhysExpr::Literal(Value::Date(d))],
         };
         let c = ev(&trunc);
-        assert_eq!(c.value(0), Value::Date(calendar::days_from_civil(2019, 7, 1)));
+        assert_eq!(
+            c.value(0),
+            Value::Date(calendar::days_from_civil(2019, 7, 1))
+        );
         let bad = PhysExpr::Func {
             func: ScalarFunc::MakeDate,
-            args: vec![PhysExpr::lit(2021i64), PhysExpr::lit(2i64), PhysExpr::lit(29i64)],
+            args: vec![
+                PhysExpr::lit(2021i64),
+                PhysExpr::lit(2i64),
+                PhysExpr::lit(29i64),
+            ],
         };
         assert!(ev(&bad).is_null(0));
     }
@@ -1231,7 +1276,12 @@ mod tests {
 
     #[test]
     fn type_inference_matches_eval() {
-        let input = [DataType::Int, DataType::Int, DataType::Text, DataType::Float];
+        let input = [
+            DataType::Int,
+            DataType::Int,
+            DataType::Text,
+            DataType::Float,
+        ];
         let div = PhysExpr::Binary {
             op: BinOp::Div,
             left: Box::new(PhysExpr::Col(0)),
@@ -1249,8 +1299,14 @@ mod tests {
 
     #[test]
     fn current_date_uses_session_clock() {
-        let e = PhysExpr::Func { func: ScalarFunc::CurrentDate, args: vec![] };
+        let e = PhysExpr::Func {
+            func: ScalarFunc::CurrentDate,
+            args: vec![],
+        };
         let c = eval(&e, &batch(), &EvalCtx::default()).unwrap();
-        assert_eq!(c.value(0), Value::Date(calendar::days_from_civil(2020, 6, 1)));
+        assert_eq!(
+            c.value(0),
+            Value::Date(calendar::days_from_civil(2020, 6, 1))
+        );
     }
 }

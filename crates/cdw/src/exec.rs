@@ -79,7 +79,11 @@ fn execute_parts(
                 Ok(b.filter(&mask))
             })
         }
-        Plan::Project { input, exprs, schema } => {
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
             let parts = execute_parts(input, ctx, stats)?;
             let exprs = exprs.clone();
             let schema = schema.clone();
@@ -92,11 +96,20 @@ fn execute_parts(
                 Batch::new(schema.clone(), cols).map_err(CdwError::from)
             })
         }
-        Plan::Aggregate { input, groups, aggs, schema } => {
+        Plan::Aggregate {
+            input,
+            groups,
+            aggs,
+            schema,
+        } => {
             let batch = execute(input, ctx, stats)?;
             Ok(vec![aggregate(&batch, groups, aggs, schema, &ctx.eval)?])
         }
-        Plan::Window { input, calls, schema } => {
+        Plan::Window {
+            input,
+            calls,
+            schema,
+        } => {
             let batch = execute(input, ctx, stats)?;
             let mut cols: Vec<Column> = batch.columns().to_vec();
             for (i, call) in calls.iter().enumerate() {
@@ -105,11 +118,26 @@ fn execute_parts(
             }
             Ok(vec![Batch::new(schema.clone(), cols)?])
         }
-        Plan::Join { left, right, kind, left_keys, right_keys, residual, schema } => {
+        Plan::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => {
             let l = execute(left, ctx, stats)?;
             let r = execute(right, ctx, stats)?;
             Ok(vec![hash_join(
-                &l, &r, *kind, left_keys, right_keys, residual.as_ref(), schema, &ctx.eval,
+                &l,
+                &r,
+                *kind,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                schema,
+                &ctx.eval,
             )?])
         }
         Plan::Sort { input, keys } => {
@@ -129,7 +157,11 @@ fn execute_parts(
             let idx = sort::sort_indices(&refs, &sort_keys);
             Ok(vec![batch.take(&idx)])
         }
-        Plan::Limit { input, limit, offset } => {
+        Plan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
             let batch = execute(input, ctx, stats)?;
             let start = (*offset as usize).min(batch.num_rows());
             let len = match limit {
@@ -235,13 +267,37 @@ pub enum AggState {
     CountStar(i64),
     Count(i64),
     CountDistinct(std::collections::HashSet<Vec<u8>>),
-    SumInt { sum: i64, any: bool },
-    SumFloat { sum: f64, any: bool },
-    Avg { sum: f64, count: i64 },
-    MinMax { best: Option<Value>, is_min: bool },
-    Collect { values: Vec<f64>, frac: f64, median: bool },
-    Welford { n: i64, mean: f64, m2: f64, variance: bool },
-    Attr { value: Option<Value>, conflicted: bool },
+    SumInt {
+        sum: i64,
+        any: bool,
+    },
+    SumFloat {
+        sum: f64,
+        any: bool,
+    },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
+    MinMax {
+        best: Option<Value>,
+        is_min: bool,
+    },
+    Collect {
+        values: Vec<f64>,
+        frac: f64,
+        median: bool,
+    },
+    Welford {
+        n: i64,
+        mean: f64,
+        m2: f64,
+        variance: bool,
+    },
+    Attr {
+        value: Option<Value>,
+        conflicted: bool,
+    },
 }
 
 impl AggState {
@@ -251,17 +307,45 @@ impl AggState {
             AggFunc::Count => AggState::Count(0),
             AggFunc::CountDistinct => AggState::CountDistinct(Default::default()),
             // Int-ness is decided at finish time by what was accumulated.
-            AggFunc::Sum => AggState::SumFloat { sum: 0.0, any: false },
+            AggFunc::Sum => AggState::SumFloat {
+                sum: 0.0,
+                any: false,
+            },
             AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
-            AggFunc::Min => AggState::MinMax { best: None, is_min: true },
-            AggFunc::Max => AggState::MinMax { best: None, is_min: false },
-            AggFunc::Median => AggState::Collect { values: Vec::new(), frac: 0.5, median: true },
-            AggFunc::Percentile(p) => {
-                AggState::Collect { values: Vec::new(), frac: *p, median: false }
-            }
-            AggFunc::StdDev => AggState::Welford { n: 0, mean: 0.0, m2: 0.0, variance: false },
-            AggFunc::Variance => AggState::Welford { n: 0, mean: 0.0, m2: 0.0, variance: true },
-            AggFunc::Attr => AggState::Attr { value: None, conflicted: false },
+            AggFunc::Min => AggState::MinMax {
+                best: None,
+                is_min: true,
+            },
+            AggFunc::Max => AggState::MinMax {
+                best: None,
+                is_min: false,
+            },
+            AggFunc::Median => AggState::Collect {
+                values: Vec::new(),
+                frac: 0.5,
+                median: true,
+            },
+            AggFunc::Percentile(p) => AggState::Collect {
+                values: Vec::new(),
+                frac: *p,
+                median: false,
+            },
+            AggFunc::StdDev => AggState::Welford {
+                n: 0,
+                mean: 0.0,
+                m2: 0.0,
+                variance: false,
+            },
+            AggFunc::Variance => AggState::Welford {
+                n: 0,
+                mean: 0.0,
+                m2: 0.0,
+                variance: true,
+            },
+            AggFunc::Attr => AggState::Attr {
+                value: None,
+                conflicted: false,
+            },
         }
     }
 
@@ -379,7 +463,9 @@ impl AggState {
                 }
             }
             AggState::MinMax { best, .. } => best.unwrap_or(Value::Null),
-            AggState::Collect { mut values, frac, .. } => {
+            AggState::Collect {
+                mut values, frac, ..
+            } => {
                 if values.is_empty() {
                     return Value::Null;
                 }
@@ -394,7 +480,9 @@ impl AggState {
                 };
                 Value::Float(v)
             }
-            AggState::Welford { n, m2, variance, .. } => {
+            AggState::Welford {
+                n, m2, variance, ..
+            } => {
                 if n < 2 {
                     return Value::Null;
                 }

@@ -61,7 +61,11 @@ fn fold_expr(expr: PhysExpr, ctx: &EvalCtx) -> Result<PhysExpr, CdwError> {
                         .map(|a| fold_expr(a, ctx))
                         .collect::<Result<_, _>>()?,
                 },
-                PhysExpr::Case { operand, whens, else_ } => PhysExpr::Case {
+                PhysExpr::Case {
+                    operand,
+                    whens,
+                    else_,
+                } => PhysExpr::Case {
                     operand: operand
                         .map(|o| fold_expr(*o, ctx).map(Box::new))
                         .transpose()?,
@@ -77,7 +81,11 @@ fn fold_expr(expr: PhysExpr, ctx: &EvalCtx) -> Result<PhysExpr, CdwError> {
                     expr: Box::new(fold_expr(*expr, ctx)?),
                     dtype,
                 },
-                PhysExpr::InList { expr, list, negated } => PhysExpr::InList {
+                PhysExpr::InList {
+                    expr,
+                    list,
+                    negated,
+                } => PhysExpr::InList {
                     expr: Box::new(fold_expr(*expr, ctx)?),
                     list: list
                         .into_iter()
@@ -85,7 +93,12 @@ fn fold_expr(expr: PhysExpr, ctx: &EvalCtx) -> Result<PhysExpr, CdwError> {
                         .collect::<Result<_, _>>()?,
                     negated,
                 },
-                PhysExpr::Between { expr, low, high, negated } => PhysExpr::Between {
+                PhysExpr::Between {
+                    expr,
+                    low,
+                    high,
+                    negated,
+                } => PhysExpr::Between {
                     expr: Box::new(fold_expr(*expr, ctx)?),
                     low: Box::new(fold_expr(*low, ctx)?),
                     high: Box::new(fold_expr(*high, ctx)?),
@@ -95,7 +108,11 @@ fn fold_expr(expr: PhysExpr, ctx: &EvalCtx) -> Result<PhysExpr, CdwError> {
                     expr: Box::new(fold_expr(*expr, ctx)?),
                     negated,
                 },
-                PhysExpr::Like { expr, pattern, negated } => PhysExpr::Like {
+                PhysExpr::Like {
+                    expr,
+                    pattern,
+                    negated,
+                } => PhysExpr::Like {
                     expr: Box::new(fold_expr(*expr, ctx)?),
                     pattern: Box::new(fold_expr(*pattern, ctx)?),
                     negated,
@@ -131,12 +148,21 @@ fn map_plan_exprs(
             input: Box::new(map_plan_exprs(*input, f)?),
             predicate: f(predicate)?,
         },
-        Plan::Project { input, exprs, schema } => Plan::Project {
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => Plan::Project {
             input: Box::new(map_plan_exprs(*input, f)?),
             exprs: exprs.into_iter().map(f).collect::<Result<_, _>>()?,
             schema,
         },
-        Plan::Aggregate { input, groups, aggs, schema } => Plan::Aggregate {
+        Plan::Aggregate {
+            input,
+            groups,
+            aggs,
+            schema,
+        } => Plan::Aggregate {
             input: Box::new(map_plan_exprs(*input, f)?),
             groups: groups.into_iter().map(f).collect::<Result<_, _>>()?,
             aggs: aggs
@@ -148,7 +174,11 @@ fn map_plan_exprs(
                 .collect::<Result<_, _>>()?,
             schema,
         },
-        Plan::Window { input, calls, schema } => Plan::Window {
+        Plan::Window {
+            input,
+            calls,
+            schema,
+        } => Plan::Window {
             input: Box::new(map_plan_exprs(*input, f)?),
             calls: calls
                 .into_iter()
@@ -168,7 +198,15 @@ fn map_plan_exprs(
                 .collect::<Result<_, _>>()?,
             schema,
         },
-        Plan::Join { left, right, kind, left_keys, right_keys, residual, schema } => Plan::Join {
+        Plan::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => Plan::Join {
             left: Box::new(map_plan_exprs(*left, f)?),
             right: Box::new(map_plan_exprs(*right, f)?),
             kind,
@@ -187,7 +225,11 @@ fn map_plan_exprs(
                 })
                 .collect::<Result<_, _>>()?,
         },
-        Plan::Limit { input, limit, offset } => Plan::Limit {
+        Plan::Limit {
+            input,
+            limit,
+            offset,
+        } => Plan::Limit {
             input: Box::new(map_plan_exprs(*input, f)?),
             limit,
             offset,
@@ -216,23 +258,44 @@ fn push_down_filters(plan: Plan) -> Result<Plan, CdwError> {
             let input = push_down_filters(*input)?;
             push_filter_into(input, predicate)?
         }
-        Plan::Project { input, exprs, schema } => Plan::Project {
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => Plan::Project {
             input: Box::new(push_down_filters(*input)?),
             exprs,
             schema,
         },
-        Plan::Aggregate { input, groups, aggs, schema } => Plan::Aggregate {
+        Plan::Aggregate {
+            input,
+            groups,
+            aggs,
+            schema,
+        } => Plan::Aggregate {
             input: Box::new(push_down_filters(*input)?),
             groups,
             aggs,
             schema,
         },
-        Plan::Window { input, calls, schema } => Plan::Window {
+        Plan::Window {
+            input,
+            calls,
+            schema,
+        } => Plan::Window {
             input: Box::new(push_down_filters(*input)?),
             calls,
             schema,
         },
-        Plan::Join { left, right, kind, left_keys, right_keys, residual, schema } => Plan::Join {
+        Plan::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => Plan::Join {
             left: Box::new(push_down_filters(*left)?),
             right: Box::new(push_down_filters(*right)?),
             kind,
@@ -245,7 +308,11 @@ fn push_down_filters(plan: Plan) -> Result<Plan, CdwError> {
             input: Box::new(push_down_filters(*input)?),
             keys,
         },
-        Plan::Limit { input, limit, offset } => Plan::Limit {
+        Plan::Limit {
+            input,
+            limit,
+            offset,
+        } => Plan::Limit {
             input: Box::new(push_down_filters(*input)?),
             limit,
             offset,
@@ -269,13 +336,25 @@ fn push_filter_into(input: Plan, predicate: PhysExpr) -> Result<Plan, CdwError> 
     match input {
         // Filter(Project(x)) => Project(Filter'(x)) with the predicate
         // rewritten through the projection.
-        Plan::Project { input, exprs, schema } => {
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
             if let Some(rewritten) = substitute_through_projection(&predicate, &exprs) {
                 let pushed = push_filter_into(*input, rewritten)?;
-                Ok(Plan::Project { input: Box::new(pushed), exprs, schema })
+                Ok(Plan::Project {
+                    input: Box::new(pushed),
+                    exprs,
+                    schema,
+                })
             } else {
                 Ok(Plan::Filter {
-                    input: Box::new(Plan::Project { input, exprs, schema }),
+                    input: Box::new(Plan::Project {
+                        input,
+                        exprs,
+                        schema,
+                    }),
                     predicate,
                 })
             }
@@ -283,7 +362,10 @@ fn push_filter_into(input: Plan, predicate: PhysExpr) -> Result<Plan, CdwError> 
         // Filter(Sort(x)) => Sort(Filter(x)).
         Plan::Sort { input, keys } => {
             let pushed = push_filter_into(*input, predicate)?;
-            Ok(Plan::Sort { input: Box::new(pushed), keys })
+            Ok(Plan::Sort {
+                input: Box::new(pushed),
+                keys,
+            })
         }
         // Filter(UnionAll(xs)) => UnionAll(Filter(x) for x in xs).
         Plan::UnionAll { inputs, schema } => {
@@ -294,7 +376,15 @@ fn push_filter_into(input: Plan, predicate: PhysExpr) -> Result<Plan, CdwError> 
             Ok(Plan::UnionAll { inputs, schema })
         }
         // Filter(Join(l, r)): push side-local conjuncts into inner inputs.
-        Plan::Join { left, right, kind, left_keys, right_keys, residual, schema } => {
+        Plan::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => {
             let left_width = left.schema().len();
             let mut conjuncts = Vec::new();
             split_phys_conjuncts(predicate, &mut conjuncts);
@@ -336,12 +426,18 @@ fn push_filter_into(input: Plan, predicate: PhysExpr) -> Result<Plan, CdwError> 
                 schema,
             };
             Ok(match conjoin(stay) {
-                Some(p) => Plan::Filter { input: Box::new(joined), predicate: p },
+                Some(p) => Plan::Filter {
+                    input: Box::new(joined),
+                    predicate: p,
+                },
                 None => joined,
             })
         }
         // Filter(Filter(x)) => Filter(x, a AND b) — merged then re-pushed.
-        Plan::Filter { input, predicate: inner } => {
+        Plan::Filter {
+            input,
+            predicate: inner,
+        } => {
             let merged = PhysExpr::Binary {
                 op: sigma_sql::SqlBinaryOp::And,
                 left: Box::new(inner),
@@ -349,7 +445,10 @@ fn push_filter_into(input: Plan, predicate: PhysExpr) -> Result<Plan, CdwError> 
             };
             push_filter_into(*input, merged)
         }
-        other => Ok(Plan::Filter { input: Box::new(other), predicate }),
+        other => Ok(Plan::Filter {
+            input: Box::new(other),
+            predicate,
+        }),
     }
 }
 
@@ -362,7 +461,12 @@ fn conjoin(preds: Vec<PhysExpr>) -> Option<PhysExpr> {
 }
 
 fn split_phys_conjuncts(e: PhysExpr, out: &mut Vec<PhysExpr>) {
-    if let PhysExpr::Binary { op: sigma_sql::SqlBinaryOp::And, left, right } = e {
+    if let PhysExpr::Binary {
+        op: sigma_sql::SqlBinaryOp::And,
+        left,
+        right,
+    } = e
+    {
         split_phys_conjuncts(*left, out);
         split_phys_conjuncts(*right, out);
     } else {
@@ -416,7 +520,11 @@ fn substitute_cols(e: &mut PhysExpr, subst: &mut impl FnMut(usize) -> Option<Phy
                 substitute_cols(a, subst);
             }
         }
-        PhysExpr::Case { operand, whens, else_ } => {
+        PhysExpr::Case {
+            operand,
+            whens,
+            else_,
+        } => {
             if let Some(o) = operand {
                 substitute_cols(o, subst);
             }
@@ -435,7 +543,9 @@ fn substitute_cols(e: &mut PhysExpr, subst: &mut impl FnMut(usize) -> Option<Phy
                 substitute_cols(l, subst);
             }
         }
-        PhysExpr::Between { expr, low, high, .. } => {
+        PhysExpr::Between {
+            expr, low, high, ..
+        } => {
             substitute_cols(expr, subst);
             substitute_cols(low, subst);
             substitute_cols(high, subst);
@@ -517,7 +627,11 @@ fn prune(plan: Plan, needed: Option<Vec<usize>>) -> Result<Plan, CdwError> {
                 None => scan,
             })
         }
-        Plan::Project { input, exprs, schema } => {
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
             // Keep only the projected expressions the parent needs.
             let (kept_exprs, kept_fields): (Vec<PhysExpr>, Vec<Field>) = match &needed {
                 Some(cols) => cols
@@ -561,19 +675,29 @@ fn prune(plan: Plan, needed: Option<Vec<usize>>) -> Result<Plan, CdwError> {
             if narrowed {
                 predicate.remap_columns(&|i| map[&i]);
             }
-            let filtered = Plan::Filter { input: Box::new(pruned), predicate };
+            let filtered = Plan::Filter {
+                input: Box::new(pruned),
+                predicate,
+            };
             // If the parent wanted fewer columns than the filter needed,
             // narrow above (positions of `needed` within `union`).
             Ok(match needed {
                 Some(cols) if cols.len() < union.len() => {
-                    let positions: Vec<usize> =
-                        cols.iter().map(|c| union.iter().position(|u| u == c).unwrap()).collect();
+                    let positions: Vec<usize> = cols
+                        .iter()
+                        .map(|c| union.iter().position(|u| u == c).unwrap())
+                        .collect();
                     narrow(filtered, &positions)
                 }
                 _ => filtered,
             })
         }
-        Plan::Aggregate { input, groups, aggs, schema } => {
+        Plan::Aggregate {
+            input,
+            groups,
+            aggs,
+            schema,
+        } => {
             let mut child_need = Vec::new();
             for g in &groups {
                 g.columns_used(&mut child_need);
@@ -599,7 +723,12 @@ fn prune(plan: Plan, needed: Option<Vec<usize>>) -> Result<Plan, CdwError> {
                     }
                 }
             }
-            let agg = Plan::Aggregate { input: Box::new(pruned), groups, aggs, schema };
+            let agg = Plan::Aggregate {
+                input: Box::new(pruned),
+                groups,
+                aggs,
+                schema,
+            };
             Ok(match needed {
                 Some(cols) => narrow(agg, &cols),
                 None => agg,
@@ -607,14 +736,30 @@ fn prune(plan: Plan, needed: Option<Vec<usize>>) -> Result<Plan, CdwError> {
         }
         // Remaining nodes are treated as boundaries: children keep their
         // full schemas, and the parent's narrowing happens above the node.
-        Plan::Window { input, calls, schema } => {
-            let w = Plan::Window { input: Box::new(prune(*input, None)?), calls, schema };
+        Plan::Window {
+            input,
+            calls,
+            schema,
+        } => {
+            let w = Plan::Window {
+                input: Box::new(prune(*input, None)?),
+                calls,
+                schema,
+            };
             Ok(match needed {
                 Some(cols) => narrow(w, &cols),
                 None => w,
             })
         }
-        Plan::Join { left, right, kind, left_keys, right_keys, residual, schema } => {
+        Plan::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => {
             let j = Plan::Join {
                 left: Box::new(prune(*left, None)?),
                 right: Box::new(prune(*right, None)?),
@@ -630,14 +775,25 @@ fn prune(plan: Plan, needed: Option<Vec<usize>>) -> Result<Plan, CdwError> {
             })
         }
         Plan::Sort { input, keys } => {
-            let s = Plan::Sort { input: Box::new(prune(*input, None)?), keys };
+            let s = Plan::Sort {
+                input: Box::new(prune(*input, None)?),
+                keys,
+            };
             Ok(match needed {
                 Some(cols) => narrow(s, &cols),
                 None => s,
             })
         }
-        Plan::Limit { input, limit, offset } => {
-            let l = Plan::Limit { input: Box::new(prune(*input, None)?), limit, offset };
+        Plan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let l = Plan::Limit {
+                input: Box::new(prune(*input, None)?),
+                limit,
+                offset,
+            };
             Ok(match needed {
                 Some(cols) => narrow(l, &cols),
                 None => l,
@@ -657,7 +813,9 @@ fn prune(plan: Plan, needed: Option<Vec<usize>>) -> Result<Plan, CdwError> {
             })
         }
         Plan::Distinct { input } => {
-            let d = Plan::Distinct { input: Box::new(prune(*input, None)?) };
+            let d = Plan::Distinct {
+                input: Box::new(prune(*input, None)?),
+            };
             Ok(match needed {
                 Some(cols) => narrow(d, &cols),
                 None => d,

@@ -93,11 +93,19 @@ pub struct WindowCall {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Plan {
     /// Scan a catalog table.
-    Scan { table: String, schema: Arc<Schema> },
+    Scan {
+        table: String,
+        schema: Arc<Schema>,
+    },
     /// Scan a persisted result set by query id (RESULT_SCAN).
-    ResultScan { id: String, schema: Arc<Schema> },
+    ResultScan {
+        id: String,
+        schema: Arc<Schema>,
+    },
     /// Inline rows.
-    Values { batch: Batch },
+    Values {
+        batch: Batch,
+    },
     Project {
         input: Box<Plan>,
         exprs: Vec<PhysExpr>,
@@ -208,7 +216,12 @@ impl Plan {
                 out.push_str("Filter\n");
                 input.explain_into(depth + 1, out);
             }
-            Plan::Aggregate { input, groups, aggs, .. } => {
+            Plan::Aggregate {
+                input,
+                groups,
+                aggs,
+                ..
+            } => {
                 out.push_str(&format!(
                     "Aggregate (groups={}, aggs={})\n",
                     groups.len(),
@@ -220,7 +233,13 @@ impl Plan {
                 out.push_str(&format!("Window ({} calls)\n", calls.len()));
                 input.explain_into(depth + 1, out);
             }
-            Plan::Join { left, right, kind, left_keys, .. } => {
+            Plan::Join {
+                left,
+                right,
+                kind,
+                left_keys,
+                ..
+            } => {
                 out.push_str(&format!("Join {kind:?} ({} keys)\n", left_keys.len()));
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
@@ -229,7 +248,11 @@ impl Plan {
                 out.push_str(&format!("Sort ({} keys)\n", keys.len()));
                 input.explain_into(depth + 1, out);
             }
-            Plan::Limit { input, limit, offset } => {
+            Plan::Limit {
+                input,
+                limit,
+                offset,
+            } => {
                 out.push_str(&format!("Limit {limit:?} offset {offset}\n"));
                 input.explain_into(depth + 1, out);
             }

@@ -9,15 +9,16 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use sigma_sql::{
-    JoinKind, OrderExpr, Query, Select, SelectItem, SetExpr, SqlExpr, TableRef,
-};
+use sigma_sql::{JoinKind, OrderExpr, Query, Select, SelectItem, SetExpr, SqlExpr, TableRef};
 use sigma_value::{Batch, ColumnBuilder, DataType, Field, Schema, Value};
 
 use crate::catalog::Catalog;
 use crate::error::CdwError;
 use crate::eval::{self, EvalCtx, PhysExpr, ScalarFunc};
 use crate::plan::{AggCall, AggFunc, Plan, SortSpec, WinFunc, WindowCall};
+
+/// Equi-join decomposition: (left keys, right keys, residual predicate).
+type JoinKeySplit = (Vec<PhysExpr>, Vec<PhysExpr>, Option<PhysExpr>);
 
 /// Resolution context: an ordered list of (binding name, schema) pairs.
 #[derive(Debug, Clone, Default)]
@@ -27,7 +28,9 @@ struct Scope {
 
 impl Scope {
     fn single(name: impl Into<String>, schema: Arc<Schema>) -> Scope {
-        Scope { bindings: vec![(name.into(), schema)] }
+        Scope {
+            bindings: vec![(name.into(), schema)],
+        }
     }
 
     fn width(&self) -> usize {
@@ -54,11 +57,8 @@ impl Scope {
                     return Err(CdwError::plan(format!("ambiguous column: {name}")));
                 }
                 found = Some((offset + i, schema.field(i).dtype));
-            } else if table.is_some() {
-                return Err(CdwError::plan(format!(
-                    "column {name} not found in {}",
-                    table.unwrap()
-                )));
+            } else if let Some(t) = table {
+                return Err(CdwError::plan(format!("column {name} not found in {t}")));
             }
             offset += schema.len();
         }
@@ -204,7 +204,10 @@ impl<'a> Planner<'a> {
                 })
             })
             .collect::<Result<Vec<_>, CdwError>>()?;
-        Ok(Plan::Sort { input: Box::new(plan), keys })
+        Ok(Plan::Sort {
+            input: Box::new(plan),
+            keys,
+        })
     }
 
     fn plan_values(&self, rows: &[Vec<SqlExpr>]) -> Result<Plan, CdwError> {
@@ -237,7 +240,10 @@ impl<'a> Planner<'a> {
                     });
                 }
             }
-            fields.push(Field::new(format!("column{}", c + 1), dtype.unwrap_or(DataType::Text)));
+            fields.push(Field::new(
+                format!("column{}", c + 1),
+                dtype.unwrap_or(DataType::Text),
+            ));
         }
         let schema = Arc::new(Schema::new(fields));
         let mut builders: Vec<ColumnBuilder> = schema
@@ -317,7 +323,10 @@ impl<'a> Planner<'a> {
         // 2. WHERE.
         if let Some(selection) = &select.selection {
             let predicate = self.resolve(selection, &scope)?;
-            plan = Plan::Filter { input: Box::new(plan), predicate };
+            plan = Plan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
         }
 
         // Expand wildcards now so later rewriting sees concrete exprs.
@@ -330,7 +339,10 @@ impl<'a> Planner<'a> {
                             continue; // synthetic dual column
                         }
                         projection.push((
-                            SqlExpr::Column { table: Some(binding), name: name.clone() },
+                            SqlExpr::Column {
+                                table: Some(binding),
+                                name: name.clone(),
+                            },
                             Some(name),
                         ));
                     }
@@ -417,13 +429,19 @@ impl<'a> Planner<'a> {
             for (i, g) in select.group_by.iter().enumerate() {
                 mapping.push((
                     g.clone(),
-                    SqlExpr::Column { table: Some("#agg".into()), name: format!("_g{i}") },
+                    SqlExpr::Column {
+                        table: Some("#agg".into()),
+                        name: format!("_g{i}"),
+                    },
                 ));
             }
             for (i, a) in agg_subtrees.iter().enumerate() {
                 mapping.push((
                     a.clone(),
-                    SqlExpr::Column { table: Some("#agg".into()), name: format!("_a{i}") },
+                    SqlExpr::Column {
+                        table: Some("#agg".into()),
+                        name: format!("_a{i}"),
+                    },
                 ));
             }
             for (e, _) in &mut projection {
@@ -442,7 +460,10 @@ impl<'a> Planner<'a> {
 
             if let Some(h) = having.take() {
                 let predicate = self.resolve(&h, &scope)?;
-                plan = Plan::Filter { input: Box::new(plan), predicate };
+                plan = Plan::Filter {
+                    input: Box::new(plan),
+                    predicate,
+                };
             }
         } else if select.having.is_some() {
             return Err(CdwError::plan("HAVING without aggregation"));
@@ -472,14 +493,14 @@ impl<'a> Planner<'a> {
             }
             let win_fragment = Arc::new(Schema::new(win_fields));
             // Full window output schema = input fields + fragment.
-            let mut all_fields: Vec<Field> = plan
-                .schema()
-                .fields()
-                .to_vec();
+            let mut all_fields: Vec<Field> = plan.schema().fields().to_vec();
             let mut suffix = 0;
             for f in win_fragment.fields() {
                 let mut name = f.name.clone();
-                while all_fields.iter().any(|x| x.name.eq_ignore_ascii_case(&name)) {
+                while all_fields
+                    .iter()
+                    .any(|x| x.name.eq_ignore_ascii_case(&name))
+                {
                     suffix += 1;
                     name = format!("{} ({suffix})", f.name);
                 }
@@ -495,7 +516,10 @@ impl<'a> Planner<'a> {
             for (i, w) in win_subtrees.iter().enumerate() {
                 mapping.push((
                     w.clone(),
-                    SqlExpr::Column { table: Some("#win".into()), name: format!("_w{i}") },
+                    SqlExpr::Column {
+                        table: Some("#win".into()),
+                        name: format!("_w{i}"),
+                    },
                 ));
             }
             for (e, _) in &mut projection {
@@ -513,7 +537,10 @@ impl<'a> Planner<'a> {
         // 5. QUALIFY.
         if let Some(q) = qualify.take() {
             let predicate = self.resolve(&q, &scope)?;
-            plan = Plan::Filter { input: Box::new(plan), predicate };
+            plan = Plan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
         }
 
         // 6. Projection.
@@ -526,7 +553,10 @@ impl<'a> Planner<'a> {
             let base_name = base_names[i].clone();
             let mut name = base_name.clone();
             let mut suffix = 2;
-            while out_fields.iter().any(|f| f.name.eq_ignore_ascii_case(&name)) {
+            while out_fields
+                .iter()
+                .any(|f| f.name.eq_ignore_ascii_case(&name))
+            {
                 name = format!("{base_name} ({suffix})");
                 suffix += 1;
             }
@@ -550,8 +580,7 @@ impl<'a> Planner<'a> {
                 Err(_) => {
                     // Hidden sort column evaluated over the input scope.
                     let phys = self.resolve(&o.expr, &scope)?;
-                    let dtype =
-                        eval::infer_type(&phys, &input_types)?.unwrap_or(DataType::Text);
+                    let dtype = eval::infer_type(&phys, &input_types)?.unwrap_or(DataType::Text);
                     let idx = out_schema.len() + hidden.len();
                     hidden.push((phys, dtype));
                     sort_keys.push(SortSpec {
@@ -583,17 +612,26 @@ impl<'a> Planner<'a> {
                     "ORDER BY expressions must appear in the select list when DISTINCT is used",
                 ));
             }
-            plan = Plan::Distinct { input: Box::new(plan) };
+            plan = Plan::Distinct {
+                input: Box::new(plan),
+            };
         }
 
         if !sort_keys.is_empty() {
-            plan = Plan::Sort { input: Box::new(plan), keys: sort_keys };
+            plan = Plan::Sort {
+                input: Box::new(plan),
+                keys: sort_keys,
+            };
         }
 
         if !hidden.is_empty() {
             // Drop hidden sort columns.
             let exprs: Vec<PhysExpr> = (0..visible).map(PhysExpr::Col).collect();
-            plan = Plan::Project { input: Box::new(plan), exprs, schema: out_schema };
+            plan = Plan::Project {
+                input: Box::new(plan),
+                exprs,
+                schema: out_schema,
+            };
         }
         Ok(plan)
     }
@@ -617,7 +655,10 @@ impl<'a> Planner<'a> {
                 let table = self.catalog.get(&name.to_dotted())?;
                 let schema = table.schema().clone();
                 Ok((
-                    Plan::Scan { table: name.to_dotted(), schema: schema.clone() },
+                    Plan::Scan {
+                        table: name.to_dotted(),
+                        schema: schema.clone(),
+                    },
                     Scope::single(binding, schema),
                 ))
             }
@@ -640,7 +681,10 @@ impl<'a> Planner<'a> {
                 let schema = batch.schema().clone();
                 let binding = alias.clone().unwrap_or_else(|| "result".to_string());
                 Ok((
-                    Plan::ResultScan { id, schema: schema.clone() },
+                    Plan::ResultScan {
+                        id,
+                        schema: schema.clone(),
+                    },
                     Scope::single(binding, schema),
                 ))
             }
@@ -653,14 +697,19 @@ impl<'a> Planner<'a> {
         on: &SqlExpr,
         joined_scope: &Scope,
         left_width: usize,
-    ) -> Result<(Vec<PhysExpr>, Vec<PhysExpr>, Option<PhysExpr>), CdwError> {
+    ) -> Result<JoinKeySplit, CdwError> {
         let mut conjuncts = Vec::new();
         split_conjuncts(on, &mut conjuncts);
         let mut left_keys = Vec::new();
         let mut right_keys = Vec::new();
         let mut residual: Vec<PhysExpr> = Vec::new();
         for c in conjuncts {
-            if let SqlExpr::Binary { op: sigma_sql::SqlBinaryOp::Eq, left, right } = c {
+            if let SqlExpr::Binary {
+                op: sigma_sql::SqlBinaryOp::Eq,
+                left,
+                right,
+            } = c
+            {
                 let l = self.resolve(left, joined_scope)?;
                 let r = self.resolve(right, joined_scope)?;
                 let side = |e: &PhysExpr| {
@@ -710,7 +759,12 @@ impl<'a> Planner<'a> {
     }
 
     fn build_agg_call(&self, e: &SqlExpr, scope: &Scope) -> Result<AggCall, CdwError> {
-        let SqlExpr::Func { name, args, distinct } = e else {
+        let SqlExpr::Func {
+            name,
+            args,
+            distinct,
+        } = e
+        else {
             return Err(CdwError::plan("not an aggregate"));
         };
         let upper = name.to_ascii_uppercase();
@@ -732,11 +786,21 @@ impl<'a> Planner<'a> {
                     if *distinct {
                         return Err(CdwError::plan("COUNT(DISTINCT *) is not supported"));
                     }
-                    Ok(AggCall { func: AggFunc::CountStar, arg: None })
+                    Ok(AggCall {
+                        func: AggFunc::CountStar,
+                        arg: None,
+                    })
                 } else {
                     let arg = self.resolve(&args[0], scope)?;
-                    let func = if *distinct { AggFunc::CountDistinct } else { AggFunc::Count };
-                    Ok(AggCall { func, arg: Some(arg) })
+                    let func = if *distinct {
+                        AggFunc::CountDistinct
+                    } else {
+                        AggFunc::Count
+                    };
+                    Ok(AggCall {
+                        func,
+                        arg: Some(arg),
+                    })
                 }
             }
             "PERCENTILE_CONT" => {
@@ -751,7 +815,10 @@ impl<'a> Planner<'a> {
                     }
                 };
                 let arg = self.resolve(&args[0], scope)?;
-                Ok(AggCall { func: AggFunc::Percentile(frac), arg: Some(arg) })
+                Ok(AggCall {
+                    func: AggFunc::Percentile(frac),
+                    arg: Some(arg),
+                })
             }
             _ => {
                 if args.len() != 1 {
@@ -761,13 +828,22 @@ impl<'a> Planner<'a> {
                     return Err(CdwError::plan(format!("{name} DISTINCT is not supported")));
                 }
                 let arg = self.resolve(&args[0], scope)?;
-                Ok(AggCall { func, arg: Some(arg) })
+                Ok(AggCall {
+                    func,
+                    arg: Some(arg),
+                })
             }
         }
     }
 
     fn build_window_call(&self, e: &SqlExpr, scope: &Scope) -> Result<WindowCall, CdwError> {
-        let SqlExpr::WindowFunc { name, args, ignore_nulls, spec } = e else {
+        let SqlExpr::WindowFunc {
+            name,
+            args,
+            ignore_nulls,
+            spec,
+        } = e
+        else {
             return Err(CdwError::plan("not a window function"));
         };
         let func = win_func_for(name)
@@ -846,11 +922,13 @@ impl<'a> Planner<'a> {
                 }
             }
             SqlExpr::WindowFunc { .. } => {
-                return Err(CdwError::plan(
-                    "window function in an unsupported position",
-                ))
+                return Err(CdwError::plan("window function in an unsupported position"))
             }
-            SqlExpr::Case { operand, whens, else_ } => PhysExpr::Case {
+            SqlExpr::Case {
+                operand,
+                whens,
+                else_,
+            } => PhysExpr::Case {
                 operand: operand
                     .as_ref()
                     .map(|o| self.resolve(o, scope).map(Box::new))
@@ -868,7 +946,11 @@ impl<'a> Planner<'a> {
                 expr: Box::new(self.resolve(expr, scope)?),
                 dtype: *dtype,
             },
-            SqlExpr::InList { expr, list, negated } => PhysExpr::InList {
+            SqlExpr::InList {
+                expr,
+                list,
+                negated,
+            } => PhysExpr::InList {
                 expr: Box::new(self.resolve(expr, scope)?),
                 list: list
                     .iter()
@@ -876,7 +958,12 @@ impl<'a> Planner<'a> {
                     .collect::<Result<_, _>>()?,
                 negated: *negated,
             },
-            SqlExpr::Between { expr, low, high, negated } => PhysExpr::Between {
+            SqlExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => PhysExpr::Between {
                 expr: Box::new(self.resolve(expr, scope)?),
                 low: Box::new(self.resolve(low, scope)?),
                 high: Box::new(self.resolve(high, scope)?),
@@ -886,7 +973,11 @@ impl<'a> Planner<'a> {
                 expr: Box::new(self.resolve(expr, scope)?),
                 negated: *negated,
             },
-            SqlExpr::Like { expr, pattern, negated } => PhysExpr::Like {
+            SqlExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => PhysExpr::Like {
                 expr: Box::new(self.resolve(expr, scope)?),
                 pattern: Box::new(self.resolve(pattern, scope)?),
                 negated: *negated,
@@ -896,13 +987,13 @@ impl<'a> Planner<'a> {
 }
 
 /// Output type of a window call.
-fn window_output_type(
-    call: &WindowCall,
-    input_types: &[DataType],
-) -> Result<DataType, CdwError> {
+fn window_output_type(call: &WindowCall, input_types: &[DataType]) -> Result<DataType, CdwError> {
     Ok(match &call.func {
         WinFunc::RowNumber | WinFunc::Rank | WinFunc::DenseRank | WinFunc::Ntile => DataType::Int,
-        WinFunc::Lag | WinFunc::Lead | WinFunc::FirstValue | WinFunc::LastValue
+        WinFunc::Lag
+        | WinFunc::Lead
+        | WinFunc::FirstValue
+        | WinFunc::LastValue
         | WinFunc::NthValue => {
             let t = call
                 .args
@@ -981,10 +1072,17 @@ fn plan_union(plans: Vec<Plan>) -> Result<Plan, CdwError> {
                     }
                 })
                 .collect();
-            Plan::Project { input: Box::new(p), exprs, schema: schema.clone() }
+            Plan::Project {
+                input: Box::new(p),
+                exprs,
+                schema: schema.clone(),
+            }
         })
         .collect();
-    Ok(Plan::UnionAll { inputs: casted, schema })
+    Ok(Plan::UnionAll {
+        inputs: casted,
+        schema,
+    })
 }
 
 fn flatten_union<'q>(body: &'q SetExpr, out: &mut Vec<&'q SetExpr>) {
@@ -998,7 +1096,12 @@ fn flatten_union<'q>(body: &'q SetExpr, out: &mut Vec<&'q SetExpr>) {
 }
 
 fn split_conjuncts<'e>(e: &'e SqlExpr, out: &mut Vec<&'e SqlExpr>) {
-    if let SqlExpr::Binary { op: sigma_sql::SqlBinaryOp::And, left, right } = e {
+    if let SqlExpr::Binary {
+        op: sigma_sql::SqlBinaryOp::And,
+        left,
+        right,
+    } = e
+    {
         split_conjuncts(left, out);
         split_conjuncts(right, out);
     } else {
@@ -1085,7 +1188,11 @@ fn walk_children(e: &SqlExpr, f: &mut impl FnMut(&SqlExpr)) {
                 f(&o.expr);
             }
         }
-        SqlExpr::Case { operand, whens, else_ } => {
+        SqlExpr::Case {
+            operand,
+            whens,
+            else_,
+        } => {
             if let Some(o) = operand {
                 f(o);
             }
@@ -1104,7 +1211,9 @@ fn walk_children(e: &SqlExpr, f: &mut impl FnMut(&SqlExpr)) {
                 f(l);
             }
         }
-        SqlExpr::Between { expr, low, high, .. } => {
+        SqlExpr::Between {
+            expr, low, high, ..
+        } => {
             f(expr);
             f(low);
             f(high);
@@ -1127,10 +1236,10 @@ fn replace_subtrees(e: &SqlExpr, mapping: &[(SqlExpr, SqlExpr)]) -> SqlExpr {
     let mut out = e.clone();
     match &mut out {
         SqlExpr::Literal(_) | SqlExpr::Column { .. } | SqlExpr::Star => {}
-        SqlExpr::Unary { expr, .. } => *expr = Box::new(replace_subtrees(expr, mapping)),
+        SqlExpr::Unary { expr, .. } => **expr = replace_subtrees(expr, mapping),
         SqlExpr::Binary { left, right, .. } => {
-            *left = Box::new(replace_subtrees(left, mapping));
-            *right = Box::new(replace_subtrees(right, mapping));
+            **left = replace_subtrees(left, mapping);
+            **right = replace_subtrees(right, mapping);
         }
         SqlExpr::Func { args, .. } => {
             for a in args.iter_mut() {
@@ -1148,34 +1257,40 @@ fn replace_subtrees(e: &SqlExpr, mapping: &[(SqlExpr, SqlExpr)]) -> SqlExpr {
                 o.expr = replace_subtrees(&o.expr, mapping);
             }
         }
-        SqlExpr::Case { operand, whens, else_ } => {
+        SqlExpr::Case {
+            operand,
+            whens,
+            else_,
+        } => {
             if let Some(o) = operand {
-                *o = Box::new(replace_subtrees(o, mapping));
+                **o = replace_subtrees(o, mapping);
             }
             for (w, t) in whens.iter_mut() {
                 *w = replace_subtrees(w, mapping);
                 *t = replace_subtrees(t, mapping);
             }
             if let Some(el) = else_ {
-                *el = Box::new(replace_subtrees(el, mapping));
+                **el = replace_subtrees(el, mapping);
             }
         }
-        SqlExpr::Cast { expr, .. } => *expr = Box::new(replace_subtrees(expr, mapping)),
+        SqlExpr::Cast { expr, .. } => **expr = replace_subtrees(expr, mapping),
         SqlExpr::InList { expr, list, .. } => {
-            *expr = Box::new(replace_subtrees(expr, mapping));
+            **expr = replace_subtrees(expr, mapping);
             for l in list.iter_mut() {
                 *l = replace_subtrees(l, mapping);
             }
         }
-        SqlExpr::Between { expr, low, high, .. } => {
-            *expr = Box::new(replace_subtrees(expr, mapping));
-            *low = Box::new(replace_subtrees(low, mapping));
-            *high = Box::new(replace_subtrees(high, mapping));
+        SqlExpr::Between {
+            expr, low, high, ..
+        } => {
+            **expr = replace_subtrees(expr, mapping);
+            **low = replace_subtrees(low, mapping);
+            **high = replace_subtrees(high, mapping);
         }
-        SqlExpr::IsNull { expr, .. } => *expr = Box::new(replace_subtrees(expr, mapping)),
+        SqlExpr::IsNull { expr, .. } => **expr = replace_subtrees(expr, mapping),
         SqlExpr::Like { expr, pattern, .. } => {
-            *expr = Box::new(replace_subtrees(expr, mapping));
-            *pattern = Box::new(replace_subtrees(pattern, mapping));
+            **expr = replace_subtrees(expr, mapping);
+            **pattern = replace_subtrees(pattern, mapping);
         }
     }
     out

@@ -129,7 +129,11 @@ impl Warehouse {
 
     /// Schema of a stored table.
     pub fn table_schema(&self, name: &str) -> Option<std::sync::Arc<sigma_value::Schema>> {
-        self.catalog.read().get(name).ok().map(|t| t.schema().clone())
+        self.catalog
+            .read()
+            .get(name)
+            .ok()
+            .map(|t| t.schema().clone())
     }
 
     /// Output schema of a query, derived by planning it (used by the
@@ -172,7 +176,11 @@ impl Warehouse {
                     rows_affected: 0,
                 }
             }
-            Statement::CreateTable { name, columns, if_not_exists } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
                 let fields = columns
                     .iter()
                     .map(|(n, t)| sigma_value::Field::new(n.clone(), *t))
@@ -184,37 +192,68 @@ impl Warehouse {
                 )?;
                 self.empty_result(started)
             }
-            Statement::CreateTableAs { name, query, or_replace } => {
+            Statement::CreateTableAs {
+                name,
+                query,
+                or_replace,
+            } => {
                 let batch = self.run_query(query, &mut stats)?;
                 let rows = batch.num_rows();
-                self.catalog
-                    .write()
-                    .create_table_from_batch(&name.to_dotted(), batch, *or_replace)?;
-                ResultSet { rows_affected: rows, ..self.empty_result(started) }
+                self.catalog.write().create_table_from_batch(
+                    &name.to_dotted(),
+                    batch,
+                    *or_replace,
+                )?;
+                ResultSet {
+                    rows_affected: rows,
+                    ..self.empty_result(started)
+                }
             }
-            Statement::Insert { table, columns, source } => {
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => {
                 let batch = self.run_query(source, &mut stats)?;
                 let rows = batch.num_rows();
                 let mut catalog = self.catalog.write();
                 let stored = catalog.get_mut(&table.to_dotted())?;
                 let batch = align_insert(stored.schema(), columns.as_deref(), batch)?;
                 stored.append(batch)?;
-                ResultSet { rows_affected: rows, ..self.empty_result(started) }
+                ResultSet {
+                    rows_affected: rows,
+                    ..self.empty_result(started)
+                }
             }
-            Statement::Update { table, assignments, selection } => {
+            Statement::Update {
+                table,
+                assignments,
+                selection,
+            } => {
                 let rows = self.run_update(&table.to_dotted(), assignments, selection.as_ref())?;
-                ResultSet { rows_affected: rows, ..self.empty_result(started) }
+                ResultSet {
+                    rows_affected: rows,
+                    ..self.empty_result(started)
+                }
             }
             Statement::Delete { table, selection } => {
                 let rows = self.run_delete(&table.to_dotted(), selection.as_ref())?;
-                ResultSet { rows_affected: rows, ..self.empty_result(started) }
+                ResultSet {
+                    rows_affected: rows,
+                    ..self.empty_result(started)
+                }
             }
             Statement::DropTable { name, if_exists } => {
-                self.catalog.write().drop_table(&name.to_dotted(), *if_exists)?;
+                self.catalog
+                    .write()
+                    .drop_table(&name.to_dotted(), *if_exists)?;
                 self.empty_result(started)
             }
         };
-        Ok(ResultSet { elapsed: started.elapsed(), ..outcome })
+        Ok(ResultSet {
+            elapsed: started.elapsed(),
+            ..outcome
+        })
     }
 
     /// Plan (without executing) — exposed for EXPLAIN-style tooling/tests.
@@ -231,7 +270,9 @@ impl Warehouse {
     }
 
     fn eval_ctx(&self) -> EvalCtx {
-        EvalCtx { now_micros: self.config.read().now_micros }
+        EvalCtx {
+            now_micros: self.config.read().now_micros,
+        }
     }
 
     fn run_query(&self, q: &Query, stats: &mut ExecStats) -> Result<Batch, CdwError> {
@@ -287,10 +328,9 @@ impl Warehouse {
                     let phys = scope_resolve(expr)?;
                     let evaluated = eval::eval(&phys, &full, &ctx)?;
                     let evaluated = evaluated.cast(field.dtype)?;
-                    let mut b =
-                        sigma_value::ColumnBuilder::new(field.dtype, full.num_rows());
-                    for i in 0..full.num_rows() {
-                        let v = if mask[i] {
+                    let mut b = sigma_value::ColumnBuilder::new(field.dtype, full.num_rows());
+                    for (i, &replace) in mask.iter().enumerate().take(full.num_rows()) {
+                        let v = if replace {
                             evaluated.value(i)
                         } else {
                             full.column(ci).value(i)
@@ -419,7 +459,11 @@ fn resolve_simple(
                     .collect::<Result<_, _>>()?,
             }
         }
-        S::Case { operand, whens, else_ } => PhysExpr::Case {
+        S::Case {
+            operand,
+            whens,
+            else_,
+        } => PhysExpr::Case {
             operand: operand
                 .as_ref()
                 .map(|o| resolve_simple(o, schema, table).map(Box::new))
@@ -427,7 +471,10 @@ fn resolve_simple(
             whens: whens
                 .iter()
                 .map(|(w, t)| {
-                    Ok((resolve_simple(w, schema, table)?, resolve_simple(t, schema, table)?))
+                    Ok((
+                        resolve_simple(w, schema, table)?,
+                        resolve_simple(t, schema, table)?,
+                    ))
                 })
                 .collect::<Result<_, CdwError>>()?,
             else_: else_
@@ -439,7 +486,11 @@ fn resolve_simple(
             expr: Box::new(resolve_simple(expr, schema, table)?),
             dtype: *dtype,
         },
-        S::InList { expr, list, negated } => PhysExpr::InList {
+        S::InList {
+            expr,
+            list,
+            negated,
+        } => PhysExpr::InList {
             expr: Box::new(resolve_simple(expr, schema, table)?),
             list: list
                 .iter()
@@ -447,7 +498,12 @@ fn resolve_simple(
                 .collect::<Result<_, _>>()?,
             negated: *negated,
         },
-        S::Between { expr, low, high, negated } => PhysExpr::Between {
+        S::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => PhysExpr::Between {
             expr: Box::new(resolve_simple(expr, schema, table)?),
             low: Box::new(resolve_simple(low, schema, table)?),
             high: Box::new(resolve_simple(high, schema, table)?),
@@ -457,7 +513,11 @@ fn resolve_simple(
             expr: Box::new(resolve_simple(expr, schema, table)?),
             negated: *negated,
         },
-        S::Like { expr, pattern, negated } => PhysExpr::Like {
+        S::Like {
+            expr,
+            pattern,
+            negated,
+        } => PhysExpr::Like {
             expr: Box::new(resolve_simple(expr, schema, table)?),
             pattern: Box::new(resolve_simple(pattern, schema, table)?),
             negated: *negated,
@@ -504,8 +564,9 @@ fn align_insert(
                     .position(|c| c.eq_ignore_ascii_case(&field.name));
                 match src {
                     Some(i) => out_cols.push(batch.column(i).cast(field.dtype)?),
-                    None => out_cols
-                        .push(sigma_value::Column::nulls(field.dtype, batch.num_rows())),
+                    None => {
+                        out_cols.push(sigma_value::Column::nulls(field.dtype, batch.num_rows()))
+                    }
                 }
             }
         }

@@ -23,7 +23,10 @@ pub struct StoredTable {
 
 impl StoredTable {
     pub fn empty(schema: Arc<Schema>) -> StoredTable {
-        StoredTable { schema, partitions: Vec::new() }
+        StoredTable {
+            schema,
+            partitions: Vec::new(),
+        }
     }
 
     /// Build from a single batch, splitting into partitions of
@@ -81,8 +84,8 @@ impl StoredTable {
             }
         }
         // Re-tag the batch with the table's schema so names line up.
-        let retagged = Batch::new(self.schema.clone(), batch.columns().to_vec())
-            .map_err(CdwError::from)?;
+        let retagged =
+            Batch::new(self.schema.clone(), batch.columns().to_vec()).map_err(CdwError::from)?;
         self.partitions.push(retagged);
         Ok(())
     }

@@ -89,7 +89,7 @@ pub fn compute_window(
 /// Effective ROWS frame for a call: explicit, else running when ordered,
 /// else the whole partition.
 fn effective_frame(call: &WindowCall) -> WindowFrame {
-    call.frame.unwrap_or_else(|| {
+    call.frame.unwrap_or({
         if call.order.is_empty() {
             WindowFrame {
                 start: FrameBound::UnboundedPreceding,
@@ -247,7 +247,10 @@ fn compute_partition(
                     WinFunc::NthValue => {
                         let k = arg_cols[1].value(row).as_i64().unwrap_or(1).max(1) as usize;
                         if call.ignore_nulls {
-                            (s..e).map(|j| arg(0, j)).filter(|v| !v.is_null()).nth(k - 1)
+                            (s..e)
+                                .map(|j| arg(0, j))
+                                .filter(|v| !v.is_null())
+                                .nth(k - 1)
                         } else {
                             (s + k <= e).then(|| arg(0, s + k - 1))
                         }
@@ -261,7 +264,11 @@ fn compute_partition(
             let frame = effective_frame(call);
             let running = frame.start == FrameBound::UnboundedPreceding
                 && frame.end == FrameBound::CurrentRow;
-            if running && matches!(f, AggFunc::Sum | AggFunc::Avg | AggFunc::Count | AggFunc::CountStar)
+            if running
+                && matches!(
+                    f,
+                    AggFunc::Sum | AggFunc::Avg | AggFunc::Count | AggFunc::CountStar
+                )
             {
                 // Incremental running accumulation.
                 let mut sum = 0.0f64;
@@ -315,10 +322,8 @@ fn compute_partition(
                     let (s, e) = frame_range(&frame, i, n);
                     // Preserve Int-ness of SUM over Int columns (matches
                     // the planner's output type).
-                    let mut state = crate::exec::AggState::new_for(
-                        f,
-                        arg_cols.first().map(|c| c.dtype()),
-                    );
+                    let mut state =
+                        crate::exec::AggState::new_for(f, arg_cols.first().map(|c| c.dtype()));
                     for j in s..e {
                         if matches!(f, AggFunc::CountStar) {
                             state.update(&Value::Int(1));

@@ -56,16 +56,20 @@ fn constant_folding_inlines_literals() {
 fn filter_pushed_below_projection_and_sort() {
     let wh = wh();
     let plan = wh
-        .plan_sql(
-            "SELECT x FROM (SELECT a + 1 AS x, c FROM t ORDER BY a) s WHERE x > 10",
-        )
+        .plan_sql("SELECT x FROM (SELECT a + 1 AS x, c FROM t ORDER BY a) s WHERE x > 10")
         .unwrap();
     let explain = plan.explain();
     let filter = explain.find("Filter").expect("filter exists");
     let sort = explain.find("Sort").expect("sort exists");
     let scan = explain.find("Scan").expect("scan exists");
-    assert!(filter > 0 && filter < scan, "filter should sit near the scan:\n{explain}");
-    assert!(sort < filter, "filter should be pushed below the sort:\n{explain}");
+    assert!(
+        filter > 0 && filter < scan,
+        "filter should sit near the scan:\n{explain}"
+    );
+    assert!(
+        sort < filter,
+        "filter should be pushed below the sort:\n{explain}"
+    );
 }
 
 #[test]
@@ -80,10 +84,7 @@ fn filter_split_across_join_sides() {
     let explain = plan.explain();
     // Both conjuncts push into their own sides: two filters below the join.
     let join_pos = explain.find("Join").expect("join exists");
-    let filters: Vec<usize> = explain
-        .match_indices("Filter")
-        .map(|(i, _)| i)
-        .collect();
+    let filters: Vec<usize> = explain.match_indices("Filter").map(|(i, _)| i).collect();
     assert_eq!(filters.len(), 2, "{explain}");
     assert!(filters.iter().all(|&f| f > join_pos), "{explain}");
 }
@@ -122,17 +123,20 @@ fn left_join_right_filter_not_pushed() {
     // For LEFT JOIN, a WHERE on the right side cannot push into the right
     // input (it would change null-extension semantics) — it must stay above.
     let plan = wh
-        .plan_sql(
-            "SELECT t.a FROM t LEFT JOIN dim ON t.a = dim.k WHERE dim.label IS NULL",
-        )
+        .plan_sql("SELECT t.a FROM t LEFT JOIN dim ON t.a = dim.k WHERE dim.label IS NULL")
         .unwrap();
     let explain = plan.explain();
     let join_pos = explain.find("Join").expect("join");
     let filter_pos = explain.find("Filter").expect("filter");
-    assert!(filter_pos < join_pos, "filter must stay above the join:\n{explain}");
+    assert!(
+        filter_pos < join_pos,
+        "filter must stay above the join:\n{explain}"
+    );
     // And the semantics hold: rows 10..99 have no dim match.
     let rows = wh
-        .execute_sql("SELECT COUNT(*) AS n FROM t LEFT JOIN dim ON t.a = dim.k WHERE dim.label IS NULL")
+        .execute_sql(
+            "SELECT COUNT(*) AS n FROM t LEFT JOIN dim ON t.a = dim.k WHERE dim.label IS NULL",
+        )
         .unwrap()
         .batch;
     assert_eq!(rows.value(0, 0), sigma_value::Value::Int(90));

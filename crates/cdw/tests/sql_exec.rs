@@ -20,7 +20,10 @@ fn wh() -> Warehouse {
         vec![
             Column::from_ints(vec![1, 2, 3, 4, 5, 6]),
             Column::from_texts(
-                ["AA", "AA", "UA", "UA", "DL", "DL"].iter().map(|s| s.to_string()).collect(),
+                ["AA", "AA", "UA", "UA", "DL", "DL"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
             ),
             Column::from_opt_floats(vec![
                 Some(5.0),
@@ -59,7 +62,10 @@ fn cell(b: &Batch, r: usize, c: usize) -> Value {
 #[test]
 fn select_where_order() {
     let wh = wh();
-    let b = q(&wh, "SELECT id, delay FROM flights WHERE delay > 10 ORDER BY delay DESC");
+    let b = q(
+        &wh,
+        "SELECT id, delay FROM flights WHERE delay > 10 ORDER BY delay DESC",
+    );
     assert_eq!(b.num_rows(), 3);
     assert_eq!(cell(&b, 0, 0), Value::Int(4)); // 45.0
     assert_eq!(cell(&b, 1, 0), Value::Int(6)); // 30.0
@@ -85,7 +91,10 @@ fn group_by_with_having() {
 #[test]
 fn global_aggregate_over_empty_filter() {
     let wh = wh();
-    let b = q(&wh, "SELECT COUNT(*) AS n, SUM(delay) AS s FROM flights WHERE id > 100");
+    let b = q(
+        &wh,
+        "SELECT COUNT(*) AS n, SUM(delay) AS s FROM flights WHERE id > 100",
+    );
     assert_eq!(b.num_rows(), 1);
     assert_eq!(cell(&b, 0, 0), Value::Int(0));
     assert_eq!(cell(&b, 0, 1), Value::Null);
@@ -94,10 +103,16 @@ fn global_aggregate_over_empty_filter() {
 #[test]
 fn count_distinct_and_attr() {
     let wh = wh();
-    let b = q(&wh, "SELECT COUNT(DISTINCT carrier) AS c, ATTR(carrier) AS a FROM flights");
+    let b = q(
+        &wh,
+        "SELECT COUNT(DISTINCT carrier) AS c, ATTR(carrier) AS a FROM flights",
+    );
     assert_eq!(cell(&b, 0, 0), Value::Int(3));
     assert_eq!(cell(&b, 0, 1), Value::Null); // conflicting values
-    let b2 = q(&wh, "SELECT ATTR(carrier) AS a FROM flights WHERE carrier = 'AA'");
+    let b2 = q(
+        &wh,
+        "SELECT ATTR(carrier) AS a FROM flights WHERE carrier = 'AA'",
+    );
     assert_eq!(cell(&b2, 0, 0), Value::Text("AA".into()));
 }
 
@@ -142,7 +157,10 @@ fn date_functions_in_sql() {
          GROUP BY DATE_TRUNC('month', day) ORDER BY m",
     );
     assert_eq!(b.num_rows(), 3);
-    assert_eq!(cell(&b, 0, 0), Value::Date(calendar::days_from_civil(2020, 1, 1)));
+    assert_eq!(
+        cell(&b, 0, 0),
+        Value::Date(calendar::days_from_civil(2020, 1, 1))
+    );
     assert_eq!(cell(&b, 0, 1), Value::Int(3));
 }
 
@@ -240,13 +258,7 @@ fn last_value_ignore_nulls_filldown() {
         schema,
         vec![
             Column::from_ints(vec![1, 2, 3, 4, 5]),
-            Column::from_opt_texts(vec![
-                Some("a".into()),
-                None,
-                None,
-                Some("b".into()),
-                None,
-            ]),
+            Column::from_opt_texts(vec![Some("a".into()), None, None, Some("b".into()), None]),
         ],
     )
     .unwrap();
@@ -291,7 +303,7 @@ fn moving_average_frame() {
     );
     assert_eq!(cell(&b, 0, 1), Value::Float(5.0));
     assert_eq!(cell(&b, 1, 1), Value::Float(10.0)); // (5+15)/2
-    // Row 3: delay NULL; frame covers (15, NULL) -> avg 15.
+                                                    // Row 3: delay NULL; frame covers (15, NULL) -> avg 15.
     assert_eq!(cell(&b, 2, 1), Value::Float(15.0));
 }
 
@@ -337,22 +349,31 @@ fn order_by_non_projected_column() {
 #[test]
 fn ddl_dml_lifecycle() {
     let wh = wh();
-    wh.execute_sql("CREATE TABLE notes (id BIGINT, txt VARCHAR)").unwrap();
-    wh.execute_sql("INSERT INTO notes VALUES (1, 'first'), (2, 'second')").unwrap();
-    let r = wh.execute_sql("INSERT INTO notes (txt, id) VALUES ('third', 3)").unwrap();
+    wh.execute_sql("CREATE TABLE notes (id BIGINT, txt VARCHAR)")
+        .unwrap();
+    wh.execute_sql("INSERT INTO notes VALUES (1, 'first'), (2, 'second')")
+        .unwrap();
+    let r = wh
+        .execute_sql("INSERT INTO notes (txt, id) VALUES ('third', 3)")
+        .unwrap();
     assert_eq!(r.rows_affected, 1);
     let b = q(&wh, "SELECT * FROM notes ORDER BY id");
     assert_eq!(b.num_rows(), 3);
     assert_eq!(cell(&b, 2, 1), Value::Text("third".into()));
 
-    let u = wh.execute_sql("UPDATE notes SET txt = 'edited' WHERE id = 2").unwrap();
+    let u = wh
+        .execute_sql("UPDATE notes SET txt = 'edited' WHERE id = 2")
+        .unwrap();
     assert_eq!(u.rows_affected, 1);
     let b = q(&wh, "SELECT txt FROM notes WHERE id = 2");
     assert_eq!(cell(&b, 0, 0), Value::Text("edited".into()));
 
     let d = wh.execute_sql("DELETE FROM notes WHERE id = 1").unwrap();
     assert_eq!(d.rows_affected, 1);
-    assert_eq!(q(&wh, "SELECT COUNT(*) AS n FROM notes").value(0, 0), Value::Int(2));
+    assert_eq!(
+        q(&wh, "SELECT COUNT(*) AS n FROM notes").value(0, 0),
+        Value::Int(2)
+    );
 
     wh.execute_sql("DROP TABLE notes").unwrap();
     assert!(wh.execute_sql("SELECT * FROM notes").is_err());
@@ -366,11 +387,16 @@ fn create_table_as_and_result_scan() {
     let b = q(&wh, "SELECT * FROM mat ORDER BY carrier");
     assert_eq!(b.num_rows(), 3);
 
-    let r = wh.execute_sql("SELECT id FROM flights WHERE cancelled ORDER BY id").unwrap();
+    let r = wh
+        .execute_sql("SELECT id FROM flights WHERE cancelled ORDER BY id")
+        .unwrap();
     assert_eq!(r.batch.num_rows(), 2);
     let re = q(
         &wh,
-        &format!("SELECT COUNT(*) AS n FROM TABLE(RESULT_SCAN('{}')) AS r", r.query_id),
+        &format!(
+            "SELECT COUNT(*) AS n FROM TABLE(RESULT_SCAN('{}')) AS r",
+            r.query_id
+        ),
     );
     assert_eq!(re.value(0, 0), Value::Int(2));
 }
@@ -429,7 +455,9 @@ fn nonexistent_table_and_column_errors() {
     let wh = wh();
     assert!(wh.execute_sql("SELECT * FROM nope").is_err());
     assert!(wh.execute_sql("SELECT nope FROM flights").is_err());
-    assert!(wh.execute_sql("SELECT delay FROM flights GROUP BY carrier").is_err());
+    assert!(wh
+        .execute_sql("SELECT delay FROM flights GROUP BY carrier")
+        .is_err());
 }
 
 #[test]
@@ -441,7 +469,10 @@ fn in_between_like() {
          ORDER BY id",
     );
     assert_eq!(b.num_rows(), 4);
-    let l = q(&wh, "SELECT id FROM flights WHERE carrier LIKE 'A%' ORDER BY id");
+    let l = q(
+        &wh,
+        "SELECT id FROM flights WHERE carrier LIKE 'A%' ORDER BY id",
+    );
     assert_eq!(l.num_rows(), 2);
 }
 

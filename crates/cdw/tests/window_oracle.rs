@@ -27,14 +27,14 @@ fn load(values: &[(i64, Option<i64>)]) -> Warehouse {
 
 /// Naive frame sum: rows of the same group ordered by pos, ROWS BETWEEN
 /// `back` PRECEDING AND `fwd` FOLLOWING.
-fn oracle_sum(
-    values: &[(i64, Option<i64>)],
-    back: usize,
-    fwd: usize,
-) -> Vec<Option<i64>> {
+fn oracle_sum(values: &[(i64, Option<i64>)], back: usize, fwd: usize) -> Vec<Option<i64>> {
     let n = values.len();
     let mut out = vec![None; n];
-    for g in values.iter().map(|(g, _)| *g).collect::<std::collections::BTreeSet<_>>() {
+    for g in values
+        .iter()
+        .map(|(g, _)| *g)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
         let rows: Vec<usize> = (0..n).filter(|&i| values[i].0 == g).collect();
         for (idx, &row) in rows.iter().enumerate() {
             let start = idx.saturating_sub(back);

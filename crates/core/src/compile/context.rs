@@ -99,9 +99,8 @@ impl<'a> TableCtx<'a> {
                     ColumnOrigin::SourceCol(raw.clone())
                 }
                 ColumnExpr::Formula(text) => ColumnOrigin::Formula(
-                    parse_formula(text).map_err(|e| {
-                        CoreError::Formula(format!("column {}: {e}", def.name))
-                    })?,
+                    parse_formula(text)
+                        .map_err(|e| CoreError::Formula(format!("column {}: {e}", def.name)))?,
                 ),
             };
             ctx.columns.push(ColumnInfo {
@@ -183,7 +182,9 @@ impl<'a> TableCtx<'a> {
         let mut self_shadows: Vec<String> = Vec::new();
         for col in &mut self.columns {
             let own = col.name.clone();
-            let ColumnOrigin::Formula(f) = &mut col.origin else { continue };
+            let ColumnOrigin::Formula(f) = &mut col.origin else {
+                continue;
+            };
             let mut rewrote = false;
             analyze::walk_mut(f, &mut |node| {
                 if let Formula::Ref(r) = node {
@@ -219,7 +220,9 @@ impl<'a> TableCtx<'a> {
 
         let mut to_add: Vec<String> = Vec::new();
         for col in &self.columns {
-            let ColumnOrigin::Formula(f) = &col.origin else { continue };
+            let ColumnOrigin::Formula(f) = &col.origin else {
+                continue;
+            };
             for name in analyze::local_ref_names(f) {
                 let known = self.column(&name).is_some()
                     || self.compiler.workbook.control(&name).is_some()
@@ -248,7 +251,9 @@ impl<'a> TableCtx<'a> {
         let mut lookups: Vec<LookupJoin> = Vec::new();
         let mut new_columns = self.columns.clone();
         for col in &mut new_columns {
-            let ColumnOrigin::Formula(f) = &mut col.origin else { continue };
+            let ColumnOrigin::Formula(f) = &mut col.origin else {
+                continue;
+            };
             let mut formula = f.clone();
             rewrite_specials(&mut formula, &mut lookups, &self.element_name)?;
             *f = formula;
@@ -291,7 +296,9 @@ impl<'a> TableCtx<'a> {
         let mut counter = 0usize;
         for col in &mut self.columns {
             let level = col.level;
-            let ColumnOrigin::Formula(f) = &mut col.origin else { continue };
+            let ColumnOrigin::Formula(f) = &mut col.origin else {
+                continue;
+            };
             if level == 0 && analyze::has_aggregate(f) {
                 return Err(CoreError::Type(format!(
                     "column {}: aggregates cannot reside at the base level; move the column to a grouping level",
@@ -400,9 +407,7 @@ impl<'a> TableCtx<'a> {
             match state.get(&key) {
                 Some(2) => return Ok(()),
                 Some(1) => {
-                    return Err(CoreError::Cycle(format!(
-                        "column {name} depends on itself"
-                    )))
+                    return Err(CoreError::Cycle(format!("column {name} depends on itself")))
                 }
                 _ => {}
             }
@@ -467,7 +472,9 @@ impl<'a> TableCtx<'a> {
         ) {
             match f {
                 Formula::Ref(r) if r.element.is_none() => {
-                    let Some(dep) = ctx.column(&r.name) else { return };
+                    let Some(dep) = ctx.column(&r.name) else {
+                        return;
+                    };
                     let key = r.name.to_ascii_lowercase();
                     let dep_phase = *phases.get(&key).unwrap_or(&dep.phase);
                     if dep.level > level {
@@ -486,10 +493,18 @@ impl<'a> TableCtx<'a> {
                     }
                 }
                 Formula::Call { func, args } => {
-                    let is_window = sigma_expr::registry(func)
-                        .is_some_and(|d| d.kind == FunctionKind::Window);
+                    let is_window =
+                        sigma_expr::registry(func).is_some_and(|d| d.kind == FunctionKind::Window);
                     for a in args {
-                        walk(ctx, a, level, in_window_arg || is_window, phases, windowed, phase);
+                        walk(
+                            ctx,
+                            a,
+                            level,
+                            in_window_arg || is_window,
+                            phases,
+                            windowed,
+                            phase,
+                        );
                     }
                 }
                 Formula::Unary { expr, .. } => {
@@ -527,9 +542,7 @@ impl<'a> TableCtx<'a> {
                 )
                 .collect()
         } else {
-            let compiled = self
-                .compiler
-                .compile_element_unchecked(&lr.target)?;
+            let compiled = self.compiler.compile_element_unchecked(&lr.target)?;
             compiled
                 .output
                 .iter()
@@ -568,8 +581,12 @@ fn rewrite_specials(
         }
         Formula::Literal(_) | Formula::Ref(_) => {}
     }
-    let Formula::Call { func, args } = f else { return Ok(()) };
-    let Some(def) = sigma_expr::registry(func) else { return Ok(()) };
+    let Formula::Call { func, args } = f else {
+        return Ok(());
+    };
+    let Some(def) = sigma_expr::registry(func) else {
+        return Ok(());
+    };
     if def.kind != FunctionKind::Special {
         return Ok(());
     }
@@ -789,9 +806,10 @@ pub(crate) fn source_schema(
 ) -> Result<Vec<Field>, CoreError> {
     match source {
         DataSource::WarehouseTable { table } | DataSource::Csv { table } => {
-            let schema: Arc<Schema> = compiler.schemas.table_schema(table).ok_or_else(|| {
-                CoreError::Unresolved(format!("warehouse table {table}"))
-            })?;
+            let schema: Arc<Schema> = compiler
+                .schemas
+                .table_schema(table)
+                .ok_or_else(|| CoreError::Unresolved(format!("warehouse table {table}")))?;
             Ok(schema.fields().to_vec())
         }
         DataSource::RawSql { sql } => {

@@ -7,9 +7,7 @@
 //! spreadsheet-language → SQL dictionary.
 
 use sigma_expr::{BinaryOp, ColumnRef, Formula, FunctionKind, UnaryOp};
-use sigma_sql::{
-    FrameBound, SqlBinaryOp, SqlExpr, SqlUnaryOp, WindowFrame, WindowSpec,
-};
+use sigma_sql::{FrameBound, SqlBinaryOp, SqlExpr, SqlUnaryOp, WindowFrame, WindowSpec};
 use sigma_value::{DataType, Value};
 
 use super::context::{ColumnInfo, TableCtx};
@@ -65,8 +63,14 @@ pub(crate) fn lower(f: &Formula, site: &dyn Site) -> Result<SqlExpr, CoreError> 
         Formula::Unary { op, expr } => {
             let inner = lower(expr, site)?;
             Ok(match op {
-                UnaryOp::Neg => SqlExpr::Unary { op: SqlUnaryOp::Neg, expr: Box::new(inner) },
-                UnaryOp::Not => SqlExpr::Unary { op: SqlUnaryOp::Not, expr: Box::new(inner) },
+                UnaryOp::Neg => SqlExpr::Unary {
+                    op: SqlUnaryOp::Neg,
+                    expr: Box::new(inner),
+                },
+                UnaryOp::Not => SqlExpr::Unary {
+                    op: SqlUnaryOp::Not,
+                    expr: Box::new(inner),
+                },
             })
         }
         Formula::Binary { op, left, right } => {
@@ -121,7 +125,10 @@ fn lower_ref(r: &ColumnRef, site: &dyn Site) -> Result<SqlExpr, CoreError> {
         // Control binding: inline the current value as a literal.
         return Ok(SqlExpr::Literal(control.value.clone()));
     }
-    Err(CoreError::Unresolved(format!("column or control [{}]", r.name)))
+    Err(CoreError::Unresolved(format!(
+        "column or control [{}]",
+        r.name
+    )))
 }
 
 fn lower_call(func: &str, args: &[Formula], site: &dyn Site) -> Result<SqlExpr, CoreError> {
@@ -206,8 +213,16 @@ fn lower_scalar(name: &str, args: &[Formula], site: &dyn Site) -> Result<SqlExpr
                 whens.push((a(i)?, a(i + 1)?));
                 i += 2;
             }
-            let else_ = if i < args.len() { Some(Box::new(a(i)?)) } else { None };
-            SqlExpr::Case { operand: None, whens, else_ }
+            let else_ = if i < args.len() {
+                Some(Box::new(a(i)?))
+            } else {
+                None
+            };
+            SqlExpr::Case {
+                operand: None,
+                whens,
+                else_,
+            }
         }
         "Switch" => {
             let operand = Some(Box::new(a(0)?));
@@ -217,11 +232,25 @@ fn lower_scalar(name: &str, args: &[Formula], site: &dyn Site) -> Result<SqlExpr
                 whens.push((a(i)?, a(i + 1)?));
                 i += 2;
             }
-            let else_ = if i < args.len() { Some(Box::new(a(i)?)) } else { None };
-            SqlExpr::Case { operand, whens, else_ }
+            let else_ = if i < args.len() {
+                Some(Box::new(a(i)?))
+            } else {
+                None
+            };
+            SqlExpr::Case {
+                operand,
+                whens,
+                else_,
+            }
         }
-        "IsNull" => SqlExpr::IsNull { expr: Box::new(a(0)?), negated: false },
-        "IsNotNull" => SqlExpr::IsNull { expr: Box::new(a(0)?), negated: true },
+        "IsNull" => SqlExpr::IsNull {
+            expr: Box::new(a(0)?),
+            negated: false,
+        },
+        "IsNotNull" => SqlExpr::IsNull {
+            expr: Box::new(a(0)?),
+            negated: true,
+        },
         "Coalesce" | "IfNull" => SqlExpr::func("COALESCE", lower_all(args, site)?),
         "Nullif" => SqlExpr::func("NULLIF", lower_all(args, site)?),
         "OneOf" => SqlExpr::InList {
@@ -238,10 +267,22 @@ fn lower_scalar(name: &str, args: &[Formula], site: &dyn Site) -> Result<SqlExpr
             high: Box::new(a(2)?),
             negated: false,
         },
-        "Number" => SqlExpr::Cast { expr: Box::new(a(0)?), dtype: DataType::Float },
-        "Text" => SqlExpr::Cast { expr: Box::new(a(0)?), dtype: DataType::Text },
-        "Date" => SqlExpr::Cast { expr: Box::new(a(0)?), dtype: DataType::Date },
-        "DateTime" => SqlExpr::Cast { expr: Box::new(a(0)?), dtype: DataType::Timestamp },
+        "Number" => SqlExpr::Cast {
+            expr: Box::new(a(0)?),
+            dtype: DataType::Float,
+        },
+        "Text" => SqlExpr::Cast {
+            expr: Box::new(a(0)?),
+            dtype: DataType::Text,
+        },
+        "Date" => SqlExpr::Cast {
+            expr: Box::new(a(0)?),
+            dtype: DataType::Date,
+        },
+        "DateTime" => SqlExpr::Cast {
+            expr: Box::new(a(0)?),
+            dtype: DataType::Timestamp,
+        },
         "Today" => SqlExpr::func("CURRENT_DATE", vec![]),
         "Now" => SqlExpr::func("CURRENT_TIMESTAMP", vec![]),
         "DateTrunc" => SqlExpr::func("DATE_TRUNC", vec![unit_arg(args)?, a(1)?]),
@@ -318,9 +359,7 @@ fn lower_aggregate(name: &str, args: &[Formula], site: &dyn Site) -> Result<SqlE
         "Variance" => SqlExpr::func("VARIANCE", vec![arg(0)?]),
         "Percentile" => {
             let frac = match &args[1] {
-                Formula::Literal(v) if v.as_f64().is_some() => {
-                    SqlExpr::Literal(v.clone())
-                }
+                Formula::Literal(v) if v.as_f64().is_some() => SqlExpr::Literal(v.clone()),
                 _ => {
                     return Err(CoreError::Compile(
                         "Percentile's fraction must be a numeric literal".into(),
@@ -389,7 +428,12 @@ fn lower_window(name: &str, args: &[Formula], site: &dyn Site) -> Result<SqlExpr
             for i in 1..args.len() {
                 wargs.push(a(i)?);
             }
-            win(if name == "Lag" { "LAG" } else { "LEAD" }, wargs, false, None)
+            win(
+                if name == "Lag" { "LAG" } else { "LEAD" },
+                wargs,
+                false,
+                None,
+            )
         }
         "First" => win("FIRST_VALUE", vec![a(0)?], false, Some(whole)),
         "Last" => win("LAST_VALUE", vec![a(0)?], false, Some(whole)),
@@ -399,7 +443,11 @@ fn lower_window(name: &str, args: &[Formula], site: &dyn Site) -> Result<SqlExpr
         "RunningMin" => win("MIN", vec![a(0)?], false, Some(running)),
         "RunningMax" => win("MAX", vec![a(0)?], false, Some(running)),
         "RunningCount" => {
-            let wargs = if args.is_empty() { vec![SqlExpr::Star] } else { vec![a(0)?] };
+            let wargs = if args.is_empty() {
+                vec![SqlExpr::Star]
+            } else {
+                vec![a(0)?]
+            };
             win("COUNT", wargs, false, Some(running))
         }
         "MovingAvg" | "MovingSum" | "MovingMin" | "MovingMax" => {
@@ -411,7 +459,11 @@ fn lower_window(name: &str, args: &[Formula], site: &dyn Site) -> Result<SqlExpr
             };
             let frame = WindowFrame {
                 start: FrameBound::Preceding(back),
-                end: if fwd == 0 { FrameBound::CurrentRow } else { FrameBound::Following(fwd) },
+                end: if fwd == 0 {
+                    FrameBound::CurrentRow
+                } else {
+                    FrameBound::Following(fwd)
+                },
             };
             let sql_name = match name {
                 "MovingAvg" => "AVG",
@@ -473,15 +525,18 @@ pub(crate) fn filter_predicate(
                 CoreError::Document("range filter needs at least one bound".into())
             })?
         }
-        FilterPredicate::Contains(text) => SqlExpr::func(
-            "CONTAINS",
-            vec![value, SqlExpr::lit(text.as_str())],
-        ),
-        FilterPredicate::Equals(v) => {
-            SqlExpr::eq(value, SqlExpr::Literal(v.clone()))
+        FilterPredicate::Contains(text) => {
+            SqlExpr::func("CONTAINS", vec![value, SqlExpr::lit(text.as_str())])
         }
-        FilterPredicate::IsNull => SqlExpr::IsNull { expr: Box::new(value), negated: false },
-        FilterPredicate::IsNotNull => SqlExpr::IsNull { expr: Box::new(value), negated: true },
+        FilterPredicate::Equals(v) => SqlExpr::eq(value, SqlExpr::Literal(v.clone())),
+        FilterPredicate::IsNull => SqlExpr::IsNull {
+            expr: Box::new(value),
+            negated: false,
+        },
+        FilterPredicate::IsNotNull => SqlExpr::IsNull {
+            expr: Box::new(value),
+            negated: true,
+        },
     })
 }
 
@@ -492,7 +547,10 @@ pub(crate) fn null_safe_key(expr: SqlExpr) -> SqlExpr {
     SqlExpr::func(
         "COALESCE",
         vec![
-            SqlExpr::Cast { expr: Box::new(expr), dtype: DataType::Text },
+            SqlExpr::Cast {
+                expr: Box::new(expr),
+                dtype: DataType::Text,
+            },
             SqlExpr::lit("\u{1}<null>"),
         ],
     )

@@ -56,7 +56,10 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { dialect: Dialect::generic(), materializations: HashMap::new() }
+        CompileOptions {
+            dialect: Dialect::generic(),
+            materializations: HashMap::new(),
+        }
     }
 }
 
@@ -85,7 +88,11 @@ impl<'a> Compiler<'a> {
         schemas: &'a dyn SchemaProvider,
         options: CompileOptions,
     ) -> Compiler<'a> {
-        Compiler { workbook, schemas, options }
+        Compiler {
+            workbook,
+            schemas,
+            options,
+        }
     }
 
     /// Compile a data element by name.
@@ -96,10 +103,7 @@ impl<'a> Compiler<'a> {
         self.compile_element_unchecked(name)
     }
 
-    pub(crate) fn compile_element_unchecked(
-        &self,
-        name: &str,
-    ) -> Result<CompiledQuery, CoreError> {
+    pub(crate) fn compile_element_unchecked(&self, name: &str) -> Result<CompiledQuery, CoreError> {
         let element = self
             .workbook
             .element(name)
@@ -118,8 +122,7 @@ impl<'a> Compiler<'a> {
                 })?;
                 // Input elements read back their projection (minus the
                 // bookkeeping row id).
-                let mut spec =
-                    TableSpec::new(crate::table::DataSource::WarehouseTable { table });
+                let mut spec = TableSpec::new(crate::table::DataSource::WarehouseTable { table });
                 for (col, _) in &input.columns {
                     spec.add_column(crate::table::ColumnDef::source(col.clone(), col.clone()))?;
                 }

@@ -3,15 +3,15 @@
 
 use std::collections::HashMap;
 
-use sigma_expr::{analyze, Formula, FunctionKind};
-use sigma_sql::{
-    Join, JoinKind, ObjectName, OrderExpr, Query, Select, SelectItem, SetExpr, SqlExpr,
-    TableRef, WindowSpec,
-};
 use super::context::{ColumnInfo, ColumnOrigin, LookupJoin, TableCtx};
 use super::formula::{filter_predicate, lower, null_safe_key, Site};
 use crate::error::CoreError;
 use crate::table::{DataSource, SourceLink};
+use sigma_expr::{analyze, Formula, FunctionKind};
+use sigma_sql::{
+    Join, JoinKind, ObjectName, OrderExpr, Query, Select, SelectItem, SetExpr, SqlExpr, TableRef,
+    WindowSpec,
+};
 
 /// Build the complete query for a table context.
 pub(crate) fn build_query(ctx: &TableCtx<'_>) -> Result<Query, CoreError> {
@@ -85,7 +85,10 @@ impl<'a, 'b> Builder<'a, 'b> {
             DataSource::RawSql { sql } => {
                 let query = sigma_sql::parse_query(sql)
                     .map_err(|e| CoreError::Compile(format!("raw SQL source: {e}")))?;
-                Ok(TableRef::Subquery { query: Box::new(query), alias: alias.to_string() })
+                Ok(TableRef::Subquery {
+                    query: Box::new(query),
+                    alias: alias.to_string(),
+                })
             }
             DataSource::Element { name } => {
                 if let Some(table) = self
@@ -143,17 +146,29 @@ impl<'a, 'b> Builder<'a, 'b> {
         let mut union_sources = Vec::new();
         for (i, link) in spec.links.iter().enumerate() {
             match link {
-                SourceLink::Join { source, on, left_outer, prefix: _ } => {
+                SourceLink::Join {
+                    source,
+                    on,
+                    left_outer,
+                    prefix: _,
+                } => {
                     let alias = format!("j{i}");
                     let rel = self.source_relation(source, &alias)?;
                     let on_expr = SqlExpr::conjunction(on.iter().map(|(l, r)| {
-                        SqlExpr::eq(SqlExpr::qcol("s", l.clone()), SqlExpr::qcol(&alias, r.clone()))
+                        SqlExpr::eq(
+                            SqlExpr::qcol("s", l.clone()),
+                            SqlExpr::qcol(&alias, r.clone()),
+                        )
                     }))
                     .ok_or_else(|| {
                         CoreError::Document("join links need at least one key pair".into())
                     })?;
                     select.joins.push(Join {
-                        kind: if *left_outer { JoinKind::Left } else { JoinKind::Inner },
+                        kind: if *left_outer {
+                            JoinKind::Left
+                        } else {
+                            JoinKind::Inner
+                        },
                         relation: rel,
                         on: Some(on_expr),
                     });
@@ -164,15 +179,13 @@ impl<'a, 'b> Builder<'a, 'b> {
         select.from = Some(primary);
         // Select every source field under its combined name. Joined fields
         // arrive prefixed; their origin alias/name must be reconstructed.
-        let primary_fields = super::context::source_schema(
-            self.ctx.compiler,
-            &spec.source,
-            &self.ctx.element_name,
-        )?;
+        let primary_fields =
+            super::context::source_schema(self.ctx.compiler, &spec.source, &self.ctx.element_name)?;
         for f in &primary_fields {
-            select
-                .projection
-                .push(SelectItem::aliased(SqlExpr::qcol("s", f.name.clone()), f.name.clone()));
+            select.projection.push(SelectItem::aliased(
+                SqlExpr::qcol("s", f.name.clone()),
+                f.name.clone(),
+            ));
         }
         for (i, link) in spec.links.iter().enumerate() {
             if let SourceLink::Join { source, prefix, .. } = link {
@@ -195,11 +208,8 @@ impl<'a, 'b> Builder<'a, 'b> {
         for (u, source) in union_sources.into_iter().enumerate() {
             let alias = format!("u{u}");
             let rel = self.source_relation(source, &alias)?;
-            let fields = super::context::source_schema(
-                self.ctx.compiler,
-                source,
-                &self.ctx.element_name,
-            )?;
+            let fields =
+                super::context::source_schema(self.ctx.compiler, source, &self.ctx.element_name)?;
             let mut s = Select::new();
             s.from = Some(rel);
             for f in &self.ctx.source_fields {
@@ -210,7 +220,10 @@ impl<'a, 'b> Builder<'a, 'b> {
                         if m.dtype == f.dtype {
                             raw
                         } else {
-                            SqlExpr::Cast { expr: Box::new(raw), dtype: f.dtype }
+                            SqlExpr::Cast {
+                                expr: Box::new(raw),
+                                dtype: f.dtype,
+                            }
                         }
                     }
                     None => SqlExpr::Cast {
@@ -222,7 +235,13 @@ impl<'a, 'b> Builder<'a, 'b> {
             }
             body = SetExpr::UnionAll(Box::new(body), Box::new(SetExpr::Select(Box::new(s))));
         }
-        let input_query = Query { ctes: Vec::new(), body, order_by: vec![], limit: None, offset: None };
+        let input_query = Query {
+            ctes: Vec::new(),
+            body,
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        };
 
         if self.ctx.lookups.is_empty() {
             self.push_cte(SOURCE_CTE.to_string(), input_query);
@@ -238,16 +257,20 @@ impl<'a, 'b> Builder<'a, 'b> {
             alias: Some("i".into()),
         });
         for f in &self.ctx.source_fields {
-            select
-                .projection
-                .push(SelectItem::aliased(SqlExpr::qcol("i", f.name.clone()), f.name.clone()));
+            select.projection.push(SelectItem::aliased(
+                SqlExpr::qcol("i", f.name.clone()),
+                f.name.clone(),
+            ));
         }
         let lookups = self.ctx.lookups.clone();
         for lr in &lookups {
             let sub = self.lookup_subquery(lr)?;
             let mut on = Vec::new();
             for (j, local) in lr.local_keys.iter().enumerate() {
-                let site = SourceKeySite { ctx: self.ctx, alias: "i" };
+                let site = SourceKeySite {
+                    ctx: self.ctx,
+                    alias: "i",
+                };
                 let local_expr = lower(local, &site)?;
                 on.push(SqlExpr::eq(
                     local_expr,
@@ -256,7 +279,10 @@ impl<'a, 'b> Builder<'a, 'b> {
             }
             select.joins.push(Join {
                 kind: JoinKind::Left,
-                relation: TableRef::Subquery { query: Box::new(sub), alias: lr.alias.clone() },
+                relation: TableRef::Subquery {
+                    query: Box::new(sub),
+                    alias: lr.alias.clone(),
+                },
                 on: SqlExpr::conjunction(on),
             });
             select.projection.push(SelectItem::aliased(
@@ -273,9 +299,14 @@ impl<'a, 'b> Builder<'a, 'b> {
     fn lookup_subquery(&mut self, lr: &LookupJoin) -> Result<Query, CoreError> {
         let from = if lr.is_self {
             // Self-joins read this element's own raw input.
-            TableRef::Table { name: ObjectName::bare(INPUT_CTE), alias: Some("t".into()) }
+            TableRef::Table {
+                name: ObjectName::bare(INPUT_CTE),
+                alias: Some("t".into()),
+            }
         } else {
-            let ds = DataSource::Element { name: lr.target.clone() };
+            let ds = DataSource::Element {
+                name: lr.target.clone(),
+            };
             self.source_relation(&ds, "t")?
         };
         // Lookup is Rollup with the virtual ATTR aggregate; by this point
@@ -283,7 +314,11 @@ impl<'a, 'b> Builder<'a, 'b> {
         debug_assert!(
             lr.is_rollup || matches!(&lr.value, Formula::Call { func, .. } if func == "ATTR")
         );
-        let site = TargetSite { ctx: self.ctx, lr, alias: "t" };
+        let site = TargetSite {
+            ctx: self.ctx,
+            lr,
+            alias: "t",
+        };
         let mut select = Select::new();
         select.from = Some(from);
         let mut group_by = Vec::new();
@@ -346,7 +381,9 @@ impl<'a, 'b> Builder<'a, 'b> {
     fn coarser_refs(&self, stage: usize, cols: &[ColumnInfo]) -> Vec<usize> {
         let mut out: Vec<usize> = Vec::new();
         for c in cols {
-            let ColumnOrigin::Formula(f) = &c.origin else { continue };
+            let ColumnOrigin::Formula(f) = &c.origin else {
+                continue;
+            };
             for r in analyze::column_refs(f) {
                 if r.element.is_some() {
                     continue;
@@ -416,10 +453,16 @@ impl<'a, 'b> Builder<'a, 'b> {
                 name: ObjectName::bare(SOURCE_CTE),
                 alias: None,
             });
-            let site = BaseSite { ctx: self.ctx, phase: 0, pass_alias: None };
+            let site = BaseSite {
+                ctx: self.ctx,
+                phase: 0,
+                pass_alias: None,
+            };
             for c in cols {
                 let e = self.lower_column(c, &site)?;
-                select.projection.push(SelectItem::aliased(e, c.name.clone()));
+                select
+                    .projection
+                    .push(SelectItem::aliased(e, c.name.clone()));
             }
         } else {
             let prior = self.current[0].clone().expect("base_0 exists");
@@ -435,10 +478,16 @@ impl<'a, 'b> Builder<'a, 'b> {
                     name.clone(),
                 ));
             }
-            let site = BaseSite { ctx: self.ctx, phase, pass_alias: Some("b") };
+            let site = BaseSite {
+                ctx: self.ctx,
+                phase,
+                pass_alias: Some("b"),
+            };
             for c in cols {
                 let e = self.lower_column(c, &site)?;
-                select.projection.push(SelectItem::aliased(e, c.name.clone()));
+                select
+                    .projection
+                    .push(SelectItem::aliased(e, c.name.clone()));
             }
         }
         Ok(select)
@@ -475,7 +524,9 @@ impl<'a, 'b> Builder<'a, 'b> {
             let mut slots: HashMap<String, (usize, String)> = HashMap::new();
             let mut deep_exprs: HashMap<usize, Vec<(String, SqlExpr)>> = HashMap::new();
             for c in cols {
-                let ColumnOrigin::Formula(f) = &c.origin else { continue };
+                let ColumnOrigin::Formula(f) = &c.origin else {
+                    continue;
+                };
                 collect_agg_subtrees(f, &mut |agg: &Formula| {
                     let canonical = agg.to_string();
                     if slots.contains_key(&canonical) {
@@ -486,7 +537,11 @@ impl<'a, 'b> Builder<'a, 'b> {
                         return Ok(()); // inline in the grouped select
                     }
                     let slot = format!("$d{}", slots.len());
-                    let arg_site = ArgSite { builder: self, finer_stage: m, alias: "d" };
+                    let arg_site = ArgSite {
+                        builder: self,
+                        finer_stage: m,
+                        alias: "d",
+                    };
                     let lowered = lower_agg_call(agg, &arg_site)?;
                     slots.insert(canonical, (m, slot.clone()));
                     deep_exprs.entry(m).or_default().push((slot, lowered));
@@ -501,9 +556,10 @@ impl<'a, 'b> Builder<'a, 'b> {
                 alias: Some("f".into()),
             });
             for k in &keys {
-                select
-                    .projection
-                    .push(SelectItem::aliased(SqlExpr::qcol("f", k.clone()), k.clone()));
+                select.projection.push(SelectItem::aliased(
+                    SqlExpr::qcol("f", k.clone()),
+                    k.clone(),
+                ));
                 select.group_by.push(SqlExpr::qcol("f", k.clone()));
             }
             let mut stages_sorted: Vec<usize> = deep_exprs.keys().copied().collect();
@@ -519,8 +575,15 @@ impl<'a, 'b> Builder<'a, 'b> {
                     )
                 }));
                 select.joins.push(Join {
-                    kind: if keys.is_empty() { JoinKind::Cross } else { JoinKind::Inner },
-                    relation: TableRef::Subquery { query: Box::new(sub), alias },
+                    kind: if keys.is_empty() {
+                        JoinKind::Cross
+                    } else {
+                        JoinKind::Inner
+                    },
+                    relation: TableRef::Subquery {
+                        query: Box::new(sub),
+                        alias,
+                    },
                     on,
                 });
             }
@@ -553,7 +616,9 @@ impl<'a, 'b> Builder<'a, 'b> {
         let mut fresh_slots: HashMap<String, (usize, String)> = HashMap::new();
         let mut fresh_exprs: HashMap<usize, Vec<(String, SqlExpr)>> = HashMap::new();
         for c in cols {
-            let ColumnOrigin::Formula(f) = &c.origin else { continue };
+            let ColumnOrigin::Formula(f) = &c.origin else {
+                continue;
+            };
             collect_agg_subtrees(f, &mut |agg: &Formula| {
                 let canonical = agg.to_string();
                 if fresh_slots.contains_key(&canonical) {
@@ -561,7 +626,11 @@ impl<'a, 'b> Builder<'a, 'b> {
                 }
                 let m = agg_input_stage(self.ctx, agg, stage)?;
                 let slot = format!("$f{}", fresh_slots.len());
-                let arg_site = ArgSite { builder: self, finer_stage: m, alias: "d" };
+                let arg_site = ArgSite {
+                    builder: self,
+                    finer_stage: m,
+                    alias: "d",
+                };
                 let lowered = lower_agg_call(agg, &arg_site)?;
                 fresh_slots.insert(canonical, (m, slot.clone()));
                 fresh_exprs.entry(m).or_default().push((slot, lowered));
@@ -596,8 +665,15 @@ impl<'a, 'b> Builder<'a, 'b> {
                         )
                     }));
                     select.joins.push(Join {
-                        kind: if keys.is_empty() { JoinKind::Cross } else { JoinKind::Inner },
-                        relation: TableRef::Subquery { query: Box::new(sub.clone()), alias },
+                        kind: if keys.is_empty() {
+                            JoinKind::Cross
+                        } else {
+                            JoinKind::Inner
+                        },
+                        relation: TableRef::Subquery {
+                            query: Box::new(sub.clone()),
+                            alias,
+                        },
                         on,
                     });
                 }
@@ -626,8 +702,15 @@ impl<'a, 'b> Builder<'a, 'b> {
                         )
                     }));
                     select.joins.push(Join {
-                        kind: if keys.is_empty() { JoinKind::Cross } else { JoinKind::Inner },
-                        relation: TableRef::Subquery { query: Box::new(sub.clone()), alias },
+                        kind: if keys.is_empty() {
+                            JoinKind::Cross
+                        } else {
+                            JoinKind::Inner
+                        },
+                        relation: TableRef::Subquery {
+                            query: Box::new(sub.clone()),
+                            alias,
+                        },
                         on,
                     });
                 }
@@ -678,8 +761,10 @@ impl<'a, 'b> Builder<'a, 'b> {
             alias: Some("d".into()),
         });
         for k in keys {
-            sub.projection
-                .push(SelectItem::aliased(SqlExpr::qcol("d", k.clone()), k.clone()));
+            sub.projection.push(SelectItem::aliased(
+                SqlExpr::qcol("d", k.clone()),
+                k.clone(),
+            ));
             sub.group_by.push(SqlExpr::qcol("d", k.clone()));
         }
         for (slot, e) in exprs {
@@ -693,7 +778,9 @@ impl<'a, 'b> Builder<'a, 'b> {
     fn apply_filters(&mut self, stage: usize, phase: usize) -> Result<(), CoreError> {
         let mut preds: Vec<SqlExpr> = Vec::new();
         for f in &self.ctx.spec.filters {
-            let Some(col) = self.ctx.column(&f.column) else { continue };
+            let Some(col) = self.ctx.column(&f.column) else {
+                continue;
+            };
             if col.level != stage || col.phase != phase {
                 continue;
             }
@@ -708,7 +795,10 @@ impl<'a, 'b> Builder<'a, 'b> {
         let inner = self.current[stage].clone().expect("stage just built");
         let mut select = Select::new();
         select.projection.push(SelectItem::Wildcard);
-        select.from = Some(TableRef::Table { name: ObjectName::bare(inner.clone()), alias: None });
+        select.from = Some(TableRef::Table {
+            name: ObjectName::bare(inner.clone()),
+            alias: None,
+        });
         select.selection = Some(pred);
         let name = format!("{inner}_f");
         self.push_cte(name.clone(), Query::from_select(select));
@@ -739,9 +829,11 @@ impl<'a, 'b> Builder<'a, 'b> {
         let mut joined: Vec<usize> = Vec::new();
         for m in (d + 1)..=l {
             let has_visible = ctx.columns.iter().any(|c| c.level == m && c.visible);
-            let has_filter = ctx.spec.filters.iter().any(|f| {
-                ctx.column(&f.column).is_some_and(|c| c.level == m)
-            });
+            let has_filter = ctx
+                .spec
+                .filters
+                .iter()
+                .any(|f| ctx.column(&f.column).is_some_and(|c| c.level == m));
             let exists = self.current[m].is_some();
             if exists && (has_visible || has_filter) {
                 joined.push(m);
@@ -753,7 +845,10 @@ impl<'a, 'b> Builder<'a, 'b> {
             if m == l {
                 select.joins.push(Join {
                     kind: JoinKind::Cross,
-                    relation: TableRef::Table { name: ObjectName::bare(cte), alias: Some(alias) },
+                    relation: TableRef::Table {
+                        name: ObjectName::bare(cte),
+                        alias: Some(alias),
+                    },
                     on: None,
                 });
             } else {
@@ -766,7 +861,10 @@ impl<'a, 'b> Builder<'a, 'b> {
                 }));
                 select.joins.push(Join {
                     kind: JoinKind::Inner,
-                    relation: TableRef::Table { name: ObjectName::bare(cte), alias: Some(alias) },
+                    relation: TableRef::Table {
+                        name: ObjectName::bare(cte),
+                        alias: Some(alias),
+                    },
                     on,
                 });
             }
@@ -798,7 +896,9 @@ impl<'a, 'b> Builder<'a, 'b> {
             } else {
                 continue;
             };
-            select.projection.push(SelectItem::aliased(expr, c.name.clone()));
+            select
+                .projection
+                .push(SelectItem::aliased(expr, c.name.clone()));
         }
         if select.projection.is_empty() {
             return Err(CoreError::Compile(
@@ -912,7 +1012,11 @@ impl Site for BaseSite<'_, '_> {
                 nulls_last: None,
             });
         }
-        Ok(WindowSpec { partition_by, order_by, frame: None })
+        Ok(WindowSpec {
+            partition_by,
+            order_by,
+            frame: None,
+        })
     }
 }
 
@@ -1037,18 +1141,13 @@ impl Site for LevelSite<'_, '_, '_> {
         } else {
             ctx.spec.effective_keys(self.stage + 1)
         };
-        let partition_by = coarser_keys
-            .iter()
-            .map(|k| self.key_ref(k))
-            .collect();
+        let partition_by = coarser_keys.iter().map(|k| self.key_ref(k)).collect();
         let mut order_by = Vec::new();
         if self.stage < ctx.spec.levels.len() {
             for o in &ctx.spec.levels[self.stage].ordering {
                 let col = ctx
                     .column(&o.column)
-                    .ok_or_else(|| {
-                        CoreError::Unresolved(format!("ordering column {}", o.column))
-                    })?
+                    .ok_or_else(|| CoreError::Unresolved(format!("ordering column {}", o.column)))?
                     .clone();
                 order_by.push(OrderExpr {
                     expr: self.column_ref(&col)?,
@@ -1057,7 +1156,11 @@ impl Site for LevelSite<'_, '_, '_> {
                 });
             }
         }
-        Ok(WindowSpec { partition_by, order_by, frame: None })
+        Ok(WindowSpec {
+            partition_by,
+            order_by,
+            frame: None,
+        })
     }
 }
 
@@ -1145,9 +1248,7 @@ impl TargetSite<'_, '_> {
                     )));
                 }
                 return match &col.origin {
-                    ColumnOrigin::SourceCol(raw) => {
-                        Ok(SqlExpr::qcol(self.alias, raw.clone()))
-                    }
+                    ColumnOrigin::SourceCol(raw) => Ok(SqlExpr::qcol(self.alias, raw.clone())),
                     ColumnOrigin::Formula(f) => {
                         // Rewrite the formula's qualified refs? Base column
                         // formulas use local refs; lower with this site so
@@ -1234,11 +1335,7 @@ fn collect_agg_subtrees(
 /// level of the columns its arguments reference (aggregating base columns
 /// reads base rows; aggregating a level's outputs reads that level's rows);
 /// argument-free aggregates (Count()) count the immediately finer level.
-fn agg_input_stage(
-    ctx: &TableCtx<'_>,
-    agg: &Formula,
-    stage: usize,
-) -> Result<usize, CoreError> {
+fn agg_input_stage(ctx: &TableCtx<'_>, agg: &Formula, stage: usize) -> Result<usize, CoreError> {
     let Formula::Call { args, .. } = agg else {
         return Err(CoreError::Compile("internal: not an aggregate".into()));
     };

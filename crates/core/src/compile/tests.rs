@@ -44,7 +44,10 @@ fn warehouse() -> Warehouse {
         schema,
         vec![
             Column::from_texts(
-                ["N1", "N1", "N1", "N2", "N2", "N2"].iter().map(|s| s.to_string()).collect(),
+                ["N1", "N1", "N1", "N2", "N2", "N2"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
             ),
             Column::from_dates(vec![
                 d(2019, 1, 5),
@@ -64,7 +67,10 @@ fn warehouse() -> Warehouse {
             ]),
             Column::from_bools(vec![false, false, true, false, true, false]),
             Column::from_texts(
-                ["ORD", "SFO", "ORD", "JFK", "JFK", "ORD"].iter().map(|s| s.to_string()).collect(),
+                ["ORD", "SFO", "ORD", "JFK", "JFK", "ORD"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
             ),
             Column::from_floats(vec![120.0, 90.0, 60.0, 200.0, 180.0, 150.0]),
         ],
@@ -88,11 +94,17 @@ fn warehouse() -> Warehouse {
 }
 
 fn flights_table() -> TableSpec {
-    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
-    t.add_column(ColumnDef::source("Tail Number", "tail_number")).unwrap();
-    t.add_column(ColumnDef::source("Flight Date", "flight_date")).unwrap();
-    t.add_column(ColumnDef::source("Dep Delay", "dep_delay")).unwrap();
-    t.add_column(ColumnDef::source("Cancelled", "cancelled")).unwrap();
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
+    t.add_column(ColumnDef::source("Tail Number", "tail_number"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Flight Date", "flight_date"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Dep Delay", "dep_delay"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Cancelled", "cancelled"))
+        .unwrap();
     t.add_column(ColumnDef::source("Origin", "origin")).unwrap();
     t
 }
@@ -113,7 +125,8 @@ fn passthrough_with_scalar_formula_and_filter() {
     let wh = warehouse();
     let mut wb = Workbook::new(Some("t"));
     let mut t = flights_table();
-    t.add_column(ColumnDef::formula("Is Late", "[Dep Delay] > 15", 0)).unwrap();
+    t.add_column(ColumnDef::formula("Is Late", "[Dep Delay] > 15", 0))
+        .unwrap();
     t.filters.push(FilterSpec {
         column: "Origin".into(),
         predicate: FilterPredicate::OneOf(vec!["ORD".into()]),
@@ -123,7 +136,10 @@ fn passthrough_with_scalar_formula_and_filter() {
     assert_eq!(b.num_rows(), 3);
     let is_late = b.column_by_name("Is Late").unwrap();
     // ORD rows: delays 5, 0, 10 -> none late.
-    assert_eq!(is_late.iter().filter(|v| *v == Value::Bool(true)).count(), 0);
+    assert_eq!(
+        is_late.iter().filter(|v| *v == Value::Bool(true)).count(),
+        0
+    );
 }
 
 #[test]
@@ -131,16 +147,22 @@ fn grouping_level_aggregates() {
     let wh = warehouse();
     let mut wb = Workbook::new(Some("t"));
     let mut t = flights_table();
-    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()])).unwrap();
-    t.add_column(ColumnDef::formula("Flights", "Count()", 1)).unwrap();
-    t.add_column(ColumnDef::formula("Avg Delay", "Avg([Dep Delay])", 1)).unwrap();
+    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Flights", "Count()", 1))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Avg Delay", "Avg([Dep Delay])", 1))
+        .unwrap();
     t.detail_level = 1;
     wb.add_element(0, "ByPlane", ElementKind::Table(t)).unwrap();
     let b = run(&wb, &wh, "ByPlane");
     assert_eq!(b.num_rows(), 2);
     assert_eq!(b.column_by_name("Flights").unwrap().value(0), Value::Int(3));
     // N1 delays: 5, 25, 0 -> avg 10.
-    assert_eq!(b.column_by_name("Avg Delay").unwrap().value(0), Value::Float(10.0));
+    assert_eq!(
+        b.column_by_name("Avg Delay").unwrap().value(0),
+        Value::Float(10.0)
+    );
 }
 
 #[test]
@@ -148,14 +170,18 @@ fn summary_and_cross_level_percent() {
     let wh = warehouse();
     let mut wb = Workbook::new(Some("t"));
     let mut t = flights_table();
-    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()])).unwrap();
-    t.add_column(ColumnDef::formula("Flights", "Count()", 1)).unwrap();
+    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Flights", "Count()", 1))
+        .unwrap();
     let summary = t.summary_level();
     // Summary aggregates aggregate the next finer level's rows, so the
     // grand total of base rows is the sum of the per-plane counts.
-    t.add_column(ColumnDef::formula("Total", "Sum([Flights])", summary)).unwrap();
+    t.add_column(ColumnDef::formula("Total", "Sum([Flights])", summary))
+        .unwrap();
     // Cross-level (downward) reference: level-1 formula uses the summary.
-    t.add_column(ColumnDef::formula("Share", "[Flights] / [Total]", 1)).unwrap();
+    t.add_column(ColumnDef::formula("Share", "[Flights] / [Total]", 1))
+        .unwrap();
     t.detail_level = 1;
     wb.add_element(0, "Shares", ElementKind::Table(t)).unwrap();
     let b = run(&wb, &wh, "Shares");
@@ -171,16 +197,16 @@ fn window_functions_lag_and_filldown() {
     let wh = warehouse();
     let mut wb = Workbook::new(Some("t"));
     let mut t = flights_table();
-    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()])).unwrap();
+    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
     t.levels[0] = Level::base().with_ordering("Flight Date", false);
-    t.add_column(ColumnDef::formula("Prev Date", "Lag([Flight Date], 1)", 0)).unwrap();
-    t.add_column(
-        ColumnDef::formula(
-            "Gap Days",
-            "DateDiff(\"day\", Lag([Flight Date], 1), [Flight Date])",
-            0,
-        ),
-    )
+    t.add_column(ColumnDef::formula("Prev Date", "Lag([Flight Date], 1)", 0))
+        .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Gap Days",
+        "DateDiff(\"day\", Lag([Flight Date], 1), [Flight Date])",
+        0,
+    ))
     .unwrap();
     wb.add_element(0, "Session", ElementKind::Table(t)).unwrap();
     let b = run(&wb, &wh, "Session");
@@ -232,10 +258,17 @@ fn rollup_self_join_cohort() {
 fn lookup_other_element() {
     let wh = warehouse();
     let mut wb = Workbook::new(Some("t"));
-    let mut airports = TableSpec::new(DataSource::WarehouseTable { table: "airports".into() });
-    airports.add_column(ColumnDef::source("Code", "code")).unwrap();
-    airports.add_column(ColumnDef::source("City", "city")).unwrap();
-    wb.add_element(0, "Airports", ElementKind::Table(airports)).unwrap();
+    let mut airports = TableSpec::new(DataSource::WarehouseTable {
+        table: "airports".into(),
+    });
+    airports
+        .add_column(ColumnDef::source("Code", "code"))
+        .unwrap();
+    airports
+        .add_column(ColumnDef::source("City", "city"))
+        .unwrap();
+    wb.add_element(0, "Airports", ElementKind::Table(airports))
+        .unwrap();
 
     let mut t = flights_table();
     t.add_column(ColumnDef::formula(
@@ -270,7 +303,8 @@ fn control_binding_inlines_value() {
     )
     .unwrap();
     let mut t = flights_table();
-    t.add_column(ColumnDef::formula("Over", "[Dep Delay] >= [Min Delay]", 0)).unwrap();
+    t.add_column(ColumnDef::formula("Over", "[Dep Delay] >= [Min Delay]", 0))
+        .unwrap();
     wb.add_element(0, "Flights", ElementKind::Table(t)).unwrap();
 
     let schemas = WhSchemas(&wh);
@@ -287,12 +321,26 @@ fn greedy_filter_on_aggregate_level() {
     let wh = warehouse();
     let mut wb = Workbook::new(Some("t"));
     let mut t = flights_table();
-    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()])).unwrap();
-    t.add_column(ColumnDef::formula("Cancel Rate", "AvgIf([Cancelled], 1.0)", 1)).unwrap();
-    t.add_column(ColumnDef::formula("Cancellations", "CountIf([Cancelled])", 1)).unwrap();
+    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Cancel Rate",
+        "AvgIf([Cancelled], 1.0)",
+        1,
+    ))
+    .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Cancellations",
+        "CountIf([Cancelled])",
+        1,
+    ))
+    .unwrap();
     t.filters.push(FilterSpec {
         column: "Cancellations".into(),
-        predicate: FilterPredicate::Range { min: Some(Value::Int(1)), max: None },
+        predicate: FilterPredicate::Range {
+            min: Some(Value::Int(1)),
+            max: None,
+        },
     });
     // Detail stays at base: filtered groups must drop their base rows too.
     wb.add_element(0, "F", ElementKind::Table(t)).unwrap();
@@ -303,11 +351,20 @@ fn greedy_filter_on_aggregate_level() {
     // N2 has 1. Rebuild with min 2.
     let mut wb2 = Workbook::new(Some("t2"));
     let mut t2 = flights_table();
-    t2.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()])).unwrap();
-    t2.add_column(ColumnDef::formula("Cancellations", "CountIf([Cancelled])", 1)).unwrap();
+    t2.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
+    t2.add_column(ColumnDef::formula(
+        "Cancellations",
+        "CountIf([Cancelled])",
+        1,
+    ))
+    .unwrap();
     t2.filters.push(FilterSpec {
         column: "Cancellations".into(),
-        predicate: FilterPredicate::Range { min: Some(Value::Int(2)), max: None },
+        predicate: FilterPredicate::Range {
+            min: Some(Value::Int(2)),
+            max: None,
+        },
     });
     wb2.add_element(0, "F", ElementKind::Table(t2)).unwrap();
     let b2 = run(&wb2, &wh, "F");
@@ -319,16 +376,29 @@ fn element_source_chains_and_materialization() {
     let wh = warehouse();
     let mut wb = Workbook::new(Some("t"));
     let mut base = flights_table();
-    base.add_column(ColumnDef::formula("Is Late", "[Dep Delay] > 15", 0)).unwrap();
-    wb.add_element(0, "Flights", ElementKind::Table(base)).unwrap();
+    base.add_column(ColumnDef::formula("Is Late", "[Dep Delay] > 15", 0))
+        .unwrap();
+    wb.add_element(0, "Flights", ElementKind::Table(base))
+        .unwrap();
 
-    let mut derived = TableSpec::new(DataSource::Element { name: "Flights".into() });
-    derived.add_column(ColumnDef::source("Tail Number", "Tail Number")).unwrap();
-    derived.add_column(ColumnDef::source("Is Late", "Is Late")).unwrap();
-    derived.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()])).unwrap();
-    derived.add_column(ColumnDef::formula("Late Flights", "CountIf([Is Late])", 1)).unwrap();
+    let mut derived = TableSpec::new(DataSource::Element {
+        name: "Flights".into(),
+    });
+    derived
+        .add_column(ColumnDef::source("Tail Number", "Tail Number"))
+        .unwrap();
+    derived
+        .add_column(ColumnDef::source("Is Late", "Is Late"))
+        .unwrap();
+    derived
+        .add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
+    derived
+        .add_column(ColumnDef::formula("Late Flights", "CountIf([Is Late])", 1))
+        .unwrap();
     derived.detail_level = 1;
-    wb.add_element(0, "LateByPlane", ElementKind::Table(derived)).unwrap();
+    wb.add_element(0, "LateByPlane", ElementKind::Table(derived))
+        .unwrap();
 
     // Un-materialized: the whole chain is one query.
     let b = run(&wb, &wh, "LateByPlane");
@@ -345,7 +415,11 @@ fn element_source_chains_and_materialization() {
     let compiler = Compiler::new(&wb, &schemas, options);
     let compiled = compiler.compile_element("LateByPlane").unwrap();
     assert!(compiled.sql.contains("mat_flights"), "{}", compiled.sql);
-    assert!(!compiled.sql.to_lowercase().contains("from flights"), "{}", compiled.sql);
+    assert!(
+        !compiled.sql.to_lowercase().contains("from flights"),
+        "{}",
+        compiled.sql
+    );
     let b2 = wh.execute_sql(&compiled.sql).unwrap().batch;
     assert_eq!(b2.num_rows(), 2);
 }
@@ -355,7 +429,9 @@ fn viz_compiles_and_runs() {
     let wh = warehouse();
     let mut wb = Workbook::new(Some("t"));
     let viz = crate::viz::VizSpec::new(
-        DataSource::WarehouseTable { table: "flights".into() },
+        DataSource::WarehouseTable {
+            table: "flights".into(),
+        },
         crate::viz::Mark::Bar,
     )
     .encode(crate::viz::Channel::X, "Origin", "[origin]")
@@ -370,7 +446,9 @@ fn pivot_two_phase() {
     let wh = warehouse();
     let mut wb = Workbook::new(Some("t"));
     let pivot = crate::pivot::PivotSpec::new(
-        DataSource::WarehouseTable { table: "flights".into() },
+        DataSource::WarehouseTable {
+            table: "flights".into(),
+        },
         vec![("Origin".into(), "[origin]".into())],
         ("Quarter".into(), "Quarter([flight_date])".into()),
         vec![("Flights".into(), "Count()".into())],
@@ -381,7 +459,9 @@ fn pivot_two_phase() {
 
     let discovery = compiler.pivot_discovery_query("P").unwrap();
     let headers = wh.execute_sql(&discovery.sql).unwrap().batch;
-    let values: Vec<Value> = (0..headers.num_rows()).map(|i| headers.value(i, 0)).collect();
+    let values: Vec<Value> = (0..headers.num_rows())
+        .map(|i| headers.value(i, 0))
+        .collect();
     assert_eq!(values.len(), 3); // Q1, Q2, Q3
 
     let compiled = compiler.compile_pivot("P", &values).unwrap();
@@ -395,7 +475,8 @@ fn deterministic_sql_output() {
     let wh = warehouse();
     let mut wb = Workbook::new(Some("t"));
     let mut t = flights_table();
-    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()])).unwrap();
+    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
     t.add_column(ColumnDef::formula("N", "Count()", 1)).unwrap();
     wb.add_element(0, "F", ElementKind::Table(t)).unwrap();
     let schemas = WhSchemas(&wh);
@@ -414,7 +495,8 @@ fn errors_are_informative() {
     let wh = warehouse();
     let mut wb = Workbook::new(Some("t"));
     let mut t = flights_table();
-    t.add_column(ColumnDef::formula("Bad", "Sum([Dep Delay])", 0)).unwrap();
+    t.add_column(ColumnDef::formula("Bad", "Sum([Dep Delay])", 0))
+        .unwrap();
     wb.add_element(0, "F", ElementKind::Table(t)).unwrap();
     let schemas = WhSchemas(&wh);
     let compiler = Compiler::new(&wb, &schemas, CompileOptions::default());
@@ -424,8 +506,10 @@ fn errors_are_informative() {
     // Referencing a finer column from a coarser level without aggregation.
     let mut wb2 = Workbook::new(Some("t2"));
     let mut t2 = flights_table();
-    t2.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()])).unwrap();
-    t2.add_column(ColumnDef::formula("Bad", "[Dep Delay] + 1", 1)).unwrap();
+    t2.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
+    t2.add_column(ColumnDef::formula("Bad", "[Dep Delay] + 1", 1))
+        .unwrap();
     wb2.add_element(0, "F", ElementKind::Table(t2)).unwrap();
     let compiler2 = Compiler::new(&wb2, &schemas, CompileOptions::default());
     let err2 = compiler2.compile_element("F").unwrap_err();
@@ -447,7 +531,10 @@ fn dialect_rendering_differs() {
         dialect: sigma_sql::Dialect::new(sigma_sql::DialectKind::BigQuery),
         ..CompileOptions::default()
     };
-    let bq = Compiler::new(&wb, &schemas, bq_opts).compile_element("F").unwrap().sql;
+    let bq = Compiler::new(&wb, &schemas, bq_opts)
+        .compile_element("F")
+        .unwrap()
+        .sql;
     assert!(generic.contains("\"Tail Number\""), "{generic}");
     assert!(bq.contains("`Tail Number`"), "{bq}");
 }
@@ -466,14 +553,28 @@ fn deep_aggregate_cohort_population() {
         0,
     ))
     .unwrap();
-    t.add_column(ColumnDef::formula("Quarter", "DateTrunc(\"quarter\", [Flight Date])", 0))
+    t.add_column(ColumnDef::formula(
+        "Quarter",
+        "DateTrunc(\"quarter\", [Flight Date])",
+        0,
+    ))
+    .unwrap();
+    t.add_level(1, Level::keyed("By Quarter", vec!["Quarter".into()]))
         .unwrap();
-    t.add_level(1, Level::keyed("By Quarter", vec!["Quarter".into()])).unwrap();
-    t.add_level(2, Level::keyed("By Cohort", vec!["Cohort".into()])).unwrap();
-    t.add_column(ColumnDef::formula("Active Planes", "CountDistinct([Tail Number])", 1))
+    t.add_level(2, Level::keyed("By Cohort", vec!["Cohort".into()]))
         .unwrap();
-    t.add_column(ColumnDef::formula("Population", "CountDistinct([Tail Number])", 2))
-        .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Active Planes",
+        "CountDistinct([Tail Number])",
+        1,
+    ))
+    .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Population",
+        "CountDistinct([Tail Number])",
+        2,
+    ))
+    .unwrap();
     t.add_column(ColumnDef::formula(
         "Pct Active",
         "[Active Planes] / [Population]",
@@ -501,17 +602,30 @@ fn deep_aggregate_at_summary() {
     let wh = warehouse();
     let mut wb = Workbook::new(Some("t"));
     let mut t = flights_table();
-    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()])).unwrap();
-    t.add_column(ColumnDef::formula("Flights", "Count()", 1)).unwrap();
+    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Flights", "Count()", 1))
+        .unwrap();
     let summary = t.summary_level();
     // Summary-level aggregates over base rows (not over the 2 groups).
-    t.add_column(ColumnDef::formula("All Flights", "Count([Flight Date])", summary))
-        .unwrap();
-    t.add_column(ColumnDef::formula("Fleet", "CountDistinct([Tail Number])", summary))
-        .unwrap();
+    t.add_column(ColumnDef::formula(
+        "All Flights",
+        "Count([Flight Date])",
+        summary,
+    ))
+    .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Fleet",
+        "CountDistinct([Tail Number])",
+        summary,
+    ))
+    .unwrap();
     t.detail_level = 1;
     wb.add_element(0, "F", ElementKind::Table(t)).unwrap();
     let b = run(&wb, &wh, "F");
-    assert_eq!(b.column_by_name("All Flights").unwrap().value(0), Value::Int(6));
+    assert_eq!(
+        b.column_by_name("All Flights").unwrap().value(0),
+        Value::Int(6)
+    );
     assert_eq!(b.column_by_name("Fleet").unwrap().value(0), Value::Int(2));
 }

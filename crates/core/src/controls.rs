@@ -32,15 +32,24 @@ impl ControlSpec {
     }
 
     pub fn list(options: Vec<Value>, value: Value) -> ControlSpec {
-        ControlSpec { kind: ControlKind::List { options }, value }
+        ControlSpec {
+            kind: ControlKind::List { options },
+            value,
+        }
     }
 
     pub fn text(value: impl Into<String>) -> ControlSpec {
-        ControlSpec { kind: ControlKind::TextInput, value: Value::Text(value.into()) }
+        ControlSpec {
+            kind: ControlKind::TextInput,
+            value: Value::Text(value.into()),
+        }
     }
 
     pub fn date_picker(days: i32) -> ControlSpec {
-        ControlSpec { kind: ControlKind::DatePicker, value: Value::Date(days) }
+        ControlSpec {
+            kind: ControlKind::DatePicker,
+            value: Value::Date(days),
+        }
     }
 
     /// Set the control's value, validating against the widget constraints.
@@ -92,9 +101,7 @@ impl ControlSpec {
                     .iter()
                     .find(|o| o.render() == raw)
                     .cloned()
-                    .ok_or_else(|| {
-                        CoreError::Document(format!("{raw:?} is not a list option"))
-                    })?
+                    .ok_or_else(|| CoreError::Document(format!("{raw:?} is not a list option")))?
             }
             ControlKind::TextInput => Value::Text(raw.to_string()),
             ControlKind::DatePicker => calendar::parse_date(raw)
@@ -119,8 +126,10 @@ mod tests {
 
     #[test]
     fn list_membership() {
-        let mut c = ControlSpec::list(vec![Value::Text("AA".into()), Value::Text("UA".into())],
-            Value::Text("AA".into()));
+        let mut c = ControlSpec::list(
+            vec![Value::Text("AA".into()), Value::Text("UA".into())],
+            Value::Text("AA".into()),
+        );
         c.set_value(Value::Text("UA".into())).unwrap();
         assert!(c.set_value(Value::Text("ZZ".into())).is_err());
         c.set_value(Value::Null).unwrap();

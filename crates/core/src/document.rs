@@ -26,8 +26,12 @@ pub enum ElementKind {
     Input(InputTableSpec),
     // UI elements
     /// Text with embedded formulas: `{=  ...}` spans render inline (§3.5).
-    Text { template: String },
-    Image { url: String },
+    Text {
+        template: String,
+    },
+    Image {
+        url: String,
+    },
     Spacer,
     // interactive controls
     Control(ControlSpec),
@@ -78,7 +82,10 @@ impl Workbook {
     pub fn new(name: Option<&str>) -> Workbook {
         Workbook {
             name: name.map(str::to_owned),
-            pages: vec![Page { name: "Page 1".into(), elements: Vec::new() }],
+            pages: vec![Page {
+                name: "Page 1".into(),
+                elements: Vec::new(),
+            }],
             next_id: 1,
         }
     }
@@ -93,7 +100,10 @@ impl Workbook {
     }
 
     pub fn add_page(&mut self, name: impl Into<String>) -> usize {
-        self.pages.push(Page { name: name.into(), elements: Vec::new() });
+        self.pages.push(Page {
+            name: name.into(),
+            elements: Vec::new(),
+        });
         self.pages.len() - 1
     }
 
@@ -115,7 +125,9 @@ impl Workbook {
             ));
         }
         if self.element(&name).is_some() {
-            return Err(CoreError::Document(format!("duplicate element name: {name}")));
+            return Err(CoreError::Document(format!(
+                "duplicate element name: {name}"
+            )));
         }
         let Some(page) = self.pages.get_mut(page) else {
             return Err(CoreError::Document("no such page".into()));
@@ -262,17 +274,19 @@ mod tests {
             })),
         )
         .unwrap();
-        wb.add_element(0, "Min Delay", ElementKind::Control(ControlSpec::slider(0.0, 120.0, 5.0, 15.0)))
-            .unwrap();
+        wb.add_element(
+            0,
+            "Min Delay",
+            ElementKind::Control(ControlSpec::slider(0.0, 120.0, 5.0, 15.0)),
+        )
+        .unwrap();
         wb
     }
 
     #[test]
     fn names_unique_case_insensitive() {
         let mut wb = wb();
-        assert!(wb
-            .add_element(0, "flights", ElementKind::Spacer)
-            .is_err());
+        assert!(wb.add_element(0, "flights", ElementKind::Spacer).is_err());
         assert!(wb.add_element(0, "A/B", ElementKind::Spacer).is_err());
         assert!(wb.add_element(0, "  ", ElementKind::Spacer).is_err());
     }
@@ -301,8 +315,14 @@ mod tests {
     fn pages_and_lookup() {
         let mut wb = wb();
         let p2 = wb.add_page("Analysis");
-        wb.add_element(p2, "Notes", ElementKind::Text { template: "hello".into() })
-            .unwrap();
+        wb.add_element(
+            p2,
+            "Notes",
+            ElementKind::Text {
+                template: "hello".into(),
+            },
+        )
+        .unwrap();
         assert!(wb.element("notes").is_some());
         assert_eq!(wb.elements().count(), 3);
         let id = wb.element("Flights").unwrap().id;

@@ -12,9 +12,17 @@ use crate::error::CoreError;
 /// One pending edit, journaled for warehouse propagation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Edit {
-    SetCell { row: u64, column: String, value: Value },
-    InsertRow { row_id: u64 },
-    DeleteRow { row_id: u64 },
+    SetCell {
+        row: u64,
+        column: String,
+        value: Value,
+    },
+    InsertRow {
+        row_id: u64,
+    },
+    DeleteRow {
+        row_id: u64,
+    },
 }
 
 /// An editable table: a schema, rows addressed by stable row ids, and a
@@ -183,8 +191,12 @@ mod tests {
     #[test]
     fn dirty_values_nulled_in_projection() {
         let mut t = t();
-        t.insert_row(vec!["ORD".into(), "Chicago".into(), Value::Text("not a number".into())])
-            .unwrap();
+        t.insert_row(vec![
+            "ORD".into(),
+            "Chicago".into(),
+            Value::Text("not a number".into()),
+        ])
+        .unwrap();
         let b = t.to_batch().unwrap();
         assert_eq!(b.num_columns(), 4); // _row_id + 3
         assert!(b.column_by_name("Elevation").unwrap().is_null(0));
@@ -194,10 +206,16 @@ mod tests {
     #[test]
     fn row_ids_stable_after_delete() {
         let mut t = t();
-        let _r1 = t.insert_row(vec!["A".into(), "a".into(), Value::Int(1)]).unwrap();
-        let r2 = t.insert_row(vec!["B".into(), "b".into(), Value::Int(2)]).unwrap();
+        let _r1 = t
+            .insert_row(vec!["A".into(), "a".into(), Value::Int(1)])
+            .unwrap();
+        let r2 = t
+            .insert_row(vec!["B".into(), "b".into(), Value::Int(2)])
+            .unwrap();
         t.delete_row(r2).unwrap();
-        let r3 = t.insert_row(vec!["C".into(), "c".into(), Value::Int(3)]).unwrap();
+        let r3 = t
+            .insert_row(vec!["C".into(), "c".into(), Value::Int(3)])
+            .unwrap();
         assert_eq!(r3, 3); // ids never reused
     }
 

@@ -18,9 +18,7 @@ pub fn element_dependencies(wb: &Workbook, name: &str) -> Result<Vec<String>, Co
         .ok_or_else(|| CoreError::Unresolved(format!("element {name}")))?;
     let mut deps: Vec<String> = Vec::new();
     let mut push = |dep: &str| {
-        if !dep.eq_ignore_ascii_case(name)
-            && !deps.iter().any(|d| d.eq_ignore_ascii_case(dep))
-        {
+        if !dep.eq_ignore_ascii_case(name) && !deps.iter().any(|d| d.eq_ignore_ascii_case(dep)) {
             deps.push(dep.to_string());
         }
     };
@@ -124,7 +122,10 @@ pub fn downstream_of(wb: &Workbook, name: &str) -> Result<Vec<String>, CoreError
                 continue;
             }
             let deps = element_dependencies(wb, &el.name)?;
-            if deps.iter().any(|d| frontier.contains(&d.to_ascii_lowercase())) {
+            if deps
+                .iter()
+                .any(|d| frontier.contains(&d.to_ascii_lowercase()))
+            {
                 frontier.insert(key);
                 consumers.push(el.name.clone());
                 grew = true;
@@ -144,13 +145,23 @@ mod tests {
 
     fn wb() -> Workbook {
         let mut wb = Workbook::new(Some("g"));
-        let mut flights = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
-        flights.add_column(ColumnDef::source("Origin", "origin")).unwrap();
-        wb.add_element(0, "Flights", ElementKind::Table(flights)).unwrap();
+        let mut flights = TableSpec::new(DataSource::WarehouseTable {
+            table: "flights".into(),
+        });
+        flights
+            .add_column(ColumnDef::source("Origin", "origin"))
+            .unwrap();
+        wb.add_element(0, "Flights", ElementKind::Table(flights))
+            .unwrap();
 
-        let mut derived = TableSpec::new(DataSource::Element { name: "Flights".into() });
-        derived.add_column(ColumnDef::source("Origin", "Origin")).unwrap();
-        wb.add_element(0, "Derived", ElementKind::Table(derived)).unwrap();
+        let mut derived = TableSpec::new(DataSource::Element {
+            name: "Flights".into(),
+        });
+        derived
+            .add_column(ColumnDef::source("Origin", "Origin"))
+            .unwrap();
+        wb.add_element(0, "Derived", ElementKind::Table(derived))
+            .unwrap();
         wb
     }
 
@@ -173,9 +184,14 @@ mod tests {
         .unwrap();
         // Airports doesn't exist yet -> unresolved.
         assert!(resolve_order(&wb, &["Derived"]).is_err());
-        let mut airports = TableSpec::new(DataSource::WarehouseTable { table: "airports".into() });
-        airports.add_column(ColumnDef::source("code", "code")).unwrap();
-        wb.add_element(0, "Airports", ElementKind::Table(airports)).unwrap();
+        let mut airports = TableSpec::new(DataSource::WarehouseTable {
+            table: "airports".into(),
+        });
+        airports
+            .add_column(ColumnDef::source("code", "code"))
+            .unwrap();
+        wb.add_element(0, "Airports", ElementKind::Table(airports))
+            .unwrap();
         let order = resolve_order(&wb, &["Derived"]).unwrap();
         assert_eq!(order.len(), 3);
         assert_eq!(order.last().unwrap(), "Derived");
@@ -185,7 +201,9 @@ mod tests {
     fn cycle_detected() {
         let mut wb = wb();
         // Make Flights source from Derived: cycle.
-        wb.table_mut("Flights").unwrap().source = DataSource::Element { name: "Derived".into() };
+        wb.table_mut("Flights").unwrap().source = DataSource::Element {
+            name: "Derived".into(),
+        };
         let err = resolve_order(&wb, &["Derived"]).unwrap_err();
         assert!(matches!(err, CoreError::Cycle(_)), "{err:?}");
     }

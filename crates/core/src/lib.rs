@@ -24,8 +24,8 @@
 pub mod compile;
 pub mod controls;
 pub mod document;
-pub mod edits;
 pub mod editable;
+pub mod edits;
 pub mod error;
 pub mod graph;
 pub mod pivot;

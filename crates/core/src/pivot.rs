@@ -31,7 +31,13 @@ impl PivotSpec {
         column: (String, String),
         values: Vec<(String, String)>,
     ) -> PivotSpec {
-        PivotSpec { source, rows, column, values, filters: Vec::new() }
+        PivotSpec {
+            source,
+            rows,
+            column,
+            values,
+            filters: Vec::new(),
+        }
     }
 
     /// Validate the formulas parse and that measures aggregate.
@@ -141,12 +147,15 @@ fn guard_aggregates(
                                 args[0].clone(),
                                 cond.clone(),
                             );
-                            Formula::Call { func: func.clone(), args }
+                            Formula::Call {
+                                func: func.clone(),
+                                args,
+                            }
                         }
                         other => {
                             return Err(CoreError::Compile(format!(
-                                "pivot cannot condition aggregate {other}; use Sum/Avg/Min/Max/Count"
-                            )))
+                            "pivot cannot condition aggregate {other}; use Sum/Avg/Min/Max/Count"
+                        )))
                         }
                     }
                 } else {
@@ -180,7 +189,9 @@ mod tests {
 
     fn pivot() -> PivotSpec {
         PivotSpec::new(
-            DataSource::WarehouseTable { table: "flights".into() },
+            DataSource::WarehouseTable {
+                table: "flights".into(),
+            },
             vec![("Carrier".into(), "[carrier]".into())],
             ("Year".into(), "Year([flight_date])".into()),
             vec![("Flights".into(), "Count()".into())],
@@ -224,7 +235,7 @@ mod tests {
     #[test]
     fn value_cap() {
         let p = pivot();
-        let many: Vec<Value> = (0..51).map(|i| Value::Int(i)).collect();
+        let many: Vec<Value> = (0..51).map(Value::Int).collect();
         assert!(p.pivoted_value_formulas(&many).is_err());
     }
 }

@@ -62,16 +62,26 @@ pub struct LevelOrdering {
 
 impl Level {
     pub fn base() -> Level {
-        Level { name: "Base".into(), keys: Vec::new(), ordering: Vec::new() }
+        Level {
+            name: "Base".into(),
+            keys: Vec::new(),
+            ordering: Vec::new(),
+        }
     }
 
     pub fn keyed(name: impl Into<String>, keys: Vec<String>) -> Level {
-        Level { name: name.into(), keys, ordering: Vec::new() }
+        Level {
+            name: name.into(),
+            keys,
+            ordering: Vec::new(),
+        }
     }
 
     pub fn with_ordering(mut self, column: impl Into<String>, descending: bool) -> Level {
-        self.ordering
-            .push(LevelOrdering { column: column.into(), descending });
+        self.ordering.push(LevelOrdering {
+            column: column.into(),
+            descending,
+        });
         self
     }
 }
@@ -110,11 +120,7 @@ impl ColumnDef {
         }
     }
 
-    pub fn formula(
-        name: impl Into<String>,
-        formula: impl Into<String>,
-        level: usize,
-    ) -> ColumnDef {
+    pub fn formula(name: impl Into<String>, formula: impl Into<String>, level: usize) -> ColumnDef {
         ColumnDef {
             name: name.into(),
             expr: ColumnExpr::Formula(formula.into()),
@@ -145,7 +151,10 @@ pub enum FilterPredicate {
     /// Drop rows whose value is one of these.
     NotOneOf(Vec<Value>),
     /// Inclusive range (either bound may be open).
-    Range { min: Option<Value>, max: Option<Value> },
+    Range {
+        min: Option<Value>,
+        max: Option<Value>,
+    },
     /// Text containment.
     Contains(String),
     Equals(Value),
@@ -226,7 +235,9 @@ impl TableSpec {
     /// position `index`, where 1 is just above the base).
     pub fn add_level(&mut self, index: usize, level: Level) -> Result<(), CoreError> {
         if index == 0 {
-            return Err(CoreError::Document("cannot insert below the base level".into()));
+            return Err(CoreError::Document(
+                "cannot insert below the base level".into(),
+            ));
         }
         if index > self.levels.len() {
             return Err(CoreError::Document(format!(
@@ -255,7 +266,9 @@ impl TableSpec {
             return Err(CoreError::Document("table has no base level".into()));
         };
         if !base.keys.is_empty() {
-            return Err(CoreError::Document("the base level cannot have keys".into()));
+            return Err(CoreError::Document(
+                "the base level cannot have keys".into(),
+            ));
         }
         for (i, level) in self.levels.iter().enumerate() {
             if i > 0 && level.keys.is_empty() {
@@ -347,11 +360,19 @@ mod tests {
     use super::*;
 
     fn spec() -> TableSpec {
-        let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
-        t.add_column(ColumnDef::source("Tail Number", "tail_number")).unwrap();
-        t.add_column(ColumnDef::source("Flight Date", "flight_date")).unwrap();
-        t.add_column(ColumnDef::formula("Cohort", "DateTrunc(\"quarter\", [Flight Date])", 0))
+        let mut t = TableSpec::new(DataSource::WarehouseTable {
+            table: "flights".into(),
+        });
+        t.add_column(ColumnDef::source("Tail Number", "tail_number"))
             .unwrap();
+        t.add_column(ColumnDef::source("Flight Date", "flight_date"))
+            .unwrap();
+        t.add_column(ColumnDef::formula(
+            "Cohort",
+            "DateTrunc(\"quarter\", [Flight Date])",
+            0,
+        ))
+        .unwrap();
         t
     }
 
@@ -367,13 +388,20 @@ mod tests {
         let mut t = spec();
         // Level 1 is the implicit summary while only the base exists;
         // level 2 is out of range.
-        t.add_column(ColumnDef::formula("Total", "Count()", 2)).unwrap_err();
-        t.add_level(1, Level::keyed("By Cohort", vec!["Cohort".into()])).unwrap();
-        t.add_column(ColumnDef::formula("Planes", "CountDistinct([Tail Number])", 1))
+        t.add_column(ColumnDef::formula("Total", "Count()", 2))
+            .unwrap_err();
+        t.add_level(1, Level::keyed("By Cohort", vec!["Cohort".into()]))
             .unwrap();
+        t.add_column(ColumnDef::formula(
+            "Planes",
+            "CountDistinct([Tail Number])",
+            1,
+        ))
+        .unwrap();
         t.validate().unwrap();
         // Insert a finer level below "By Cohort": resident levels shift.
-        t.add_level(1, Level::keyed("By Tail", vec!["Tail Number".into()])).unwrap();
+        t.add_level(1, Level::keyed("By Tail", vec!["Tail Number".into()]))
+            .unwrap();
         assert_eq!(t.column("Planes").unwrap().level, 2);
         t.validate().unwrap();
     }
@@ -381,7 +409,8 @@ mod tests {
     #[test]
     fn level_keys_must_be_lower() {
         let mut t = spec();
-        t.add_level(1, Level::keyed("G", vec!["Cohort".into()])).unwrap();
+        t.add_level(1, Level::keyed("G", vec!["Cohort".into()]))
+            .unwrap();
         t.add_column(ColumnDef::formula("N", "Count()", 1)).unwrap();
         // A level keyed on its own level's column is invalid.
         t.levels[1].keys = vec!["N".into()];
@@ -391,12 +420,17 @@ mod tests {
     #[test]
     fn effective_keys_union() {
         let mut t = spec();
-        t.add_level(1, Level::keyed("Quarter", vec!["Flight Date".into()])).unwrap();
-        t.add_level(2, Level::keyed("Cohort", vec!["Cohort".into()])).unwrap();
-        assert_eq!(t.effective_keys(1), vec!["Flight Date".to_string(), "Cohort".to_string()]);
+        t.add_level(1, Level::keyed("Quarter", vec!["Flight Date".into()]))
+            .unwrap();
+        t.add_level(2, Level::keyed("Cohort", vec!["Cohort".into()]))
+            .unwrap();
+        assert_eq!(
+            t.effective_keys(1),
+            vec!["Flight Date".to_string(), "Cohort".to_string()]
+        );
         assert_eq!(t.effective_keys(2), vec!["Cohort".to_string()]);
         assert_eq!(t.effective_keys(3), Vec::<String>::new()); // summary
-        // Base's effective key equals level 1's.
+                                                               // Base's effective key equals level 1's.
         assert_eq!(t.effective_keys(0), t.effective_keys(1));
     }
 

@@ -77,7 +77,13 @@ pub struct VizSpec {
 
 impl VizSpec {
     pub fn new(source: DataSource, mark: Mark) -> VizSpec {
-        VizSpec { source, mark, encodings: Vec::new(), filters: Vec::new(), title: None }
+        VizSpec {
+            source,
+            mark,
+            encodings: Vec::new(),
+            filters: Vec::new(),
+            title: None,
+        }
     }
 
     pub fn encode(
@@ -178,17 +184,29 @@ mod tests {
     use super::*;
 
     fn viz() -> VizSpec {
-        VizSpec::new(DataSource::WarehouseTable { table: "flights".into() }, Mark::Scatter)
-            .encode(Channel::X, "Quarter", "DateTrunc(\"quarter\", [flight_date])")
-            .encode(Channel::Y, "Flights", "Count()")
-            .encode(Channel::Color, "Carrier", "[carrier]")
+        VizSpec::new(
+            DataSource::WarehouseTable {
+                table: "flights".into(),
+            },
+            Mark::Scatter,
+        )
+        .encode(
+            Channel::X,
+            "Quarter",
+            "DateTrunc(\"quarter\", [flight_date])",
+        )
+        .encode(Channel::Y, "Flights", "Count()")
+        .encode(Channel::Color, "Carrier", "[carrier]")
     }
 
     #[test]
     fn lowering_splits_dims_and_measures() {
         let spec = viz().to_table_spec().unwrap();
         assert_eq!(spec.levels.len(), 2); // base + Marks
-        assert_eq!(spec.levels[1].keys, vec!["Quarter".to_string(), "Carrier".to_string()]);
+        assert_eq!(
+            spec.levels[1].keys,
+            vec!["Quarter".to_string(), "Carrier".to_string()]
+        );
         let measure = spec.column("Flights").unwrap();
         assert_eq!(measure.level, 1);
         assert_eq!(spec.detail_level, 1);
@@ -196,8 +214,11 @@ mod tests {
 
     #[test]
     fn pure_measure_viz_uses_summary() {
-        let v = VizSpec::new(DataSource::WarehouseTable { table: "t".into() }, Mark::Bar)
-            .encode(Channel::Y, "Total", "Sum([x])");
+        let v = VizSpec::new(DataSource::WarehouseTable { table: "t".into() }, Mark::Bar).encode(
+            Channel::Y,
+            "Total",
+            "Sum([x])",
+        );
         let spec = v.to_table_spec().unwrap();
         assert_eq!(spec.levels.len(), 1);
         assert_eq!(spec.column("Total").unwrap().level, 1);
@@ -214,8 +235,11 @@ mod tests {
 
     #[test]
     fn bad_formula_is_an_error() {
-        let v = VizSpec::new(DataSource::WarehouseTable { table: "t".into() }, Mark::Bar)
-            .encode(Channel::X, "Bad", "Sum((");
+        let v = VizSpec::new(DataSource::WarehouseTable { table: "t".into() }, Mark::Bar).encode(
+            Channel::X,
+            "Bad",
+            "Sum((",
+        );
         assert!(v.to_table_spec().is_err());
     }
 }

@@ -163,7 +163,10 @@ pub fn rename_element(f: &mut Formula, old: &str, new: &str) -> usize {
     let mut count = 0;
     walk_mut(f, &mut |node| {
         if let Formula::Ref(r) = node {
-            if r.element.as_deref().is_some_and(|e| e.eq_ignore_ascii_case(old)) {
+            if r.element
+                .as_deref()
+                .is_some_and(|e| e.eq_ignore_ascii_case(old))
+            {
                 r.element = Some(new.to_string());
                 count += 1;
             }

@@ -19,11 +19,17 @@ pub struct ColumnRef {
 
 impl ColumnRef {
     pub fn local(name: impl Into<String>) -> ColumnRef {
-        ColumnRef { element: None, name: name.into() }
+        ColumnRef {
+            element: None,
+            name: name.into(),
+        }
     }
 
     pub fn qualified(element: impl Into<String>, name: impl Into<String>) -> ColumnRef {
-        ColumnRef { element: Some(element.into()), name: name.into() }
+        ColumnRef {
+            element: Some(element.into()),
+            name: name.into(),
+        }
     }
 }
 
@@ -101,10 +107,20 @@ pub enum UnaryOp {
 pub enum Formula {
     Literal(Value),
     Ref(ColumnRef),
-    Unary { op: UnaryOp, expr: Box<Formula> },
-    Binary { op: BinaryOp, left: Box<Formula>, right: Box<Formula> },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Formula>,
+    },
+    Binary {
+        op: BinaryOp,
+        left: Box<Formula>,
+        right: Box<Formula>,
+    },
     /// Function call; `func` holds the registry's canonical casing.
-    Call { func: String, args: Vec<Formula> },
+    Call {
+        func: String,
+        args: Vec<Formula>,
+    },
 }
 
 impl Formula {
@@ -117,11 +133,18 @@ impl Formula {
     }
 
     pub fn call(func: impl Into<String>, args: Vec<Formula>) -> Formula {
-        Formula::Call { func: func.into(), args }
+        Formula::Call {
+            func: func.into(),
+            args,
+        }
     }
 
     pub fn binary(op: BinaryOp, left: Formula, right: Formula) -> Formula {
-        Formula::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Formula::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Printer precedence of this node (atoms are maximal). Negative
@@ -130,8 +153,12 @@ impl Formula {
     fn precedence(&self) -> u8 {
         match self {
             Formula::Binary { op, .. } => op.precedence(),
-            Formula::Unary { op: UnaryOp::Neg, .. } => 8,
-            Formula::Unary { op: UnaryOp::Not, .. } => 3,
+            Formula::Unary {
+                op: UnaryOp::Neg, ..
+            } => 8,
+            Formula::Unary {
+                op: UnaryOp::Not, ..
+            } => 3,
             Formula::Literal(Value::Int(i)) if *i < 0 => 8,
             Formula::Literal(Value::Float(f)) if *f < 0.0 => 8,
             _ => 10,
@@ -142,7 +169,9 @@ impl Formula {
 /// True when a name can be written bare (identifier) rather than `[..]`.
 pub fn is_bare_identifier(name: &str) -> bool {
     let mut chars = name.chars();
-    let Some(first) = chars.next() else { return false };
+    let Some(first) = chars.next() else {
+        return false;
+    };
     if !(first.is_ascii_alphabetic() || first == '_') {
         return false;
     }
@@ -282,7 +311,10 @@ mod tests {
         assert_eq!(Formula::lit(3i64).to_string(), "3");
         assert_eq!(Formula::lit(2.5).to_string(), "2.5");
         assert_eq!(Formula::lit(2.0).to_string(), "2.0");
-        assert_eq!(Formula::lit("he said \"hi\"").to_string(), "\"he said \"\"hi\"\"\"");
+        assert_eq!(
+            Formula::lit("he said \"hi\"").to_string(),
+            "\"he said \"\"hi\"\"\""
+        );
         assert_eq!(Formula::Literal(Value::Null).to_string(), "Null");
     }
 }

@@ -35,7 +35,13 @@ const fn f(
     max_args: Option<usize>,
     doc: &'static str,
 ) -> FunctionDef {
-    FunctionDef { name, kind, min_args, max_args, doc }
+    FunctionDef {
+        name,
+        kind,
+        min_args,
+        max_args,
+        doc,
+    }
 }
 
 use FunctionKind::{Aggregate, Scalar, Special, Window};
@@ -47,7 +53,13 @@ pub static FUNCTIONS: &[FunctionDef] = &[
     f("Round", Scalar, 1, Some(2), "Round to N digits (default 0)"),
     f("Floor", Scalar, 1, Some(1), "Round down to integer"),
     f("Ceiling", Scalar, 1, Some(1), "Round up to integer"),
-    f("Int", Scalar, 1, Some(1), "Truncate toward negative infinity"),
+    f(
+        "Int",
+        Scalar,
+        1,
+        Some(1),
+        "Truncate toward negative infinity",
+    ),
     f("Sqrt", Scalar, 1, Some(1), "Square root"),
     f("Exp", Scalar, 1, Some(1), "e raised to the argument"),
     f("Ln", Scalar, 1, Some(1), "Natural logarithm"),
@@ -61,43 +73,157 @@ pub static FUNCTIONS: &[FunctionDef] = &[
     f("Concat", Scalar, 1, None, "Concatenate as text"),
     f("Upper", Scalar, 1, Some(1), "Uppercase"),
     f("Lower", Scalar, 1, Some(1), "Lowercase"),
-    f("Trim", Scalar, 1, Some(1), "Strip leading/trailing whitespace"),
+    f(
+        "Trim",
+        Scalar,
+        1,
+        Some(1),
+        "Strip leading/trailing whitespace",
+    ),
     f("LTrim", Scalar, 1, Some(1), "Strip leading whitespace"),
     f("RTrim", Scalar, 1, Some(1), "Strip trailing whitespace"),
     f("Len", Scalar, 1, Some(1), "Length in characters"),
     f("Left", Scalar, 2, Some(2), "First N characters"),
     f("Right", Scalar, 2, Some(2), "Last N characters"),
-    f("Mid", Scalar, 3, Some(3), "Substring(start 1-based, length)"),
-    f("Contains", Scalar, 2, Some(2), "True if text contains the fragment"),
-    f("StartsWith", Scalar, 2, Some(2), "True if text starts with the fragment"),
-    f("EndsWith", Scalar, 2, Some(2), "True if text ends with the fragment"),
+    f(
+        "Mid",
+        Scalar,
+        3,
+        Some(3),
+        "Substring(start 1-based, length)",
+    ),
+    f(
+        "Contains",
+        Scalar,
+        2,
+        Some(2),
+        "True if text contains the fragment",
+    ),
+    f(
+        "StartsWith",
+        Scalar,
+        2,
+        Some(2),
+        "True if text starts with the fragment",
+    ),
+    f(
+        "EndsWith",
+        Scalar,
+        2,
+        Some(2),
+        "True if text ends with the fragment",
+    ),
     f("Replace", Scalar, 3, Some(3), "Replace every occurrence"),
-    f("SplitPart", Scalar, 3, Some(3), "Nth field after splitting on a delimiter"),
-    f("Lpad", Scalar, 2, Some(3), "Left-pad to length (pad text defaults to space)"),
+    f(
+        "SplitPart",
+        Scalar,
+        3,
+        Some(3),
+        "Nth field after splitting on a delimiter",
+    ),
+    f(
+        "Lpad",
+        Scalar,
+        2,
+        Some(3),
+        "Left-pad to length (pad text defaults to space)",
+    ),
     f("Rpad", Scalar, 2, Some(3), "Right-pad to length"),
     f("Repeat", Scalar, 2, Some(2), "Repeat text N times"),
     // --- logical / null handling ---
-    f("If", Scalar, 2, None, "If(cond, value, [cond2, value2, ...], [else])"),
-    f("Switch", Scalar, 3, None, "Switch(expr, case, value, ..., [default])"),
-    f("IsNull", Scalar, 1, Some(1), "True when the argument is null"),
-    f("IsNotNull", Scalar, 1, Some(1), "True when the argument is not null"),
+    f(
+        "If",
+        Scalar,
+        2,
+        None,
+        "If(cond, value, [cond2, value2, ...], [else])",
+    ),
+    f(
+        "Switch",
+        Scalar,
+        3,
+        None,
+        "Switch(expr, case, value, ..., [default])",
+    ),
+    f(
+        "IsNull",
+        Scalar,
+        1,
+        Some(1),
+        "True when the argument is null",
+    ),
+    f(
+        "IsNotNull",
+        Scalar,
+        1,
+        Some(1),
+        "True when the argument is not null",
+    ),
     f("Coalesce", Scalar, 1, None, "First non-null argument"),
-    f("IfNull", Scalar, 2, Some(2), "Second argument when the first is null"),
-    f("Nullif", Scalar, 2, Some(2), "Null when the arguments are equal"),
-    f("OneOf", Scalar, 2, None, "True when the first argument equals any other"),
+    f(
+        "IfNull",
+        Scalar,
+        2,
+        Some(2),
+        "Second argument when the first is null",
+    ),
+    f(
+        "Nullif",
+        Scalar,
+        2,
+        Some(2),
+        "Null when the arguments are equal",
+    ),
+    f(
+        "OneOf",
+        Scalar,
+        2,
+        None,
+        "True when the first argument equals any other",
+    ),
     f("Between", Scalar, 3, Some(3), "True when low <= x <= high"),
     // --- conversion ---
     f("Number", Scalar, 1, Some(1), "Convert to a number"),
     f("Text", Scalar, 1, Some(1), "Convert to text"),
-    f("Date", Scalar, 1, Some(1), "Convert text/timestamp to a date"),
-    f("DateTime", Scalar, 1, Some(1), "Convert text/date to a timestamp"),
+    f(
+        "Date",
+        Scalar,
+        1,
+        Some(1),
+        "Convert text/timestamp to a date",
+    ),
+    f(
+        "DateTime",
+        Scalar,
+        1,
+        Some(1),
+        "Convert text/date to a timestamp",
+    ),
     // --- date & time ---
     f("Today", Scalar, 0, Some(0), "Current date (session clock)"),
-    f("Now", Scalar, 0, Some(0), "Current timestamp (session clock)"),
-    f("DateTrunc", Scalar, 2, Some(2), "Truncate to a unit: DateTrunc(\"quarter\", d)"),
+    f(
+        "Now",
+        Scalar,
+        0,
+        Some(0),
+        "Current timestamp (session clock)",
+    ),
+    f(
+        "DateTrunc",
+        Scalar,
+        2,
+        Some(2),
+        "Truncate to a unit: DateTrunc(\"quarter\", d)",
+    ),
     f("DatePart", Scalar, 2, Some(2), "Extract a unit as a number"),
     f("DateAdd", Scalar, 3, Some(3), "DateAdd(\"month\", n, d)"),
-    f("DateDiff", Scalar, 3, Some(3), "Unit boundaries crossed between two dates"),
+    f(
+        "DateDiff",
+        Scalar,
+        3,
+        Some(3),
+        "Unit boundaries crossed between two dates",
+    ),
     f("Year", Scalar, 1, Some(1), "Year number"),
     f("Quarter", Scalar, 1, Some(1), "Quarter number (1-4)"),
     f("Month", Scalar, 1, Some(1), "Month number (1-12)"),
@@ -113,9 +239,27 @@ pub static FUNCTIONS: &[FunctionDef] = &[
     f("Avg", Aggregate, 1, Some(1), "Mean of non-null values"),
     f("Min", Aggregate, 1, Some(1), "Smallest value"),
     f("Max", Aggregate, 1, Some(1), "Largest value"),
-    f("Count", Aggregate, 0, Some(1), "Row count, or non-null count of the argument"),
-    f("CountDistinct", Aggregate, 1, Some(1), "Distinct non-null count"),
-    f("CountIf", Aggregate, 1, Some(1), "Rows where the condition holds"),
+    f(
+        "Count",
+        Aggregate,
+        0,
+        Some(1),
+        "Row count, or non-null count of the argument",
+    ),
+    f(
+        "CountDistinct",
+        Aggregate,
+        1,
+        Some(1),
+        "Distinct non-null count",
+    ),
+    f(
+        "CountIf",
+        Aggregate,
+        1,
+        Some(1),
+        "Rows where the condition holds",
+    ),
     f("SumIf", Aggregate, 2, Some(2), "SumIf(cond, value)"),
     f("AvgIf", Aggregate, 2, Some(2), "AvgIf(cond, value)"),
     f("MinIf", Aggregate, 2, Some(2), "MinIf(cond, value)"),
@@ -123,29 +267,89 @@ pub static FUNCTIONS: &[FunctionDef] = &[
     f("Median", Aggregate, 1, Some(1), "Median of non-null values"),
     f("StdDev", Aggregate, 1, Some(1), "Sample standard deviation"),
     f("Variance", Aggregate, 1, Some(1), "Sample variance"),
-    f("Percentile", Aggregate, 2, Some(2), "Continuous percentile: Percentile(x, 0.9)"),
-    f("ATTR", Aggregate, 1, Some(1), "The single value if unique, else null"),
+    f(
+        "Percentile",
+        Aggregate,
+        2,
+        Some(2),
+        "Continuous percentile: Percentile(x, 0.9)",
+    ),
+    f(
+        "ATTR",
+        Aggregate,
+        1,
+        Some(1),
+        "The single value if unique, else null",
+    ),
     // --- window ---
-    f("RowNumber", Window, 0, Some(0), "1-based position within the partition"),
-    f("Rank", Window, 0, Some(0), "Rank with gaps, by the level ordering"),
+    f(
+        "RowNumber",
+        Window,
+        0,
+        Some(0),
+        "1-based position within the partition",
+    ),
+    f(
+        "Rank",
+        Window,
+        0,
+        Some(0),
+        "Rank with gaps, by the level ordering",
+    ),
     f("DenseRank", Window, 0, Some(0), "Rank without gaps"),
-    f("Ntile", Window, 1, Some(1), "Bucket number of N equal-height buckets"),
-    f("Lag", Window, 1, Some(3), "Value from an earlier row: Lag(x, [offset], [default])"),
+    f(
+        "Ntile",
+        Window,
+        1,
+        Some(1),
+        "Bucket number of N equal-height buckets",
+    ),
+    f(
+        "Lag",
+        Window,
+        1,
+        Some(3),
+        "Value from an earlier row: Lag(x, [offset], [default])",
+    ),
     f("Lead", Window, 1, Some(3), "Value from a later row"),
     f("First", Window, 1, Some(1), "First value in the partition"),
     f("Last", Window, 1, Some(1), "Last value in the partition"),
-    f("Nth", Window, 2, Some(2), "Nth value in the partition (1-based)"),
+    f(
+        "Nth",
+        Window,
+        2,
+        Some(2),
+        "Nth value in the partition (1-based)",
+    ),
     f("RunningSum", Window, 1, Some(1), "Cumulative sum"),
     f("RunningAvg", Window, 1, Some(1), "Cumulative mean"),
     f("RunningMin", Window, 1, Some(1), "Cumulative minimum"),
     f("RunningMax", Window, 1, Some(1), "Cumulative maximum"),
     f("RunningCount", Window, 0, Some(1), "Cumulative count"),
-    f("MovingAvg", Window, 2, Some(3), "Mean over a row window: MovingAvg(x, back, [fwd])"),
+    f(
+        "MovingAvg",
+        Window,
+        2,
+        Some(3),
+        "Mean over a row window: MovingAvg(x, back, [fwd])",
+    ),
     f("MovingSum", Window, 2, Some(3), "Sum over a row window"),
     f("MovingMin", Window, 2, Some(3), "Min over a row window"),
     f("MovingMax", Window, 2, Some(3), "Max over a row window"),
-    f("FillDown", Window, 1, Some(1), "Last non-null value at or before this row"),
-    f("FillUp", Window, 1, Some(1), "First non-null value at or after this row"),
+    f(
+        "FillDown",
+        Window,
+        1,
+        Some(1),
+        "Last non-null value at or before this row",
+    ),
+    f(
+        "FillUp",
+        Window,
+        1,
+        Some(1),
+        "First non-null value at or after this row",
+    ),
     // --- special (ad-hoc joins, §3.2) ---
     f(
         "Lookup",
@@ -208,7 +412,10 @@ mod tests {
         assert!(FUNCTIONS.iter().any(|d| d.kind == FunctionKind::Aggregate));
         assert!(FUNCTIONS.iter().any(|d| d.kind == FunctionKind::Window));
         assert_eq!(
-            FUNCTIONS.iter().filter(|d| d.kind == FunctionKind::Special).count(),
+            FUNCTIONS
+                .iter()
+                .filter(|d| d.kind == FunctionKind::Special)
+                .count(),
             2
         );
     }

@@ -99,56 +99,95 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '%' => {
-                tokens.push(Token { kind: TokenKind::Percent, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    offset: start,
+                });
                 i += 1;
             }
             '^' => {
-                tokens.push(Token { kind: TokenKind::Caret, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Caret,
+                    offset: start,
+                });
                 i += 1;
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    tokens.push(Token { kind: TokenKind::AndAnd, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::AndAnd,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Amp, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Amp,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    tokens.push(Token { kind: TokenKind::OrOr, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::OrOr,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { message: "unexpected '|'".into(), offset: start });
+                    return Err(LexError {
+                        message: "unexpected '|'".into(),
+                        offset: start,
+                    });
                 }
             }
             '=' => {
@@ -158,39 +197,61 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 } else {
                     i += 1;
                 }
-                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Bang, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Bang,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(&b'=') => {
-                        tokens.push(Token { kind: TokenKind::Le, offset: start });
-                        i += 2;
-                    }
-                    Some(&b'>') => {
-                        tokens.push(Token { kind: TokenKind::Ne, offset: start });
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(Token { kind: TokenKind::Lt, offset: start });
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
+                    i += 2;
                 }
-            }
+                Some(&b'>') => {
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -223,7 +284,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             '[' => {
                 let mut s = String::new();
@@ -255,9 +319,15 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     }
                 }
                 if s.trim().is_empty() {
-                    return Err(LexError { message: "empty [reference]".into(), offset: start });
+                    return Err(LexError {
+                        message: "empty [reference]".into(),
+                        offset: start,
+                    });
                 }
-                tokens.push(Token { kind: TokenKind::Bracket(s.trim().to_string()), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Bracket(s.trim().to_string()),
+                    offset: start,
+                });
             }
             _ if c.is_ascii_digit()
                 || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
@@ -306,7 +376,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         })?),
                     }
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = end;
             }
             _ if c.is_ascii_alphabetic() || c == '_' => {
@@ -349,7 +422,10 @@ mod tests {
         assert_eq!(kinds("2.5e-1"), vec![TokenKind::Float(0.25)]);
         assert_eq!(kinds(".5"), vec![TokenKind::Float(0.5)]);
         // Overflow degrades to float.
-        assert!(matches!(kinds("99999999999999999999")[0], TokenKind::Float(_)));
+        assert!(matches!(
+            kinds("99999999999999999999")[0],
+            TokenKind::Float(_)
+        ));
     }
 
     #[test]
@@ -391,7 +467,10 @@ mod tests {
                 TokenKind::Ident("e".into()),
             ]
         );
-        assert_eq!(kinds("&& || &"), vec![TokenKind::AndAnd, TokenKind::OrOr, TokenKind::Amp]);
+        assert_eq!(
+            kinds("&& || &"),
+            vec![TokenKind::AndAnd, TokenKind::OrOr, TokenKind::Amp]
+        );
     }
 
     #[test]

@@ -25,14 +25,21 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, offset: e.offset }
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
     }
 }
 
 /// Parse a formula from text.
 pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
     let expr = p.parse_expr(0)?;
     if let Some(tok) = p.peek() {
         return Err(ParseError {
@@ -64,7 +71,10 @@ impl Parser {
 
     fn err_here(&self, message: impl Into<String>) -> ParseError {
         let offset = self.peek().map_or(self.input_len, |t| t.offset);
-        ParseError { message: message.into(), offset }
+        ParseError {
+            message: message.into(),
+            offset,
+        }
     }
 
     fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
@@ -136,12 +146,18 @@ impl Parser {
                 match expr {
                     Formula::Literal(Value::Int(v)) => Ok(Formula::Literal(Value::Int(-v))),
                     Formula::Literal(Value::Float(v)) => Ok(Formula::Literal(Value::Float(-v))),
-                    other => Ok(Formula::Unary { op: UnaryOp::Neg, expr: Box::new(other) }),
+                    other => Ok(Formula::Unary {
+                        op: UnaryOp::Neg,
+                        expr: Box::new(other),
+                    }),
                 }
             }
             TokenKind::Bang => {
                 let expr = self.parse_expr(3)?;
-                Ok(Formula::Unary { op: UnaryOp::Not, expr: Box::new(expr) })
+                Ok(Formula::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(expr),
+                })
             }
             TokenKind::LParen => {
                 let inner = self.parse_expr(0)?;
@@ -157,7 +173,10 @@ impl Parser {
                     "null" => return Ok(Formula::Literal(Value::Null)),
                     "not" => {
                         let expr = self.parse_expr(3)?;
-                        return Ok(Formula::Unary { op: UnaryOp::Not, expr: Box::new(expr) });
+                        return Ok(Formula::Unary {
+                            op: UnaryOp::Not,
+                            expr: Box::new(expr),
+                        });
                     }
                     _ => {}
                 }
@@ -183,9 +202,7 @@ impl Parser {
                         }
                     }
                     self.expect(&TokenKind::RParen)?;
-                    if args.len() < def.min_args
-                        || def.max_args.is_some_and(|m| args.len() > m)
-                    {
+                    if args.len() < def.min_args || def.max_args.is_some_and(|m| args.len() > m) {
                         let expected = match def.max_args {
                             Some(m) if m == def.min_args => format!("{m}"),
                             Some(m) => format!("{}..{m}", def.min_args),
@@ -200,7 +217,10 @@ impl Parser {
                             offset: tok.offset,
                         });
                     }
-                    Ok(Formula::Call { func: def.name.to_string(), args })
+                    Ok(Formula::Call {
+                        func: def.name.to_string(),
+                        args,
+                    })
                 } else {
                     Ok(Formula::Ref(ColumnRef::local(name)))
                 }
@@ -236,7 +256,10 @@ mod tests {
     fn precedence() {
         assert_eq!(p("1 + 2 * 3"), p("1 + (2 * 3)"));
         assert_ne!(p("(1 + 2) * 3"), p("1 + 2 * 3"));
-        assert_eq!(p("1 < 2 and 3 < 4 or false"), p("((1 < 2) and (3 < 4)) or false"));
+        assert_eq!(
+            p("1 < 2 and 3 < 4 or false"),
+            p("((1 < 2) and (3 < 4)) or false")
+        );
         // Pow is right-associative.
         assert_eq!(p("2 ^ 3 ^ 2"), p("2 ^ (3 ^ 2)"));
         // Concat binds looser than +.
@@ -272,7 +295,10 @@ mod tests {
         let f = p("Lookup([Airports/Name], [Origin], [Airports/Code])");
         if let Formula::Call { func, args } = &f {
             assert_eq!(func, "Lookup");
-            assert_eq!(args[0], Formula::Ref(ColumnRef::qualified("Airports", "Name")));
+            assert_eq!(
+                args[0],
+                Formula::Ref(ColumnRef::qualified("Airports", "Name"))
+            );
             assert_eq!(args[1], Formula::Ref(ColumnRef::local("Origin")));
         } else {
             panic!("expected call");
@@ -322,8 +348,8 @@ mod tests {
         ] {
             let f1 = p(src);
             let printed = f1.to_string();
-            let f2 = parse_formula(&printed)
-                .unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+            let f2 =
+                parse_formula(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
             assert_eq!(f1, f2, "round trip failed for {src:?} -> {printed:?}");
         }
     }

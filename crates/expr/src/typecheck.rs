@@ -434,7 +434,7 @@ fn infer_call(
         }
         // special: Lookup(expr, localKey, targetKey, ...) pairs after arg 0.
         "Lookup" | "Rollup" => {
-            if (tys.len() - 1) % 2 != 0 {
+            if !(tys.len() - 1).is_multiple_of(2) {
                 return Err(err(format!(
                     "{name} expects key pairs after the first argument"
                 )));
@@ -502,14 +502,20 @@ mod tests {
     #[test]
     fn date_arithmetic() {
         assert_eq!(t("[Flight Date] + 1").unwrap(), Some(DataType::Date));
-        assert_eq!(t("[Flight Date] - [Flight Date]").unwrap(), Some(DataType::Int));
+        assert_eq!(
+            t("[Flight Date] - [Flight Date]").unwrap(),
+            Some(DataType::Int)
+        );
         assert!(t("[Flight Date] * 2").is_err());
     }
 
     #[test]
     fn comparisons_and_logic() {
         assert_eq!(t("Revenue > 100").unwrap(), Some(DataType::Bool));
-        assert_eq!(t("Cancelled and Revenue > 0").unwrap(), Some(DataType::Bool));
+        assert_eq!(
+            t("Cancelled and Revenue > 0").unwrap(),
+            Some(DataType::Bool)
+        );
         assert!(t("Revenue and Cancelled").is_err());
         assert!(t("Carrier > 5").is_err());
         assert_eq!(t("Carrier = \"AA\"").unwrap(), Some(DataType::Bool));
@@ -552,7 +558,10 @@ mod tests {
 
     #[test]
     fn date_units_must_be_literal() {
-        assert_eq!(t("DateTrunc(\"quarter\", [Flight Date])").unwrap(), Some(DataType::Date));
+        assert_eq!(
+            t("DateTrunc(\"quarter\", [Flight Date])").unwrap(),
+            Some(DataType::Date)
+        );
         assert!(t("DateTrunc(Carrier, [Flight Date])").is_err());
         assert!(t("DateTrunc(\"fortnight\", [Flight Date])").is_err());
     }

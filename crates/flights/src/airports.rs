@@ -18,36 +18,186 @@ pub struct Airport {
 
 /// A realistic set of large US airports.
 pub static AIRPORTS: &[Airport] = &[
-    Airport { code: "ATL", city: "Atlanta", state: "GA", elevation_ft: 1026 },
-    Airport { code: "LAX", city: "Los Angeles", state: "CA", elevation_ft: 128 },
-    Airport { code: "ORD", city: "Chicago", state: "IL", elevation_ft: 672 },
-    Airport { code: "DFW", city: "Dallas-Fort Worth", state: "TX", elevation_ft: 607 },
-    Airport { code: "DEN", city: "Denver", state: "CO", elevation_ft: 5431 },
-    Airport { code: "JFK", city: "New York", state: "NY", elevation_ft: 13 },
-    Airport { code: "SFO", city: "San Francisco", state: "CA", elevation_ft: 13 },
-    Airport { code: "SEA", city: "Seattle", state: "WA", elevation_ft: 433 },
-    Airport { code: "LAS", city: "Las Vegas", state: "NV", elevation_ft: 2181 },
-    Airport { code: "MCO", city: "Orlando", state: "FL", elevation_ft: 96 },
-    Airport { code: "EWR", city: "Newark", state: "NJ", elevation_ft: 18 },
-    Airport { code: "CLT", city: "Charlotte", state: "NC", elevation_ft: 748 },
-    Airport { code: "PHX", city: "Phoenix", state: "AZ", elevation_ft: 1135 },
-    Airport { code: "IAH", city: "Houston", state: "TX", elevation_ft: 97 },
-    Airport { code: "MIA", city: "Miami", state: "FL", elevation_ft: 8 },
-    Airport { code: "BOS", city: "Boston", state: "MA", elevation_ft: 20 },
-    Airport { code: "MSP", city: "Minneapolis", state: "MN", elevation_ft: 841 },
-    Airport { code: "DTW", city: "Detroit", state: "MI", elevation_ft: 645 },
-    Airport { code: "FLL", city: "Fort Lauderdale", state: "FL", elevation_ft: 9 },
-    Airport { code: "PHL", city: "Philadelphia", state: "PA", elevation_ft: 36 },
-    Airport { code: "SLC", city: "Salt Lake City", state: "UT", elevation_ft: 4227 },
-    Airport { code: "BWI", city: "Baltimore", state: "MD", elevation_ft: 146 },
-    Airport { code: "DCA", city: "Washington", state: "DC", elevation_ft: 15 },
-    Airport { code: "SAN", city: "San Diego", state: "CA", elevation_ft: 17 },
-    Airport { code: "TPA", city: "Tampa", state: "FL", elevation_ft: 26 },
-    Airport { code: "PDX", city: "Portland", state: "OR", elevation_ft: 31 },
-    Airport { code: "STL", city: "St. Louis", state: "MO", elevation_ft: 618 },
-    Airport { code: "HNL", city: "Honolulu", state: "HI", elevation_ft: 13 },
-    Airport { code: "AUS", city: "Austin", state: "TX", elevation_ft: 542 },
-    Airport { code: "MSY", city: "New Orleans", state: "LA", elevation_ft: 4 },
+    Airport {
+        code: "ATL",
+        city: "Atlanta",
+        state: "GA",
+        elevation_ft: 1026,
+    },
+    Airport {
+        code: "LAX",
+        city: "Los Angeles",
+        state: "CA",
+        elevation_ft: 128,
+    },
+    Airport {
+        code: "ORD",
+        city: "Chicago",
+        state: "IL",
+        elevation_ft: 672,
+    },
+    Airport {
+        code: "DFW",
+        city: "Dallas-Fort Worth",
+        state: "TX",
+        elevation_ft: 607,
+    },
+    Airport {
+        code: "DEN",
+        city: "Denver",
+        state: "CO",
+        elevation_ft: 5431,
+    },
+    Airport {
+        code: "JFK",
+        city: "New York",
+        state: "NY",
+        elevation_ft: 13,
+    },
+    Airport {
+        code: "SFO",
+        city: "San Francisco",
+        state: "CA",
+        elevation_ft: 13,
+    },
+    Airport {
+        code: "SEA",
+        city: "Seattle",
+        state: "WA",
+        elevation_ft: 433,
+    },
+    Airport {
+        code: "LAS",
+        city: "Las Vegas",
+        state: "NV",
+        elevation_ft: 2181,
+    },
+    Airport {
+        code: "MCO",
+        city: "Orlando",
+        state: "FL",
+        elevation_ft: 96,
+    },
+    Airport {
+        code: "EWR",
+        city: "Newark",
+        state: "NJ",
+        elevation_ft: 18,
+    },
+    Airport {
+        code: "CLT",
+        city: "Charlotte",
+        state: "NC",
+        elevation_ft: 748,
+    },
+    Airport {
+        code: "PHX",
+        city: "Phoenix",
+        state: "AZ",
+        elevation_ft: 1135,
+    },
+    Airport {
+        code: "IAH",
+        city: "Houston",
+        state: "TX",
+        elevation_ft: 97,
+    },
+    Airport {
+        code: "MIA",
+        city: "Miami",
+        state: "FL",
+        elevation_ft: 8,
+    },
+    Airport {
+        code: "BOS",
+        city: "Boston",
+        state: "MA",
+        elevation_ft: 20,
+    },
+    Airport {
+        code: "MSP",
+        city: "Minneapolis",
+        state: "MN",
+        elevation_ft: 841,
+    },
+    Airport {
+        code: "DTW",
+        city: "Detroit",
+        state: "MI",
+        elevation_ft: 645,
+    },
+    Airport {
+        code: "FLL",
+        city: "Fort Lauderdale",
+        state: "FL",
+        elevation_ft: 9,
+    },
+    Airport {
+        code: "PHL",
+        city: "Philadelphia",
+        state: "PA",
+        elevation_ft: 36,
+    },
+    Airport {
+        code: "SLC",
+        city: "Salt Lake City",
+        state: "UT",
+        elevation_ft: 4227,
+    },
+    Airport {
+        code: "BWI",
+        city: "Baltimore",
+        state: "MD",
+        elevation_ft: 146,
+    },
+    Airport {
+        code: "DCA",
+        city: "Washington",
+        state: "DC",
+        elevation_ft: 15,
+    },
+    Airport {
+        code: "SAN",
+        city: "San Diego",
+        state: "CA",
+        elevation_ft: 17,
+    },
+    Airport {
+        code: "TPA",
+        city: "Tampa",
+        state: "FL",
+        elevation_ft: 26,
+    },
+    Airport {
+        code: "PDX",
+        city: "Portland",
+        state: "OR",
+        elevation_ft: 31,
+    },
+    Airport {
+        code: "STL",
+        city: "St. Louis",
+        state: "MO",
+        elevation_ft: 618,
+    },
+    Airport {
+        code: "HNL",
+        city: "Honolulu",
+        state: "HI",
+        elevation_ft: 13,
+    },
+    Airport {
+        code: "AUS",
+        city: "Austin",
+        state: "TX",
+        elevation_ft: 542,
+    },
+    Airport {
+        code: "MSY",
+        city: "New Orleans",
+        state: "LA",
+        elevation_ft: 4,
+    },
 ];
 
 /// The clean dimension as a batch.
@@ -82,7 +232,11 @@ pub fn dirty_airports_csv(seed: u64) -> String {
         } else {
             a.code.to_string()
         };
-        let city = if rng.random::<f64>() < 0.07 { String::new() } else { a.city.to_string() };
+        let city = if rng.random::<f64>() < 0.07 {
+            String::new()
+        } else {
+            a.city.to_string()
+        };
         let elevation = if rng.random::<f64>() < 0.08 {
             format!("{} ft", a.elevation_ft) // dirty: unit suffix
         } else {
@@ -102,7 +256,10 @@ mod tests {
         let b = airports_batch();
         assert_eq!(b.num_rows(), AIRPORTS.len());
         assert_eq!(b.num_columns(), 4);
-        assert_eq!(b.column_by_name("code").unwrap().distinct_count(), AIRPORTS.len());
+        assert_eq!(
+            b.column_by_name("code").unwrap().distinct_count(),
+            AIRPORTS.len()
+        );
     }
 
     #[test]

@@ -25,13 +25,21 @@ pub struct FlightsConfig {
 
 impl Default for FlightsConfig {
     fn default() -> Self {
-        FlightsConfig { rows: 10_000, seed: 42, start_year: 1987, end_year: 2020 }
+        FlightsConfig {
+            rows: 10_000,
+            seed: 42,
+            start_year: 1987,
+            end_year: 2020,
+        }
     }
 }
 
 impl FlightsConfig {
     pub fn with_rows(rows: usize) -> FlightsConfig {
-        FlightsConfig { rows, ..Default::default() }
+        FlightsConfig {
+            rows,
+            ..Default::default()
+        }
     }
 }
 
@@ -108,7 +116,11 @@ pub fn generate_flights(config: &FlightsConfig) -> Batch {
             }
             // Route: home <-> random other airport.
             let other = rng.random_range(0..AIRPORTS.len());
-            let (o, d) = if at_home { (plane.home, other) } else { (plane.home, plane.home) };
+            let (o, d) = if at_home {
+                (plane.home, other)
+            } else {
+                (plane.home, plane.home)
+            };
             let (o, d) = if at_home { (o, d) } else { (other, plane.home) };
             at_home = !at_home;
             let distance = 200.0 + (o as f64 - d as f64).abs() * 90.0 + rng.random::<f64>() * 800.0;
@@ -179,7 +191,10 @@ mod tests {
         let a = generate_flights(&FlightsConfig::with_rows(500));
         let b = generate_flights(&FlightsConfig::with_rows(500));
         assert_eq!(a, b);
-        let c = generate_flights(&FlightsConfig { seed: 7, ..FlightsConfig::with_rows(500) });
+        let c = generate_flights(&FlightsConfig {
+            seed: 7,
+            ..FlightsConfig::with_rows(500)
+        });
         assert_ne!(a, c);
     }
 
@@ -198,7 +213,9 @@ mod tests {
         let end = calendar::days_from_civil(2020, 12, 31);
         let dates = b.column_by_name("flight_date").unwrap();
         for i in 0..b.num_rows() {
-            let Value::Date(d) = dates.value(i) else { panic!("date expected") };
+            let Value::Date(d) = dates.value(i) else {
+                panic!("date expected")
+            };
             assert!(d >= start && d <= end, "{d} out of range");
         }
     }
@@ -225,13 +242,19 @@ mod tests {
         let mut first: HashMap<String, i32> = HashMap::new();
         for i in 0..b.num_rows() {
             let t = tails.value(i).render();
-            let Value::Date(d) = dates.value(i) else { panic!() };
+            let Value::Date(d) = dates.value(i) else {
+                panic!()
+            };
             first.entry(t).and_modify(|x| *x = (*x).min(d)).or_insert(d);
         }
         let quarters: std::collections::HashSet<i32> = first
             .values()
             .map(|&d| calendar::trunc_date(d, calendar::DateUnit::Quarter))
             .collect();
-        assert!(quarters.len() >= 5, "expected several cohorts, got {}", quarters.len());
+        assert!(
+            quarters.len() >= 5,
+            "expected several cohorts, got {}",
+            quarters.len()
+        );
     }
 }

@@ -34,9 +34,13 @@ mod tests {
         assert_eq!(n, 1_000);
         load_airports(&wh).unwrap();
         let r = wh
-            .execute_sql("SELECT COUNT(*) AS n FROM flights JOIN airports ON flights.origin = airports.code")
+            .execute_sql(
+                "SELECT COUNT(*) AS n FROM flights JOIN airports ON flights.origin = airports.code",
+            )
             .unwrap();
-        let Value::Int(joined) = r.batch.value(0, 0) else { panic!() };
+        let Value::Int(joined) = r.batch.value(0, 0) else {
+            panic!()
+        };
         assert_eq!(joined, 1_000); // every origin matches the dimension
     }
 

@@ -71,7 +71,10 @@ impl QueryDirectory {
     pub fn insert(&self, fingerprint: &str, query_id: &str) {
         let mut entries = self.entries.lock();
         let mut order = self.order.lock();
-        if entries.insert(fingerprint.to_string(), query_id.to_string()).is_none() {
+        if entries
+            .insert(fingerprint.to_string(), query_id.to_string())
+            .is_none()
+        {
             order.push(fingerprint.to_string());
         }
         while order.len() > self.capacity {
@@ -85,11 +88,7 @@ impl QueryDirectory {
     pub fn invalidate(&self, predicate: impl Fn(&str) -> bool) -> usize {
         let mut entries = self.entries.lock();
         let mut order = self.order.lock();
-        let victims: Vec<String> = entries
-            .keys()
-            .filter(|k| predicate(k))
-            .cloned()
-            .collect();
+        let victims: Vec<String> = entries.keys().filter(|k| predicate(k)).cloned().collect();
         for v in &victims {
             entries.remove(v);
             order.retain(|o| o != v);
@@ -200,8 +199,7 @@ mod tests {
                 .unwrap()
             }));
         }
-        let results: Vec<(String, bool)> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let results: Vec<(String, bool)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(executions.load(Ordering::SeqCst), 1);
         assert!(results.iter().all(|(qid, _)| qid == "q-77"));
         // At least one request was served from cache/coalescing.
@@ -214,7 +212,9 @@ mod tests {
         let r: Result<(String, bool), &str> = dir.run_coalesced("f", || Err("boom"));
         assert!(r.is_err());
         // A later attempt can succeed.
-        let ok = dir.run_coalesced("f", || Ok::<_, &str>("q-9".into())).unwrap();
+        let ok = dir
+            .run_coalesced("f", || Ok::<_, &str>("q-9".into()))
+            .unwrap();
         assert_eq!(ok.0, "q-9");
     }
 }

@@ -46,7 +46,10 @@ pub struct DocumentStore {
 
 impl DocumentStore {
     pub fn new() -> DocumentStore {
-        DocumentStore { next_id: AtomicU64::new(1), ..Default::default() }
+        DocumentStore {
+            next_id: AtomicU64::new(1),
+            ..Default::default()
+        }
     }
 
     /// Save a new document (named) or exploration (unnamed workbook).
@@ -69,7 +72,10 @@ impl DocumentStore {
         };
         self.docs.write().insert(
             id,
-            StoredDocument { meta: meta.clone(), versions: vec![json] },
+            StoredDocument {
+                meta: meta.clone(),
+                versions: vec![json],
+            },
         );
         Ok(meta)
     }

@@ -101,11 +101,7 @@ impl Materializer {
     /// Record that a refresh completed.
     pub fn mark_refreshed(&self, element: &str) {
         let now = self.now();
-        if let Some(m) = self
-            .entries
-            .lock()
-            .get_mut(&element.to_ascii_lowercase())
-        {
+        if let Some(m) = self.entries.lock().get_mut(&element.to_ascii_lowercase()) {
             m.last_refreshed = now;
             m.refresh_count += 1;
         }

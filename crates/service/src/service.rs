@@ -23,6 +23,10 @@ use crate::workload::{Priority, WorkloadManager, WorkloadStats};
 
 /// A configured warehouse connection ("Sigma allows multiple warehouse
 /// configurations per customer", §2).
+/// Per-connection handles resolved for a request: warehouse, query
+/// directory, and workload manager.
+type ConnectionParts = (Arc<Warehouse>, Arc<QueryDirectory>, Arc<WorkloadManager>);
+
 struct Connection {
     org: u64,
     warehouse: Arc<Warehouse>,
@@ -111,11 +115,7 @@ impl SigmaService {
         );
     }
 
-    fn connection_for(
-        &self,
-        user: &User,
-        name: &str,
-    ) -> Result<(Arc<Warehouse>, Arc<QueryDirectory>, Arc<WorkloadManager>), ServiceError> {
+    fn connection_for(&self, user: &User, name: &str) -> Result<ConnectionParts, ServiceError> {
         let conns = self.connections.read();
         let conn = conns
             .get(name)
@@ -125,7 +125,11 @@ impl SigmaService {
                 "connection {name} belongs to another organization"
             )));
         }
-        Ok((conn.warehouse.clone(), conn.directory.clone(), conn.workload.clone()))
+        Ok((
+            conn.warehouse.clone(),
+            conn.directory.clone(),
+            conn.workload.clone(),
+        ))
     }
 
     /// Cache statistics for a connection (experiment E4/E6 observables).
@@ -181,8 +185,7 @@ impl SigmaService {
         let mut queue_wait = Duration::ZERO;
         let (query_id, cached) = directory
             .run_coalesced(&fingerprint, || {
-                let (result, wait) =
-                    wl.submit(req.priority, || wh.execute_sql(&sql));
+                let (result, wait) = wl.submit(req.priority, || wh.execute_sql(&sql));
                 queue_wait = wait;
                 result.map(|r| r.query_id)
             })
@@ -202,7 +205,13 @@ impl SigmaService {
                 (r.batch, ServedFrom::Warehouse)
             }
         };
-        Ok(QueryOutcome { batch, query_id, sql, served_from, queue_wait })
+        Ok(QueryOutcome {
+            batch,
+            query_id,
+            sql,
+            served_from,
+            queue_wait,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -294,10 +303,7 @@ impl SigmaService {
                         .unwrap_or(sigma_value::Value::Null);
                     let stmt = sigma_sql::Statement::Update {
                         table: sigma_sql::ObjectName::bare(table.clone()),
-                        assignments: vec![(
-                            column,
-                            sigma_sql::SqlExpr::Literal(coerced),
-                        )],
+                        assignments: vec![(column, sigma_sql::SqlExpr::Literal(coerced))],
                         selection: Some(sigma_sql::SqlExpr::eq(
                             sigma_sql::SqlExpr::col("_row_id"),
                             sigma_sql::SqlExpr::lit(row as i64),
@@ -309,8 +315,7 @@ impl SigmaService {
                     let Some((_, values)) = rows.iter().find(|(id, _)| *id == row_id) else {
                         continue; // inserted then deleted before propagation
                     };
-                    let mut row_exprs =
-                        vec![sigma_sql::SqlExpr::lit(row_id as i64)];
+                    let mut row_exprs = vec![sigma_sql::SqlExpr::lit(row_id as i64)];
                     for (v, (_, t)) in values.iter().zip(&columns) {
                         let coerced = sigma_value::column::cast_value(v.clone(), *t)
                             .unwrap_or(sigma_value::Value::Null);
@@ -370,12 +375,14 @@ impl SigmaService {
         let schemas = WarehouseSchemas(&warehouse);
         let mut subs = self.materializer.substitutions();
         subs.remove(&element.to_ascii_lowercase());
-        let options = CompileOptions { dialect: warehouse.dialect(), materializations: subs };
+        let options = CompileOptions {
+            dialect: warehouse.dialect(),
+            materializations: subs,
+        };
         let compiled = Compiler::new(workbook, &schemas, options).compile_element(element)?;
         let table = format!("mat_{}", element.to_ascii_lowercase().replace(' ', "_"));
         let ddl = format!("CREATE OR REPLACE TABLE {table} AS\n{}", compiled.sql);
-        let (result, _) =
-            workload.submit(Priority::Background, || warehouse.execute_sql(&ddl));
+        let (result, _) = workload.submit(Priority::Background, || warehouse.execute_sql(&ddl));
         result?;
         self.materializer.register(element, &table, refresh_every);
         self.materializer.mark_refreshed(element);
@@ -394,13 +401,7 @@ impl SigmaService {
         let due = self.materializer.tick(seconds);
         let mut refreshed = 0;
         for m in due {
-            self.materialize_element(
-                token,
-                connection,
-                workbook,
-                &m.element,
-                m.refresh_every,
-            )?;
+            self.materialize_element(token, connection, workbook, &m.element, m.refresh_every)?;
             refreshed += 1;
         }
         Ok(refreshed)

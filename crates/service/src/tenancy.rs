@@ -52,7 +52,10 @@ pub struct Tenancy {
 
 impl Tenancy {
     pub fn new() -> Tenancy {
-        Tenancy { next_id: AtomicU64::new(1), ..Default::default() }
+        Tenancy {
+            next_id: AtomicU64::new(1),
+            ..Default::default()
+        }
     }
 
     fn fresh_id(&self) -> u64 {
@@ -70,9 +73,15 @@ impl Tenancy {
             return Err(ServiceError::NotFound(format!("org {org}")));
         }
         let id = self.fresh_id();
-        self.users
-            .write()
-            .insert(id, User { id, org, name: name.to_string(), role });
+        self.users.write().insert(
+            id,
+            User {
+                id,
+                org,
+                name: name.to_string(),
+                role,
+            },
+        );
         Ok(id)
     }
 

@@ -29,13 +29,20 @@ fn setup() -> (SigmaService, Arc<Warehouse>, String, u64) {
 
 fn flights_workbook() -> Workbook {
     let mut wb = Workbook::new(Some("demo"));
-    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
-    t.add_column(ColumnDef::source("Carrier", "carrier")).unwrap();
-    t.add_column(ColumnDef::source("Cancelled", "cancelled")).unwrap();
-    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()])).unwrap();
-    t.add_column(ColumnDef::formula("Flights", "Count()", 1)).unwrap();
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
+    t.add_column(ColumnDef::source("Carrier", "carrier"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Cancelled", "cancelled"))
+        .unwrap();
+    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Flights", "Count()", 1))
+        .unwrap();
     t.detail_level = 1;
-    wb.add_element(0, "ByCarrier", ElementKind::Table(t)).unwrap();
+    wb.add_element(0, "ByCarrier", ElementKind::Table(t))
+        .unwrap();
     wb
 }
 
@@ -80,7 +87,10 @@ fn auth_and_acl_enforced() {
         element: "ByCarrier",
         priority: Priority::Interactive,
     };
-    assert_eq!(service.run_query(&bad).unwrap_err(), ServiceError::Unauthenticated);
+    assert_eq!(
+        service.run_query(&bad).unwrap_err(),
+        ServiceError::Unauthenticated
+    );
 
     // A user from another org cannot use this org's connection.
     let other_org = service.tenancy.create_org("rival");
@@ -96,7 +106,10 @@ fn auth_and_acl_enforced() {
         element: "ByCarrier",
         priority: Priority::Interactive,
     };
-    assert!(matches!(service.run_query(&req), Err(ServiceError::Forbidden(_))));
+    assert!(matches!(
+        service.run_query(&req),
+        Err(ServiceError::Forbidden(_))
+    ));
     let _ = wh;
 }
 
@@ -105,10 +118,17 @@ fn materialization_substitutes_and_refreshes() {
     let (service, wh, token, _) = setup();
     let mut wb = flights_workbook();
     // A derived element over ByCarrier.
-    let mut derived = TableSpec::new(DataSource::Element { name: "ByCarrier".into() });
-    derived.add_column(ColumnDef::source("Carrier", "Carrier")).unwrap();
-    derived.add_column(ColumnDef::source("Flights", "Flights")).unwrap();
-    wb.add_element(0, "Derived", ElementKind::Table(derived)).unwrap();
+    let mut derived = TableSpec::new(DataSource::Element {
+        name: "ByCarrier".into(),
+    });
+    derived
+        .add_column(ColumnDef::source("Carrier", "Carrier"))
+        .unwrap();
+    derived
+        .add_column(ColumnDef::source("Flights", "Flights"))
+        .unwrap();
+    wb.add_element(0, "Derived", ElementKind::Table(derived))
+        .unwrap();
 
     let table = service
         .materialize_element(&token, "primary", &wb, "ByCarrier", Some(60))
@@ -163,8 +183,11 @@ fn input_table_projection_and_edit_propagation() {
         ("Note".into(), DataType::Text),
     ]);
     let r1 = input.insert_row(vec!["ORD".into(), "hub".into()]).unwrap();
-    let _r2 = input.insert_row(vec!["SFO".into(), "coastal".into()]).unwrap();
-    wb.add_element(0, "Notes", ElementKind::Input(input)).unwrap();
+    let _r2 = input
+        .insert_row(vec!["SFO".into(), "coastal".into()])
+        .unwrap();
+    wb.add_element(0, "Notes", ElementKind::Input(input))
+        .unwrap();
 
     let table = service
         .project_input_table(&token, "primary", &mut wb, "Notes")
@@ -196,10 +219,17 @@ fn input_table_projection_and_edit_propagation() {
     assert_eq!(rows.value(1, 1), Value::Text("major hub".into()));
 
     // Downstream queries see the edits (the paper's Scenario 3 ending).
-    let mut consumer = TableSpec::new(DataSource::Element { name: "Notes".into() });
-    consumer.add_column(ColumnDef::source("Code", "Code")).unwrap();
-    consumer.add_column(ColumnDef::source("Note", "Note")).unwrap();
-    wb.add_element(0, "Consumer", ElementKind::Table(consumer)).unwrap();
+    let mut consumer = TableSpec::new(DataSource::Element {
+        name: "Notes".into(),
+    });
+    consumer
+        .add_column(ColumnDef::source("Code", "Code"))
+        .unwrap();
+    consumer
+        .add_column(ColumnDef::source("Note", "Note"))
+        .unwrap();
+    wb.add_element(0, "Consumer", ElementKind::Table(consumer))
+        .unwrap();
     let json = wb.to_json().unwrap();
     let req = QueryRequest {
         token: &token,
@@ -217,7 +247,10 @@ fn document_store_round_trip_through_service() {
     let (service, _wh, token, org) = setup();
     let user = service.tenancy.authenticate(&token).unwrap();
     let wb = flights_workbook();
-    let meta = service.documents.create(org, user.id, "Demos", &wb).unwrap();
+    let meta = service
+        .documents
+        .create(org, user.id, "Demos", &wb)
+        .unwrap();
     let loaded = service.documents.open(meta.id, None).unwrap();
     assert_eq!(loaded, wb);
     // Share with a viewer.

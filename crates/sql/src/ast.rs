@@ -94,10 +94,18 @@ pub struct OrderExpr {
 
 impl OrderExpr {
     pub fn asc(expr: SqlExpr) -> OrderExpr {
-        OrderExpr { expr, descending: false, nulls_last: None }
+        OrderExpr {
+            expr,
+            descending: false,
+            nulls_last: None,
+        }
     }
     pub fn desc(expr: SqlExpr) -> OrderExpr {
-        OrderExpr { expr, descending: true, nulls_last: None }
+        OrderExpr {
+            expr,
+            descending: true,
+            nulls_last: None,
+        }
     }
 }
 
@@ -132,7 +140,10 @@ pub struct WindowSpec {
 pub enum SqlExpr {
     Literal(Value),
     /// Optionally table-qualified column reference.
-    Column { table: Option<String>, name: String },
+    Column {
+        table: Option<String>,
+        name: String,
+    },
     /// `*` (only valid inside COUNT(*) and SELECT lists).
     Star,
     Unary {
@@ -191,11 +202,17 @@ pub enum SqlExpr {
 
 impl SqlExpr {
     pub fn col(name: impl Into<String>) -> SqlExpr {
-        SqlExpr::Column { table: None, name: name.into() }
+        SqlExpr::Column {
+            table: None,
+            name: name.into(),
+        }
     }
 
     pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> SqlExpr {
-        SqlExpr::Column { table: Some(table.into()), name: name.into() }
+        SqlExpr::Column {
+            table: Some(table.into()),
+            name: name.into(),
+        }
     }
 
     pub fn lit(v: impl Into<Value>) -> SqlExpr {
@@ -207,11 +224,19 @@ impl SqlExpr {
     }
 
     pub fn func(name: impl Into<String>, args: Vec<SqlExpr>) -> SqlExpr {
-        SqlExpr::Func { name: name.into(), args, distinct: false }
+        SqlExpr::Func {
+            name: name.into(),
+            args,
+            distinct: false,
+        }
     }
 
     pub fn binary(op: SqlBinaryOp, left: SqlExpr, right: SqlExpr) -> SqlExpr {
-        SqlExpr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        SqlExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     pub fn eq(left: SqlExpr, right: SqlExpr) -> SqlExpr {
@@ -231,13 +256,19 @@ impl SqlExpr {
 /// One item in a SELECT projection.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SelectItem {
-    Expr { expr: SqlExpr, alias: Option<String> },
+    Expr {
+        expr: SqlExpr,
+        alias: Option<String>,
+    },
     Wildcard,
 }
 
 impl SelectItem {
     pub fn aliased(expr: SqlExpr, alias: impl Into<String>) -> SelectItem {
-        SelectItem::Expr { expr, alias: Some(alias.into()) }
+        SelectItem::Expr {
+            expr,
+            alias: Some(alias.into()),
+        }
     }
 
     pub fn bare(expr: SqlExpr) -> SelectItem {
@@ -406,14 +437,26 @@ mod tests {
         let one = SqlExpr::conjunction(vec![SqlExpr::lit(true)]).unwrap();
         assert_eq!(one, SqlExpr::lit(true));
         let two = SqlExpr::conjunction(vec![SqlExpr::col("a"), SqlExpr::col("b")]).unwrap();
-        assert!(matches!(two, SqlExpr::Binary { op: SqlBinaryOp::And, .. }));
+        assert!(matches!(
+            two,
+            SqlExpr::Binary {
+                op: SqlBinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn table_ref_binding() {
-        let t = TableRef::Table { name: ObjectName(vec!["s".into(), "f".into()]), alias: None };
+        let t = TableRef::Table {
+            name: ObjectName(vec!["s".into(), "f".into()]),
+            alias: None,
+        };
         assert_eq!(t.binding(), Some("f"));
-        let t2 = TableRef::Table { name: ObjectName::bare("x"), alias: Some("y".into()) };
+        let t2 = TableRef::Table {
+            name: ObjectName::bare("x"),
+            alias: Some("y".into()),
+        };
         assert_eq!(t2.binding(), Some("y"));
     }
 }

@@ -56,7 +56,9 @@ impl Dialect {
     }
 
     pub fn generic() -> Dialect {
-        Dialect { kind: DialectKind::Generic }
+        Dialect {
+            kind: DialectKind::Generic,
+        }
     }
 
     /// Quote an identifier. BigQuery and Databricks use backticks; the
@@ -116,13 +118,75 @@ impl Dialect {
 /// Keywords that must be quoted when used as identifiers.
 pub fn is_reserved(ident: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "all", "and", "as", "asc", "between", "by", "case", "cast", "create", "cross", "delete",
-        "desc", "distinct", "drop", "else", "end", "exists", "false", "from", "full", "group",
-        "having", "if", "ignore", "in", "inner", "insert", "into", "is", "join", "last", "left",
-        "like", "limit", "not", "null", "nulls", "offset", "on", "or", "order", "outer", "over",
-        "partition", "qualify", "replace", "right", "rows", "select", "set", "table", "then",
-        "true", "union", "update", "values", "when", "where", "with", "first", "preceding",
-        "following", "unbounded", "current", "row", "range", "date", "timestamp", "interval",
+        "all",
+        "and",
+        "as",
+        "asc",
+        "between",
+        "by",
+        "case",
+        "cast",
+        "create",
+        "cross",
+        "delete",
+        "desc",
+        "distinct",
+        "drop",
+        "else",
+        "end",
+        "exists",
+        "false",
+        "from",
+        "full",
+        "group",
+        "having",
+        "if",
+        "ignore",
+        "in",
+        "inner",
+        "insert",
+        "into",
+        "is",
+        "join",
+        "last",
+        "left",
+        "like",
+        "limit",
+        "not",
+        "null",
+        "nulls",
+        "offset",
+        "on",
+        "or",
+        "order",
+        "outer",
+        "over",
+        "partition",
+        "qualify",
+        "replace",
+        "right",
+        "rows",
+        "select",
+        "set",
+        "table",
+        "then",
+        "true",
+        "union",
+        "update",
+        "values",
+        "when",
+        "where",
+        "with",
+        "first",
+        "preceding",
+        "following",
+        "unbounded",
+        "current",
+        "row",
+        "range",
+        "date",
+        "timestamp",
+        "interval",
     ];
     RESERVED.contains(&ident.to_ascii_lowercase().as_str())
 }
@@ -153,8 +217,14 @@ mod tests {
 
     #[test]
     fn dialect_kind_parse() {
-        assert_eq!(DialectKind::parse("PostgreSQL"), Some(DialectKind::Postgres));
-        assert_eq!(DialectKind::parse("snowflake"), Some(DialectKind::Snowflake));
+        assert_eq!(
+            DialectKind::parse("PostgreSQL"),
+            Some(DialectKind::Postgres)
+        );
+        assert_eq!(
+            DialectKind::parse("snowflake"),
+            Some(DialectKind::Snowflake)
+        );
         assert_eq!(DialectKind::parse("oracle"), None);
     }
 }

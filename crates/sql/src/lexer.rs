@@ -104,74 +104,125 @@ pub fn lex_sql(input: &str) -> Result<Vec<SqlToken>, SqlLexError> {
                 }
             }
             '(' => {
-                tokens.push(SqlToken { kind: SqlTokenKind::LParen, offset: start });
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(SqlToken { kind: SqlTokenKind::RParen, offset: start });
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(SqlToken { kind: SqlTokenKind::Comma, offset: start });
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' if !bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) => {
-                tokens.push(SqlToken { kind: SqlTokenKind::Dot, offset: start });
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(SqlToken { kind: SqlTokenKind::Plus, offset: start });
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(SqlToken { kind: SqlTokenKind::Minus, offset: start });
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(SqlToken { kind: SqlTokenKind::Star, offset: start });
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(SqlToken { kind: SqlTokenKind::Slash, offset: start });
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '%' => {
-                tokens.push(SqlToken { kind: SqlTokenKind::Percent, offset: start });
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::Percent,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(SqlToken { kind: SqlTokenKind::Eq, offset: start });
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(SqlToken { kind: SqlTokenKind::NotEq, offset: start });
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::NotEq,
+                    offset: start,
+                });
                 i += 2;
             }
             '<' => match bytes.get(i + 1) {
                 Some(&b'=') => {
-                    tokens.push(SqlToken { kind: SqlTokenKind::LtEq, offset: start });
+                    tokens.push(SqlToken {
+                        kind: SqlTokenKind::LtEq,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 Some(&b'>') => {
-                    tokens.push(SqlToken { kind: SqlTokenKind::NotEq, offset: start });
+                    tokens.push(SqlToken {
+                        kind: SqlTokenKind::NotEq,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 _ => {
-                    tokens.push(SqlToken { kind: SqlTokenKind::Lt, offset: start });
+                    tokens.push(SqlToken {
+                        kind: SqlTokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(SqlToken { kind: SqlTokenKind::GtEq, offset: start });
+                    tokens.push(SqlToken {
+                        kind: SqlTokenKind::GtEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SqlToken { kind: SqlTokenKind::Gt, offset: start });
+                    tokens.push(SqlToken {
+                        kind: SqlTokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '|' if bytes.get(i + 1) == Some(&b'|') => {
-                tokens.push(SqlToken { kind: SqlTokenKind::ConcatOp, offset: start });
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::ConcatOp,
+                    offset: start,
+                });
                 i += 2;
             }
             '\'' => {
@@ -201,7 +252,10 @@ pub fn lex_sql(input: &str) -> Result<Vec<SqlToken>, SqlLexError> {
                         }
                     }
                 }
-                tokens.push(SqlToken { kind: SqlTokenKind::Str(s), offset: start });
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::Str(s),
+                    offset: start,
+                });
             }
             '"' | '`' => {
                 let quote = c;
@@ -231,7 +285,10 @@ pub fn lex_sql(input: &str) -> Result<Vec<SqlToken>, SqlLexError> {
                         }
                     }
                 }
-                tokens.push(SqlToken { kind: SqlTokenKind::QuotedIdent(s), offset: start });
+                tokens.push(SqlToken {
+                    kind: SqlTokenKind::QuotedIdent(s),
+                    offset: start,
+                });
             }
             _ if c.is_ascii_digit() || c == '.' => {
                 let mut end = i;

@@ -20,7 +20,11 @@ pub struct SqlParseError {
 
 impl fmt::Display for SqlParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL parse error: {} at offset {}", self.message, self.offset)
+        write!(
+            f,
+            "SQL parse error: {} at offset {}",
+            self.message, self.offset
+        )
     }
 }
 
@@ -28,14 +32,21 @@ impl std::error::Error for SqlParseError {}
 
 impl From<SqlLexError> for SqlParseError {
     fn from(e: SqlLexError) -> Self {
-        SqlParseError { message: e.message, offset: e.offset }
+        SqlParseError {
+            message: e.message,
+            offset: e.offset,
+        }
     }
 }
 
 /// Parse a single SQL statement.
 pub fn parse_statement(input: &str) -> Result<Statement, SqlParseError> {
     let tokens = lex_sql(input)?;
-    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
     let stmt = p.statement()?;
     p.expect_end()?;
     Ok(stmt)
@@ -44,7 +55,11 @@ pub fn parse_statement(input: &str) -> Result<Statement, SqlParseError> {
 /// Parse a query (SELECT / WITH / VALUES).
 pub fn parse_query(input: &str) -> Result<Query, SqlParseError> {
     let tokens = lex_sql(input)?;
-    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
     let q = p.query()?;
     p.expect_end()?;
     Ok(q)
@@ -66,7 +81,9 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.tokens.get(self.pos).map_or(self.input_len, |t| t.offset)
+        self.tokens
+            .get(self.pos)
+            .map_or(self.input_len, |t| t.offset)
     }
 
     fn advance(&mut self) -> Option<SqlTokenKind> {
@@ -78,7 +95,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> SqlParseError {
-        SqlParseError { message: message.into(), offset: self.offset() }
+        SqlParseError {
+            message: message.into(),
+            offset: self.offset(),
+        }
     }
 
     fn expect_end(&self) -> Result<(), SqlParseError> {
@@ -112,7 +132,8 @@ impl Parser {
         } else {
             Err(self.err(format!(
                 "expected {kw}, found {}",
-                self.peek().map_or("end of input".to_string(), |t| t.to_string())
+                self.peek()
+                    .map_or("end of input".to_string(), |t| t.to_string())
             )))
         }
     }
@@ -132,7 +153,8 @@ impl Parser {
         } else {
             Err(self.err(format!(
                 "expected {kind}, found {}",
-                self.peek().map_or("end of input".to_string(), |t| t.to_string())
+                self.peek()
+                    .map_or("end of input".to_string(), |t| t.to_string())
             )))
         }
     }
@@ -147,7 +169,10 @@ impl Parser {
                     "expected identifier, found {}",
                     other.map_or("end of input".to_string(), |t| t.to_string())
                 ),
-                offset: self.tokens.get(self.pos - 1).map_or(self.input_len, |t| t.offset),
+                offset: self
+                    .tokens
+                    .get(self.pos - 1)
+                    .map_or(self.input_len, |t| t.offset),
             }),
         }
     }
@@ -176,21 +201,24 @@ impl Parser {
             let table = self.object_name()?;
             // Optional column list: a '(' followed by an identifier then
             // ',' or ')' — otherwise the '(' starts a subquery source.
-            let columns = if self.peek() == Some(&SqlTokenKind::LParen)
-                && self.looks_like_column_list()
-            {
-                self.expect(&SqlTokenKind::LParen)?;
-                let mut cols = vec![self.ident()?];
-                while self.eat(&SqlTokenKind::Comma) {
-                    cols.push(self.ident()?);
-                }
-                self.expect(&SqlTokenKind::RParen)?;
-                Some(cols)
-            } else {
-                None
-            };
+            let columns =
+                if self.peek() == Some(&SqlTokenKind::LParen) && self.looks_like_column_list() {
+                    self.expect(&SqlTokenKind::LParen)?;
+                    let mut cols = vec![self.ident()?];
+                    while self.eat(&SqlTokenKind::Comma) {
+                        cols.push(self.ident()?);
+                    }
+                    self.expect(&SqlTokenKind::RParen)?;
+                    Some(cols)
+                } else {
+                    None
+                };
             let source = self.query()?;
-            return Ok(Statement::Insert { table, columns, source });
+            return Ok(Statement::Insert {
+                table,
+                columns,
+                source,
+            });
         }
         if self.eat_word("UPDATE") {
             let table = self.object_name()?;
@@ -205,13 +233,25 @@ impl Parser {
                     break;
                 }
             }
-            let selection = if self.eat_word("WHERE") { Some(self.expr(0)?) } else { None };
-            return Ok(Statement::Update { table, assignments, selection });
+            let selection = if self.eat_word("WHERE") {
+                Some(self.expr(0)?)
+            } else {
+                None
+            };
+            return Ok(Statement::Update {
+                table,
+                assignments,
+                selection,
+            });
         }
         if self.eat_word("DELETE") {
             self.expect_word("FROM")?;
             let table = self.object_name()?;
-            let selection = if self.eat_word("WHERE") { Some(self.expr(0)?) } else { None };
+            let selection = if self.eat_word("WHERE") {
+                Some(self.expr(0)?)
+            } else {
+                None
+            };
             return Ok(Statement::Delete { table, selection });
         }
         if self.eat_word("DROP") {
@@ -236,8 +276,7 @@ impl Parser {
             Some(SqlTokenKind::Word(_) | SqlTokenKind::QuotedIdent(_))
         );
         // "(select ...)" is a subquery, not a column list.
-        if self.at_word_n(1, "SELECT") || self.at_word_n(1, "WITH") || self.at_word_n(1, "VALUES")
-        {
+        if self.at_word_n(1, "SELECT") || self.at_word_n(1, "WITH") || self.at_word_n(1, "VALUES") {
             return false;
         }
         id_ok
@@ -266,7 +305,11 @@ impl Parser {
         let name = self.object_name()?;
         if self.eat_word("AS") {
             let query = self.query()?;
-            return Ok(Statement::CreateTableAs { name, query, or_replace });
+            return Ok(Statement::CreateTableAs {
+                name,
+                query,
+                or_replace,
+            });
         }
         self.expect(&SqlTokenKind::LParen)?;
         let mut columns = Vec::new();
@@ -281,7 +324,11 @@ impl Parser {
             }
         }
         self.expect(&SqlTokenKind::RParen)?;
-        Ok(Statement::CreateTable { name, columns, if_not_exists })
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -317,7 +364,13 @@ impl Parser {
         if self.eat_word("OFFSET") {
             offset = Some(self.unsigned_number()?);
         }
-        Ok(Query { ctes, body, order_by, limit, offset })
+        Ok(Query {
+            ctes,
+            body,
+            order_by,
+            limit,
+            offset,
+        })
     }
 
     fn unsigned_number(&mut self) -> Result<u64, SqlParseError> {
@@ -351,7 +404,11 @@ impl Parser {
             } else {
                 None
             };
-            out.push(OrderExpr { expr, descending, nulls_last });
+            out.push(OrderExpr {
+                expr,
+                descending,
+                nulls_last,
+            });
             if !self.eat(&SqlTokenKind::Comma) {
                 break;
             }
@@ -517,7 +574,10 @@ impl Parser {
             let alias = self
                 .optional_alias()?
                 .ok_or_else(|| self.err("derived table requires an alias"))?;
-            return Ok(TableRef::Subquery { query: Box::new(query), alias });
+            return Ok(TableRef::Subquery {
+                query: Box::new(query),
+                alias,
+            });
         }
         let name = self.object_name()?;
         let alias = self.optional_alias()?;
@@ -537,14 +597,19 @@ impl Parser {
                     self.expect_word("IS")?;
                     let negated = self.eat_word("NOT");
                     self.expect_word("NULL")?;
-                    left = SqlExpr::IsNull { expr: Box::new(left), negated };
+                    left = SqlExpr::IsNull {
+                        expr: Box::new(left),
+                        negated,
+                    };
                     continue;
                 }
                 let negated_ahead = self.at_word("NOT")
                     && (self.at_word_n(1, "IN")
                         || self.at_word_n(1, "BETWEEN")
                         || self.at_word_n(1, "LIKE"));
-                if self.at_word("IN") || self.at_word("BETWEEN") || self.at_word("LIKE")
+                if self.at_word("IN")
+                    || self.at_word("BETWEEN")
+                    || self.at_word("LIKE")
                     || negated_ahead
                 {
                     let negated = self.eat_word("NOT");
@@ -558,7 +623,11 @@ impl Parser {
                             }
                         }
                         self.expect(&SqlTokenKind::RParen)?;
-                        left = SqlExpr::InList { expr: Box::new(left), list, negated };
+                        left = SqlExpr::InList {
+                            expr: Box::new(left),
+                            list,
+                            negated,
+                        };
                     } else if self.eat_word("BETWEEN") {
                         let low = self.expr(5)?;
                         self.expect_word("AND")?;
@@ -588,7 +657,11 @@ impl Parser {
             }
             self.advance();
             let right = self.expr(prec + 1)?;
-            left = SqlExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -616,11 +689,15 @@ impl Parser {
     fn prefix(&mut self) -> Result<SqlExpr, SqlParseError> {
         match self.peek().cloned() {
             Some(SqlTokenKind::Number(_)) => {
-                let Some(SqlTokenKind::Number(n)) = self.advance() else { unreachable!() };
+                let Some(SqlTokenKind::Number(n)) = self.advance() else {
+                    unreachable!()
+                };
                 self.number_literal(&n, false)
             }
             Some(SqlTokenKind::Str(_)) => {
-                let Some(SqlTokenKind::Str(s)) = self.advance() else { unreachable!() };
+                let Some(SqlTokenKind::Str(s)) = self.advance() else {
+                    unreachable!()
+                };
                 Ok(SqlExpr::Literal(Value::Text(s)))
             }
             Some(SqlTokenKind::Minus) => {
@@ -631,7 +708,10 @@ impl Parser {
                     return self.number_literal(&n, true);
                 }
                 let expr = self.expr(8)?;
-                Ok(SqlExpr::Unary { op: SqlUnaryOp::Neg, expr: Box::new(expr) })
+                Ok(SqlExpr::Unary {
+                    op: SqlUnaryOp::Neg,
+                    expr: Box::new(expr),
+                })
             }
             Some(SqlTokenKind::Plus) => {
                 self.advance();
@@ -666,7 +746,10 @@ impl Parser {
                     "NOT" => {
                         self.advance();
                         let expr = self.expr(3)?;
-                        Ok(SqlExpr::Unary { op: SqlUnaryOp::Not, expr: Box::new(expr) })
+                        Ok(SqlExpr::Unary {
+                            op: SqlUnaryOp::Not,
+                            expr: Box::new(expr),
+                        })
                     }
                     "CASE" => self.case_expr(),
                     "CAST" => {
@@ -678,18 +761,25 @@ impl Parser {
                         let dtype = DataType::parse_sql(&ty_word)
                             .ok_or_else(|| self.err(format!("unknown type {ty_word}")))?;
                         self.expect(&SqlTokenKind::RParen)?;
-                        Ok(SqlExpr::Cast { expr: Box::new(expr), dtype })
+                        Ok(SqlExpr::Cast {
+                            expr: Box::new(expr),
+                            dtype,
+                        })
                     }
                     "DATE" if matches!(self.peek_at(1), Some(SqlTokenKind::Str(_))) => {
                         self.advance();
-                        let Some(SqlTokenKind::Str(s)) = self.advance() else { unreachable!() };
+                        let Some(SqlTokenKind::Str(s)) = self.advance() else {
+                            unreachable!()
+                        };
                         let days = calendar::parse_date(&s)
                             .ok_or_else(|| self.err(format!("bad date literal {s:?}")))?;
                         Ok(SqlExpr::Literal(Value::Date(days)))
                     }
                     "TIMESTAMP" if matches!(self.peek_at(1), Some(SqlTokenKind::Str(_))) => {
                         self.advance();
-                        let Some(SqlTokenKind::Str(s)) = self.advance() else { unreachable!() };
+                        let Some(SqlTokenKind::Str(s)) = self.advance() else {
+                            unreachable!()
+                        };
                         let micros = calendar::parse_timestamp(&s)
                             .ok_or_else(|| self.err(format!("bad timestamp literal {s:?}")))?;
                         Ok(SqlExpr::Literal(Value::Timestamp(micros)))
@@ -749,7 +839,11 @@ impl Parser {
             None
         };
         self.expect_word("END")?;
-        Ok(SqlExpr::Case { operand, whens, else_ })
+        Ok(SqlExpr::Case {
+            operand,
+            whens,
+            else_,
+        })
     }
 
     /// Column reference (possibly qualified) or function call (possibly a
@@ -800,14 +894,24 @@ impl Parser {
             if ignore_nulls {
                 return Err(self.err("IGNORE NULLS requires an OVER clause"));
             }
-            return Ok(SqlExpr::Func { name: first.to_ascii_uppercase(), args, distinct });
+            return Ok(SqlExpr::Func {
+                name: first.to_ascii_uppercase(),
+                args,
+                distinct,
+            });
         }
         if self.peek() == Some(&SqlTokenKind::Dot) {
             self.advance();
             let name = self.ident()?;
-            return Ok(SqlExpr::Column { table: Some(first), name });
+            return Ok(SqlExpr::Column {
+                table: Some(first),
+                name,
+            });
         }
-        Ok(SqlExpr::Column { table: None, name: first })
+        Ok(SqlExpr::Column {
+            table: None,
+            name: first,
+        })
     }
 
     fn window_spec(&mut self) -> Result<WindowSpec, SqlParseError> {
@@ -929,8 +1033,8 @@ mod tests {
         ] {
             let s1 = parse_statement(sql).unwrap_or_else(|e| panic!("parse {sql:?}: {e}"));
             let printed = print_statement(&s1, &Dialect::generic());
-            let s2 = parse_statement(&printed)
-                .unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+            let s2 =
+                parse_statement(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
             assert_eq!(s1, s2, "round trip failed:\n{sql}\n->\n{printed}");
         }
     }
@@ -949,11 +1053,17 @@ mod tests {
         if let SetExpr::Select(s) = &q.body {
             assert!(matches!(
                 &s.projection[0],
-                SelectItem::Expr { expr: SqlExpr::Literal(Value::Int(-3)), .. }
+                SelectItem::Expr {
+                    expr: SqlExpr::Literal(Value::Int(-3)),
+                    ..
+                }
             ));
             assert!(matches!(
                 &s.projection[2],
-                SelectItem::Expr { expr: SqlExpr::Unary { .. }, .. }
+                SelectItem::Expr {
+                    expr: SqlExpr::Unary { .. },
+                    ..
+                }
             ));
         } else {
             panic!()
@@ -971,14 +1081,17 @@ mod tests {
 
     #[test]
     fn bigquery_ignore_nulls_placement_parses() {
-        let q = parse_query(
-            "SELECT LAST_VALUE(x IGNORE NULLS) OVER (ORDER BY o) FROM t",
-        )
-        .unwrap();
+        let q = parse_query("SELECT LAST_VALUE(x IGNORE NULLS) OVER (ORDER BY o) FROM t").unwrap();
         if let SetExpr::Select(s) = &q.body {
             assert!(matches!(
                 &s.projection[0],
-                SelectItem::Expr { expr: SqlExpr::WindowFunc { ignore_nulls: true, .. }, .. }
+                SelectItem::Expr {
+                    expr: SqlExpr::WindowFunc {
+                        ignore_nulls: true,
+                        ..
+                    },
+                    ..
+                }
             ));
         } else {
             panic!()

@@ -17,7 +17,10 @@ pub struct Field {
 
 impl Field {
     pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -107,10 +110,17 @@ impl Batch {
                 });
             }
             if c.len() != rows {
-                return Err(ValueError::LengthMismatch { expected: rows, found: c.len() });
+                return Err(ValueError::LengthMismatch {
+                    expected: rows,
+                    found: c.len(),
+                });
             }
         }
-        Ok(Batch { schema, columns, rows })
+        Ok(Batch {
+            schema,
+            columns,
+            rows,
+        })
     }
 
     /// A zero-row batch with the given schema.
@@ -120,7 +130,11 @@ impl Batch {
             .iter()
             .map(|f| Column::nulls(f.dtype, 0))
             .collect();
-        Batch { columns, rows: 0, schema }
+        Batch {
+            columns,
+            rows: 0,
+            schema,
+        }
     }
 
     pub fn schema(&self) -> &Arc<Schema> {
@@ -181,23 +195,34 @@ impl Batch {
     /// Keep rows where `mask` is true.
     pub fn filter(&self, mask: &[bool]) -> Batch {
         let columns: Vec<Column> = self.columns.iter().map(|c| c.filter(mask)).collect();
-        let rows = columns.first().map_or_else(
-            || mask.iter().filter(|&&b| b).count(),
-            |c| c.len(),
-        );
-        Batch { schema: self.schema.clone(), columns, rows }
+        let rows = columns
+            .first()
+            .map_or_else(|| mask.iter().filter(|&&b| b).count(), |c| c.len());
+        Batch {
+            schema: self.schema.clone(),
+            columns,
+            rows,
+        }
     }
 
     /// Gather rows by index.
     pub fn take(&self, indices: &[usize]) -> Batch {
         let columns: Vec<Column> = self.columns.iter().map(|c| c.take(indices)).collect();
-        Batch { schema: self.schema.clone(), columns, rows: indices.len() }
+        Batch {
+            schema: self.schema.clone(),
+            columns,
+            rows: indices.len(),
+        }
     }
 
     /// Contiguous sub-range.
     pub fn slice(&self, offset: usize, len: usize) -> Batch {
         let columns: Vec<Column> = self.columns.iter().map(|c| c.slice(offset, len)).collect();
-        Batch { schema: self.schema.clone(), columns, rows: len }
+        Batch {
+            schema: self.schema.clone(),
+            columns,
+            rows: len,
+        }
     }
 
     /// Concatenate same-schema batches (schema taken from the first).
@@ -211,7 +236,11 @@ impl Batch {
             columns.push(Column::concat(&cols)?);
         }
         let rows = parts.iter().map(|b| b.num_rows()).sum();
-        Ok(Batch { schema: first.schema.clone(), columns, rows })
+        Ok(Batch {
+            schema: first.schema.clone(),
+            columns,
+            rows,
+        })
     }
 
     /// Approximate heap footprint in bytes.

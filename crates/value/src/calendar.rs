@@ -319,7 +319,13 @@ pub fn parse_timestamp(s: &str) -> Option<i64> {
     if !(0..24).contains(&h) || !(0..60).contains(&mi) || !(0..60).contains(&sec) {
         return None;
     }
-    Some(days * MICROS_PER_DAY + h * MICROS_PER_HOUR + mi * MICROS_PER_MINUTE + sec * MICROS_PER_SECOND + us)
+    Some(
+        days * MICROS_PER_DAY
+            + h * MICROS_PER_HOUR
+            + mi * MICROS_PER_MINUTE
+            + sec * MICROS_PER_SECOND
+            + us,
+    )
 }
 
 #[cfg(test)]
@@ -364,9 +370,15 @@ mod tests {
     #[test]
     fn trunc_quarter() {
         let d = days_from_civil(2019, 8, 17);
-        assert_eq!(civil_from_days(trunc_date(d, DateUnit::Quarter)), (2019, 7, 1));
+        assert_eq!(
+            civil_from_days(trunc_date(d, DateUnit::Quarter)),
+            (2019, 7, 1)
+        );
         let d2 = days_from_civil(2019, 1, 1);
-        assert_eq!(civil_from_days(trunc_date(d2, DateUnit::Quarter)), (2019, 1, 1));
+        assert_eq!(
+            civil_from_days(trunc_date(d2, DateUnit::Quarter)),
+            (2019, 1, 1)
+        );
     }
 
     #[test]
@@ -436,6 +448,9 @@ mod tests {
         assert_eq!(timestamp_part(t, DateUnit::Minute), 45);
         assert_eq!(timestamp_part(t, DateUnit::Second), 30);
         assert_eq!(timestamp_part(t, DateUnit::Year), 2020);
-        assert_eq!(trunc_timestamp(t, DateUnit::Hour), parse_timestamp("2020-05-01 13:00:00").unwrap());
+        assert_eq!(
+            trunc_timestamp(t, DateUnit::Hour),
+            parse_timestamp("2020-05-01 13:00:00").unwrap()
+        );
     }
 }

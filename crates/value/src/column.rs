@@ -88,22 +88,40 @@ impl Column {
     }
 
     pub fn from_bools(v: Vec<bool>) -> Column {
-        Column { data: std::sync::Arc::new(ColumnData::Bool(v)), validity: None }
+        Column {
+            data: std::sync::Arc::new(ColumnData::Bool(v)),
+            validity: None,
+        }
     }
     pub fn from_ints(v: Vec<i64>) -> Column {
-        Column { data: std::sync::Arc::new(ColumnData::Int(v)), validity: None }
+        Column {
+            data: std::sync::Arc::new(ColumnData::Int(v)),
+            validity: None,
+        }
     }
     pub fn from_floats(v: Vec<f64>) -> Column {
-        Column { data: std::sync::Arc::new(ColumnData::Float(v)), validity: None }
+        Column {
+            data: std::sync::Arc::new(ColumnData::Float(v)),
+            validity: None,
+        }
     }
     pub fn from_texts(v: Vec<String>) -> Column {
-        Column { data: std::sync::Arc::new(ColumnData::Text(v)), validity: None }
+        Column {
+            data: std::sync::Arc::new(ColumnData::Text(v)),
+            validity: None,
+        }
     }
     pub fn from_dates(v: Vec<i32>) -> Column {
-        Column { data: std::sync::Arc::new(ColumnData::Date(v)), validity: None }
+        Column {
+            data: std::sync::Arc::new(ColumnData::Date(v)),
+            validity: None,
+        }
     }
     pub fn from_timestamps(v: Vec<i64>) -> Column {
-        Column { data: std::sync::Arc::new(ColumnData::Timestamp(v)), validity: None }
+        Column {
+            data: std::sync::Arc::new(ColumnData::Timestamp(v)),
+            validity: None,
+        }
     }
 
     pub fn from_opt_ints(v: Vec<Option<i64>>) -> Column {
@@ -357,7 +375,10 @@ pub fn cast_value(v: Value, target: DataType) -> Result<Value, ValueError> {
     if v.dtype() == Some(target) {
         return Ok(v);
     }
-    let err = |v: &Value| ValueError::Parse { input: v.render(), target: target.name().to_string() };
+    let err = |v: &Value| ValueError::Parse {
+        input: v.render(),
+        target: target.name().to_string(),
+    };
     match target {
         DataType::Bool => match &v {
             Value::Text(s) => match s.to_ascii_lowercase().as_str() {
@@ -377,15 +398,19 @@ pub fn cast_value(v: Value, target: DataType) -> Result<Value, ValueError> {
         DataType::Float => match &v {
             Value::Int(i) => Ok(Value::Float(*i as f64)),
             Value::Bool(b) => Ok(Value::Float(*b as i64 as f64)),
-            Value::Text(s) => s.trim().parse::<f64>().map(Value::Float).map_err(|_| err(&v)),
+            Value::Text(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| err(&v)),
             _ => Err(err(&v)),
         },
         DataType::Text => Ok(Value::Text(v.render())),
         DataType::Date => match &v {
-            Value::Timestamp(t) => {
-                Ok(Value::Date(t.div_euclid(calendar::MICROS_PER_DAY) as i32))
-            }
-            Value::Text(s) => calendar::parse_date(s).map(Value::Date).ok_or_else(|| err(&v)),
+            Value::Timestamp(t) => Ok(Value::Date(t.div_euclid(calendar::MICROS_PER_DAY) as i32)),
+            Value::Text(s) => calendar::parse_date(s)
+                .map(Value::Date)
+                .ok_or_else(|| err(&v)),
             _ => Err(err(&v)),
         },
         DataType::Timestamp => match &v {

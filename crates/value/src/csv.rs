@@ -135,7 +135,10 @@ pub struct CsvOptions {
 
 impl Default for CsvOptions {
     fn default() -> Self {
-        CsvOptions { has_header: true, infer_rows: Some(1000) }
+        CsvOptions {
+            has_header: true,
+            infer_rows: Some(1000),
+        }
     }
 }
 
@@ -154,7 +157,10 @@ pub fn read_csv(text: &str, options: &CsvOptions) -> Result<Batch, ValueError> {
         (records[0].clone(), &records[1..])
     } else {
         let cols = records[0].len();
-        ((0..cols).map(|i| format!("column_{}", i + 1)).collect(), &records[..])
+        (
+            (0..cols).map(|i| format!("column_{}", i + 1)).collect(),
+            &records[..],
+        )
     };
     let ncols = header.len();
     for (i, rec) in data.iter().enumerate() {
@@ -217,7 +223,9 @@ pub fn parse_field(raw: &str, dtype: DataType) -> Value {
             "false" => Value::Bool(false),
             _ => Value::Null,
         },
-        DataType::Date => calendar::parse_date(s).map(Value::Date).unwrap_or(Value::Null),
+        DataType::Date => calendar::parse_date(s)
+            .map(Value::Date)
+            .unwrap_or(Value::Null),
         DataType::Timestamp => calendar::parse_timestamp(s)
             .map(Value::Timestamp)
             .unwrap_or(Value::Null),
@@ -293,7 +301,10 @@ mod tests {
         // Inference sample says Int; a later dirty row becomes NULL.
         let rows: Vec<String> = (0..50).map(|i| format!("{i}")).collect();
         let csv = format!("n\n{}\nnot_a_number\n", rows.join("\n"));
-        let opts = CsvOptions { has_header: true, infer_rows: Some(10) };
+        let opts = CsvOptions {
+            has_header: true,
+            infer_rows: Some(10),
+        };
         let b = read_csv(&csv, &opts).unwrap();
         assert_eq!(b.schema().field(0).dtype, DataType::Int);
         assert_eq!(b.value(50, 0), Value::Null);
@@ -326,7 +337,14 @@ mod tests {
     #[test]
     fn no_header_mode() {
         let csv = "1,hello\n2,world\n";
-        let b = read_csv(csv, &CsvOptions { has_header: false, infer_rows: None }).unwrap();
+        let b = read_csv(
+            csv,
+            &CsvOptions {
+                has_header: false,
+                infer_rows: None,
+            },
+        )
+        .unwrap();
         assert_eq!(b.schema().names(), vec!["column_1", "column_2"]);
         assert_eq!(b.num_rows(), 2);
     }

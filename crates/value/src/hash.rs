@@ -40,9 +40,7 @@ pub fn encode_value(v: &Value, buf: &mut Vec<u8>) {
         }
         Value::Date(d) => {
             buf.push(TAG_TEMPORAL);
-            buf.extend_from_slice(
-                &(*d as i64 * crate::calendar::MICROS_PER_DAY).to_le_bytes(),
-            );
+            buf.extend_from_slice(&(*d as i64 * crate::calendar::MICROS_PER_DAY).to_le_bytes());
         }
         Value::Timestamp(t) => {
             buf.push(TAG_TEMPORAL);

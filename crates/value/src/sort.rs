@@ -14,10 +14,16 @@ pub struct SortKey {
 
 impl SortKey {
     pub fn asc() -> SortKey {
-        SortKey { descending: false, nulls_last: false }
+        SortKey {
+            descending: false,
+            nulls_last: false,
+        }
     }
     pub fn desc() -> SortKey {
-        SortKey { descending: true, nulls_last: false }
+        SortKey {
+            descending: true,
+            nulls_last: false,
+        }
     }
 }
 
@@ -87,7 +93,10 @@ mod tests {
     #[test]
     fn desc_with_nulls_last() {
         let col = Column::from_opt_ints(vec![Some(3), None, Some(1)]);
-        let key = SortKey { descending: true, nulls_last: true };
+        let key = SortKey {
+            descending: true,
+            nulls_last: true,
+        };
         let idx = sort_indices(&[&col], &[key]);
         assert_eq!(idx, vec![0, 2, 1]);
     }

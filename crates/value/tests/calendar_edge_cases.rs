@@ -1,0 +1,280 @@
+//! Dedicated edge-case coverage for the proleptic-Gregorian calendar
+//! module: leap-year rules across centuries, month-end arithmetic, epoch
+//! and era boundaries, and full-range conversion properties.
+
+use proptest::prelude::*;
+use sigma_value::calendar::{
+    add_months, civil_from_days, date_add, date_diff, date_part, days_from_civil, format_date,
+    format_timestamp, is_leap, iso_week_of_year, iso_weekday, last_day_of_month, parse_date,
+    parse_timestamp, timestamp_add, timestamp_diff, timestamp_part, trunc_date, trunc_timestamp,
+    DateUnit, MICROS_PER_DAY, MICROS_PER_HOUR,
+};
+
+// ---------------------------------------------------------------------
+// leap years
+// ---------------------------------------------------------------------
+
+#[test]
+fn century_leap_rule() {
+    // Divisible by 4: leap — unless by 100 — unless by 400.
+    assert!(is_leap(1600));
+    assert!(!is_leap(1700));
+    assert!(!is_leap(1800));
+    assert!(!is_leap(1900));
+    assert!(is_leap(2000));
+    assert!(!is_leap(2100));
+    // The rule extends proleptically to year 0 (1 BCE) and negatives.
+    assert!(is_leap(0));
+    assert!(is_leap(-4));
+    assert!(!is_leap(-100));
+    assert!(is_leap(-400));
+}
+
+#[test]
+fn feb_29_exists_only_in_leap_years() {
+    assert_eq!(parse_date("2000-02-29"), Some(days_from_civil(2000, 2, 29)));
+    assert_eq!(parse_date("1900-02-29"), None);
+    assert_eq!(parse_date("2100-02-29"), None);
+    // Feb 29 -> next day is Mar 1 in a leap year.
+    let feb29 = days_from_civil(2024, 2, 29);
+    assert_eq!(civil_from_days(feb29 + 1), (2024, 3, 1));
+    assert_eq!(civil_from_days(feb29 - 1), (2024, 2, 28));
+}
+
+#[test]
+fn leap_day_year_arithmetic_clamps() {
+    let feb29 = days_from_civil(2024, 2, 29);
+    // +1 year lands on Feb 28 (2025 is not leap); +4 years restores Feb 29.
+    assert_eq!(
+        civil_from_days(date_add(feb29, DateUnit::Year, 1)),
+        (2025, 2, 28)
+    );
+    assert_eq!(
+        civil_from_days(date_add(feb29, DateUnit::Year, 4)),
+        (2028, 2, 29)
+    );
+    // Century boundary: 2096-02-29 + 4y must clamp (2100 is not leap).
+    let feb29_2096 = days_from_civil(2096, 2, 29);
+    assert_eq!(
+        civil_from_days(date_add(feb29_2096, DateUnit::Year, 4)),
+        (2100, 2, 28)
+    );
+}
+
+#[test]
+fn year_lengths() {
+    for (year, expected) in [(2023, 365), (2024, 366), (1900, 365), (2000, 366)] {
+        let length = days_from_civil(year + 1, 1, 1) - days_from_civil(year, 1, 1);
+        assert_eq!(length, expected, "length of year {year}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// month-end arithmetic
+// ---------------------------------------------------------------------
+
+#[test]
+fn month_add_clamps_to_shorter_months() {
+    let jan31 = days_from_civil(2023, 1, 31);
+    let expectations = [
+        (1, (2023, 2, 28)),
+        (2, (2023, 3, 31)),
+        (3, (2023, 4, 30)),
+        (13, (2024, 2, 29)), // leap February keeps one more day
+    ];
+    for (months, expected) in expectations {
+        assert_eq!(
+            civil_from_days(add_months(jan31, months)),
+            expected,
+            "+{months} months"
+        );
+    }
+}
+
+#[test]
+fn month_add_is_not_invertible_after_clamping() {
+    // Mar 31 -> Feb 28 -> Mar 28: clamping loses the day-of-month.
+    let mar31 = days_from_civil(2023, 3, 31);
+    let there = add_months(mar31, -1);
+    assert_eq!(civil_from_days(there), (2023, 2, 28));
+    assert_eq!(civil_from_days(add_months(there, 1)), (2023, 3, 28));
+}
+
+#[test]
+fn month_add_crosses_year_boundaries_both_ways() {
+    let nov30 = days_from_civil(2020, 11, 30);
+    assert_eq!(civil_from_days(add_months(nov30, 3)), (2021, 2, 28));
+    assert_eq!(civil_from_days(add_months(nov30, -12)), (2019, 11, 30));
+    assert_eq!(civil_from_days(add_months(nov30, -23)), (2018, 12, 30));
+    // Large negative spans crossing year 0.
+    let d = days_from_civil(1, 1, 31);
+    assert_eq!(civil_from_days(add_months(d, -11)), (0, 2, 29));
+}
+
+#[test]
+fn date_diff_counts_boundaries_not_elapsed_time() {
+    // Adjacent days across a month boundary count as one month.
+    let jan31 = days_from_civil(2023, 1, 31);
+    let feb1 = days_from_civil(2023, 2, 1);
+    assert_eq!(date_diff(jan31, feb1, DateUnit::Month), 1);
+    // A full month minus a day counts as zero.
+    let jan1 = days_from_civil(2023, 1, 1);
+    let jan31b = days_from_civil(2023, 1, 31);
+    assert_eq!(date_diff(jan1, jan31b, DateUnit::Month), 0);
+    // Week boundaries are ISO Mondays: Sunday -> Monday is one week.
+    let sunday = days_from_civil(2021, 3, 7);
+    let monday = days_from_civil(2021, 3, 8);
+    assert_eq!(iso_weekday(sunday), 7);
+    assert_eq!(date_diff(sunday, monday, DateUnit::Week), 1);
+    assert_eq!(date_diff(monday, monday + 6, DateUnit::Week), 0);
+}
+
+#[test]
+fn last_days_of_all_months() {
+    let expected = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+    for (index, days) in expected.iter().enumerate() {
+        assert_eq!(last_day_of_month(2023, index as u32 + 1), *days);
+    }
+}
+
+// ---------------------------------------------------------------------
+// epoch and era boundaries
+// ---------------------------------------------------------------------
+
+#[test]
+fn epoch_neighborhood() {
+    assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    assert_eq!(civil_from_days(0), (1970, 1, 1));
+    assert_eq!(civil_from_days(1), (1970, 1, 2));
+    assert_eq!(date_diff(-1, 0, DateUnit::Year), 1);
+    assert_eq!(date_part(0, DateUnit::Year), 1970);
+    assert_eq!(date_part(0, DateUnit::Quarter), 1);
+}
+
+#[test]
+fn negative_timestamps_use_floor_division() {
+    // 1969-12-31 23:00:00 is one hour before the epoch.
+    let t = -MICROS_PER_HOUR;
+    assert_eq!(format_timestamp(t), "1969-12-31 23:00:00");
+    assert_eq!(timestamp_part(t, DateUnit::Hour), 23);
+    assert_eq!(timestamp_part(t, DateUnit::Year), 1969);
+    assert_eq!(trunc_timestamp(t, DateUnit::Day), -MICROS_PER_DAY);
+    assert_eq!(trunc_timestamp(t, DateUnit::Hour), t);
+    // Crossing the epoch hour boundary counts once.
+    assert_eq!(timestamp_diff(-1, 0, DateUnit::Second), 1);
+    assert_eq!(timestamp_diff(-1, 1, DateUnit::Hour), 1);
+}
+
+#[test]
+fn year_zero_and_bce_dates() {
+    // Year 0 exists in the proleptic calendar and is a leap year.
+    let d = days_from_civil(0, 2, 29);
+    assert_eq!(civil_from_days(d), (0, 2, 29));
+    assert_eq!(format_date(days_from_civil(0, 1, 1)), "0000-01-01");
+    // Negative years round-trip through conversion too.
+    let bce = days_from_civil(-44, 3, 15);
+    assert_eq!(civil_from_days(bce), (-44, 3, 15));
+}
+
+#[test]
+fn four_century_cycle_is_exact() {
+    // The Gregorian calendar repeats every 400 years = 146097 days.
+    let a = days_from_civil(1600, 3, 1);
+    let b = days_from_civil(2000, 3, 1);
+    assert_eq!(b - a, 146_097);
+    assert_eq!(iso_weekday(a), iso_weekday(b));
+}
+
+#[test]
+fn iso_week_53_years() {
+    // 2015 has 53 ISO weeks (starts on Thursday).
+    assert_eq!(iso_week_of_year(days_from_civil(2015, 12, 31)), 53);
+    // 2016-01-01 (Friday) still belongs to 2015's week 53.
+    assert_eq!(iso_week_of_year(days_from_civil(2016, 1, 1)), 53);
+    assert_eq!(iso_week_of_year(days_from_civil(2016, 1, 4)), 1);
+}
+
+#[test]
+fn trunc_date_boundaries() {
+    let d = days_from_civil(2023, 12, 31);
+    assert_eq!(civil_from_days(trunc_date(d, DateUnit::Year)), (2023, 1, 1));
+    assert_eq!(
+        civil_from_days(trunc_date(d, DateUnit::Quarter)),
+        (2023, 10, 1)
+    );
+    assert_eq!(
+        civil_from_days(trunc_date(d, DateUnit::Month)),
+        (2023, 12, 1)
+    );
+    // 2024-01-01 is a Monday: week-truncation of New Year's Day may cross
+    // back into the old year only when Jan 1 isn't a Monday.
+    let jan1_2024 = days_from_civil(2024, 1, 1);
+    assert_eq!(trunc_date(jan1_2024, DateUnit::Week), jan1_2024);
+    let jan1_2023 = days_from_civil(2023, 1, 1); // a Sunday
+    assert_eq!(
+        civil_from_days(trunc_date(jan1_2023, DateUnit::Week)),
+        (2022, 12, 26)
+    );
+}
+
+#[test]
+fn timestamp_add_preserves_time_of_day_across_dst_free_calendar() {
+    let t = parse_timestamp("2023-01-31 12:30:00").unwrap();
+    let plus_month = timestamp_add(t, DateUnit::Month, 1);
+    assert_eq!(format_timestamp(plus_month), "2023-02-28 12:30:00");
+    let plus_hours = timestamp_add(t, DateUnit::Hour, 36);
+    assert_eq!(format_timestamp(plus_hours), "2023-02-02 00:30:00");
+}
+
+// ---------------------------------------------------------------------
+// properties over the full supported range
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn civil_bijection_and_component_ranges(days in -4_000_000i32..4_000_000) {
+        let (y, m, d) = civil_from_days(days);
+        prop_assert_eq!(days_from_civil(y, m, d), days);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!(d >= 1 && d <= last_day_of_month(y, m));
+        // Text round trip agrees with the numeric one. (parse_date reads
+        // the fixed YYYY-MM-DD format only, so BCE years are out of scope.)
+        if y >= 1 {
+            prop_assert_eq!(parse_date(&format_date(days)), Some(days));
+        }
+    }
+
+    #[test]
+    fn successive_days_are_contiguous(days in -1_000_000i32..1_000_000) {
+        let today = civil_from_days(days);
+        let tomorrow = civil_from_days(days + 1);
+        // Either same month with day+1, or a month/year rollover to day 1.
+        if today.0 == tomorrow.0 && today.1 == tomorrow.1 {
+            prop_assert_eq!(tomorrow.2, today.2 + 1);
+        } else {
+            prop_assert_eq!(tomorrow.2, 1);
+            prop_assert_eq!(today.2, last_day_of_month(today.0, today.1));
+        }
+        // Weekdays advance cyclically.
+        prop_assert_eq!(iso_weekday(days) % 7 + 1, iso_weekday(days + 1));
+    }
+
+    #[test]
+    fn add_months_preserves_or_clamps_day(days in -500_000i32..500_000, months in -600i64..600) {
+        let (_, _, d0) = civil_from_days(days);
+        let moved = add_months(days, months);
+        let (ny, nm, nd) = civil_from_days(moved);
+        if nd == d0 {
+            // Day preserved exactly.
+        } else {
+            // Otherwise it must have clamped to the target month's end.
+            prop_assert_eq!(nd, last_day_of_month(ny, nm));
+            prop_assert!(nd < d0);
+        }
+        // Month delta matches the request.
+        let (y0, m0, _) = civil_from_days(days);
+        let total0 = y0 as i64 * 12 + m0 as i64 - 1;
+        let total1 = ny as i64 * 12 + nm as i64 - 1;
+        prop_assert_eq!(total1 - total0, months);
+    }
+}

@@ -38,7 +38,10 @@ fn main() {
 
     println!("-- tab 2 runs the identical state (collaboration) --");
     let shared = tab2.query_element(&wb, "Flights").unwrap();
-    println!("   source: {:?}, latency: {:?}", shared.source, shared.elapsed);
+    println!(
+        "   source: {:?}, latency: {:?}",
+        shared.source, shared.elapsed
+    );
 
     println!("\n-- service-side telemetry --");
     let dir = service.directory_stats("primary").unwrap();
@@ -47,6 +50,12 @@ fn main() {
         dir.hits, dir.misses, dir.coalesced
     );
     let wl = service.workload_stats("primary").unwrap();
-    println!("   workload queue: {} admitted, {} queued", wl.admitted, wl.queued);
-    println!("   warehouse executed {} queries total", warehouse.queries_executed());
+    println!(
+        "   workload queue: {} admitted, {} queued",
+        wl.admitted, wl.queued
+    );
+    println!(
+        "   warehouse executed {} queries total",
+        warehouse.queries_executed()
+    );
 }

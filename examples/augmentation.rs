@@ -35,7 +35,11 @@ fn main() {
             .expect("scenario 3 runs")
     };
     let before = run(&wb.to_json().unwrap());
-    let misses = before.batch.column_by_name("Origin City").unwrap().null_count();
+    let misses = before
+        .batch
+        .column_by_name("Origin City")
+        .unwrap()
+        .null_count();
     println!("=== Lookup with dirty codes: {misses} unmatched flights ===");
     println!("{}", pretty::render(&before.batch, 8));
 
@@ -52,7 +56,10 @@ fn main() {
                 (code != upper).then_some((*id, upper))
             })
             .collect();
-        println!("fixing {} dirty airport codes by direct editing...", fixes.len());
+        println!(
+            "fixing {} dirty airport codes by direct editing...",
+            fixes.len()
+        );
         for (id, fixed) in fixes {
             input.set_cell(id, "code", fixed.into()).unwrap();
         }
@@ -63,7 +70,11 @@ fn main() {
     println!("{edits} edits propagated to the warehouse\n");
 
     let after = run(&wb.to_json().unwrap());
-    let misses_after = after.batch.column_by_name("Origin City").unwrap().null_count();
+    let misses_after = after
+        .batch
+        .column_by_name("Origin City")
+        .unwrap()
+        .null_count();
     println!("=== After the fix: {misses_after} unmatched flights ===");
     println!("{}", pretty::render(&after.batch, 8));
 }

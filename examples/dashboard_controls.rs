@@ -22,12 +22,27 @@ fn main() {
     )
     .unwrap();
 
-    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
-    t.add_column(ColumnDef::source("Carrier", "carrier")).unwrap();
-    t.add_column(ColumnDef::source("Dep Delay", "dep_delay")).unwrap();
-    t.add_column(ColumnDef::formula("Over", "[Dep Delay] > [Delay Threshold]", 0)).unwrap();
-    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()])).unwrap();
-    t.add_column(ColumnDef::formula("Share Over", "Avg(If([Over], 1.0, 0.0))", 1)).unwrap();
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
+    t.add_column(ColumnDef::source("Carrier", "carrier"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Dep Delay", "dep_delay"))
+        .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Over",
+        "[Dep Delay] > [Delay Threshold]",
+        0,
+    ))
+    .unwrap();
+    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Share Over",
+        "Avg(If([Over], 1.0, 0.0))",
+        1,
+    ))
+    .unwrap();
     t.detail_level = 1;
     wb.add_element(0, "Delays", ElementKind::Table(t)).unwrap();
 

@@ -7,7 +7,9 @@
 //! ```
 
 use sigma_workbook::core::document::ElementKind;
-use sigma_workbook::core::table::{ColumnDef, DataSource, FilterPredicate, FilterSpec, Level, TableSpec};
+use sigma_workbook::core::table::{
+    ColumnDef, DataSource, FilterPredicate, FilterSpec, Level, TableSpec,
+};
 use sigma_workbook::core::{CompileOptions, Compiler, Workbook};
 use sigma_workbook::demo;
 use sigma_workbook::value::pretty;
@@ -18,10 +20,16 @@ fn main() {
 
     // The workbook: one table element over the FLIGHTS fact table.
     let mut wb = Workbook::new(Some("Quickstart"));
-    let mut table = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
+    let mut table = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
     // (2) columns: source passthroughs and a spreadsheet formula.
-    table.add_column(ColumnDef::source("Carrier", "carrier")).unwrap();
-    table.add_column(ColumnDef::source("Dep Delay", "dep_delay")).unwrap();
+    table
+        .add_column(ColumnDef::source("Carrier", "carrier"))
+        .unwrap();
+    table
+        .add_column(ColumnDef::source("Dep Delay", "dep_delay"))
+        .unwrap();
     table
         .add_column(ColumnDef::formula("Is Late", "[Dep Delay] > 15", 0))
         .unwrap();
@@ -33,7 +41,11 @@ fn main() {
         .add_column(ColumnDef::formula("Flights", "Count()", 1))
         .unwrap();
     table
-        .add_column(ColumnDef::formula("Late Share", "Avg(If([Is Late], 1.0, 0.0))", 1))
+        .add_column(ColumnDef::formula(
+            "Late Share",
+            "Avg(If([Is Late], 1.0, 0.0))",
+            1,
+        ))
         .unwrap();
     // (3) filters: applied greedily as soon as their dependencies are met.
     table.filters.push(FilterSpec {
@@ -41,7 +53,8 @@ fn main() {
         predicate: FilterPredicate::IsNotNull,
     });
     table.detail_level = 1;
-    wb.add_element(0, "Flights", ElementKind::Table(table)).unwrap();
+    wb.add_element(0, "Flights", ElementKind::Table(table))
+        .unwrap();
 
     // Compile: the workbook spec becomes a CTE pipeline.
     let schemas = demo::WarehouseSchemas(warehouse.clone());

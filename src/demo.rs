@@ -48,13 +48,19 @@ impl SchemaProvider for WarehouseSchemas {
 }
 
 fn base_flights_columns(t: &mut TableSpec) {
-    t.add_column(ColumnDef::source("Tail Number", "tail_number")).unwrap();
-    t.add_column(ColumnDef::source("Carrier", "carrier")).unwrap();
-    t.add_column(ColumnDef::source("Flight Date", "flight_date")).unwrap();
+    t.add_column(ColumnDef::source("Tail Number", "tail_number"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Carrier", "carrier"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Flight Date", "flight_date"))
+        .unwrap();
     t.add_column(ColumnDef::source("Origin", "origin")).unwrap();
-    t.add_column(ColumnDef::source("Dep Delay", "dep_delay")).unwrap();
-    t.add_column(ColumnDef::source("Air Time", "air_time")).unwrap();
-    t.add_column(ColumnDef::source("Cancelled", "cancelled")).unwrap();
+    t.add_column(ColumnDef::source("Dep Delay", "dep_delay"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Air Time", "air_time"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Cancelled", "cancelled"))
+        .unwrap();
 }
 
 /// **Scenario 1 — cohort analysis** (§5). "(1) Starting with the FLIGHTS
@@ -67,7 +73,9 @@ fn base_flights_columns(t: &mut TableSpec) {
 /// references, the percentage active in each quarter."
 pub fn cohort_workbook() -> Workbook {
     let mut wb = Workbook::new(Some("Cohort Analysis"));
-    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
     base_flights_columns(&mut t);
     t.add_column(ColumnDef::formula(
         "First Flight",
@@ -75,20 +83,34 @@ pub fn cohort_workbook() -> Workbook {
         0,
     ))
     .unwrap();
-    t.add_column(ColumnDef::formula("Cohort", "DateTrunc(\"quarter\", [First Flight])", 0))
+    t.add_column(ColumnDef::formula(
+        "Cohort",
+        "DateTrunc(\"quarter\", [First Flight])",
+        0,
+    ))
+    .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Quarter",
+        "DateTrunc(\"quarter\", [Flight Date])",
+        0,
+    ))
+    .unwrap();
+    t.add_level(1, Level::keyed("By Quarter", vec!["Quarter".into()]))
         .unwrap();
-    t.add_column(ColumnDef::formula("Quarter", "DateTrunc(\"quarter\", [Flight Date])", 0))
+    t.add_level(2, Level::keyed("By Cohort", vec!["Cohort".into()]))
         .unwrap();
-    t.add_level(1, Level::keyed("By Quarter", vec!["Quarter".into()])).unwrap();
-    t.add_level(2, Level::keyed("By Cohort", vec!["Cohort".into()])).unwrap();
     t.add_column(ColumnDef::formula(
         "Active Planes",
         "CountDistinct([Tail Number])",
         1,
     ))
     .unwrap();
-    t.add_column(ColumnDef::formula("Population", "CountDistinct([Tail Number])", 2))
-        .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Population",
+        "CountDistinct([Tail Number])",
+        2,
+    ))
+    .unwrap();
     // Cross-level reference: quarter-level percentage of the cohort total.
     t.add_column(ColumnDef::formula(
         "Pct Active",
@@ -101,11 +123,17 @@ pub fn cohort_workbook() -> Workbook {
 
     // "(3) Finally we create a scatter-plot over this dataset, colored by
     // active population."
-    let viz = VizSpec::new(DataSource::Element { name: "Flights".into() }, Mark::Scatter)
-        .encode(Channel::X, "Quarter", "[Quarter]")
-        .encode(Channel::Y, "Cohort", "[Cohort]")
-        .encode(Channel::Color, "Pct", "Avg([Pct Active])");
-    wb.add_element(0, "Cohort Chart", ElementKind::Viz(viz)).unwrap();
+    let viz = VizSpec::new(
+        DataSource::Element {
+            name: "Flights".into(),
+        },
+        Mark::Scatter,
+    )
+    .encode(Channel::X, "Quarter", "[Quarter]")
+    .encode(Channel::Y, "Cohort", "[Cohort]")
+    .encode(Channel::Color, "Pct", "Avg([Pct Active])");
+    wb.add_element(0, "Cohort Chart", ElementKind::Viz(viz))
+        .unwrap();
     wb
 }
 
@@ -120,26 +148,37 @@ pub fn cohort_workbook() -> Workbook {
 /// was done, and compute cancellation rates…"
 pub fn sessionization_workbook() -> Workbook {
     let mut wb = Workbook::new(Some("Sessionization"));
-    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
     base_flights_columns(&mut t);
     t.levels[0] = Level::base().with_ordering("Flight Date", false);
-    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()])).unwrap();
-    t.add_column(ColumnDef::formula("Prev Flight", "Lag([Flight Date], 1)", 0)).unwrap();
+    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Prev Flight",
+        "Lag([Flight Date], 1)",
+        0,
+    ))
+    .unwrap();
     t.add_column(ColumnDef::formula(
         "Service Start",
         "If(IsNull([Prev Flight]) or DateDiff(\"day\", [Prev Flight], [Flight Date]) > 30, [Flight Date], Null)",
         0,
     ))
     .unwrap();
-    t.add_column(ColumnDef::formula("Session", "FillDown([Service Start])", 0)).unwrap();
+    t.add_column(ColumnDef::formula(
+        "Session",
+        "FillDown([Service Start])",
+        0,
+    ))
+    .unwrap();
     // Cumulative air time *since the last service*: a running sum, reset at
     // each session start by subtracting the running total carried into the
     // session (FillDown over a RunningSum — window-over-window, which the
     // compiler splits across CTE phases).
-    t.add_column(
-        ColumnDef::formula("Run Total", "RunningSum([Air Time])", 0).hidden(),
-    )
-    .unwrap();
+    t.add_column(ColumnDef::formula("Run Total", "RunningSum([Air Time])", 0).hidden())
+        .unwrap();
     t.add_column(
         ColumnDef::formula(
             "Session Base",
@@ -164,9 +203,15 @@ pub fn sessionization_workbook() -> Workbook {
     wb.add_element(0, "Flights", ElementKind::Table(t)).unwrap();
 
     // Child element: cancellation rate by wear bucket.
-    let mut child = TableSpec::new(DataSource::Element { name: "Flights".into() });
-    child.add_column(ColumnDef::source("Wear Bucket", "Wear Bucket")).unwrap();
-    child.add_column(ColumnDef::source("Cancelled", "Cancelled")).unwrap();
+    let mut child = TableSpec::new(DataSource::Element {
+        name: "Flights".into(),
+    });
+    child
+        .add_column(ColumnDef::source("Wear Bucket", "Wear Bucket"))
+        .unwrap();
+    child
+        .add_column(ColumnDef::source("Cancelled", "Cancelled"))
+        .unwrap();
     child
         .add_level(1, Level::keyed("By Wear", vec!["Wear Bucket".into()]))
         .unwrap();
@@ -181,14 +226,21 @@ pub fn sessionization_workbook() -> Workbook {
         .add_column(ColumnDef::formula("Flights", "Count()", 1))
         .unwrap();
     child.detail_level = 1;
-    wb.add_element(0, "Service Life", ElementKind::Table(child)).unwrap();
+    wb.add_element(0, "Service Life", ElementKind::Table(child))
+        .unwrap();
 
     // "(3) We visualize this result with a line chart showing how
     // cancellations change with flight hours."
-    let viz = VizSpec::new(DataSource::Element { name: "Service Life".into() }, Mark::Line)
-        .encode(Channel::X, "Wear", "[Wear Bucket]")
-        .encode(Channel::Y, "Rate", "Avg([Cancel Rate])");
-    wb.add_element(0, "Cancellations Chart", ElementKind::Viz(viz)).unwrap();
+    let viz = VizSpec::new(
+        DataSource::Element {
+            name: "Service Life".into(),
+        },
+        Mark::Line,
+    )
+    .encode(Channel::X, "Wear", "[Wear Bucket]")
+    .encode(Channel::Y, "Rate", "Avg([Cancel Rate])");
+    wb.add_element(0, "Cancellations Chart", ElementKind::Viz(viz))
+        .unwrap();
     wb
 }
 
@@ -204,11 +256,14 @@ pub fn augmentation_workbook() -> Workbook {
     let csv = sigma_flights::dirty_airports_csv(42);
     let parsed = sigma_value::csv::read_csv(&csv, &Default::default()).expect("dirty csv parses");
     let input = sigma_core::editable::InputTableSpec::from_batch(&parsed);
-    wb.add_element(0, "Airport Info", ElementKind::Input(input)).unwrap();
+    wb.add_element(0, "Airport Info", ElementKind::Input(input))
+        .unwrap();
 
     // "(3) Now we join the new values into the fact table via a Lookup
     // expression".
-    let mut t = TableSpec::new(DataSource::WarehouseTable { table: "flights".into() });
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
     base_flights_columns(&mut t);
     t.add_column(ColumnDef::formula(
         "Origin City",
@@ -226,7 +281,11 @@ mod tests {
 
     #[test]
     fn scenario_workbooks_validate() {
-        for wb in [cohort_workbook(), sessionization_workbook(), augmentation_workbook()] {
+        for wb in [
+            cohort_workbook(),
+            sessionization_workbook(),
+            augmentation_workbook(),
+        ] {
             for el in wb.elements() {
                 if let ElementKind::Table(t) = &el.kind {
                     t.validate().unwrap_or_else(|e| panic!("{}: {e}", el.name));

@@ -1,0 +1,272 @@
+//! Smoke tests mirroring the core path of each `examples/*.rs` program, so
+//! the examples' API surface cannot silently rot between releases (CI also
+//! builds the example binaries themselves via `cargo build --examples`).
+//! Row counts are kept small: these check wiring, not performance.
+
+use std::time::Duration;
+
+use sigma_workbook::browser::{BrowserSession, PrefetchPolicy};
+use sigma_workbook::core::document::ElementKind;
+use sigma_workbook::core::table::{
+    ColumnDef, DataSource, FilterPredicate, FilterSpec, Level, TableSpec,
+};
+use sigma_workbook::core::{CompileOptions, Compiler, Workbook};
+use sigma_workbook::demo;
+use sigma_workbook::service::workload::Priority;
+use sigma_workbook::service::QueryRequest;
+
+const ROWS: usize = 4_000;
+
+#[test]
+fn quickstart_compile_and_execute() {
+    let warehouse = demo::demo_warehouse(ROWS);
+    let mut wb = Workbook::new(Some("Quickstart"));
+    let mut table = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
+    table
+        .add_column(ColumnDef::source("Carrier", "carrier"))
+        .unwrap();
+    table
+        .add_column(ColumnDef::source("Dep Delay", "dep_delay"))
+        .unwrap();
+    table
+        .add_column(ColumnDef::formula("Is Late", "[Dep Delay] > 15", 0))
+        .unwrap();
+    table
+        .add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()]))
+        .unwrap();
+    table
+        .add_column(ColumnDef::formula("Flights", "Count()", 1))
+        .unwrap();
+    table
+        .add_column(ColumnDef::formula(
+            "Late Share",
+            "Avg(If([Is Late], 1.0, 0.0))",
+            1,
+        ))
+        .unwrap();
+    table.filters.push(FilterSpec {
+        column: "Dep Delay".into(),
+        predicate: FilterPredicate::IsNotNull,
+    });
+    table.detail_level = 1;
+    wb.add_element(0, "Flights", ElementKind::Table(table))
+        .unwrap();
+
+    let schemas = demo::WarehouseSchemas(warehouse.clone());
+    let compiler = Compiler::new(&wb, &schemas, CompileOptions::default());
+    let compiled = compiler.compile_element("Flights").expect("compiles");
+    assert!(
+        compiled.sql.contains("GROUP BY"),
+        "aggregate level lowers to GROUP BY"
+    );
+
+    let result = warehouse.execute_sql(&compiled.sql).expect("executes");
+    assert!(result.batch.num_rows() > 0, "carriers grouped");
+    assert!(result.rows_scanned > 0);
+}
+
+#[test]
+fn cohort_analysis_service_run_and_vega_spec() {
+    let warehouse = demo::demo_warehouse(ROWS);
+    let (service, token) = demo::demo_service(warehouse);
+    let wb = demo::cohort_workbook();
+    let json = wb.to_json().unwrap();
+
+    let outcome = service
+        .run_query(&QueryRequest {
+            token: &token,
+            connection: "primary",
+            workbook_json: &json,
+            element: "Flights",
+            priority: Priority::Interactive,
+        })
+        .expect("scenario 1 runs");
+    assert!(!outcome.sql.is_empty());
+    assert!(outcome.batch.num_rows() > 0);
+
+    let ElementKind::Viz(viz) = &wb.element("Cohort Chart").expect("chart exists").kind else {
+        panic!("Cohort Chart should be a viz element");
+    };
+    let spec = viz.to_vega_spec("/results/cohorts.json");
+    assert_eq!(spec["data"]["url"], "/results/cohorts.json");
+    assert!(!spec["mark"].is_null());
+    assert!(spec["encoding"]
+        .as_object()
+        .is_some_and(|map| !map.is_empty()));
+}
+
+#[test]
+fn sessionization_parent_and_child_elements() {
+    let warehouse = demo::demo_warehouse(ROWS);
+    let (service, token) = demo::demo_service(warehouse);
+    let wb = demo::sessionization_workbook();
+    let json = wb.to_json().unwrap();
+    let run = |element: &str| {
+        service
+            .run_query(&QueryRequest {
+                token: &token,
+                connection: "primary",
+                workbook_json: &json,
+                element,
+                priority: Priority::Interactive,
+            })
+            .expect("scenario 2 runs")
+    };
+
+    let flights = run("Flights");
+    assert!(flights.batch.num_rows() > 0);
+    let life = run("Service Life");
+    assert!(life.batch.num_rows() > 0);
+    assert!(!life.sql.is_empty());
+}
+
+#[test]
+fn augmentation_projection_lookup_and_edits() {
+    let warehouse = demo::demo_warehouse(ROWS);
+    let (service, token) = demo::demo_service(warehouse);
+    let mut wb = demo::augmentation_workbook();
+
+    let table = service
+        .project_input_table(&token, "primary", &mut wb, "Airport Info")
+        .expect("projection");
+    assert!(!table.is_empty());
+
+    let run = |json: &str| {
+        service
+            .run_query(&QueryRequest {
+                token: &token,
+                connection: "primary",
+                workbook_json: json,
+                element: "Flights",
+                priority: Priority::Interactive,
+            })
+            .expect("scenario 3 runs")
+    };
+    let before = run(&wb.to_json().unwrap());
+    let misses_before = before
+        .batch
+        .column_by_name("Origin City")
+        .expect("lookup column")
+        .null_count();
+    assert!(
+        misses_before > 0,
+        "dirty pasted codes should miss the lookup"
+    );
+
+    // Fix dirty codes via direct editing, as the example does.
+    {
+        let input = wb.input_table_mut("Airport Info").unwrap();
+        let code_col = input.column_index("code").unwrap();
+        let fixes: Vec<(u64, String)> = input
+            .rows
+            .iter()
+            .filter_map(|(id, values)| {
+                let code = values[code_col].render();
+                let upper = code.to_uppercase();
+                (code != upper).then_some((*id, upper))
+            })
+            .collect();
+        assert!(!fixes.is_empty(), "demo data plants dirty codes");
+        for (id, fixed) in fixes {
+            input.set_cell(id, "code", fixed.into()).unwrap();
+        }
+    }
+    let edits = service
+        .propagate_edits(&token, "primary", &mut wb, "Airport Info")
+        .expect("propagation");
+    assert!(edits > 0, "cell edits propagate to the warehouse as DML");
+    let after = run(&wb.to_json().unwrap());
+    let misses_after = after
+        .batch
+        .column_by_name("Origin City")
+        .expect("lookup column")
+        .null_count();
+    assert!(
+        misses_after < misses_before,
+        "edits should repair lookup misses"
+    );
+}
+
+#[test]
+fn dashboard_controls_parameterize_compiled_sql() {
+    let warehouse = demo::demo_warehouse(ROWS);
+    let mut wb = Workbook::new(Some("Delay Dashboard"));
+    wb.add_element(
+        0,
+        "Delay Threshold",
+        ElementKind::Control(sigma_workbook::core::controls::ControlSpec::slider(
+            0.0, 180.0, 5.0, 15.0,
+        )),
+    )
+    .unwrap();
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
+    t.add_column(ColumnDef::source("Carrier", "carrier"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Dep Delay", "dep_delay"))
+        .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Over",
+        "[Dep Delay] > [Delay Threshold]",
+        0,
+    ))
+    .unwrap();
+    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Share Over",
+        "Avg(If([Over], 1.0, 0.0))",
+        1,
+    ))
+    .unwrap();
+    t.detail_level = 1;
+    wb.add_element(0, "Delays", ElementKind::Table(t)).unwrap();
+
+    let schemas = demo::WarehouseSchemas(warehouse.clone());
+    let mut sql_by_threshold = Vec::new();
+    for params in ["?Delay+Threshold=15", "?Delay+Threshold=60"] {
+        wb.apply_url_params(params).unwrap();
+        let compiler = Compiler::new(&wb, &schemas, CompileOptions::default());
+        let compiled = compiler.compile_element("Delays").unwrap();
+        warehouse.execute_sql(&compiled.sql).unwrap();
+        sql_by_threshold.push(compiled.sql);
+    }
+    assert_ne!(
+        sql_by_threshold[0], sql_by_threshold[1],
+        "control value must be inlined as a literal"
+    );
+    assert!(sql_by_threshold[1].contains("60"));
+}
+
+#[test]
+fn architecture_tour_two_tabs_share_directory() {
+    let warehouse = demo::demo_warehouse(ROWS);
+    let (service, token) = demo::demo_service(warehouse.clone());
+    let tab1 = BrowserSession::new(service.clone(), token.clone(), "primary")
+        .with_network_latency(Duration::ZERO);
+    let tab2 = BrowserSession::new(service.clone(), token.clone(), "primary")
+        .with_network_latency(Duration::ZERO);
+
+    let wb = demo::cohort_workbook();
+    let cold = tab1.query_element(&wb, "Flights").unwrap();
+    let warm = tab1.query_element(&wb, "Flights").unwrap();
+    let shared = tab2.query_element(&wb, "Flights").unwrap();
+    assert_eq!(cold.batch, warm.batch);
+    assert_eq!(cold.batch, shared.batch);
+
+    let dir = service.directory_stats("primary").unwrap();
+    assert!(dir.hits > 0, "tab 2 should hit the query directory");
+
+    // Prefetching low-cardinality tables lets later queries run locally.
+    let prefetched = tab1.prefetch(&warehouse, &PrefetchPolicy::default());
+    assert!(
+        !prefetched.is_empty(),
+        "demo warehouse has prefetchable dimension tables"
+    );
+    let wl = service.workload_stats("primary").unwrap();
+    assert!(wl.admitted > 0);
+    assert!(warehouse.queries_executed() > 0);
+}

@@ -46,10 +46,12 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
         (-1000i64..1000).prop_map(Formula::lit),
         (-100.0f64..100.0).prop_map(|f| Formula::lit((f * 4.0).round() / 4.0)),
         "[a-z][a-z0-9_]{0,6}".prop_map(Formula::col),
-        "[A-Za-z ]{1,12}".prop_filter("trimmed non-empty, no brackets", |s| {
-            let t = s.trim();
-            !t.is_empty() && !t.contains(['[', ']', '/'])
-        }).prop_map(|s| Formula::col(s.trim().to_string())),
+        "[A-Za-z ]{1,12}"
+            .prop_filter("trimmed non-empty, no brackets", |s| {
+                let t = s.trim();
+                !t.is_empty() && !t.contains(['[', ']', '/'])
+            })
+            .prop_map(|s| Formula::col(s.trim().to_string())),
         Just(Formula::Literal(Value::Null)),
         Just(Formula::lit(true)),
         any::<bool>().prop_map(|_| Formula::lit("text \"quoted\"")),
@@ -57,23 +59,30 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(l, r)| Formula::binary(
-                sigma_workbook::expr::BinaryOp::Add, l, r
+                sigma_workbook::expr::BinaryOp::Add,
+                l,
+                r
             )),
             (inner.clone(), inner.clone()).prop_map(|(l, r)| Formula::binary(
-                sigma_workbook::expr::BinaryOp::Mul, l, r
+                sigma_workbook::expr::BinaryOp::Mul,
+                l,
+                r
             )),
             (inner.clone(), inner.clone()).prop_map(|(l, r)| Formula::binary(
-                sigma_workbook::expr::BinaryOp::Lt, l, r
+                sigma_workbook::expr::BinaryOp::Lt,
+                l,
+                r
             )),
             (inner.clone(), inner.clone()).prop_map(|(l, r)| Formula::binary(
-                sigma_workbook::expr::BinaryOp::Pow, l, r
+                sigma_workbook::expr::BinaryOp::Pow,
+                l,
+                r
             )),
             inner.clone().prop_map(|e| Formula::call("Abs", vec![e])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::call("Coalesce", vec![a, b])),
             inner.clone().prop_map(|e| Formula::call("Sum", vec![e])),
-            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| {
-                Formula::call("If", vec![a, b, c])
-            }),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| { Formula::call("If", vec![a, b, c]) }),
         ]
     })
 }

@@ -45,7 +45,11 @@ fn scenario_1_cohort_analysis() {
         assert!(share > 0.0 && share <= 1.0, "share {share}");
         assert!((share - a / p).abs() < 1e-9);
     }
-    assert!(cohorts.len() >= 5, "expected several cohorts: {}", cohorts.len());
+    assert!(
+        cohorts.len() >= 5,
+        "expected several cohorts: {}",
+        cohorts.len()
+    );
 
     // Cohort *retention decays*: the average share across each cohort's
     // first 4 quarters exceeds the average across quarters 8+.
@@ -54,8 +58,12 @@ fn scenario_1_cohort_analysis() {
     let mut per_cohort: std::collections::HashMap<String, Vec<(i64, f64)>> = Default::default();
     for i in 0..b.num_rows() {
         let c = cohort.value(i).render();
-        let Value::Date(cd) = cohort.value(i) else { panic!() };
-        let Value::Date(qd) = quarter.value(i) else { panic!() };
+        let Value::Date(cd) = cohort.value(i) else {
+            panic!()
+        };
+        let Value::Date(qd) = quarter.value(i) else {
+            panic!()
+        };
         let age_quarters = ((qd - cd) / 90) as i64;
         per_cohort
             .entry(c)
@@ -158,7 +166,11 @@ fn scenario_3_augmentation() {
 
     // "(1) we inspect the FLIGHTS records … missing some desired
     // dimensional data": the fact table has no city column.
-    assert!(wh.table_schema("flights").unwrap().index_of("city").is_none());
+    assert!(wh
+        .table_schema("flights")
+        .unwrap()
+        .index_of("city")
+        .is_none());
 
     // Project the pasted (dirty) editable table into the warehouse.
     service

@@ -1,0 +1,79 @@
+//! Minimal API-compatible shim for the subset of `crossbeam` this workspace
+//! uses (`crossbeam::thread::scope` with spawned workers), implemented over
+//! `std::thread::scope`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle passed to spawned closures. The real crossbeam passes the
+    /// scope itself so workers can spawn nested threads; nothing in this
+    /// workspace does, so this is a token that only exists to satisfy the
+    /// `FnOnce(&Scope) -> T` closure shape.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Like `crossbeam::thread::scope`: runs `f` with a scope in which
+    /// threads borrowing from the enclosing stack frame can be spawned, and
+    /// returns `Err` (instead of resuming the unwind) if any unjoined
+    /// spawned thread, or `f` itself, panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_joins_workers() {
+            let data = [1, 2, 3, 4];
+            let total: i64 = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| s.spawn(move |_| chunk.iter().sum::<i64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn scope_reports_panics_as_err() {
+            let result = super::scope(|s| {
+                s.spawn(|_| panic!("worker boom"));
+            });
+            assert!(result.is_err());
+        }
+    }
+}

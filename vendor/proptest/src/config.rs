@@ -1,0 +1,35 @@
+//! Run configuration. Defaults are fixed so CI is deterministic; the
+//! `PROPTEST_CASES` environment variable scales the case count without a
+//! code change.
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases: scaled(cases),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig::with_cases(256)
+    }
+}
+
+/// Apply the optional `PROPTEST_CASES` override, interpreted as the new
+/// default-count; explicit per-test counts scale proportionally so their
+/// relative weighting (heavy oracle tests run fewer cases) is preserved.
+fn scaled(cases: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(target) => ((cases as u64 * target) / 256).max(1) as u32,
+        None => cases,
+    }
+}

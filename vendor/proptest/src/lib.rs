@@ -1,0 +1,91 @@
+//! Minimal property-testing shim, API-compatible with the subset of
+//! `proptest` this workspace uses: the `proptest!` macro, strategy
+//! combinators (`prop_map`, `prop_filter`, `prop_recursive`,
+//! `prop_oneof!`, `Just`, `any`, ranges, simple regex-style string
+//! strategies), `proptest::collection::vec`, `proptest::option::of`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from the real proptest, by design:
+//!
+//! * **Deterministic by default.** Each test's RNG stream is seeded from a
+//!   hash of the test name, so every run — local or CI — exercises the
+//!   identical case sequence. Set `PROPTEST_RNG_SEED=<u64>` to explore a
+//!   different stream, and `PROPTEST_CASES=<n>` to scale the case count.
+//! * **No shrinking.** On failure the harness prints the case number and
+//!   seed; re-running reproduces it exactly, and the seed can be pinned in
+//!   `proptest-regressions/<test>.seeds` so it is re-checked first on every
+//!   future run (see `runner`).
+
+pub mod collection;
+pub mod config;
+pub mod option;
+pub mod runner;
+pub mod strategy;
+pub mod string;
+
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run each contained `#[test] fn` as a property: arguments are drawn from
+/// their strategies for `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::config::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::runner::run(
+                    stringify!($name),
+                    env!("CARGO_MANIFEST_DIR"),
+                    &__config,
+                    |__rng| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` and friends panic directly (no shrink phase to resume),
+/// so they are thin wrappers over the std assertion macros.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

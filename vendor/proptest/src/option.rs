@@ -1,0 +1,43 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        // Match the real proptest's default weighting: None a quarter of
+        // the time, so null paths stay exercised without dominating.
+        if rng.random::<f64>() < 0.25 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_both_arms() {
+        let strategy = of(0i64..10);
+        let mut rng = StdRng::seed_from_u64(8);
+        let values: Vec<Option<i64>> = (0..200).map(|_| strategy.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().any(Option::is_some));
+    }
+}

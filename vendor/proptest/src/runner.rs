@@ -1,0 +1,121 @@
+//! Deterministic case runner with checked-in regression seeds.
+//!
+//! Seed derivation: the base seed is a hash of the test name (stable across
+//! runs, platforms, and case-count changes), mixed with the case index.
+//! When a case fails, the harness prints a `seed=0x…` line; pinning that
+//! seed in `<crate>/proptest-regressions/<test_name>.seeds` (one
+//! hexadecimal or decimal seed per line, `#` comments allowed) makes every
+//! future run of that test re-check the failing input first.
+
+use crate::config::ProptestConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
+
+pub fn run(
+    test_name: &str,
+    manifest_dir: &str,
+    config: &ProptestConfig,
+    body: impl Fn(&mut StdRng),
+) {
+    for seed in regression_seeds(manifest_dir, test_name) {
+        run_case(test_name, "regression", seed, &body);
+    }
+    let base = base_seed(test_name);
+    for case in 0..config.cases {
+        let seed = mix(base, case as u64);
+        run_case(
+            test_name,
+            &format!("case {case}/{}", config.cases),
+            seed,
+            &body,
+        );
+    }
+}
+
+fn run_case(test_name: &str, label: &str, seed: u64, body: &impl Fn(&mut StdRng)) {
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        body(&mut rng);
+    }));
+    if let Err(payload) = result {
+        eprintln!(
+            "proptest failure: test={test_name} {label} seed={seed:#018x}\n\
+             pin it by adding that seed to proptest-regressions/{test_name}.seeds"
+        );
+        panic::resume_unwind(payload);
+    }
+}
+
+fn base_seed(test_name: &str) -> u64 {
+    if let Ok(seed) = std::env::var("PROPTEST_RNG_SEED") {
+        return parse_seed(&seed)
+            .unwrap_or_else(|| panic!("PROPTEST_RNG_SEED must be a u64, got {seed:?}"));
+    }
+    fnv1a(test_name.as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn mix(base: u64, case: u64) -> u64 {
+    // splitmix64 finalizer over base + golden-ratio stride.
+    let mut z = base.wrapping_add(case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn parse_seed(text: &str) -> Option<u64> {
+    let text = text.trim();
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+fn regression_seeds(manifest_dir: &str, test_name: &str) -> Vec<u64> {
+    let path = Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{test_name}.seeds"));
+    let Ok(contents) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .map(|line| {
+            parse_seed(line)
+                .unwrap_or_else(|| panic!("bad seed line {line:?} in {}", path.display()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(base_seed("some_test"), base_seed("some_test"));
+        assert_ne!(base_seed("a"), base_seed("b"));
+        assert_ne!(mix(1, 0), mix(1, 1));
+    }
+
+    #[test]
+    fn parse_seed_formats() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0xff"), Some(255));
+        assert_eq!(parse_seed(" 0X10 "), Some(16));
+        assert_eq!(parse_seed("nope"), None);
+    }
+}

@@ -1,0 +1,454 @@
+//! Minimal serialization framework shim, API-compatible with the subset of
+//! `serde` this workspace uses: the `Serialize`/`Deserialize` traits, their
+//! derive macros, and enough std impls for the workbook document model.
+//!
+//! Instead of serde's visitor architecture, both traits go through a single
+//! self-describing tree, [`Content`] — `Serialize` produces one,
+//! `Deserialize` consumes one. Formats (`serde_json`) then only need to
+//! print and parse `Content`. The encoding conventions match serde's
+//! defaults (externally-tagged enums, structs as maps, unit as null) so
+//! data written by the real serde would parse identically.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Self-describing data tree shared by serialization and deserialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key-value pairs in insertion order (JSON objects, struct fields,
+    /// enum payloads).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Map lookup used by derived struct deserializers: a missing field
+    /// reads as `Null`, which `Option<T>` accepts and everything else
+    /// rejects with a clear error.
+    pub fn field(&self, name: &str) -> &Content {
+        const NULL: &Content = &Content::Null;
+        match self {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(NULL),
+            _ => NULL,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) => "integer",
+            Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced by `Deserialize` implementations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub fn custom(message: impl fmt::Display) -> Error {
+        Error {
+            message: message.to_string(),
+        }
+    }
+
+    pub fn expected(what: &str, got: &Content) -> Error {
+        Error::custom(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// std impls: primitives
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<$t, Error> {
+                let wide: i128 = match *content {
+                    Content::I64(v) => v as i128,
+                    Content::U64(v) => v as i128,
+                    // Accept integral floats: JSON readers may widen.
+                    Content::F64(v) if v.fract() == 0.0 => v as i128,
+                    ref other => return Err(Error::expected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!(
+                        "integer {wide} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn to_content(&self) -> Content {
+        Content::U64(*self)
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_content(content: &Content) -> Result<u64, Error> {
+        match *content {
+            Content::U64(v) => Ok(v),
+            Content::I64(v) if v >= 0 => Ok(v as u64),
+            Content::F64(v) if v.fract() == 0.0 && v >= 0.0 => Ok(v as u64),
+            ref other => Err(Error::expected("unsigned integer", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<f64, Error> {
+        match *content {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            ref other => Err(Error::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<f32, Error> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<bool, Error> {
+        match *content {
+            Content::Bool(v) => Ok(v),
+            ref other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<char, Error> {
+        let s = content
+            .as_str()
+            .ok_or_else(|| Error::expected("char", content))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<String, Error> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", content))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<(), Error> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(Error::expected("null", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// std impls: containers
+// ---------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Option<T>, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Vec<T>, Error> {
+        content
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", content))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Box<T>, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(content: &Content) -> Result<Arc<T>, Error> {
+        T::from_content(content).map(Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_content(content: &Content) -> Result<Rc<T>, Error> {
+        T::from_content(content).map(Rc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<K: fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<BTreeMap<String, V>, Error> {
+        content
+            .as_map()
+            .ok_or_else(|| Error::expected("map", content))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: fmt::Display, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        // Sort for stable output; HashMap iteration order is arbitrary.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_content(content: &Content) -> Result<HashMap<String, V, S>, Error> {
+        content
+            .as_map()
+            .ok_or_else(|| Error::expected("map", content))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let seq = content.as_seq().ok_or_else(|| Error::expected("tuple", content))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expected}, got {} elements", seq.len()
+                    )));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_content(&42i64.to_content()).unwrap(), 42);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<i64>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Vec::<bool>::from_content(&vec![true, false].to_content()).unwrap(),
+            vec![true, false]
+        );
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn missing_field_reads_as_null() {
+        let map = Content::Map(vec![("a".into(), Content::I64(1))]);
+        assert_eq!(map.field("a"), &Content::I64(1));
+        assert_eq!(map.field("b"), &Content::Null);
+        assert_eq!(Option::<i64>::from_content(map.field("b")).unwrap(), None);
+        assert!(i64::from_content(map.field("b")).is_err());
+    }
+
+    #[test]
+    fn integer_range_checked() {
+        assert!(u8::from_content(&Content::I64(300)).is_err());
+        assert!(u64::from_content(&Content::I64(-1)).is_err());
+        assert_eq!(u8::from_content(&Content::I64(255)).unwrap(), 255);
+    }
+}

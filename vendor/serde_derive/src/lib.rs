@@ -1,0 +1,382 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`
+//! available offline): a small hand parser extracts the type's shape —
+//! struct/enum name, field names or arities, variant list — and codegen
+//! builds the `impl` blocks as source text. Supports exactly what the
+//! workspace needs: non-generic structs (named, tuple, unit) and enums
+//! whose variants are unit, tuple, or struct-like, encoded with serde's
+//! default externally-tagged conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attrs_and_vis(tokens: &mut Tokens) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("expected attribute body after '#', got {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let keyword = expect_ident(&mut tokens);
+    let name = expect_ident(&mut tokens);
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic type `{name}`");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_struct_shape(&mut tokens)),
+        "enum" => Kind::Enum(parse_variants(&mut tokens)),
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Input { name, kind }
+}
+
+fn parse_struct_shape(tokens: &mut Tokens) -> Shape {
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("unexpected token after struct name: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            return fields;
+        }
+        fields.push(expect_ident(&mut tokens));
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field name, got {other:?}"),
+        }
+        skip_type_until_comma(&mut tokens);
+    }
+}
+
+/// Consume type tokens up to (and including) the next comma that is not
+/// nested inside angle brackets. Parens/brackets/braces arrive as atomic
+/// groups, so only `<`/`>` depth needs tracking.
+fn skip_type_until_comma(tokens: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    for token in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0usize;
+    let mut count = 0usize;
+    let mut in_segment = false;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    if in_segment {
+                        count += 1;
+                    }
+                    in_segment = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        in_segment = true;
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(tokens: &mut Tokens) -> Vec<(String, Shape)> {
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected enum body, got {other:?}"),
+    };
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            return variants;
+        }
+        let name = expect_ident(&mut tokens);
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                Shape::Tuple(arity)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        skip_type_until_comma(&mut tokens);
+        variants.push((name, shape));
+    }
+}
+
+// ---------------------------------------------------------------------
+// codegen
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Unit) => "::serde::Content::Null".to_string(),
+        Kind::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Shape::Named(fields)) => gen_named_map(fields, "self."),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, shape)| match shape {
+                    Shape::Unit => format!(
+                        "{name}::{vname} => ::serde::Content::Str(String::from(\"{vname}\")),"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "{name}::{vname}(__f0) => ::serde::Content::Map(vec![(String::from(\"{vname}\"), ::serde::Serialize::to_content(__f0))]),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Content::Map(vec![(String::from(\"{vname}\"), ::serde::Content::Seq(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![(String::from(\"{vname}\"), ::serde::Content::Map(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_named_map(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(String::from(\"{f}\"), ::serde::Serialize::to_content(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Unit) => format!(
+            "match __c {{ ::serde::Content::Null => Ok({name}), _ => Err(::serde::Error::expected(\"{name}\", __c)) }}"
+        ),
+        Kind::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
+        Kind::Struct(Shape::Tuple(n)) => format!(
+            "{{ let __seq = __c.as_seq().ok_or_else(|| ::serde::Error::expected(\"{name}\", __c))?;\n\
+               if __seq.len() != {n} {{ return Err(::serde::Error::custom(format!(\"{name}: expected {n} elements, got {{}}\", __seq.len()))); }}\n\
+               Ok({name}({})) }}",
+            (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Kind::Struct(Shape::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| gen_field_init(name, f, "__c"))
+                .collect();
+            format!(
+                "{{ if __c.as_map().is_none() {{ return Err(::serde::Error::expected(\"struct {name}\", __c)); }}\n\
+                   Ok({name} {{ {} }}) }}",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_field_init(type_name: &str, field: &str, source: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::from_content({source}.field(\"{field}\"))\
+             .map_err(|e| ::serde::Error::custom(format!(\"{type_name}.{field}: {{e}}\")))?"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[(String, Shape)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, shape)| matches!(shape, Shape::Unit))
+        .map(|(vname, _)| format!("\"{vname}\" => Ok({name}::{vname}),"))
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .map(|(vname, shape)| match shape {
+            Shape::Unit => format!(
+                "\"{vname}\" => match __payload {{ ::serde::Content::Null => Ok({name}::{vname}), _ => Err(::serde::Error::custom(\"{name}::{vname} takes no data\")) }},"
+            ),
+            Shape::Tuple(1) => format!(
+                "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_content(__payload).map_err(|e| ::serde::Error::custom(format!(\"{name}::{vname}: {{e}}\")))?)),"
+            ),
+            Shape::Tuple(n) => format!(
+                "\"{vname}\" => {{ let __seq = __payload.as_seq().ok_or_else(|| ::serde::Error::expected(\"{name}::{vname} data\", __payload))?;\n\
+                     if __seq.len() != {n} {{ return Err(::serde::Error::custom(format!(\"{name}::{vname}: expected {n} elements, got {{}}\", __seq.len()))); }}\n\
+                     Ok({name}::{vname}({})) }},",
+                (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| gen_field_init(name, f, "__payload"))
+                    .collect();
+                format!(
+                    "\"{vname}\" => {{ if __payload.as_map().is_none() {{ return Err(::serde::Error::expected(\"{name}::{vname} data\", __payload)); }}\n\
+                         Ok({name}::{vname} {{ {} }}) }},",
+                    inits.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "match __c {{\n\
+             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 __other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+             }},\n\
+             ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {}\n\
+                     __other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => Err(::serde::Error::expected(\"{name} variant\", __other)),\n\
+         }}",
+        unit_arms.join("\n"),
+        payload_arms.join("\n")
+    )
+}

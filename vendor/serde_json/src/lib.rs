@@ -1,0 +1,443 @@
+//! Minimal JSON shim, API-compatible with the subset of `serde_json` this
+//! workspace uses: `Value`/`Map`, `to_string`/`to_string_pretty`,
+//! `from_str`, `to_value`, and the `json!` macro.
+//!
+//! Everything funnels through the serde shim's `Content` tree: printing
+//! walks a `Content`, parsing produces one, and typed (de)serialization
+//! delegates to the `Serialize`/`Deserialize` impls.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+mod parse;
+mod print;
+
+pub use parse::from_str;
+
+/// Error for both parsing and (de)serialization failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl fmt::Display) -> Error {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error::new(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------
+
+/// A parsed/constructed JSON document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+/// JSON object preserving insertion order, like `serde_json`'s
+/// `preserve_order` map.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Insert, replacing any previous value for the key; returns the old
+    /// value if present.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Map {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v),
+            Value::Number(Number::U64(v)) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v as f64),
+            Value::Number(Number::U64(v)) => Some(*v as f64),
+            Value::Number(Number::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|map| map.get(key))
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub(crate) fn from_content(content: &Content) -> Value {
+        match content {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::I64(v) => Value::Number(Number::I64(*v)),
+            Content::U64(v) => Value::Number(Number::U64(*v)),
+            Content::F64(v) => Value::Number(Number::F64(*v)),
+            Content::Str(s) => Value::String(s.clone()),
+            Content::Seq(items) => Value::Array(items.iter().map(Value::from_content).collect()),
+            Content::Map(entries) => Value::Object(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from_content(v)))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object-key lookup; missing keys and non-objects index to `Null`,
+    /// matching `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        const NULL: &Value = &Value::Null;
+        self.get(key).unwrap_or(NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        const NULL: &Value = &Value::Null;
+        self.as_array()
+            .and_then(|items| items.get(index))
+            .unwrap_or(NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(Number::I64(v)) => Content::I64(*v),
+            Value::Number(Number::U64(v)) => Content::U64(*v),
+            Value::Number(Number::F64(v)) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Serialize::to_content).collect()),
+            Value::Object(map) => Content::Map(
+                map.iter()
+                    .map(|(k, v)| (k.clone(), v.to_content()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(content: &Content) -> Result<Value, serde::Error> {
+        Ok(Value::from_content(content))
+    }
+}
+
+impl Serialize for Map {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&print::print(&self.to_content(), false))
+    }
+}
+
+// ---------------------------------------------------------------------
+// entry points
+// ---------------------------------------------------------------------
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::print(&value.to_content(), false))
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::print(&value.to_content(), true))
+}
+
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    Value::from_content(&value.to_content())
+}
+
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_content(&value.to_content()).map_err(Error::from)
+}
+
+/// Build a [`Value`] with JSON-ish syntax. Object and array literals nest;
+/// any other value position accepts a Rust expression implementing
+/// `Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($body:tt)+ }) => {{
+        let mut __map = $crate::Map::new();
+        $crate::json_object_entries!(__map, $($body)+);
+        $crate::Value::Object(__map)
+    }};
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($body:tt)+ ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let __items = {
+            let mut __items: Vec<$crate::Value> = Vec::new();
+            $crate::json_array_items!(__items, $($body)+);
+            __items
+        };
+        $crate::Value::Array(__items)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($map:ident, $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $($crate::json_object_entries!($map, $($rest)*);)?
+    };
+    ($map:ident, $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $($crate::json_object_entries!($map, $($rest)*);)?
+    };
+    ($map:ident, $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $($crate::json_object_entries!($map, $($rest)*);)?
+    };
+    ($map:ident, $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::to_value(&$value));
+        $crate::json_object_entries!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : $value:expr) => {
+        $map.insert($key.to_string(), $crate::to_value(&$value));
+    };
+    ($map:ident,) => {};
+    ($map:ident) => {};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_items {
+    ($items:ident, null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $($crate::json_array_items!($items, $($rest)*);)?
+    };
+    ($items:ident, { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $($crate::json_array_items!($items, $($rest)*);)?
+    };
+    ($items:ident, [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $($crate::json_array_items!($items, $($rest)*);)?
+    };
+    ($items:ident, $value:expr , $($rest:tt)*) => {
+        $items.push($crate::to_value(&$value));
+        $crate::json_array_items!($items, $($rest)*);
+    };
+    ($items:ident, $value:expr) => {
+        $items.push($crate::to_value(&$value));
+    };
+    ($items:ident,) => {};
+    ($items:ident) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let flag = true;
+        let v = json!({
+            "title": "hello",
+            "n": 3,
+            "nested": {"url": "x", "deep": [1, 2, {"k": null}]},
+            "cond": if flag { "yes" } else { "no" },
+        });
+        assert_eq!(v.get("title").unwrap().as_str(), Some("hello"));
+        assert_eq!(v.get("n").unwrap().as_i64(), Some(3));
+        assert_eq!(v.get("cond").unwrap().as_str(), Some("yes"));
+        let deep = v
+            .get("nested")
+            .unwrap()
+            .get("deep")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(deep.len(), 3);
+        assert!(deep[2].get("k").unwrap().is_null());
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let v = json!({"a": [1, 2.5, "x\n\"y\""], "b": null, "c": true});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back_pretty: Value = from_str(&pretty).unwrap();
+        assert_eq!(back_pretty, v);
+    }
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut map = Map::new();
+        map.insert("k".into(), json!(1));
+        let old = map.insert("k".into(), json!(2));
+        assert_eq!(old, Some(json!(1)));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get("k").unwrap().as_i64(), Some(2));
+    }
+}

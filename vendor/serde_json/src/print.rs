@@ -1,0 +1,106 @@
+//! JSON text output (compact and pretty, 2-space indent) over the serde
+//! shim's `Content` tree.
+
+use serde::Content;
+use std::fmt::Write;
+
+pub(crate) fn print(content: &Content, pretty: bool) -> String {
+    let mut out = String::new();
+    write_content(&mut out, content, pretty, 0);
+    out
+}
+
+fn write_content(out: &mut String, content: &Content, pretty: bool, indent: usize) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, pretty, indent + 1);
+                write_content(out, item, pretty, indent + 1);
+            }
+            newline_indent(out, pretty, indent);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, pretty, indent + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_content(out, value, pretty, indent + 1);
+            }
+            newline_indent(out, pretty, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, pretty: bool, indent: usize) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest round-trippable repr; ensure a decimal point or
+        // exponent survives so the value reads back as a float-typed token
+        // only when precision matters (integral floats legally print bare).
+        let _ = write!(out, "{v}");
+    } else {
+        // JSON has no NaN/Infinity; mirror the lossy convention of
+        // serializers that substitute null.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
