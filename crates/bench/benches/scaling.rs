@@ -1,0 +1,84 @@
+//! Aggregation / join / distinct scaling vs. the parallelism knob.
+//!
+//! Before the two-phase refactor only the Scan→Filter→Project prefix ran
+//! partition-parallel; GROUP BY, JOIN, and DISTINCT collapsed to one
+//! thread. This bench sweeps `parallelism` over a multi-partition table so
+//! regressions in partition parallelism of the heavy operators show up as
+//! flat (non-scaling) curves.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sigma_cdw::Warehouse;
+use sigma_value::{Batch, Column, DataType, Field, Schema};
+
+const ROWS: usize = 200_000;
+/// 16 partitions: enough grain for an 8-way sweep.
+const PARTITION_ROWS: usize = ROWS / 16;
+
+const AGG_SQL: &str = "SELECT g, COUNT(*) AS n, SUM(v) AS s, AVG(v) AS a, \
+                              MIN(v) AS mn, MAX(v) AS mx \
+                       FROM fact GROUP BY g";
+const JOIN_SQL: &str = "SELECT d.lab, COUNT(*) AS n, SUM(fact.v) AS s \
+                        FROM fact JOIN d ON fact.k = d.k GROUP BY d.lab";
+const DISTINCT_SQL: &str = "SELECT DISTINCT g, k FROM fact";
+
+fn scaling_warehouse() -> Warehouse {
+    let wh = Warehouse::default();
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("g", DataType::Int),
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Float),
+    ]));
+    // Deterministic pseudo-random-ish distribution (no RNG dependency).
+    let fact = Batch::new(
+        schema,
+        vec![
+            Column::from_ints((0..ROWS as i64).map(|i| (i * 7919) % 64).collect()),
+            Column::from_ints((0..ROWS as i64).map(|i| (i * 104729) % 1000).collect()),
+            Column::from_floats((0..ROWS as i64).map(|i| ((i * 31) % 997) as f64).collect()),
+        ],
+    )
+    .unwrap();
+    wh.load_table_partitioned("fact", fact, PARTITION_ROWS)
+        .unwrap();
+    let dim = Batch::new(
+        Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("lab", DataType::Text),
+        ])),
+        vec![
+            Column::from_ints((0..1000).collect()),
+            Column::from_texts((0..1000).map(|i| format!("d{}", i % 25)).collect()),
+        ],
+    )
+    .unwrap();
+    wh.load_table("d", dim).unwrap();
+    wh
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let wh = scaling_warehouse();
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ROWS as u64));
+    for (name, sql) in [
+        ("aggregate", AGG_SQL),
+        ("join_agg", JOIN_SQL),
+        ("distinct", DISTINCT_SQL),
+    ] {
+        for threads in [1usize, 2, 4, 8] {
+            wh.set_parallelism(threads);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("p{threads}")),
+                &threads,
+                |b, _| b.iter(|| wh.execute_sql(sql).unwrap()),
+            );
+        }
+        wh.set_parallelism(1);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

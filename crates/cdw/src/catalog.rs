@@ -85,13 +85,22 @@ impl Catalog {
         batch: Batch,
         or_replace: bool,
     ) -> Result<(), CdwError> {
+        self.create_table_from_batch_partitioned(name, batch, or_replace, DEFAULT_PARTITION_ROWS)
+    }
+
+    /// Register a table from a batch with an explicit partition size.
+    pub fn create_table_from_batch_partitioned(
+        &mut self,
+        name: &str,
+        batch: Batch,
+        or_replace: bool,
+        partition_rows: usize,
+    ) -> Result<(), CdwError> {
         if self.contains(name) && !or_replace {
             return Err(CdwError::catalog(format!("table already exists: {name}")));
         }
-        self.tables.insert(
-            key(name),
-            StoredTable::from_batch(batch, DEFAULT_PARTITION_ROWS),
-        );
+        self.tables
+            .insert(key(name), StoredTable::from_batch(batch, partition_rows));
         Ok(())
     }
 

@@ -9,8 +9,16 @@
 //! * a SQL front end (reusing `sigma-sql`'s parser),
 //! * a logical planner with name resolution and aggregate/window rewriting,
 //! * a rule-based optimizer (predicate pushdown, projection pruning,
-//!   constant folding),
-//! * a vectorized executor (optionally partition-parallel via crossbeam),
+//!   constant folding, and a two-phase partial/final split of aggregation
+//!   and DISTINCT over partition-preserving inputs),
+//! * a vectorized, partition-parallel executor: scans, filters, projections,
+//!   unions, partial aggregation/dedup, and hash-join probes all run one
+//!   task per partition across crossbeam scoped threads (the `parallelism`
+//!   knob), with partial aggregate states merged associatively in
+//!   partition order so results are bit-identical at any parallelism —
+//!   this is the stand-in for the CDW elasticity the paper leans on,
+//! * per-operator execution stats (`ExecStats`/`OpStats`, rendered by
+//!   `Warehouse::explain_analyze`) for attributing query time,
 //! * DDL/DML (materialization, CSV upload, editable-table edit propagation),
 //! * persisted result sets addressable by query id (`RESULT_SCAN`), which
 //!   the service's query-directory cache relies on (paper §4).
@@ -31,4 +39,5 @@ pub mod storage;
 pub mod window;
 
 pub use error::CdwError;
+pub use exec::{ExecStats, OpStats};
 pub use session::{ResultSet, Warehouse, WarehouseConfig};

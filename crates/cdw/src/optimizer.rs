@@ -1,6 +1,6 @@
 //! Rule-based logical optimizer.
 //!
-//! Three rewrites, applied to fixpoint-ish (one bottom-up pass each, in
+//! Four rewrites, applied to fixpoint-ish (one bottom-up pass each, in
 //! order, which suffices for the shapes the compiler emits):
 //!
 //! 1. **Constant folding** — column-free subexpressions evaluate at plan
@@ -9,6 +9,10 @@
 //!    unions, and into the inner side(s) of joins.
 //! 3. **Projection pruning** — scans materialize only the columns the rest
 //!    of the plan consumes (a narrow `Project` is inserted over the scan).
+//! 4. **Two-phase split** — `Aggregate` and `Distinct` nodes over
+//!    partition-preserving inputs split into a per-partition `Partial`
+//!    under a merging `Final`, so the executor can run the hash-build
+//!    phase partition-parallel (see `plan::AggMode` and DESIGN.md).
 
 use std::sync::Arc;
 
@@ -17,14 +21,14 @@ use sigma_value::{Batch, DataType, Field, Schema};
 
 use crate::error::CdwError;
 use crate::eval::{self, EvalCtx, PhysExpr};
-use crate::plan::Plan;
+use crate::plan::{AggMode, Plan};
 
 /// Run all rules over a plan.
 pub fn optimize(plan: Plan, ctx: &EvalCtx) -> Result<Plan, CdwError> {
     let plan = fold_constants_plan(plan, ctx)?;
     let plan = push_down_filters(plan)?;
     let plan = prune_scan_columns(plan)?;
-    Ok(plan)
+    Ok(split_two_phase(plan))
 }
 
 // ---------------------------------------------------------------------
@@ -162,6 +166,7 @@ fn map_plan_exprs(
             groups,
             aggs,
             schema,
+            mode,
         } => Plan::Aggregate {
             input: Box::new(map_plan_exprs(*input, f)?),
             groups: groups.into_iter().map(f).collect::<Result<_, _>>()?,
@@ -173,6 +178,7 @@ fn map_plan_exprs(
                 })
                 .collect::<Result<_, _>>()?,
             schema,
+            mode,
         },
         Plan::Window {
             input,
@@ -241,8 +247,9 @@ fn map_plan_exprs(
                 .collect::<Result<_, _>>()?,
             schema,
         },
-        Plan::Distinct { input } => Plan::Distinct {
+        Plan::Distinct { input, mode } => Plan::Distinct {
             input: Box::new(map_plan_exprs(*input, f)?),
+            mode,
         },
         leaf @ (Plan::Scan { .. } | Plan::ResultScan { .. } | Plan::Values { .. }) => leaf,
     })
@@ -272,11 +279,13 @@ fn push_down_filters(plan: Plan) -> Result<Plan, CdwError> {
             groups,
             aggs,
             schema,
+            mode,
         } => Plan::Aggregate {
             input: Box::new(push_down_filters(*input)?),
             groups,
             aggs,
             schema,
+            mode,
         },
         Plan::Window {
             input,
@@ -324,8 +333,9 @@ fn push_down_filters(plan: Plan) -> Result<Plan, CdwError> {
                 .collect::<Result<_, _>>()?,
             schema,
         },
-        Plan::Distinct { input } => Plan::Distinct {
+        Plan::Distinct { input, mode } => Plan::Distinct {
             input: Box::new(push_down_filters(*input)?),
+            mode,
         },
         leaf => leaf,
     })
@@ -697,6 +707,7 @@ fn prune(plan: Plan, needed: Option<Vec<usize>>) -> Result<Plan, CdwError> {
             groups,
             aggs,
             schema,
+            mode,
         } => {
             let mut child_need = Vec::new();
             for g in &groups {
@@ -728,6 +739,7 @@ fn prune(plan: Plan, needed: Option<Vec<usize>>) -> Result<Plan, CdwError> {
                 groups,
                 aggs,
                 schema,
+                mode,
             };
             Ok(match needed {
                 Some(cols) => narrow(agg, &cols),
@@ -812,9 +824,10 @@ fn prune(plan: Plan, needed: Option<Vec<usize>>) -> Result<Plan, CdwError> {
                 None => u,
             })
         }
-        Plan::Distinct { input } => {
+        Plan::Distinct { input, mode } => {
             let d = Plan::Distinct {
                 input: Box::new(prune(*input, None)?),
+                mode,
             };
             Ok(match needed {
                 Some(cols) => narrow(d, &cols),
@@ -825,5 +838,170 @@ fn prune(plan: Plan, needed: Option<Vec<usize>>) -> Result<Plan, CdwError> {
             Some(cols) => narrow(leaf, &cols),
             None => leaf,
         }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// two-phase split
+// ---------------------------------------------------------------------
+
+/// Does the executor preserve partition structure for this subtree?
+///
+/// Scans emit one part per storage partition; Filter/Project map over
+/// parts; UnionAll concatenates its inputs' parts; a Join emits one part
+/// per probe (left) partition; a partial Distinct dedups within parts.
+/// Everything else collapses to a single batch, where a two-phase split
+/// would only add a pointless merge pass.
+fn partition_preserving(plan: &Plan) -> bool {
+    match plan {
+        Plan::Scan { .. } => true,
+        Plan::Filter { input, .. } | Plan::Project { input, .. } => partition_preserving(input),
+        Plan::UnionAll { inputs, .. } => {
+            inputs.len() > 1 || inputs.iter().any(partition_preserving)
+        }
+        Plan::Join { left, .. } => partition_preserving(left),
+        Plan::Distinct {
+            input,
+            mode: AggMode::Partial,
+        } => partition_preserving(input),
+        _ => false,
+    }
+}
+
+/// Rewrite `Single` Aggregate/Distinct nodes over partition-preserving
+/// inputs into `Final(Partial(input))` pairs. The split is decided purely
+/// by plan shape — never by the parallelism knob — so a query runs the
+/// identical plan (and produces bit-identical results) at any parallelism.
+fn split_two_phase(plan: Plan) -> Plan {
+    match plan {
+        Plan::Aggregate {
+            input,
+            groups,
+            aggs,
+            schema,
+            mode: AggMode::Single,
+        } => {
+            let input = split_two_phase(*input);
+            if partition_preserving(&input) {
+                // The Final node restates the same spec as its Partial
+                // child; the executor fuses the pair and evaluates the
+                // child's expressions against the raw input partitions.
+                Plan::Aggregate {
+                    input: Box::new(Plan::Aggregate {
+                        input: Box::new(input),
+                        groups: groups.clone(),
+                        aggs: aggs.clone(),
+                        schema: schema.clone(),
+                        mode: AggMode::Partial,
+                    }),
+                    groups,
+                    aggs,
+                    schema,
+                    mode: AggMode::Final,
+                }
+            } else {
+                Plan::Aggregate {
+                    input: Box::new(input),
+                    groups,
+                    aggs,
+                    schema,
+                    mode: AggMode::Single,
+                }
+            }
+        }
+        Plan::Distinct {
+            input,
+            mode: AggMode::Single,
+        } => {
+            let input = split_two_phase(*input);
+            if partition_preserving(&input) {
+                Plan::Distinct {
+                    input: Box::new(Plan::Distinct {
+                        input: Box::new(input),
+                        mode: AggMode::Partial,
+                    }),
+                    mode: AggMode::Final,
+                }
+            } else {
+                Plan::Distinct {
+                    input: Box::new(input),
+                    mode: AggMode::Single,
+                }
+            }
+        }
+        Plan::Aggregate {
+            input,
+            groups,
+            aggs,
+            schema,
+            mode,
+        } => Plan::Aggregate {
+            input: Box::new(split_two_phase(*input)),
+            groups,
+            aggs,
+            schema,
+            mode,
+        },
+        Plan::Distinct { input, mode } => Plan::Distinct {
+            input: Box::new(split_two_phase(*input)),
+            mode,
+        },
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(split_two_phase(*input)),
+            predicate,
+        },
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => Plan::Project {
+            input: Box::new(split_two_phase(*input)),
+            exprs,
+            schema,
+        },
+        Plan::Window {
+            input,
+            calls,
+            schema,
+        } => Plan::Window {
+            input: Box::new(split_two_phase(*input)),
+            calls,
+            schema,
+        },
+        Plan::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => Plan::Join {
+            left: Box::new(split_two_phase(*left)),
+            right: Box::new(split_two_phase(*right)),
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(split_two_phase(*input)),
+            keys,
+        },
+        Plan::Limit {
+            input,
+            limit,
+            offset,
+        } => Plan::Limit {
+            input: Box::new(split_two_phase(*input)),
+            limit,
+            offset,
+        },
+        Plan::UnionAll { inputs, schema } => Plan::UnionAll {
+            inputs: inputs.into_iter().map(split_two_phase).collect(),
+            schema,
+        },
+        leaf @ (Plan::Scan { .. } | Plan::ResultScan { .. } | Plan::Values { .. }) => leaf,
     }
 }

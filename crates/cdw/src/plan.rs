@@ -7,6 +7,37 @@ use sigma_value::{Batch, DataType, Schema};
 
 use crate::eval::PhysExpr;
 
+/// Execution phase of an [`Plan::Aggregate`] or [`Plan::Distinct`] node.
+///
+/// The planner always emits `Single` (one-shot over the whole input). The
+/// optimizer's two-phase split rewrites `Single` nodes over
+/// partition-preserving inputs into a per-partition `Partial` under a
+/// merging `Final`, so the heavy hash-build work runs partition-parallel
+/// and only the (much smaller) per-partition results are combined on one
+/// thread. The executor realizes the split for the exact `Final`-over-
+/// `Partial` pairing; any other placement degrades safely to `Single`
+/// semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggMode {
+    /// One-shot aggregation over the concatenated input.
+    Single,
+    /// Per-partition pre-aggregation; output keeps partition structure.
+    Partial,
+    /// Merge per-partition partial states into the global result.
+    Final,
+}
+
+impl AggMode {
+    /// Suffix used in EXPLAIN output (empty for the default mode).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AggMode::Single => "",
+            AggMode::Partial => "[partial]",
+            AggMode::Final => "[final]",
+        }
+    }
+}
+
 /// Aggregate functions the engine executes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AggFunc {
@@ -93,19 +124,11 @@ pub struct WindowCall {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Plan {
     /// Scan a catalog table.
-    Scan {
-        table: String,
-        schema: Arc<Schema>,
-    },
+    Scan { table: String, schema: Arc<Schema> },
     /// Scan a persisted result set by query id (RESULT_SCAN).
-    ResultScan {
-        id: String,
-        schema: Arc<Schema>,
-    },
+    ResultScan { id: String, schema: Arc<Schema> },
     /// Inline rows.
-    Values {
-        batch: Batch,
-    },
+    Values { batch: Batch },
     Project {
         input: Box<Plan>,
         exprs: Vec<PhysExpr>,
@@ -120,6 +143,10 @@ pub enum Plan {
         groups: Vec<PhysExpr>,
         aggs: Vec<AggCall>,
         schema: Arc<Schema>,
+        /// Two-phase placement (see [`AggMode`]). A `Partial` node carries
+        /// the final output schema: partial states live in executor memory
+        /// and are never materialized as columns.
+        mode: AggMode,
     },
     /// Appends one column per call to the input schema.
     Window {
@@ -153,6 +180,9 @@ pub enum Plan {
     },
     Distinct {
         input: Box<Plan>,
+        /// `Partial` dedups within each partition (keeping partitions);
+        /// `Final`/`Single` dedup globally to one batch.
+        mode: AggMode,
     },
 }
 
@@ -171,7 +201,7 @@ impl Plan {
             Plan::Sort { input, .. } => input.schema(),
             Plan::Limit { input, .. } => input.schema(),
             Plan::UnionAll { schema, .. } => schema.clone(),
-            Plan::Distinct { input } => input.schema(),
+            Plan::Distinct { input, .. } => input.schema(),
         }
     }
 
@@ -185,7 +215,7 @@ impl Plan {
             | Plan::Window { input, .. }
             | Plan::Sort { input, .. }
             | Plan::Limit { input, .. }
-            | Plan::Distinct { input } => input.node_count(),
+            | Plan::Distinct { input, .. } => input.node_count(),
             Plan::Join { left, right, .. } => left.node_count() + right.node_count(),
             Plan::UnionAll { inputs, .. } => inputs.iter().map(Plan::node_count).sum(),
         }
@@ -220,10 +250,12 @@ impl Plan {
                 input,
                 groups,
                 aggs,
+                mode,
                 ..
             } => {
                 out.push_str(&format!(
-                    "Aggregate (groups={}, aggs={})\n",
+                    "Aggregate{} (groups={}, aggs={})\n",
+                    mode.label(),
                     groups.len(),
                     aggs.len()
                 ));
@@ -262,8 +294,8 @@ impl Plan {
                     i.explain_into(depth + 1, out);
                 }
             }
-            Plan::Distinct { input } => {
-                out.push_str("Distinct\n");
+            Plan::Distinct { input, mode } => {
+                out.push_str(&format!("Distinct{}\n", mode.label()));
                 input.explain_into(depth + 1, out);
             }
         }

@@ -12,7 +12,7 @@ use sigma_value::{Batch, Value};
 use crate::catalog::{Catalog, TableStats};
 use crate::error::CdwError;
 use crate::eval::{self, EvalCtx, PhysExpr};
-use crate::exec::{execute, ExecCtx, ExecStats};
+use crate::exec::{execute, ExecCtx, ExecStats, OpStats};
 use crate::optimizer::optimize;
 use crate::plan::Plan;
 use crate::planner::Planner;
@@ -54,6 +54,10 @@ pub struct ResultSet {
     pub elapsed: Duration,
     /// Number of rows affected, for DML (0 for queries).
     pub rows_affected: usize,
+    /// Per-operator breakdown (rows in/out, partitions, elapsed) in plan
+    /// pre-order; empty for DDL/DML. Render via [`Warehouse::explain_analyze`]
+    /// or inspect directly for time attribution.
+    pub operators: Vec<OpStats>,
 }
 
 /// An in-process cloud data warehouse.
@@ -115,6 +119,19 @@ impl Warehouse {
             .create_table_from_batch(name, batch, true)
     }
 
+    /// Register a table with an explicit partition size (tests and benches
+    /// use this to exercise partition-parallel execution on small data).
+    pub fn load_table_partitioned(
+        &self,
+        name: &str,
+        batch: Batch,
+        partition_rows: usize,
+    ) -> Result<(), CdwError> {
+        self.catalog
+            .write()
+            .create_table_from_batch_partitioned(name, batch, true, partition_rows)
+    }
+
     pub fn table_names(&self) -> Vec<String> {
         self.catalog.read().table_names()
     }
@@ -174,6 +191,7 @@ impl Warehouse {
                     partitions_scanned: stats.partitions_scanned,
                     elapsed: started.elapsed(),
                     rows_affected: 0,
+                    operators: std::mem::take(&mut stats.operators),
                 }
             }
             Statement::CreateTable {
@@ -254,6 +272,19 @@ impl Warehouse {
             elapsed: started.elapsed(),
             ..outcome
         })
+    }
+
+    /// Execute a query and render the per-operator breakdown as an
+    /// EXPLAIN ANALYZE-style tree (rows in/out, partitions, elapsed per
+    /// operator) so time can be attributed within the plan.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String, CdwError> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Query(q) = stmt else {
+            return Err(CdwError::plan("EXPLAIN ANALYZE supports only queries"));
+        };
+        let mut stats = ExecStats::default();
+        self.run_query(&q, &mut stats)?;
+        Ok(stats.render())
     }
 
     /// Plan (without executing) — exposed for EXPLAIN-style tooling/tests.
@@ -385,6 +416,7 @@ impl Warehouse {
             partitions_scanned: 0,
             elapsed: started.elapsed(),
             rows_affected: 0,
+            operators: Vec::new(),
         }
     }
 

@@ -109,12 +109,63 @@ fn projection_pruning_narrows_scan() {
             | Plan::Window { input, .. }
             | Plan::Sort { input, .. }
             | Plan::Limit { input, .. }
-            | Plan::Distinct { input } => scan_project_width(input),
+            | Plan::Distinct { input, .. } => scan_project_width(input),
             _ => None,
         }
     }
     // The narrow projection over the scan selects exactly 1 column.
     assert_eq!(scan_project_width(&plan), Some(1), "{}", plan.explain());
+}
+
+#[test]
+fn aggregate_splits_two_phase_over_partitioned_scan() {
+    let wh = wh();
+    let plan = wh
+        .plan_sql("SELECT c, SUM(a) AS s FROM t GROUP BY c")
+        .unwrap();
+    let explain = plan.explain();
+    let final_pos = explain.find("Aggregate[final]").expect("final half");
+    let partial_pos = explain.find("Aggregate[partial]").expect("partial half");
+    assert!(final_pos < partial_pos, "{explain}");
+}
+
+#[test]
+fn distinct_splits_two_phase_over_partitioned_scan() {
+    let wh = wh();
+    let plan = wh.plan_sql("SELECT DISTINCT c FROM t").unwrap();
+    let explain = plan.explain();
+    let final_pos = explain.find("Distinct[final]").expect("final half");
+    let partial_pos = explain.find("Distinct[partial]").expect("partial half");
+    assert!(final_pos < partial_pos, "{explain}");
+}
+
+#[test]
+fn no_split_over_collapsing_input() {
+    let wh = wh();
+    // Limit collapses to one batch, so a two-phase split above it would
+    // only add a pointless merge pass — the aggregate stays Single.
+    let plan = wh
+        .plan_sql("SELECT SUM(x) AS s FROM (SELECT a AS x FROM t ORDER BY a LIMIT 10) s")
+        .unwrap();
+    let explain = plan.explain();
+    assert!(!explain.contains("Aggregate[final]"), "{explain}");
+    assert!(!explain.contains("Aggregate[partial]"), "{explain}");
+    assert!(explain.contains("Aggregate"), "{explain}");
+}
+
+#[test]
+fn aggregate_over_join_splits_on_probe_partitions() {
+    let wh = wh();
+    // The join emits one part per probe (left) partition, so the
+    // aggregate above it still splits two-phase.
+    let plan = wh
+        .plan_sql(
+            "SELECT dim.label, COUNT(*) AS n FROM t JOIN dim ON t.a = dim.k GROUP BY dim.label",
+        )
+        .unwrap();
+    let explain = plan.explain();
+    assert!(explain.contains("Aggregate[final]"), "{explain}");
+    assert!(explain.contains("Aggregate[partial]"), "{explain}");
 }
 
 #[test]

@@ -1,0 +1,167 @@
+//! The two-phase split's safety net: for generated GROUP BY / JOIN /
+//! DISTINCT queries over randomly partitioned tables, `parallelism = 1`
+//! and `parallelism = 4` must produce **bit-identical** batches (same
+//! rows, same order, same float bit patterns). The optimizer decides the
+//! partial/final placement purely from plan shape and the executor merges
+//! partial states in partition-index order, so thread count can never
+//! change a result — this test pins that invariant.
+
+use proptest::prelude::*;
+use sigma_cdw::Warehouse;
+use sigma_value::{Batch, Column, DataType, Field, Schema, Value};
+use std::sync::Arc;
+
+/// Queries covering the operators the two-phase refactor touches.
+const QUERIES: &[&str] = &[
+    // Grouped aggregation across every mergeable state.
+    "SELECT g, COUNT(*) AS c, COUNT(v) AS cv, COUNT(DISTINCT v) AS cd, \
+            SUM(v) AS s, AVG(v) AS a, MIN(v) AS mn, MAX(v) AS mx, \
+            STDDEV(v) AS sd, MEDIAN(v) AS md \
+     FROM t GROUP BY g",
+    // Global aggregate (one row even over empty filters).
+    "SELECT COUNT(*) AS c, SUM(d) AS s, AVG(d) AS a, STDDEV(d) AS sd FROM t",
+    "SELECT COUNT(*) AS c, SUM(v) AS s FROM t WHERE v > 1000",
+    // DISTINCT: partial dedup per partition + global merge.
+    "SELECT DISTINCT g, v FROM t",
+    // Partitioned hash join (shared build side).
+    "SELECT t.g, t.v, u.lab FROM t JOIN u ON t.jk = u.k",
+    "SELECT t.g, u.lab FROM t LEFT JOIN u ON t.jk = u.k",
+    // Aggregation over a join: the join's per-partition output feeds a
+    // two-phase aggregate.
+    "SELECT u.lab, COUNT(*) AS n, SUM(t.v) AS s \
+     FROM t LEFT JOIN u ON t.jk = u.k GROUP BY u.lab",
+    // Aggregation over UNION ALL (parts from both inputs retained).
+    "SELECT g, SUM(v) AS s FROM (SELECT g, v FROM t UNION ALL SELECT g, v FROM t) x GROUP BY g",
+];
+
+fn load(rows: &[(i64, Option<i64>, i64)], partition_rows: usize) -> Warehouse {
+    let wh = Warehouse::default();
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("g", DataType::Int),
+        Field::new("v", DataType::Int),
+        Field::new("d", DataType::Float),
+        Field::new("jk", DataType::Int),
+    ]));
+    let batch = Batch::new(
+        schema,
+        vec![
+            Column::from_ints(rows.iter().map(|(g, _, _)| *g).collect()),
+            Column::from_opt_ints(rows.iter().map(|(_, v, _)| *v).collect()),
+            Column::from_floats(
+                rows.iter()
+                    .map(|(_, v, j)| v.unwrap_or(*j) as f64 / 3.0)
+                    .collect(),
+            ),
+            Column::from_ints(rows.iter().map(|(_, _, j)| *j).collect()),
+        ],
+    )
+    .unwrap();
+    wh.load_table_partitioned("t", batch, partition_rows)
+        .unwrap();
+    // Small dimension table: keys 0..6 so some jk values (6..8) dangle.
+    let dim = Batch::new(
+        Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("lab", DataType::Text),
+        ])),
+        vec![
+            Column::from_ints((0..6).collect()),
+            Column::from_texts((0..6).map(|i| format!("l{i}")).collect()),
+        ],
+    )
+    .unwrap();
+    wh.load_table("u", dim).unwrap();
+    wh
+}
+
+/// Equality down to float bit patterns (NaN-safe, -0.0 ≠ 0.0 visible).
+fn assert_bit_identical(serial: &Batch, parallel: &Batch, sql: &str) {
+    assert_eq!(serial.num_rows(), parallel.num_rows(), "row count: {sql}");
+    assert_eq!(
+        serial.num_columns(),
+        parallel.num_columns(),
+        "column count: {sql}"
+    );
+    for c in 0..serial.num_columns() {
+        assert_eq!(
+            serial.column(c).dtype(),
+            parallel.column(c).dtype(),
+            "dtype of column {c}: {sql}"
+        );
+        for r in 0..serial.num_rows() {
+            let (a, b) = (serial.value(r, c), parallel.value(r, c));
+            match (&a, &b) {
+                (Value::Float(x), Value::Float(y)) => assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "float bits at ({r}, {c}): {x} vs {y}: {sql}"
+                ),
+                _ => assert_eq!(a, b, "value at ({r}, {c}): {sql}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn parallel_and_serial_execution_bit_identical(
+        rows in proptest::collection::vec(
+            (0i64..5, proptest::option::of(-50i64..50), 0i64..8),
+            1..120,
+        ),
+        partition_rows in 1usize..24,
+    ) {
+        let wh = load(&rows, partition_rows);
+        for sql in QUERIES {
+            wh.set_parallelism(1);
+            let serial = wh.execute_sql(sql).unwrap().batch;
+            wh.set_parallelism(4);
+            let parallel = wh.execute_sql(sql).unwrap().batch;
+            assert_bit_identical(&serial, &parallel, sql);
+        }
+    }
+}
+
+/// The split must actually engage: a grouped aggregate over a partitioned
+/// scan plans as Final-over-Partial and reports per-operator stats.
+#[test]
+fn two_phase_split_visible_in_plan_and_stats() {
+    let rows: Vec<(i64, Option<i64>, i64)> = (0..40).map(|i| (i % 4, Some(i), i % 8)).collect();
+    let wh = load(&rows, 8); // 5 partitions
+    let plan = wh
+        .plan_sql("SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        .unwrap();
+    let explain = plan.explain();
+    assert!(explain.contains("Aggregate[final]"), "{explain}");
+    assert!(explain.contains("Aggregate[partial]"), "{explain}");
+
+    wh.set_parallelism(4);
+    let result = wh
+        .execute_sql("SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        .unwrap();
+    assert_eq!(result.batch.num_rows(), 4);
+    assert_eq!(result.partitions_scanned, 5);
+    let ops: Vec<&str> = result.operators.iter().map(|o| o.op.as_str()).collect();
+    assert!(
+        ops.iter().any(|o| o.starts_with("Aggregate[final]")),
+        "{ops:?}"
+    );
+    assert!(
+        ops.iter().any(|o| o.starts_with("Aggregate[partial]")),
+        "{ops:?}"
+    );
+    let partial = result
+        .operators
+        .iter()
+        .find(|o| o.op.starts_with("Aggregate[partial]"))
+        .unwrap();
+    // 5 partitions × up to 4 groups each, merged down to 4 final groups.
+    assert_eq!(partial.partitions, 5);
+    assert!(partial.rows_out >= 4, "{partial:?}");
+    let analyzed = wh
+        .explain_analyze("SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        .unwrap();
+    assert!(analyzed.contains("Aggregate[partial]"), "{analyzed}");
+    assert!(analyzed.contains("rows_out="), "{analyzed}");
+}

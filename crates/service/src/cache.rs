@@ -34,6 +34,8 @@ struct InFlight {
 pub struct QueryDirectory {
     /// fingerprint -> warehouse query id (re-fetchable via RESULT_SCAN).
     entries: Mutex<HashMap<String, String>>,
+    /// LRU order, least-recent first: `lookup` hits promote to the back,
+    /// eviction pops the front.
     order: Mutex<Vec<String>>,
     in_flight: Mutex<HashMap<String, Arc<InFlight>>>,
     stats: Mutex<DirectoryStats>,
@@ -55,9 +57,17 @@ impl QueryDirectory {
         *self.stats.lock()
     }
 
-    /// Look up a completed query id for a fingerprint.
+    /// Look up a completed query id for a fingerprint. A hit promotes the
+    /// entry to most-recently-used so hot fingerprints survive eviction.
     pub fn lookup(&self, fingerprint: &str) -> Option<String> {
         let hit = self.entries.lock().get(fingerprint).cloned();
+        if hit.is_some() {
+            let mut order = self.order.lock();
+            if let Some(pos) = order.iter().position(|o| o == fingerprint) {
+                let fp = order.remove(pos);
+                order.push(fp);
+            }
+        }
         let mut stats = self.stats.lock();
         if hit.is_some() {
             stats.hits += 1;
@@ -67,7 +77,8 @@ impl QueryDirectory {
         hit
     }
 
-    /// Record a completed query.
+    /// Record a completed query. Re-inserting a known fingerprint
+    /// refreshes its recency (and its query id).
     pub fn insert(&self, fingerprint: &str, query_id: &str) {
         let mut entries = self.entries.lock();
         let mut order = self.order.lock();
@@ -76,6 +87,9 @@ impl QueryDirectory {
             .is_none()
         {
             order.push(fingerprint.to_string());
+        } else if let Some(pos) = order.iter().position(|o| o == fingerprint) {
+            let fp = order.remove(pos);
+            order.push(fp);
         }
         while order.len() > self.capacity {
             let evicted = order.remove(0);
@@ -162,13 +176,36 @@ mod tests {
         assert_eq!(dir.lookup("a"), None);
         dir.insert("a", "q-1");
         dir.insert("b", "q-2");
-        assert_eq!(dir.lookup("a"), Some("q-1".into()));
-        dir.insert("c", "q-3"); // evicts "a"
+        dir.insert("c", "q-3"); // evicts "a", the least recently used
         assert_eq!(dir.lookup("a"), None);
         assert_eq!(dir.lookup("c"), Some("q-3".into()));
         let stats = dir.stats();
-        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn lookup_promotes_entry_to_most_recent() {
+        let dir = QueryDirectory::new(2);
+        dir.insert("a", "q-1");
+        dir.insert("b", "q-2");
+        // Re-reading "a" promotes it, so the next eviction takes "b".
+        assert_eq!(dir.lookup("a"), Some("q-1".into()));
+        dir.insert("c", "q-3");
+        assert_eq!(dir.lookup("a"), Some("q-1".into()));
+        assert_eq!(dir.lookup("b"), None);
+        assert_eq!(dir.lookup("c"), Some("q-3".into()));
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency() {
+        let dir = QueryDirectory::new(2);
+        dir.insert("a", "q-1");
+        dir.insert("b", "q-2");
+        dir.insert("a", "q-9"); // refresh id and recency
+        dir.insert("c", "q-3"); // evicts "b"
+        assert_eq!(dir.lookup("a"), Some("q-9".into()));
+        assert_eq!(dir.lookup("b"), None);
     }
 
     #[test]

@@ -70,4 +70,12 @@ fn main() {
         "scanned {} rows across {} partitions in {:?}",
         result.rows_scanned, result.partitions_scanned, result.elapsed
     );
+
+    // Per-operator attribution: where did the time go? (Two-phase
+    // aggregation shows up as Aggregate[final] over Aggregate[partial].)
+    warehouse.set_parallelism(4);
+    let analyzed = warehouse
+        .explain_analyze(&compiled.sql)
+        .expect("explain analyze");
+    println!("\n=== EXPLAIN ANALYZE (parallelism = 4) ===\n{analyzed}");
 }
