@@ -47,6 +47,11 @@ pub struct BrowserSession {
     /// Simulated one-way network latency browser <-> service (applied
     /// twice per round trip).
     pub network_latency: Duration,
+    /// Structural key → canonical root-fingerprint key, learned from
+    /// `QueryOutcome.root_fingerprint` on each service round trip, so the
+    /// cache key converges on the compile-derived fingerprint without the
+    /// client ever compiling just to derive a key.
+    fingerprint_memo: parking_lot::Mutex<std::collections::HashMap<String, String>>,
 }
 
 /// Schema provider over the local engine's prefetched tables only.
@@ -71,6 +76,7 @@ impl BrowserSession {
             cache: ResultCache::new(64 << 20),
             local: LocalEngine::new(),
             network_latency: Duration::ZERO,
+            fingerprint_memo: parking_lot::Mutex::new(std::collections::HashMap::new()),
         }
     }
 
@@ -79,9 +85,35 @@ impl BrowserSession {
         self
     }
 
-    /// Cache key: the element plus the specs of everything it depends on,
-    /// so unrelated edits don't invalidate and undo re-hits old entries.
+    /// Cache key: the element's compiled **root stage fingerprint** — the
+    /// Merkle hash over its stage DAG — once the service has told us one
+    /// (it rides back on every `QueryOutcome`); the cheap structural key
+    /// (JSON-encoded spec closure) before that. Unrelated edits leave the
+    /// fingerprint untouched (so entries survive), any semantic change
+    /// moves it (so stale entries are simply never addressed again), and
+    /// undo re-hits the old entry because the old state re-derives the old
+    /// key. No compile runs client-side just to derive a key.
     pub fn fingerprint(&self, workbook: &Workbook, element: &str) -> String {
+        let structural = self.structural_fingerprint(workbook, element);
+        self.fingerprint_memo
+            .lock()
+            .get(&structural)
+            .cloned()
+            .unwrap_or(structural)
+    }
+
+    /// Remember the service-assigned canonical key for a structural state.
+    fn learn_fingerprint(&self, structural: String, canonical: String) {
+        let mut memo = self.fingerprint_memo.lock();
+        if memo.len() >= 1024 {
+            memo.clear();
+        }
+        memo.insert(structural, canonical);
+    }
+
+    /// The pre-stage-DAG key: the element plus the JSON specs of everything
+    /// it depends on. Kept as the fallback for uncompilable states.
+    fn structural_fingerprint(&self, workbook: &Workbook, element: &str) -> String {
         let mut key = String::new();
         let deps = sigma_core::graph::resolve_order(workbook, &[element])
             .unwrap_or_else(|_| vec![element.to_string()]);
@@ -120,7 +152,13 @@ impl BrowserSession {
         element: &str,
     ) -> Result<ClientOutcome, ServiceError> {
         let started = Instant::now();
-        let key = self.fingerprint(workbook, element);
+        let structural = self.structural_fingerprint(workbook, element);
+        let key = self
+            .fingerprint_memo
+            .lock()
+            .get(&structural)
+            .cloned()
+            .unwrap_or_else(|| structural.clone());
 
         // 1. Browser cache.
         if let Some(batch) = self.cache.get(&key) {
@@ -167,12 +205,23 @@ impl BrowserSession {
             priority: Priority::Interactive,
         })?;
         std::thread::sleep(self.network_latency);
-        self.cache.put(&key, outcome.batch.clone(), deps);
+        // Adopt the service's canonical key for this state: future repeats
+        // (and undos back to it) address the entry by fingerprint even if
+        // they arrive via a differently-encoded but equivalent spec.
+        let canonical = format!(
+            "{}:{}",
+            element.to_ascii_lowercase(),
+            outcome.root_fingerprint.hex()
+        );
+        self.learn_fingerprint(structural, canonical.clone());
+        self.cache.put(&canonical, outcome.batch.clone(), deps);
         Ok(ClientOutcome {
             batch: outcome.batch,
             source: match outcome.served_from {
                 ServedFrom::QueryDirectory => Source::ServiceDirectory,
-                ServedFrom::Warehouse => Source::Warehouse,
+                // Partial stage reuse still executed a residual suffix on
+                // the warehouse; the browser-side observable is the same.
+                ServedFrom::Warehouse | ServedFrom::StageReuse => Source::Warehouse,
             },
             elapsed: started.elapsed(),
         })

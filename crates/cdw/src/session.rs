@@ -63,9 +63,12 @@ pub struct ResultSet {
 /// An in-process cloud data warehouse.
 pub struct Warehouse {
     catalog: RwLock<Catalog>,
-    /// Persisted result sets by query id (FIFO-capped).
+    /// Persisted result sets by query id (LRU-capped: re-fetching a result
+    /// via [`Warehouse::persisted_result`] or [`Warehouse::touch_result`]
+    /// promotes it, so results that stage caching keeps re-serving via
+    /// `RESULT_SCAN` are not evicted in insertion order).
     results: RwLock<HashMap<String, Batch>>,
-    result_order: RwLock<Vec<String>>,
+    retention: RwLock<sigma_value::lru::LruIndex<String>>,
     next_query_id: AtomicU64,
     config: RwLock<WarehouseConfig>,
     /// Total queries executed (for experiment bookkeeping).
@@ -83,7 +86,7 @@ impl Warehouse {
         Warehouse {
             catalog: RwLock::new(Catalog::new()),
             results: RwLock::new(HashMap::new()),
-            result_order: RwLock::new(Vec::new()),
+            retention: RwLock::new(sigma_value::lru::LruIndex::new()),
             next_query_id: AtomicU64::new(1),
             config: RwLock::new(config),
             queries_executed: AtomicU64::new(0),
@@ -160,9 +163,25 @@ impl Warehouse {
     }
 
     /// Fetch a persisted result set by query id (the query-directory
-    /// cache's re-fetch path).
+    /// cache's re-fetch path). A hit promotes the result to
+    /// most-recently-used so stage results under active reuse stay
+    /// addressable.
     pub fn persisted_result(&self, query_id: &str) -> Option<Batch> {
-        self.results.read().get(query_id).cloned()
+        let hit = self.results.read().get(query_id).cloned();
+        if hit.is_some() {
+            self.retention.write().touch(query_id);
+        }
+        hit
+    }
+
+    /// Whether a result set is still addressable via `RESULT_SCAN`,
+    /// promoting it if so (the stage cache's liveness probe — no batch
+    /// clone).
+    pub fn touch_result(&self, query_id: &str) -> bool {
+        if !self.results.read().contains_key(query_id) {
+            return false;
+        }
+        self.retention.write().touch(query_id)
     }
 
     /// Execute one SQL statement.
@@ -428,11 +447,13 @@ impl Warehouse {
         let id = self.fresh_query_id();
         let max = self.config.read().max_persisted_results;
         let mut results = self.results.write();
-        let mut order = self.result_order.write();
+        let mut retention = self.retention.write();
         results.insert(id.clone(), batch);
-        order.push(id.clone());
-        while order.len() > max {
-            let evicted = order.remove(0);
+        retention.insert(id.clone());
+        while results.len() > max {
+            let Some(evicted) = retention.evict_oldest() else {
+                break;
+            };
             results.remove(&evicted);
         }
         id

@@ -27,6 +27,7 @@
 
 mod context;
 mod formula;
+pub mod stageplan;
 mod stages;
 
 use std::collections::HashMap;
@@ -37,6 +38,7 @@ use sigma_sql::{Dialect, Query};
 use crate::document::ElementKind;
 use crate::error::CoreError;
 pub use crate::schema::CompiledQuery;
+pub use stageplan::{Fingerprint, StageNode, StagePlan};
 
 use crate::schema::SchemaProvider;
 use crate::table::TableSpec;
@@ -216,9 +218,11 @@ impl<'a> Compiler<'a> {
 
     fn finish(&self, query: Query, ctx: &TableCtx<'_>) -> CompiledQuery {
         let sql = print_query(&query, &self.options.dialect);
+        let stages = StagePlan::from_query(&query, &self.options.dialect);
         CompiledQuery {
             query,
             sql,
+            stages,
             output: ctx.output_columns(),
             detail_level: ctx.spec.detail_level,
         }

@@ -1,0 +1,312 @@
+//! The **StagePlan DAG**: the compiler's output decomposed into cacheable
+//! stages.
+//!
+//! Instead of treating a compiled element as one opaque SQL string, the
+//! pipeline is exposed as a DAG with one node per CTE stage (`source`,
+//! `base_k`, `lvl{n}_k`, `summary_k`, filter wraps, embedded elements) plus
+//! a sink node for the final assembly. Each node carries
+//!
+//! * its own **canonical SQL** (the stage query printed standalone, with
+//!   inputs referenced by their stage names),
+//! * a **Merkle-style fingerprint**: a 128-bit hash of the stage's
+//!   canonical SQL combined with its inputs' fingerprints, so an edit only
+//!   perturbs fingerprints of stages downstream of the change, and
+//! * the **warehouse tables** the stage reads directly (plus the
+//!   transitive closure, for precise cache invalidation).
+//!
+//! The service uses this structure for stage-level caching (§4): fingerprints
+//! key the query directory, and cached stages are re-read via
+//! `TABLE(RESULT_SCAN('<query-id>'))` so an edit recomputes only the suffix
+//! of the pipeline that actually changed.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sigma_sql::printer::print_query;
+use sigma_sql::{Dialect, Query, SetExpr, TableRef};
+
+/// A 128-bit content fingerprint (FNV-1a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+impl Fingerprint {
+    /// Hash raw bytes.
+    pub fn of_bytes(bytes: &[u8]) -> Fingerprint {
+        let mut h = FNV_OFFSET;
+        for &b in bytes {
+            h ^= b as u128;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        Fingerprint(h)
+    }
+
+    /// Extend this fingerprint with more bytes (order-sensitive).
+    pub fn extend(self, bytes: &[u8]) -> Fingerprint {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u128;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        Fingerprint(h)
+    }
+
+    /// Lossless 32-hex-digit rendering (stable across runs/processes).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// One cacheable stage of a compiled element.
+#[derive(Debug, Clone)]
+pub struct StageNode {
+    /// CTE name inside the compiled query (`source`, `base_0`, ...); the
+    /// sink (final assembly) is named [`StagePlan::SINK`].
+    pub name: String,
+    /// The stage query standalone: no CTE prologue; inputs are referenced
+    /// by their stage names as if they were tables.
+    pub query: Query,
+    /// Canonical SQL of [`StageNode::query`] — the fingerprint's text input.
+    pub sql: String,
+    /// Indices (into [`StagePlan::nodes`]) of the stages this one reads.
+    /// Always smaller than this node's own index (topological order).
+    pub inputs: Vec<usize>,
+    /// Warehouse tables this stage reads *directly* (lower-cased, deduped).
+    pub tables: Vec<String>,
+    /// Warehouse tables read by this stage or any transitive input.
+    pub all_tables: Vec<String>,
+    /// Merkle fingerprint: hash(sql, inputs' fingerprints).
+    pub fingerprint: Fingerprint,
+}
+
+/// The compiled element as a DAG of cacheable stages, topologically
+/// ordered; the last node is the sink (final assembly, carrying the
+/// ORDER BY / LIMIT).
+#[derive(Debug, Clone)]
+pub struct StagePlan {
+    pub nodes: Vec<StageNode>,
+}
+
+impl StagePlan {
+    /// Name of the sink node (the final assembly select).
+    pub const SINK: &'static str = "__sink";
+
+    /// Decompose a compiled query (CTE prologue + final body) into the
+    /// stage DAG. CTEs are already emitted in dependency order by the
+    /// builder, so each stage only references earlier stages.
+    pub fn from_query(query: &Query, dialect: &Dialect) -> StagePlan {
+        let mut nodes: Vec<StageNode> = Vec::with_capacity(query.ctes.len() + 1);
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for (name, cte) in &query.ctes {
+            let node = build_node(name.clone(), cte.clone(), dialect, &index, &nodes);
+            index.insert(name.to_ascii_lowercase(), nodes.len());
+            nodes.push(node);
+        }
+        let sink_query = Query {
+            ctes: Vec::new(),
+            body: query.body.clone(),
+            order_by: query.order_by.clone(),
+            limit: query.limit,
+            offset: query.offset,
+        };
+        let sink = build_node(Self::SINK.to_string(), sink_query, dialect, &index, &nodes);
+        nodes.push(sink);
+        StagePlan { nodes }
+    }
+
+    /// The sink node (always present).
+    pub fn sink(&self) -> &StageNode {
+        self.nodes.last().expect("plan has a sink")
+    }
+
+    /// The element's root fingerprint: the sink's Merkle hash. Two
+    /// workbook states compile to the same root iff every stage matches.
+    pub fn root_fingerprint(&self) -> Fingerprint {
+        self.sink().fingerprint
+    }
+
+    /// Look up a node index by stage name.
+    pub fn node_index(&self, name: &str) -> Option<usize> {
+        self.nodes
+            .iter()
+            .position(|n| n.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Indices of every node that transitively depends on `idx` (excluding
+    /// `idx` itself). Used by tests to check fingerprint isolation.
+    pub fn downstream_of(&self, idx: usize) -> Vec<usize> {
+        let mut tainted = vec![false; self.nodes.len()];
+        tainted[idx] = true;
+        for (i, node) in self.nodes.iter().enumerate().skip(idx + 1) {
+            if node.inputs.iter().any(|&j| tainted[j]) {
+                tainted[i] = true;
+            }
+        }
+        (idx + 1..self.nodes.len())
+            .filter(|&i| tainted[i])
+            .collect()
+    }
+}
+
+fn build_node(
+    name: String,
+    query: Query,
+    dialect: &Dialect,
+    index: &HashMap<String, usize>,
+    nodes: &[StageNode],
+) -> StageNode {
+    let mut inputs: Vec<usize> = Vec::new();
+    let mut tables: Vec<String> = Vec::new();
+    collect_refs(&query, index, &mut inputs, &mut tables);
+    inputs.sort_unstable();
+    inputs.dedup();
+    tables.sort();
+    tables.dedup();
+    let mut all_tables = tables.clone();
+    for &i in &inputs {
+        all_tables.extend(nodes[i].all_tables.iter().cloned());
+    }
+    all_tables.sort();
+    all_tables.dedup();
+    let sql = print_query(&query, dialect);
+    // Merkle combine: the stage's own canonical text, then each input's
+    // (name, fingerprint) pair in reference order. Input names are part of
+    // the stage SQL already, but hashing them again keeps the combination
+    // unambiguous if SQL text ever collides across naming schemes.
+    let mut fp = Fingerprint::of_bytes(sql.as_bytes());
+    for &i in &inputs {
+        fp = fp.extend(nodes[i].name.as_bytes());
+        fp = fp.extend(&nodes[i].fingerprint.0.to_le_bytes());
+    }
+    StageNode {
+        name,
+        query,
+        sql,
+        inputs,
+        tables,
+        all_tables,
+        fingerprint: fp,
+    }
+}
+
+/// Walk a query for `FROM`/`JOIN` relations, splitting references into
+/// earlier stages (CTE names) and warehouse tables.
+fn collect_refs(
+    query: &Query,
+    index: &HashMap<String, usize>,
+    inputs: &mut Vec<usize>,
+    tables: &mut Vec<String>,
+) {
+    // Stage queries are emitted with an empty CTE prologue, but walk any
+    // nested prologue defensively (raw-SQL sources may carry their own
+    // WITH clauses, whose local names shadow nothing here).
+    for (_, cte) in &query.ctes {
+        collect_refs(cte, index, inputs, tables);
+    }
+    collect_refs_in_set(&query.body, index, inputs, tables);
+}
+
+fn collect_refs_in_set(
+    body: &SetExpr,
+    index: &HashMap<String, usize>,
+    inputs: &mut Vec<usize>,
+    tables: &mut Vec<String>,
+) {
+    match body {
+        SetExpr::Select(s) => {
+            let mut visit = |t: &TableRef| match t {
+                TableRef::Table { name, .. } => {
+                    let dotted = name.to_dotted().to_ascii_lowercase();
+                    if name.0.len() == 1 {
+                        if let Some(&i) = index.get(&dotted) {
+                            inputs.push(i);
+                            return;
+                        }
+                    }
+                    tables.push(dotted);
+                }
+                TableRef::Subquery { query, .. } => collect_refs(query, index, inputs, tables),
+                TableRef::Function { .. } => {}
+            };
+            if let Some(from) = &s.from {
+                visit(from);
+            }
+            for j in &s.joins {
+                visit(&j.relation);
+            }
+        }
+        SetExpr::UnionAll(l, r) => {
+            collect_refs_in_set(l, index, inputs, tables);
+            collect_refs_in_set(r, index, inputs, tables);
+        }
+        SetExpr::Values(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_order_sensitive() {
+        let a = Fingerprint::of_bytes(b"SELECT 1");
+        let b = Fingerprint::of_bytes(b"SELECT 1");
+        assert_eq!(a, b);
+        assert_ne!(a, Fingerprint::of_bytes(b"SELECT 2"));
+        assert_ne!(a.extend(b"x").extend(b"y"), a.extend(b"y").extend(b"x"));
+        assert_eq!(a.hex().len(), 32);
+    }
+
+    #[test]
+    fn decomposes_ctes_and_tracks_tables() {
+        let q = sigma_sql::parse_query(
+            "WITH source AS (SELECT a FROM warehouse_t), \
+                  base_0 AS (SELECT a FROM source) \
+             SELECT a FROM base_0 ORDER BY a",
+        )
+        .unwrap();
+        let plan = StagePlan::from_query(&q, &Dialect::generic());
+        assert_eq!(plan.nodes.len(), 3);
+        assert_eq!(plan.nodes[0].name, "source");
+        assert_eq!(plan.nodes[0].tables, vec!["warehouse_t"]);
+        assert!(plan.nodes[0].inputs.is_empty());
+        assert_eq!(plan.nodes[1].inputs, vec![0]);
+        assert!(plan.nodes[1].tables.is_empty());
+        assert_eq!(plan.nodes[1].all_tables, vec!["warehouse_t"]);
+        let sink = plan.sink();
+        assert_eq!(sink.name, StagePlan::SINK);
+        assert_eq!(sink.inputs, vec![1]);
+        assert_eq!(sink.all_tables, vec!["warehouse_t"]);
+    }
+
+    #[test]
+    fn upstream_edit_moves_downstream_fingerprints_only() {
+        let before = sigma_sql::parse_query(
+            "WITH source AS (SELECT a FROM t), \
+                  base_0 AS (SELECT a FROM source WHERE a > 1) \
+             SELECT a FROM base_0",
+        )
+        .unwrap();
+        let after = sigma_sql::parse_query(
+            "WITH source AS (SELECT a FROM t), \
+                  base_0 AS (SELECT a FROM source WHERE a > 2) \
+             SELECT a FROM base_0",
+        )
+        .unwrap();
+        let p1 = StagePlan::from_query(&before, &Dialect::generic());
+        let p2 = StagePlan::from_query(&after, &Dialect::generic());
+        // source untouched; base_0 and the sink move.
+        assert_eq!(p1.nodes[0].fingerprint, p2.nodes[0].fingerprint);
+        assert_ne!(p1.nodes[1].fingerprint, p2.nodes[1].fingerprint);
+        assert_ne!(p1.root_fingerprint(), p2.root_fingerprint());
+        assert_eq!(p1.downstream_of(1), vec![2]);
+    }
+}

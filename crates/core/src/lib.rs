@@ -33,7 +33,7 @@ pub mod schema;
 pub mod table;
 pub mod viz;
 
-pub use compile::{CompileOptions, CompiledQuery, Compiler};
+pub use compile::{CompileOptions, CompiledQuery, Compiler, Fingerprint, StageNode, StagePlan};
 pub use document::{Element, ElementKind, Page, Workbook};
 pub use error::CoreError;
 pub use schema::SchemaProvider;

@@ -45,6 +45,10 @@ pub struct CompiledQuery {
     pub query: sigma_sql::Query,
     /// Rendered SQL in the requested dialect.
     pub sql: String,
+    /// The same query decomposed into the cacheable stage DAG: one node
+    /// per CTE stage plus the final-assembly sink, each with a Merkle
+    /// fingerprint and its warehouse table dependencies.
+    pub stages: crate::compile::stageplan::StagePlan,
     /// Visible output columns at the detail level, in display order.
     pub output: Vec<(String, DataType)>,
     /// Which grouping level the rows materialize at.

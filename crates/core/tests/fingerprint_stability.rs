@@ -1,0 +1,175 @@
+//! Stage-DAG fingerprint guarantees.
+//!
+//! 1. **Determinism**: two independent compiler runs over the same
+//!    workbook state produce byte-identical per-stage SQL and identical
+//!    fingerprints (the directory key is reproducible across processes —
+//!    FNV-1a has no per-run seeding).
+//! 2. **Isolation (Merkle property)**: an edit perturbs only the
+//!    fingerprints of stages downstream of the stage whose SQL changed;
+//!    everything upstream keeps its fingerprint, which is what makes
+//!    cross-edit prefix reuse sound.
+
+use proptest::prelude::*;
+use sigma_core::schema::StaticSchemas;
+use sigma_core::table::{ColumnDef, DataSource, FilterPredicate, FilterSpec, Level, TableSpec};
+use sigma_core::{CompileOptions, Compiler, ElementKind, StagePlan, Workbook};
+use sigma_value::{DataType, Field, Schema, Value};
+
+fn schemas() -> StaticSchemas {
+    StaticSchemas::default().with(
+        "flights",
+        Schema::new(vec![
+            Field::new("carrier", DataType::Text),
+            Field::new("origin", DataType::Text),
+            Field::new("dep_delay", DataType::Float),
+            Field::new("air_time", DataType::Float),
+        ]),
+    )
+}
+
+/// A three-stage pipeline (source → base → level → summary) with a knob
+/// per stage: the filter threshold lands in the base filter wrap, the
+/// aggregate multiplier in lvl1, the summary constant in the summary.
+fn workbook(threshold: f64, multiplier: i64, summary_add: i64) -> Workbook {
+    let mut wb = Workbook::new(Some("fp"));
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
+    t.add_column(ColumnDef::source("Carrier", "carrier"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Dep Delay", "dep_delay"))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Delay Hours", "[Dep Delay] / 60", 0))
+        .unwrap();
+    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Weighted Delay",
+        format!("Sum([Delay Hours]) * {multiplier}"),
+        1,
+    ))
+    .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Total",
+        format!("Count() + {summary_add}"),
+        2,
+    ))
+    .unwrap();
+    t.filters.push(FilterSpec {
+        column: "Dep Delay".into(),
+        predicate: FilterPredicate::Range {
+            min: Some(Value::Float(threshold)),
+            max: None,
+        },
+    });
+    t.detail_level = 1;
+    wb.add_element(0, "Delays", ElementKind::Table(t)).unwrap();
+    wb
+}
+
+fn compile(wb: &Workbook) -> StagePlan {
+    let schemas = schemas();
+    let compiler = Compiler::new(wb, &schemas, CompileOptions::default());
+    compiler.compile_element("Delays").unwrap().stages
+}
+
+#[test]
+fn independent_runs_pin_identical_sql_and_fingerprints() {
+    let p1 = compile(&workbook(15.0, 2, 1));
+    let p2 = compile(&workbook(15.0, 2, 1));
+    assert_eq!(p1.nodes.len(), p2.nodes.len());
+    for (a, b) in p1.nodes.iter().zip(&p2.nodes) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.sql, b.sql, "stage {} SQL must be deterministic", a.name);
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "stage {} fingerprint must be deterministic",
+            a.name
+        );
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.tables, b.tables);
+    }
+    // Golden structure: the pipeline decomposes into these stages.
+    let names: Vec<&str> = p1.nodes.iter().map(|n| n.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec![
+            "source",
+            "base_0",
+            "base_0_f",
+            "lvl1_0",
+            "summary_0",
+            StagePlan::SINK
+        ]
+    );
+    // Only the source touches the warehouse; the sink sees it transitively.
+    assert_eq!(p1.nodes[0].tables, vec!["flights"]);
+    assert!(p1.nodes[1..].iter().all(|n| n.tables.is_empty()));
+    assert_eq!(p1.sink().all_tables, vec!["flights"]);
+}
+
+#[test]
+fn filter_edit_keeps_the_upstream_prefix() {
+    let p1 = compile(&workbook(15.0, 2, 1));
+    let p2 = compile(&workbook(30.0, 2, 1));
+    let fp = |p: &StagePlan, name: &str| p.nodes[p.node_index(name).unwrap()].fingerprint;
+    // The filter lands in the base_0_f wrap: source and base_0 are reusable.
+    assert_eq!(fp(&p1, "source"), fp(&p2, "source"));
+    assert_eq!(fp(&p1, "base_0"), fp(&p2, "base_0"));
+    assert_ne!(fp(&p1, "base_0_f"), fp(&p2, "base_0_f"));
+    assert_ne!(fp(&p1, "lvl1_0"), fp(&p2, "lvl1_0")); // Merkle: downstream moves
+    assert_ne!(p1.root_fingerprint(), p2.root_fingerprint());
+}
+
+#[test]
+fn level_formula_edit_keeps_base_and_filter_stages() {
+    let p1 = compile(&workbook(15.0, 2, 1));
+    let p2 = compile(&workbook(15.0, 3, 1));
+    let fp = |p: &StagePlan, name: &str| p.nodes[p.node_index(name).unwrap()].fingerprint;
+    for reusable in ["source", "base_0", "base_0_f"] {
+        assert_eq!(fp(&p1, reusable), fp(&p2, reusable), "{reusable}");
+    }
+    assert_ne!(fp(&p1, "lvl1_0"), fp(&p2, "lvl1_0"));
+}
+
+proptest! {
+    /// Editing one knob never changes the fingerprint of a stage that does
+    /// not transitively depend on a stage whose canonical SQL changed.
+    #[test]
+    fn edits_only_move_downstream_fingerprints(
+        t1 in 0.0f64..100.0, t2 in 0.0f64..100.0,
+        m1 in 1i64..20, m2 in 1i64..20,
+        s1 in 0i64..20, s2 in 0i64..20,
+    ) {
+        let p1 = compile(&workbook(t1, m1, s1));
+        let p2 = compile(&workbook(t2, m2, s2));
+        prop_assert_eq!(p1.nodes.len(), p2.nodes.len());
+        // Mark stages whose own SQL changed, then taint downstream.
+        let n = p1.nodes.len();
+        let mut tainted = vec![false; n];
+        for (i, (a, b)) in p1.nodes.iter().zip(&p2.nodes).enumerate() {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.inputs, &b.inputs);
+            if a.sql != b.sql || a.inputs.iter().any(|&j| tainted[j]) {
+                tainted[i] = true;
+            }
+        }
+        for (i, (a, b)) in p1.nodes.iter().zip(&p2.nodes).enumerate() {
+            if tainted[i] {
+                continue;
+            }
+            prop_assert_eq!(
+                a.fingerprint, b.fingerprint,
+                "untouched stage {} must keep its fingerprint", a.name
+            );
+        }
+        // And the converse direction the cache relies on: equal
+        // fingerprints imply byte-identical stage SQL all the way up.
+        for (i, (a, b)) in p1.nodes.iter().zip(&p2.nodes).enumerate() {
+            if a.fingerprint == b.fingerprint {
+                prop_assert_eq!(&a.sql, &b.sql);
+                prop_assert!(!tainted[i]);
+            }
+        }
+    }
+}

@@ -6,22 +6,72 @@
 //! requested. It also tracks in-flight query requests, enabling multiple
 //! browsers to share results when collaboratively editing a document."
 //!
-//! Entries hold only `(fingerprint -> query id)` — never warehouse data,
-//! honoring the constraint that "user warehouse data is never stored
+//! Entries hold only `(key -> query id [+ table deps])` — never warehouse
+//! data, honoring the constraint that "user warehouse data is never stored
 //! within the Sigma service cloud".
+//!
+//! Three properties matter at scale:
+//!
+//! * **Fixed-width keys.** Entries are keyed by a 128-bit hash
+//!   ([`DirKey`]) of `(connection, stage fingerprint)`, so the directory's
+//!   memory footprint is bounded by entry *count*, never by query length.
+//! * **O(log n) recency.** LRU bookkeeping uses a monotone sequence
+//!   counter plus a `BTreeMap` recency index (seq → key); lookups and
+//!   inserts promote in O(log n) instead of the old `Vec::position` +
+//!   `remove` linear scan.
+//! * **Precise invalidation.** Entries carry the set of warehouse tables
+//!   their results were computed from; a table change invalidates only the
+//!   entries that read it (entries with unknown dependencies are dropped
+//!   conservatively).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
+use sigma_core::Fingerprint;
+use sigma_value::lru::LruIndex;
 
-/// Statistics exposed for the caching experiments (E4).
+/// Fixed-width directory key: a 128-bit hash of whatever identifies the
+/// cached result (for stage entries, `(connection, stage fingerprint)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirKey(pub u128);
+
+impl DirKey {
+    /// Key for a compiled stage on a connection.
+    pub fn for_stage(connection: &str, fingerprint: Fingerprint) -> DirKey {
+        let fp = Fingerprint::of_bytes(connection.as_bytes())
+            .extend(b"\0")
+            .extend(&fingerprint.0.to_le_bytes());
+        DirKey(fp.0)
+    }
+}
+
+impl From<&str> for DirKey {
+    fn from(s: &str) -> DirKey {
+        DirKey(Fingerprint::of_bytes(s.as_bytes()).0)
+    }
+}
+
+impl From<Fingerprint> for DirKey {
+    fn from(fp: Fingerprint) -> DirKey {
+        DirKey(fp.0)
+    }
+}
+
+/// Statistics exposed for the caching experiments (E4) and the
+/// edit-session bench.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DirectoryStats {
     pub hits: u64,
     pub misses: u64,
     /// Queries that piggybacked on an identical in-flight request.
     pub coalesced: u64,
+    /// Stage-level lookups answered from the directory (prefix reuse).
+    pub stage_hits: u64,
+    /// Stage-level lookups that had to execute on the warehouse.
+    pub stage_misses: u64,
+    /// Entries dropped by table-targeted invalidation.
+    pub invalidated: u64,
 }
 
 #[derive(Default)]
@@ -30,14 +80,32 @@ struct InFlight {
     cv: Condvar,
 }
 
-/// Directory of recent query fingerprints.
+struct Entry {
+    query_id: String,
+    /// Warehouse tables (lower-cased) the result was computed from;
+    /// `None` = unknown, treated pessimistically by table invalidation.
+    deps: Option<Arc<[String]>>,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<DirKey, Entry>,
+    /// LRU recency over the same keys; eviction pops the oldest.
+    recency: LruIndex<DirKey>,
+}
+
+impl Inner {
+    fn remove(&mut self, key: DirKey) -> bool {
+        self.recency.remove(&key);
+        self.entries.remove(&key).is_some()
+    }
+}
+
+/// Directory of recent query keys, pointing at CDW-persisted result sets
+/// (re-fetchable via `RESULT_SCAN`) by query id.
 pub struct QueryDirectory {
-    /// fingerprint -> warehouse query id (re-fetchable via RESULT_SCAN).
-    entries: Mutex<HashMap<String, String>>,
-    /// LRU order, least-recent first: `lookup` hits promote to the back,
-    /// eviction pops the front.
-    order: Mutex<Vec<String>>,
-    in_flight: Mutex<HashMap<String, Arc<InFlight>>>,
+    inner: Mutex<Inner>,
+    in_flight: Mutex<HashMap<DirKey, Arc<InFlight>>>,
     stats: Mutex<DirectoryStats>,
     capacity: usize,
 }
@@ -45,8 +113,7 @@ pub struct QueryDirectory {
 impl QueryDirectory {
     pub fn new(capacity: usize) -> QueryDirectory {
         QueryDirectory {
-            entries: Mutex::new(HashMap::new()),
-            order: Mutex::new(Vec::new()),
+            inner: Mutex::new(Inner::default()),
             in_flight: Mutex::new(HashMap::new()),
             stats: Mutex::new(DirectoryStats::default()),
             capacity: capacity.max(1),
@@ -57,17 +124,18 @@ impl QueryDirectory {
         *self.stats.lock()
     }
 
-    /// Look up a completed query id for a fingerprint. A hit promotes the
-    /// entry to most-recently-used so hot fingerprints survive eviction.
-    pub fn lookup(&self, fingerprint: &str) -> Option<String> {
-        let hit = self.entries.lock().get(fingerprint).cloned();
-        if hit.is_some() {
-            let mut order = self.order.lock();
-            if let Some(pos) = order.iter().position(|o| o == fingerprint) {
-                let fp = order.remove(pos);
-                order.push(fp);
-            }
-        }
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up a completed query id. A hit promotes the entry to
+    /// most-recently-used so hot keys survive eviction.
+    pub fn lookup(&self, key: impl Into<DirKey>) -> Option<String> {
+        let hit = self.lookup_quiet(key.into());
         let mut stats = self.stats.lock();
         if hit.is_some() {
             stats.hits += 1;
@@ -77,58 +145,142 @@ impl QueryDirectory {
         hit
     }
 
-    /// Record a completed query. Re-inserting a known fingerprint
-    /// refreshes its recency (and its query id).
-    pub fn insert(&self, fingerprint: &str, query_id: &str) {
-        let mut entries = self.entries.lock();
-        let mut order = self.order.lock();
-        if entries
-            .insert(fingerprint.to_string(), query_id.to_string())
-            .is_none()
-        {
-            order.push(fingerprint.to_string());
-        } else if let Some(pos) = order.iter().position(|o| o == fingerprint) {
-            let fp = order.remove(pos);
-            order.push(fp);
-        }
-        while order.len() > self.capacity {
-            let evicted = order.remove(0);
-            entries.remove(&evicted);
+    /// Stage-level lookup, *uncounted*: the caller decides whether the
+    /// pointer is actually usable (the persisted result may have been
+    /// evicted from the CDW) and then reports via
+    /// [`QueryDirectory::record_stage`], so `stage_hits` only counts reuse
+    /// that really happened.
+    pub fn lookup_stage(&self, key: impl Into<DirKey>) -> Option<String> {
+        self.lookup_quiet(key.into())
+    }
+
+    /// Count one stage-level cache decision (see
+    /// [`QueryDirectory::lookup_stage`]).
+    pub fn record_stage(&self, hit: bool) {
+        let mut stats = self.stats.lock();
+        if hit {
+            stats.stage_hits += 1;
+        } else {
+            stats.stage_misses += 1;
         }
     }
 
-    /// Drop entries (called when underlying data changes, e.g. after edit
-    /// propagation invalidates downstream results).
-    pub fn invalidate(&self, predicate: impl Fn(&str) -> bool) -> usize {
-        let mut entries = self.entries.lock();
-        let mut order = self.order.lock();
-        let victims: Vec<String> = entries.keys().filter(|k| predicate(k)).cloned().collect();
-        for v in &victims {
-            entries.remove(v);
-            order.retain(|o| o != v);
+    fn lookup_quiet(&self, key: DirKey) -> Option<String> {
+        let mut inner = self.inner.lock();
+        let hit = inner.entries.get(&key).map(|e| e.query_id.clone());
+        if hit.is_some() {
+            inner.recency.touch(&key);
         }
+        hit
+    }
+
+    /// Record a completed query with unknown table dependencies (table
+    /// invalidation will drop it conservatively). Re-inserting a known key
+    /// refreshes its recency (and its query id).
+    pub fn insert(&self, key: impl Into<DirKey>, query_id: &str) {
+        self.insert_entry(key.into(), query_id, None)
+    }
+
+    /// Record a completed query together with the warehouse tables its
+    /// result set was computed from.
+    pub fn insert_with_deps(&self, key: impl Into<DirKey>, query_id: &str, deps: Arc<[String]>) {
+        self.insert_entry(key.into(), query_id, Some(deps))
+    }
+
+    fn insert_entry(&self, key: DirKey, query_id: &str, deps: Option<Arc<[String]>>) {
+        let mut inner = self.inner.lock();
+        match inner.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let e = o.get_mut();
+                e.query_id = query_id.to_string();
+                if deps.is_some() {
+                    e.deps = deps;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Entry {
+                    query_id: query_id.to_string(),
+                    deps,
+                });
+            }
+        }
+        inner.recency.insert(key);
+        while inner.entries.len() > self.capacity {
+            let Some(victim) = inner.recency.evict_oldest() else {
+                break;
+            };
+            inner.entries.remove(&victim);
+        }
+    }
+
+    /// Attach/replace the table-dependency set of an existing entry.
+    pub fn set_deps(&self, key: impl Into<DirKey>, deps: Arc<[String]>) {
+        if let Some(e) = self.inner.lock().entries.get_mut(&key.into()) {
+            e.deps = Some(deps);
+        }
+    }
+
+    /// Drop one entry (e.g. its persisted result was evicted from the CDW).
+    pub fn invalidate_key(&self, key: impl Into<DirKey>) -> bool {
+        self.inner.lock().remove(key.into())
+    }
+
+    /// Drop everything (the conservative fallback).
+    pub fn invalidate_all(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let n = inner.entries.len();
+        inner.entries.clear();
+        inner.recency.clear();
+        self.stats.lock().invalidated += n as u64;
+        n
+    }
+
+    /// Targeted invalidation: drop entries whose results read any of the
+    /// given warehouse tables — plus entries with *unknown* dependencies,
+    /// which must be dropped conservatively. Table names are compared
+    /// case-insensitively.
+    pub fn invalidate_tables<S: AsRef<str>>(&self, tables: &[S]) -> usize {
+        let needles: Vec<String> = tables
+            .iter()
+            .map(|t| t.as_ref().to_ascii_lowercase())
+            .collect();
+        let mut inner = self.inner.lock();
+        let victims: Vec<DirKey> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| match &e.deps {
+                None => true,
+                Some(deps) => deps.iter().any(|d| needles.iter().any(|n| n == d)),
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for v in &victims {
+            inner.remove(*v);
+        }
+        self.stats.lock().invalidated += victims.len() as u64;
         victims.len()
     }
 
-    /// Run `execute` once per fingerprint even under concurrency: the first
-    /// caller executes; identical concurrent requests block and share the
+    /// Run `execute` once per key even under concurrency: the first caller
+    /// executes; identical concurrent requests block and share the
     /// resulting query id (collaborative editing, §4).
     pub fn run_coalesced<E>(
         &self,
-        fingerprint: &str,
+        key: impl Into<DirKey>,
         execute: impl FnOnce() -> Result<String, E>,
     ) -> Result<(String, bool), E> {
+        let key = key.into();
         // Fast path: already in the directory.
-        if let Some(qid) = self.lookup(fingerprint) {
+        if let Some(qid) = self.lookup(key) {
             return Ok((qid, true));
         }
         let (flight, leader) = {
             let mut in_flight = self.in_flight.lock();
-            match in_flight.get(fingerprint) {
+            match in_flight.get(&key) {
                 Some(f) => (f.clone(), false),
                 None => {
                     let f = Arc::new(InFlight::default());
-                    in_flight.insert(fingerprint.to_string(), f.clone());
+                    in_flight.insert(key, f.clone());
                     (f, true)
                 }
             }
@@ -137,7 +289,7 @@ impl QueryDirectory {
             let outcome = execute();
             match &outcome {
                 Ok(qid) => {
-                    self.insert(fingerprint, qid);
+                    self.insert(key, qid);
                     *flight.done.lock() = Some(qid.clone());
                 }
                 Err(_) => {
@@ -146,7 +298,7 @@ impl QueryDirectory {
                 }
             }
             flight.cv.notify_all();
-            self.in_flight.lock().remove(fingerprint);
+            self.in_flight.lock().remove(&key);
             outcome.map(|qid| (qid, false))
         } else {
             let mut done = flight.done.lock();
@@ -157,7 +309,7 @@ impl QueryDirectory {
             drop(done);
             if qid.is_empty() {
                 // Leader failed: retry as a new leader.
-                return self.run_coalesced(fingerprint, execute);
+                return self.run_coalesced(key, execute);
             }
             self.stats.lock().coalesced += 1;
             Ok((qid, true))
@@ -169,6 +321,10 @@ impl QueryDirectory {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn deps(tables: &[&str]) -> Arc<[String]> {
+        tables.iter().map(|t| t.to_string()).collect()
+    }
 
     #[test]
     fn lookup_insert_evict() {
@@ -209,14 +365,69 @@ mod tests {
     }
 
     #[test]
-    fn invalidation() {
+    fn eviction_order_survives_many_operations() {
+        // Regression for the recency index: interleaved lookups and
+        // re-inserts must keep strict LRU order at any size.
+        let dir = QueryDirectory::new(64);
+        for i in 0..64 {
+            dir.insert(format!("k{i}").as_str(), &format!("q-{i}"));
+        }
+        // Touch the even keys, making the odd keys the LRU half.
+        for i in (0..64).step_by(2) {
+            assert!(dir.lookup(format!("k{i}").as_str()).is_some());
+        }
+        // Inserting 32 new keys evicts exactly the 32 odd (untouched) keys.
+        for i in 64..96 {
+            dir.insert(format!("k{i}").as_str(), &format!("q-{i}"));
+        }
+        for i in (1..64).step_by(2) {
+            assert_eq!(dir.lookup(format!("k{i}").as_str()), None, "odd k{i}");
+        }
+        for i in (0..64).step_by(2) {
+            assert!(dir.lookup(format!("k{i}").as_str()).is_some(), "even k{i}");
+        }
+    }
+
+    #[test]
+    fn table_targeted_invalidation() {
         let dir = QueryDirectory::new(10);
-        dir.insert("doc1:el1", "q-1");
-        dir.insert("doc1:el2", "q-2");
-        dir.insert("doc2:el1", "q-3");
-        assert_eq!(dir.invalidate(|k| k.starts_with("doc1:")), 2);
-        assert_eq!(dir.lookup("doc2:el1"), Some("q-3".into()));
-        assert_eq!(dir.lookup("doc1:el1"), None);
+        dir.insert_with_deps("flights-agg", "q-1", deps(&["flights"]));
+        dir.insert_with_deps("joined", "q-2", deps(&["flights", "airports"]));
+        dir.insert_with_deps("airports-only", "q-3", deps(&["airports"]));
+        dir.insert("unknown-deps", "q-4"); // no dep info: dropped conservatively
+        assert_eq!(dir.invalidate_tables(&["Flights"]), 3);
+        assert_eq!(dir.lookup("airports-only"), Some("q-3".into()));
+        assert_eq!(dir.lookup("flights-agg"), None);
+        assert_eq!(dir.lookup("joined"), None);
+        assert_eq!(dir.lookup("unknown-deps"), None);
+        assert_eq!(dir.stats().invalidated, 3);
+    }
+
+    #[test]
+    fn invalidate_all_and_key() {
+        let dir = QueryDirectory::new(10);
+        dir.insert("a", "q-1");
+        dir.insert("b", "q-2");
+        assert!(dir.invalidate_key("a"));
+        assert!(!dir.invalidate_key("a"));
+        assert_eq!(dir.invalidate_all(), 1);
+        assert!(dir.is_empty());
+    }
+
+    #[test]
+    fn stage_lookups_count_separately() {
+        let dir = QueryDirectory::new(10);
+        dir.insert(DirKey(7), "q-1");
+        // lookup_stage is uncounted; the caller reports the verified
+        // outcome (a directory pointer whose result was evicted is a miss).
+        assert_eq!(dir.lookup_stage(DirKey(7)), Some("q-1".into()));
+        dir.record_stage(true);
+        assert_eq!(dir.lookup_stage(DirKey(8)), None);
+        dir.record_stage(false);
+        let stats = dir.stats();
+        assert_eq!(stats.stage_hits, 1);
+        assert_eq!(stats.stage_misses, 1);
+        assert_eq!(stats.hits, 0);
     }
 
     #[test]

@@ -23,5 +23,6 @@ pub mod service;
 pub mod tenancy;
 pub mod workload;
 
+pub use cache::{DirKey, DirectoryStats, QueryDirectory};
 pub use error::ServiceError;
 pub use service::{QueryOutcome, QueryRequest, ServedFrom, SigmaService};

@@ -5,16 +5,18 @@
 //! workload queue → customer CDW → result back (by query id).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::RwLock;
 use sigma_cdw::Warehouse;
 use sigma_core::schema::SchemaProvider;
-use sigma_core::{CompileOptions, Compiler, Workbook};
+use sigma_core::{CompileOptions, Compiler, StagePlan, Workbook};
+
 use sigma_value::Batch;
 
-use crate::cache::{DirectoryStats, QueryDirectory};
+use crate::cache::{DirKey, DirectoryStats, QueryDirectory};
 use crate::documents::DocumentStore;
 use crate::error::ServiceError;
 use crate::materialize::Materializer;
@@ -37,10 +39,13 @@ struct Connection {
 /// Where a query answer came from (experiment E4's observable).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServedFrom {
-    /// Fresh execution on the warehouse.
+    /// Fresh execution on the warehouse (no cached stage helped).
     Warehouse,
     /// Query-directory hit: result re-fetched from the CDW by query id.
     QueryDirectory,
+    /// Partial reuse: at least one pipeline stage was served from the
+    /// directory via `RESULT_SCAN`; only the changed suffix re-executed.
+    StageReuse,
 }
 
 /// One query request: the browser ships the JSON-encoded workbook state.
@@ -60,6 +65,18 @@ pub struct QueryOutcome {
     pub sql: String,
     pub served_from: ServedFrom,
     pub queue_wait: Duration,
+    /// Pipeline stages answered from the query directory (prefix reuse).
+    pub stage_hits: usize,
+    /// Pipeline stages (including the final assembly) executed on the
+    /// warehouse for this request.
+    pub stages_executed: usize,
+    /// Warehouse *table* rows scanned by this request (RESULT_SCAN reads
+    /// of persisted results are free and not counted).
+    pub rows_scanned: usize,
+    /// The element's root stage fingerprint (the sink's Merkle hash) —
+    /// the canonical cache key for this workbook state. Browser clients
+    /// key their result cache on it without compiling themselves.
+    pub root_fingerprint: sigma_core::Fingerprint,
 }
 
 /// The multi-tenant Sigma service.
@@ -71,6 +88,10 @@ pub struct SigmaService {
     connections: RwLock<HashMap<String, Connection>>,
     /// Admission limit applied to newly added connections.
     default_concurrency: usize,
+    /// Stage-level caching: when on, each CTE stage of a compiled element
+    /// executes as its own warehouse query keyed by its Merkle fingerprint,
+    /// so an edit re-executes only the stages downstream of the change.
+    stage_caching: AtomicBool,
 }
 
 /// `SchemaProvider` over a live warehouse connection.
@@ -94,12 +115,24 @@ impl SigmaService {
             materializer: Materializer::new(),
             connections: RwLock::new(HashMap::new()),
             default_concurrency: 8,
+            stage_caching: AtomicBool::new(true),
         }
     }
 
     pub fn with_concurrency(mut self, max_concurrent: usize) -> SigmaService {
         self.default_concurrency = max_concurrent.max(1);
         self
+    }
+
+    /// Toggle stage-level caching (on by default). With it off the service
+    /// behaves like the original whole-query directory: one warehouse
+    /// query per request, keyed by the element's root fingerprint.
+    pub fn set_stage_caching(&self, enabled: bool) {
+        self.stage_caching.store(enabled, Ordering::Relaxed);
+    }
+
+    pub fn stage_caching(&self) -> bool {
+        self.stage_caching.load(Ordering::Relaxed)
     }
 
     /// Register a warehouse connection for an org.
@@ -166,6 +199,19 @@ impl SigmaService {
         Ok(compiler.compile_element(element)?)
     }
 
+    /// Token-authenticated compile (used by browser clients to obtain
+    /// per-stage fingerprints without a separate `User` handle).
+    pub fn compile_with_token(
+        &self,
+        token: &str,
+        connection: &str,
+        workbook: &Workbook,
+        element: &str,
+    ) -> Result<sigma_core::compile::CompiledQuery, ServiceError> {
+        let user = self.tenancy.authenticate(token)?;
+        self.compile(&user, connection, workbook, element)
+    }
+
     /// The full §2 lifecycle for one element query.
     pub fn run_query(&self, req: &QueryRequest<'_>) -> Result<QueryOutcome, ServiceError> {
         // 1. Authentication.
@@ -176,32 +222,82 @@ impl SigmaService {
         let workbook = Workbook::from_json(req.workbook_json)?;
         // 4. Graph resolution + matview substitution + compilation.
         let compiled = self.compile(&user, req.connection, &workbook, req.element)?;
-        // 5. Query directory: serve identical recent/in-flight queries from
-        // the CDW-persisted result set instead of recomputing.
+        // 5. Query directory. The compiled element is a DAG of fingerprinted
+        // stages; the directory caches each stage's CDW-persisted result by
+        // `(connection, fingerprint)`. The root (sink) fingerprint keys the
+        // whole query; interior fingerprints enable cross-edit prefix reuse.
         let sql = compiled.sql.clone();
-        let fingerprint = format!("{}:{}", req.connection, sql);
-        let wh = warehouse.clone();
-        let wl = workload.clone();
+        let plan = compiled.stages;
+        let root_fingerprint = plan.root_fingerprint();
+        let root_key = DirKey::for_stage(req.connection, root_fingerprint);
+        let all_tables: Arc<[String]> = plan.sink().all_tables.clone().into();
+        let stage_caching = self.stage_caching();
         let mut queue_wait = Duration::ZERO;
-        let (query_id, cached) = directory
-            .run_coalesced(&fingerprint, || {
-                let (result, wait) = wl.submit(req.priority, || wh.execute_sql(&sql));
-                queue_wait = wait;
-                result.map(|r| r.query_id)
-            })
-            .map_err(ServiceError::from)?;
+        let mut stage_hits = 0usize;
+        let mut stages_executed = 0usize;
+        let mut rows_scanned = 0usize;
+        let (mut query_id, cached) = directory.run_coalesced(root_key, || {
+            if stage_caching && plan.nodes.len() > 1 {
+                match run_stage_pipeline(
+                    &warehouse,
+                    &workload,
+                    &directory,
+                    req.connection,
+                    req.priority,
+                    &plan,
+                    &mut queue_wait,
+                    &mut stage_hits,
+                    &mut stages_executed,
+                    &mut rows_scanned,
+                ) {
+                    Ok(qid) => return Ok::<_, ServiceError>(qid),
+                    Err(_) => {
+                        // A reused stage's persisted result can be evicted
+                        // between the cache walk's liveness check and the
+                        // execution that RESULT_SCANs it (the directory
+                        // promotes but cannot pin). Fall back to one
+                        // flattened query rather than failing a request
+                        // that would succeed with caching off; a genuine
+                        // query error surfaces from the flattened run too.
+                        // (queue_wait is overwritten by the flattened
+                        // submit below.)
+                        stage_hits = 0;
+                        stages_executed = 0;
+                        rows_scanned = 0;
+                    }
+                }
+            }
+            let (result, wait) = workload.submit(req.priority, || {
+                warehouse.execute_sql(&sql).map_err(ServiceError::from)
+            });
+            queue_wait = wait;
+            let r = result?;
+            stages_executed += 1;
+            rows_scanned += r.rows_scanned;
+            Ok(r.query_id)
+        })?;
+        directory.set_deps(root_key, all_tables.clone());
         // 6. Fetch the result set (fresh executions persist it; directory
         // hits re-fetch by query id).
         let (batch, served_from) = match warehouse.persisted_result(&query_id) {
             Some(batch) if cached => (batch, ServedFrom::QueryDirectory),
+            Some(batch) if stage_hits > 0 => (batch, ServedFrom::StageReuse),
             Some(batch) => (batch, ServedFrom::Warehouse),
             None => {
-                // Evicted from the warehouse's persisted results: re-run.
-                directory.invalidate(|k| k == fingerprint);
+                // Evicted from the warehouse's persisted results: re-run
+                // the whole query fresh. The pipeline's per-request
+                // counters no longer describe what this request was
+                // ultimately served from, so reset them to the flattened
+                // re-run's accounting.
+                directory.invalidate_key(root_key);
                 let (result, wait) = workload.submit(req.priority, || warehouse.execute_sql(&sql));
                 queue_wait = wait;
                 let r = result?;
-                directory.insert(&fingerprint, &r.query_id);
+                stage_hits = 0;
+                rows_scanned = r.rows_scanned;
+                stages_executed = 1;
+                directory.insert_with_deps(root_key, &r.query_id, all_tables);
+                query_id = r.query_id;
                 (r.batch, ServedFrom::Warehouse)
             }
         };
@@ -211,6 +307,10 @@ impl SigmaService {
             sql,
             served_from,
             queue_wait,
+            stage_hits,
+            stages_executed,
+            rows_scanned,
+            root_fingerprint,
         })
     }
 
@@ -235,7 +335,8 @@ impl SigmaService {
             .map_err(|e| ServiceError::BadRequest(format!("csv: {e}")))?;
         let rows = batch.num_rows();
         warehouse.load_table(table, batch)?;
-        directory.invalidate(|_| true);
+        // Only cached results that read this table are stale.
+        directory.invalidate_tables(&[table]);
         Ok(rows)
     }
 
@@ -261,7 +362,7 @@ impl SigmaService {
         warehouse.load_table(&table, batch)?;
         input.warehouse_table = Some(table.clone());
         input.take_journal(); // initial projection covers everything so far
-        directory.invalidate(|_| true);
+        directory.invalidate_tables(&[&table]);
         Ok(table)
     }
 
@@ -347,7 +448,9 @@ impl SigmaService {
             }
         }
         if n > 0 {
-            directory.invalidate(|_| true);
+            // Precise invalidation: drop only cached stages whose
+            // dependency set includes the edited input table.
+            directory.invalidate_tables(&[&table]);
         }
         Ok(n)
     }
@@ -386,7 +489,7 @@ impl SigmaService {
         result?;
         self.materializer.register(element, &table, refresh_every);
         self.materializer.mark_refreshed(element);
-        directory.invalidate(|_| true);
+        directory.invalidate_tables(&[&table]);
         Ok(table)
     }
 
@@ -412,4 +515,123 @@ impl Default for SigmaService {
     fn default() -> Self {
         SigmaService::new()
     }
+}
+
+/// What the cache walk decided for one stage of the DAG.
+#[derive(Clone)]
+enum StageAction {
+    /// Not reachable from the sink through uncached stages: never touched.
+    Skip,
+    /// Fingerprint found in the directory with a live persisted result:
+    /// downstream stages read it via `RESULT_SCAN`.
+    Reuse(String),
+    /// Must execute on the warehouse.
+    Execute,
+}
+
+/// Execute a compiled element stage by stage with prefix reuse.
+///
+/// Walking the DAG **from the sink**, each needed stage is looked up in the
+/// directory by its `(connection, fingerprint)` key; a hit (with a live
+/// persisted result) becomes a reuse frontier — its inputs are never
+/// visited, so the deepest cached prefix is skipped entirely. The residual
+/// stages then execute in topological order, each reading its inputs via
+/// `TABLE(RESULT_SCAN('<query-id>'))` and persisting its own result under
+/// its fingerprint for future edits to reuse.
+#[allow(clippy::too_many_arguments)]
+fn run_stage_pipeline(
+    warehouse: &Warehouse,
+    workload: &WorkloadManager,
+    directory: &QueryDirectory,
+    connection: &str,
+    priority: Priority,
+    plan: &StagePlan,
+    queue_wait: &mut Duration,
+    stage_hits: &mut usize,
+    stages_executed: &mut usize,
+    rows_scanned: &mut usize,
+) -> Result<String, ServiceError> {
+    let n = plan.nodes.len();
+    let sink = n - 1;
+    let mut actions = vec![StageAction::Skip; n];
+    let mut needed = vec![false; n];
+    needed[sink] = true;
+    // Reverse-topological cache walk. The sink itself always executes: the
+    // caller's whole-query lookup (the coalesced fast path) already missed.
+    for idx in (0..n).rev() {
+        if !needed[idx] {
+            continue;
+        }
+        if idx != sink {
+            let key = DirKey::for_stage(connection, plan.nodes[idx].fingerprint);
+            if let Some(qid) = directory.lookup_stage(key) {
+                if warehouse.touch_result(&qid) {
+                    actions[idx] = StageAction::Reuse(qid);
+                    continue;
+                }
+                // Stale pointer: the CDW evicted the result set.
+                directory.invalidate_key(key);
+            }
+        }
+        actions[idx] = StageAction::Execute;
+        for &input in &plan.nodes[idx].inputs {
+            needed[input] = true;
+        }
+    }
+    // Forward pass: execute the residual suffix in topological order.
+    let mut qids: HashMap<usize, String> = HashMap::new();
+    let mut final_qid = String::new();
+    for (idx, action) in actions.iter().enumerate() {
+        match action {
+            StageAction::Skip => {}
+            StageAction::Reuse(qid) => {
+                *stage_hits += 1;
+                qids.insert(idx, qid.clone());
+            }
+            StageAction::Execute => {
+                let node = &plan.nodes[idx];
+                let mut query = node.query.clone();
+                let scans: HashMap<String, String> = node
+                    .inputs
+                    .iter()
+                    .map(|&i| {
+                        (
+                            plan.nodes[i].name.to_ascii_lowercase(),
+                            qids.get(&i).cloned().expect("input stage resolved"),
+                        )
+                    })
+                    .collect();
+                sigma_sql::substitute_result_scans(&mut query, &scans);
+                let stmt = sigma_sql::Statement::Query(query);
+                let (result, wait) =
+                    workload.submit(priority, || warehouse.execute_statement(&stmt));
+                *queue_wait += wait;
+                let r = result?;
+                *stages_executed += 1;
+                *rows_scanned += r.rows_scanned;
+                if idx != sink {
+                    // The sink's entry is written by the caller's coalescing
+                    // wrapper under the root key.
+                    let key = DirKey::for_stage(connection, node.fingerprint);
+                    directory.insert_with_deps(key, &r.query_id, node.all_tables.clone().into());
+                }
+                qids.insert(idx, r.query_id.clone());
+                if idx == sink {
+                    final_qid = r.query_id;
+                }
+            }
+        }
+    }
+    // Directory stage stats are recorded only once the whole pipeline
+    // succeeded: if a reused result is evicted mid-request the caller
+    // falls back to a flattened query, and counting the walk's tentative
+    // hits would overstate reuse that never materialized.
+    for (idx, action) in actions.iter().enumerate() {
+        match action {
+            StageAction::Reuse(_) => directory.record_stage(true),
+            StageAction::Execute if idx != sink => directory.record_stage(false),
+            _ => {}
+        }
+    }
+    Ok(final_qid)
 }

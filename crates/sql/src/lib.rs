@@ -16,8 +16,10 @@ pub mod dialect;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
+pub mod rewrite;
 
 pub use ast::*;
 pub use dialect::{Dialect, DialectKind};
 pub use parser::{parse_query, parse_statement, SqlParseError};
 pub use printer::print_statement;
+pub use rewrite::substitute_result_scans;

@@ -1,0 +1,110 @@
+//! Query rewrites used by the service's stage-level cache: replacing
+//! references to already-computed stages with `TABLE(RESULT_SCAN('<id>'))`
+//! so the warehouse re-serves the persisted result set instead of
+//! recomputing the stage.
+
+use std::collections::HashMap;
+
+use crate::ast::{Query, SetExpr, SqlExpr, TableRef};
+
+/// Replace every single-part table reference whose (lower-cased) name is a
+/// key of `scans` with a `TABLE(RESULT_SCAN('<query-id>'))` call. The
+/// original binding is preserved: an aliased reference keeps its alias, an
+/// unaliased one is aliased to the replaced name so qualified column
+/// references still resolve. Returns how many references were rewritten.
+pub fn substitute_result_scans(query: &mut Query, scans: &HashMap<String, String>) -> usize {
+    let mut n = 0;
+    for (_, cte) in &mut query.ctes {
+        n += substitute_result_scans(cte, scans);
+    }
+    n += substitute_in_set(&mut query.body, scans);
+    n
+}
+
+fn substitute_in_set(body: &mut SetExpr, scans: &HashMap<String, String>) -> usize {
+    match body {
+        SetExpr::Select(s) => {
+            let mut n = 0;
+            if let Some(from) = &mut s.from {
+                n += substitute_table_ref(from, scans);
+            }
+            for j in &mut s.joins {
+                n += substitute_table_ref(&mut j.relation, scans);
+            }
+            n
+        }
+        SetExpr::UnionAll(l, r) => substitute_in_set(l, scans) + substitute_in_set(r, scans),
+        SetExpr::Values(_) => 0,
+    }
+}
+
+fn substitute_table_ref(t: &mut TableRef, scans: &HashMap<String, String>) -> usize {
+    match t {
+        TableRef::Table { name, alias } => {
+            if name.0.len() != 1 {
+                return 0;
+            }
+            let key = name.0[0].to_ascii_lowercase();
+            let Some(query_id) = scans.get(&key) else {
+                return 0;
+            };
+            let binding = alias.clone().unwrap_or_else(|| name.0[0].clone());
+            *t = TableRef::Function {
+                name: "RESULT_SCAN".into(),
+                args: vec![SqlExpr::lit(query_id.clone())],
+                alias: Some(binding),
+            };
+            1
+        }
+        TableRef::Subquery { query, .. } => substitute_result_scans(query, scans),
+        TableRef::Function { .. } => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::Dialect;
+    use crate::parser::parse_query;
+    use crate::printer::print_query;
+
+    fn scans(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn rewrites_from_and_joins_preserving_bindings() {
+        let mut q = parse_query(
+            "SELECT b.x, lvl1_0.y FROM base_0 AS b \
+             JOIN lvl1_0 ON b.k = lvl1_0.k",
+        )
+        .unwrap();
+        let n = substitute_result_scans(&mut q, &scans(&[("base_0", "q-1"), ("lvl1_0", "q-2")]));
+        assert_eq!(n, 2);
+        let sql = print_query(&q, &Dialect::generic());
+        assert!(sql.contains("TABLE(RESULT_SCAN('q-1')) AS b"), "{sql}");
+        assert!(sql.contains("TABLE(RESULT_SCAN('q-2')) AS lvl1_0"), "{sql}");
+    }
+
+    #[test]
+    fn leaves_unmapped_and_dotted_names_alone() {
+        let mut q = parse_query("SELECT x FROM db.schema.t JOIN other ON t.k = other.k").unwrap();
+        let n = substitute_result_scans(&mut q, &scans(&[("t", "q-9")]));
+        assert_eq!(n, 0);
+        let sql = print_query(&q, &Dialect::generic());
+        assert!(!sql.contains("RESULT_SCAN"), "{sql}");
+    }
+
+    #[test]
+    fn reaches_subqueries() {
+        let mut q =
+            parse_query("SELECT x FROM (SELECT x FROM summary_0 AS s) AS sub WHERE x > 1").unwrap();
+        let n = substitute_result_scans(&mut q, &scans(&[("summary_0", "q-3")]));
+        assert_eq!(n, 1);
+        let sql = print_query(&q, &Dialect::generic());
+        assert!(sql.contains("TABLE(RESULT_SCAN('q-3')) AS s"), "{sql}");
+    }
+}

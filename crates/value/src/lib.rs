@@ -14,6 +14,7 @@ pub mod column;
 pub mod csv;
 pub mod error;
 pub mod hash;
+pub mod lru;
 pub mod pretty;
 pub mod sort;
 pub mod types;

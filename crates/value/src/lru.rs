@@ -1,0 +1,130 @@
+//! A reusable LRU recency index: monotone sequence counter + `BTreeMap`,
+//! giving O(log n) touch/insert/evict. Shared by the service's query
+//! directory and the warehouse's persisted-result retention so the two
+//! caches cannot drift apart in bookkeeping semantics.
+//!
+//! The index tracks *order only* — callers own the key→value storage and
+//! must keep membership in sync (insert/remove mirrored on both sides).
+
+use std::borrow::Borrow;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// Recency index over keys of type `K`, least-recently-used first.
+#[derive(Debug, Clone)]
+pub struct LruIndex<K: Eq + Hash + Clone> {
+    /// seq → key; the smallest sequence number is the eviction candidate.
+    recency: BTreeMap<u64, K>,
+    seq_of: HashMap<K, u64>,
+    next_seq: u64,
+}
+
+impl<K: Eq + Hash + Clone> Default for LruIndex<K> {
+    fn default() -> Self {
+        LruIndex {
+            recency: BTreeMap::new(),
+            seq_of: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> LruIndex<K> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.seq_of.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.seq_of.is_empty()
+    }
+
+    /// Promote `key` to most-recently-used. Returns false (and does
+    /// nothing) if the key is not tracked.
+    pub fn touch<Q>(&mut self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ToOwned<Owned = K> + ?Sized,
+    {
+        let Some(&old) = self.seq_of.get(key) else {
+            return false;
+        };
+        let key = key.to_owned();
+        self.recency.remove(&old);
+        self.recency.insert(self.next_seq, key.clone());
+        self.seq_of.insert(key, self.next_seq);
+        self.next_seq += 1;
+        true
+    }
+
+    /// Track `key` as most-recently-used (re-inserting promotes).
+    pub fn insert(&mut self, key: K) {
+        if let Some(&old) = self.seq_of.get(&key) {
+            self.recency.remove(&old);
+        }
+        self.recency.insert(self.next_seq, key.clone());
+        self.seq_of.insert(key, self.next_seq);
+        self.next_seq += 1;
+    }
+
+    /// Stop tracking `key`. Returns whether it was tracked.
+    pub fn remove<Q>(&mut self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        match self.seq_of.remove(key) {
+            Some(seq) => {
+                self.recency.remove(&seq);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pop the least-recently-used key.
+    pub fn evict_oldest(&mut self) -> Option<K> {
+        let (&seq, key) = self.recency.iter().next()?;
+        let key = key.clone();
+        self.recency.remove(&seq);
+        self.seq_of.remove(&key);
+        Some(key)
+    }
+
+    pub fn clear(&mut self) {
+        self.recency.clear();
+        self.seq_of.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_lru_order_with_touch_and_reinsert() {
+        let mut lru = LruIndex::new();
+        lru.insert("a");
+        lru.insert("b");
+        lru.insert("c");
+        assert!(lru.touch(&"a")); // order now b, c, a
+        lru.insert("b"); // re-insert promotes: c, a, b
+        assert_eq!(lru.evict_oldest(), Some("c"));
+        assert_eq!(lru.evict_oldest(), Some("a"));
+        assert_eq!(lru.evict_oldest(), Some("b"));
+        assert_eq!(lru.evict_oldest(), None);
+    }
+
+    #[test]
+    fn remove_and_untracked_touch() {
+        let mut lru = LruIndex::new();
+        lru.insert(1);
+        assert!(lru.remove(&1));
+        assert!(!lru.remove(&1));
+        assert!(!lru.touch(&1));
+        assert!(lru.is_empty());
+    }
+}
