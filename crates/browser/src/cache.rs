@@ -151,8 +151,9 @@ mod tests {
 
     #[test]
     fn lru_eviction_under_budget() {
-        // Each 100-row Int batch is ~800 bytes; budget fits ~2.
-        let cache = ResultCache::new(1_700);
+        // Budget fits two 100-row Int batches (plus slack) but not three.
+        let one = batch(100).byte_size();
+        let cache = ResultCache::new(2 * one + one / 2);
         cache.put("a", batch(100), vec![]);
         cache.put("b", batch(100), vec![]);
         let _ = cache.get("a"); // freshen a

@@ -16,21 +16,51 @@
 //!   partitions running in parallel, and emit one output part per probe
 //!   partition.
 //!
-//! Windows and sorts still collapse to one batch. Every operator records
-//! an [`OpStats`] entry (rows in/out, partitions, elapsed) so
-//! `EXPLAIN`-style output and the bench harness can attribute time.
+//! Windows still collapse to one batch. Every operator records an
+//! [`OpStats`] entry (rows in/out, partitions, elapsed) so `EXPLAIN`-style
+//! output and the bench harness can attribute time.
+//!
+//! ## Memory budget & spilling
+//!
+//! An [`ExecMemoryTracker`] threads a per-operator byte budget through the
+//! executor. The three operators whose state grows with input size —
+//! aggregation hash tables, sort runs, and hash-join build tables — check
+//! their (deterministic) state estimate against the budget up front and,
+//! when over, switch to out-of-core variants backed by
+//! [`crate::storage::SpillWriter`] files in the `sigma_value::codec` wire
+//! format:
+//!
+//! * **Aggregate** hash-partitions input rows by group key into spilled
+//!   bucket files, aggregates bucket by bucket (rebuilding the exact
+//!   per-partition partial/merge structure of the in-memory path inside
+//!   each bucket), and interleaves the per-bucket groups back into global
+//!   first-seen order by each group's first `(partition, row)`.
+//! * **Sort** spills sorted runs (key columns + original row ids) in
+//!   pages and k-way merges them by `(keys, row id)` — exactly the total
+//!   order a stable in-memory sort produces.
+//! * **Join** Grace-partitions the build side's key material into bucket
+//!   files, builds one bucket's hash table at a time, probes every left
+//!   partition against it, then restores the in-memory output order by
+//!   sorting each partition's matches by `(left row, right row)`.
+//!
+//! Because every spilled variant performs the *same floating-point
+//! operations in the same order* as its in-memory counterpart and only
+//! reorders bookkeeping, results are **bit-identical** at any budget and
+//! any parallelism (pinned by `tests/spill_oracle.rs`).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sigma_sql::JoinKind;
-use sigma_value::{hash, sort, Batch, Column, ColumnBuilder, DataType, Schema, Value};
+use sigma_value::{hash, sort, Batch, Column, ColumnBuilder, DataType, Field, Schema, Value};
 
 use crate::catalog::Catalog;
 use crate::error::CdwError;
 use crate::eval::{eval, EvalCtx, PhysExpr};
 use crate::plan::{AggCall, AggFunc, AggMode, Plan};
+use crate::storage::{SpillHandle, SpillReader, SpillWriter};
 use crate::window::compute_window;
 
 /// Execution context (read access to storage plus settings).
@@ -40,6 +70,86 @@ pub struct ExecCtx<'a> {
     pub eval: EvalCtx,
     /// Worker threads for partition-parallel stages (1 = serial).
     pub parallelism: usize,
+    /// Per-operator memory budget and spill accounting.
+    pub memory: ExecMemoryTracker,
+}
+
+/// Accounts operator state against a configurable byte budget and records
+/// what spilled.
+///
+/// The budget is **per operator instance**: each aggregation, sort, or
+/// join build checks the bytes its in-memory state would need (estimated
+/// from its input — deterministic, never sampled) and runs out-of-core
+/// when the estimate exceeds the budget. Counters are atomics so
+/// partition-parallel workers can record spills without synchronization;
+/// totals are folded into [`ExecStats`] when the query completes.
+#[derive(Debug, Default)]
+pub struct ExecMemoryTracker {
+    /// `None` = unbudgeted: all operator state stays in memory.
+    budget: Option<usize>,
+    spilled_bytes: AtomicUsize,
+    spill_rounds: AtomicUsize,
+}
+
+/// Widest fan-out for spilling aggregation / Grace join buckets.
+const MAX_SPILL_BUCKETS: usize = 64;
+/// Most sorted runs an external sort will create.
+const MAX_SORT_RUNS: usize = 64;
+
+impl ExecMemoryTracker {
+    pub fn new(budget: Option<usize>) -> ExecMemoryTracker {
+        ExecMemoryTracker {
+            budget,
+            ..Default::default()
+        }
+    }
+
+    /// The configured per-operator budget (`None` = unbounded).
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Would holding `estimated_state` bytes exceed the budget?
+    pub fn should_spill(&self, estimated_state: usize) -> bool {
+        self.budget.is_some_and(|b| estimated_state > b)
+    }
+
+    /// Hash-bucket fan-out so one bucket's state fits the budget
+    /// (power of two, clamped to `[2, 64]`).
+    pub fn bucket_count(&self, estimated_state: usize) -> usize {
+        let budget = self.budget.unwrap_or(usize::MAX).max(1);
+        let need = estimated_state.div_ceil(budget).max(2);
+        need.next_power_of_two().min(MAX_SPILL_BUCKETS)
+    }
+
+    /// Sorted-run count so one run's state fits the budget (clamped to
+    /// `[2, 64]` and never more than one run per row).
+    pub fn run_count(&self, estimated_state: usize, rows: usize) -> usize {
+        let budget = self.budget.unwrap_or(usize::MAX).max(1);
+        estimated_state
+            .div_ceil(budget)
+            .clamp(2, MAX_SORT_RUNS)
+            .min(rows.max(2))
+    }
+
+    /// Charge bytes written to spill files.
+    pub fn record_spill(&self, bytes: usize) {
+        self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Count spill rounds (one per aggregation/join bucket pass or sort
+    /// run).
+    pub fn record_rounds(&self, rounds: usize) {
+        self.spill_rounds.fetch_add(rounds, Ordering::Relaxed);
+    }
+
+    pub fn spilled_bytes(&self) -> usize {
+        self.spilled_bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn spill_rounds(&self) -> usize {
+        self.spill_rounds.load(Ordering::Relaxed)
+    }
 }
 
 /// Per-operator execution counters, recorded in plan pre-order.
@@ -79,6 +189,12 @@ pub struct ExecStats {
     pub partitions_scanned: usize,
     /// Per-operator breakdown in plan pre-order (root first).
     pub operators: Vec<OpStats>,
+    /// The memory budget the query ran under (`None` = unbounded).
+    pub memory_budget: Option<usize>,
+    /// Bytes written to spill files (0 when everything stayed in memory).
+    pub spilled_bytes: usize,
+    /// Spill rounds taken: aggregation/join bucket passes plus sort runs.
+    pub spill_rounds: usize,
 }
 
 impl ExecStats {
@@ -102,7 +218,7 @@ impl ExecStats {
     }
 
     /// Render the per-operator breakdown as an indented tree
-    /// (EXPLAIN ANALYZE-style).
+    /// (EXPLAIN ANALYZE-style), with a memory/spill footer.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for op in &self.operators {
@@ -118,6 +234,14 @@ impl ExecStats {
                 op.elapsed.as_secs_f64() * 1e3,
             ));
         }
+        let budget = match self.memory_budget {
+            Some(b) => b.to_string(),
+            None => "unbounded".to_string(),
+        };
+        out.push_str(&format!(
+            "memory: budget={budget} spilled_bytes={} spill_rounds={}\n",
+            self.spilled_bytes, self.spill_rounds,
+        ));
         out
     }
 }
@@ -127,6 +251,9 @@ pub fn execute(plan: &Plan, ctx: &ExecCtx, stats: &mut ExecStats) -> Result<Batc
     let schema = plan.schema();
     let parts = execute_parts(plan, ctx, stats, 0)?;
     stats.finalize();
+    stats.memory_budget = ctx.memory.budget();
+    stats.spilled_bytes = ctx.memory.spilled_bytes();
+    stats.spill_rounds = ctx.memory.spill_rounds();
     concat_parts(parts, schema)
 }
 
@@ -263,6 +390,19 @@ fn execute_node(
                         .push(OpStats::started(op_label(input), depth + 1));
                     let pstarted = Instant::now();
                     let parts = execute_parts(pinput, ctx, stats, depth + 2)?;
+                    // State estimate: the partial tables hold keys and
+                    // values derived from every input row, so total input
+                    // bytes is the deterministic upper-bound proxy.
+                    let est: usize = parts.iter().map(Batch::byte_size).sum();
+                    if !pgroups.is_empty() && ctx.memory.should_spill(est) {
+                        let (batch, partial_rows) =
+                            spilled_aggregate(&parts, pgroups, paggs, schema, ctx, est)?;
+                        let op = &mut stats.operators[pslot];
+                        op.elapsed = pstarted.elapsed();
+                        op.rows_out = partial_rows;
+                        op.partitions = parts.len();
+                        return Ok(vec![batch]);
+                    }
                     let tables = par_map(ctx, parts, |b| {
                         accumulate_groups(&b, pgroups, paggs, &ctx.eval)
                     })?;
@@ -279,7 +419,21 @@ fn execute_node(
             // Single placement (or a Partial/Final the optimizer did not
             // pair): one-shot aggregation over the concatenated input.
             let parts = execute_parts(input, ctx, stats, depth + 1)?;
+            let est: usize = parts.iter().map(Batch::byte_size).sum();
             let batch = concat_parts(parts, input.schema())?;
+            if !groups.is_empty() && ctx.memory.should_spill(est) {
+                // One logical partition preserves Single-mode arithmetic
+                // (continuous per-group accumulation, no partial merge).
+                let (batch, _) = spilled_aggregate(
+                    std::slice::from_ref(&batch),
+                    groups,
+                    aggs,
+                    schema,
+                    ctx,
+                    est,
+                )?;
+                return Ok(vec![batch]);
+            }
             let table = accumulate_groups(&batch, groups, aggs, &ctx.eval)?;
             Ok(vec![finish_groups(table, schema)?])
         }
@@ -313,24 +467,45 @@ fn execute_node(
             )?);
             let lparts = execute_parts(left, ctx, stats, depth + 1)?;
             let keyed = *kind != JoinKind::Cross && !left_keys.is_empty();
-            let build = Arc::new(build_join_table(
-                &right_batch,
-                right_keys,
-                keyed,
-                &ctx.eval,
-            )?);
-            let probes = par_map(ctx, lparts, |lb| {
-                probe_partition(
-                    &lb,
+            let rcols: Vec<Column> = if keyed {
+                right_keys
+                    .iter()
+                    .map(|k| eval(k, &right_batch, &ctx.eval))
+                    .collect::<Result<_, _>>()?
+            } else {
+                Vec::new()
+            };
+            // Build-state estimate: key material plus ~8 bytes of table
+            // index per right row.
+            let est =
+                rcols.iter().map(Column::byte_size).sum::<usize>() + 8 * right_batch.num_rows();
+            let probes = if keyed && ctx.memory.should_spill(est) {
+                spilled_join(
+                    &lparts,
                     &right_batch,
-                    &build,
+                    &rcols,
                     *kind,
                     left_keys,
                     residual.as_ref(),
                     schema,
-                    &ctx.eval,
-                )
-            })?;
+                    ctx,
+                    est,
+                )?
+            } else {
+                let build = Arc::new(build_join_table(right_batch.num_rows(), &rcols, keyed));
+                par_map(ctx, lparts, |lb| {
+                    probe_partition(
+                        &lb,
+                        &right_batch,
+                        &build,
+                        *kind,
+                        left_keys,
+                        residual.as_ref(),
+                        schema,
+                        &ctx.eval,
+                    )
+                })?
+            };
             let mut parts = Vec::with_capacity(probes.len() + 1);
             let mut matched_right = if *kind == JoinKind::Full {
                 vec![false; right_batch.num_rows()]
@@ -367,7 +542,6 @@ fn execute_node(
                 .iter()
                 .map(|k| eval(&k.expr, &batch, &ctx.eval))
                 .collect::<Result<_, _>>()?;
-            let refs: Vec<&Column> = key_cols.iter().collect();
             let sort_keys: Vec<sort::SortKey> = keys
                 .iter()
                 .map(|k| sort::SortKey {
@@ -375,6 +549,13 @@ fn execute_node(
                     nulls_last: k.nulls_last.unwrap_or(k.descending),
                 })
                 .collect();
+            // Sort-state estimate: key columns plus the 8-byte index per
+            // row the permutation holds.
+            let est = key_cols.iter().map(Column::byte_size).sum::<usize>() + 8 * batch.num_rows();
+            if batch.num_rows() > 1 && ctx.memory.should_spill(est) {
+                return Ok(vec![spilled_sort(&batch, &key_cols, &sort_keys, ctx, est)?]);
+            }
+            let refs: Vec<&Column> = key_cols.iter().collect();
             let idx = sort::sort_indices(&refs, &sort_keys);
             Ok(vec![batch.take(&idx)])
         }
@@ -457,19 +638,21 @@ fn coerce_column(col: Column, target: DataType) -> Result<Column, CdwError> {
     col.cast(target).map_err(CdwError::from)
 }
 
-/// Map over partitions, in parallel when configured and worthwhile.
-fn par_map<T, F>(ctx: &ExecCtx, parts: Vec<Batch>, f: F) -> Result<Vec<T>, CdwError>
+/// Map over work items (partitions, spill buckets, ...) in parallel when
+/// configured and worthwhile. Output order always matches input order.
+fn par_map<I, T, F>(ctx: &ExecCtx, parts: Vec<I>, f: F) -> Result<Vec<T>, CdwError>
 where
+    I: Send,
     T: Send,
-    F: Fn(Batch) -> Result<T, CdwError> + Sync,
+    F: Fn(I) -> Result<T, CdwError> + Sync,
 {
     if ctx.parallelism <= 1 || parts.len() <= 1 {
         return parts.into_iter().map(f).collect();
     }
     let n = parts.len();
     let threads = ctx.parallelism.min(n);
-    let inputs: Vec<(usize, Batch)> = parts.into_iter().enumerate().collect();
-    let mut chunks: Vec<Vec<(usize, Batch)>> = (0..threads).map(|_| Vec::new()).collect();
+    let inputs: Vec<(usize, I)> = parts.into_iter().enumerate().collect();
+    let mut chunks: Vec<Vec<(usize, I)>> = (0..threads).map(|_| Vec::new()).collect();
     for (i, item) in inputs.into_iter().enumerate() {
         chunks[i % threads].push(item);
     }
@@ -895,7 +1078,6 @@ fn accumulate_groups(
     aggs: &[AggCall],
     ctx: &EvalCtx,
 ) -> Result<GroupTable, CdwError> {
-    let rows = batch.num_rows();
     let group_cols: Vec<Column> = groups
         .iter()
         .map(|g| eval(g, batch, ctx))
@@ -904,9 +1086,28 @@ fn accumulate_groups(
         .iter()
         .map(|a| a.arg.as_ref().map(|e| eval(e, batch, ctx)).transpose())
         .collect::<Result<_, _>>()?;
+    let global = groups.is_empty();
+    Ok(accumulate_pre(&group_cols, &arg_cols, aggs, batch.num_rows(), global).0)
+}
+
+/// The shared accumulation loop over pre-evaluated columns. `global`
+/// forces the single no-GROUP-BY entry (even over zero rows).
+///
+/// Also returns, per entry, the row at which that group first appeared —
+/// the spilled path uses it to interleave per-bucket groups back into the
+/// in-memory path's first-seen output order. The state-update sequence
+/// here is the **only** accumulation loop in the executor, so spilled and
+/// in-memory aggregation perform identical floating-point operations.
+fn accumulate_pre(
+    group_cols: &[Column],
+    arg_cols: &[Option<Column>],
+    aggs: &[AggCall],
+    rows: usize,
+    global: bool,
+) -> (GroupTable, Vec<usize>) {
     let new_states = || -> Vec<AggState> {
         aggs.iter()
-            .zip(&arg_cols)
+            .zip(arg_cols)
             .map(|(a, c)| AggState::new_for(&a.func, c.as_ref().map(|c| c.dtype())))
             .collect()
     };
@@ -915,13 +1116,15 @@ fn accumulate_groups(
         index: HashMap::new(),
         entries: Vec::new(),
     };
-    if groups.is_empty() {
+    let mut firsts: Vec<usize> = Vec::new();
+    if global {
         table.index.insert(Vec::new(), 0);
         table.entries.push(GroupEntry {
             key: Vec::new(),
             group_vals: Vec::new(),
             states: new_states(),
         });
+        firsts.push(0);
         for row in 0..rows {
             for (slot, state) in table.entries[0].states.iter_mut().enumerate() {
                 match &arg_cols[slot] {
@@ -946,6 +1149,7 @@ fn accumulate_groups(
                         group_vals: group_cols.iter().map(|c| c.value(row)).collect(),
                         states: new_states(),
                     });
+                    firsts.push(row);
                     i
                 }
             };
@@ -957,7 +1161,7 @@ fn accumulate_groups(
             }
         }
     }
-    Ok(table)
+    (table, firsts)
 }
 
 /// Merge per-partition group tables in partition-index order. `global`
@@ -1022,6 +1226,326 @@ fn finish_groups(table: GroupTable, schema: &Arc<Schema>) -> Result<Batch, CdwEr
 }
 
 // ---------------------------------------------------------------------
+// spilling aggregation
+// ---------------------------------------------------------------------
+
+/// FNV-1a over an encoded group/join key, reduced to a bucket index. The
+/// same function routes build and probe rows, so equal keys always meet
+/// in the same bucket.
+fn key_bucket(key: &[u8], nbuckets: usize) -> usize {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % nbuckets as u64) as usize
+}
+
+/// Memory-budgeted aggregation: hash-partition input rows by group key
+/// into spilled bucket files, aggregate one bucket at a time, and
+/// interleave the per-bucket groups back into first-seen order.
+///
+/// `parts` carries the same partition structure the in-memory path would
+/// aggregate (the caller passes the concatenated input as one "partition"
+/// for `AggMode::Single`, and the storage partitions for a fused
+/// `Final`-over-`Partial` pair). Inside each bucket, a fresh partial
+/// table is accumulated per partition and merged in partition-index order
+/// — the identical arithmetic structure of the in-memory path restricted
+/// to the bucket's groups, so every group's final state is bit-identical.
+/// Output order is restored by sorting groups on their first occurrence
+/// `(partition, row)`, which is exactly the order the in-memory merge
+/// emits.
+///
+/// Returns the finished batch plus the total partial-group count (the
+/// `rows_out` of the Partial operator in two-phase stats).
+fn spilled_aggregate(
+    parts: &[Batch],
+    groups: &[PhysExpr],
+    aggs: &[AggCall],
+    schema: &Arc<Schema>,
+    ctx: &ExecCtx,
+    estimate: usize,
+) -> Result<(Batch, usize), CdwError> {
+    let nbuckets = ctx.memory.bucket_count(estimate);
+    ctx.memory.record_rounds(nbuckets);
+    let gw = groups.len();
+    // Spill-record column layout: group cols, present agg args, row id.
+    let mut arg_slots: Vec<Option<usize>> = Vec::with_capacity(aggs.len());
+    let mut next_slot = gw;
+    for a in aggs {
+        if a.arg.is_some() {
+            arg_slots.push(Some(next_slot));
+            next_slot += 1;
+        } else {
+            arg_slots.push(None);
+        }
+    }
+    let row_slot = next_slot;
+
+    // Phase 1: evaluate each partition, route rows to buckets, spill one
+    // record per (bucket, partition) — empty records keep the partition
+    // alignment the per-bucket merge relies on.
+    let mut writers: Vec<SpillWriter> = (0..nbuckets)
+        .map(|_| SpillWriter::create())
+        .collect::<Result<_, _>>()?;
+    for batch in parts {
+        let group_cols: Vec<Column> = groups
+            .iter()
+            .map(|g| eval(g, batch, &ctx.eval))
+            .collect::<Result<_, _>>()?;
+        let arg_cols: Vec<Option<Column>> = aggs
+            .iter()
+            .map(|a| {
+                a.arg
+                    .as_ref()
+                    .map(|e| eval(e, batch, &ctx.eval))
+                    .transpose()
+            })
+            .collect::<Result<_, _>>()?;
+        let mut fields: Vec<Field> = group_cols
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Field::new(format!("g{i}"), c.dtype()))
+            .collect();
+        let mut spill_cols: Vec<Column> = group_cols.clone();
+        for (j, c) in arg_cols.iter().enumerate() {
+            if let Some(c) = c {
+                fields.push(Field::new(format!("a{j}"), c.dtype()));
+                spill_cols.push(c.clone());
+            }
+        }
+        fields.push(Field::new("__row", DataType::Int));
+        let spill_schema = Arc::new(Schema::new(fields));
+
+        let refs: Vec<&Column> = group_cols.iter().collect();
+        let mut route: Vec<Vec<usize>> = vec![Vec::new(); nbuckets];
+        let mut key = Vec::new();
+        for row in 0..batch.num_rows() {
+            key.clear();
+            hash::encode_key(&refs, row, &mut key);
+            route[key_bucket(&key, nbuckets)].push(row);
+        }
+        for (b, rows) in route.iter().enumerate() {
+            let mut cols: Vec<Column> = spill_cols.iter().map(|c| c.take(rows)).collect();
+            cols.push(Column::from_ints(rows.iter().map(|&r| r as i64).collect()));
+            let bytes = writers[b].append(&Batch::new(spill_schema.clone(), cols)?)?;
+            ctx.memory.record_spill(bytes);
+        }
+    }
+    let handles: Vec<SpillHandle> = writers
+        .into_iter()
+        .map(SpillWriter::finish)
+        .collect::<Result<_, _>>()?;
+
+    // Phase 2 (parallel across buckets): per bucket, rebuild the
+    // per-partition partial tables and merge them in partition order,
+    // remembering each group's first (partition, row).
+    type BucketGroups = (Vec<(u64, i64, GroupEntry)>, usize);
+    let arg_slots = &arg_slots;
+    let per_bucket: Vec<BucketGroups> = par_map(ctx, handles, |handle| {
+        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+        let mut acc: Vec<(u64, i64, GroupEntry)> = Vec::new();
+        let mut partial_rows = 0usize;
+        for (p, rec) in handle.read_all()?.into_iter().enumerate() {
+            let group_cols = rec.columns()[..gw].to_vec();
+            let arg_cols: Vec<Option<Column>> = arg_slots
+                .iter()
+                .map(|s| s.map(|i| rec.column(i).clone()))
+                .collect();
+            let (table, firsts) =
+                accumulate_pre(&group_cols, &arg_cols, aggs, rec.num_rows(), false);
+            let row_ids = rec.column(row_slot).ints().expect("row-id column");
+            partial_rows += table.entries.len();
+            for (i, entry) in table.entries.into_iter().enumerate() {
+                match index.get(&entry.key) {
+                    Some(&j) => {
+                        for (d, s) in acc[j].2.states.iter_mut().zip(entry.states) {
+                            d.merge(s);
+                        }
+                    }
+                    None => {
+                        index.insert(entry.key.clone(), acc.len());
+                        acc.push((p as u64, row_ids[firsts[i]], entry));
+                    }
+                }
+            }
+        }
+        Ok((acc, partial_rows))
+    })?;
+
+    // Interleave buckets back into global first-seen order.
+    let partial_rows = per_bucket.iter().map(|(_, n)| n).sum();
+    let mut flat: Vec<(u64, i64, GroupEntry)> =
+        per_bucket.into_iter().flat_map(|(acc, _)| acc).collect();
+    flat.sort_by_key(|&(p, r, _)| (p, r));
+    let entries: Vec<GroupEntry> = flat.into_iter().map(|(_, _, e)| e).collect();
+    let batch = finish_groups(
+        GroupTable {
+            index: HashMap::new(),
+            entries,
+        },
+        schema,
+    )?;
+    Ok((batch, partial_rows))
+}
+
+// ---------------------------------------------------------------------
+// external (spilling) sort
+// ---------------------------------------------------------------------
+
+/// One run's read state during the k-way merge: a streaming reader plus
+/// the current page. Only one page per run is resident at a time.
+struct RunCursor {
+    reader: SpillReader,
+    page: Option<Batch>,
+    pos: usize,
+}
+
+impl RunCursor {
+    fn open(handle: &SpillHandle) -> Result<RunCursor, CdwError> {
+        let mut cursor = RunCursor {
+            reader: handle.reader()?,
+            page: None,
+            pos: 0,
+        };
+        cursor.load_next_page()?;
+        Ok(cursor)
+    }
+
+    fn load_next_page(&mut self) -> Result<(), CdwError> {
+        self.pos = 0;
+        // Skip zero-row pages defensively (none are written in practice).
+        loop {
+            self.page = self.reader.next_batch()?;
+            match &self.page {
+                Some(p) if p.num_rows() == 0 => continue,
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn advance(&mut self) -> Result<(), CdwError> {
+        self.pos += 1;
+        if let Some(p) = &self.page {
+            if self.pos >= p.num_rows() {
+                self.load_next_page()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Original row id of the cursor's current row (the merge tiebreak).
+    fn row_id(&self, kw: usize) -> i64 {
+        let page = self.page.as_ref().expect("live cursor");
+        page.column(kw).ints().expect("row-id column")[self.pos]
+    }
+}
+
+/// Merge comparator: `(sort keys, original row id)`. Runs cover disjoint
+/// ascending row ranges and each run is sorted stably, so this total
+/// order is exactly what a stable in-memory sort of the whole input
+/// produces. Compares key column by key column on the stack — this runs
+/// once per (output row × live run), so it must not allocate.
+fn cursor_cmp(
+    a: &RunCursor,
+    b: &RunCursor,
+    kw: usize,
+    keys: &[sort::SortKey],
+) -> std::cmp::Ordering {
+    let pa = a.page.as_ref().expect("live cursor");
+    let pb = b.page.as_ref().expect("live cursor");
+    for (k, key) in keys.iter().enumerate() {
+        let ord = sort::compare_rows_pair(
+            &[&pa.columns()[k]],
+            a.pos,
+            &[&pb.columns()[k]],
+            b.pos,
+            std::slice::from_ref(key),
+        );
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.row_id(kw).cmp(&b.row_id(kw))
+}
+
+/// Memory-budgeted sort: spill sorted runs of (key columns, row id) in
+/// pages, then k-way merge the runs into a global row permutation and
+/// gather the input through it.
+fn spilled_sort(
+    batch: &Batch,
+    key_cols: &[Column],
+    sort_keys: &[sort::SortKey],
+    ctx: &ExecCtx,
+    estimate: usize,
+) -> Result<Batch, CdwError> {
+    let rows = batch.num_rows();
+    let nruns = ctx.memory.run_count(estimate, rows);
+    let run_len = rows.div_ceil(nruns);
+    let page_rows = run_len.div_ceil(4).max(1);
+    let kw = key_cols.len();
+
+    let mut fields: Vec<Field> = key_cols
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Field::new(format!("k{i}"), c.dtype()))
+        .collect();
+    fields.push(Field::new("__row", DataType::Int));
+    let spill_schema = Arc::new(Schema::new(fields));
+
+    let refs: Vec<&Column> = key_cols.iter().collect();
+    let mut handles: Vec<SpillHandle> = Vec::with_capacity(nruns);
+    let mut start = 0;
+    while start < rows {
+        let end = (start + run_len).min(rows);
+        let mut idx: Vec<usize> = (start..end).collect();
+        // Stable within the run; runs are disjoint ascending ranges.
+        sort::sort_subset(&refs, sort_keys, &mut idx);
+        let mut writer = SpillWriter::create()?;
+        for chunk in idx.chunks(page_rows) {
+            let mut cols: Vec<Column> = key_cols.iter().map(|c| c.take(chunk)).collect();
+            cols.push(Column::from_ints(chunk.iter().map(|&r| r as i64).collect()));
+            let bytes = writer.append(&Batch::new(spill_schema.clone(), cols)?)?;
+            ctx.memory.record_spill(bytes);
+        }
+        handles.push(writer.finish()?);
+        ctx.memory.record_rounds(1);
+        start = end;
+    }
+
+    let mut cursors: Vec<RunCursor> = handles
+        .iter()
+        .map(RunCursor::open)
+        .collect::<Result<_, _>>()?;
+    let mut merged: Vec<usize> = Vec::with_capacity(rows);
+    loop {
+        let mut best: Option<usize> = None;
+        for i in 0..cursors.len() {
+            if cursors[i].page.is_none() {
+                continue;
+            }
+            best = Some(match best {
+                None => i,
+                Some(j) => {
+                    if cursor_cmp(&cursors[i], &cursors[j], kw, sort_keys)
+                        == std::cmp::Ordering::Less
+                    {
+                        i
+                    } else {
+                        j
+                    }
+                }
+            });
+        }
+        let Some(i) = best else { break };
+        merged.push(cursors[i].row_id(kw) as usize);
+        cursors[i].advance()?;
+    }
+    debug_assert_eq!(merged.len(), rows);
+    Ok(batch.take(&merged))
+}
+
+// ---------------------------------------------------------------------
 // joins
 // ---------------------------------------------------------------------
 
@@ -1033,24 +1557,16 @@ struct JoinBuild {
     table: Option<HashMap<Vec<u8>, Vec<usize>>>,
 }
 
-fn build_join_table(
-    right: &Batch,
-    right_keys: &[PhysExpr],
-    keyed: bool,
-    ctx: &EvalCtx,
-) -> Result<JoinBuild, CdwError> {
+/// Build the in-memory hash table over pre-evaluated right key columns.
+fn build_join_table(right_rows: usize, rcols: &[Column], keyed: bool) -> JoinBuild {
     if !keyed {
-        return Ok(JoinBuild { table: None });
+        return JoinBuild { table: None };
     }
-    let rcols: Vec<Column> = right_keys
-        .iter()
-        .map(|k| eval(k, right, ctx))
-        .collect::<Result<_, _>>()?;
     let rrefs: Vec<&Column> = rcols.iter().collect();
     // SQL join keys never match on NULL.
     let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
     let mut key = Vec::new();
-    for ri in 0..right.num_rows() {
+    for ri in 0..right_rows {
         if rrefs.iter().any(|c| c.is_null(ri)) {
             continue;
         }
@@ -1058,7 +1574,7 @@ fn build_join_table(
         hash::encode_key(&rrefs, ri, &mut key);
         table.entry(key.clone()).or_default().push(ri);
     }
-    Ok(JoinBuild { table: Some(table) })
+    JoinBuild { table: Some(table) }
 }
 
 /// Join one left partition against the shared build side. Returns the
@@ -1110,6 +1626,25 @@ fn probe_partition(
             }
         }
     }
+    assemble_join_output(left, right, pairs, kind, residual, schema, ctx)
+}
+
+/// Turn candidate `(left, right)` pairs into this partition's output
+/// batch: residual filtering, LEFT/FULL null-extension of unmatched left
+/// rows, and column assembly. Shared by the in-memory probe and the
+/// Grace-spilled join (which feeds pairs sorted into the same
+/// `(left row, right row)` order the in-memory probe emits), so both
+/// paths produce byte-identical partition outputs.
+fn assemble_join_output(
+    left: &Batch,
+    right: &Batch,
+    mut pairs: Vec<(usize, usize)>,
+    kind: JoinKind,
+    residual: Option<&PhysExpr>,
+    schema: &Arc<Schema>,
+    ctx: &EvalCtx,
+) -> Result<(Batch, Vec<usize>), CdwError> {
+    let lrows = left.num_rows();
 
     // Residual filtering on the candidate pairs.
     if let Some(pred) = residual {
@@ -1206,6 +1741,180 @@ fn hstack(schema: &Arc<Schema>, left: &Batch, right: &Batch) -> Result<Batch, Cd
     Batch::new(schema.clone(), cols).map_err(CdwError::from)
 }
 
+/// Row-page size for Grace bucket routing (bounds the transient per-page
+/// bucket index lists, not correctness).
+const GRACE_PAGE_ROWS: usize = 8192;
+
+/// Route one side's key material into per-bucket spill files. Each record
+/// holds the key columns plus the global row index (and, when `part` is
+/// given, a constant partition-id column for the probe side). Rows whose
+/// key contains NULL are skipped — they can never match, and the
+/// LEFT/FULL unmatched sweeps pick them up downstream exactly as in the
+/// in-memory path.
+fn spill_key_material(
+    writers: &mut [SpillWriter],
+    key_cols: &[Column],
+    rows: usize,
+    spill_schema: &Arc<Schema>,
+    part: Option<usize>,
+    ctx: &ExecCtx,
+) -> Result<(), CdwError> {
+    let nbuckets = writers.len();
+    let refs: Vec<&Column> = key_cols.iter().collect();
+    let mut key = Vec::new();
+    let mut start = 0;
+    while start < rows {
+        let end = (start + GRACE_PAGE_ROWS).min(rows);
+        let mut route: Vec<Vec<usize>> = vec![Vec::new(); nbuckets];
+        for row in start..end {
+            if refs.iter().any(|c| c.is_null(row)) {
+                continue;
+            }
+            key.clear();
+            hash::encode_key(&refs, row, &mut key);
+            route[key_bucket(&key, nbuckets)].push(row);
+        }
+        for (b, idx) in route.iter().enumerate() {
+            if idx.is_empty() {
+                continue;
+            }
+            let mut cols: Vec<Column> = key_cols.iter().map(|c| c.take(idx)).collect();
+            cols.push(Column::from_ints(idx.iter().map(|&r| r as i64).collect()));
+            if let Some(p) = part {
+                cols.push(Column::from_ints(vec![p as i64; idx.len()]));
+            }
+            let bytes = writers[b].append(&Batch::new(spill_schema.clone(), cols)?)?;
+            ctx.memory.record_spill(bytes);
+        }
+        start = end;
+    }
+    Ok(())
+}
+
+/// Grace-style memory-budgeted hash join: both sides' key material is
+/// hash-partitioned into spilled bucket files; one bucket's build table
+/// is resident at a time. Matched pairs carry global row indices, so
+/// sorting each probe partition's pairs by `(left row, right row)`
+/// restores exactly the order the in-memory probe emits (per-key right
+/// matches accumulate in ascending right-row order on both paths), and
+/// the shared [`assemble_join_output`] does the rest. Returns one
+/// `(batch, matched right rows)` per left partition, like the in-memory
+/// probe fan-out.
+#[allow(clippy::too_many_arguments)]
+fn spilled_join(
+    lparts: &[Batch],
+    right: &Arc<Batch>,
+    rcols: &[Column],
+    kind: JoinKind,
+    left_keys: &[PhysExpr],
+    residual: Option<&PhysExpr>,
+    schema: &Arc<Schema>,
+    ctx: &ExecCtx,
+    estimate: usize,
+) -> Result<Vec<(Batch, Vec<usize>)>, CdwError> {
+    let nbuckets = ctx.memory.bucket_count(estimate);
+    ctx.memory.record_rounds(nbuckets);
+    let kw = rcols.len();
+
+    // Build-side files: [key cols..., __idx].
+    let mut bfields: Vec<Field> = rcols
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Field::new(format!("k{i}"), c.dtype()))
+        .collect();
+    bfields.push(Field::new("__idx", DataType::Int));
+    let bschema = Arc::new(Schema::new(bfields.clone()));
+    let mut bwriters: Vec<SpillWriter> = (0..nbuckets)
+        .map(|_| SpillWriter::create())
+        .collect::<Result<_, _>>()?;
+    spill_key_material(&mut bwriters, rcols, right.num_rows(), &bschema, None, ctx)?;
+    let bhandles: Vec<SpillHandle> = bwriters
+        .into_iter()
+        .map(SpillWriter::finish)
+        .collect::<Result<_, _>>()?;
+
+    // Probe-side files: [key cols..., __idx, __part], appended in
+    // partition order.
+    let mut pwriters: Vec<SpillWriter> = (0..nbuckets)
+        .map(|_| SpillWriter::create())
+        .collect::<Result<_, _>>()?;
+    for (p, left) in lparts.iter().enumerate() {
+        let lcols: Vec<Column> = left_keys
+            .iter()
+            .map(|k| eval(k, left, &ctx.eval))
+            .collect::<Result<_, _>>()?;
+        let mut pfields: Vec<Field> = lcols
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Field::new(format!("k{i}"), c.dtype()))
+            .collect();
+        pfields.push(Field::new("__idx", DataType::Int));
+        pfields.push(Field::new("__part", DataType::Int));
+        let pschema = Arc::new(Schema::new(pfields));
+        spill_key_material(
+            &mut pwriters,
+            &lcols,
+            left.num_rows(),
+            &pschema,
+            Some(p),
+            ctx,
+        )?;
+    }
+    let phandles: Vec<SpillHandle> = pwriters
+        .into_iter()
+        .map(SpillWriter::finish)
+        .collect::<Result<_, _>>()?;
+
+    // One bucket at a time: rebuild that bucket's hash table, probe its
+    // spilled probe rows, collect global (left, right) pairs per
+    // partition.
+    let mut pairs_per_part: Vec<Vec<(usize, usize)>> = vec![Vec::new(); lparts.len()];
+    for (bh, ph) in bhandles.iter().zip(&phandles) {
+        let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+        let mut key = Vec::new();
+        let mut reader = bh.reader()?;
+        while let Some(rec) = reader.next_batch()? {
+            let refs: Vec<&Column> = rec.columns()[..kw].iter().collect();
+            let idx = rec.column(kw).ints().expect("__idx column");
+            for (row, &ri) in idx.iter().enumerate() {
+                key.clear();
+                hash::encode_key(&refs, row, &mut key);
+                table.entry(key.clone()).or_default().push(ri as usize);
+            }
+        }
+        let mut reader = ph.reader()?;
+        while let Some(rec) = reader.next_batch()? {
+            let refs: Vec<&Column> = rec.columns()[..kw].iter().collect();
+            let idx = rec.column(kw).ints().expect("__idx column");
+            let parts = rec.column(kw + 1).ints().expect("__part column");
+            for (row, &li) in idx.iter().enumerate() {
+                key.clear();
+                hash::encode_key(&refs, row, &mut key);
+                if let Some(matches) = table.get(&key) {
+                    let out = &mut pairs_per_part[parts[row] as usize];
+                    for &ri in matches {
+                        out.push((li as usize, ri));
+                    }
+                }
+            }
+        }
+    }
+
+    // Restore in-memory probe order, then assemble (parallel across
+    // partitions, like the in-memory fan-out).
+    let items: Vec<(Batch, Vec<(usize, usize)>)> = lparts
+        .iter()
+        .cloned()
+        .zip(pairs_per_part.into_iter().map(|mut pairs| {
+            pairs.sort_unstable();
+            pairs
+        }))
+        .collect();
+    par_map(ctx, items, |(left, pairs)| {
+        assemble_join_output(&left, right, pairs, kind, residual, schema, &ctx.eval)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1231,6 +1940,7 @@ mod tests {
             results: &results,
             eval: EvalCtx::default(),
             parallelism: 4,
+            memory: ExecMemoryTracker::new(None),
         };
         let seen = Mutex::new(HashSet::new());
         let out = par_map(&ctx, int_parts(8), |b| {
@@ -1252,6 +1962,7 @@ mod tests {
             results: &results,
             eval: EvalCtx::default(),
             parallelism: 1,
+            memory: ExecMemoryTracker::new(None),
         };
         let caller = std::thread::current().id();
         par_map(&ctx, int_parts(4), |_| {

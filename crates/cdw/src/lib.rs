@@ -17,7 +17,13 @@
 //!   knob), with partial aggregate states merged associatively in
 //!   partition order so results are bit-identical at any parallelism —
 //!   this is the stand-in for the CDW elasticity the paper leans on,
-//! * per-operator execution stats (`ExecStats`/`OpStats`, rendered by
+//! * memory-budgeted out-of-core execution: an `ExecMemoryTracker`
+//!   (`WarehouseConfig::memory_budget`) spills aggregation hash tables,
+//!   sort runs, and hash-join build sides to disk when they would exceed
+//!   the per-operator budget — with results bit-identical to in-memory
+//!   execution at any budget and parallelism,
+//! * per-operator execution stats (`ExecStats`/`OpStats`, plus
+//!   `spilled_bytes`/`spill_rounds`, rendered by
 //!   `Warehouse::explain_analyze`) for attributing query time,
 //! * DDL/DML (materialization, CSV upload, editable-table edit propagation),
 //! * persisted result sets addressable by query id (`RESULT_SCAN`), which
@@ -39,5 +45,5 @@ pub mod storage;
 pub mod window;
 
 pub use error::CdwError;
-pub use exec::{ExecStats, OpStats};
+pub use exec::{ExecMemoryTracker, ExecStats, OpStats};
 pub use session::{ResultSet, Warehouse, WarehouseConfig};

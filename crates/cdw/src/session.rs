@@ -30,6 +30,12 @@ pub struct WarehouseConfig {
     pub now_micros: i64,
     /// How many recent result sets to keep addressable via RESULT_SCAN.
     pub max_persisted_results: usize,
+    /// Per-operator execution memory budget in bytes (`None` =
+    /// unbounded). When an aggregation hash table, sort run, or hash-join
+    /// build side would exceed it, the operator runs out-of-core via
+    /// spill files — with bit-identical results (see
+    /// [`crate::exec::ExecMemoryTracker`]).
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for WarehouseConfig {
@@ -39,6 +45,7 @@ impl Default for WarehouseConfig {
             query_overhead: Duration::ZERO,
             now_micros: EvalCtx::default().now_micros,
             max_persisted_results: 256,
+            memory_budget: None,
         }
     }
 }
@@ -58,6 +65,11 @@ pub struct ResultSet {
     /// pre-order; empty for DDL/DML. Render via [`Warehouse::explain_analyze`]
     /// or inspect directly for time attribution.
     pub operators: Vec<OpStats>,
+    /// Bytes this query wrote to spill files (0 when every operator fit
+    /// the memory budget, always 0 when unbudgeted).
+    pub spilled_bytes: usize,
+    /// Spill rounds taken (aggregation/join bucket passes + sort runs).
+    pub spill_rounds: usize,
 }
 
 /// An in-process cloud data warehouse.
@@ -104,6 +116,18 @@ impl Warehouse {
 
     pub fn set_parallelism(&self, parallelism: usize) {
         self.config.write().parallelism = parallelism.max(1);
+    }
+
+    /// Set the per-operator execution memory budget (`None` = unbounded).
+    /// Operators whose state would exceed it spill to disk; results stay
+    /// bit-identical at any budget.
+    pub fn set_memory_budget(&self, budget: Option<usize>) {
+        self.config.write().memory_budget = budget;
+    }
+
+    /// The configured per-operator memory budget.
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.config.read().memory_budget
     }
 
     pub fn set_query_overhead(&self, overhead: Duration) {
@@ -211,6 +235,8 @@ impl Warehouse {
                     elapsed: started.elapsed(),
                     rows_affected: 0,
                     operators: std::mem::take(&mut stats.operators),
+                    spilled_bytes: stats.spilled_bytes,
+                    spill_rounds: stats.spill_rounds,
                 }
             }
             Statement::CreateTable {
@@ -243,6 +269,8 @@ impl Warehouse {
                 )?;
                 ResultSet {
                     rows_affected: rows,
+                    spilled_bytes: stats.spilled_bytes,
+                    spill_rounds: stats.spill_rounds,
                     ..self.empty_result(started)
                 }
             }
@@ -259,6 +287,8 @@ impl Warehouse {
                 stored.append(batch)?;
                 ResultSet {
                     rows_affected: rows,
+                    spilled_bytes: stats.spilled_bytes,
+                    spill_rounds: stats.spill_rounds,
                     ..self.empty_result(started)
                 }
             }
@@ -331,11 +361,13 @@ impl Warehouse {
         let planner = Planner::new(&catalog, &results);
         let plan = planner.plan_query(q)?;
         let plan = optimize(plan, &self.eval_ctx())?;
+        let config = self.config.read().clone();
         let ctx = ExecCtx {
             catalog: &catalog,
             results: &results,
             eval: self.eval_ctx(),
-            parallelism: self.config.read().parallelism,
+            parallelism: config.parallelism,
+            memory: crate::exec::ExecMemoryTracker::new(config.memory_budget),
         };
         execute(&plan, &ctx, stats)
     }
@@ -436,6 +468,8 @@ impl Warehouse {
             elapsed: started.elapsed(),
             rows_affected: 0,
             operators: Vec::new(),
+            spilled_bytes: 0,
+            spill_rounds: 0,
         }
     }
 

@@ -1,0 +1,441 @@
+//! Golden SQL snapshots: compiler drift becomes a visible diff.
+//!
+//! Each case compiles one representative workbook element graph and
+//! renders (a) the flattened SQL the warehouse receives and (b) every
+//! `StagePlan` node's canonical standalone SQL with its input wiring —
+//! then diffs the result against a checked-in snapshot under
+//! `tests/golden/`. Any change to the emitted SQL (new parenthesization,
+//! different CTE split, renamed stage, reordered columns) fails with the
+//! differing lines instead of silently changing what customers' CDWs
+//! execute — exactly the regression class a formula-to-SQL compiler is
+//! most exposed to.
+//!
+//! To intentionally change the output, regenerate and review the diff:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sigma-core --test compile_golden
+//! git diff crates/core/tests/golden/
+//! ```
+
+use std::sync::Arc;
+
+use sigma_cdw::Warehouse;
+use sigma_core::controls::ControlSpec;
+use sigma_core::schema::{CompiledQuery, SchemaProvider};
+use sigma_core::table::{ColumnDef, DataSource, FilterPredicate, FilterSpec, Level, TableSpec};
+use sigma_core::{CompileOptions, Compiler, ElementKind, StagePlan, Workbook};
+use sigma_value::{calendar, Batch, Column, DataType, Field, Schema, Value};
+
+struct WhSchemas<'a>(&'a Warehouse);
+
+impl SchemaProvider for WhSchemas<'_> {
+    fn table_schema(&self, table: &str) -> Option<Arc<Schema>> {
+        self.0.table_schema(table)
+    }
+    fn query_schema(&self, sql: &str) -> Option<Arc<Schema>> {
+        self.0.query_schema(sql).ok()
+    }
+}
+
+fn d(y: i32, m: u32, dd: u32) -> i32 {
+    calendar::days_from_civil(y, m, dd)
+}
+
+/// Same tiny deterministic warehouse as the compiler's semantic tests;
+/// only the *schemas* matter for snapshot stability (no data-dependent
+/// SQL is snapshotted — pivot headers are passed as fixed values).
+fn warehouse() -> Warehouse {
+    let wh = Warehouse::default();
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("tail_number", DataType::Text),
+        Field::new("flight_date", DataType::Date),
+        Field::new("dep_delay", DataType::Float),
+        Field::new("cancelled", DataType::Bool),
+        Field::new("origin", DataType::Text),
+        Field::new("air_time", DataType::Float),
+    ]));
+    let batch = Batch::new(
+        schema,
+        vec![
+            Column::from_texts(vec!["N1".into(), "N2".into()]),
+            Column::from_dates(vec![d(2019, 1, 5), d(2019, 4, 10)]),
+            Column::from_opt_floats(vec![Some(5.0), None]),
+            Column::from_bools(vec![false, true]),
+            Column::from_texts(vec!["ORD".into(), "JFK".into()]),
+            Column::from_floats(vec![120.0, 200.0]),
+        ],
+    )
+    .unwrap();
+    wh.load_table("flights", batch).unwrap();
+    let airports = Batch::new(
+        Arc::new(Schema::new(vec![
+            Field::new("code", DataType::Text),
+            Field::new("city", DataType::Text),
+        ])),
+        vec![
+            Column::from_texts(vec!["ORD".into()]),
+            Column::from_texts(vec!["Chicago".into()]),
+        ],
+    )
+    .unwrap();
+    wh.load_table("airports", airports).unwrap();
+    wh
+}
+
+fn flights_table() -> TableSpec {
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
+    t.add_column(ColumnDef::source("Tail Number", "tail_number"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Flight Date", "flight_date"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Dep Delay", "dep_delay"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Cancelled", "cancelled"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Origin", "origin")).unwrap();
+    t
+}
+
+/// Render the full snapshot: flattened SQL, then every stage's canonical
+/// standalone SQL with its DAG wiring.
+fn render(compiled: &CompiledQuery) -> String {
+    let mut out = String::new();
+    out.push_str("== flattened ==\n");
+    out.push_str(compiled.sql.trim_end());
+    out.push('\n');
+    for node in &compiled.stages.nodes {
+        let inputs: Vec<&str> = node
+            .inputs
+            .iter()
+            .map(|&i| compiled.stages.nodes[i].name.as_str())
+            .collect();
+        let tables = node.tables.join(", ");
+        out.push_str(&format!(
+            "\n== stage {} (inputs: [{}] tables: [{}]) ==\n",
+            node.name,
+            inputs.join(", "),
+            tables
+        ));
+        out.push_str(node.sql.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Diff `actual` against `tests/golden/<name>.snap` (or rewrite it when
+/// `UPDATE_GOLDEN` is set).
+fn check(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}.snap", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing snapshot {path}: {e}\nregenerate with UPDATE_GOLDEN=1")
+    });
+    if expected != actual {
+        let mut diff = String::new();
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            if e != a {
+                diff.push_str(&format!("line {}:\n  golden: {e}\n  actual: {a}\n", i + 1));
+            }
+        }
+        let (elen, alen) = (expected.lines().count(), actual.lines().count());
+        if elen != alen {
+            diff.push_str(&format!(
+                "line counts differ: golden {elen}, actual {alen}\n"
+            ));
+        }
+        panic!(
+            "compiled SQL drifted from golden snapshot {name}:\n{diff}\n\
+             full output:\n{actual}\n\
+             if intentional: UPDATE_GOLDEN=1 cargo test -p sigma-core --test compile_golden"
+        );
+    }
+}
+
+fn compile_and_check(name: &str, wb: &Workbook, element: &str) {
+    compile_with_options(name, wb, element, CompileOptions::default());
+}
+
+fn compile_with_options(name: &str, wb: &Workbook, element: &str, options: CompileOptions) {
+    let wh = warehouse();
+    let schemas = WhSchemas(&wh);
+    let compiler = Compiler::new(wb, &schemas, options);
+    let compiled = compiler
+        .compile_element(element)
+        .unwrap_or_else(|e| panic!("compile {element}: {e}"));
+    // The snapshot must describe SQL the warehouse actually accepts.
+    wh.execute_sql(&compiled.sql)
+        .unwrap_or_else(|e| panic!("snapshot SQL must execute: {e}\n{}", compiled.sql));
+    check(name, &render(&compiled));
+}
+
+#[test]
+fn golden_filter_and_formula() {
+    let mut wb = Workbook::new(Some("g"));
+    let mut t = flights_table();
+    t.add_column(ColumnDef::formula("Is Late", "[Dep Delay] > 15", 0))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Delay Hours", "[Dep Delay] / 60", 0))
+        .unwrap();
+    t.filters.push(FilterSpec {
+        column: "Origin".into(),
+        predicate: FilterPredicate::OneOf(vec![
+            Value::Text("ORD".into()),
+            Value::Text("JFK".into()),
+        ]),
+    });
+    wb.add_element(0, "Flights", ElementKind::Table(t)).unwrap();
+    compile_and_check("filter_and_formula", &wb, "Flights");
+}
+
+#[test]
+fn golden_grouped_aggregates() {
+    let mut wb = Workbook::new(Some("g"));
+    let mut t = flights_table();
+    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Flights", "Count()", 1))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Avg Delay", "Avg([Dep Delay])", 1))
+        .unwrap();
+    t.detail_level = 1;
+    wb.add_element(0, "ByPlane", ElementKind::Table(t)).unwrap();
+    compile_and_check("grouped_aggregates", &wb, "ByPlane");
+}
+
+#[test]
+fn golden_multikey_grouping_with_aggregate_filter() {
+    let mut wb = Workbook::new(Some("g"));
+    let mut t = flights_table();
+    t.add_level(
+        1,
+        Level::keyed(
+            "By Plane Origin",
+            vec!["Tail Number".into(), "Origin".into()],
+        ),
+    )
+    .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Cancellations",
+        "CountIf([Cancelled])",
+        1,
+    ))
+    .unwrap();
+    t.filters.push(FilterSpec {
+        column: "Cancellations".into(),
+        predicate: FilterPredicate::Range {
+            min: Some(Value::Int(1)),
+            max: None,
+        },
+    });
+    wb.add_element(0, "F", ElementKind::Table(t)).unwrap();
+    compile_and_check("multikey_grouping_with_aggregate_filter", &wb, "F");
+}
+
+#[test]
+fn golden_summary_cross_level_percent() {
+    let mut wb = Workbook::new(Some("g"));
+    let mut t = flights_table();
+    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Plane Delay", "Sum([Dep Delay])", 1))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Total Delay", "Sum([Dep Delay])", 2))
+        .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Share",
+        "[Plane Delay] / [Total Delay]",
+        1,
+    ))
+    .unwrap();
+    t.detail_level = 1;
+    wb.add_element(0, "Shares", ElementKind::Table(t)).unwrap();
+    compile_and_check("summary_cross_level_percent", &wb, "Shares");
+}
+
+#[test]
+fn golden_window_functions() {
+    let mut wb = Workbook::new(Some("g"));
+    let mut t = flights_table();
+    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
+    t.levels[0] = Level::base().with_ordering("Flight Date", false);
+    t.add_column(ColumnDef::formula("Prev Date", "Lag([Flight Date], 1)", 0))
+        .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Gap Days",
+        "DateDiff(\"day\", Lag([Flight Date], 1), [Flight Date])",
+        0,
+    ))
+    .unwrap();
+    wb.add_element(0, "Session", ElementKind::Table(t)).unwrap();
+    compile_and_check("window_functions", &wb, "Session");
+}
+
+#[test]
+fn golden_rollup_self_join() {
+    let mut wb = Workbook::new(Some("g"));
+    let mut t = flights_table();
+    t.add_column(ColumnDef::formula(
+        "First Flight",
+        "Rollup(Min([Flights/Flight Date]), [Tail Number], [Flights/Tail Number])",
+        0,
+    ))
+    .unwrap();
+    wb.add_element(0, "Flights", ElementKind::Table(t)).unwrap();
+    compile_and_check("rollup_self_join", &wb, "Flights");
+}
+
+#[test]
+fn golden_lookup_join() {
+    let mut wb = Workbook::new(Some("g"));
+    let mut airports = TableSpec::new(DataSource::WarehouseTable {
+        table: "airports".into(),
+    });
+    airports
+        .add_column(ColumnDef::source("Code", "code"))
+        .unwrap();
+    airports
+        .add_column(ColumnDef::source("City", "city"))
+        .unwrap();
+    wb.add_element(0, "Airports", ElementKind::Table(airports))
+        .unwrap();
+    let mut t = flights_table();
+    t.add_column(ColumnDef::formula(
+        "Origin City",
+        "Lookup([Airports/City], [Origin], [Airports/Code])",
+        0,
+    ))
+    .unwrap();
+    wb.add_element(0, "Flights", ElementKind::Table(t)).unwrap();
+    compile_and_check("lookup_join", &wb, "Flights");
+}
+
+#[test]
+fn golden_control_binding() {
+    let mut wb = Workbook::new(Some("g"));
+    wb.add_element(
+        0,
+        "Min Delay",
+        ElementKind::Control(ControlSpec::slider(0.0, 120.0, 5.0, 20.0)),
+    )
+    .unwrap();
+    let mut t = flights_table();
+    t.add_column(ColumnDef::formula("Over", "[Dep Delay] >= [Min Delay]", 0))
+        .unwrap();
+    wb.add_element(0, "Flights", ElementKind::Table(t)).unwrap();
+    compile_and_check("control_binding", &wb, "Flights");
+}
+
+#[test]
+fn golden_element_chain_and_materialization() {
+    let mut wb = Workbook::new(Some("g"));
+    let mut base = flights_table();
+    base.add_column(ColumnDef::formula("Is Late", "[Dep Delay] > 15", 0))
+        .unwrap();
+    wb.add_element(0, "Flights", ElementKind::Table(base))
+        .unwrap();
+    let mut derived = TableSpec::new(DataSource::Element {
+        name: "Flights".into(),
+    });
+    derived
+        .add_column(ColumnDef::source("Tail Number", "Tail Number"))
+        .unwrap();
+    derived
+        .add_column(ColumnDef::source("Is Late", "Is Late"))
+        .unwrap();
+    derived
+        .add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
+    derived
+        .add_column(ColumnDef::formula("Late Flights", "CountIf([Is Late])", 1))
+        .unwrap();
+    derived.detail_level = 1;
+    wb.add_element(0, "LateByPlane", ElementKind::Table(derived))
+        .unwrap();
+    // Un-substituted: the chain inlines as nested stages.
+    compile_and_check("element_chain", &wb, "LateByPlane");
+    // With materialized-view substitution the source collapses to a scan.
+    let wh = warehouse();
+    wh.execute_sql(
+        "CREATE OR REPLACE TABLE mat_flights AS SELECT tail_number AS \"Tail Number\", \
+         dep_delay > 15 AS \"Is Late\" FROM flights",
+    )
+    .unwrap();
+    let schemas = WhSchemas(&wh);
+    let options = CompileOptions::default().with_materialization("Flights", "mat_flights");
+    let compiled = Compiler::new(&wb, &schemas, options)
+        .compile_element("LateByPlane")
+        .unwrap();
+    wh.execute_sql(&compiled.sql).unwrap();
+    check("element_chain_materialized", &render(&compiled));
+}
+
+#[test]
+fn golden_viz() {
+    let mut wb = Workbook::new(Some("g"));
+    let viz = sigma_core::viz::VizSpec::new(
+        DataSource::WarehouseTable {
+            table: "flights".into(),
+        },
+        sigma_core::viz::Mark::Bar,
+    )
+    .encode(sigma_core::viz::Channel::X, "Origin", "[origin]")
+    .encode(sigma_core::viz::Channel::Y, "Flights", "Count()");
+    wb.add_element(0, "Chart", ElementKind::Viz(viz)).unwrap();
+    compile_and_check("viz_bar", &wb, "Chart");
+}
+
+#[test]
+fn golden_pivot() {
+    let mut wb = Workbook::new(Some("g"));
+    let pivot = sigma_core::pivot::PivotSpec::new(
+        DataSource::WarehouseTable {
+            table: "flights".into(),
+        },
+        vec![("Origin".into(), "[origin]".into())],
+        ("Quarter".into(), "Quarter([flight_date])".into()),
+        vec![("Flights".into(), "Count()".into())],
+    );
+    wb.add_element(0, "P", ElementKind::Pivot(pivot)).unwrap();
+    let wh = warehouse();
+    let schemas = WhSchemas(&wh);
+    let compiler = Compiler::new(&wb, &schemas, CompileOptions::default());
+    // Header discovery SQL plus the pivot compiled for a fixed header set
+    // (data-independent, so the snapshot never depends on table contents).
+    let discovery = compiler.pivot_discovery_query("P").unwrap();
+    wh.execute_sql(&discovery.sql).unwrap();
+    let headers = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+    let compiled = compiler.compile_pivot("P", &headers).unwrap();
+    wh.execute_sql(&compiled.sql).unwrap();
+    let mut out = String::from("== discovery ==\n");
+    out.push_str(discovery.sql.trim_end());
+    out.push('\n');
+    out.push_str(&render(&compiled));
+    check("pivot_two_phase", &out);
+}
+
+/// The snapshots describe stage DAGs the service caches by fingerprint —
+/// sanity-check the sink invariant the directory relies on.
+#[test]
+fn golden_snapshots_cover_multi_stage_plans() {
+    let mut wb = Workbook::new(Some("g"));
+    let mut t = flights_table();
+    t.add_level(1, Level::keyed("By Plane", vec!["Tail Number".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Flights", "Count()", 1))
+        .unwrap();
+    t.detail_level = 1;
+    wb.add_element(0, "ByPlane", ElementKind::Table(t)).unwrap();
+    let wh = warehouse();
+    let schemas = WhSchemas(&wh);
+    let compiled = Compiler::new(&wb, &schemas, CompileOptions::default())
+        .compile_element("ByPlane")
+        .unwrap();
+    assert!(compiled.stages.nodes.len() > 2);
+    assert_eq!(compiled.stages.nodes.last().unwrap().name, StagePlan::SINK);
+}

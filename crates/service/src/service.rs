@@ -165,6 +165,30 @@ impl SigmaService {
         ))
     }
 
+    /// Set the per-operator execution memory budget of one connection's
+    /// warehouse (`None` = unbounded). Queries on the connection whose
+    /// aggregation/sort/join state would exceed the budget run out-of-core
+    /// with spill files — results stay bit-identical, so flipping the knob
+    /// is always safe. Returns false for an unknown connection.
+    pub fn set_connection_memory_budget(&self, connection: &str, budget: Option<usize>) -> bool {
+        match self.connections.read().get(connection) {
+            Some(c) => {
+                c.warehouse.set_memory_budget(budget);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The per-operator memory budget currently configured on a
+    /// connection's warehouse (`None` = unbounded or unknown connection).
+    pub fn connection_memory_budget(&self, connection: &str) -> Option<usize> {
+        self.connections
+            .read()
+            .get(connection)
+            .and_then(|c| c.warehouse.memory_budget())
+    }
+
     /// Cache statistics for a connection (experiment E4/E6 observables).
     pub fn directory_stats(&self, connection: &str) -> Option<DirectoryStats> {
         self.connections

@@ -12,7 +12,7 @@ use crate::types::{DataType, Value};
 
 /// Physical storage for one column.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum ColumnData {
+pub(crate) enum ColumnData {
     Bool(Vec<bool>),
     Int(Vec<i64>),
     Float(Vec<f64>),
@@ -352,17 +352,61 @@ impl Column {
         seen.len()
     }
 
-    /// Approximate heap footprint in bytes (used by cache budgets).
+    /// Per-string fixed cost in [`Column::byte_size`]: the `String` struct
+    /// itself (ptr + len + cap) that lives inside the `Vec<String>` buffer.
+    pub const STRING_FIXED_BYTES: usize = std::mem::size_of::<String>();
+
+    /// Fixed per-column overhead in [`Column::byte_size`]: the
+    /// heap-allocated `ColumnData` enum behind the `Arc` (discriminant +
+    /// inline `Vec` header) plus the two `Arc` control blocks' strong/weak
+    /// counters.
+    pub const FIXED_BYTES: usize = std::mem::size_of::<ColumnData>() + 2 * 16;
+
+    /// Heap footprint in bytes, the figure cache/memory budgets charge.
+    ///
+    /// The accounting is deliberately complete — decisions like "does this
+    /// operator state fit in the execution memory budget" are only as good
+    /// as the estimate feeding them:
+    ///
+    /// * fixed-width payloads at their physical width (`Int`/`Timestamp` 8,
+    ///   `Float` 8, `Date` 4, `Bool` 1 — `Vec<bool>` stores one byte per
+    ///   element),
+    /// * the **string heap**: each string's byte length *plus* the
+    ///   [`Column::STRING_FIXED_BYTES`] `String` struct occupying the vec
+    ///   slot (an empty string still costs its slot),
+    /// * the **null bitmap**: one byte per row when a validity mask is
+    ///   present (`Vec<bool>`),
+    /// * [`Column::FIXED_BYTES`] of per-column container overhead.
     pub fn byte_size(&self) -> usize {
         let base = match self.data.as_ref() {
             ColumnData::Bool(v) => v.len(),
             ColumnData::Int(v) => v.len() * 8,
             ColumnData::Float(v) => v.len() * 8,
-            ColumnData::Text(v) => v.iter().map(|s| s.len() + 24).sum(),
+            ColumnData::Text(v) => v.iter().map(|s| s.len() + Self::STRING_FIXED_BYTES).sum(),
             ColumnData::Date(v) => v.len() * 4,
             ColumnData::Timestamp(v) => v.len() * 8,
         };
-        base + self.validity.as_ref().map_or(0, |m| m.len())
+        Self::FIXED_BYTES + base + self.validity.as_ref().map_or(0, |m| m.len())
+    }
+
+    /// Crate-internal raw view for the binary codec: physical data
+    /// (including the arbitrary defaults stored in null slots, which must
+    /// round-trip bit-exactly) plus the validity mask.
+    pub(crate) fn raw_parts(&self) -> (&ColumnData, Option<&[bool]>) {
+        (
+            self.data.as_ref(),
+            self.validity.as_ref().map(|m| m.as_slice()),
+        )
+    }
+
+    /// Crate-internal constructor from raw storage (the codec's decode
+    /// path). `validity` is taken verbatim — no all-true normalization —
+    /// so `decode(encode(c))` reproduces `c` exactly.
+    pub(crate) fn from_raw(data: ColumnData, validity: Option<Vec<bool>>) -> Column {
+        Column {
+            data: std::sync::Arc::new(data),
+            validity: validity.map(std::sync::Arc::new),
+        }
     }
 }
 
@@ -508,6 +552,41 @@ impl ColumnBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `byte_size` must charge the null bitmap and the string heap, not
+    /// just raw payload width — budget decisions depend on it. The
+    /// expected figures are computed by hand from the documented formula.
+    #[test]
+    #[allow(clippy::identity_op)] // per-string terms spelled out row by row
+    fn byte_size_known_columns() {
+        // 4 ints, no nulls: fixed + 4*8.
+        let ints = Column::from_ints(vec![1, 2, 3, 4]);
+        assert_eq!(ints.byte_size(), Column::FIXED_BYTES + 32);
+
+        // 3 ints with a null: fixed + 3*8 payload + 3-byte validity bitmap.
+        let opt = Column::from_opt_ints(vec![Some(1), None, Some(3)]);
+        assert_eq!(opt.byte_size(), Column::FIXED_BYTES + 24 + 3);
+
+        // Strings: each costs its byte length plus the String struct in
+        // the vec slot; the null slot holds an empty string but still pays
+        // its slot, and the mask adds one byte per row.
+        let texts =
+            Column::from_opt_texts(vec![Some("ab".to_string()), None, Some("xyz".to_string())]);
+        assert_eq!(
+            texts.byte_size(),
+            Column::FIXED_BYTES + Column::STRING_FIXED_BYTES * 3 + (2 + 0 + 3) + 3
+        );
+
+        // Dates are 4 bytes, bools 1 byte (Vec<bool> is byte-per-element).
+        assert_eq!(
+            Column::from_dates(vec![0, 1]).byte_size(),
+            Column::FIXED_BYTES + 8
+        );
+        assert_eq!(
+            Column::from_bools(vec![true, false, true]).byte_size(),
+            Column::FIXED_BYTES + 3
+        );
+    }
 
     #[test]
     fn build_and_read_with_nulls() {

@@ -29,9 +29,23 @@ impl SortKey {
 
 /// Compare row `a` vs row `b` under the given keys.
 pub fn compare_rows(columns: &[&Column], keys: &[SortKey], a: usize, b: usize) -> Ordering {
-    for (col, key) in columns.iter().zip(keys) {
-        let an = col.is_null(a);
-        let bn = col.is_null(b);
+    compare_rows_pair(columns, a, columns, b, keys)
+}
+
+/// Compare row `a` of one column set against row `b` of a *different*,
+/// type-aligned column set under the given keys — the k-way merge
+/// comparator of the external sort, where each run's keys live in that
+/// run's own spilled page.
+pub fn compare_rows_pair(
+    a_cols: &[&Column],
+    a: usize,
+    b_cols: &[&Column],
+    b: usize,
+    keys: &[SortKey],
+) -> Ordering {
+    for ((acol, bcol), key) in a_cols.iter().zip(b_cols).zip(keys) {
+        let an = acol.is_null(a);
+        let bn = bcol.is_null(b);
         let ord = match (an, bn) {
             (true, true) => Ordering::Equal,
             (true, false) => {
@@ -49,7 +63,7 @@ pub fn compare_rows(columns: &[&Column], keys: &[SortKey], a: usize, b: usize) -
                 }
             }
             (false, false) => {
-                let ord = col.value(a).total_cmp(&col.value(b));
+                let ord = acol.value(a).total_cmp(&bcol.value(b));
                 if key.descending {
                     ord.reverse()
                 } else {
@@ -111,6 +125,24 @@ mod tests {
         let c = Column::from_ints(vec![7, 7, 7]);
         let idx = sort_indices(&[&c], &[SortKey::asc()]);
         assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pairwise_compare_across_column_sets() {
+        let a = Column::from_opt_ints(vec![Some(5), None]);
+        let b = Column::from_opt_ints(vec![Some(7), None]);
+        let keys = [SortKey::asc()];
+        assert_eq!(compare_rows_pair(&[&a], 0, &[&b], 0, &keys), Ordering::Less);
+        assert_eq!(
+            compare_rows_pair(&[&b], 0, &[&a], 0, &keys),
+            Ordering::Greater
+        );
+        // Nulls compare across sets under the same placement rule.
+        assert_eq!(compare_rows_pair(&[&a], 1, &[&b], 0, &keys), Ordering::Less);
+        assert_eq!(
+            compare_rows_pair(&[&a], 1, &[&b], 1, &keys),
+            Ordering::Equal
+        );
     }
 
     #[test]
