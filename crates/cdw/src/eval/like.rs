@@ -1,0 +1,245 @@
+//! SQL LIKE matching (`%` and `_` wildcards, no escape syntax).
+//!
+//! Two implementations with pinned-equal semantics:
+//!
+//! * [`LikePattern`] — a **compiled** pattern: the string is parsed once
+//!   into `%`-separated segments and matched with the classic greedy
+//!   anchored-prefix / anchored-suffix / first-occurrence scan. The
+//!   vectorized kernels compile the pattern once per column evaluation
+//!   instead of re-interpreting the pattern string on every row.
+//! * [`like_match`] — the original per-call backtracking matcher. The row
+//!   interpreter (the semantic oracle) keeps using it, so the oracle
+//!   proptest cross-checks the two matchers on every generated case.
+
+/// One position of a `%`-free pattern segment: a literal char or `_`.
+type SegChar = Option<char>;
+
+/// A LIKE pattern compiled for repeated matching.
+#[derive(Debug, Clone)]
+pub struct LikePattern {
+    /// Non-empty `%`-free runs, in order. `None` entries match any char.
+    segments: Vec<Vec<SegChar>>,
+    /// Pattern starts with `%` (first segment floats).
+    leading_any: bool,
+    /// Pattern ends with `%` (last segment floats).
+    trailing_any: bool,
+    /// Pattern contained at least one `%`.
+    has_any: bool,
+}
+
+impl LikePattern {
+    /// Parse a pattern string once.
+    pub fn compile(pattern: &str) -> LikePattern {
+        let mut segments: Vec<Vec<SegChar>> = Vec::new();
+        let mut current: Vec<SegChar> = Vec::new();
+        let mut has_any = false;
+        for c in pattern.chars() {
+            match c {
+                '%' => {
+                    has_any = true;
+                    if !current.is_empty() {
+                        segments.push(std::mem::take(&mut current));
+                    }
+                }
+                '_' => current.push(None),
+                c => current.push(Some(c)),
+            }
+        }
+        if !current.is_empty() {
+            segments.push(current);
+        }
+        LikePattern {
+            segments,
+            leading_any: pattern.starts_with('%'),
+            trailing_any: pattern.ends_with('%'),
+            has_any,
+        }
+    }
+
+    fn seg_matches_at(s: &[char], at: usize, seg: &[SegChar]) -> bool {
+        seg.iter()
+            .enumerate()
+            .all(|(i, p)| p.is_none_or(|c| s[at + i] == c))
+    }
+
+    /// Earliest occurrence of `seg` in `s[from..to]` (greedy scan).
+    fn find_from(s: &[char], from: usize, to: usize, seg: &[SegChar]) -> Option<usize> {
+        if seg.len() > to.saturating_sub(from) {
+            return None;
+        }
+        (from..=to - seg.len()).find(|&at| Self::seg_matches_at(s, at, seg))
+    }
+
+    /// Does `s` match the pattern? Greedy segment matching is equivalent
+    /// to the backtracking matcher for `%`/`_` patterns.
+    pub fn matches(&self, s: &str) -> bool {
+        let s: Vec<char> = s.chars().collect();
+        let mut segs: &[Vec<SegChar>] = &self.segments;
+        if segs.is_empty() {
+            // All-`%` (matches everything) or the empty pattern (matches
+            // only the empty string).
+            return self.has_any || s.is_empty();
+        }
+        let mut lo = 0usize;
+        let mut hi = s.len();
+        if !self.leading_any {
+            let first = &segs[0];
+            if hi < first.len() || !Self::seg_matches_at(&s, 0, first) {
+                return false;
+            }
+            lo = first.len();
+            segs = &segs[1..];
+            if segs.is_empty() {
+                // Single anchored segment: `abc` must consume everything,
+                // `abc%` leaves the tail to the trailing wildcard.
+                return self.trailing_any || lo == hi;
+            }
+        }
+        if !self.trailing_any {
+            let last = &segs[segs.len() - 1];
+            if hi.saturating_sub(lo) < last.len()
+                || !Self::seg_matches_at(&s, hi - last.len(), last)
+            {
+                return false;
+            }
+            hi -= last.len();
+            segs = &segs[..segs.len() - 1];
+        }
+        for seg in segs {
+            match Self::find_from(&s, lo, hi, seg) {
+                Some(at) => lo = at + seg.len(),
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+/// SQL LIKE via per-call backtracking (the oracle's matcher). Prefer
+/// [`LikePattern`] when the same pattern applies to many rows.
+///
+/// The `%` test runs **before** the literal-char test: a `%` in the
+/// pattern is always a wildcard, even when the data character at the
+/// cursor is itself `%` (the seed evaluator got this wrong and treated
+/// `'a%b' LIKE '%a%'` as false by consuming the pattern's `%` as a
+/// literal match for the data's).
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    // Iterative wildcard matching with backtracking on the last `%`.
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star, mut star_si) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && p[pi] == '%' {
+            star = pi;
+            star_si = si;
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            star_si += 1;
+            si = star_si;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both matchers, asserted to agree.
+    fn m(s: &str, p: &str) -> bool {
+        let compiled = LikePattern::compile(p).matches(s);
+        let backtracked = like_match(s, p);
+        assert_eq!(
+            compiled, backtracked,
+            "matchers disagree on {s:?} LIKE {p:?}"
+        );
+        compiled
+    }
+
+    #[test]
+    fn basics() {
+        assert!(m("alpha", "al%"));
+        assert!(m("alpha", "%pha"));
+        assert!(m("alpha", "a_pha"));
+        assert!(!m("alpha", "beta%"));
+        assert!(m("a%b", "a%b"));
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "abd"));
+        assert!(!m("abc", "ab"));
+    }
+
+    #[test]
+    fn empty_pattern_and_empty_input() {
+        assert!(m("", ""));
+        assert!(!m("x", ""));
+        assert!(m("", "%"));
+        assert!(m("", "%%"));
+        assert!(!m("", "_"));
+        assert!(!m("", "_%"));
+        assert!(!m("", "%_"));
+        assert!(m("x", "%_"));
+    }
+
+    #[test]
+    fn percent_and_underscore_runs() {
+        assert!(m("abc", "%%%"));
+        assert!(m("abc", "a%%c"));
+        assert!(m("abc", "___"));
+        assert!(!m("abc", "____"));
+        assert!(m("abc", "_%_"));
+        assert!(m("ab", "_%_"));
+        assert!(!m("a", "_%_"));
+        assert!(m("abcdef", "a%_%f"));
+        assert!(m("aXbXc", "a%b%c"));
+        assert!(!m("aXbX", "a%b%c"));
+    }
+
+    #[test]
+    fn literal_percent_like_chars_in_data() {
+        // `%` in the data is an ordinary char; only the pattern treats it
+        // as a wildcard.
+        assert!(m("100%", "100%")); // trailing % is a wildcard, still matches
+        assert!(m("100%", "100_")); // the data's % matched as a plain char
+        assert!(m("a%b", "a_b"));
+        assert!(m("a%b%c", "a_b_c")); // every literal % matched by _
+        assert!(!m("100", "100_"));
+        assert!(!m("ab", "a%b%c"));
+        // Regression: a pattern `%` is ALWAYS a wildcard, even when the
+        // data character under the cursor is itself `%` (the seed's
+        // backtracking matcher consumed it as a literal match).
+        assert!(m("a%b", "%a%"));
+        assert!(m("a%b", "%b"));
+        assert!(m("%", "%"));
+        assert!(m("%x", "%x"));
+    }
+
+    #[test]
+    fn greedy_backtracking_cases() {
+        // Cases where naive greedy-without-anchors goes wrong.
+        assert!(m("aab", "a%ab"));
+        assert!(m("abab", "%ab"));
+        assert!(m("aaa", "a%a"));
+        assert!(!m("a", "a%a"));
+        assert!(m("aa", "a%a"));
+        assert!(m("mississippi", "%iss%ppi"));
+        assert!(!m("mississippi", "%iss%ppz"));
+        assert!(m("xyabcyz", "x%abc%z"));
+    }
+
+    #[test]
+    fn unicode_chars_count_as_one() {
+        assert!(m("héllo", "h_llo"));
+        assert!(m("日本語", "__語"));
+        assert!(!m("日本語", "____"));
+    }
+}

@@ -49,7 +49,7 @@
 //! any parallelism (pinned by `tests/spill_oracle.rs`).
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -58,10 +58,65 @@ use sigma_value::{hash, sort, Batch, Column, ColumnBuilder, DataType, Field, Sch
 
 use crate::catalog::Catalog;
 use crate::error::CdwError;
-use crate::eval::{eval, EvalCtx, PhysExpr};
+use crate::eval::{eval_sel, CompiledExpr, EvalCtx, PhysExpr};
 use crate::plan::{AggCall, AggFunc, AggMode, Plan};
 use crate::storage::{SpillHandle, SpillReader, SpillWriter};
 use crate::window::compute_window;
+
+/// One partition flowing between operators: a batch plus an optional
+/// **selection vector** — the surviving row indices, ascending. Filters
+/// refine the selection instead of materializing their output; consumers
+/// either evaluate expressions through the selection ([`eval_sel`] /
+/// [`CompiledExpr::eval`]) or gather once via [`Part::materialize`]. A
+/// `Filter → Project → Filter` chain therefore touches only surviving
+/// rows and never builds an intermediate batch.
+#[derive(Debug, Clone)]
+pub(crate) struct Part {
+    batch: Batch,
+    sel: Option<Vec<usize>>,
+}
+
+impl Part {
+    fn new(batch: Batch) -> Part {
+        Part { batch, sel: None }
+    }
+
+    fn rows(&self) -> usize {
+        self.sel.as_ref().map_or(self.batch.num_rows(), Vec::len)
+    }
+
+    fn sel(&self) -> Option<&[usize]> {
+        self.sel.as_deref()
+    }
+
+    /// Gather the surviving rows into a dense batch (no-op without a
+    /// selection).
+    fn materialize(self) -> Batch {
+        match self.sel {
+            Some(s) => self.batch.take(&s),
+            None => self.batch,
+        }
+    }
+
+    /// Deterministic byte-size proxy for spill decisions: the underlying
+    /// batch scaled by the surviving-row fraction.
+    fn est_bytes(&self) -> usize {
+        match &self.sel {
+            None => self.batch.byte_size(),
+            Some(s) => self.batch.byte_size() * s.len() / self.batch.num_rows().max(1),
+        }
+    }
+}
+
+/// Accumulate the wall-clock of one expression evaluation into an
+/// operator's cumulative `eval_ns` counter (atomic: partition workers
+/// record concurrently).
+fn timed<T>(ns: &AtomicU64, f: impl FnOnce() -> T) -> T {
+    let started = Instant::now();
+    let out = f();
+    ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
+}
 
 /// Execution context (read access to storage plus settings).
 pub struct ExecCtx<'a> {
@@ -167,6 +222,12 @@ pub struct OpStats {
     pub partitions: usize,
     /// Wall-clock time inclusive of children.
     pub elapsed: Duration,
+    /// Cumulative nanoseconds this operator spent evaluating scalar
+    /// expressions (filter predicates, projections, group/join/sort keys,
+    /// window arguments) — summed across partition workers, so it can
+    /// exceed `elapsed` under parallelism. This is the counter the
+    /// vectorized-expression win shows up in per query.
+    pub eval_ns: u64,
 }
 
 impl OpStats {
@@ -178,6 +239,7 @@ impl OpStats {
             rows_out: 0,
             partitions: 0,
             elapsed: Duration::ZERO,
+            eval_ns: 0,
         }
     }
 }
@@ -226,12 +288,13 @@ impl ExecStats {
                 out.push_str("  ");
             }
             out.push_str(&format!(
-                "{}  rows_in={} rows_out={} partitions={} elapsed={:.3}ms\n",
+                "{}  rows_in={} rows_out={} partitions={} elapsed={:.3}ms eval_ns={}\n",
                 op.op,
                 op.rows_in,
                 op.rows_out,
                 op.partitions,
                 op.elapsed.as_secs_f64() * 1e3,
+                op.eval_ns,
             ));
         }
         let budget = match self.memory_budget {
@@ -257,16 +320,23 @@ pub fn execute(plan: &Plan, ctx: &ExecCtx, stats: &mut ExecStats) -> Result<Batc
     concat_parts(parts, schema)
 }
 
-/// Collapse a part list to one batch (an empty list yields zero rows).
-fn concat_parts(parts: Vec<Batch>, schema: Arc<Schema>) -> Result<Batch, CdwError> {
+/// Collapse a part list to one dense batch (an empty list yields zero
+/// rows); selections are gathered here.
+fn concat_parts(parts: Vec<Part>, schema: Arc<Schema>) -> Result<Batch, CdwError> {
+    let mut parts: Vec<Batch> = parts.into_iter().map(Part::materialize).collect();
     match parts.len() {
         0 => Ok(Batch::empty(schema)),
-        1 => Ok(parts.into_iter().next().unwrap()),
+        1 => Ok(parts.pop().unwrap()),
         _ => {
             let refs: Vec<&Batch> = parts.iter().collect();
             Batch::concat(&refs).map_err(CdwError::from)
         }
     }
+}
+
+/// Input column types of a plan node (what expressions compile against).
+fn input_types(plan: &Plan) -> Vec<DataType> {
+    plan.schema().fields().iter().map(|f| f.dtype).collect()
 }
 
 /// Operator label for stats entries (matches `Plan::explain` lines).
@@ -302,18 +372,52 @@ fn execute_parts(
     ctx: &ExecCtx,
     stats: &mut ExecStats,
     depth: usize,
-) -> Result<Vec<Batch>, CdwError> {
+) -> Result<Vec<Part>, CdwError> {
     let slot = stats.operators.len();
     stats
         .operators
         .push(OpStats::started(op_label(plan), depth));
     let started = Instant::now();
-    let parts = execute_node(plan, ctx, stats, depth)?;
+    let eval_ns = AtomicU64::new(0);
+    let parts = execute_node(plan, ctx, stats, depth, &eval_ns)?;
     let op = &mut stats.operators[slot];
     op.elapsed = started.elapsed();
-    op.rows_out = parts.iter().map(Batch::num_rows).sum();
+    op.rows_out = parts.iter().map(Part::rows).sum();
     op.partitions = parts.len();
+    op.eval_ns = eval_ns.into_inner();
     Ok(parts)
+}
+
+/// Row indices (in original-batch coordinates) where the evaluated
+/// predicate column is `true`, refined through an existing selection.
+fn truthy_indices(mask: &Column, sel: Option<&[usize]>) -> Vec<usize> {
+    let orig = |i: usize| sel.map_or(i, |s| s[i]);
+    let mut keep = Vec::new();
+    match (mask.bools(), mask.validity()) {
+        (Some(b), None) => {
+            for (i, &hit) in b.iter().enumerate() {
+                if hit {
+                    keep.push(orig(i));
+                }
+            }
+        }
+        (Some(b), Some(m)) => {
+            for i in 0..b.len() {
+                if m[i] && b[i] {
+                    keep.push(orig(i));
+                }
+            }
+        }
+        // Non-bool predicate output: boxed compare, as before.
+        _ => {
+            for i in 0..mask.len() {
+                if mask.value(i) == Value::Bool(true) {
+                    keep.push(orig(i));
+                }
+            }
+        }
+    }
+    keep
 }
 
 fn execute_node(
@@ -321,30 +425,36 @@ fn execute_node(
     ctx: &ExecCtx,
     stats: &mut ExecStats,
     depth: usize,
-) -> Result<Vec<Batch>, CdwError> {
+    eval_ns: &AtomicU64,
+) -> Result<Vec<Part>, CdwError> {
     match plan {
         Plan::Scan { table, .. } => {
             let stored = ctx.catalog.get(table)?;
             stats.rows_scanned += stored.num_rows();
             stats.partitions_scanned += stored.partitions().len();
-            Ok(stored.partitions().to_vec())
+            Ok(stored.partitions().iter().cloned().map(Part::new).collect())
         }
         Plan::ResultScan { id, .. } => {
             let batch = ctx
                 .results
                 .get(id)
                 .ok_or_else(|| CdwError::catalog(format!("persisted result not found: {id}")))?;
-            Ok(vec![batch.clone()])
+            Ok(vec![Part::new(batch.clone())])
         }
-        Plan::Values { batch } => Ok(vec![batch.clone()]),
+        Plan::Values { batch } => Ok(vec![Part::new(batch.clone())]),
         Plan::Filter { input, predicate } => {
             let parts = execute_parts(input, ctx, stats, depth + 1)?;
-            par_map(ctx, parts, |b| {
-                let mask_col = eval(predicate, &b, &ctx.eval)?;
-                let mask: Vec<bool> = (0..b.num_rows())
-                    .map(|i| mask_col.value(i) == Value::Bool(true))
-                    .collect();
-                Ok(b.filter(&mask))
+            // Compile once per operator; partitions share the schema.
+            let compiled = CompiledExpr::compile(predicate, &input_types(input))?;
+            let compiled = &compiled;
+            par_map(ctx, parts, |p| {
+                let mask = timed(eval_ns, || compiled.eval(&p.batch, p.sel(), &ctx.eval))?;
+                // Refine the selection — no materialization.
+                let keep = truthy_indices(&mask, p.sel());
+                Ok(Part {
+                    batch: p.batch,
+                    sel: Some(keep),
+                })
             })
         }
         Plan::Project {
@@ -353,15 +463,22 @@ fn execute_node(
             schema,
         } => {
             let parts = execute_parts(input, ctx, stats, depth + 1)?;
-            let exprs = exprs.clone();
-            let schema = schema.clone();
-            par_map(ctx, parts, move |b| {
-                let cols: Vec<Column> = exprs
+            let types = input_types(input);
+            let compiled: Vec<CompiledExpr> = exprs
+                .iter()
+                .map(|e| CompiledExpr::compile(e, &types))
+                .collect::<Result<_, _>>()?;
+            let (compiled, schema) = (&compiled, schema.clone());
+            par_map(ctx, parts, move |p| {
+                let cols: Vec<Column> = compiled
                     .iter()
                     .zip(schema.fields())
-                    .map(|(e, f)| coerce_column(eval(e, &b, &ctx.eval)?, f.dtype))
+                    .map(|(e, f)| {
+                        let col = timed(eval_ns, || e.eval(&p.batch, p.sel(), &ctx.eval))?;
+                        coerce_column(col, f.dtype)
+                    })
                     .collect::<Result<_, _>>()?;
-                Batch::new(schema.clone(), cols).map_err(CdwError::from)
+                Ok(Part::new(Batch::new(schema.clone(), cols)?))
             })
         }
         Plan::Aggregate {
@@ -389,53 +506,60 @@ fn execute_node(
                         .operators
                         .push(OpStats::started(op_label(input), depth + 1));
                     let pstarted = Instant::now();
+                    let peval_ns = AtomicU64::new(0);
                     let parts = execute_parts(pinput, ctx, stats, depth + 2)?;
+                    let cagg = compile_agg_exprs(pgroups, paggs, &input_types(pinput))?;
                     // State estimate: the partial tables hold keys and
                     // values derived from every input row, so total input
                     // bytes is the deterministic upper-bound proxy.
-                    let est: usize = parts.iter().map(Batch::byte_size).sum();
+                    let est: usize = parts.iter().map(Part::est_bytes).sum();
                     if !pgroups.is_empty() && ctx.memory.should_spill(est) {
                         let (batch, partial_rows) =
-                            spilled_aggregate(&parts, pgroups, paggs, schema, ctx, est)?;
+                            spilled_aggregate(&parts, &cagg, paggs, schema, ctx, est, &peval_ns)?;
                         let op = &mut stats.operators[pslot];
                         op.elapsed = pstarted.elapsed();
                         op.rows_out = partial_rows;
                         op.partitions = parts.len();
-                        return Ok(vec![batch]);
+                        op.eval_ns = peval_ns.into_inner();
+                        return Ok(vec![Part::new(batch)]);
                     }
-                    let tables = par_map(ctx, parts, |b| {
-                        accumulate_groups(&b, pgroups, paggs, &ctx.eval)
+                    let cagg = &cagg;
+                    let tables = par_map(ctx, parts, |p| {
+                        accumulate_groups(&p, cagg, paggs, &ctx.eval, &peval_ns)
                     })?;
                     {
                         let op = &mut stats.operators[pslot];
                         op.elapsed = pstarted.elapsed();
                         op.rows_out = tables.iter().map(|t| t.entries.len()).sum();
                         op.partitions = tables.len();
+                        op.eval_ns = peval_ns.into_inner();
                     }
                     let merged = merge_group_tables(tables, pgroups.is_empty(), paggs);
-                    return Ok(vec![finish_groups(merged, schema)?]);
+                    return Ok(vec![Part::new(finish_groups(merged, schema)?)]);
                 }
             }
             // Single placement (or a Partial/Final the optimizer did not
             // pair): one-shot aggregation over the concatenated input.
             let parts = execute_parts(input, ctx, stats, depth + 1)?;
-            let est: usize = parts.iter().map(Batch::byte_size).sum();
-            let batch = concat_parts(parts, input.schema())?;
+            let cagg = compile_agg_exprs(groups, aggs, &input_types(input))?;
+            let est: usize = parts.iter().map(Part::est_bytes).sum();
+            let part = Part::new(concat_parts(parts, input.schema())?);
             if !groups.is_empty() && ctx.memory.should_spill(est) {
                 // One logical partition preserves Single-mode arithmetic
                 // (continuous per-group accumulation, no partial merge).
                 let (batch, _) = spilled_aggregate(
-                    std::slice::from_ref(&batch),
-                    groups,
+                    std::slice::from_ref(&part),
+                    &cagg,
                     aggs,
                     schema,
                     ctx,
                     est,
+                    eval_ns,
                 )?;
-                return Ok(vec![batch]);
+                return Ok(vec![Part::new(batch)]);
             }
-            let table = accumulate_groups(&batch, groups, aggs, &ctx.eval)?;
-            Ok(vec![finish_groups(table, schema)?])
+            let table = accumulate_groups(&part, &cagg, aggs, &ctx.eval, eval_ns)?;
+            Ok(vec![Part::new(finish_groups(table, schema)?)])
         }
         Plan::Window {
             input,
@@ -446,9 +570,9 @@ fn execute_node(
             let mut cols: Vec<Column> = batch.columns().to_vec();
             for (i, call) in calls.iter().enumerate() {
                 let out_type = schema.field(batch.num_columns() + i).dtype;
-                cols.push(compute_window(call, &batch, out_type, &ctx.eval)?);
+                cols.push(compute_window(call, &batch, out_type, &ctx.eval, eval_ns)?);
             }
-            Ok(vec![Batch::new(schema.clone(), cols)?])
+            Ok(vec![Part::new(Batch::new(schema.clone(), cols)?)])
         }
         Plan::Join {
             left,
@@ -465,16 +589,36 @@ fn execute_node(
                 execute_parts(right, ctx, stats, depth + 1)?,
                 right.schema(),
             )?);
-            let lparts = execute_parts(left, ctx, stats, depth + 1)?;
+            // Probe partitions materialize here: the probe needs every
+            // left column for output assembly anyway. Key expressions
+            // still evaluate through the vectorized kernels.
+            let lparts: Vec<Batch> = execute_parts(left, ctx, stats, depth + 1)?
+                .into_iter()
+                .map(Part::materialize)
+                .collect();
             let keyed = *kind != JoinKind::Cross && !left_keys.is_empty();
             let rcols: Vec<Column> = if keyed {
-                right_keys
-                    .iter()
-                    .map(|k| eval(k, &right_batch, &ctx.eval))
-                    .collect::<Result<_, _>>()?
+                timed(eval_ns, || {
+                    right_keys
+                        .iter()
+                        .map(|k| eval_sel(k, &right_batch, None, &ctx.eval))
+                        .collect::<Result<_, _>>()
+                })?
             } else {
                 Vec::new()
             };
+            // Probe keys and residual compile once per operator; the
+            // residual runs over candidate batches in the join schema.
+            let ltypes = input_types(left);
+            let lkeys: Vec<CompiledExpr> = left_keys
+                .iter()
+                .map(|k| CompiledExpr::compile(k, &ltypes))
+                .collect::<Result<_, _>>()?;
+            let jtypes: Vec<DataType> = schema.fields().iter().map(|f| f.dtype).collect();
+            let cresidual = residual
+                .as_ref()
+                .map(|r| CompiledExpr::compile(r, &jtypes))
+                .transpose()?;
             // Build-state estimate: key material plus ~8 bytes of table
             // index per right row.
             let est =
@@ -485,24 +629,27 @@ fn execute_node(
                     &right_batch,
                     &rcols,
                     *kind,
-                    left_keys,
-                    residual.as_ref(),
+                    &lkeys,
+                    cresidual.as_ref(),
                     schema,
                     ctx,
                     est,
+                    eval_ns,
                 )?
             } else {
                 let build = Arc::new(build_join_table(right_batch.num_rows(), &rcols, keyed));
+                let (lkeys, cresidual) = (&lkeys, cresidual.as_ref());
                 par_map(ctx, lparts, |lb| {
                     probe_partition(
                         &lb,
                         &right_batch,
                         &build,
                         *kind,
-                        left_keys,
-                        residual.as_ref(),
+                        lkeys,
+                        cresidual,
                         schema,
                         &ctx.eval,
+                        eval_ns,
                     )
                 })?
             };
@@ -516,7 +663,7 @@ fn execute_node(
                 for ri in matched {
                     matched_right[ri] = true;
                 }
-                parts.push(batch);
+                parts.push(Part::new(batch));
             }
             if *kind == JoinKind::Full {
                 let unmatched: Vec<usize> = matched_right
@@ -526,22 +673,23 @@ fn execute_node(
                     .map(|(i, _)| i)
                     .collect();
                 if !unmatched.is_empty() {
-                    parts.push(assemble_right_only(
+                    parts.push(Part::new(assemble_right_only(
                         &right_batch,
                         &unmatched,
                         schema,
                         left.schema().len(),
-                    )?);
+                    )?));
                 }
             }
             Ok(parts)
         }
         Plan::Sort { input, keys } => {
             let batch = concat_parts(execute_parts(input, ctx, stats, depth + 1)?, input.schema())?;
-            let key_cols: Vec<Column> = keys
-                .iter()
-                .map(|k| eval(&k.expr, &batch, &ctx.eval))
-                .collect::<Result<_, _>>()?;
+            let key_cols: Vec<Column> = timed(eval_ns, || {
+                keys.iter()
+                    .map(|k| eval_sel(&k.expr, &batch, None, &ctx.eval))
+                    .collect::<Result<_, _>>()
+            })?;
             let sort_keys: Vec<sort::SortKey> = keys
                 .iter()
                 .map(|k| sort::SortKey {
@@ -553,11 +701,13 @@ fn execute_node(
             // row the permutation holds.
             let est = key_cols.iter().map(Column::byte_size).sum::<usize>() + 8 * batch.num_rows();
             if batch.num_rows() > 1 && ctx.memory.should_spill(est) {
-                return Ok(vec![spilled_sort(&batch, &key_cols, &sort_keys, ctx, est)?]);
+                return Ok(vec![Part::new(spilled_sort(
+                    &batch, &key_cols, &sort_keys, ctx, est,
+                )?)]);
             }
             let refs: Vec<&Column> = key_cols.iter().collect();
             let idx = sort::sort_indices(&refs, &sort_keys);
-            Ok(vec![batch.take(&idx)])
+            Ok(vec![Part::new(batch.take(&idx))])
         }
         Plan::Limit {
             input,
@@ -570,16 +720,20 @@ fn execute_node(
                 Some(l) => (*l as usize).min(batch.num_rows() - start),
                 None => batch.num_rows() - start,
             };
-            Ok(vec![batch.slice(start, len)])
+            Ok(vec![Part::new(batch.slice(start, len))])
         }
         Plan::UnionAll { inputs, schema } => {
             // Keep every input's partition structure (no collapsing), so
             // two-phase operators above the union stay parallel.
             let mut parts = Vec::new();
             for input in inputs {
-                for b in execute_parts(input, ctx, stats, depth + 1)? {
-                    // Re-tag with the union schema (names from the first input).
-                    parts.push(Batch::new(schema.clone(), b.columns().to_vec())?);
+                for p in execute_parts(input, ctx, stats, depth + 1)? {
+                    // Re-tag with the union schema (names from the first
+                    // input); the selection survives re-tagging.
+                    parts.push(Part {
+                        batch: Batch::new(schema.clone(), p.batch.columns().to_vec())?,
+                        sel: p.sel,
+                    });
                 }
             }
             Ok(parts)
@@ -587,36 +741,52 @@ fn execute_node(
         Plan::Distinct { input, mode } => {
             let parts = execute_parts(input, ctx, stats, depth + 1)?;
             match mode {
-                // Per-partition dedup, partitions retained. Keys already
-                // deduplicated here never re-allocate in the Final merge.
-                AggMode::Partial => par_map(ctx, parts, |b| {
+                // Per-partition dedup, partitions retained — as a refined
+                // selection, so a filtered part still never materializes.
+                // Keys already deduplicated here never re-allocate in the
+                // Final merge.
+                AggMode::Partial => par_map(ctx, parts, |p| {
                     let mut seen = HashSet::new();
-                    Ok(distinct_within(&b, &mut seen))
+                    let keep = distinct_indices(&p.batch, p.sel(), &mut seen);
+                    Ok(Part {
+                        batch: p.batch,
+                        sel: Some(keep),
+                    })
                 }),
                 // Global dedup across parts in partition order.
                 AggMode::Single | AggMode::Final => {
                     let mut seen = HashSet::new();
                     let mut kept = Vec::new();
-                    for b in &parts {
-                        let d = distinct_within(b, &mut seen);
-                        if d.num_rows() > 0 {
-                            kept.push(d);
+                    for p in &parts {
+                        let keep = distinct_indices(&p.batch, p.sel(), &mut seen);
+                        if !keep.is_empty() {
+                            kept.push(Part {
+                                batch: p.batch.clone(),
+                                sel: Some(keep),
+                            });
                         }
                     }
-                    Ok(vec![concat_parts(kept, input.schema())?])
+                    Ok(vec![Part::new(concat_parts(kept, input.schema())?)])
                 }
             }
         }
     }
 }
 
-/// Rows of `batch` whose key is not yet in `seen`, in row order.
-/// Keys allocate only when actually inserted (never on duplicate hits).
-fn distinct_within(batch: &Batch, seen: &mut HashSet<Vec<u8>>) -> Batch {
+/// Selected rows of `batch` whose key is not yet in `seen`, in selection
+/// order, returned as original-batch indices. Keys allocate only when
+/// actually inserted (never on duplicate hits).
+fn distinct_indices(
+    batch: &Batch,
+    sel: Option<&[usize]>,
+    seen: &mut HashSet<Vec<u8>>,
+) -> Vec<usize> {
     let refs: Vec<&Column> = batch.columns().iter().collect();
+    let rows = sel.map_or(batch.num_rows(), <[usize]>::len);
     let mut keep = Vec::new();
     let mut key = Vec::new();
-    for row in 0..batch.num_rows() {
+    for i in 0..rows {
+        let row = sel.map_or(i, |s| s[i]);
         key.clear();
         hash::encode_key(&refs, row, &mut key);
         if !seen.contains(&key) {
@@ -624,7 +794,7 @@ fn distinct_within(batch: &Batch, seen: &mut HashSet<Vec<u8>>) -> Batch {
             keep.push(row);
         }
     }
-    batch.take(&keep)
+    keep
 }
 
 /// Coerce an evaluated column to the declared output type (Int -> Float and
@@ -1069,25 +1239,75 @@ struct GroupTable {
     entries: Vec<GroupEntry>,
 }
 
-/// Build a group table over one batch (the partial phase; also the whole
-/// job for `AggMode::Single`). A global aggregate (no GROUP BY) always
-/// yields exactly one entry, even over zero rows.
-fn accumulate_groups(
-    batch: &Batch,
+/// GROUP BY and aggregate-argument expressions compiled once per
+/// Aggregate operator, shared across partition workers and spill passes.
+struct CompiledAggExprs {
+    groups: Vec<CompiledExpr>,
+    args: Vec<Option<CompiledExpr>>,
+}
+
+fn compile_agg_exprs(
     groups: &[PhysExpr],
     aggs: &[AggCall],
+    types: &[DataType],
+) -> Result<CompiledAggExprs, CdwError> {
+    Ok(CompiledAggExprs {
+        groups: groups
+            .iter()
+            .map(|g| CompiledExpr::compile(g, types))
+            .collect::<Result<_, _>>()?,
+        args: aggs
+            .iter()
+            .map(|a| {
+                a.arg
+                    .as_ref()
+                    .map(|e| CompiledExpr::compile(e, types))
+                    .transpose()
+            })
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// Build a group table over one partition (the partial phase; also the
+/// whole job for `AggMode::Single`). Group and argument expressions
+/// evaluate through the selection vector — a filtered partition never
+/// materializes. A global aggregate (no GROUP BY) always yields exactly
+/// one entry, even over zero rows.
+fn accumulate_groups(
+    part: &Part,
+    compiled: &CompiledAggExprs,
+    aggs: &[AggCall],
     ctx: &EvalCtx,
+    eval_ns: &AtomicU64,
 ) -> Result<GroupTable, CdwError> {
-    let group_cols: Vec<Column> = groups
+    let (group_cols, arg_cols) = timed(eval_ns, || eval_group_args(part, compiled, ctx))?;
+    let global = compiled.groups.is_empty();
+    Ok(accumulate_pre(&group_cols, &arg_cols, aggs, part.rows(), global).0)
+}
+
+/// Evaluate the compiled GROUP BY expressions and aggregate arguments
+/// over one partition's surviving rows (dense output columns).
+#[allow(clippy::type_complexity)]
+fn eval_group_args(
+    part: &Part,
+    compiled: &CompiledAggExprs,
+    ctx: &EvalCtx,
+) -> Result<(Vec<Column>, Vec<Option<Column>>), CdwError> {
+    let group_cols: Vec<Column> = compiled
+        .groups
         .iter()
-        .map(|g| eval(g, batch, ctx))
+        .map(|g| g.eval(&part.batch, part.sel(), ctx))
         .collect::<Result<_, _>>()?;
-    let arg_cols: Vec<Option<Column>> = aggs
+    let arg_cols: Vec<Option<Column>> = compiled
+        .args
         .iter()
-        .map(|a| a.arg.as_ref().map(|e| eval(e, batch, ctx)).transpose())
+        .map(|a| {
+            a.as_ref()
+                .map(|e| e.eval(&part.batch, part.sel(), ctx))
+                .transpose()
+        })
         .collect::<Result<_, _>>()?;
-    let global = groups.is_empty();
-    Ok(accumulate_pre(&group_cols, &arg_cols, aggs, batch.num_rows(), global).0)
+    Ok((group_cols, arg_cols))
 }
 
 /// The shared accumulation loop over pre-evaluated columns. `global`
@@ -1258,17 +1478,19 @@ fn key_bucket(key: &[u8], nbuckets: usize) -> usize {
 ///
 /// Returns the finished batch plus the total partial-group count (the
 /// `rows_out` of the Partial operator in two-phase stats).
+#[allow(clippy::too_many_arguments)]
 fn spilled_aggregate(
-    parts: &[Batch],
-    groups: &[PhysExpr],
+    parts: &[Part],
+    compiled: &CompiledAggExprs,
     aggs: &[AggCall],
     schema: &Arc<Schema>,
     ctx: &ExecCtx,
     estimate: usize,
+    eval_ns: &AtomicU64,
 ) -> Result<(Batch, usize), CdwError> {
     let nbuckets = ctx.memory.bucket_count(estimate);
     ctx.memory.record_rounds(nbuckets);
-    let gw = groups.len();
+    let gw = compiled.groups.len();
     // Spill-record column layout: group cols, present agg args, row id.
     let mut arg_slots: Vec<Option<usize>> = Vec::with_capacity(aggs.len());
     let mut next_slot = gw;
@@ -1288,20 +1510,8 @@ fn spilled_aggregate(
     let mut writers: Vec<SpillWriter> = (0..nbuckets)
         .map(|_| SpillWriter::create())
         .collect::<Result<_, _>>()?;
-    for batch in parts {
-        let group_cols: Vec<Column> = groups
-            .iter()
-            .map(|g| eval(g, batch, &ctx.eval))
-            .collect::<Result<_, _>>()?;
-        let arg_cols: Vec<Option<Column>> = aggs
-            .iter()
-            .map(|a| {
-                a.arg
-                    .as_ref()
-                    .map(|e| eval(e, batch, &ctx.eval))
-                    .transpose()
-            })
-            .collect::<Result<_, _>>()?;
+    for part in parts {
+        let (group_cols, arg_cols) = timed(eval_ns, || eval_group_args(part, compiled, &ctx.eval))?;
         let mut fields: Vec<Field> = group_cols
             .iter()
             .enumerate()
@@ -1320,7 +1530,7 @@ fn spilled_aggregate(
         let refs: Vec<&Column> = group_cols.iter().collect();
         let mut route: Vec<Vec<usize>> = vec![Vec::new(); nbuckets];
         let mut key = Vec::new();
-        for row in 0..batch.num_rows() {
+        for row in 0..part.rows() {
             key.clear();
             hash::encode_key(&refs, row, &mut key);
             route[key_bucket(&key, nbuckets)].push(row);
@@ -1587,10 +1797,11 @@ fn probe_partition(
     right: &Batch,
     build: &JoinBuild,
     kind: JoinKind,
-    left_keys: &[PhysExpr],
-    residual: Option<&PhysExpr>,
+    left_keys: &[CompiledExpr],
+    residual: Option<&CompiledExpr>,
     schema: &Arc<Schema>,
     ctx: &EvalCtx,
+    eval_ns: &AtomicU64,
 ) -> Result<(Batch, Vec<usize>), CdwError> {
     let lrows = left.num_rows();
     let rrows = right.num_rows();
@@ -1606,10 +1817,12 @@ fn probe_partition(
             }
         }
         Some(table) => {
-            let lcols: Vec<Column> = left_keys
-                .iter()
-                .map(|k| eval(k, left, ctx))
-                .collect::<Result<_, _>>()?;
+            let lcols: Vec<Column> = timed(eval_ns, || {
+                left_keys
+                    .iter()
+                    .map(|k| k.eval(left, None, ctx))
+                    .collect::<Result<_, _>>()
+            })?;
             let lrefs: Vec<&Column> = lcols.iter().collect();
             let mut key = Vec::new();
             for li in 0..lrows {
@@ -1626,7 +1839,7 @@ fn probe_partition(
             }
         }
     }
-    assemble_join_output(left, right, pairs, kind, residual, schema, ctx)
+    assemble_join_output(left, right, pairs, kind, residual, schema, ctx, eval_ns)
 }
 
 /// Turn candidate `(left, right)` pairs into this partition's output
@@ -1635,14 +1848,16 @@ fn probe_partition(
 /// Grace-spilled join (which feeds pairs sorted into the same
 /// `(left row, right row)` order the in-memory probe emits), so both
 /// paths produce byte-identical partition outputs.
+#[allow(clippy::too_many_arguments)]
 fn assemble_join_output(
     left: &Batch,
     right: &Batch,
     mut pairs: Vec<(usize, usize)>,
     kind: JoinKind,
-    residual: Option<&PhysExpr>,
+    residual: Option<&CompiledExpr>,
     schema: &Arc<Schema>,
     ctx: &EvalCtx,
+    eval_ns: &AtomicU64,
 ) -> Result<(Batch, Vec<usize>), CdwError> {
     let lrows = left.num_rows();
 
@@ -1652,7 +1867,7 @@ fn assemble_join_output(
             let lidx: Vec<usize> = pairs.iter().map(|p| p.0).collect();
             let ridx: Vec<usize> = pairs.iter().map(|p| p.1).collect();
             let candidate = hstack(schema, &left.take(&lidx), &right.take(&ridx))?;
-            let mask_col = eval(pred, &candidate, ctx)?;
+            let mask_col = timed(eval_ns, || pred.eval(&candidate, None, ctx))?;
             let mut kept = Vec::with_capacity(pairs.len());
             for (i, pair) in pairs.iter().enumerate() {
                 if mask_col.value(i) == Value::Bool(true) {
@@ -1806,11 +2021,12 @@ fn spilled_join(
     right: &Arc<Batch>,
     rcols: &[Column],
     kind: JoinKind,
-    left_keys: &[PhysExpr],
-    residual: Option<&PhysExpr>,
+    left_keys: &[CompiledExpr],
+    residual: Option<&CompiledExpr>,
     schema: &Arc<Schema>,
     ctx: &ExecCtx,
     estimate: usize,
+    eval_ns: &AtomicU64,
 ) -> Result<Vec<(Batch, Vec<usize>)>, CdwError> {
     let nbuckets = ctx.memory.bucket_count(estimate);
     ctx.memory.record_rounds(nbuckets);
@@ -1839,10 +2055,12 @@ fn spilled_join(
         .map(|_| SpillWriter::create())
         .collect::<Result<_, _>>()?;
     for (p, left) in lparts.iter().enumerate() {
-        let lcols: Vec<Column> = left_keys
-            .iter()
-            .map(|k| eval(k, left, &ctx.eval))
-            .collect::<Result<_, _>>()?;
+        let lcols: Vec<Column> = timed(eval_ns, || {
+            left_keys
+                .iter()
+                .map(|k| k.eval(left, None, &ctx.eval))
+                .collect::<Result<_, _>>()
+        })?;
         let mut pfields: Vec<Field> = lcols
             .iter()
             .enumerate()
@@ -1911,7 +2129,9 @@ fn spilled_join(
         }))
         .collect();
     par_map(ctx, items, |(left, pairs)| {
-        assemble_join_output(&left, right, pairs, kind, residual, schema, &ctx.eval)
+        assemble_join_output(
+            &left, right, pairs, kind, residual, schema, &ctx.eval, eval_ns,
+        )
     })
 }
 

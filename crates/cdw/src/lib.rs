@@ -11,12 +11,21 @@
 //! * a rule-based optimizer (predicate pushdown, projection pruning,
 //!   constant folding, and a two-phase partial/final split of aggregation
 //!   and DISTINCT over partition-preserving inputs),
+//! * a vectorized expression engine (`eval/`): a physical-expression
+//!   planner compiles scalar expressions into typed columnar kernels
+//!   (monomorphic i64/f64/bool/str loops, validity-bitmap nulls, literal
+//!   operands kept scalar, LIKE patterns and IN-lists pre-compiled), with
+//!   the boxed-`Value` row interpreter retained as the semantic oracle
+//!   (`tests/eval_oracle.rs` pins them bit-identical),
 //! * a vectorized, partition-parallel executor: scans, filters, projections,
 //!   unions, partial aggregation/dedup, and hash-join probes all run one
 //!   task per partition across crossbeam scoped threads (the `parallelism`
 //!   knob), with partial aggregate states merged associatively in
 //!   partition order so results are bit-identical at any parallelism —
-//!   this is the stand-in for the CDW elasticity the paper leans on,
+//!   this is the stand-in for the CDW elasticity the paper leans on;
+//!   filters emit **selection vectors** instead of materializing, so
+//!   filter→project→filter chains and aggregation inputs evaluate only
+//!   over surviving row indices,
 //! * memory-budgeted out-of-core execution: an `ExecMemoryTracker`
 //!   (`WarehouseConfig::memory_budget`) spills aggregation hash tables,
 //!   sort runs, and hash-join build sides to disk when they would exceed

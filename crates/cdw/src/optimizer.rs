@@ -81,9 +81,14 @@ fn fold_expr(expr: PhysExpr, ctx: &EvalCtx) -> Result<PhysExpr, CdwError> {
                         .map(|e| fold_expr(*e, ctx).map(Box::new))
                         .transpose()?,
                 },
-                PhysExpr::Cast { expr, dtype } => PhysExpr::Cast {
+                PhysExpr::Cast {
+                    expr,
+                    dtype,
+                    strict,
+                } => PhysExpr::Cast {
                     expr: Box::new(fold_expr(*expr, ctx)?),
                     dtype,
+                    strict,
                 },
                 PhysExpr::InList {
                     expr,

@@ -944,9 +944,13 @@ impl<'a> Planner<'a> {
                     .map(|e| self.resolve(e, scope).map(Box::new))
                     .transpose()?,
             },
+            // SQL CAST in compiled worksheet queries plans as TRY_CAST:
+            // unconvertible cells become NULL (the paper's error
+            // isolation), never a query-level failure.
             SqlExpr::Cast { expr, dtype } => PhysExpr::Cast {
                 expr: Box::new(self.resolve(expr, scope)?),
                 dtype: *dtype,
+                strict: false,
             },
             SqlExpr::InList {
                 expr,
@@ -1070,6 +1074,7 @@ fn plan_union(plans: Vec<Plan>) -> Result<Plan, CdwError> {
                         PhysExpr::Cast {
                             expr: Box::new(PhysExpr::Col(i)),
                             dtype: schema.field(i).dtype,
+                            strict: false,
                         }
                     }
                 })

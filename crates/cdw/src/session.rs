@@ -572,6 +572,7 @@ fn resolve_simple(
         S::Cast { expr, dtype } => PhysExpr::Cast {
             expr: Box::new(resolve_simple(expr, schema, table)?),
             dtype: *dtype,
+            strict: false,
         },
         S::InList {
             expr,

@@ -6,6 +6,8 @@
 //! — the engine feature behind the paper's `FillDown` formula.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use sigma_sql::{FrameBound, WindowFrame};
 use sigma_value::{hash, sort, Batch, Column, ColumnBuilder, DataType, Value};
@@ -15,14 +17,18 @@ use crate::eval::{eval, EvalCtx};
 use crate::plan::{AggFunc, WinFunc, WindowCall};
 
 /// Compute one window call over a batch, returning the appended column.
+/// `eval_ns` accumulates the nanoseconds spent evaluating the call's
+/// partition / order / argument expressions (per-operator stats).
 pub fn compute_window(
     call: &WindowCall,
     batch: &Batch,
     out_type: DataType,
     ctx: &EvalCtx,
+    eval_ns: &AtomicU64,
 ) -> Result<Column, CdwError> {
     let rows = batch.num_rows();
     // Evaluate partition / order / argument expressions once.
+    let eval_started = Instant::now();
     let part_cols: Vec<Column> = call
         .partition
         .iter()
@@ -38,6 +44,7 @@ pub fn compute_window(
         .iter()
         .map(|a| eval(a, batch, ctx))
         .collect::<Result<_, _>>()?;
+    eval_ns.fetch_add(eval_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
     // Build partitions preserving first-seen order.
     let mut partitions: Vec<Vec<usize>> = Vec::new();

@@ -151,6 +151,63 @@ impl Column {
         }
         .normalized()
     }
+    pub fn from_opt_bools(v: Vec<Option<bool>>) -> Column {
+        let validity: Vec<bool> = v.iter().map(|x| x.is_some()).collect();
+        let data: Vec<bool> = v.into_iter().map(|x| x.unwrap_or_default()).collect();
+        Column {
+            data: std::sync::Arc::new(ColumnData::Bool(data)),
+            validity: Some(std::sync::Arc::new(validity)),
+        }
+        .normalized()
+    }
+    pub fn from_opt_dates(v: Vec<Option<i32>>) -> Column {
+        let validity: Vec<bool> = v.iter().map(|x| x.is_some()).collect();
+        let data: Vec<i32> = v.into_iter().map(|x| x.unwrap_or_default()).collect();
+        Column {
+            data: std::sync::Arc::new(ColumnData::Date(data)),
+            validity: Some(std::sync::Arc::new(validity)),
+        }
+        .normalized()
+    }
+    pub fn from_opt_timestamps(v: Vec<Option<i64>>) -> Column {
+        let validity: Vec<bool> = v.iter().map(|x| x.is_some()).collect();
+        let data: Vec<i64> = v.into_iter().map(|x| x.unwrap_or_default()).collect();
+        Column {
+            data: std::sync::Arc::new(ColumnData::Timestamp(data)),
+            validity: Some(std::sync::Arc::new(validity)),
+        }
+        .normalized()
+    }
+
+    /// Typed constructors from raw kernel output: dense data plus an
+    /// optional validity mask (`true` = valid). An all-true mask is
+    /// normalized away so downstream fast paths see "no nulls"; null
+    /// slots must hold the builder defaults (`0` / `0.0` / `false` /
+    /// empty string) so bit-exact comparisons and the spill codec agree
+    /// with [`ColumnBuilder`] output.
+    pub fn new_bool(data: Vec<bool>, validity: Option<Vec<bool>>) -> Column {
+        Column::from_raw(ColumnData::Bool(data), validity).normalized()
+    }
+    /// See [`Column::new_bool`].
+    pub fn new_int(data: Vec<i64>, validity: Option<Vec<bool>>) -> Column {
+        Column::from_raw(ColumnData::Int(data), validity).normalized()
+    }
+    /// See [`Column::new_bool`].
+    pub fn new_float(data: Vec<f64>, validity: Option<Vec<bool>>) -> Column {
+        Column::from_raw(ColumnData::Float(data), validity).normalized()
+    }
+    /// See [`Column::new_bool`].
+    pub fn new_text(data: Vec<String>, validity: Option<Vec<bool>>) -> Column {
+        Column::from_raw(ColumnData::Text(data), validity).normalized()
+    }
+    /// See [`Column::new_bool`].
+    pub fn new_date(data: Vec<i32>, validity: Option<Vec<bool>>) -> Column {
+        Column::from_raw(ColumnData::Date(data), validity).normalized()
+    }
+    /// See [`Column::new_bool`].
+    pub fn new_timestamp(data: Vec<i64>, validity: Option<Vec<bool>>) -> Column {
+        Column::from_raw(ColumnData::Timestamp(data), validity).normalized()
+    }
 
     /// Drop the validity mask if it is all-true.
     fn normalized(mut self) -> Column {
@@ -186,6 +243,14 @@ impl Column {
             Some(mask) => mask.iter().filter(|&&b| !b).count(),
             None => 0,
         }
+    }
+
+    /// Raw validity mask (`true` = valid), `None` when every slot is
+    /// valid. Pair with the typed slice accessors ([`Column::ints`] and
+    /// friends) to drive null handling in columnar kernels without a
+    /// per-row [`Column::is_null`] call.
+    pub fn validity(&self) -> Option<&[bool]> {
+        self.validity.as_ref().map(|m| m.as_slice())
     }
 
     /// Scalar at row `i` (clones text).
@@ -586,6 +651,37 @@ mod tests {
             Column::from_bools(vec![true, false, true]).byte_size(),
             Column::FIXED_BYTES + 3
         );
+    }
+
+    #[test]
+    fn raw_constructors_normalize_and_expose_validity() {
+        // All-true masks are dropped, so kernels can branch on `validity()`.
+        let dense = Column::new_int(vec![1, 2], Some(vec![true, true]));
+        assert!(dense.validity().is_none());
+        assert_eq!(dense.null_count(), 0);
+
+        let sparse = Column::new_float(vec![1.5, 0.0], Some(vec![true, false]));
+        assert_eq!(sparse.validity(), Some(&[true, false][..]));
+        assert_eq!(sparse.value(1), Value::Null);
+        assert_eq!(sparse.dtype(), DataType::Float);
+
+        // Every dtype has a raw constructor and the Option-based family.
+        assert_eq!(
+            Column::new_bool(vec![true], None).value(0),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Column::new_text(vec!["x".into()], None).value(0),
+            Value::Text("x".into())
+        );
+        assert_eq!(Column::new_date(vec![3], None).dtype(), DataType::Date);
+        assert_eq!(
+            Column::new_timestamp(vec![5], None).dtype(),
+            DataType::Timestamp
+        );
+        assert!(Column::from_opt_bools(vec![Some(true), None]).is_null(1));
+        assert!(Column::from_opt_dates(vec![None, Some(1)]).is_null(0));
+        assert!(Column::from_opt_timestamps(vec![Some(9), None]).is_null(1));
     }
 
     #[test]
