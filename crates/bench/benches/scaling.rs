@@ -1,16 +1,32 @@
-//! Aggregation / join / distinct scaling vs. the parallelism knob.
+//! Aggregation / join / distinct scaling vs. the parallelism knob, plus
+//! the **skewed-input sweep** pitting morsel-driven work stealing against
+//! static partition-at-a-time dispatch.
 //!
 //! Before the two-phase refactor only the Scan→Filter→Project prefix ran
 //! partition-parallel; GROUP BY, JOIN, and DISTINCT collapsed to one
-//! thread. This bench sweeps `parallelism` over a multi-partition table so
-//! regressions in partition parallelism of the heavy operators show up as
-//! flat (non-scaling) curves.
+//! thread. The criterion section sweeps `parallelism` over a uniform
+//! multi-partition table so regressions in partition parallelism of the
+//! heavy operators show up as flat (non-scaling) curves.
+//!
+//! The skewed sweep loads one partition with ~90% of the rows (plus empty
+//! partitions and 1-row tails) — the layout static dispatch handles worst,
+//! since no partition assignment can split the big partition across
+//! threads. Morsel execution breaks it into stealable 4096-row morsels.
+//! Results (and the morsel-vs-static speedup) are recorded to
+//! `BENCH_<date>_scaling.json` at the repo root (override with
+//! `SCALING_BENCH_OUT`); on hosts with >= 4 CPUs the streaming-pipeline
+//! case gates a >= 1.5x speedup at parallelism 4. Run with:
+//!
+//! ```text
+//! cargo bench -p sigma-bench --bench scaling
+//! ```
 
 use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sigma_cdw::Warehouse;
-use sigma_value::{Batch, Column, DataType, Field, Schema};
+use sigma_value::{Batch, Column, DataType, Field, Schema, Value};
 
 const ROWS: usize = 200_000;
 /// 16 partitions: enough grain for an 8-way sweep.
@@ -80,5 +96,175 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------
+// skewed-input sweep: morsel work stealing vs static dispatch
+// ---------------------------------------------------------------------
+
+const SKEW_ROWS: usize = 400_000;
+const SKEW_ITERS: usize = 5;
+
+/// The gated case: a fully streaming Scan→Filter→Project pipeline, where
+/// every morsel is independent end-to-end (no partition-granular fold),
+/// so stealing should reclaim nearly all the imbalance.
+const SKEW_FILTER_SQL: &str = "SELECT g, v * 2.0 + 1.0 AS x FROM skew WHERE v * 3.0 + k < 220.0";
+/// Recorded (not gated): fused partial aggregation parallelizes its
+/// per-morsel expression evaluation, but each partition's states still
+/// fold sequentially to keep the FP update order pinned, so its curve is
+/// informative rather than a hard bar.
+const SKEW_AGG_SQL: &str = "SELECT g, COUNT(*) AS n, SUM(v) AS s, AVG(v) AS a \
+                            FROM skew GROUP BY g";
+
+/// ~90% of rows in one partition, two empty partitions, eight 1-row
+/// tails, and the rest split uniformly — the static scheduler's worst
+/// case (its makespan is bound by the big partition no matter the
+/// assignment).
+fn skewed_warehouse() -> Warehouse {
+    let wh = Warehouse::default();
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("g", DataType::Int),
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Float),
+    ]));
+    let n = SKEW_ROWS;
+    let batch = Batch::new(
+        schema.clone(),
+        vec![
+            Column::from_ints((0..n as i64).map(|i| (i * 7919) % 64).collect()),
+            Column::from_ints((0..n as i64).map(|i| (i * 104729) % 1000).collect()),
+            Column::from_floats((0..n as i64).map(|i| ((i * 31) % 997) as f64).collect()),
+        ],
+    )
+    .unwrap();
+    let tails = 8;
+    let big = n * 9 / 10;
+    let rest = n - big - tails;
+    let mut parts = vec![Batch::empty(schema.clone()), batch.slice(0, big)];
+    let small = (rest / 14).max(1);
+    let mut start = big;
+    while start < big + rest {
+        let len = small.min(big + rest - start);
+        parts.push(batch.slice(start, len));
+        start += len;
+    }
+    parts.push(Batch::empty(schema));
+    for i in 0..tails {
+        parts.push(batch.slice(n - tails + i, 1));
+    }
+    wh.load_table_parts("skew", parts).unwrap();
+    wh
+}
+
+fn assert_bit_identical(a: &Batch, b: &Batch, what: &str) {
+    assert_eq!(a.num_rows(), b.num_rows(), "{what}");
+    assert_eq!(a.num_columns(), b.num_columns(), "{what}");
+    for c in 0..a.num_columns() {
+        for r in 0..a.num_rows() {
+            match (a.value(r, c), b.value(r, c)) {
+                (Value::Float(x), Value::Float(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{what} at ({r},{c})")
+                }
+                (x, y) => assert_eq!(x, y, "{what} at ({r},{c})"),
+            }
+        }
+    }
+}
+
+fn median_ms(wh: &Warehouse, sql: &str) -> (f64, Batch) {
+    let mut times: Vec<Duration> = Vec::with_capacity(SKEW_ITERS);
+    let mut last = None;
+    for _ in 0..SKEW_ITERS {
+        let started = Instant::now();
+        let result = wh.execute_sql(sql).expect("bench query");
+        times.push(started.elapsed());
+        last = Some(result.batch);
+    }
+    times.sort();
+    (times[SKEW_ITERS / 2].as_secs_f64() * 1e3, last.unwrap())
+}
+
+fn today() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_secs();
+    let (y, m, d) = sigma_value::calendar::civil_from_days((secs / 86_400) as i32);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn skewed_morsel_sweep() {
+    let wh = skewed_warehouse();
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut cells = String::new();
+    println!("\nskewed sweep ({SKEW_ROWS} rows, 90% in one partition, median of {SKEW_ITERS} runs, {cpus} cpus)");
+    println!(
+        "{:<16} {:<8} {:>12} {:>12} {:>9}",
+        "case", "p", "static_ms", "morsel_ms", "speedup"
+    );
+    for (case, sql, gated) in [
+        ("filter_project", SKEW_FILTER_SQL, true),
+        ("aggregate", SKEW_AGG_SQL, false),
+    ] {
+        // Serial static run = the oracle every mode must reproduce
+        // bit-for-bit (and the p1 context row in the record).
+        wh.set_parallelism(1);
+        wh.set_morsel_rows(None);
+        let (serial_ms, oracle) = median_ms(&wh, sql);
+
+        wh.set_parallelism(4);
+        let (static_ms, static_batch) = median_ms(&wh, sql);
+        wh.set_morsel_rows(Some(sigma_cdw::exec::DEFAULT_MORSEL_ROWS));
+        let (morsel_ms, morsel_batch) = median_ms(&wh, sql);
+        assert_bit_identical(&oracle, &static_batch, case);
+        assert_bit_identical(&oracle, &morsel_batch, case);
+
+        let speedup = static_ms / morsel_ms;
+        println!(
+            "{case:<16} {:<8} {static_ms:>12.2} {morsel_ms:>12.2} {speedup:>8.2}x",
+            4
+        );
+        if gated && cpus >= 4 {
+            assert!(
+                speedup >= 1.5,
+                "{case}: morsel stealing {morsel_ms:.2}ms vs static {static_ms:.2}ms \
+                 (speedup {speedup:.2}x < 1.5x) on a {cpus}-cpu host"
+            );
+        }
+        if !cells.is_empty() {
+            cells.push_str(",\n");
+        }
+        cells.push_str(&format!(
+            "    {{ \"case\": \"skew_{case}\", \"serial_ms\": {serial_ms:.3}, \
+             \"static_p4_ms\": {static_ms:.3}, \"morsel_p4_ms\": {morsel_ms:.3}, \
+             \"morsel_vs_static_speedup\": {speedup:.3}, \"gated\": {gated} }}"
+        ));
+        wh.set_morsel_rows(None);
+    }
+
+    let date = today();
+    let json = format!(
+        "{{\n  \"recorded\": \"{date}\",\n  \"note\": \"Skewed-input scaling: morsel-driven \
+         work stealing vs static partition-at-a-time dispatch over {SKEW_ROWS} rows with ~90% \
+         of them in a single partition (plus empty partitions and 1-row tails), median of \
+         {SKEW_ITERS} runs. Every mode is asserted bit-identical to the serial static oracle. \
+         On hosts with >= 4 cpus the streaming filter_project case must show >= 1.5x \
+         morsel-vs-static speedup at parallelism 4; single-cpu hosts record the numbers \
+         without the gate (stealing cannot beat wall-clock without cores). Regenerate with: \
+         cargo bench -p sigma-bench --bench scaling.\",\n  \"cpus\": {cpus},\n  \
+         \"iters\": {SKEW_ITERS},\n  \"cells\": [\n{cells}\n  ]\n}}\n"
+    );
+    let out = std::env::var("SCALING_BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_{date}_scaling.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    std::fs::write(&out, json).expect("write bench record");
+    println!("recorded -> {out}");
+}
+
 criterion_group!(benches, bench_scaling);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    skewed_morsel_sweep();
+}

@@ -88,6 +88,21 @@ impl Catalog {
         self.create_table_from_batch_partitioned(name, batch, or_replace, DEFAULT_PARTITION_ROWS)
     }
 
+    /// Register a table from explicit (possibly skewed) partitions.
+    pub fn create_table_from_parts(
+        &mut self,
+        name: &str,
+        parts: Vec<Batch>,
+        or_replace: bool,
+    ) -> Result<(), CdwError> {
+        if self.contains(name) && !or_replace {
+            return Err(CdwError::catalog(format!("table already exists: {name}")));
+        }
+        self.tables
+            .insert(key(name), StoredTable::from_parts(parts)?);
+        Ok(())
+    }
+
     /// Register a table from a batch with an explicit partition size.
     pub fn create_table_from_batch_partitioned(
         &mut self,

@@ -1,11 +1,17 @@
 //! The vectorized executor: [`Plan`] → [`Batch`].
 //!
-//! Operators materialize whole batches and, wherever the plan allows it,
-//! retain the storage partition structure so work spreads across worker
-//! threads (crossbeam scoped threads, the `parallelism` knob the
-//! scalability experiment E8 sweeps):
+//! Operators retain the storage partition structure wherever the plan
+//! allows it, so work spreads across worker threads (crossbeam scoped
+//! threads, the `parallelism` knob the scalability experiment E8 sweeps).
+//! Work distribution is morsel-driven by default: Filter/Project chains
+//! and the partial half of two-phase aggregation stream fixed-size
+//! morsels through fused per-morsel pipelines scheduled by an LPT-seeded
+//! work-stealing queue (see [`pipeline`] and [`scheduler`]); setting
+//! `morsel_rows = None` falls back to the static partition-at-a-time
+//! split, which the equivalence suites pin the morsel path against
+//! byte-for-byte:
 //!
-//! * Scan → Filter → Project chains map over partitions.
+//! * Scan → Filter → Project chains map over partition morsels.
 //! * `UnionAll` concatenates its inputs' partitions without collapsing.
 //! * Aggregation and DISTINCT run two-phase when the optimizer placed a
 //!   `Partial`/`Final` split (see [`crate::plan::AggMode`]): per-partition
@@ -63,6 +69,11 @@ use crate::plan::{AggCall, AggFunc, AggMode, Plan};
 use crate::storage::{SpillHandle, SpillReader, SpillWriter};
 use crate::window::compute_window;
 
+mod pipeline;
+mod scheduler;
+
+pub use pipeline::DEFAULT_MORSEL_ROWS;
+
 /// One partition flowing between operators: a batch plus an optional
 /// **selection vector** — the surviving row indices, ascending. Filters
 /// refine the selection instead of materializing their output; consumers
@@ -109,9 +120,9 @@ impl Part {
 }
 
 /// Accumulate the wall-clock of one expression evaluation into an
-/// operator's cumulative `eval_ns` counter (atomic: partition workers
-/// record concurrently).
-fn timed<T>(ns: &AtomicU64, f: impl FnOnce() -> T) -> T {
+/// operator's cumulative `eval_ns` counter (atomic: partition/morsel
+/// workers record concurrently). Shared with the window executor.
+pub(crate) fn timed<T>(ns: &AtomicU64, f: impl FnOnce() -> T) -> T {
     let started = Instant::now();
     let out = f();
     ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -125,6 +136,10 @@ pub struct ExecCtx<'a> {
     pub eval: EvalCtx,
     /// Worker threads for partition-parallel stages (1 = serial).
     pub parallelism: usize,
+    /// Morsel height for pipelined stages; `None` disables morsel-driven
+    /// execution and runs the static partition-at-a-time split (the
+    /// oracle baseline the morsel path is pinned against).
+    pub morsel_rows: Option<usize>,
     /// Per-operator memory budget and spill accounting.
     pub memory: ExecMemoryTracker,
 }
@@ -228,6 +243,9 @@ pub struct OpStats {
     /// exceed `elapsed` under parallelism. This is the counter the
     /// vectorized-expression win shows up in per query.
     pub eval_ns: u64,
+    /// Morsels this operator processed as part of a fused pipeline
+    /// (0 for operators executed outside the morsel path).
+    pub morsels: usize,
 }
 
 impl OpStats {
@@ -240,6 +258,7 @@ impl OpStats {
             partitions: 0,
             elapsed: Duration::ZERO,
             eval_ns: 0,
+            morsels: 0,
         }
     }
 }
@@ -288,7 +307,7 @@ impl ExecStats {
                 out.push_str("  ");
             }
             out.push_str(&format!(
-                "{}  rows_in={} rows_out={} partitions={} elapsed={:.3}ms eval_ns={}\n",
+                "{}  rows_in={} rows_out={} partitions={} elapsed={:.3}ms eval_ns={}",
                 op.op,
                 op.rows_in,
                 op.rows_out,
@@ -296,6 +315,10 @@ impl ExecStats {
                 op.elapsed.as_secs_f64() * 1e3,
                 op.eval_ns,
             ));
+            if op.morsels > 0 {
+                out.push_str(&format!(" morsels={}", op.morsels));
+            }
+            out.push('\n');
         }
         let budget = match self.memory_budget {
             Some(b) => b.to_string(),
@@ -379,12 +402,14 @@ fn execute_parts(
         .push(OpStats::started(op_label(plan), depth));
     let started = Instant::now();
     let eval_ns = AtomicU64::new(0);
-    let parts = execute_node(plan, ctx, stats, depth, &eval_ns)?;
+    let morsels = AtomicUsize::new(0);
+    let parts = execute_node(plan, ctx, stats, depth, &eval_ns, &morsels)?;
     let op = &mut stats.operators[slot];
     op.elapsed = started.elapsed();
     op.rows_out = parts.iter().map(Part::rows).sum();
     op.partitions = parts.len();
     op.eval_ns = eval_ns.into_inner();
+    op.morsels = morsels.into_inner();
     Ok(parts)
 }
 
@@ -426,6 +451,7 @@ fn execute_node(
     stats: &mut ExecStats,
     depth: usize,
     eval_ns: &AtomicU64,
+    morsels: &AtomicUsize,
 ) -> Result<Vec<Part>, CdwError> {
     match plan {
         Plan::Scan { table, .. } => {
@@ -443,25 +469,39 @@ fn execute_node(
         }
         Plan::Values { batch } => Ok(vec![Part::new(batch.clone())]),
         Plan::Filter { input, predicate } => {
+            // Morsel mode fuses the whole Filter/Project chain below this
+            // node into one pipeline (the chain's inner nodes never reach
+            // execute_node).
+            if ctx.morsel_rows.is_some() {
+                return pipeline::execute_chain(plan, ctx, stats, depth, eval_ns, morsels);
+            }
             let parts = execute_parts(input, ctx, stats, depth + 1)?;
             // Compile once per operator; partitions share the schema.
             let compiled = CompiledExpr::compile(predicate, &input_types(input))?;
             let compiled = &compiled;
-            par_map(ctx, parts, |p| {
-                let mask = timed(eval_ns, || compiled.eval(&p.batch, p.sel(), &ctx.eval))?;
-                // Refine the selection — no materialization.
-                let keep = truthy_indices(&mask, p.sel());
-                Ok(Part {
-                    batch: p.batch,
-                    sel: Some(keep),
-                })
-            })
+            par_map(
+                ctx,
+                parts,
+                |p| p.est_bytes(),
+                |p| {
+                    let mask = timed(eval_ns, || compiled.eval(&p.batch, p.sel(), &ctx.eval))?;
+                    // Refine the selection — no materialization.
+                    let keep = truthy_indices(&mask, p.sel());
+                    Ok(Part {
+                        batch: p.batch,
+                        sel: Some(keep),
+                    })
+                },
+            )
         }
         Plan::Project {
             input,
             exprs,
             schema,
         } => {
+            if ctx.morsel_rows.is_some() {
+                return pipeline::execute_chain(plan, ctx, stats, depth, eval_ns, morsels);
+            }
             let parts = execute_parts(input, ctx, stats, depth + 1)?;
             let types = input_types(input);
             let compiled: Vec<CompiledExpr> = exprs
@@ -469,17 +509,22 @@ fn execute_node(
                 .map(|e| CompiledExpr::compile(e, &types))
                 .collect::<Result<_, _>>()?;
             let (compiled, schema) = (&compiled, schema.clone());
-            par_map(ctx, parts, move |p| {
-                let cols: Vec<Column> = compiled
-                    .iter()
-                    .zip(schema.fields())
-                    .map(|(e, f)| {
-                        let col = timed(eval_ns, || e.eval(&p.batch, p.sel(), &ctx.eval))?;
-                        coerce_column(col, f.dtype)
-                    })
-                    .collect::<Result<_, _>>()?;
-                Ok(Part::new(Batch::new(schema.clone(), cols)?))
-            })
+            par_map(
+                ctx,
+                parts,
+                |p| p.est_bytes(),
+                move |p| {
+                    let cols: Vec<Column> = compiled
+                        .iter()
+                        .zip(schema.fields())
+                        .map(|(e, f)| {
+                            let col = timed(eval_ns, || e.eval(&p.batch, p.sel(), &ctx.eval))?;
+                            coerce_column(col, f.dtype)
+                        })
+                        .collect::<Result<_, _>>()?;
+                    Ok(Part::new(Batch::new(schema.clone(), cols)?))
+                },
+            )
         }
         Plan::Aggregate {
             input,
@@ -507,6 +552,36 @@ fn execute_node(
                         .push(OpStats::started(op_label(input), depth + 1));
                     let pstarted = Instant::now();
                     let peval_ns = AtomicU64::new(0);
+                    // Unbudgeted morsel mode: fuse the Partial with the
+                    // streaming chain below it — group/argument expressions
+                    // evaluate per morsel, each partition folds its morsels
+                    // sequentially (identical FP sequence to one
+                    // whole-partition pass), partials merge in partition
+                    // order as always. Budgeted queries fall through to the
+                    // partition-granular path so the spill estimate and the
+                    // out-of-core arithmetic stay byte-identical.
+                    if ctx.morsel_rows.is_some() && ctx.memory.budget().is_none() {
+                        let cagg = compile_agg_exprs(pgroups, paggs, &input_types(pinput))?;
+                        let fused = pipeline::execute_fused_partial(
+                            pinput,
+                            &cagg,
+                            paggs,
+                            ctx,
+                            stats,
+                            depth + 2,
+                            &peval_ns,
+                        )?;
+                        {
+                            let op = &mut stats.operators[pslot];
+                            op.elapsed = pstarted.elapsed();
+                            op.rows_out = fused.tables.iter().map(|t| t.entries.len()).sum();
+                            op.partitions = fused.partitions;
+                            op.eval_ns = peval_ns.into_inner();
+                            op.morsels = fused.morsels;
+                        }
+                        let merged = merge_group_tables(fused.tables, pgroups.is_empty(), paggs);
+                        return Ok(vec![Part::new(finish_groups(merged, schema)?)]);
+                    }
                     let parts = execute_parts(pinput, ctx, stats, depth + 2)?;
                     let cagg = compile_agg_exprs(pgroups, paggs, &input_types(pinput))?;
                     // State estimate: the partial tables hold keys and
@@ -524,9 +599,12 @@ fn execute_node(
                         return Ok(vec![Part::new(batch)]);
                     }
                     let cagg = &cagg;
-                    let tables = par_map(ctx, parts, |p| {
-                        accumulate_groups(&p, cagg, paggs, &ctx.eval, &peval_ns)
-                    })?;
+                    let tables = par_map(
+                        ctx,
+                        parts,
+                        |p| p.est_bytes(),
+                        |p| accumulate_groups(&p, cagg, paggs, &ctx.eval, &peval_ns),
+                    )?;
                     {
                         let op = &mut stats.operators[pslot];
                         op.elapsed = pstarted.elapsed();
@@ -639,19 +717,45 @@ fn execute_node(
             } else {
                 let build = Arc::new(build_join_table(right_batch.num_rows(), &rcols, keyed));
                 let (lkeys, cresidual) = (&lkeys, cresidual.as_ref());
-                par_map(ctx, lparts, |lb| {
-                    probe_partition(
-                        &lb,
+                // INNER/CROSS probes morselize: output is matched pairs in
+                // left-row order, so per-partition morsel outputs
+                // re-concatenate to the whole-partition result exactly.
+                // LEFT/FULL append unmatched left rows per probe unit, an
+                // order morsel splitting would change — those stay
+                // partition-granular.
+                if ctx.morsel_rows.is_some() && matches!(kind, JoinKind::Inner | JoinKind::Cross) {
+                    pipeline::morsel_probe(
+                        &lparts,
                         &right_batch,
                         &build,
                         *kind,
                         lkeys,
                         cresidual,
                         schema,
-                        &ctx.eval,
+                        ctx,
                         eval_ns,
-                    )
-                })?
+                        morsels,
+                    )?
+                } else {
+                    par_map(
+                        ctx,
+                        lparts,
+                        |lb| lb.byte_size(),
+                        |lb| {
+                            probe_partition(
+                                &lb,
+                                &right_batch,
+                                &build,
+                                *kind,
+                                lkeys,
+                                cresidual,
+                                schema,
+                                &ctx.eval,
+                                eval_ns,
+                            )
+                        },
+                    )?
+                }
             };
             let mut parts = Vec::with_capacity(probes.len() + 1);
             let mut matched_right = if *kind == JoinKind::Full {
@@ -745,14 +849,19 @@ fn execute_node(
                 // selection, so a filtered part still never materializes.
                 // Keys already deduplicated here never re-allocate in the
                 // Final merge.
-                AggMode::Partial => par_map(ctx, parts, |p| {
-                    let mut seen = HashSet::new();
-                    let keep = distinct_indices(&p.batch, p.sel(), &mut seen);
-                    Ok(Part {
-                        batch: p.batch,
-                        sel: Some(keep),
-                    })
-                }),
+                AggMode::Partial => par_map(
+                    ctx,
+                    parts,
+                    |p| p.est_bytes(),
+                    |p| {
+                        let mut seen = HashSet::new();
+                        let keep = distinct_indices(&p.batch, p.sel(), &mut seen);
+                        Ok(Part {
+                            batch: p.batch,
+                            sel: Some(keep),
+                        })
+                    },
+                ),
                 // Global dedup across parts in partition order.
                 AggMode::Single | AggMode::Final => {
                     let mut seen = HashSet::new();
@@ -809,54 +918,22 @@ fn coerce_column(col: Column, target: DataType) -> Result<Column, CdwError> {
 }
 
 /// Map over work items (partitions, spill buckets, ...) in parallel when
-/// configured and worthwhile. Output order always matches input order.
-fn par_map<I, T, F>(ctx: &ExecCtx, parts: Vec<I>, f: F) -> Result<Vec<T>, CdwError>
+/// configured and worthwhile. `cost` is a deterministic size estimate
+/// (bytes, rows) used to seed the LPT assignment; work stealing absorbs
+/// whatever the estimate gets wrong. Output order always matches input
+/// order — which worker ran an item can never change the result.
+fn par_map<I, T, F>(
+    ctx: &ExecCtx,
+    parts: Vec<I>,
+    cost: impl Fn(&I) -> usize,
+    f: F,
+) -> Result<Vec<T>, CdwError>
 where
     I: Send,
     T: Send,
     F: Fn(I) -> Result<T, CdwError> + Sync,
 {
-    if ctx.parallelism <= 1 || parts.len() <= 1 {
-        return parts.into_iter().map(f).collect();
-    }
-    let n = parts.len();
-    let threads = ctx.parallelism.min(n);
-    let inputs: Vec<(usize, I)> = parts.into_iter().enumerate().collect();
-    let mut chunks: Vec<Vec<(usize, I)>> = (0..threads).map(|_| Vec::new()).collect();
-    for (i, item) in inputs.into_iter().enumerate() {
-        chunks[i % threads].push(item);
-    }
-    // Each worker owns its chunk and returns its results; no shared state.
-    let per_thread: Vec<Vec<(usize, Result<T, CdwError>)>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                let f = &f;
-                scope.spawn(move |_| {
-                    chunk
-                        .into_iter()
-                        .map(|(i, batch)| (i, f(batch)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker does not panic"))
-            .collect()
-    })
-    .map_err(|_| CdwError::exec("parallel worker panicked"))?;
-    let mut results: Vec<Option<Result<T, CdwError>>> = Vec::new();
-    results.resize_with(n, || None);
-    for chunk in per_thread {
-        for (i, r) in chunk {
-            results[i] = Some(r);
-        }
-    }
-    results
-        .into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+    scheduler::run_stealing(ctx.parallelism, parts, cost, f)
 }
 
 // ---------------------------------------------------------------------
@@ -1239,6 +1316,15 @@ struct GroupTable {
     entries: Vec<GroupEntry>,
 }
 
+impl GroupTable {
+    fn new() -> GroupTable {
+        GroupTable {
+            index: HashMap::new(),
+            entries: Vec::new(),
+        }
+    }
+}
+
 /// GROUP BY and aggregate-argument expressions compiled once per
 /// Aggregate operator, shared across partition workers and spill passes.
 struct CompiledAggExprs {
@@ -1293,19 +1379,27 @@ fn eval_group_args(
     compiled: &CompiledAggExprs,
     ctx: &EvalCtx,
 ) -> Result<(Vec<Column>, Vec<Option<Column>>), CdwError> {
+    eval_group_arg_cols(&part.batch, part.sel(), compiled, ctx)
+}
+
+/// [`eval_group_args`] over an explicit batch/selection — the unit the
+/// morsel pipeline evaluates (one morsel's surviving rows).
+#[allow(clippy::type_complexity)]
+fn eval_group_arg_cols(
+    batch: &Batch,
+    sel: Option<&[usize]>,
+    compiled: &CompiledAggExprs,
+    ctx: &EvalCtx,
+) -> Result<(Vec<Column>, Vec<Option<Column>>), CdwError> {
     let group_cols: Vec<Column> = compiled
         .groups
         .iter()
-        .map(|g| g.eval(&part.batch, part.sel(), ctx))
+        .map(|g| g.eval(batch, sel, ctx))
         .collect::<Result<_, _>>()?;
     let arg_cols: Vec<Option<Column>> = compiled
         .args
         .iter()
-        .map(|a| {
-            a.as_ref()
-                .map(|e| e.eval(&part.batch, part.sel(), ctx))
-                .transpose()
-        })
+        .map(|a| a.as_ref().map(|e| e.eval(batch, sel, ctx)).transpose())
         .collect::<Result<_, _>>()?;
     Ok((group_cols, arg_cols))
 }
@@ -1325,6 +1419,38 @@ fn accumulate_pre(
     rows: usize,
     global: bool,
 ) -> (GroupTable, Vec<usize>) {
+    let mut table = GroupTable::new();
+    let mut firsts: Vec<usize> = Vec::new();
+    accumulate_into(
+        &mut table,
+        &mut firsts,
+        0,
+        group_cols,
+        arg_cols,
+        aggs,
+        rows,
+        global,
+    );
+    (table, firsts)
+}
+
+/// Fold one chunk of pre-evaluated rows into an existing table. The
+/// morsel pipeline calls this once per morsel of a partition, in morsel
+/// order, with `row_base` tracking the partition-relative row offset so
+/// `firsts` stays in partition coordinates. Because the per-row update
+/// sequence is byte-identical to one whole-partition call, the morsel
+/// path's aggregation arithmetic matches the materializing path's.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_into(
+    table: &mut GroupTable,
+    firsts: &mut Vec<usize>,
+    row_base: usize,
+    group_cols: &[Column],
+    arg_cols: &[Option<Column>],
+    aggs: &[AggCall],
+    rows: usize,
+    global: bool,
+) {
     let new_states = || -> Vec<AggState> {
         aggs.iter()
             .zip(arg_cols)
@@ -1332,19 +1458,16 @@ fn accumulate_pre(
             .collect()
     };
 
-    let mut table = GroupTable {
-        index: HashMap::new(),
-        entries: Vec::new(),
-    };
-    let mut firsts: Vec<usize> = Vec::new();
     if global {
-        table.index.insert(Vec::new(), 0);
-        table.entries.push(GroupEntry {
-            key: Vec::new(),
-            group_vals: Vec::new(),
-            states: new_states(),
-        });
-        firsts.push(0);
+        if table.entries.is_empty() {
+            table.index.insert(Vec::new(), 0);
+            table.entries.push(GroupEntry {
+                key: Vec::new(),
+                group_vals: Vec::new(),
+                states: new_states(),
+            });
+            firsts.push(0);
+        }
         for row in 0..rows {
             for (slot, state) in table.entries[0].states.iter_mut().enumerate() {
                 match &arg_cols[slot] {
@@ -1369,7 +1492,7 @@ fn accumulate_pre(
                         group_vals: group_cols.iter().map(|c| c.value(row)).collect(),
                         states: new_states(),
                     });
-                    firsts.push(row);
+                    firsts.push(row_base + row);
                     i
                 }
             };
@@ -1381,7 +1504,6 @@ fn accumulate_pre(
             }
         }
     }
-    (table, firsts)
 }
 
 /// Merge per-partition group tables in partition-index order. `global`
@@ -1552,36 +1674,41 @@ fn spilled_aggregate(
     // remembering each group's first (partition, row).
     type BucketGroups = (Vec<(u64, i64, GroupEntry)>, usize);
     let arg_slots = &arg_slots;
-    let per_bucket: Vec<BucketGroups> = par_map(ctx, handles, |handle| {
-        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
-        let mut acc: Vec<(u64, i64, GroupEntry)> = Vec::new();
-        let mut partial_rows = 0usize;
-        for (p, rec) in handle.read_all()?.into_iter().enumerate() {
-            let group_cols = rec.columns()[..gw].to_vec();
-            let arg_cols: Vec<Option<Column>> = arg_slots
-                .iter()
-                .map(|s| s.map(|i| rec.column(i).clone()))
-                .collect();
-            let (table, firsts) =
-                accumulate_pre(&group_cols, &arg_cols, aggs, rec.num_rows(), false);
-            let row_ids = rec.column(row_slot).ints().expect("row-id column");
-            partial_rows += table.entries.len();
-            for (i, entry) in table.entries.into_iter().enumerate() {
-                match index.get(&entry.key) {
-                    Some(&j) => {
-                        for (d, s) in acc[j].2.states.iter_mut().zip(entry.states) {
-                            d.merge(s);
+    let per_bucket: Vec<BucketGroups> = par_map(
+        ctx,
+        handles,
+        |h| h.bytes() as usize,
+        |handle| {
+            let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+            let mut acc: Vec<(u64, i64, GroupEntry)> = Vec::new();
+            let mut partial_rows = 0usize;
+            for (p, rec) in handle.read_all()?.into_iter().enumerate() {
+                let group_cols = rec.columns()[..gw].to_vec();
+                let arg_cols: Vec<Option<Column>> = arg_slots
+                    .iter()
+                    .map(|s| s.map(|i| rec.column(i).clone()))
+                    .collect();
+                let (table, firsts) =
+                    accumulate_pre(&group_cols, &arg_cols, aggs, rec.num_rows(), false);
+                let row_ids = rec.column(row_slot).ints().expect("row-id column");
+                partial_rows += table.entries.len();
+                for (i, entry) in table.entries.into_iter().enumerate() {
+                    match index.get(&entry.key) {
+                        Some(&j) => {
+                            for (d, s) in acc[j].2.states.iter_mut().zip(entry.states) {
+                                d.merge(s);
+                            }
                         }
-                    }
-                    None => {
-                        index.insert(entry.key.clone(), acc.len());
-                        acc.push((p as u64, row_ids[firsts[i]], entry));
+                        None => {
+                            index.insert(entry.key.clone(), acc.len());
+                            acc.push((p as u64, row_ids[firsts[i]], entry));
+                        }
                     }
                 }
             }
-        }
-        Ok((acc, partial_rows))
-    })?;
+            Ok((acc, partial_rows))
+        },
+    )?;
 
     // Interleave buckets back into global first-seen order.
     let partial_rows = per_bucket.iter().map(|(_, n)| n).sum();
@@ -2128,11 +2255,16 @@ fn spilled_join(
             pairs
         }))
         .collect();
-    par_map(ctx, items, |(left, pairs)| {
-        assemble_join_output(
-            &left, right, pairs, kind, residual, schema, &ctx.eval, eval_ns,
-        )
-    })
+    par_map(
+        ctx,
+        items,
+        |(left, pairs)| left.byte_size() + 16 * pairs.len(),
+        |(left, pairs)| {
+            assemble_join_output(
+                &left, right, pairs, kind, residual, schema, &ctx.eval, eval_ns,
+            )
+        },
+    )
 }
 
 #[cfg(test)]
@@ -2148,9 +2280,11 @@ mod tests {
             .collect()
     }
 
-    /// `par_map` must actually distribute partitions across worker
-    /// threads (the wall-clock benches can't prove this on a single-core
-    /// machine; thread identity can).
+    /// `par_map` must actually distribute work across worker threads (the
+    /// wall-clock benches can't prove this on a single-core machine;
+    /// thread identity can). Under work stealing one worker *could* drain
+    /// the queue before the others start, so the tasks hold a latch open
+    /// until a second thread arrives, bounded by a deadline.
     #[test]
     fn par_map_distributes_across_threads() {
         let catalog = Catalog::new();
@@ -2160,13 +2294,23 @@ mod tests {
             results: &results,
             eval: EvalCtx::default(),
             parallelism: 4,
+            morsel_rows: Some(DEFAULT_MORSEL_ROWS),
             memory: ExecMemoryTracker::new(None),
         };
         let seen = Mutex::new(HashSet::new());
-        let out = par_map(&ctx, int_parts(8), |b| {
-            seen.lock().insert(std::thread::current().id());
-            Ok(b.num_rows())
-        })
+        let out = par_map(
+            &ctx,
+            int_parts(8),
+            |_| 1,
+            |b| {
+                seen.lock().insert(std::thread::current().id());
+                let deadline = Instant::now() + Duration::from_secs(2);
+                while seen.lock().len() < 2 && Instant::now() < deadline {
+                    std::thread::yield_now();
+                }
+                Ok(b.num_rows())
+            },
+        )
         .unwrap();
         assert_eq!(out, vec![1; 8]);
         assert!(seen.lock().len() >= 2, "expected multiple worker threads");
@@ -2182,14 +2326,122 @@ mod tests {
             results: &results,
             eval: EvalCtx::default(),
             parallelism: 1,
+            morsel_rows: Some(DEFAULT_MORSEL_ROWS),
             memory: ExecMemoryTracker::new(None),
         };
         let caller = std::thread::current().id();
-        par_map(&ctx, int_parts(4), |_| {
-            assert_eq!(std::thread::current().id(), caller);
-            Ok(())
-        })
+        par_map(
+            &ctx,
+            int_parts(4),
+            |_| 1,
+            |_| {
+                assert_eq!(std::thread::current().id(), caller);
+                Ok(())
+            },
+        )
         .unwrap();
+    }
+
+    fn test_ctx<'a>(
+        catalog: &'a Catalog,
+        results: &'a HashMap<String, Batch>,
+        parallelism: usize,
+    ) -> ExecCtx<'a> {
+        ExecCtx {
+            catalog,
+            results,
+            eval: EvalCtx::default(),
+            parallelism,
+            morsel_rows: Some(DEFAULT_MORSEL_ROWS),
+            memory: ExecMemoryTracker::new(None),
+        }
+    }
+
+    fn sealed_spill_files(n: usize) -> Vec<SpillHandle> {
+        int_parts(n)
+            .into_iter()
+            .map(|b| {
+                let mut w = SpillWriter::create().unwrap();
+                w.append(&b).unwrap();
+                w.finish().unwrap()
+            })
+            .collect()
+    }
+
+    /// Fault injection for the spilling operators: their per-bucket passes
+    /// hand sealed [`SpillHandle`]s to `par_map` workers. Killing one
+    /// worker mid-pass must surface as a single exec error AND leave the
+    /// process spill directory empty — the handle held by the dying worker
+    /// drops during its unwind, and every unclaimed handle drops when the
+    /// scheduler's slots unwind out of `run_stealing`.
+    #[test]
+    fn killed_spill_worker_leaves_no_temp_files() {
+        let _guard = crate::storage::spill_test_support::lock();
+        let catalog = Catalog::new();
+        let results = HashMap::new();
+        let ctx = test_ctx(&catalog, &results, 4);
+        let items: Vec<(usize, SpillHandle)> =
+            sealed_spill_files(4).into_iter().enumerate().collect();
+        assert_eq!(
+            crate::storage::spill_test_support::live_spill_files().len(),
+            4
+        );
+        let err = par_map(
+            &ctx,
+            items,
+            |(_, h)| h.bytes() as usize,
+            |(i, h)| {
+                if i == 1 {
+                    panic!("worker killed mid-spill");
+                }
+                Ok(h.read_all()?.len())
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("parallel worker panicked"),
+            "unexpected error: {err}"
+        );
+        assert!(
+            crate::storage::spill_test_support::live_spill_files().is_empty(),
+            "killed worker leaked spill files"
+        );
+        assert!(crate::storage::spill_test_support::spill_dir_reclaimed());
+    }
+
+    /// Same exit path, error return instead of panic: a worker's
+    /// `Err` must propagate verbatim while all spill files (in-flight and
+    /// never-claimed) are removed.
+    #[test]
+    fn spill_worker_error_propagates_and_cleans_up() {
+        let _guard = crate::storage::spill_test_support::lock();
+        let catalog = Catalog::new();
+        let results = HashMap::new();
+        let ctx = test_ctx(&catalog, &results, 4);
+        let items: Vec<(usize, SpillHandle)> =
+            sealed_spill_files(6).into_iter().enumerate().collect();
+        let err = par_map(
+            &ctx,
+            items,
+            |(_, h)| h.bytes() as usize,
+            |(i, h)| {
+                let _ = h.read_all()?;
+                if i >= 2 {
+                    return Err(CdwError::exec("injected disk failure"));
+                }
+                Ok(())
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("injected disk failure"),
+            "unexpected error: {err}"
+        );
+        assert!(
+            crate::storage::spill_test_support::live_spill_files().is_empty(),
+            "failed worker leaked spill files"
+        );
+        assert!(crate::storage::spill_test_support::spill_dir_reclaimed());
     }
 
     /// Partial-state merging is associative for the FP-sensitive states:

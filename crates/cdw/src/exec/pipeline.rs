@@ -1,0 +1,625 @@
+//! Push-based morsel pipelines over the selection-vector kernels.
+//!
+//! A physical plan decomposes into pipelines broken only at the operators
+//! that must see their whole input (sort, merging aggregate/distinct,
+//! window, limit, and a join's build side — see
+//! [`Plan::is_pipeline_breaker`]). Inside a pipeline, the maximal
+//! Filter/Project chain ([`Plan::stream_chain`]) compiles once and runs
+//! **fused per morsel**: each fixed-size slice of a source partition
+//! flows through every stage while hot, filters refining a selection
+//! vector over the shared partition batch without copying.
+//!
+//! Morsels are distributed by the LPT-seeded work-stealing scheduler
+//! ([`super::scheduler`]), so one oversized partition no longer serializes
+//! a query: its morsels spread across all workers.
+//!
+//! ## Why stealing can't change results
+//!
+//! Execution order is free; *merge* order is pinned. Every morsel is
+//! tagged by `(partition, morsel index)` at creation, results land in
+//! per-morsel slots, and outputs regroup per partition in morsel order —
+//! a pure function of the input, independent of which worker ran what
+//! when. Three sinks consume morsels:
+//!
+//! * **Collect** (generic consumers): a partition's morsel outputs merge
+//!   back into one part per source partition — filter chains by
+//!   concatenating the (disjoint, ascending) per-morsel selections over
+//!   the original batch, projected chains by concatenating the dense
+//!   morsel batches. Downstream operators therefore see the *identical
+//!   partition structure* the materializing executor produces, which the
+//!   two-phase aggregate merge relies on for bit-identical floats.
+//! * **Fused partial aggregation**: group/argument expressions evaluate
+//!   per morsel in parallel, but each partition's pre-evaluated morsels
+//!   fold *sequentially in morsel order* into one group table — the same
+//!   row-visit order (and therefore the same FP accumulation sequence)
+//!   as one whole-partition pass. Partials still merge in
+//!   partition-index order.
+//! * **Join probe** (INNER/CROSS): left-partition morsels probe the
+//!   shared build table independently; per-partition outputs
+//!   re-concatenate in morsel order, exactly the left-row-ascending
+//!   order a whole-partition probe emits. LEFT/FULL probes stay
+//!   partition-granular because they append unmatched left rows per
+//!   probe unit.
+//!
+//! Spilling operators are pipeline breakers: under a memory budget the
+//! fused aggregation path regroups to partition parts and defers to the
+//! budgeted (possibly out-of-core) code, byte-for-byte as before.
+
+use super::scheduler::run_stealing;
+use super::*;
+
+/// Default morsel height. Big enough to amortize per-morsel dispatch and
+/// keep the vectorized kernels in their efficient range, small enough
+/// that a skewed partition splits into many stealable units (a 4 MB
+/// partition of 64-bit values yields ~128 morsels).
+pub const DEFAULT_MORSEL_ROWS: usize = 4096;
+
+fn morsel_rows(ctx: &ExecCtx) -> usize {
+    ctx.morsel_rows.unwrap_or(DEFAULT_MORSEL_ROWS).max(1)
+}
+
+/// One fixed-size unit of pipeline work: a slice of one source
+/// partition's surviving rows, borrowing the partition batch from the
+/// coordinator (no per-morsel copy).
+struct Morsel<'a> {
+    batch: &'a Batch,
+    rows: MorselRows<'a>,
+}
+
+enum MorselRows<'a> {
+    /// Dense batch rows `start..end` (source part had no selection).
+    Range(std::ops::Range<usize>),
+    /// A slice of the source part's selection vector (original-batch
+    /// coordinates).
+    Chunk(&'a [usize]),
+}
+
+impl Morsel<'_> {
+    fn len(&self) -> usize {
+        match &self.rows {
+            MorselRows::Range(r) => r.len(),
+            MorselRows::Chunk(c) => c.len(),
+        }
+    }
+
+    /// Initial selection state: `None` iff the morsel covers the whole
+    /// batch densely, so single-morsel partitions take the same
+    /// no-selection kernel path as the materializing executor.
+    fn initial_sel(&self) -> Option<Vec<usize>> {
+        match &self.rows {
+            MorselRows::Range(r) if r.start == 0 && r.end == self.batch.num_rows() => None,
+            MorselRows::Range(r) => Some(r.clone().collect()),
+            MorselRows::Chunk(c) => Some(c.to_vec()),
+        }
+    }
+}
+
+/// Split source parts into morsels, partition-major. Also returns the
+/// morsel count per partition for regrouping. Every partition emits at
+/// least one morsel — empty partitions must stay represented so the
+/// output keeps the source partition structure.
+fn morselize(parts: &[Part], morsel_rows: usize) -> (Vec<Morsel<'_>>, Vec<usize>) {
+    let morsel_rows = morsel_rows.max(1);
+    let mut morsels = Vec::new();
+    let mut counts = Vec::with_capacity(parts.len());
+    for part in parts {
+        let before = morsels.len();
+        match part.sel() {
+            Some([]) => morsels.push(Morsel {
+                batch: &part.batch,
+                rows: MorselRows::Chunk(&[]),
+            }),
+            Some(sel) => {
+                for chunk in sel.chunks(morsel_rows) {
+                    morsels.push(Morsel {
+                        batch: &part.batch,
+                        rows: MorselRows::Chunk(chunk),
+                    });
+                }
+            }
+            None => {
+                let rows = part.batch.num_rows();
+                let mut start = 0;
+                loop {
+                    let end = (start + morsel_rows).min(rows);
+                    morsels.push(Morsel {
+                        batch: &part.batch,
+                        rows: MorselRows::Range(start..end),
+                    });
+                    start = end;
+                    if start >= rows {
+                        break;
+                    }
+                }
+            }
+        }
+        counts.push(morsels.len() - before);
+    }
+    (morsels, counts)
+}
+
+/// One compiled streaming stage.
+enum Stage {
+    Filter(CompiledExpr),
+    Project {
+        exprs: Vec<CompiledExpr>,
+        schema: Arc<Schema>,
+    },
+}
+
+/// Per-stage counters, accumulated concurrently by morsel workers.
+#[derive(Default)]
+struct StageCounters {
+    rows_out: AtomicUsize,
+    eval_ns: AtomicU64,
+}
+
+/// A Filter/Project chain compiled once for fused per-morsel execution.
+/// `stages` is in execution order — source side first, the reverse of
+/// the top-down plan order `Plan::stream_chain` returns.
+struct CompiledChain {
+    stages: Vec<Stage>,
+    counters: Vec<StageCounters>,
+}
+
+fn compile_chain(chain: &[&Plan]) -> Result<CompiledChain, CdwError> {
+    let mut stages = Vec::with_capacity(chain.len());
+    for node in chain.iter().rev() {
+        stages.push(match node {
+            Plan::Filter { input, predicate } => {
+                Stage::Filter(CompiledExpr::compile(predicate, &input_types(input))?)
+            }
+            Plan::Project {
+                input,
+                exprs,
+                schema,
+            } => Stage::Project {
+                exprs: exprs
+                    .iter()
+                    .map(|e| CompiledExpr::compile(e, &input_types(input)))
+                    .collect::<Result<_, _>>()?,
+                schema: schema.clone(),
+            },
+            other => {
+                return Err(CdwError::exec(format!(
+                    "not a streaming stage: {}",
+                    op_label(other)
+                )))
+            }
+        });
+    }
+    let counters = (0..stages.len())
+        .map(|_| StageCounters::default())
+        .collect();
+    Ok(CompiledChain { stages, counters })
+}
+
+/// A morsel mid-pipeline: either still a selection over the source
+/// partition batch (original coordinates — filters refine it without
+/// copying) or an owned dense batch once a Project materialized.
+enum MorselState<'a> {
+    Source {
+        batch: &'a Batch,
+        sel: Option<Vec<usize>>,
+    },
+    Owned(Part),
+}
+
+impl MorselState<'_> {
+    fn rows(&self) -> usize {
+        match self {
+            MorselState::Source { batch, sel } => sel.as_ref().map_or(batch.num_rows(), Vec::len),
+            MorselState::Owned(p) => p.rows(),
+        }
+    }
+
+    fn batch_and_sel(&self) -> (&Batch, Option<&[usize]>) {
+        match self {
+            MorselState::Source { batch, sel } => (batch, sel.as_deref()),
+            MorselState::Owned(p) => (&p.batch, p.sel()),
+        }
+    }
+}
+
+/// Run one morsel through every stage of the chain while hot.
+fn apply_stages<'a>(
+    chain: &CompiledChain,
+    m: &Morsel<'a>,
+    ctx: &ExecCtx,
+) -> Result<MorselState<'a>, CdwError> {
+    let mut state = MorselState::Source {
+        batch: m.batch,
+        sel: m.initial_sel(),
+    };
+    for (stage, counters) in chain.stages.iter().zip(&chain.counters) {
+        state = match stage {
+            Stage::Filter(pred) => {
+                let keep = {
+                    let (batch, sel) = state.batch_and_sel();
+                    let mask = timed(&counters.eval_ns, || pred.eval(batch, sel, &ctx.eval))?;
+                    truthy_indices(&mask, sel)
+                };
+                counters.rows_out.fetch_add(keep.len(), Ordering::Relaxed);
+                match state {
+                    MorselState::Source { batch, .. } => MorselState::Source {
+                        batch,
+                        sel: Some(keep),
+                    },
+                    MorselState::Owned(p) => MorselState::Owned(Part {
+                        batch: p.batch,
+                        sel: Some(keep),
+                    }),
+                }
+            }
+            Stage::Project { exprs, schema } => {
+                let (batch, sel) = state.batch_and_sel();
+                let cols: Vec<Column> = exprs
+                    .iter()
+                    .zip(schema.fields())
+                    .map(|(e, f)| {
+                        let col = timed(&counters.eval_ns, || e.eval(batch, sel, &ctx.eval))?;
+                        coerce_column(col, f.dtype)
+                    })
+                    .collect::<Result<_, _>>()?;
+                let out = Part::new(Batch::new(schema.clone(), cols)?);
+                counters.rows_out.fetch_add(out.rows(), Ordering::Relaxed);
+                MorselState::Owned(out)
+            }
+        };
+    }
+    Ok(state)
+}
+
+/// Owned per-morsel chain output (borrows on the source parts released).
+enum OutData {
+    /// Refined selection over the source partition batch.
+    Sel(Vec<usize>),
+    /// Owned dense (possibly re-filtered) batch.
+    Part(Part),
+}
+
+/// Merge one partition's morsel outputs (in morsel order) back into one
+/// part with the same shape the materializing executor produces:
+/// filter-only chains keep the original batch plus the concatenated
+/// selection, projected chains concatenate the dense morsel batches.
+fn merge_partition(source: Part, mut outs: Vec<OutData>) -> Result<Part, CdwError> {
+    if outs.len() == 1 {
+        return Ok(match outs.pop().expect("one output") {
+            OutData::Sel(sel) => Part {
+                batch: source.batch,
+                sel: Some(sel),
+            },
+            OutData::Part(p) => p,
+        });
+    }
+    match outs.first() {
+        Some(OutData::Sel(_)) | None => {
+            // Morsels cover disjoint ascending row ranges, so their
+            // selections concatenate into one ascending selection.
+            let mut sel = Vec::new();
+            for o in outs {
+                match o {
+                    OutData::Sel(s) => sel.extend(s),
+                    OutData::Part(_) => unreachable!("chain output representation is uniform"),
+                }
+            }
+            Ok(Part {
+                batch: source.batch,
+                sel: Some(sel),
+            })
+        }
+        Some(OutData::Part(_)) => {
+            let batches: Vec<Batch> = outs
+                .into_iter()
+                .map(|o| match o {
+                    OutData::Part(p) => p.materialize(),
+                    OutData::Sel(_) => unreachable!("chain output representation is uniform"),
+                })
+                .collect();
+            let refs: Vec<&Batch> = batches.iter().collect();
+            Ok(Part::new(Batch::concat(&refs)?))
+        }
+    }
+}
+
+/// Execute the maximal streaming chain rooted at `plan` as one fused
+/// morsel pipeline, returning one part per source partition.
+///
+/// Called from the executor's Filter/Project arm: the caller's wrapper
+/// already pushed `plan`'s own stats entry (fed through `eval_ns` /
+/// `morsels_out`); entries for the deeper chain nodes are pushed here in
+/// pre-order, then the source executes below them — the identical stats
+/// tree the operator-at-a-time executor records.
+pub(super) fn execute_chain(
+    plan: &Plan,
+    ctx: &ExecCtx,
+    stats: &mut ExecStats,
+    depth: usize,
+    eval_ns: &AtomicU64,
+    morsels_out: &AtomicUsize,
+) -> Result<Vec<Part>, CdwError> {
+    let (chain, source) = plan.stream_chain();
+    let inner_slots: Vec<usize> = chain[1..]
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let slot = stats.operators.len();
+            stats
+                .operators
+                .push(OpStats::started(op_label(node), depth + 1 + i));
+            slot
+        })
+        .collect();
+    let started = Instant::now();
+    let parts = execute_parts(source, ctx, stats, depth + chain.len())?;
+    let nparts = parts.len();
+    let compiled = compile_chain(&chain)?;
+
+    let outs: Vec<OutData> = {
+        let (morsels, counts) = morselize(&parts, morsel_rows(ctx));
+        morsels_out.fetch_add(morsels.len(), Ordering::Relaxed);
+        debug_assert_eq!(counts.len(), nparts);
+        run_stealing(
+            ctx.parallelism,
+            morsels,
+            |m| m.len().max(1),
+            |m| apply_stages(&compiled, &m, ctx),
+        )?
+        .into_iter()
+        .map(|state| match state {
+            MorselState::Source { batch, sel } => {
+                OutData::Sel(sel.unwrap_or_else(|| (0..batch.num_rows()).collect()))
+            }
+            MorselState::Owned(p) => OutData::Part(p),
+        })
+        .collect()
+    };
+
+    let (_, counts) = morselize(&parts, morsel_rows(ctx));
+    let nmorsels: usize = counts.iter().sum();
+    let mut out_parts = Vec::with_capacity(nparts);
+    let mut it = outs.into_iter();
+    for (part, count) in parts.into_iter().zip(counts) {
+        let group: Vec<OutData> = it.by_ref().take(count).collect();
+        out_parts.push(merge_partition(part, group)?);
+    }
+
+    // Inner chain nodes' stats. Stage `s` (execution order) is chain node
+    // `k-1-s` (top-down order); the top node's counters feed the caller's
+    // entry via `eval_ns`.
+    let k = compiled.stages.len();
+    let elapsed = started.elapsed();
+    for (j, slot) in inner_slots.iter().enumerate() {
+        let c = &compiled.counters[k - 2 - j];
+        let op = &mut stats.operators[*slot];
+        op.rows_out = c.rows_out.load(Ordering::Relaxed);
+        op.partitions = nparts;
+        op.elapsed = elapsed;
+        op.eval_ns = c.eval_ns.load(Ordering::Relaxed);
+        op.morsels = nmorsels;
+    }
+    eval_ns.fetch_add(
+        compiled.counters[k - 1].eval_ns.load(Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+    Ok(out_parts)
+}
+
+/// Result of the fused Partial half of a two-phase aggregate.
+pub(super) struct FusedPartial {
+    /// One group table per source partition (merge in index order).
+    pub tables: Vec<GroupTable>,
+    pub partitions: usize,
+    pub morsels: usize,
+}
+
+/// Run the Partial half of a fused two-phase aggregate as a morsel
+/// pipeline: the chain stages *and* the group/argument expressions — the
+/// expensive vectorized work — evaluate per morsel in parallel, then each
+/// partition's pre-evaluated morsels fold sequentially in morsel order
+/// into one group table. The fold visits rows in exactly the order one
+/// whole-partition pass would, so every FP accumulation (`AVG` partial
+/// sums, Welford updates) is the same operation sequence the
+/// materializing executor performs; partitions fold in parallel and merge
+/// in partition-index order as before. Only reached without a memory
+/// budget — budgeted aggregation regroups to partition parts and takes
+/// the (possibly spilling) legacy path byte-for-byte.
+pub(super) fn execute_fused_partial(
+    pinput: &Plan,
+    cagg: &CompiledAggExprs,
+    aggs: &[AggCall],
+    ctx: &ExecCtx,
+    stats: &mut ExecStats,
+    depth: usize,
+    eval_ns: &AtomicU64,
+) -> Result<FusedPartial, CdwError> {
+    let (chain, source) = pinput.stream_chain();
+    let inner_slots: Vec<usize> = chain
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let slot = stats.operators.len();
+            stats
+                .operators
+                .push(OpStats::started(op_label(node), depth + i));
+            slot
+        })
+        .collect();
+    let started = Instant::now();
+    let parts = execute_parts(source, ctx, stats, depth + chain.len())?;
+    let nparts = parts.len();
+    let compiled = compile_chain(&chain)?;
+
+    /// One morsel's pre-evaluated aggregation inputs.
+    struct EvaledMorsel {
+        groups: Vec<Column>,
+        args: Vec<Option<Column>>,
+        rows: usize,
+    }
+    let (morsels, counts) = morselize(&parts, morsel_rows(ctx));
+    let nmorsels = morsels.len();
+    let evaled: Vec<EvaledMorsel> = run_stealing(
+        ctx.parallelism,
+        morsels,
+        |m| m.len().max(1),
+        |m| {
+            let state = apply_stages(&compiled, &m, ctx)?;
+            let rows = state.rows();
+            let (batch, sel) = state.batch_and_sel();
+            let (groups, args) =
+                timed(eval_ns, || eval_group_arg_cols(batch, sel, cagg, &ctx.eval))?;
+            Ok(EvaledMorsel { groups, args, rows })
+        },
+    )?;
+    let chain_elapsed = started.elapsed();
+
+    // Chain node stats (all pushed here — the Partial's own entry is the
+    // caller's).
+    let k = compiled.stages.len();
+    for (j, slot) in inner_slots.iter().enumerate() {
+        let c = &compiled.counters[k - 1 - j];
+        let op = &mut stats.operators[*slot];
+        op.rows_out = c.rows_out.load(Ordering::Relaxed);
+        op.partitions = nparts;
+        op.elapsed = chain_elapsed;
+        op.eval_ns = c.eval_ns.load(Ordering::Relaxed);
+        op.morsels = nmorsels;
+    }
+
+    // Sequential per-partition fold in morsel order, partitions in
+    // parallel.
+    let mut grouped: Vec<Vec<EvaledMorsel>> = Vec::with_capacity(nparts);
+    let mut it = evaled.into_iter();
+    for count in counts {
+        grouped.push(it.by_ref().take(count).collect());
+    }
+    let global = cagg.groups.is_empty();
+    let tables: Vec<GroupTable> = run_stealing(
+        ctx.parallelism,
+        grouped,
+        |ms| ms.iter().map(|m| m.rows).sum::<usize>().max(1),
+        |ms| {
+            let mut table = GroupTable::new();
+            let mut firsts = Vec::new();
+            let mut base = 0usize;
+            for m in ms {
+                accumulate_into(
+                    &mut table,
+                    &mut firsts,
+                    base,
+                    &m.groups,
+                    &m.args,
+                    aggs,
+                    m.rows,
+                    global,
+                );
+                base += m.rows;
+            }
+            Ok(table)
+        },
+    )?;
+    Ok(FusedPartial {
+        tables,
+        partitions: nparts,
+        morsels: nmorsels,
+    })
+}
+
+/// Morselized probe for INNER/CROSS hash joins: each left partition
+/// splits into dense row-range morsels probed independently (stealing
+/// absorbs a skewed build of probe work), and per-partition outputs
+/// re-concatenate in morsel order — exactly the left-row-ascending order
+/// a whole-partition probe emits, so downstream operators see the same
+/// one-output-part-per-left-partition structure. LEFT/FULL probes stay
+/// partition-granular in the caller: they append unmatched left rows
+/// after each probe unit's matches, an order morsel splitting would
+/// change.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn morsel_probe(
+    lparts: &[Batch],
+    right: &Batch,
+    build: &JoinBuild,
+    kind: JoinKind,
+    left_keys: &[CompiledExpr],
+    residual: Option<&CompiledExpr>,
+    schema: &Arc<Schema>,
+    ctx: &ExecCtx,
+    eval_ns: &AtomicU64,
+    morsels_out: &AtomicUsize,
+) -> Result<Vec<(Batch, Vec<usize>)>, CdwError> {
+    let mrows = morsel_rows(ctx);
+    struct ProbeMorsel<'a> {
+        batch: &'a Batch,
+        /// `None` = probe the whole partition batch (no slice copy).
+        range: Option<std::ops::Range<usize>>,
+    }
+    let mut morsels = Vec::new();
+    let mut counts = Vec::with_capacity(lparts.len());
+    for lb in lparts {
+        let before = morsels.len();
+        let rows = lb.num_rows();
+        if rows <= mrows {
+            morsels.push(ProbeMorsel {
+                batch: lb,
+                range: None,
+            });
+        } else {
+            let mut start = 0;
+            while start < rows {
+                let end = (start + mrows).min(rows);
+                morsels.push(ProbeMorsel {
+                    batch: lb,
+                    range: Some(start..end),
+                });
+                start = end;
+            }
+        }
+        counts.push(morsels.len() - before);
+    }
+    morsels_out.fetch_add(morsels.len(), Ordering::Relaxed);
+
+    let probes = run_stealing(
+        ctx.parallelism,
+        morsels,
+        |m| {
+            m.range
+                .as_ref()
+                .map_or(m.batch.num_rows(), |r| r.len())
+                .max(1)
+        },
+        |m| {
+            let sliced;
+            let lb = match &m.range {
+                Some(r) => {
+                    sliced = m.batch.slice(r.start, r.len());
+                    &sliced
+                }
+                None => m.batch,
+            };
+            probe_partition(
+                lb, right, build, kind, left_keys, residual, schema, &ctx.eval, eval_ns,
+            )
+        },
+    )?;
+
+    let mut out = Vec::with_capacity(lparts.len());
+    let mut it = probes.into_iter();
+    for count in counts {
+        let mut group: Vec<(Batch, Vec<usize>)> = it.by_ref().take(count).collect();
+        if group.len() == 1 {
+            out.push(group.pop().expect("one probe output"));
+        } else {
+            let mut matched = Vec::new();
+            let batches: Vec<Batch> = group
+                .into_iter()
+                .map(|(b, m)| {
+                    matched.extend(m);
+                    b
+                })
+                .collect();
+            let refs: Vec<&Batch> = batches.iter().collect();
+            out.push((Batch::concat(&refs)?, matched));
+        }
+    }
+    Ok(out)
+}

@@ -36,6 +36,11 @@ pub struct WarehouseConfig {
     /// spill files — with bit-identical results (see
     /// [`crate::exec::ExecMemoryTracker`]).
     pub memory_budget: Option<usize>,
+    /// Morsel height for pipelined execution (`None` = the static
+    /// partition-at-a-time executor, the oracle baseline). Results are
+    /// bit-identical either way; the morsel path only changes how work
+    /// is scheduled.
+    pub morsel_rows: Option<usize>,
 }
 
 impl Default for WarehouseConfig {
@@ -46,6 +51,7 @@ impl Default for WarehouseConfig {
             now_micros: EvalCtx::default().now_micros,
             max_persisted_results: 256,
             memory_budget: None,
+            morsel_rows: Some(crate::exec::DEFAULT_MORSEL_ROWS),
         }
     }
 }
@@ -130,6 +136,18 @@ impl Warehouse {
         self.config.read().memory_budget
     }
 
+    /// Set the morsel height for pipelined execution (`None` switches to
+    /// the static partition-at-a-time executor). Results are bit-identical
+    /// either way.
+    pub fn set_morsel_rows(&self, morsel_rows: Option<usize>) {
+        self.config.write().morsel_rows = morsel_rows.map(|m| m.max(1));
+    }
+
+    /// The configured morsel height (`None` = static execution).
+    pub fn morsel_rows(&self) -> Option<usize> {
+        self.config.read().morsel_rows
+    }
+
     pub fn set_query_overhead(&self, overhead: Duration) {
         self.config.write().query_overhead = overhead;
     }
@@ -157,6 +175,17 @@ impl Warehouse {
         self.catalog
             .write()
             .create_table_from_batch_partitioned(name, batch, true, partition_rows)
+    }
+
+    /// Register a table from explicit partitions. Unlike
+    /// [`load_table_partitioned`](Self::load_table_partitioned)'s uniform
+    /// split, the caller controls each partition's size — the skew tests
+    /// feed one giant partition next to empty and single-row ones to
+    /// exercise the work-stealing scheduler's worst cases.
+    pub fn load_table_parts(&self, name: &str, parts: Vec<Batch>) -> Result<(), CdwError> {
+        self.catalog
+            .write()
+            .create_table_from_parts(name, parts, true)
     }
 
     pub fn table_names(&self) -> Vec<String> {
@@ -336,6 +365,13 @@ impl Warehouse {
         Ok(stats.render())
     }
 
+    /// Render the morsel-pipeline decomposition of a query's optimized
+    /// plan (EXPLAIN PIPELINES-style) without executing it: fused
+    /// Filter/Project chains, pipeline sources/sinks, and breakers.
+    pub fn explain_pipelines(&self, sql: &str) -> Result<String, CdwError> {
+        Ok(crate::optimizer::explain_pipelines(&self.plan_sql(sql)?))
+    }
+
     /// Plan (without executing) — exposed for EXPLAIN-style tooling/tests.
     pub fn plan_sql(&self, sql: &str) -> Result<Plan, CdwError> {
         let stmt = parse_statement(sql)?;
@@ -367,6 +403,7 @@ impl Warehouse {
             results: &results,
             eval: self.eval_ctx(),
             parallelism: config.parallelism,
+            morsel_rows: config.morsel_rows,
             memory: crate::exec::ExecMemoryTracker::new(config.memory_budget),
         };
         execute(&plan, &ctx, stats)

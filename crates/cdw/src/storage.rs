@@ -12,7 +12,12 @@
 //! sort run, per-bucket rows of a spilling aggregation or Grace join).
 //! Files live under a per-process directory in the OS temp dir and are
 //! deleted when their handle drops, so even a panicking query leaks at
-//! most the files of its own process lifetime.
+//! most the files of its own process lifetime. Ownership keeps cleanup
+//! panic-safe without registries: writers and handles live either on the
+//! query thread or inside the work-stealing scheduler's slots, so any
+//! unwind — a worker killed mid-read, an I/O error mid-write — drops
+//! them and removes their files. Whichever drop empties the directory
+//! also removes it, so a finished process leaves no residue at all.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -59,6 +64,22 @@ impl StoredTable {
             start += len;
         }
         StoredTable { schema, partitions }
+    }
+
+    /// Build from explicit partitions (possibly wildly uneven — skew
+    /// tests and benches use this to pin scheduler behavior that uniform
+    /// `from_batch` splits can't reach). Partitions must agree with the
+    /// first batch's column types positionally; empty partitions are
+    /// legal and preserved.
+    pub fn from_parts(parts: Vec<Batch>) -> Result<StoredTable, CdwError> {
+        let Some(first) = parts.first() else {
+            return Err(CdwError::exec("from_parts requires at least one batch"));
+        };
+        let mut table = StoredTable::empty(first.schema().clone());
+        for part in parts {
+            table.append(part)?;
+        }
+        Ok(table)
     }
 
     pub fn schema(&self) -> &Arc<Schema> {
@@ -133,6 +154,16 @@ fn spill_dir() -> PathBuf {
     std::env::temp_dir().join(format!("sigma-spill-{}", std::process::id()))
 }
 
+/// Reclaim the per-process directory once it holds no files. `remove_dir`
+/// refuses non-empty directories, so calling it after every file removal
+/// deletes the directory exactly when the last spill file is gone (and is
+/// a cheap no-op otherwise).
+fn remove_spill_dir_if_empty(path: &std::path::Path) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::remove_dir(dir);
+    }
+}
+
 fn io_err(what: &str, e: std::io::Error) -> CdwError {
     CdwError::exec(format!("spill {what}: {e}"))
 }
@@ -154,10 +185,23 @@ impl SpillWriter {
     /// Create a fresh, uniquely named spill file.
     pub fn create() -> Result<SpillWriter, CdwError> {
         let dir = spill_dir();
-        std::fs::create_dir_all(&dir).map_err(|e| io_err("mkdir", e))?;
         let id = NEXT_SPILL_ID.fetch_add(1, Ordering::Relaxed);
         let path = dir.join(format!("{id}.spill"));
-        let file = File::create(&path).map_err(|e| io_err("create", e))?;
+        // A concurrently dropping handle may reclaim the (momentarily
+        // empty) directory between our mkdir and the file create; retry
+        // the pair until the create lands inside a directory that our
+        // own file then keeps alive.
+        let mut attempts = 0;
+        let file = loop {
+            std::fs::create_dir_all(&dir).map_err(|e| io_err("mkdir", e))?;
+            match File::create(&path) {
+                Ok(f) => break f,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound && attempts < 16 => {
+                    attempts += 1;
+                }
+                Err(e) => return Err(io_err("create", e)),
+            }
+        };
         Ok(SpillWriter {
             file: BufWriter::new(file),
             path,
@@ -193,9 +237,11 @@ impl SpillWriter {
 
 impl Drop for SpillWriter {
     fn drop(&mut self) {
-        // A writer dropped without `finish` (error path) removes its file.
+        // A writer dropped without `finish` — an error return or a panic
+        // unwinding through the owning worker — removes its file.
         if !self.path.as_os_str().is_empty() {
             let _ = std::fs::remove_file(&self.path);
+            remove_spill_dir_if_empty(&self.path);
         }
     }
 }
@@ -243,6 +289,7 @@ impl SpillHandle {
 impl Drop for SpillHandle {
     fn drop(&mut self) {
         let _ = std::fs::remove_file(&self.path);
+        remove_spill_dir_if_empty(&self.path);
     }
 }
 
@@ -282,6 +329,40 @@ impl SpillReader {
         codec::decode_batch(&payload)
             .map(Some)
             .map_err(CdwError::from)
+    }
+}
+
+/// Unit-test support for asserting on the shared spill directory. All
+/// unit tests of one crate run as threads of a single process, so they
+/// share one `sigma-spill-{pid}` directory; any test that creates spill
+/// files or asserts the directory's global state must hold this lock or
+/// it races with its neighbors. (Integration-test binaries are separate
+/// processes and get their own directories.)
+#[cfg(test)]
+pub(crate) mod spill_test_support {
+    use std::path::PathBuf;
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    /// Serialize spill-dir tests. Recovers from poisoning so one failed
+    /// spill test doesn't cascade into the rest.
+    pub(crate) fn lock() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Spill files currently on disk (missing directory = none).
+    pub(crate) fn live_spill_files() -> Vec<PathBuf> {
+        match std::fs::read_dir(super::spill_dir()) {
+            Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// True when every spill file is gone AND the per-process directory
+    /// itself has been reclaimed.
+    pub(crate) fn spill_dir_reclaimed() -> bool {
+        !super::spill_dir().exists()
     }
 }
 
@@ -369,6 +450,7 @@ mod tests {
 
     #[test]
     fn spill_write_read_roundtrip_and_cleanup() {
+        let _guard = spill_test_support::lock();
         let mut w = SpillWriter::create().unwrap();
         let b1 = batch(5);
         let b2 = batch(3);
@@ -406,6 +488,7 @@ mod tests {
     /// huge allocation.
     #[test]
     fn corrupted_length_prefix_is_an_error() {
+        let _guard = spill_test_support::lock();
         let mut w = SpillWriter::create().unwrap();
         w.append(&batch(4)).unwrap();
         let h = w.finish().unwrap();
@@ -418,11 +501,61 @@ mod tests {
 
     #[test]
     fn unfinished_writer_cleans_up() {
+        let _guard = spill_test_support::lock();
         let mut w = SpillWriter::create().unwrap();
         w.append(&batch(2)).unwrap();
         let path = w.path.clone();
         assert!(path.exists());
         drop(w);
         assert!(!path.exists());
+        assert!(
+            spill_test_support::spill_dir_reclaimed(),
+            "empty spill dir should be removed with its last file"
+        );
+    }
+
+    /// A panic unwinding through the thread that owns a mid-write spill
+    /// file must remove it — the Drop impl runs during unwinding exactly
+    /// as on the error-return path.
+    #[test]
+    fn panicking_writer_cleans_up_mid_write() {
+        let _guard = spill_test_support::lock();
+        let mut w = SpillWriter::create().unwrap();
+        w.append(&batch(4)).unwrap();
+        let path = w.path.clone();
+        assert!(path.exists());
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _owned_by_worker = w;
+            panic!("worker killed mid-spill");
+        }));
+        assert!(unwound.is_err());
+        assert!(!path.exists(), "panicked writer leaked {path:?}");
+        assert!(spill_test_support::spill_dir_reclaimed());
+    }
+
+    /// The mkdir/rmdir race: one thread's dropping handle may reclaim the
+    /// momentarily-empty directory while another thread is between its
+    /// `create_dir_all` and `File::create`. The create-retry in
+    /// `SpillWriter::create` must absorb this — hammer create/drop pairs
+    /// from two threads and require every create to succeed.
+    #[test]
+    fn concurrent_create_and_reclaim_never_fails() {
+        let _guard = spill_test_support::lock();
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..200 {
+                        let mut w = SpillWriter::create().expect("create survives dir reclaim");
+                        w.append(&batch(1)).unwrap();
+                        drop(w.finish().unwrap());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(spill_test_support::live_spill_files().is_empty());
+        assert!(spill_test_support::spill_dir_reclaimed());
     }
 }

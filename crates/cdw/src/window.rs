@@ -6,14 +6,14 @@
 //! — the engine feature behind the paper's `FillDown` formula.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::atomic::AtomicU64;
 
 use sigma_sql::{FrameBound, WindowFrame};
 use sigma_value::{hash, sort, Batch, Column, ColumnBuilder, DataType, Value};
 
 use crate::error::CdwError;
 use crate::eval::{eval, EvalCtx};
+use crate::exec::timed;
 use crate::plan::{AggFunc, WinFunc, WindowCall};
 
 /// Compute one window call over a batch, returning the appended column.
@@ -28,23 +28,25 @@ pub fn compute_window(
 ) -> Result<Column, CdwError> {
     let rows = batch.num_rows();
     // Evaluate partition / order / argument expressions once.
-    let eval_started = Instant::now();
-    let part_cols: Vec<Column> = call
-        .partition
-        .iter()
-        .map(|p| eval(p, batch, ctx))
-        .collect::<Result<_, _>>()?;
-    let order_cols: Vec<Column> = call
-        .order
-        .iter()
-        .map(|o| eval(&o.expr, batch, ctx))
-        .collect::<Result<_, _>>()?;
-    let arg_cols: Vec<Column> = call
-        .args
-        .iter()
-        .map(|a| eval(a, batch, ctx))
-        .collect::<Result<_, _>>()?;
-    eval_ns.fetch_add(eval_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    type Cols = (Vec<Column>, Vec<Column>, Vec<Column>);
+    let (part_cols, order_cols, arg_cols): Cols = timed(eval_ns, || {
+        let part_cols: Vec<Column> = call
+            .partition
+            .iter()
+            .map(|p| eval(p, batch, ctx))
+            .collect::<Result<_, _>>()?;
+        let order_cols: Vec<Column> = call
+            .order
+            .iter()
+            .map(|o| eval(&o.expr, batch, ctx))
+            .collect::<Result<_, _>>()?;
+        let arg_cols: Vec<Column> = call
+            .args
+            .iter()
+            .map(|a| eval(a, batch, ctx))
+            .collect::<Result<_, _>>()?;
+        Ok::<_, CdwError>((part_cols, order_cols, arg_cols))
+    })?;
 
     // Build partitions preserving first-seen order.
     let mut partitions: Vec<Vec<usize>> = Vec::new();

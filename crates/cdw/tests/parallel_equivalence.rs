@@ -5,6 +5,12 @@
 //! partial/final placement purely from plan shape and the executor merges
 //! partial states in partition-index order, so thread count can never
 //! change a result — this test pins that invariant.
+//!
+//! The skew suite extends the pin to the morsel-driven path: pathological
+//! partition layouts (one ~90% partition, empties, 1-row tails) at
+//! parallelism {1, 4, 16} and morsel sizes {None = static oracle, 3,
+//! default} must all agree bit-for-bit, because morsels regroup by
+//! (partition, morsel index) before anything order-sensitive happens.
 
 use proptest::prelude::*;
 use sigma_cdw::Warehouse;
@@ -34,15 +40,14 @@ const QUERIES: &[&str] = &[
     "SELECT g, SUM(v) AS s FROM (SELECT g, v FROM t UNION ALL SELECT g, v FROM t) x GROUP BY g",
 ];
 
-fn load(rows: &[(i64, Option<i64>, i64)], partition_rows: usize) -> Warehouse {
-    let wh = Warehouse::default();
+fn fact_batch(rows: &[(i64, Option<i64>, i64)]) -> Batch {
     let schema = Arc::new(Schema::new(vec![
         Field::new("g", DataType::Int),
         Field::new("v", DataType::Int),
         Field::new("d", DataType::Float),
         Field::new("jk", DataType::Int),
     ]));
-    let batch = Batch::new(
+    Batch::new(
         schema,
         vec![
             Column::from_ints(rows.iter().map(|(g, _, _)| *g).collect()),
@@ -55,11 +60,12 @@ fn load(rows: &[(i64, Option<i64>, i64)], partition_rows: usize) -> Warehouse {
             Column::from_ints(rows.iter().map(|(_, _, j)| *j).collect()),
         ],
     )
-    .unwrap();
-    wh.load_table_partitioned("t", batch, partition_rows)
-        .unwrap();
-    // Small dimension table: keys 0..6 so some jk values (6..8) dangle.
-    let dim = Batch::new(
+    .unwrap()
+}
+
+/// Small dimension table: keys 0..6 so some jk values (6..8) dangle.
+fn dim_batch() -> Batch {
+    Batch::new(
         Arc::new(Schema::new(vec![
             Field::new("k", DataType::Int),
             Field::new("lab", DataType::Text),
@@ -69,8 +75,40 @@ fn load(rows: &[(i64, Option<i64>, i64)], partition_rows: usize) -> Warehouse {
             Column::from_texts((0..6).map(|i| format!("l{i}")).collect()),
         ],
     )
-    .unwrap();
-    wh.load_table("u", dim).unwrap();
+    .unwrap()
+}
+
+fn load(rows: &[(i64, Option<i64>, i64)], partition_rows: usize) -> Warehouse {
+    let wh = Warehouse::default();
+    wh.load_table_partitioned("t", fact_batch(rows), partition_rows)
+        .unwrap();
+    wh.load_table("u", dim_batch()).unwrap();
+    wh
+}
+
+/// Load `t` with a deliberately pathological partition layout: one
+/// partition holding ~90% of the rows, empty partitions interleaved, and
+/// `tails` single-row partitions (which morselize into 1-row morsels).
+/// This is the layout static `i % threads` chunking handled worst and the
+/// work-stealing scheduler must handle without changing a single bit.
+fn load_skewed(rows: &[(i64, Option<i64>, i64)], tails: usize) -> Warehouse {
+    let wh = Warehouse::default();
+    let batch = fact_batch(rows);
+    let n = batch.num_rows();
+    let tails = tails.min(n.saturating_sub(1));
+    let big = n - tails;
+    let schema = batch.schema().clone();
+    let mut parts = vec![
+        Batch::empty(schema.clone()),
+        batch.slice(0, big),
+        Batch::empty(schema.clone()),
+    ];
+    for i in 0..tails {
+        parts.push(batch.slice(big + i, 1));
+    }
+    parts.push(Batch::empty(schema));
+    wh.load_table_parts("t", parts).unwrap();
+    wh.load_table("u", dim_batch()).unwrap();
     wh
 }
 
@@ -121,6 +159,68 @@ proptest! {
             assert_bit_identical(&serial, &parallel, sql);
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    /// Skewed layouts are the scheduler's worst case: one ~90% partition,
+    /// empty partitions, and 1-row morsel tails. Serial static execution
+    /// (`parallelism = 1`, `morsel_rows = None`) is the oracle; every
+    /// combination of parallelism {1, 4, 16} × morsel setting {static,
+    /// 3-row morsels, default} must reproduce it bit-for-bit. The 3-row
+    /// morsel size forces the big partition through multi-morsel
+    /// regrouping while the tails exercise single-row morsels.
+    #[test]
+    fn skewed_partitions_bit_identical(
+        rows in proptest::collection::vec(
+            (0i64..5, proptest::option::of(-50i64..50), 0i64..8),
+            30..140,
+        ),
+        tails in 1usize..6,
+    ) {
+        let wh = load_skewed(&rows, tails);
+        for sql in QUERIES {
+            wh.set_parallelism(1);
+            wh.set_morsel_rows(None);
+            let oracle = wh.execute_sql(sql).unwrap().batch;
+            for &parallelism in &[1usize, 4, 16] {
+                wh.set_parallelism(parallelism);
+                for morsel_rows in [None, Some(3), Some(4096)] {
+                    wh.set_morsel_rows(morsel_rows);
+                    let got = wh.execute_sql(sql).unwrap().batch;
+                    assert_bit_identical(&oracle, &got, sql);
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic worst-case layout, checked down to the morsel counters:
+/// `[empty, 36-row, empty, 1-row × 4, empty]` under 3-row morsels must
+/// split into 19 morsels over 8 partitions (12 for the big partition, one
+/// each for the rest) and still match the static serial oracle exactly.
+#[test]
+fn skewed_layout_morsel_stats_and_equivalence() {
+    let rows: Vec<(i64, Option<i64>, i64)> = (0..40).map(|i| (i % 4, Some(i), i % 8)).collect();
+    let wh = load_skewed(&rows, 4);
+    let sql = "SELECT g, COUNT(*) AS c, SUM(v) AS s, AVG(d) AS a FROM t GROUP BY g";
+    wh.set_parallelism(1);
+    wh.set_morsel_rows(None);
+    let oracle = wh.execute_sql(sql).unwrap().batch;
+
+    wh.set_parallelism(4);
+    wh.set_morsel_rows(Some(3));
+    let result = wh.execute_sql(sql).unwrap();
+    assert_bit_identical(&oracle, &result.batch, sql);
+    let partial = result
+        .operators
+        .iter()
+        .find(|o| o.op.starts_with("Aggregate[partial]"))
+        .unwrap();
+    assert_eq!(partial.partitions, 8, "{partial:?}");
+    assert_eq!(partial.morsels, 19, "{partial:?}");
+    let analyzed = wh.explain_analyze(sql).unwrap();
+    assert!(analyzed.contains("morsels=19"), "{analyzed}");
 }
 
 /// The split must actually engage: a grouped aggregate over a partitioned

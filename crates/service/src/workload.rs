@@ -103,12 +103,21 @@ impl WorkloadManager {
             }
         }
         let wait = arrived.elapsed();
-        let out = work();
-        {
-            let mut st = self.state.lock();
-            st.running -= 1;
+        // The slot release must survive a panicking `work`: without the
+        // guard, a panic unwinding through submit leaves `running`
+        // overcounted forever — every later submission sees a phantom
+        // occupant and the queue wedges once `max_concurrent` queries
+        // have died. The drop guard decrements and wakes waiters on
+        // every exit path, normal or unwinding.
+        struct SlotGuard<'a>(&'a WorkloadManager);
+        impl Drop for SlotGuard<'_> {
+            fn drop(&mut self) {
+                self.0.state.lock().running -= 1;
+                self.0.cv.notify_all();
+            }
         }
-        self.cv.notify_all();
+        let _slot = SlotGuard(self);
+        let out = work();
         (out, wait)
     }
 }
@@ -146,6 +155,26 @@ mod tests {
         assert_eq!(stats.admitted, 8);
         assert!(stats.queued >= 6);
         assert!(stats.max_wait > Duration::ZERO);
+    }
+
+    /// A panicking query must release its admission slot. Without the
+    /// drop guard, `running` stays incremented after the unwind and the
+    /// manager wedges once `max_concurrent` queries have died — every
+    /// later submission waits behind phantom occupants.
+    #[test]
+    fn panicking_work_releases_admission_slot() {
+        let mgr = WorkloadManager::new(1);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mgr.submit(Priority::Interactive, || panic!("query failed"));
+        }));
+        assert!(unwound.is_err());
+        // Assert the slot count directly first: if the guard failed, the
+        // submit below would hang instead of failing the test.
+        assert_eq!(mgr.state.lock().running, 0, "admission slot leaked");
+        let (value, _wait) = mgr.submit(Priority::Interactive, || 42);
+        assert_eq!(value, 42);
+        // Both the panicking and the follow-up submission were admitted.
+        assert_eq!(mgr.stats().admitted, 2);
     }
 
     #[test]
