@@ -19,12 +19,18 @@
 //!   partition-index order, on the coordinating thread — so results are
 //!   bit-identical at any parallelism.
 //! * Hash joins build the right side once, share it (`Arc`) across probe
-//!   partitions running in parallel, and emit one output part per probe
-//!   partition.
+//!   units running in parallel — whole partitions on the static path,
+//!   per-partition morsels (every join kind, LEFT/FULL tails regrouped
+//!   per partition) on the morsel path — and emit one output part per
+//!   probe partition either way.
+//! * Sort generates sorted runs per morsel in parallel and k-way merges
+//!   them by `(keys, row id)`; windows evaluate their expressions per
+//!   morsel and sort/compute partitions in parallel, scattering values
+//!   back to disjoint rows.
 //!
-//! Windows still collapse to one batch. Every operator records an
-//! [`OpStats`] entry (rows in/out, partitions, elapsed) so `EXPLAIN`-style
-//! output and the bench harness can attribute time.
+//! Every operator records an [`OpStats`] entry (rows in/out, partitions,
+//! elapsed, morsels) so `EXPLAIN`-style output and the bench harness can
+//! attribute time.
 //!
 //! ## Memory budget & spilling
 //!
@@ -52,7 +58,13 @@
 //! Because every spilled variant performs the *same floating-point
 //! operations in the same order* as its in-memory counterpart and only
 //! reorders bookkeeping, results are **bit-identical** at any budget and
-//! any parallelism (pinned by `tests/spill_oracle.rs`).
+//! any parallelism (pinned by `tests/spill_oracle.rs`). Under morsel
+//! mode the budget compounds with streaming: spilling aggregation
+//! consumes morsels directly ([`pipeline::morsel_spilled_aggregate`]),
+//! sort runs spill from parallel workers, and the Grace join's key
+//! evaluation and bucket passes run on the work-stealing scheduler —
+//! same group states, permutations, and pairs, spilled per pipeline
+//! instead of per materialized operator.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -69,8 +81,8 @@ use crate::plan::{AggCall, AggFunc, AggMode, Plan};
 use crate::storage::{SpillHandle, SpillReader, SpillWriter};
 use crate::window::compute_window;
 
-mod pipeline;
-mod scheduler;
+pub(crate) mod pipeline;
+pub(crate) mod scheduler;
 
 pub use pipeline::DEFAULT_MORSEL_ROWS;
 
@@ -589,13 +601,24 @@ fn execute_node(
                     // bytes is the deterministic upper-bound proxy.
                     let est: usize = parts.iter().map(Part::est_bytes).sum();
                     if !pgroups.is_empty() && ctx.memory.should_spill(est) {
-                        let (batch, partial_rows) =
-                            spilled_aggregate(&parts, &cagg, paggs, schema, ctx, est, &peval_ns)?;
+                        // Morsel mode spills per pipeline: group/argument
+                        // expressions evaluate and route to buckets per
+                        // morsel in parallel (bit-identical group states —
+                        // see `morsel_spilled_aggregate`).
+                        let pmorsels = AtomicUsize::new(0);
+                        let (batch, partial_rows) = if ctx.morsel_rows.is_some() {
+                            pipeline::morsel_spilled_aggregate(
+                                &parts, &cagg, paggs, schema, ctx, est, &peval_ns, &pmorsels,
+                            )?
+                        } else {
+                            spilled_aggregate(&parts, &cagg, paggs, schema, ctx, est, &peval_ns)?
+                        };
                         let op = &mut stats.operators[pslot];
                         op.elapsed = pstarted.elapsed();
                         op.rows_out = partial_rows;
                         op.partitions = parts.len();
                         op.eval_ns = peval_ns.into_inner();
+                        op.morsels = pmorsels.into_inner();
                         return Ok(vec![Part::new(batch)]);
                     }
                     let cagg = &cagg;
@@ -624,16 +647,31 @@ fn execute_node(
             let part = Part::new(concat_parts(parts, input.schema())?);
             if !groups.is_empty() && ctx.memory.should_spill(est) {
                 // One logical partition preserves Single-mode arithmetic
-                // (continuous per-group accumulation, no partial merge).
-                let (batch, _) = spilled_aggregate(
-                    std::slice::from_ref(&part),
-                    &cagg,
-                    aggs,
-                    schema,
-                    ctx,
-                    est,
-                    eval_ns,
-                )?;
+                // (continuous per-group accumulation, no partial merge);
+                // morsel mode splits it into morsels whose per-bucket
+                // records fold back in morsel order — the same sequence.
+                let (batch, _) = if ctx.morsel_rows.is_some() {
+                    pipeline::morsel_spilled_aggregate(
+                        std::slice::from_ref(&part),
+                        &cagg,
+                        aggs,
+                        schema,
+                        ctx,
+                        est,
+                        eval_ns,
+                        morsels,
+                    )?
+                } else {
+                    spilled_aggregate(
+                        std::slice::from_ref(&part),
+                        &cagg,
+                        aggs,
+                        schema,
+                        ctx,
+                        est,
+                        eval_ns,
+                    )?
+                };
                 return Ok(vec![Part::new(batch)]);
             }
             let table = accumulate_groups(&part, &cagg, aggs, &ctx.eval, eval_ns)?;
@@ -648,7 +686,17 @@ fn execute_node(
             let mut cols: Vec<Column> = batch.columns().to_vec();
             for (i, call) in calls.iter().enumerate() {
                 let out_type = schema.field(batch.num_columns() + i).dtype;
-                cols.push(compute_window(call, &batch, out_type, &ctx.eval, eval_ns)?);
+                // Morsel mode parallelizes both hot phases (expression
+                // eval per morsel, sort+compute per partition) and is
+                // pinned bit-identical to the static path.
+                let col = if ctx.morsel_rows.is_some() && batch.num_rows() > 0 {
+                    crate::window::compute_window_morsel(
+                        call, &batch, out_type, ctx, eval_ns, morsels,
+                    )?
+                } else {
+                    compute_window(call, &batch, out_type, &ctx.eval, eval_ns)?
+                };
+                cols.push(col);
             }
             Ok(vec![Part::new(Batch::new(schema.clone(), cols)?)])
         }
@@ -713,17 +761,20 @@ fn execute_node(
                     ctx,
                     est,
                     eval_ns,
+                    morsels,
                 )?
             } else {
                 let build = Arc::new(build_join_table(right_batch.num_rows(), &rcols, keyed));
                 let (lkeys, cresidual) = (&lkeys, cresidual.as_ref());
-                // INNER/CROSS probes morselize: output is matched pairs in
+                // All probe kinds morselize: matched pairs come back in
                 // left-row order, so per-partition morsel outputs
                 // re-concatenate to the whole-partition result exactly.
-                // LEFT/FULL append unmatched left rows per probe unit, an
-                // order morsel splitting would change — those stay
-                // partition-granular.
-                if ctx.morsel_rows.is_some() && matches!(kind, JoinKind::Inner | JoinKind::Cross) {
+                // LEFT/FULL keep each morsel's null-extended unmatched
+                // tail separate and regroup it after all of the
+                // partition's matches (see `probe_morsel_split`), and
+                // FULL's matched-right sets union across morsels before
+                // the unmatched-right sweep below.
+                if ctx.morsel_rows.is_some() {
                     pipeline::morsel_probe(
                         &lparts,
                         &right_batch,
@@ -789,11 +840,11 @@ fn execute_node(
         }
         Plan::Sort { input, keys } => {
             let batch = concat_parts(execute_parts(input, ctx, stats, depth + 1)?, input.schema())?;
-            let key_cols: Vec<Column> = timed(eval_ns, || {
-                keys.iter()
-                    .map(|k| eval_sel(&k.expr, &batch, None, &ctx.eval))
-                    .collect::<Result<_, _>>()
-            })?;
+            let types = input_types(input);
+            let compiled: Vec<CompiledExpr> = keys
+                .iter()
+                .map(|k| CompiledExpr::compile(&k.expr, &types))
+                .collect::<Result<_, _>>()?;
             let sort_keys: Vec<sort::SortKey> = keys
                 .iter()
                 .map(|k| sort::SortKey {
@@ -801,6 +852,21 @@ fn execute_node(
                     nulls_last: k.nulls_last.unwrap_or(k.descending),
                 })
                 .collect();
+            // Morsel mode parallelizes run generation (key eval + local
+            // sorts) and k-way merges by (keys, row id) — the unique total
+            // order a stable whole-input sort produces, so the permutation
+            // is identical to the static path below.
+            if ctx.morsel_rows.is_some() && batch.num_rows() > 1 {
+                return Ok(vec![Part::new(pipeline::morsel_sort(
+                    &batch, &compiled, &sort_keys, ctx, eval_ns, morsels,
+                )?)]);
+            }
+            let key_cols: Vec<Column> = timed(eval_ns, || {
+                compiled
+                    .iter()
+                    .map(|k| k.eval(&batch, None, &ctx.eval))
+                    .collect::<Result<_, _>>()
+            })?;
             // Sort-state estimate: key columns plus the 8-byte index per
             // row the permutation holds.
             let est = key_cols.iter().map(Column::byte_size).sum::<usize>() + 8 * batch.num_rows();
@@ -1850,6 +1916,20 @@ fn spilled_sort(
         start = end;
     }
 
+    let merged = merge_spilled_runs(&handles, kw, sort_keys, rows)?;
+    Ok(batch.take(&merged))
+}
+
+/// K-way merge spilled sorted runs into the output permutation. Shared by
+/// the static spilled sort and the morselized one: identical run order
+/// and the identical `(keys, row id)` comparator produce the identical
+/// permutation, however the runs were generated.
+fn merge_spilled_runs(
+    handles: &[SpillHandle],
+    kw: usize,
+    sort_keys: &[sort::SortKey],
+    rows: usize,
+) -> Result<Vec<usize>, CdwError> {
     let mut cursors: Vec<RunCursor> = handles
         .iter()
         .map(RunCursor::open)
@@ -1879,7 +1959,7 @@ fn spilled_sort(
         cursors[i].advance()?;
     }
     debug_assert_eq!(merged.len(), rows);
-    Ok(batch.take(&merged))
+    Ok(merged)
 }
 
 // ---------------------------------------------------------------------
@@ -1914,26 +1994,21 @@ fn build_join_table(right_rows: usize, rcols: &[Column], keyed: bool) -> JoinBui
     JoinBuild { table: Some(table) }
 }
 
-/// Join one left partition against the shared build side. Returns the
-/// output part (matched pairs in left-row order, then — for LEFT/FULL —
-/// this partition's null-extended unmatched left rows) and the right rows
-/// it matched (consumed by FULL's unmatched-right sweep).
-#[allow(clippy::too_many_arguments)]
-fn probe_partition(
+/// Candidate `(left, right)` pairs for one probe unit — a whole left
+/// partition or a morsel slice of one. Hash probes visit left rows in
+/// ascending order (per-key right matches accumulate in build order), and
+/// keyless/cross joins emit the full cartesian product, so splitting a
+/// partition into morsels concatenates to exactly the whole-partition
+/// pair sequence.
+fn probe_pairs(
     left: &Batch,
-    right: &Batch,
+    rrows: usize,
     build: &JoinBuild,
-    kind: JoinKind,
     left_keys: &[CompiledExpr],
-    residual: Option<&CompiledExpr>,
-    schema: &Arc<Schema>,
     ctx: &EvalCtx,
     eval_ns: &AtomicU64,
-) -> Result<(Batch, Vec<usize>), CdwError> {
+) -> Result<Vec<(usize, usize)>, CdwError> {
     let lrows = left.num_rows();
-    let rrows = right.num_rows();
-
-    // Candidate (left, right) pairs.
     let mut pairs: Vec<(usize, usize)> = Vec::new();
     match &build.table {
         None => {
@@ -1966,7 +2041,147 @@ fn probe_partition(
             }
         }
     }
+    Ok(pairs)
+}
+
+/// Drop candidate pairs whose residual predicate is not TRUE. The mask
+/// evaluates elementwise over the candidate rows stacked in the join
+/// schema, so the verdict for a pair cannot depend on which probe unit
+/// (partition or morsel) carried it.
+#[allow(clippy::too_many_arguments)]
+fn filter_residual_pairs(
+    pairs: Vec<(usize, usize)>,
+    left: &Batch,
+    right: &Batch,
+    residual: Option<&CompiledExpr>,
+    schema: &Arc<Schema>,
+    ctx: &EvalCtx,
+    eval_ns: &AtomicU64,
+) -> Result<Vec<(usize, usize)>, CdwError> {
+    let Some(pred) = residual else {
+        return Ok(pairs);
+    };
+    if pairs.is_empty() {
+        return Ok(pairs);
+    }
+    let lidx: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+    let ridx: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+    let candidate = hstack(schema, &left.take(&lidx), &right.take(&ridx))?;
+    let mask_col = timed(eval_ns, || pred.eval(&candidate, None, ctx))?;
+    let mut kept = Vec::with_capacity(pairs.len());
+    for (i, pair) in pairs.iter().enumerate() {
+        if mask_col.value(i) == Value::Bool(true) {
+            kept.push(*pair);
+        }
+    }
+    Ok(kept)
+}
+
+/// Gather join output columns for `(left idx, optional right idx)` rows;
+/// a `None` right index null-extends the right half (LEFT/FULL).
+fn assemble_join_columns(
+    left: &Batch,
+    right: &Batch,
+    lidx: &[usize],
+    ridx: &[Option<usize>],
+    schema: &Arc<Schema>,
+) -> Result<Batch, CdwError> {
+    let lwidth = left.num_columns();
+    let total = lidx.len();
+    let mut columns: Vec<Column> = Vec::with_capacity(schema.len());
+    for (c, field) in schema.fields().iter().enumerate() {
+        let mut b = ColumnBuilder::new(field.dtype, total);
+        if c < lwidth {
+            let src = left.column(c);
+            for &li in lidx {
+                b.push(src.value(li)).map_err(CdwError::from)?;
+            }
+        } else {
+            let src = right.column(c - lwidth);
+            for ri in ridx {
+                match ri {
+                    Some(ri) => b.push(src.value(*ri)).map_err(CdwError::from)?,
+                    None => b.push_null(),
+                }
+            }
+        }
+        columns.push(b.finish());
+    }
+    Batch::new(schema.clone(), columns).map_err(CdwError::from)
+}
+
+/// Join one left partition against the shared build side. Returns the
+/// output part (matched pairs in left-row order, then — for LEFT/FULL —
+/// this partition's null-extended unmatched left rows) and the right rows
+/// it matched (consumed by FULL's unmatched-right sweep).
+#[allow(clippy::too_many_arguments)]
+fn probe_partition(
+    left: &Batch,
+    right: &Batch,
+    build: &JoinBuild,
+    kind: JoinKind,
+    left_keys: &[CompiledExpr],
+    residual: Option<&CompiledExpr>,
+    schema: &Arc<Schema>,
+    ctx: &EvalCtx,
+    eval_ns: &AtomicU64,
+) -> Result<(Batch, Vec<usize>), CdwError> {
+    let pairs = probe_pairs(left, right.num_rows(), build, left_keys, ctx, eval_ns)?;
     assemble_join_output(left, right, pairs, kind, residual, schema, ctx, eval_ns)
+}
+
+/// Probe one left **morsel**, keeping the LEFT/FULL null-extended tail
+/// separate from the matches. A whole-partition probe emits all matches
+/// (ascending left row) followed by all unmatched lefts (ascending), so
+/// per-partition regrouping — every morsel's matches in morsel order,
+/// then every morsel's tail in morsel order — concatenates to exactly
+/// that order. Matched right rows come back per morsel; FULL's
+/// unmatched-right sweep only needs their union across morsels.
+#[allow(clippy::too_many_arguments)]
+fn probe_morsel_split(
+    left: &Batch,
+    right: &Batch,
+    build: &JoinBuild,
+    kind: JoinKind,
+    left_keys: &[CompiledExpr],
+    residual: Option<&CompiledExpr>,
+    schema: &Arc<Schema>,
+    ctx: &EvalCtx,
+    eval_ns: &AtomicU64,
+) -> Result<(Batch, Option<Batch>, Vec<usize>), CdwError> {
+    let pairs = probe_pairs(left, right.num_rows(), build, left_keys, ctx, eval_ns)?;
+    let pairs = filter_residual_pairs(pairs, left, right, residual, schema, ctx, eval_ns)?;
+    let matched_right: Vec<usize> = if kind == JoinKind::Full {
+        pairs.iter().map(|p| p.1).collect()
+    } else {
+        Vec::new()
+    };
+    let tail = if matches!(kind, JoinKind::Left | JoinKind::Full) {
+        let mut matched_left = vec![false; left.num_rows()];
+        for &(li, _) in &pairs {
+            matched_left[li] = true;
+        }
+        let t_lidx: Vec<usize> = matched_left
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !**m)
+            .map(|(li, _)| li)
+            .collect();
+        if t_lidx.is_empty() {
+            None
+        } else {
+            let t_ridx: Vec<Option<usize>> = vec![None; t_lidx.len()];
+            Some(assemble_join_columns(
+                left, right, &t_lidx, &t_ridx, schema,
+            )?)
+        }
+    } else {
+        None
+    };
+    let lidx: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+    let ridx: Vec<Option<usize>> = pairs.iter().map(|p| Some(p.1)).collect();
+    let matches = assemble_join_columns(left, right, &lidx, &ridx, schema)?;
+    Ok((matches, tail, matched_right))
 }
 
 /// Turn candidate `(left, right)` pairs into this partition's output
@@ -1979,31 +2194,14 @@ fn probe_partition(
 fn assemble_join_output(
     left: &Batch,
     right: &Batch,
-    mut pairs: Vec<(usize, usize)>,
+    pairs: Vec<(usize, usize)>,
     kind: JoinKind,
     residual: Option<&CompiledExpr>,
     schema: &Arc<Schema>,
     ctx: &EvalCtx,
     eval_ns: &AtomicU64,
 ) -> Result<(Batch, Vec<usize>), CdwError> {
-    let lrows = left.num_rows();
-
-    // Residual filtering on the candidate pairs.
-    if let Some(pred) = residual {
-        if !pairs.is_empty() {
-            let lidx: Vec<usize> = pairs.iter().map(|p| p.0).collect();
-            let ridx: Vec<usize> = pairs.iter().map(|p| p.1).collect();
-            let candidate = hstack(schema, &left.take(&lidx), &right.take(&ridx))?;
-            let mask_col = timed(eval_ns, || pred.eval(&candidate, None, ctx))?;
-            let mut kept = Vec::with_capacity(pairs.len());
-            for (i, pair) in pairs.iter().enumerate() {
-                if mask_col.value(i) == Value::Bool(true) {
-                    kept.push(*pair);
-                }
-            }
-            pairs = kept;
-        }
-    }
+    let pairs = filter_residual_pairs(pairs, left, right, residual, schema, ctx, eval_ns)?;
 
     let matched_right: Vec<usize> = if kind == JoinKind::Full {
         pairs.iter().map(|p| p.1).collect()
@@ -2014,7 +2212,7 @@ fn assemble_join_output(
     let mut lidx: Vec<usize> = pairs.iter().map(|p| p.0).collect();
     let mut ridx: Vec<Option<usize>> = pairs.iter().map(|p| Some(p.1)).collect();
     if matches!(kind, JoinKind::Left | JoinKind::Full) {
-        let mut matched_left = vec![false; lrows];
+        let mut matched_left = vec![false; left.num_rows()];
         for &(li, _) in &pairs {
             matched_left[li] = true;
         }
@@ -2025,30 +2223,7 @@ fn assemble_join_output(
             }
         }
     }
-
-    // Assemble output columns for this partition.
-    let lwidth = left.num_columns();
-    let total = lidx.len();
-    let mut columns: Vec<Column> = Vec::with_capacity(schema.len());
-    for (c, field) in schema.fields().iter().enumerate() {
-        let mut b = ColumnBuilder::new(field.dtype, total);
-        if c < lwidth {
-            let src = left.column(c);
-            for &li in &lidx {
-                b.push(src.value(li)).map_err(CdwError::from)?;
-            }
-        } else {
-            let src = right.column(c - lwidth);
-            for ri in &ridx {
-                match ri {
-                    Some(ri) => b.push(src.value(*ri)).map_err(CdwError::from)?,
-                    None => b.push_null(),
-                }
-            }
-        }
-        columns.push(b.finish());
-    }
-    let batch = Batch::new(schema.clone(), columns).map_err(CdwError::from)?;
+    let batch = assemble_join_columns(left, right, &lidx, &ridx, schema)?;
     Ok((batch, matched_right))
 }
 
@@ -2133,6 +2308,51 @@ fn spill_key_material(
     Ok(())
 }
 
+/// One Grace bucket pass: rebuild the bucket's hash table from its
+/// spilled build records, probe its spilled probe records, and return the
+/// global `(left, right)` pairs it matched, grouped by probe partition.
+/// Pairs are unique across buckets (a pair's key lives in exactly one
+/// bucket), so bucket passes commute — the caller's per-partition
+/// `(left row, right row)` sort restores one canonical order no matter
+/// how (or in what order) buckets ran.
+fn grace_bucket_pairs(
+    bh: &SpillHandle,
+    ph: &SpillHandle,
+    kw: usize,
+    nparts: usize,
+) -> Result<Vec<Vec<(usize, usize)>>, CdwError> {
+    let mut pairs_per_part: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nparts];
+    let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+    let mut key = Vec::new();
+    let mut reader = bh.reader()?;
+    while let Some(rec) = reader.next_batch()? {
+        let refs: Vec<&Column> = rec.columns()[..kw].iter().collect();
+        let idx = rec.column(kw).ints().expect("__idx column");
+        for (row, &ri) in idx.iter().enumerate() {
+            key.clear();
+            hash::encode_key(&refs, row, &mut key);
+            table.entry(key.clone()).or_default().push(ri as usize);
+        }
+    }
+    let mut reader = ph.reader()?;
+    while let Some(rec) = reader.next_batch()? {
+        let refs: Vec<&Column> = rec.columns()[..kw].iter().collect();
+        let idx = rec.column(kw).ints().expect("__idx column");
+        let parts = rec.column(kw + 1).ints().expect("__part column");
+        for (row, &li) in idx.iter().enumerate() {
+            key.clear();
+            hash::encode_key(&refs, row, &mut key);
+            if let Some(matches) = table.get(&key) {
+                let out = &mut pairs_per_part[parts[row] as usize];
+                for &ri in matches {
+                    out.push((li as usize, ri));
+                }
+            }
+        }
+    }
+    Ok(pairs_per_part)
+}
+
 /// Grace-style memory-budgeted hash join: both sides' key material is
 /// hash-partitioned into spilled bucket files; one bucket's build table
 /// is resident at a time. Matched pairs carry global row indices, so
@@ -2142,6 +2362,13 @@ fn spill_key_material(
 /// the shared [`assemble_join_output`] does the rest. Returns one
 /// `(batch, matched right rows)` per left partition, like the in-memory
 /// probe fan-out.
+///
+/// Morsel mode parallelizes the two hot phases without touching the
+/// spilled layout: probe-side key expressions evaluate per morsel (the
+/// concatenated columns — and therefore the bucket files — are identical
+/// to one whole-partition pass), and bucket passes run on the
+/// work-stealing scheduler (byte-seeded), commuting as documented on
+/// [`grace_bucket_pairs`].
 #[allow(clippy::too_many_arguments)]
 fn spilled_join(
     lparts: &[Batch],
@@ -2154,6 +2381,7 @@ fn spilled_join(
     ctx: &ExecCtx,
     estimate: usize,
     eval_ns: &AtomicU64,
+    morsels: &AtomicUsize,
 ) -> Result<Vec<(Batch, Vec<usize>)>, CdwError> {
     let nbuckets = ctx.memory.bucket_count(estimate);
     ctx.memory.record_rounds(nbuckets);
@@ -2182,12 +2410,16 @@ fn spilled_join(
         .map(|_| SpillWriter::create())
         .collect::<Result<_, _>>()?;
     for (p, left) in lparts.iter().enumerate() {
-        let lcols: Vec<Column> = timed(eval_ns, || {
-            left_keys
-                .iter()
-                .map(|k| k.eval(left, None, &ctx.eval))
-                .collect::<Result<_, _>>()
-        })?;
+        let lcols: Vec<Column> = if ctx.morsel_rows.is_some() {
+            pipeline::morsel_eval_columns(left, left_keys, ctx, eval_ns, morsels)?
+        } else {
+            timed(eval_ns, || {
+                left_keys
+                    .iter()
+                    .map(|k| k.eval(left, None, &ctx.eval))
+                    .collect::<Result<_, _>>()
+            })?
+        };
         let mut pfields: Vec<Field> = lcols
             .iter()
             .enumerate()
@@ -2210,38 +2442,31 @@ fn spilled_join(
         .map(SpillWriter::finish)
         .collect::<Result<_, _>>()?;
 
-    // One bucket at a time: rebuild that bucket's hash table, probe its
-    // spilled probe rows, collect global (left, right) pairs per
-    // partition.
-    let mut pairs_per_part: Vec<Vec<(usize, usize)>> = vec![Vec::new(); lparts.len()];
-    for (bh, ph) in bhandles.iter().zip(&phandles) {
-        let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
-        let mut key = Vec::new();
-        let mut reader = bh.reader()?;
-        while let Some(rec) = reader.next_batch()? {
-            let refs: Vec<&Column> = rec.columns()[..kw].iter().collect();
-            let idx = rec.column(kw).ints().expect("__idx column");
-            for (row, &ri) in idx.iter().enumerate() {
-                key.clear();
-                hash::encode_key(&refs, row, &mut key);
-                table.entry(key.clone()).or_default().push(ri as usize);
-            }
-        }
-        let mut reader = ph.reader()?;
-        while let Some(rec) = reader.next_batch()? {
-            let refs: Vec<&Column> = rec.columns()[..kw].iter().collect();
-            let idx = rec.column(kw).ints().expect("__idx column");
-            let parts = rec.column(kw + 1).ints().expect("__part column");
-            for (row, &li) in idx.iter().enumerate() {
-                key.clear();
-                hash::encode_key(&refs, row, &mut key);
-                if let Some(matches) = table.get(&key) {
-                    let out = &mut pairs_per_part[parts[row] as usize];
-                    for &ri in matches {
-                        out.push((li as usize, ri));
-                    }
-                }
-            }
+    // Bucket passes: rebuild one bucket's hash table, probe its spilled
+    // probe rows, collect global (left, right) pairs per partition.
+    // Morsel mode runs buckets on the work-stealing scheduler; the
+    // static oracle keeps the sequential one-bucket-at-a-time loop.
+    let nparts = lparts.len();
+    let per_bucket: Vec<Vec<Vec<(usize, usize)>>> = if ctx.morsel_rows.is_some() {
+        let items: Vec<(&SpillHandle, &SpillHandle)> =
+            bhandles.iter().zip(phandles.iter()).collect();
+        par_map(
+            ctx,
+            items,
+            |(bh, ph)| (bh.bytes() + ph.bytes()) as usize,
+            |(bh, ph)| grace_bucket_pairs(bh, ph, kw, nparts),
+        )?
+    } else {
+        bhandles
+            .iter()
+            .zip(&phandles)
+            .map(|(bh, ph)| grace_bucket_pairs(bh, ph, kw, nparts))
+            .collect::<Result<_, _>>()?
+    };
+    let mut pairs_per_part: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nparts];
+    for bucket in per_bucket {
+        for (p, pairs) in bucket.into_iter().enumerate() {
+            pairs_per_part[p].extend(pairs);
         }
     }
 

@@ -34,16 +34,26 @@
 //!   row-visit order (and therefore the same FP accumulation sequence)
 //!   as one whole-partition pass. Partials still merge in
 //!   partition-index order.
-//! * **Join probe** (INNER/CROSS): left-partition morsels probe the
+//! * **Join probe** (every kind): left-partition morsels probe the
 //!   shared build table independently; per-partition outputs
 //!   re-concatenate in morsel order, exactly the left-row-ascending
-//!   order a whole-partition probe emits. LEFT/FULL probes stay
-//!   partition-granular because they append unmatched left rows per
-//!   probe unit.
+//!   order a whole-partition probe emits. LEFT/FULL morsels keep their
+//!   null-extended unmatched tails separate so the regroup emits all of
+//!   a partition's matches first, then its tails, both in morsel order
+//!   (see [`morsel_probe`]).
 //!
-//! Spilling operators are pipeline breakers: under a memory budget the
-//! fused aggregation path regroups to partition parts and defers to the
-//! budgeted (possibly out-of-core) code, byte-for-byte as before.
+//! Sort and window morselize through [`morsel_sort`] and
+//! [`crate::window::compute_window_morsel`]: per-morsel key/expression
+//! evaluation in parallel, then stable k-way merges / partition-parallel
+//! compute pinned to the static path's `(keys, row id)` total order.
+//!
+//! Under a memory budget the sinks spill **per pipeline** instead of
+//! regrouping to partition-granular operators: budgeted aggregation
+//! routes and spills bucket records per morsel
+//! ([`morsel_spilled_aggregate`]), budgeted sorts generate their
+//! budget-derived runs on parallel workers, and the Grace join's key
+//! evaluation and bucket passes distribute via the same scheduler — all
+//! bit-identical to the static out-of-core code.
 
 use super::scheduler::run_stealing;
 use super::*;
@@ -56,6 +66,32 @@ pub const DEFAULT_MORSEL_ROWS: usize = 4096;
 
 fn morsel_rows(ctx: &ExecCtx) -> usize {
     ctx.morsel_rows.unwrap_or(DEFAULT_MORSEL_ROWS).max(1)
+}
+
+/// Per-item cost for LPT seeding: `rows`' share of an input of
+/// `total_bytes` over `total_rows`. Sorted runs, window partitions, and
+/// probe morsels seed with real byte estimates — not bare row counts —
+/// so one giant item can't land last on an already-loaded worker.
+pub(crate) fn byte_cost(rows: usize, total_bytes: usize, total_rows: usize) -> usize {
+    rows.saturating_mul((total_bytes / total_rows.max(1)).max(1))
+        .max(1)
+}
+
+/// Split `0..rows` into ranges of at most `chunk` rows (at least one
+/// range, even for zero rows).
+fn range_chunks(rows: usize, chunk: usize) -> Vec<std::ops::Range<usize>> {
+    let chunk = chunk.max(1);
+    let mut out = Vec::with_capacity(rows.div_ceil(chunk).max(1));
+    let mut start = 0;
+    loop {
+        let end = (start + chunk).min(rows);
+        out.push(start..end);
+        start = end;
+        if start >= rows {
+            break;
+        }
+    }
+    out
 }
 
 /// One fixed-size unit of pipeline work: a slice of one source
@@ -525,15 +561,22 @@ pub(super) fn execute_fused_partial(
     })
 }
 
-/// Morselized probe for INNER/CROSS hash joins: each left partition
+/// Morselized probe for hash joins of every kind: each left partition
 /// splits into dense row-range morsels probed independently (stealing
 /// absorbs a skewed build of probe work), and per-partition outputs
 /// re-concatenate in morsel order — exactly the left-row-ascending order
 /// a whole-partition probe emits, so downstream operators see the same
-/// one-output-part-per-left-partition structure. LEFT/FULL probes stay
-/// partition-granular in the caller: they append unmatched left rows
-/// after each probe unit's matches, an order morsel splitting would
-/// change.
+/// one-output-part-per-left-partition structure.
+///
+/// LEFT/FULL: a whole-partition probe emits all matches (ascending left
+/// row) then the partition's null-extended unmatched lefts (ascending).
+/// Each morsel therefore keeps its unmatched tail **separate** from its
+/// matches ([`probe_morsel_split`]); regrouping concatenates every
+/// morsel's matches first, then every morsel's tail, both in morsel
+/// order — reproducing the whole-partition order exactly. FULL's
+/// matched-right sets union across a partition's morsels, so the
+/// caller's unmatched-right sweep sees the same flags as the static
+/// path.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn morsel_probe(
     lparts: &[Batch],
@@ -581,11 +624,12 @@ pub(super) fn morsel_probe(
     let probes = run_stealing(
         ctx.parallelism,
         morsels,
+        // Byte-seeded LPT: probe work scales with the morsel's share of
+        // its partition's bytes, not just its row count.
         |m| {
-            m.range
-                .as_ref()
-                .map_or(m.batch.num_rows(), |r| r.len())
-                .max(1)
+            let rows = m.batch.num_rows();
+            let len = m.range.as_ref().map_or(rows, |r| r.len());
+            byte_cost(len, m.batch.byte_size(), rows)
         },
         |m| {
             let sliced;
@@ -596,7 +640,10 @@ pub(super) fn morsel_probe(
                 }
                 None => m.batch,
             };
-            probe_partition(
+            // Morsel-local row offset: right-row indices are global, but
+            // unmatched-left indices are slice-local and never escape
+            // (the tail batch is assembled inside the split).
+            probe_morsel_split(
                 lb, right, build, kind, left_keys, residual, schema, &ctx.eval, eval_ns,
             )
         },
@@ -605,21 +652,490 @@ pub(super) fn morsel_probe(
     let mut out = Vec::with_capacity(lparts.len());
     let mut it = probes.into_iter();
     for count in counts {
-        let mut group: Vec<(Batch, Vec<usize>)> = it.by_ref().take(count).collect();
-        if group.len() == 1 {
-            out.push(group.pop().expect("one probe output"));
-        } else {
-            let mut matched = Vec::new();
-            let batches: Vec<Batch> = group
-                .into_iter()
-                .map(|(b, m)| {
-                    matched.extend(m);
-                    b
-                })
-                .collect();
-            let refs: Vec<&Batch> = batches.iter().collect();
-            out.push((Batch::concat(&refs)?, matched));
+        let group: Vec<(Batch, Option<Batch>, Vec<usize>)> = it.by_ref().take(count).collect();
+        let mut matched = Vec::new();
+        let mut batches: Vec<Batch> = Vec::with_capacity(group.len());
+        let mut tails: Vec<Batch> = Vec::new();
+        for (b, tail, m) in group {
+            matched.extend(m);
+            batches.push(b);
+            if let Some(t) = tail {
+                tails.push(t);
+            }
         }
+        // Whole-partition order: all matches (morsel order), then all
+        // null-extended unmatched-left tails (morsel order).
+        batches.extend(tails);
+        let refs: Vec<&Batch> = batches.iter().collect();
+        out.push((Batch::concat(&refs)?, matched));
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// morselized spilling aggregation
+// ---------------------------------------------------------------------
+
+/// Memory-budgeted aggregation consuming morsels directly: the spilling
+/// sink of a budgeted pipeline. Phase 1 — the hot phase — runs per morsel
+/// on the work-stealing scheduler: each morsel evaluates its group and
+/// argument expressions, routes its rows to buckets by group-key hash,
+/// and builds its per-bucket spill records (tagged with the
+/// partition-relative row id and the partition index); only the file
+/// appends run sequentially, in `(partition, morsel)` order. Phase 2
+/// aggregates buckets in parallel like the static [`spilled_aggregate`]:
+/// inside a bucket, each partition's records fold **in morsel order into
+/// one continuing group table** — the identical row-visit (and FP
+/// accumulation) sequence the static path's one-record-per-partition
+/// layout produces — then partition tables merge in partition order and
+/// buckets interleave back into first-seen order by each group's first
+/// `(partition, row)`.
+///
+/// Spilled byte/record totals differ from the static layout (records are
+/// per morsel and carry a `__part` column); group values and output order
+/// are bit-identical, which is what `spill_oracle` pins.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn morsel_spilled_aggregate(
+    parts: &[Part],
+    cagg: &CompiledAggExprs,
+    aggs: &[AggCall],
+    schema: &Arc<Schema>,
+    ctx: &ExecCtx,
+    estimate: usize,
+    eval_ns: &AtomicU64,
+    morsels_out: &AtomicUsize,
+) -> Result<(Batch, usize), CdwError> {
+    let nbuckets = ctx.memory.bucket_count(estimate);
+    ctx.memory.record_rounds(nbuckets);
+    let gw = cagg.groups.len();
+    // Spill-record column layout: group cols, present agg args, row id,
+    // partition id.
+    let mut arg_slots: Vec<Option<usize>> = Vec::with_capacity(aggs.len());
+    let mut next_slot = gw;
+    for a in aggs {
+        if a.arg.is_some() {
+            arg_slots.push(Some(next_slot));
+            next_slot += 1;
+        } else {
+            arg_slots.push(None);
+        }
+    }
+    let row_slot = next_slot;
+    let part_slot = row_slot + 1;
+
+    // Tag every morsel with its partition index and its dense row offset
+    // within that partition's surviving rows (the coordinates the static
+    // path's `__row` column uses).
+    let (morsels, counts) = morselize(parts, morsel_rows(ctx));
+    morsels_out.fetch_add(morsels.len(), Ordering::Relaxed);
+    let mut meta: Vec<(usize, usize)> = Vec::with_capacity(morsels.len());
+    {
+        let mut mi = 0;
+        for (p, &count) in counts.iter().enumerate() {
+            let mut base = 0usize;
+            for _ in 0..count {
+                meta.push((p, base));
+                base += morsels[mi].len();
+                mi += 1;
+            }
+        }
+    }
+    let items: Vec<(Morsel<'_>, (usize, usize))> = morsels.into_iter().zip(meta).collect();
+
+    // Phase 1 (parallel per morsel): evaluate, route, build records.
+    let routed: Vec<Vec<Option<Batch>>> = run_stealing(
+        ctx.parallelism,
+        items,
+        |(m, _)| byte_cost(m.len(), m.batch.byte_size(), m.batch.num_rows()),
+        |(m, (pidx, base))| {
+            let sel = m.initial_sel();
+            let (group_cols, arg_cols) = timed(eval_ns, || {
+                eval_group_arg_cols(m.batch, sel.as_deref(), cagg, &ctx.eval)
+            })?;
+            let mut fields: Vec<Field> = group_cols
+                .iter()
+                .enumerate()
+                .map(|(i, c)| Field::new(format!("g{i}"), c.dtype()))
+                .collect();
+            let mut spill_cols: Vec<Column> = group_cols.clone();
+            for (j, c) in arg_cols.iter().enumerate() {
+                if let Some(c) = c {
+                    fields.push(Field::new(format!("a{j}"), c.dtype()));
+                    spill_cols.push(c.clone());
+                }
+            }
+            fields.push(Field::new("__row", DataType::Int));
+            fields.push(Field::new("__part", DataType::Int));
+            let spill_schema = Arc::new(Schema::new(fields));
+
+            let refs: Vec<&Column> = group_cols.iter().collect();
+            let mut route: Vec<Vec<usize>> = vec![Vec::new(); nbuckets];
+            let mut key = Vec::new();
+            for row in 0..m.len() {
+                key.clear();
+                hash::encode_key(&refs, row, &mut key);
+                route[key_bucket(&key, nbuckets)].push(row);
+            }
+            let mut per_bucket: Vec<Option<Batch>> = Vec::with_capacity(nbuckets);
+            for rows in &route {
+                if rows.is_empty() {
+                    per_bucket.push(None);
+                    continue;
+                }
+                let mut cols: Vec<Column> = spill_cols.iter().map(|c| c.take(rows)).collect();
+                cols.push(Column::from_ints(
+                    rows.iter().map(|&r| (base + r) as i64).collect(),
+                ));
+                cols.push(Column::from_ints(vec![pidx as i64; rows.len()]));
+                per_bucket.push(Some(Batch::new(spill_schema.clone(), cols)?));
+            }
+            Ok(per_bucket)
+        },
+    )?;
+
+    // Sequential appends in (partition, morsel) order, so each bucket
+    // file's per-partition record subsequence stays in morsel order.
+    let mut writers: Vec<SpillWriter> = (0..nbuckets)
+        .map(|_| SpillWriter::create())
+        .collect::<Result<_, _>>()?;
+    for per_bucket in routed {
+        for (b, rec) in per_bucket.into_iter().enumerate() {
+            if let Some(rec) = rec {
+                let bytes = writers[b].append(&rec)?;
+                ctx.memory.record_spill(bytes);
+            }
+        }
+    }
+    let handles: Vec<SpillHandle> = writers
+        .into_iter()
+        .map(SpillWriter::finish)
+        .collect::<Result<_, _>>()?;
+
+    // Phase 2 (parallel across buckets): fold each partition's records in
+    // morsel order into one continuing table, then merge partitions in
+    // partition order — the static path's exact arithmetic structure.
+    type BucketGroups = (Vec<(u64, i64, GroupEntry)>, usize);
+    let arg_slots = &arg_slots;
+    let nparts = parts.len();
+    let per_bucket: Vec<BucketGroups> = par_map(
+        ctx,
+        handles,
+        |h| h.bytes() as usize,
+        |handle| {
+            // Per partition: continuing table, firsts (in concatenated
+            // record coordinates), and the concatenated `__row` ids that
+            // map those coordinates back to partition rows.
+            let mut ptables: Vec<(GroupTable, Vec<usize>, Vec<i64>)> = (0..nparts)
+                .map(|_| (GroupTable::new(), Vec::new(), Vec::new()))
+                .collect();
+            for rec in handle.read_all()? {
+                let p = rec.column(part_slot).ints().expect("__part column")[0] as usize;
+                let group_cols = rec.columns()[..gw].to_vec();
+                let arg_cols: Vec<Option<Column>> = arg_slots
+                    .iter()
+                    .map(|s| s.map(|i| rec.column(i).clone()))
+                    .collect();
+                let (table, firsts, row_ids) = &mut ptables[p];
+                accumulate_into(
+                    table,
+                    firsts,
+                    row_ids.len(),
+                    &group_cols,
+                    &arg_cols,
+                    aggs,
+                    rec.num_rows(),
+                    false,
+                );
+                row_ids.extend(rec.column(row_slot).ints().expect("row-id column"));
+            }
+            let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+            let mut acc: Vec<(u64, i64, GroupEntry)> = Vec::new();
+            let mut partial_rows = 0usize;
+            for (p, (table, firsts, row_ids)) in ptables.into_iter().enumerate() {
+                partial_rows += table.entries.len();
+                for (i, entry) in table.entries.into_iter().enumerate() {
+                    match index.get(&entry.key) {
+                        Some(&j) => {
+                            for (d, s) in acc[j].2.states.iter_mut().zip(entry.states) {
+                                d.merge(s);
+                            }
+                        }
+                        None => {
+                            index.insert(entry.key.clone(), acc.len());
+                            acc.push((p as u64, row_ids[firsts[i]], entry));
+                        }
+                    }
+                }
+            }
+            Ok((acc, partial_rows))
+        },
+    )?;
+
+    // Interleave buckets back into global first-seen order.
+    let partial_rows = per_bucket.iter().map(|(_, n)| n).sum();
+    let mut flat: Vec<(u64, i64, GroupEntry)> =
+        per_bucket.into_iter().flat_map(|(acc, _)| acc).collect();
+    flat.sort_by_key(|&(p, r, _)| (p, r));
+    let entries: Vec<GroupEntry> = flat.into_iter().map(|(_, _, e)| e).collect();
+    let batch = finish_groups(
+        GroupTable {
+            index: HashMap::new(),
+            entries,
+        },
+        schema,
+    )?;
+    Ok((batch, partial_rows))
+}
+
+// ---------------------------------------------------------------------
+// morselized sort
+// ---------------------------------------------------------------------
+
+/// Evaluate `compiled` expressions over `batch` per morsel in parallel
+/// and concatenate to whole-batch columns — identical to one whole-batch
+/// evaluation pass (the kernels are elementwise). The shared first phase
+/// of the morselized sort and the Grace join's probe-side key spill.
+pub(crate) fn morsel_eval_columns(
+    batch: &Batch,
+    compiled: &[CompiledExpr],
+    ctx: &ExecCtx,
+    eval_ns: &AtomicU64,
+    morsels_out: &AtomicUsize,
+) -> Result<Vec<Column>, CdwError> {
+    let rows = batch.num_rows();
+    let chunks = range_chunks(rows, morsel_rows(ctx));
+    morsels_out.fetch_add(chunks.len(), Ordering::Relaxed);
+    let total_bytes = batch.byte_size();
+    let per_chunk: Vec<Vec<Column>> = run_stealing(
+        ctx.parallelism,
+        chunks,
+        |r| byte_cost(r.len(), total_bytes, rows),
+        |r| {
+            let sel: Option<Vec<usize>> = if r.start == 0 && r.end == rows {
+                None
+            } else {
+                Some(r.collect())
+            };
+            timed(eval_ns, || {
+                compiled
+                    .iter()
+                    .map(|k| k.eval(batch, sel.as_deref(), &ctx.eval))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+        },
+    )?;
+    if per_chunk.len() == 1 {
+        return Ok(per_chunk.into_iter().next().expect("one chunk"));
+    }
+    (0..compiled.len())
+        .map(|k| {
+            let refs: Vec<&Column> = per_chunk.iter().map(|c| &c[k]).collect();
+            Column::concat(&refs).map_err(CdwError::from)
+        })
+        .collect()
+}
+
+/// Morsel-driven sort over the concatenated input. Run generation — the
+/// hot phase — spreads across workers:
+///
+/// * **Key evaluation** happens per morsel in parallel; the per-morsel
+///   key columns concatenate to the same whole-input columns (and the
+///   same spill estimate) one whole-batch evaluation produces, since the
+///   kernels are elementwise.
+/// * **In memory**: each morsel-sized run sorts stably in parallel, then
+///   a k-way heap merge by `(keys, row id)` — a *unique* total order, so
+///   the merged permutation equals what `sort::sort_indices` (stable,
+///   ties keep ascending row id) produces over the whole input.
+/// * **Budgeted**: run boundaries come from `run_count` exactly as in the
+///   static [`spilled_sort`] — *not* from the morsel height, so the
+///   spilled run/page layout is byte-identical — but the runs sort and
+///   spill in parallel, then the shared [`merge_spilled_runs`] cursor
+///   merge finishes the job.
+pub(super) fn morsel_sort(
+    batch: &Batch,
+    compiled_keys: &[CompiledExpr],
+    sort_keys: &[sort::SortKey],
+    ctx: &ExecCtx,
+    eval_ns: &AtomicU64,
+    morsels_out: &AtomicUsize,
+) -> Result<Batch, CdwError> {
+    let rows = batch.num_rows();
+    // Parallel per-morsel key evaluation.
+    let key_cols = morsel_eval_columns(batch, compiled_keys, ctx, eval_ns, morsels_out)?;
+    let est = key_cols.iter().map(Column::byte_size).sum::<usize>() + 8 * rows;
+    let refs: Vec<&Column> = key_cols.iter().collect();
+
+    if ctx.memory.should_spill(est) {
+        // Budget-derived runs, identical boundaries and page layout to
+        // the static spilled sort; each run sorts and spills itself on a
+        // worker.
+        let nruns = ctx.memory.run_count(est, rows);
+        let run_len = rows.div_ceil(nruns);
+        let page_rows = run_len.div_ceil(4).max(1);
+        let mut fields: Vec<Field> = key_cols
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Field::new(format!("k{i}"), c.dtype()))
+            .collect();
+        fields.push(Field::new("__row", DataType::Int));
+        let spill_schema = Arc::new(Schema::new(fields));
+
+        let handles: Vec<SpillHandle> = run_stealing(
+            ctx.parallelism,
+            range_chunks(rows, run_len),
+            |r| byte_cost(r.len(), est, rows),
+            |r| {
+                let mut idx: Vec<usize> = r.collect();
+                // Stable within the run; runs are disjoint ascending
+                // ranges.
+                sort::sort_subset(&refs, sort_keys, &mut idx);
+                let mut writer = SpillWriter::create()?;
+                for chunk in idx.chunks(page_rows) {
+                    let mut cols: Vec<Column> = key_cols.iter().map(|c| c.take(chunk)).collect();
+                    cols.push(Column::from_ints(chunk.iter().map(|&r| r as i64).collect()));
+                    let bytes = writer.append(&Batch::new(spill_schema.clone(), cols)?)?;
+                    ctx.memory.record_spill(bytes);
+                }
+                ctx.memory.record_rounds(1);
+                writer.finish()
+            },
+        )?;
+        let merged = merge_spilled_runs(&handles, key_cols.len(), sort_keys, rows)?;
+        return Ok(batch.take(&merged));
+    }
+
+    // In-memory: sort each morsel-run in parallel, then heap-merge.
+    let runs: Vec<Vec<usize>> = run_stealing(
+        ctx.parallelism,
+        range_chunks(rows, morsel_rows(ctx)),
+        |r| byte_cost(r.len(), est, rows),
+        |r| {
+            let mut idx: Vec<usize> = r.collect();
+            sort::sort_subset(&refs, sort_keys, &mut idx);
+            Ok(idx)
+        },
+    )?;
+    let merged = kway_merge_runs(&runs, &refs, sort_keys, rows);
+    Ok(batch.take(&merged))
+}
+
+/// Merge disjoint sorted runs of row indices into one permutation with a
+/// binary min-heap keyed by `(sort keys, row id)`. Row ids are distinct,
+/// so the comparator is a unique total order and the result equals the
+/// stable whole-input sort's permutation no matter how the input was cut
+/// into runs.
+fn kway_merge_runs(
+    runs: &[Vec<usize>],
+    key_refs: &[&Column],
+    sort_keys: &[sort::SortKey],
+    rows: usize,
+) -> Vec<usize> {
+    let less = |a: usize, b: usize| -> bool {
+        match sort::compare_rows(key_refs, sort_keys, a, b) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a < b,
+        }
+    };
+    // Heap entries are (current row, run index), ordered by row.
+    fn sift_down(heap: &mut [(usize, usize)], mut i: usize, less: &impl Fn(usize, usize) -> bool) {
+        loop {
+            let l = 2 * i + 1;
+            let r = l + 1;
+            let mut m = i;
+            if l < heap.len() && less(heap[l].0, heap[m].0) {
+                m = l;
+            }
+            if r < heap.len() && less(heap[r].0, heap[m].0) {
+                m = r;
+            }
+            if m == i {
+                return;
+            }
+            heap.swap(i, m);
+            i = m;
+        }
+    }
+    let mut pos = vec![0usize; runs.len()];
+    let mut heap: Vec<(usize, usize)> = runs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.is_empty())
+        .map(|(i, r)| (r[0], i))
+        .collect();
+    for i in (0..heap.len() / 2).rev() {
+        sift_down(&mut heap, i, &less);
+    }
+    let mut merged = Vec::with_capacity(rows);
+    while let Some(&(row, run)) = heap.first() {
+        merged.push(row);
+        pos[run] += 1;
+        if pos[run] < runs[run].len() {
+            heap[0] = (runs[run][pos[run]], run);
+        } else {
+            let last = heap.len() - 1;
+            heap.swap(0, last);
+            heap.pop();
+        }
+        sift_down(&mut heap, 0, &less);
+    }
+    debug_assert_eq!(merged.len(), rows);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The scheduler cost-seeding satellite: a run covering most of the
+    /// input must cost proportionally more than a 1-row tail, and costs
+    /// never degenerate to zero.
+    #[test]
+    fn byte_cost_scales_with_row_share() {
+        let total_bytes = 1 << 20;
+        let total_rows = 1000;
+        let big = byte_cost(900, total_bytes, total_rows);
+        let tail = byte_cost(1, total_bytes, total_rows);
+        assert!(big >= 900 * tail, "{big} vs {tail}");
+        assert!(byte_cost(0, 0, 0) >= 1);
+        assert!(byte_cost(5, 0, 1000) >= 1);
+    }
+
+    #[test]
+    fn range_chunks_cover_everything_once() {
+        for (rows, chunk) in [(0usize, 3usize), (1, 3), (3, 3), (10, 3), (10, 4096)] {
+            let chunks = range_chunks(rows, chunk);
+            assert!(!chunks.is_empty());
+            let mut next = 0;
+            for r in &chunks {
+                assert_eq!(r.start, next);
+                assert!(r.end <= rows || rows == 0);
+                next = r.end;
+            }
+            assert_eq!(next, rows);
+        }
+    }
+
+    /// The k-way heap merge must equal the stable whole-input sort for
+    /// arbitrary run boundaries, including duplicate keys (row-id
+    /// tiebreak) and empty runs.
+    #[test]
+    fn kway_merge_equals_stable_sort() {
+        let keys = Column::from_ints(vec![3, 1, 3, 2, 1, 3, 2, 1, 0, 3]);
+        let refs = vec![&keys];
+        let sort_keys = vec![sort::SortKey {
+            descending: false,
+            nulls_last: false,
+        }];
+        let expected = sort::sort_indices(&refs, &sort_keys);
+        for cuts in [vec![0usize, 10], vec![0, 3, 10], vec![0, 3, 3, 7, 10]] {
+            let mut runs: Vec<Vec<usize>> = Vec::new();
+            for w in cuts.windows(2) {
+                let mut idx: Vec<usize> = (w[0]..w[1]).collect();
+                sort::sort_subset(&refs, &sort_keys, &mut idx);
+                runs.push(idx);
+            }
+            assert_eq!(kway_merge_runs(&runs, &refs, &sort_keys, 10), expected);
+        }
+    }
 }

@@ -1027,6 +1027,36 @@ pub fn explain_pipelines(plan: &Plan) -> String {
     out
 }
 
+/// Execution granularity annotation: operators the executor's morsel
+/// path processes morsel-at-a-time (probes of every join kind, sort run
+/// generation, window partitions, fused/spilling two-phase aggregation)
+/// vs the ones that still work partition-at-a-time or on one collapsed
+/// batch (limit, distinct, single-phase aggregation).
+fn granularity(plan: &Plan) -> &'static str {
+    match plan {
+        Plan::Filter { .. }
+        | Plan::Project { .. }
+        | Plan::Join { .. }
+        | Plan::Sort { .. }
+        | Plan::Window { .. } => "morsel",
+        Plan::Aggregate {
+            mode: AggMode::Final,
+            input,
+            ..
+        } if matches!(
+            input.as_ref(),
+            Plan::Aggregate {
+                mode: AggMode::Partial,
+                ..
+            }
+        ) =>
+        {
+            "morsel"
+        }
+        _ => "partition",
+    }
+}
+
 /// This node's own EXPLAIN label (first line of the subtree rendering).
 fn node_label(plan: &Plan) -> String {
     plan.explain()
@@ -1073,11 +1103,15 @@ fn explain_pipelines_into(plan: &Plan, depth: usize, out: &mut String) {
         } = input.as_ref()
         {
             indent_by(out, depth);
-            out.push_str(&format!("break: {}\n", node_label(plan)));
+            out.push_str(&format!(
+                "break: {} [{}]\n",
+                node_label(plan),
+                granularity(plan)
+            ));
             let (chain, source) = pinput.stream_chain();
             indent_by(out, depth + 1);
             out.push_str(&format!(
-                "pipeline: {}\n",
+                "pipeline: {} [morsel]\n",
                 pipeline_line(source, &chain, Some(input))
             ));
             explain_pipelines_into(source, depth + 2, out);
@@ -1089,7 +1123,7 @@ fn explain_pipelines_into(plan: &Plan, depth: usize, out: &mut String) {
         let (chain, source) = plan.stream_chain();
         indent_by(out, depth);
         out.push_str(&format!(
-            "pipeline: {}\n",
+            "pipeline: {} [morsel]\n",
             pipeline_line(source, &chain, None)
         ));
         explain_pipelines_into(source, depth + 1, out);
@@ -1103,8 +1137,9 @@ fn explain_pipelines_into(plan: &Plan, depth: usize, out: &mut String) {
         Plan::Join { left, right, .. } => {
             indent_by(out, depth);
             out.push_str(&format!(
-                "break: {} [build: right, probe: left]\n",
-                node_label(plan)
+                "break: {} [build: right, probe: left] [{}]\n",
+                node_label(plan),
+                granularity(plan)
             ));
             explain_pipelines_into(left, depth + 1, out);
             explain_pipelines_into(right, depth + 1, out);
@@ -1112,7 +1147,11 @@ fn explain_pipelines_into(plan: &Plan, depth: usize, out: &mut String) {
         Plan::UnionAll { inputs, .. } => {
             // Pass-through: the union keeps every input's partitions.
             indent_by(out, depth);
-            out.push_str(&format!("pass: {}\n", node_label(plan)));
+            out.push_str(&format!(
+                "pass: {} [{}]\n",
+                node_label(plan),
+                granularity(plan)
+            ));
             for input in inputs {
                 explain_pipelines_into(input, depth + 1, out);
             }
@@ -1122,7 +1161,11 @@ fn explain_pipelines_into(plan: &Plan, depth: usize, out: &mut String) {
             mode: AggMode::Partial,
         } => {
             indent_by(out, depth);
-            out.push_str(&format!("pass: {}\n", node_label(plan)));
+            out.push_str(&format!(
+                "pass: {} [{}]\n",
+                node_label(plan),
+                granularity(plan)
+            ));
             explain_pipelines_into(input, depth + 1, out);
         }
         Plan::Aggregate { input, .. }
@@ -1131,7 +1174,11 @@ fn explain_pipelines_into(plan: &Plan, depth: usize, out: &mut String) {
         | Plan::Limit { input, .. }
         | Plan::Distinct { input, .. } => {
             indent_by(out, depth);
-            out.push_str(&format!("break: {}\n", node_label(plan)));
+            out.push_str(&format!(
+                "break: {} [{}]\n",
+                node_label(plan),
+                granularity(plan)
+            ));
             explain_pipelines_into(input, depth + 1, out);
         }
         // Streaming nodes were handled above.

@@ -205,6 +205,13 @@ fn explain_pipelines_shows_fused_chains_and_breakers() {
         .unwrap();
     assert!(agg.contains("break: Sort"), "{agg}");
     assert!(agg.contains("break: Aggregate[final]"), "{agg}");
+    // Granularity annotations: sort and the fused two-phase aggregate run
+    // morsel-driven.
+    assert!(agg.contains("break: Sort (1 keys) [morsel]"), "{agg}");
+    assert!(
+        agg.contains("Aggregate[partial]") && agg.contains("[sink] [morsel]"),
+        "{agg}"
+    );
     // The scan-side chain fuses scan, filter, and projections into one
     // pipeline that sinks into the partial aggregate.
     assert!(
@@ -225,4 +232,18 @@ fn explain_pipelines_shows_fused_chains_and_breakers() {
     // source.
     assert!(join.contains("pipeline: Scan t => Filter"), "{join}");
     assert!(join.contains("source: Scan dim"), "{join}");
+    assert!(
+        join.contains("[build: right, probe: left] [morsel]"),
+        "{join}"
+    );
+
+    // Window probes morselize; LIMIT still collapses partition-granular.
+    let win = wh
+        .explain_pipelines("SELECT a, SUM(b) OVER (PARTITION BY c) AS r FROM t LIMIT 5")
+        .unwrap();
+    assert!(
+        win.contains("break: Limit Some(5) offset 0 [partition]"),
+        "{win}"
+    );
+    assert!(win.contains("break: Window (1 calls) [morsel]"), "{win}");
 }

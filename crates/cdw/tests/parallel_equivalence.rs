@@ -11,6 +11,11 @@
 //! parallelism {1, 4, 16} and morsel sizes {None = static oracle, 3,
 //! default} must all agree bit-for-bit, because morsels regroup by
 //! (partition, morsel index) before anything order-sensitive happens.
+//! That now covers the long tail — LEFT/FULL probes, ORDER BY, and
+//! window pipelines — and each skew case additionally re-runs the 3-row
+//! morsel setting under a 1-byte memory budget, so the morselized
+//! spilling sinks (per-morsel bucket routing, parallel sorted-run
+//! spills, Grace probes) are pinned against the same oracle.
 
 use proptest::prelude::*;
 use sigma_cdw::Warehouse;
@@ -38,6 +43,17 @@ const QUERIES: &[&str] = &[
      FROM t LEFT JOIN u ON t.jk = u.k GROUP BY u.lab",
     // Aggregation over UNION ALL (parts from both inputs retained).
     "SELECT g, SUM(v) AS s FROM (SELECT g, v FROM t UNION ALL SELECT g, v FROM t) x GROUP BY g",
+    // FULL join: unmatched lefts regroup per (partition, morsel) and the
+    // matched-right flags union across probe morsels.
+    "SELECT t.g, t.v, u.lab FROM t FULL JOIN u ON t.jk = u.k",
+    // ORDER BY: per-morsel sorted runs k-way merged by (keys, row id).
+    "SELECT g, v, d FROM t ORDER BY v DESC, d, g",
+    "SELECT g, v FROM t ORDER BY g",
+    // Windows: per-morsel expression eval + partition grouping merged in
+    // chunk order, partitions computed in parallel.
+    "SELECT g, v, SUM(v) OVER (PARTITION BY g ORDER BY v) AS w, \
+            ROW_NUMBER() OVER (PARTITION BY g ORDER BY v DESC) AS rn FROM t",
+    "SELECT g, AVG(d) OVER (PARTITION BY jk) AS a, LAG(v) OVER (ORDER BY g) AS l FROM t",
 ];
 
 fn fact_batch(rows: &[(i64, Option<i64>, i64)]) -> Batch {
@@ -182,14 +198,27 @@ proptest! {
         for sql in QUERIES {
             wh.set_parallelism(1);
             wh.set_morsel_rows(None);
+            wh.set_memory_budget(None);
             let oracle = wh.execute_sql(sql).unwrap().batch;
             for &parallelism in &[1usize, 4, 16] {
                 wh.set_parallelism(parallelism);
-                for morsel_rows in [None, Some(3), Some(4096)] {
+                // (morsel size, memory budget): the unbudgeted sweep pins
+                // the in-memory morsel paths; the 1-byte run forces every
+                // spill-capable sink out of core *while* consuming 3-row
+                // morsels, pinning the morselized spilling code.
+                for (morsel_rows, budget) in [
+                    (None, None),
+                    (Some(3), None),
+                    (Some(4096), None),
+                    (Some(3), Some(1)),
+                ] {
                     wh.set_morsel_rows(morsel_rows);
+                    wh.set_memory_budget(budget);
                     let got = wh.execute_sql(sql).unwrap().batch;
-                    assert_bit_identical(&oracle, &got, sql);
+                    let what = format!("{sql} [p={parallelism} morsel={morsel_rows:?} budget={budget:?}]");
+                    assert_bit_identical(&oracle, &got, &what);
                 }
+                wh.set_memory_budget(None);
             }
         }
     }
@@ -221,6 +250,52 @@ fn skewed_layout_morsel_stats_and_equivalence() {
     assert_eq!(partial.morsels, 19, "{partial:?}");
     let analyzed = wh.explain_analyze(sql).unwrap();
     assert!(analyzed.contains("morsels=19"), "{analyzed}");
+}
+
+/// The newly morselized operators must actually engage the morsel path
+/// and say so: under 3-row morsels, LEFT join probes, sort, and window
+/// all report nonzero `morsels` in their [`OpStats`] entry and in
+/// `explain_analyze` — while matching the static serial oracle exactly.
+#[test]
+fn long_tail_operators_report_morsels() {
+    let rows: Vec<(i64, Option<i64>, i64)> = (0..40).map(|i| (i % 4, Some(i), i % 8)).collect();
+    let wh = load_skewed(&rows, 4);
+    let cases = [
+        (
+            "Join Left",
+            "SELECT t.g, u.lab FROM t LEFT JOIN u ON t.jk = u.k",
+        ),
+        ("Sort", "SELECT g, v, d FROM t ORDER BY v DESC, g"),
+        (
+            "Window",
+            "SELECT g, SUM(v) OVER (PARTITION BY g ORDER BY v) AS w FROM t",
+        ),
+    ];
+    for (op_prefix, sql) in cases {
+        wh.set_parallelism(1);
+        wh.set_morsel_rows(None);
+        let oracle = wh.execute_sql(sql).unwrap();
+        let static_op = oracle
+            .operators
+            .iter()
+            .find(|o| o.op.starts_with(op_prefix))
+            .unwrap_or_else(|| panic!("no {op_prefix} op: {:?}", oracle.operators));
+        assert_eq!(static_op.morsels, 0, "static path counted morsels: {sql}");
+
+        wh.set_parallelism(4);
+        wh.set_morsel_rows(Some(3));
+        let result = wh.execute_sql(sql).unwrap();
+        assert_bit_identical(&oracle.batch, &result.batch, sql);
+        let op = result
+            .operators
+            .iter()
+            .find(|o| o.op.starts_with(op_prefix))
+            .unwrap_or_else(|| panic!("no {op_prefix} op: {:?}", result.operators));
+        assert!(op.morsels > 0, "morsel path did not engage: {op:?} {sql}");
+        let analyzed = wh.explain_analyze(sql).unwrap();
+        assert!(analyzed.contains("morsels="), "{analyzed}");
+    }
+    wh.set_morsel_rows(None);
 }
 
 /// The split must actually engage: a grouped aggregate over a partitioned
