@@ -1,12 +1,13 @@
 //! The browser session: ties the result cache, the local engine, and the
 //! service round-trip together, choosing the cheapest source for each
-//! query (cache → local evaluation → service).
+//! query (cache → local delta / residual suffix → full local evaluation
+//! → service).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sigma_core::schema::SchemaProvider;
-use sigma_core::{CompileOptions, Compiler, Workbook};
+use sigma_core::{classify_plan_delta, CompileOptions, Compiler, PlanDelta, StagePlan, Workbook};
 use sigma_service::workload::Priority;
 use sigma_service::{QueryRequest, ServedFrom, ServiceError, SigmaService};
 use sigma_value::Batch;
@@ -22,6 +23,14 @@ pub enum Source {
     BrowserCache,
     /// Local evaluation over prefetched rows (no round trip).
     LocalEngine,
+    /// Delta fast path: the edit re-ran only simple filter/projection
+    /// stages through the kernels over cached stage results — no plan,
+    /// no scan, no round trip.
+    LocalDelta,
+    /// Residual-suffix execution: cached stage results served the
+    /// unchanged prefix; only the invalidated suffix recomputed locally
+    /// (at least one stage through the embedded engine).
+    LocalResidual,
     /// Service round trip, answered by the query directory.
     ServiceDirectory,
     /// Service round trip, executed on the warehouse.
@@ -35,6 +44,11 @@ pub struct ClientOutcome {
     pub source: Source,
     /// End-to-end latency as seen by the user (includes simulated network).
     pub elapsed: Duration,
+    /// How this state's compiled plan relates to the element's previous
+    /// plan (`None` when the client had no previous plan or could not
+    /// compile locally). Purely observational — execution never depends
+    /// on the classification.
+    pub delta: Option<PlanDelta>,
 }
 
 /// A browser tab connected to the service.
@@ -47,19 +61,36 @@ pub struct BrowserSession {
     /// Simulated one-way network latency browser <-> service (applied
     /// twice per round trip).
     pub network_latency: Duration,
+    /// Byte gates for prefetched tables and shipped stage results.
+    pub prefetch_policy: crate::prefetch::PrefetchPolicy,
     /// Structural key → canonical root-fingerprint key, learned from
     /// `QueryOutcome.root_fingerprint` on each service round trip, so the
     /// cache key converges on the compile-derived fingerprint without the
     /// client ever compiling just to derive a key.
     fingerprint_memo: parking_lot::Mutex<std::collections::HashMap<String, String>>,
+    /// Last compiled stage plan per element (lower-cased), diffed against
+    /// each edit's plan to classify the delta.
+    last_plan: parking_lot::Mutex<std::collections::HashMap<String, StagePlan>>,
+    /// Warehouse table schemas learned from service outcomes
+    /// (`QueryOutcome::table_schemas`), letting the client compile edits
+    /// locally even for tables it never prefetched.
+    schema_memo: parking_lot::Mutex<std::collections::HashMap<String, Arc<sigma_value::Schema>>>,
 }
 
-/// Schema provider over the local engine's prefetched tables only.
-struct LocalSchemas<'a>(&'a LocalEngine);
+/// Schema provider for client-side compiles: prefetched tables first,
+/// then schemas learned from service outcomes (a table's schema is
+/// enough to compile — residual execution decides separately whether the
+/// rows themselves are needed locally).
+struct ClientSchemas<'a> {
+    local: &'a LocalEngine,
+    learned: &'a std::collections::HashMap<String, Arc<sigma_value::Schema>>,
+}
 
-impl SchemaProvider for LocalSchemas<'_> {
+impl SchemaProvider for ClientSchemas<'_> {
     fn table_schema(&self, table: &str) -> Option<Arc<sigma_value::Schema>> {
-        self.0.table_schema(table)
+        self.local
+            .table_schema(table)
+            .or_else(|| self.learned.get(&table.to_ascii_lowercase()).cloned())
     }
 }
 
@@ -76,7 +107,10 @@ impl BrowserSession {
             cache: ResultCache::new(64 << 20),
             local: LocalEngine::new(),
             network_latency: Duration::ZERO,
+            prefetch_policy: crate::prefetch::PrefetchPolicy::default(),
             fingerprint_memo: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            last_plan: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            schema_memo: parking_lot::Mutex::new(std::collections::HashMap::new()),
         }
     }
 
@@ -166,28 +200,61 @@ impl BrowserSession {
                 batch,
                 source: Source::BrowserCache,
                 elapsed: started.elapsed(),
+                delta: None,
             });
         }
 
         let deps = sigma_core::graph::resolve_order(workbook, &[element])
             .unwrap_or_else(|_| vec![element.to_string()]);
+        let element_lower = element.to_ascii_lowercase();
 
-        // 2. Local evaluation over prefetched tables: compile against the
-        // local schemas; if that succeeds and every scanned table is
-        // prefetched, evaluate without a round trip.
-        let local_schemas = LocalSchemas(&self.local);
-        let compiler = Compiler::new(workbook, &local_schemas, CompileOptions::default());
-        if let Ok(compiled) = compiler.compile_element(element) {
-            if self.local.can_answer(&compiled.query) {
-                let batch = self
-                    .local
-                    .evaluate(&compiled.sql)
-                    .map_err(|e| ServiceError::Warehouse(e.to_string()))?;
-                self.cache.put(&key, batch.clone(), deps);
+        // 2. Local execution. Compile against prefetched tables plus
+        // learned schemas, then try to serve the plan's residual suffix
+        // from the stage cache + local kernels/engine. The reuse frontier
+        // decides the tier: pure kernel recompute over cached parents is
+        // the delta fast path; any engine stage makes it residual; no
+        // reuse at all is a plain full local evaluation.
+        let plan = {
+            let learned = self.schema_memo.lock();
+            let schemas = ClientSchemas {
+                local: &self.local,
+                learned: &learned,
+            };
+            let compiler = Compiler::new(workbook, &schemas, CompileOptions::default());
+            compiler.compile_element(element).ok().map(|c| c.stages)
+        };
+        let mut delta: Option<PlanDelta> = None;
+        if let Some(plan) = plan {
+            delta = self
+                .last_plan
+                .lock()
+                .get(&element_lower)
+                .map(|old| classify_plan_delta(old, &plan));
+            let eval = self
+                .local
+                .execute_plan(&plan)
+                .map_err(|e| ServiceError::Warehouse(e.to_string()))?;
+            if let Some(eval) = eval {
+                // The client compiled this itself, so it knows the
+                // canonical fingerprint key without a round trip.
+                let canonical = format!("{element_lower}:{}", plan.root_fingerprint().hex());
+                self.learn_fingerprint(structural, canonical.clone());
+                self.last_plan.lock().insert(element_lower, plan);
+                self.cache.put(&canonical, eval.batch.clone(), deps);
+                // Tiers are reuse-driven: without a cached frontier this
+                // is just a full local evaluation, however it executed.
+                let source = if eval.stage_hits == 0 {
+                    Source::LocalEngine
+                } else if eval.engine_stages == 0 {
+                    Source::LocalDelta
+                } else {
+                    Source::LocalResidual
+                };
                 return Ok(ClientOutcome {
-                    batch,
-                    source: Source::LocalEngine,
+                    batch: eval.batch,
+                    source,
                     elapsed: started.elapsed(),
+                    delta,
                 });
             }
         }
@@ -215,6 +282,39 @@ impl BrowserSession {
         );
         self.learn_fingerprint(structural, canonical.clone());
         self.cache.put(&canonical, outcome.batch.clone(), deps);
+        // Adopt everything the outcome shipped for next-edit locality:
+        // the stage DAG (delta classification baseline), table schemas
+        // (local compilation), and small interior stage results (the
+        // reuse frontier for residual-suffix execution).
+        if delta.is_none() {
+            delta = self
+                .last_plan
+                .lock()
+                .get(&element_lower)
+                .map(|old| classify_plan_delta(old, &outcome.stages));
+        }
+        {
+            let mut learned = self.schema_memo.lock();
+            for (table, schema) in &outcome.table_schemas {
+                learned.insert(table.to_ascii_lowercase(), schema.clone());
+            }
+        }
+        for (fingerprint, batch) in &outcome.stage_results {
+            if !self.prefetch_policy.wants_stage(batch.byte_size()) {
+                continue;
+            }
+            let tables = outcome
+                .stages
+                .nodes
+                .iter()
+                .find(|n| n.fingerprint.hex() == *fingerprint)
+                .map(|n| n.all_tables.clone())
+                .unwrap_or_default();
+            self.local.install_stage(fingerprint, batch.clone(), tables);
+        }
+        self.last_plan
+            .lock()
+            .insert(element_lower, outcome.stages.clone());
         Ok(ClientOutcome {
             batch: outcome.batch,
             source: match outcome.served_from {
@@ -224,6 +324,7 @@ impl BrowserSession {
                 ServedFrom::Warehouse | ServedFrom::StageReuse => Source::Warehouse,
             },
             elapsed: started.elapsed(),
+            delta,
         })
     }
 

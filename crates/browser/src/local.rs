@@ -4,19 +4,62 @@
 //! kernels and answers a compiled query locally when every base table it
 //! scans is present. This models the paper's WASM engine synthesizing "new
 //! results from existing rows already fetched from the CDW".
+//!
+//! Beyond whole-query evaluation, the engine executes the **residual
+//! suffix** of an edited element ([`LocalEngine::execute_plan`]): given
+//! the compiled stage DAG and a fingerprint-keyed [`StageCache`] of
+//! previously seen stage results, it finds the deepest cached frontier
+//! and recomputes only the invalidated stages — through the bare
+//! selection-vector kernels when a stage is a simple filter/projection
+//! over one input (the delta fast path for slider drags and formula
+//! edits), through the embedded engine otherwise.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use sigma_cdw::{CdwError, Warehouse};
+use sigma_core::StagePlan;
 use sigma_sql::{Query, SetExpr, TableRef};
 use sigma_value::Batch;
+
+use crate::cache::{CacheStats, StageCache};
+
+/// How one residual-suffix evaluation was served.
+#[derive(Debug, Clone)]
+pub struct LocalEval {
+    /// The sink's result.
+    pub batch: Batch,
+    /// Stages answered from the browser stage cache (the reuse frontier).
+    pub stage_hits: usize,
+    /// Stages recomputed by the delta kernels alone (filter re-selection
+    /// / formula projection over a cached parent — no plan, no scan).
+    pub kernel_stages: usize,
+    /// Stages recomputed through the embedded engine (grouping, joins,
+    /// sorts — anything beyond a simple select).
+    pub engine_stages: usize,
+}
+
+/// What the reverse cache walk decided for one stage.
+enum StageAction {
+    /// Behind the reuse frontier: never touched.
+    Skip,
+    /// Served from the stage cache.
+    Reuse(Batch),
+    /// Simple filter/projection over a single input stage: recompute via
+    /// [`sigma_cdw::delta::execute_simple_stage`].
+    Kernel,
+    /// Recompute through the embedded engine (inputs installed as
+    /// ephemeral RESULT_SCAN tables).
+    Engine,
+}
 
 /// The local evaluation engine.
 pub struct LocalEngine {
     engine: Warehouse,
     /// Lower-cased names of fully prefetched tables.
     tables: parking_lot::RwLock<HashSet<String>>,
+    /// Interior stage results by Merkle fingerprint (hex).
+    stages: StageCache,
     /// Local evaluations performed (experiment observable).
     local_evals: std::sync::atomic::AtomicU64,
 }
@@ -32,6 +75,7 @@ impl LocalEngine {
         LocalEngine {
             engine: Warehouse::default(),
             tables: parking_lot::RwLock::new(HashSet::new()),
+            stages: StageCache::new(32 << 20),
             local_evals: std::sync::atomic::AtomicU64::new(0),
         }
     }
@@ -40,11 +84,168 @@ impl LocalEngine {
         self.local_evals.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Install a fully fetched table.
+    /// Install a fully fetched table. Re-installing a known name (an
+    /// edited input table re-projected, a refreshed prefetch) drops every
+    /// cached stage result computed from it — fingerprint-keyed,
+    /// table-targeted invalidation, mirroring the service directory —
+    /// so stale batches can never serve a residual suffix.
     pub fn install_table(&self, name: &str, batch: Batch) -> Result<(), CdwError> {
         self.engine.load_table(name, batch)?;
-        self.tables.write().insert(name.to_ascii_lowercase());
+        let fresh = self.tables.write().insert(name.to_ascii_lowercase());
+        if !fresh {
+            self.stages.invalidate_tables(&[name]);
+        }
         Ok(())
+    }
+
+    /// Seed the stage cache with a result the service shipped alongside
+    /// an answer (see `QueryOutcome::stage_results`).
+    pub fn install_stage(&self, fingerprint: &str, batch: Batch, tables: Vec<String>) {
+        self.stages.put(fingerprint, batch, tables);
+    }
+
+    /// Uncounted stage-cache presence check.
+    pub fn has_stage(&self, fingerprint: &str) -> bool {
+        self.stages.contains(fingerprint)
+    }
+
+    pub fn stage_stats(&self) -> CacheStats {
+        self.stages.stats()
+    }
+
+    /// Execute the residual suffix of a compiled element locally.
+    ///
+    /// Walking the stage DAG from the sink, each interior stage is looked
+    /// up in the stage cache by fingerprint; a hit becomes a reuse
+    /// frontier and its inputs are never visited. Every remaining stage
+    /// must be computable here: a **simple stage** (single-input
+    /// filter/projection) runs through the delta kernels, anything else
+    /// runs on the embedded engine with its stage inputs installed as
+    /// ephemeral `RESULT_SCAN` results — which requires any base tables
+    /// it scans to be prefetched. If some residual stage is not
+    /// computable, returns `Ok(None)`: the caller falls back to the
+    /// service.
+    ///
+    /// Results are bit-identical to a full service recompile: the kernel
+    /// path mirrors the planner's resolution/naming/coercion exactly
+    /// (pinned by `sigma-cdw`'s delta tests), the engine path *is* the
+    /// warehouse code, and stage decomposition is the same DAG the
+    /// service executes.
+    pub fn execute_plan(&self, plan: &StagePlan) -> Result<Option<LocalEval>, CdwError> {
+        let n = plan.nodes.len();
+        let sink = n - 1;
+        let mut actions: Vec<StageAction> = (0..n).map(|_| StageAction::Skip).collect();
+        let mut needed = vec![false; n];
+        needed[sink] = true;
+        for idx in (0..n).rev() {
+            if !needed[idx] {
+                continue;
+            }
+            let node = &plan.nodes[idx];
+            if idx != sink {
+                if let Some(batch) = self.stages.get(&node.fingerprint.hex()) {
+                    actions[idx] = StageAction::Reuse(batch);
+                    continue;
+                }
+            }
+            let kernel_simple = node.tables.is_empty()
+                && node.inputs.len() == 1
+                && sigma_cdw::delta::simple_stage_select(&node.query).is_some()
+                && sigma_cdw::delta::simple_stage_input(&node.query)
+                    .is_some_and(|t| plan.nodes[node.inputs[0]].name.eq_ignore_ascii_case(&t));
+            if kernel_simple {
+                actions[idx] = StageAction::Kernel;
+            } else {
+                let installed = self.tables.read();
+                if !node
+                    .tables
+                    .iter()
+                    .all(|t| installed.contains(&t.to_ascii_lowercase()))
+                {
+                    return Ok(None); // needs the warehouse
+                }
+                actions[idx] = StageAction::Engine;
+            }
+            for &input in &node.inputs {
+                needed[input] = true;
+            }
+        }
+
+        // Forward pass over the residual suffix in topological order.
+        let mut results: Vec<Option<Batch>> = (0..n).map(|_| None).collect();
+        let mut ephemeral: Vec<String> = Vec::new();
+        let (mut stage_hits, mut kernel_stages, mut engine_stages) = (0usize, 0usize, 0usize);
+        let eval_ctx = sigma_cdw::eval::EvalCtx::default();
+        let outcome = (|| -> Result<Batch, CdwError> {
+            for idx in 0..n {
+                match &actions[idx] {
+                    StageAction::Skip => {}
+                    StageAction::Reuse(batch) => {
+                        stage_hits += 1;
+                        results[idx] = Some(batch.clone());
+                    }
+                    StageAction::Kernel => {
+                        let node = &plan.nodes[idx];
+                        let parent = results[node.inputs[0]]
+                            .as_ref()
+                            .expect("input stage resolved");
+                        let batch =
+                            sigma_cdw::delta::execute_simple_stage(&node.query, parent, &eval_ctx)?;
+                        kernel_stages += 1;
+                        results[idx] = Some(batch);
+                    }
+                    StageAction::Engine => {
+                        let node = &plan.nodes[idx];
+                        let mut query = node.query.clone();
+                        let scans: HashMap<String, String> = node
+                            .inputs
+                            .iter()
+                            .map(|&i| {
+                                let qid = self.engine.install_result(
+                                    results[i].clone().expect("input stage resolved"),
+                                );
+                                ephemeral.push(qid.clone());
+                                (plan.nodes[i].name.to_ascii_lowercase(), qid)
+                            })
+                            .collect();
+                        sigma_sql::substitute_result_scans(&mut query, &scans);
+                        let r = self
+                            .engine
+                            .execute_statement(&sigma_sql::Statement::Query(query))?;
+                        ephemeral.push(r.query_id.clone());
+                        engine_stages += 1;
+                        results[idx] = Some(r.batch);
+                    }
+                }
+            }
+            Ok(results[sink].clone().expect("sink computed"))
+        })();
+        // The embedded warehouse only ever holds prefetched tables plus
+        // these transient RESULT_SCAN installs; drop them now.
+        for qid in &ephemeral {
+            self.engine.evict_result(qid);
+        }
+        let batch = outcome?;
+
+        // Remember every freshly computed interior stage so the next edit
+        // reuses it (the cache walk above is how it gets found).
+        for idx in 0..sink {
+            if matches!(actions[idx], StageAction::Kernel | StageAction::Engine) {
+                if let Some(b) = &results[idx] {
+                    let node = &plan.nodes[idx];
+                    self.stages
+                        .put(&node.fingerprint.hex(), b.clone(), node.all_tables.clone());
+                }
+            }
+        }
+        self.local_evals
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(Some(LocalEval {
+            batch,
+            stage_hits,
+            kernel_stages,
+            engine_stages,
+        }))
     }
 
     pub fn has_table(&self, name: &str) -> bool {

@@ -14,6 +14,11 @@ pub struct PrefetchPolicy {
     pub max_rows: usize,
     /// ... as long as they also fit this byte budget.
     pub max_bytes: usize,
+    /// Interior stage results shipped back on query outcomes are kept
+    /// locally only at or below this size (they feed residual-suffix
+    /// execution; an oversized intermediate is cheaper to recompute or
+    /// re-request than to hold).
+    pub max_stage_bytes: usize,
 }
 
 impl Default for PrefetchPolicy {
@@ -21,6 +26,7 @@ impl Default for PrefetchPolicy {
         PrefetchPolicy {
             max_rows: 10_000,
             max_bytes: 8 << 20,
+            max_stage_bytes: 8 << 20,
         }
     }
 }
@@ -29,6 +35,11 @@ impl PrefetchPolicy {
     /// Should this table be prefetched?
     pub fn wants(&self, row_count: usize, byte_size: usize) -> bool {
         row_count <= self.max_rows && byte_size <= self.max_bytes
+    }
+
+    /// Should a shipped interior stage result be kept in the stage cache?
+    pub fn wants_stage(&self, byte_size: usize) -> bool {
+        byte_size <= self.max_stage_bytes
     }
 
     /// Scan the warehouse catalog and install every qualifying table into
@@ -77,6 +88,7 @@ mod tests {
         let policy = PrefetchPolicy {
             max_rows: 1_000,
             max_bytes: 1 << 20,
+            ..Default::default()
         };
         let fetched = policy.prefetch_all(&wh, &engine);
         assert_eq!(fetched, vec!["small".to_string()]);
@@ -89,6 +101,7 @@ mod tests {
         let policy = PrefetchPolicy {
             max_rows: 1_000_000,
             max_bytes: 100,
+            ..Default::default()
         };
         assert!(!policy.wants(10, 101));
         assert!(policy.wants(10, 99));

@@ -1,0 +1,209 @@
+//! Property oracle for incremental local evaluation (the tier ladder in
+//! `BrowserSession::query_element`).
+//!
+//! Generates random edit sequences over a grouped flights workbook —
+//! filter-threshold tweaks, formula-constant changes, group-key changes,
+//! and structural source edits (toggling a join link) — and checks, step
+//! by step:
+//!
+//! 1. **Bit-identity**: the incremental session's answer equals a cold
+//!    service recompute of the same state by a fresh session.
+//! 2. **Tier discipline**: a state whose *source stage* was never seen
+//!    (structural change: the join link alters the source SQL) must fall
+//!    back to the service; any other new state over a seen structure must
+//!    be served from a local tier with **zero** warehouse queries; a
+//!    repeated state must hit the browser result cache.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sigma_browser::{BrowserSession, Source};
+use sigma_cdw::Warehouse;
+use sigma_core::document::ElementKind;
+use sigma_core::table::{
+    ColumnDef, DataSource, FilterPredicate, FilterSpec, Level, SourceLink, TableSpec,
+};
+use sigma_core::Workbook;
+use sigma_flights::{load_airports, load_flights, FlightsConfig};
+use sigma_service::SigmaService;
+use sigma_value::Value;
+
+/// Group-key combos the regroup edit cycles through. The source stage
+/// projects every warehouse field either way, so regrouping only changes
+/// interior stages — it stays locally servable.
+const KEY_COMBOS: &[&[(&str, &str)]] = &[
+    &[("Carrier", "carrier")],
+    &[("Carrier", "carrier"), ("Origin", "origin")],
+    &[("Carrier", "carrier"), ("Dest", "dest")],
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    /// Detail filter: distance >= threshold.
+    threshold: u32,
+    /// Formula constant: Score = [Flights] * k.
+    k: i64,
+    /// Index into KEY_COMBOS.
+    keys: usize,
+    /// Whether the airports join link is present (changes the source
+    /// stage SQL — the only *structural* axis here).
+    joined: bool,
+}
+
+impl State {
+    fn initial() -> State {
+        State {
+            threshold: 0,
+            k: 1,
+            keys: 0,
+            joined: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Edit {
+    /// Tweak the detail filter threshold.
+    Filter(u32),
+    /// Change the formula constant.
+    Formula(i64),
+    /// Advance the group-key combo (interior stages only).
+    Regroup,
+    /// Toggle the airports join link (changes the source stage).
+    Structural,
+}
+
+fn apply(state: &mut State, edit: Edit) {
+    match edit {
+        Edit::Filter(t) => state.threshold = t,
+        Edit::Formula(k) => state.k = k,
+        Edit::Regroup => state.keys = (state.keys + 1) % KEY_COMBOS.len(),
+        Edit::Structural => state.joined = !state.joined,
+    }
+}
+
+fn build(state: State) -> Workbook {
+    let mut wb = Workbook::new(Some("oracle"));
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
+    if state.joined {
+        t.links.push(SourceLink::Join {
+            source: DataSource::WarehouseTable {
+                table: "airports".into(),
+            },
+            on: vec![("origin".into(), "code".into())],
+            left_outer: true,
+            prefix: "ap_".into(),
+        });
+    }
+    for (name, col) in KEY_COMBOS[state.keys] {
+        t.add_column(ColumnDef::source(*name, *col)).unwrap();
+    }
+    t.add_column(ColumnDef::source("Distance", "distance"))
+        .unwrap();
+    let keys: Vec<String> = KEY_COMBOS[state.keys]
+        .iter()
+        .map(|(name, _)| name.to_string())
+        .collect();
+    t.add_level(1, Level::keyed("Grouped", keys)).unwrap();
+    t.add_column(ColumnDef::formula("Flights", "Count()", 1))
+        .unwrap();
+    t.add_column(ColumnDef::formula(
+        "Score",
+        format!("[Flights] * {}", state.k),
+        1,
+    ))
+    .unwrap();
+    t.filters.push(FilterSpec {
+        column: "Distance".into(),
+        predicate: FilterPredicate::Range {
+            min: Some(Value::Float(f64::from(state.threshold))),
+            max: None,
+        },
+    });
+    t.detail_level = 1;
+    wb.add_element(0, "Grouped", ElementKind::Table(t)).unwrap();
+    wb
+}
+
+fn edit_strategy() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        (0u32..8).prop_map(|t| Edit::Filter(t * 100)),
+        (1i64..6).prop_map(Edit::Formula),
+        Just(Edit::Regroup),
+        Just(Edit::Structural),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn edit_sequences_match_cold_service_recompute(
+        edits in proptest::collection::vec(edit_strategy(), 1..6)
+    ) {
+        let service = SigmaService::new();
+        let org = service.tenancy.create_org("acme");
+        let user = service
+            .tenancy
+            .create_user(org, "ada", sigma_service::tenancy::Role::Creator)
+            .unwrap();
+        let token = service.tenancy.issue_token(user).unwrap();
+        let wh = Arc::new(Warehouse::default());
+        load_flights(&wh, &FlightsConfig::with_rows(800)).unwrap();
+        load_airports(&wh).unwrap();
+        service.add_connection(org, "primary", wh.clone());
+        let service = Arc::new(service);
+
+        let session = BrowserSession::new(service.clone(), token.clone(), "primary");
+        let mut seen_states: HashSet<State> = HashSet::new();
+        let mut seen_structures: HashSet<bool> = HashSet::new();
+
+        let mut state = State::initial();
+        let mut steps: Vec<Option<Edit>> = vec![None];
+        steps.extend(edits.iter().copied().map(Some));
+        for step in steps {
+            if let Some(edit) = step {
+                apply(&mut state, edit);
+            }
+            let wb = build(state);
+            let before = wh.queries_executed();
+            let out = session.query_element(&wb, "Grouped").unwrap();
+            let scanned = wh.queries_executed() - before;
+
+            if seen_states.contains(&state) {
+                prop_assert_eq!(out.source, Source::BrowserCache);
+                prop_assert_eq!(scanned, 0);
+            } else if seen_structures.contains(&state.joined) {
+                // Same source structure: the unchanged prefix is in the
+                // stage cache, so the edit is served locally without a
+                // single warehouse query.
+                prop_assert!(
+                    matches!(out.source, Source::LocalDelta | Source::LocalResidual),
+                    "expected local tier for {:?}, got {:?}",
+                    state,
+                    out.source
+                );
+                prop_assert_eq!(scanned, 0);
+            } else {
+                // Structural change: the source stage itself is new and
+                // its base table is not prefetched — service round trip.
+                prop_assert!(
+                    matches!(out.source, Source::Warehouse | Source::ServiceDirectory),
+                    "expected service fallback for {:?}, got {:?}",
+                    state,
+                    out.source
+                );
+            }
+            seen_states.insert(state);
+            seen_structures.insert(state.joined);
+
+            // Pin against a cold recompute by a session with no caches.
+            let fresh = BrowserSession::new(service.clone(), token.clone(), "primary");
+            let oracle = fresh.query_element(&wb, "Grouped").unwrap();
+            prop_assert_eq!(&out.batch, &oracle.batch);
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Delta-maintenance kernels for the browser tier's local evaluation.
+//!
+//! A stage of a compiled element whose query is a **simple select** — one
+//! input relation, no joins, no aggregation, no windows, no
+//! DISTINCT/LIMIT — can be recomputed from its input's cached batch
+//! without parsing, planning, or optimizing anything: the `WHERE`
+//! predicate compiles straight to a [`CompiledExpr`] whose evaluation
+//! yields a selection vector, and each SELECT item projects over the
+//! surviving rows. `ORDER BY` is allowed (sink stages always carry one):
+//! it replays the planner's resolve-then-stable-sort tail over the
+//! projected columns. This is the kernel pass behind the two dominant
+//! interactive edit shapes (paper A3): a filter-predicate tweak re-filters
+//! the cached parent result, and a new/changed formula column projects
+//! over it.
+//!
+//! Bit-identity with the full pipeline is by construction, not by
+//! coincidence: the same name-resolution rules as the planner (wildcard
+//! expansion over the input schema, alias-else-column output naming with
+//! case-insensitive dedup, `infer_type` output typing), the same
+//! [`CompiledExpr`] kernels, the same truthiness rule for predicates
+//! ([`crate::exec::truthy_indices`]), and the same output coercion
+//! ([`crate::exec::coerce_column`]) — pinned by the `delta_oracle` test
+//! against plan-and-execute and end-to-end by the browser crate's
+//! edit-sequence proptest against a cold service recompile.
+
+use std::sync::Arc;
+
+use sigma_sql::{Query, Select, SelectItem, SetExpr, SqlExpr, TableRef};
+use sigma_value::{sort, Batch, DataType, Field, Schema};
+
+use crate::error::CdwError;
+use crate::eval::{self, CompiledExpr, EvalCtx, PhysExpr, ScalarFunc};
+use crate::exec::{coerce_column, truthy_indices};
+use crate::planner::agg_func_for;
+
+/// The simple-select body of a stage query, when the delta kernels can
+/// recompute it from a single cached input batch. `None` means the stage
+/// needs the full planner (joins, grouping, windows, ordering, ...).
+pub fn simple_stage_select(query: &Query) -> Option<&Select> {
+    if !query.ctes.is_empty() || query.limit.is_some() || query.offset.is_some() {
+        return None;
+    }
+    if !query.order_by.iter().all(|o| scalar_expr(&o.expr)) {
+        return None;
+    }
+    let SetExpr::Select(select) = &query.body else {
+        return None;
+    };
+    if select.distinct
+        || !select.joins.is_empty()
+        || !select.group_by.is_empty()
+        || select.having.is_some()
+        || select.qualify.is_some()
+    {
+        return None;
+    }
+    // Single plain-table input (a stage name or table; the caller decides
+    // which batch it maps to).
+    match &select.from {
+        Some(TableRef::Table { name, .. }) if name.0.len() == 1 => {}
+        _ => return None,
+    }
+    // Every expression must stay inside the scalar kernel surface.
+    if let Some(sel) = &select.selection {
+        if !scalar_expr(sel) {
+            return None;
+        }
+    }
+    for item in &select.projection {
+        match item {
+            SelectItem::Wildcard => {}
+            SelectItem::Expr { expr, .. } => {
+                if !scalar_expr(expr) {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(select)
+}
+
+/// The single input relation's name (lower-cased) of a simple stage.
+pub fn simple_stage_input(query: &Query) -> Option<String> {
+    let select = simple_stage_select(query)?;
+    match &select.from {
+        Some(TableRef::Table { name, .. }) => Some(name.to_dotted().to_ascii_lowercase()),
+        _ => None,
+    }
+}
+
+/// Is this expression purely scalar (no aggregates, windows, or unknown
+/// functions the planner would reject)? `*` is allowed only as a whole
+/// SELECT item, not inside expressions.
+fn scalar_expr(e: &SqlExpr) -> bool {
+    match e {
+        SqlExpr::Literal(_) | SqlExpr::Column { .. } => true,
+        SqlExpr::Star | SqlExpr::WindowFunc { .. } => false,
+        SqlExpr::Unary { expr, .. } => scalar_expr(expr),
+        SqlExpr::Binary { left, right, .. } => scalar_expr(left) && scalar_expr(right),
+        SqlExpr::Func { name, args, .. } => {
+            agg_func_for(name).is_none()
+                && ScalarFunc::from_name(name).is_some()
+                && args.iter().all(scalar_expr)
+        }
+        SqlExpr::Case {
+            operand,
+            whens,
+            else_,
+        } => {
+            operand.as_deref().is_none_or(scalar_expr)
+                && whens.iter().all(|(w, t)| scalar_expr(w) && scalar_expr(t))
+                && else_.as_deref().is_none_or(scalar_expr)
+        }
+        SqlExpr::Cast { expr, .. } => scalar_expr(expr),
+        SqlExpr::InList { expr, list, .. } => scalar_expr(expr) && list.iter().all(scalar_expr),
+        SqlExpr::Between {
+            expr, low, high, ..
+        } => scalar_expr(expr) && scalar_expr(low) && scalar_expr(high),
+        SqlExpr::IsNull { expr, .. } => scalar_expr(expr),
+        SqlExpr::Like { expr, pattern, .. } => scalar_expr(expr) && scalar_expr(pattern),
+    }
+}
+
+/// Recompute a simple stage from its input's batch through the vectorized
+/// kernels alone: evaluate the `WHERE` predicate into a selection vector,
+/// then evaluate each SELECT item over the surviving rows. Output schema,
+/// names, types, and values are bit-identical to planning and executing
+/// the stage query over the same input.
+pub fn execute_simple_stage(
+    query: &Query,
+    parent: &Batch,
+    ctx: &EvalCtx,
+) -> Result<Batch, CdwError> {
+    let select = simple_stage_select(query)
+        .ok_or_else(|| CdwError::plan("stage query is not a simple select"))?;
+    let binding = select
+        .from
+        .as_ref()
+        .and_then(TableRef::binding)
+        .unwrap_or_default()
+        .to_string();
+    let schema = parent.schema();
+    let types: Vec<DataType> = schema.fields().iter().map(|f| f.dtype).collect();
+
+    // WHERE → selection vector (same truthiness rule as Plan::Filter).
+    let sel: Option<Vec<usize>> = match &select.selection {
+        Some(pred) => {
+            let phys = resolve_expr(pred, schema, &binding)?;
+            let compiled = CompiledExpr::compile(&phys, &types)?;
+            let mask = compiled.eval(parent, None, ctx)?;
+            Some(truthy_indices(&mask, None))
+        }
+        None => None,
+    };
+
+    // Wildcard expansion + output naming, mirroring the planner: alias,
+    // else the column's own name, else `col_N`; duplicates deduped with a
+    // ` (k)` suffix, case-insensitively.
+    let mut projection: Vec<(SqlExpr, Option<String>)> = Vec::new();
+    for item in &select.projection {
+        match item {
+            SelectItem::Wildcard => {
+                for f in schema.fields() {
+                    if f.name.starts_with('$') {
+                        continue;
+                    }
+                    projection.push((
+                        SqlExpr::Column {
+                            table: Some(binding.clone()),
+                            name: f.name.clone(),
+                        },
+                        Some(f.name.clone()),
+                    ));
+                }
+            }
+            SelectItem::Expr { expr, alias } => projection.push((expr.clone(), alias.clone())),
+        }
+    }
+    if projection.is_empty() {
+        return Err(CdwError::plan("SELECT list is empty"));
+    }
+
+    let mut out_fields: Vec<Field> = Vec::with_capacity(projection.len());
+    let mut out_cols = Vec::with_capacity(projection.len());
+    for (i, (expr, alias)) in projection.iter().enumerate() {
+        let phys = resolve_expr(expr, schema, &binding)?;
+        let dtype = eval::infer_type(&phys, &types)?.unwrap_or(DataType::Text);
+        let base_name = alias.clone().unwrap_or_else(|| match expr {
+            SqlExpr::Column { name, .. } => name.clone(),
+            _ => format!("col_{}", i + 1),
+        });
+        let mut name = base_name.clone();
+        let mut suffix = 2;
+        while out_fields
+            .iter()
+            .any(|f: &Field| f.name.eq_ignore_ascii_case(&name))
+        {
+            name = format!("{base_name} ({suffix})");
+            suffix += 1;
+        }
+        let compiled = CompiledExpr::compile(&phys, &types)?;
+        let col = compiled.eval(parent, sel.as_deref(), ctx)?;
+        out_cols.push(coerce_column(col, dtype)?);
+        out_fields.push(Field::new(name, dtype));
+    }
+    let out_schema = Arc::new(Schema::new(out_fields));
+    if query.order_by.is_empty() {
+        return Batch::new(out_schema, out_cols).map_err(CdwError::from);
+    }
+
+    // ORDER BY, replaying the planner's tail exactly: each key resolves
+    // against the output names first, falling back to a hidden `$sortN`
+    // column evaluated over the input; keys are then evaluated over the
+    // (visible + hidden) projection and a stable sort permutes the rows,
+    // after which hidden columns are dropped.
+    let visible = out_cols.len();
+    let mut sort_keys: Vec<sort::SortKey> = Vec::with_capacity(query.order_by.len());
+    let mut key_exprs: Vec<PhysExpr> = Vec::with_capacity(query.order_by.len());
+    let mut sortable_fields: Vec<Field> = out_schema.fields().to_vec();
+    let mut sortable_cols = out_cols;
+    for o in &query.order_by {
+        match resolve_expr(&o.expr, &out_schema, "") {
+            Ok(expr) => key_exprs.push(expr),
+            Err(_) => {
+                let phys = resolve_expr(&o.expr, schema, &binding)?;
+                let dtype = eval::infer_type(&phys, &types)?.unwrap_or(DataType::Text);
+                let idx = sortable_cols.len();
+                let compiled = CompiledExpr::compile(&phys, &types)?;
+                let col = compiled.eval(parent, sel.as_deref(), ctx)?;
+                sortable_cols.push(coerce_column(col, dtype)?);
+                sortable_fields.push(Field::new(format!("$sort{}", idx - visible), dtype));
+                key_exprs.push(PhysExpr::Col(idx));
+            }
+        }
+        sort_keys.push(sort::SortKey {
+            descending: o.descending,
+            nulls_last: o.nulls_last.unwrap_or(o.descending),
+        });
+    }
+    let sortable_types: Vec<DataType> = sortable_fields.iter().map(|f| f.dtype).collect();
+    let sortable = Batch::new(Arc::new(Schema::new(sortable_fields)), sortable_cols)?;
+    let key_cols: Vec<sigma_value::Column> = key_exprs
+        .iter()
+        .map(|e| CompiledExpr::compile(e, &sortable_types)?.eval(&sortable, None, ctx))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&sigma_value::Column> = key_cols.iter().collect();
+    let idx = sort::sort_indices(&refs, &sort_keys);
+    let sorted = sortable.take(&idx);
+    let cols: Vec<sigma_value::Column> = sorted.columns()[..visible].to_vec();
+    Batch::new(out_schema, cols).map_err(CdwError::from)
+}
+
+/// Resolve a scalar expression against a single relation's schema, with
+/// the same rules as the planner's scope resolution (case-insensitive
+/// names, qualifier must match the binding) and the same physical
+/// lowering (CAST plans as TRY_CAST, functions by [`ScalarFunc`] name).
+/// Shared by the delta kernels and the DML executor.
+pub(crate) fn resolve_expr(
+    e: &SqlExpr,
+    schema: &Arc<Schema>,
+    binding: &str,
+) -> Result<PhysExpr, CdwError> {
+    use SqlExpr as S;
+    Ok(match e {
+        S::Literal(v) => PhysExpr::Literal(v.clone()),
+        S::Column { table, name } => {
+            if let Some(t) = table {
+                if !t.eq_ignore_ascii_case(binding) {
+                    return Err(CdwError::plan(format!("column not found: {name}")));
+                }
+            }
+            let idx = schema
+                .index_of(name)
+                .ok_or_else(|| CdwError::plan(format!("column not found: {name}")))?;
+            PhysExpr::Col(idx)
+        }
+        S::Unary { op, expr } => PhysExpr::Unary {
+            op: *op,
+            expr: Box::new(resolve_expr(expr, schema, binding)?),
+        },
+        S::Binary { op, left, right } => PhysExpr::Binary {
+            op: *op,
+            left: Box::new(resolve_expr(left, schema, binding)?),
+            right: Box::new(resolve_expr(right, schema, binding)?),
+        },
+        S::Func { name, args, .. } => {
+            if agg_func_for(name).is_some() {
+                return Err(CdwError::plan(format!(
+                    "aggregate {name} is not allowed here"
+                )));
+            }
+            let func = ScalarFunc::from_name(name)
+                .ok_or_else(|| CdwError::plan(format!("unknown function {name}")))?;
+            PhysExpr::Func {
+                func,
+                args: args
+                    .iter()
+                    .map(|a| resolve_expr(a, schema, binding))
+                    .collect::<Result<_, _>>()?,
+            }
+        }
+        S::Case {
+            operand,
+            whens,
+            else_,
+        } => PhysExpr::Case {
+            operand: operand
+                .as_ref()
+                .map(|o| resolve_expr(o, schema, binding).map(Box::new))
+                .transpose()?,
+            whens: whens
+                .iter()
+                .map(|(w, t)| {
+                    Ok((
+                        resolve_expr(w, schema, binding)?,
+                        resolve_expr(t, schema, binding)?,
+                    ))
+                })
+                .collect::<Result<_, CdwError>>()?,
+            else_: else_
+                .as_ref()
+                .map(|x| resolve_expr(x, schema, binding).map(Box::new))
+                .transpose()?,
+        },
+        // CAST lowers as TRY_CAST, matching the planner (error isolation).
+        S::Cast { expr, dtype } => PhysExpr::Cast {
+            expr: Box::new(resolve_expr(expr, schema, binding)?),
+            dtype: *dtype,
+            strict: false,
+        },
+        S::InList {
+            expr,
+            list,
+            negated,
+        } => PhysExpr::InList {
+            expr: Box::new(resolve_expr(expr, schema, binding)?),
+            list: list
+                .iter()
+                .map(|l| resolve_expr(l, schema, binding))
+                .collect::<Result<_, _>>()?,
+            negated: *negated,
+        },
+        S::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => PhysExpr::Between {
+            expr: Box::new(resolve_expr(expr, schema, binding)?),
+            low: Box::new(resolve_expr(low, schema, binding)?),
+            high: Box::new(resolve_expr(high, schema, binding)?),
+            negated: *negated,
+        },
+        S::IsNull { expr, negated } => PhysExpr::IsNull {
+            expr: Box::new(resolve_expr(expr, schema, binding)?),
+            negated: *negated,
+        },
+        S::Like {
+            expr,
+            pattern,
+            negated,
+        } => PhysExpr::Like {
+            expr: Box::new(resolve_expr(expr, schema, binding)?),
+            pattern: Box::new(resolve_expr(pattern, schema, binding)?),
+            negated: *negated,
+        },
+        S::Star | S::WindowFunc { .. } => {
+            return Err(CdwError::plan("unsupported expression in delta kernel"))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_sql::parse_query;
+    use sigma_value::{Column, Value};
+
+    fn parent() -> Batch {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("Origin", DataType::Text),
+            Field::new("Dep Delay", DataType::Float),
+        ]));
+        Batch::new(
+            schema,
+            vec![
+                Column::from_texts(vec!["ORD".into(), "JFK".into(), "SFO".into()]),
+                Column::from_floats(vec![5.0, 25.0, 40.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn simple_shape_gate() {
+        let yes = parse_query("SELECT * FROM base_0 WHERE \"Dep Delay\" > 10").unwrap();
+        assert!(simple_stage_select(&yes).is_some());
+        assert_eq!(simple_stage_input(&yes).as_deref(), Some("base_0"));
+        let ordered = parse_query("SELECT a FROM t ORDER BY a").unwrap();
+        assert!(simple_stage_select(&ordered).is_some());
+        for sql in [
+            "SELECT a, SUM(b) AS s FROM t GROUP BY a",
+            "SELECT a FROM t LIMIT 5",
+            "SELECT DISTINCT a FROM t",
+            "SELECT a FROM t JOIN u ON t.a = u.a",
+            "SELECT ROW_NUMBER() OVER (ORDER BY a) AS r FROM t",
+            "SELECT * FROM TABLE(RESULT_SCAN('q-1')) AS r",
+        ] {
+            let q = parse_query(sql).unwrap();
+            assert!(simple_stage_select(&q).is_none(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn filter_pass_matches_semantics() {
+        let q = parse_query("SELECT * FROM base_0 WHERE \"Dep Delay\" > 10").unwrap();
+        let out = execute_simple_stage(&q, &parent(), &EvalCtx::default()).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, 0), Value::Text("JFK".into()));
+        assert_eq!(out.schema().field(1).name, "Dep Delay");
+    }
+
+    #[test]
+    fn projection_pass_evaluates_new_columns() {
+        let q = parse_query(
+            "SELECT t.\"Origin\" AS \"Origin\", t.\"Dep Delay\" / 60 AS \"Delay Hours\" \
+             FROM base_0 AS t",
+        )
+        .unwrap();
+        let out = execute_simple_stage(&q, &parent(), &EvalCtx::default()).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.schema().field(1).name, "Delay Hours");
+        assert_eq!(out.value(2, 1), Value::Float(40.0 / 60.0));
+    }
+}

@@ -152,6 +152,11 @@ pub struct ExecCtx<'a> {
     /// execution and runs the static partition-at-a-time split (the
     /// oracle baseline the morsel path is pinned against).
     pub morsel_rows: Option<usize>,
+    /// Derive each pipeline's morsel height from its input shape
+    /// ([`pipeline::adaptive_morsel_rows`]) instead of the fixed
+    /// `morsel_rows` value. Ignored when `morsel_rows` is `None`; the
+    /// equivalence oracles sweep explicit fixed sizes with this off.
+    pub adaptive_morsels: bool,
     /// Per-operator memory budget and spill accounting.
     pub memory: ExecMemoryTracker,
 }
@@ -427,7 +432,9 @@ fn execute_parts(
 
 /// Row indices (in original-batch coordinates) where the evaluated
 /// predicate column is `true`, refined through an existing selection.
-fn truthy_indices(mask: &Column, sel: Option<&[usize]>) -> Vec<usize> {
+/// (Shared with the browser-tier delta kernels in [`crate::delta`] so the
+/// filter-tweak fast path keeps the exact filter semantics of the plan.)
+pub(crate) fn truthy_indices(mask: &Column, sel: Option<&[usize]>) -> Vec<usize> {
     let orig = |i: usize| sel.map_or(i, |s| s[i]);
     let mut keep = Vec::new();
     match (mask.bools(), mask.validity()) {
@@ -974,7 +981,7 @@ fn distinct_indices(
 
 /// Coerce an evaluated column to the declared output type (Int -> Float and
 /// Date -> Timestamp widening; all-null columns adopt the target type).
-fn coerce_column(col: Column, target: DataType) -> Result<Column, CdwError> {
+pub(crate) fn coerce_column(col: Column, target: DataType) -> Result<Column, CdwError> {
     if col.dtype() == target {
         return Ok(col);
     }
@@ -2520,6 +2527,7 @@ mod tests {
             eval: EvalCtx::default(),
             parallelism: 4,
             morsel_rows: Some(DEFAULT_MORSEL_ROWS),
+            adaptive_morsels: false,
             memory: ExecMemoryTracker::new(None),
         };
         let seen = Mutex::new(HashSet::new());
@@ -2552,6 +2560,7 @@ mod tests {
             eval: EvalCtx::default(),
             parallelism: 1,
             morsel_rows: Some(DEFAULT_MORSEL_ROWS),
+            adaptive_morsels: false,
             memory: ExecMemoryTracker::new(None),
         };
         let caller = std::thread::current().id();
@@ -2578,6 +2587,7 @@ mod tests {
             eval: EvalCtx::default(),
             parallelism,
             morsel_rows: Some(DEFAULT_MORSEL_ROWS),
+            adaptive_morsels: false,
             memory: ExecMemoryTracker::new(None),
         }
     }

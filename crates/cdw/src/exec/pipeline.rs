@@ -64,8 +64,75 @@ use super::*;
 /// partition of 64-bit values yields ~128 morsels).
 pub const DEFAULT_MORSEL_ROWS: usize = 4096;
 
-fn morsel_rows(ctx: &ExecCtx) -> usize {
+/// Floor for adaptively derived morsel heights: below this the
+/// per-morsel dispatch and selection bookkeeping dominate the kernel
+/// work.
+pub const MIN_MORSEL_ROWS: usize = 256;
+/// Ceiling for adaptively derived morsel heights: above this a skewed
+/// partition yields too few stealable units to balance.
+pub const MAX_MORSEL_ROWS: usize = 64 * 1024;
+/// Bytes one adaptive morsel should cover — roughly cache-resident for
+/// a handful of columns, amortizing dispatch without evicting the
+/// working set between fused stages.
+pub const MORSEL_TARGET_BYTES: usize = 256 * 1024;
+
+/// Fixed morsel height from the context (the `morsel_rows = Some(n)`
+/// oracle-sweep setting, or the default).
+fn fixed_morsel_rows(ctx: &ExecCtx) -> usize {
     ctx.morsel_rows.unwrap_or(DEFAULT_MORSEL_ROWS).max(1)
+}
+
+/// Derive a morsel height for one pipeline from its input shape: small
+/// enough that [`MORSEL_TARGET_BYTES`] of input fit in one morsel *and*
+/// that the largest partition splits into at least four stealable units
+/// per worker (so one oversized partition cannot serialize the tail of
+/// a query), clamped to `[MIN_MORSEL_ROWS, MAX_MORSEL_ROWS]`. Purely a
+/// scheduling choice: every sink merges per-morsel outputs in morsel
+/// order, so results are bit-identical at any height (the equivalence
+/// oracles sweep explicit sizes to prove it).
+pub(crate) fn adaptive_morsel_rows(
+    parallelism: usize,
+    total_rows: usize,
+    total_bytes: usize,
+    largest_rows: usize,
+) -> usize {
+    let bytes_per_row = (total_bytes / total_rows.max(1)).max(1);
+    let by_bytes = (MORSEL_TARGET_BYTES / bytes_per_row).max(1);
+    let by_split = largest_rows.div_ceil(4 * parallelism.max(1)).max(1);
+    by_bytes
+        .min(by_split)
+        .clamp(MIN_MORSEL_ROWS, MAX_MORSEL_ROWS)
+}
+
+/// Morsel height for a pipeline whose source is `parts` (surviving rows
+/// and byte estimates per partition).
+fn morsel_rows_for_parts(ctx: &ExecCtx, parts: &[Part]) -> usize {
+    if !ctx.adaptive_morsels {
+        return fixed_morsel_rows(ctx);
+    }
+    let total_rows: usize = parts.iter().map(Part::rows).sum();
+    let total_bytes: usize = parts.iter().map(Part::est_bytes).sum();
+    let largest = parts.iter().map(Part::rows).max().unwrap_or(0);
+    adaptive_morsel_rows(ctx.parallelism, total_rows, total_bytes, largest)
+}
+
+/// Morsel height for a pipeline over whole-batch partitions (probe
+/// sides, sort/window inputs).
+pub(crate) fn morsel_rows_for_batches<'a>(
+    ctx: &ExecCtx,
+    batches: impl IntoIterator<Item = &'a Batch>,
+) -> usize {
+    if !ctx.adaptive_morsels {
+        return fixed_morsel_rows(ctx);
+    }
+    let (mut rows, mut bytes, mut largest) = (0usize, 0usize, 0usize);
+    for b in batches {
+        let r = b.num_rows();
+        rows += r;
+        bytes += b.byte_size();
+        largest = largest.max(r);
+    }
+    adaptive_morsel_rows(ctx.parallelism, rows, bytes, largest)
 }
 
 /// Per-item cost for LPT seeding: `rows`' share of an input of
@@ -392,7 +459,7 @@ pub(super) fn execute_chain(
     let compiled = compile_chain(&chain)?;
 
     let outs: Vec<OutData> = {
-        let (morsels, counts) = morselize(&parts, morsel_rows(ctx));
+        let (morsels, counts) = morselize(&parts, morsel_rows_for_parts(ctx, &parts));
         morsels_out.fetch_add(morsels.len(), Ordering::Relaxed);
         debug_assert_eq!(counts.len(), nparts);
         run_stealing(
@@ -411,7 +478,7 @@ pub(super) fn execute_chain(
         .collect()
     };
 
-    let (_, counts) = morselize(&parts, morsel_rows(ctx));
+    let (_, counts) = morselize(&parts, morsel_rows_for_parts(ctx, &parts));
     let nmorsels: usize = counts.iter().sum();
     let mut out_parts = Vec::with_capacity(nparts);
     let mut it = outs.into_iter();
@@ -492,7 +559,7 @@ pub(super) fn execute_fused_partial(
         args: Vec<Option<Column>>,
         rows: usize,
     }
-    let (morsels, counts) = morselize(&parts, morsel_rows(ctx));
+    let (morsels, counts) = morselize(&parts, morsel_rows_for_parts(ctx, &parts));
     let nmorsels = morsels.len();
     let evaled: Vec<EvaledMorsel> = run_stealing(
         ctx.parallelism,
@@ -590,7 +657,7 @@ pub(super) fn morsel_probe(
     eval_ns: &AtomicU64,
     morsels_out: &AtomicUsize,
 ) -> Result<Vec<(Batch, Vec<usize>)>, CdwError> {
-    let mrows = morsel_rows(ctx);
+    let mrows = morsel_rows_for_batches(ctx, lparts);
     struct ProbeMorsel<'a> {
         batch: &'a Batch,
         /// `None` = probe the whole partition batch (no slice copy).
@@ -726,7 +793,7 @@ pub(super) fn morsel_spilled_aggregate(
     // Tag every morsel with its partition index and its dense row offset
     // within that partition's surviving rows (the coordinates the static
     // path's `__row` column uses).
-    let (morsels, counts) = morselize(parts, morsel_rows(ctx));
+    let (morsels, counts) = morselize(parts, morsel_rows_for_parts(ctx, parts));
     morsels_out.fetch_add(morsels.len(), Ordering::Relaxed);
     let mut meta: Vec<(usize, usize)> = Vec::with_capacity(morsels.len());
     {
@@ -903,7 +970,7 @@ pub(crate) fn morsel_eval_columns(
     morsels_out: &AtomicUsize,
 ) -> Result<Vec<Column>, CdwError> {
     let rows = batch.num_rows();
-    let chunks = range_chunks(rows, morsel_rows(ctx));
+    let chunks = range_chunks(rows, morsel_rows_for_batches(ctx, std::iter::once(batch)));
     morsels_out.fetch_add(chunks.len(), Ordering::Relaxed);
     let total_bytes = batch.byte_size();
     let per_chunk: Vec<Vec<Column>> = run_stealing(
@@ -1007,7 +1074,7 @@ pub(super) fn morsel_sort(
     // In-memory: sort each morsel-run in parallel, then heap-merge.
     let runs: Vec<Vec<usize>> = run_stealing(
         ctx.parallelism,
-        range_chunks(rows, morsel_rows(ctx)),
+        range_chunks(rows, morsel_rows_for_batches(ctx, std::iter::once(batch))),
         |r| byte_cost(r.len(), est, rows),
         |r| {
             let mut idx: Vec<usize> = r.collect();
@@ -1086,6 +1153,38 @@ fn kway_merge_runs(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Adaptive sizing derives from input shape: wide rows shrink the
+    /// morsel toward the byte target, a dominant partition shrinks it so
+    /// every worker sees at least four stealable units of it, and the
+    /// result always lands inside the `[MIN, MAX]` clamp.
+    #[test]
+    fn adaptive_morsel_rows_tracks_input_shape() {
+        // 8-byte rows, 1M rows in one partition, 4 workers: the byte
+        // target (256 KiB / 8 B = 32K rows) beats the split bound
+        // (1M / 16 = 64K rows).
+        assert_eq!(adaptive_morsel_rows(4, 1 << 20, 8 << 20, 1 << 20), 32_768);
+        // Narrow 1-byte rows push the byte bound past MAX — the clamp
+        // wins.
+        assert_eq!(
+            adaptive_morsel_rows(1, 1 << 20, 1 << 20, 1 << 20),
+            MAX_MORSEL_ROWS
+        );
+        // 1 KiB rows: the byte target caps at 256 rows (== MIN clamp).
+        assert_eq!(
+            adaptive_morsel_rows(4, 100_000, 100_000 * 1024, 100_000),
+            MIN_MORSEL_ROWS
+        );
+        // 16-byte rows, largest partition 40_000 rows, 4 workers: the
+        // split bound 40_000 / 16 = 2_500 beats the 16K byte bound.
+        assert_eq!(adaptive_morsel_rows(4, 100_000, 1_600_000, 40_000), 2_500);
+        // Tiny inputs clamp up to MIN (one morsel per partition).
+        assert_eq!(adaptive_morsel_rows(4, 10, 80, 10), MIN_MORSEL_ROWS);
+        // Degenerate zero-row / zero-byte inputs never panic and stay
+        // within the clamp.
+        let z = adaptive_morsel_rows(1, 0, 0, 0);
+        assert!((MIN_MORSEL_ROWS..=MAX_MORSEL_ROWS).contains(&z));
+    }
 
     /// The scheduler cost-seeding satellite: a run covering most of the
     /// input must cost proportionally more than a 1-row tail, and costs

@@ -43,6 +43,7 @@
 //! the same code path as the production warehouses.
 
 pub mod catalog;
+pub mod delta;
 pub mod error;
 pub mod eval;
 pub mod exec;

@@ -108,7 +108,7 @@ const AGG_NAMES: &[(&str, AggFunc)] = &[
     ("ANY_VALUE", AggFunc::Attr),
 ];
 
-fn agg_func_for(name: &str) -> Option<AggFunc> {
+pub(crate) fn agg_func_for(name: &str) -> Option<AggFunc> {
     let upper = name.to_ascii_uppercase();
     if upper == "PERCENTILE_CONT" {
         // Fraction filled in at build time from the literal second arg.

@@ -41,6 +41,12 @@ pub struct WarehouseConfig {
     /// bit-identical either way; the morsel path only changes how work
     /// is scheduled.
     pub morsel_rows: Option<usize>,
+    /// Derive each pipeline's morsel height from its input shape (bytes
+    /// per row, thread count, largest partition) instead of the fixed
+    /// `morsel_rows` value. On by default; calling
+    /// [`Warehouse::set_morsel_rows`] switches to the explicit setting so
+    /// the equivalence and spill oracles can sweep fixed sizes.
+    pub adaptive_morsels: bool,
 }
 
 impl Default for WarehouseConfig {
@@ -52,6 +58,7 @@ impl Default for WarehouseConfig {
             max_persisted_results: 256,
             memory_budget: None,
             morsel_rows: Some(crate::exec::DEFAULT_MORSEL_ROWS),
+            adaptive_morsels: true,
         }
     }
 }
@@ -140,7 +147,16 @@ impl Warehouse {
     /// the static partition-at-a-time executor). Results are bit-identical
     /// either way.
     pub fn set_morsel_rows(&self, morsel_rows: Option<usize>) {
-        self.config.write().morsel_rows = morsel_rows.map(|m| m.max(1));
+        let mut config = self.config.write();
+        config.morsel_rows = morsel_rows.map(|m| m.max(1));
+        // An explicit height (or the static executor) is a request for
+        // exactly that schedule — stop deriving per-pipeline sizes.
+        config.adaptive_morsels = false;
+    }
+
+    /// Re-enable (or disable) per-pipeline adaptive morsel sizing.
+    pub fn set_adaptive_morsels(&self, adaptive: bool) {
+        self.config.write().adaptive_morsels = adaptive;
     }
 
     /// The configured morsel height (`None` = static execution).
@@ -404,6 +420,7 @@ impl Warehouse {
             eval: self.eval_ctx(),
             parallelism: config.parallelism,
             morsel_rows: config.morsel_rows,
+            adaptive_morsels: config.adaptive_morsels,
             memory: crate::exec::ExecMemoryTracker::new(config.memory_budget),
         };
         execute(&plan, &ctx, stats)
@@ -514,6 +531,25 @@ impl Warehouse {
         format!("q-{}", self.next_query_id.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// Install a batch as an ephemeral persisted result, addressable via
+    /// `RESULT_SCAN('<id>')` exactly like an executed query's result —
+    /// without executing anything. The browser tier uses this to expose
+    /// locally cached stage results to residual-suffix execution. Subject
+    /// to the same LRU retention as executed results; pair with
+    /// [`Warehouse::evict_result`] for prompt cleanup.
+    pub fn install_result(&self, batch: Batch) -> String {
+        self.persist_result(batch)
+    }
+
+    /// Drop a persisted result by query id (ephemeral-table cleanup).
+    /// Returns whether it was present.
+    pub fn evict_result(&self, query_id: &str) -> bool {
+        let mut results = self.results.write();
+        let mut retention = self.retention.write();
+        retention.remove(query_id);
+        results.remove(query_id).is_some()
+    }
+
     fn persist_result(&self, batch: Batch) -> String {
         let id = self.fresh_query_id();
         let max = self.config.read().max_persisted_results;
@@ -532,125 +568,15 @@ impl Warehouse {
 }
 
 /// Resolve an expression against a single table's schema (UPDATE/DELETE).
+/// Shares the single-relation resolver with the delta kernels.
 fn resolve_against_schema(
     planner: &Planner<'_>,
     expr: &sigma_sql::SqlExpr,
     schema: &std::sync::Arc<sigma_value::Schema>,
     table: &str,
 ) -> Result<PhysExpr, CdwError> {
-    // Reuse the planner's resolver by planning a fake SELECT over the
-    // table; cheaper to just inline the resolution logic via a select.
     let _ = planner;
-    resolve_simple(expr, schema, table)
-}
-
-fn resolve_simple(
-    e: &sigma_sql::SqlExpr,
-    schema: &std::sync::Arc<sigma_value::Schema>,
-    table: &str,
-) -> Result<PhysExpr, CdwError> {
-    use sigma_sql::SqlExpr as S;
-    Ok(match e {
-        S::Literal(v) => PhysExpr::Literal(v.clone()),
-        S::Column { table: t, name } => {
-            if let Some(t) = t {
-                if !t.eq_ignore_ascii_case(table) {
-                    return Err(CdwError::plan(format!("unknown table {t}")));
-                }
-            }
-            let idx = schema
-                .index_of(name)
-                .ok_or_else(|| CdwError::plan(format!("column not found: {name}")))?;
-            PhysExpr::Col(idx)
-        }
-        S::Unary { op, expr } => PhysExpr::Unary {
-            op: *op,
-            expr: Box::new(resolve_simple(expr, schema, table)?),
-        },
-        S::Binary { op, left, right } => PhysExpr::Binary {
-            op: *op,
-            left: Box::new(resolve_simple(left, schema, table)?),
-            right: Box::new(resolve_simple(right, schema, table)?),
-        },
-        S::Func { name, args, .. } => {
-            let func = eval::ScalarFunc::from_name(name)
-                .ok_or_else(|| CdwError::plan(format!("unknown function {name} in DML")))?;
-            PhysExpr::Func {
-                func,
-                args: args
-                    .iter()
-                    .map(|a| resolve_simple(a, schema, table))
-                    .collect::<Result<_, _>>()?,
-            }
-        }
-        S::Case {
-            operand,
-            whens,
-            else_,
-        } => PhysExpr::Case {
-            operand: operand
-                .as_ref()
-                .map(|o| resolve_simple(o, schema, table).map(Box::new))
-                .transpose()?,
-            whens: whens
-                .iter()
-                .map(|(w, t)| {
-                    Ok((
-                        resolve_simple(w, schema, table)?,
-                        resolve_simple(t, schema, table)?,
-                    ))
-                })
-                .collect::<Result<_, CdwError>>()?,
-            else_: else_
-                .as_ref()
-                .map(|x| resolve_simple(x, schema, table).map(Box::new))
-                .transpose()?,
-        },
-        S::Cast { expr, dtype } => PhysExpr::Cast {
-            expr: Box::new(resolve_simple(expr, schema, table)?),
-            dtype: *dtype,
-            strict: false,
-        },
-        S::InList {
-            expr,
-            list,
-            negated,
-        } => PhysExpr::InList {
-            expr: Box::new(resolve_simple(expr, schema, table)?),
-            list: list
-                .iter()
-                .map(|l| resolve_simple(l, schema, table))
-                .collect::<Result<_, _>>()?,
-            negated: *negated,
-        },
-        S::Between {
-            expr,
-            low,
-            high,
-            negated,
-        } => PhysExpr::Between {
-            expr: Box::new(resolve_simple(expr, schema, table)?),
-            low: Box::new(resolve_simple(low, schema, table)?),
-            high: Box::new(resolve_simple(high, schema, table)?),
-            negated: *negated,
-        },
-        S::IsNull { expr, negated } => PhysExpr::IsNull {
-            expr: Box::new(resolve_simple(expr, schema, table)?),
-            negated: *negated,
-        },
-        S::Like {
-            expr,
-            pattern,
-            negated,
-        } => PhysExpr::Like {
-            expr: Box::new(resolve_simple(expr, schema, table)?),
-            pattern: Box::new(resolve_simple(pattern, schema, table)?),
-            negated: *negated,
-        },
-        S::Star | S::WindowFunc { .. } => {
-            return Err(CdwError::plan("unsupported expression in DML"))
-        }
-    })
+    crate::delta::resolve_expr(expr, schema, table)
 }
 
 /// Align an INSERT source batch to the table schema, handling an explicit

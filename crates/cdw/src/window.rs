@@ -129,10 +129,7 @@ pub fn compute_window_morsel(
     morsels_out: &AtomicUsize,
 ) -> Result<Column, CdwError> {
     let rows = batch.num_rows();
-    let mrows = ctx
-        .morsel_rows
-        .unwrap_or(crate::exec::DEFAULT_MORSEL_ROWS)
-        .max(1);
+    let mrows = crate::exec::pipeline::morsel_rows_for_batches(ctx, std::iter::once(batch));
     let types: Vec<DataType> = batch.schema().fields().iter().map(|f| f.dtype).collect();
     let cpart: Vec<CompiledExpr> = call
         .partition

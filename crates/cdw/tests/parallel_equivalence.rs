@@ -224,6 +224,38 @@ proptest! {
     }
 }
 
+/// Adaptive per-pipeline morsel sizing (the default config) is a pure
+/// scheduling choice: over the skewed layout, every query must match the
+/// static serial oracle bit-for-bit at parallelism {1, 4}, and an
+/// explicit `set_morsel_rows` must win over adaptivity (sweeping a fixed
+/// 3-row size after enabling adaptive mode still matches).
+#[test]
+fn adaptive_morsel_sizing_bit_identical() {
+    let rows: Vec<(i64, Option<i64>, i64)> = (0..60).map(|i| (i % 4, Some(i * 7), i % 8)).collect();
+    let wh = load_skewed(&rows, 4);
+    for sql in QUERIES {
+        wh.set_parallelism(1);
+        wh.set_morsel_rows(None); // static oracle; also disables adaptive
+        let oracle = wh.execute_sql(sql).unwrap().batch;
+        for &parallelism in &[1usize, 4] {
+            wh.set_parallelism(parallelism);
+            wh.set_morsel_rows(Some(sigma_cdw::exec::DEFAULT_MORSEL_ROWS));
+            wh.set_adaptive_morsels(true);
+            let adaptive = wh.execute_sql(sql).unwrap().batch;
+            assert_bit_identical(
+                &oracle,
+                &adaptive,
+                &format!("{sql} [adaptive p={parallelism}]"),
+            );
+            // Explicit size overrides adaptivity.
+            wh.set_morsel_rows(Some(3));
+            assert!(!wh.config().adaptive_morsels);
+            let fixed = wh.execute_sql(sql).unwrap().batch;
+            assert_bit_identical(&oracle, &fixed, &format!("{sql} [fixed-3 p={parallelism}]"));
+        }
+    }
+}
+
 /// Deterministic worst-case layout, checked down to the morsel counters:
 /// `[empty, 36-row, empty, 1-row × 4, empty]` under 3-row morsels must
 /// split into 19 morsels over 8 partitions (12 for the big partition, one

@@ -1,0 +1,242 @@
+//! Edit-delta classification between two [`StagePlan`]s.
+//!
+//! A workbook edit recompiles the element into a new stage DAG. Comparing
+//! the old and new plans stage by stage tells the client *how* the query
+//! changed — and whether the dominant interactive edit shapes apply:
+//!
+//! * **FilterTweak** — exactly the `WHERE` clause of a stage changed
+//!   (slider drag, filter threshold edit). The stage's new result is the
+//!   cached parent result re-filtered through one selection-vector kernel
+//!   pass; no re-plan, no re-scan.
+//! * **Projection** — only the SELECT list of a stage changed (new or
+//!   edited formula column). The stage's new result is a projection over
+//!   the cached parent result.
+//!
+//! Any other difference — stages added or removed, renamed, re-wired,
+//! grouping changes, ordering changes — is **Structural**: the residual
+//! suffix must re-plan and re-execute (locally when the invalidated
+//! frontier is cached, on the service otherwise).
+//!
+//! Classification is purely syntactic (AST equality over the stage
+//! queries); it never looks at data, so it is exact: two stages classify
+//! as a tweak iff every other clause is identical. Downstream stages whose
+//! canonical SQL is unchanged (only their Merkle fingerprints moved) are
+//! not edits — they re-execute over new inputs but need no classification.
+
+use sigma_sql::{Query, Select, SetExpr};
+
+use super::stageplan::StagePlan;
+
+/// How a single stage's query text changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageEditKind {
+    /// Only the `WHERE` predicate differs.
+    FilterTweak,
+    /// Only the SELECT list differs.
+    Projection,
+}
+
+/// One edited stage, by index into the **new** plan's nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageEdit {
+    pub stage: usize,
+    pub kind: StageEditKind,
+}
+
+/// The classified difference between two compiled plans of one element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanDelta {
+    /// Same root fingerprint: nothing changed.
+    Identical,
+    /// Every stage whose canonical SQL changed did so in a
+    /// delta-maintainable way. Edits are in topological (index) order.
+    Edits(Vec<StageEdit>),
+    /// The plans differ in shape, or some changed stage is not a pure
+    /// filter/projection tweak.
+    Structural,
+}
+
+impl PlanDelta {
+    /// The edits, when delta-maintainable.
+    pub fn edits(&self) -> &[StageEdit] {
+        match self {
+            PlanDelta::Edits(e) => e,
+            _ => &[],
+        }
+    }
+}
+
+/// Classify the difference between two compiled stage DAGs.
+pub fn classify_plan_delta(old: &StagePlan, new: &StagePlan) -> PlanDelta {
+    if old.root_fingerprint() == new.root_fingerprint() {
+        return PlanDelta::Identical;
+    }
+    // Same DAG shape: node-for-node names and wiring.
+    if old.nodes.len() != new.nodes.len() {
+        return PlanDelta::Structural;
+    }
+    for (o, n) in old.nodes.iter().zip(&new.nodes) {
+        if !o.name.eq_ignore_ascii_case(&n.name) || o.inputs != n.inputs {
+            return PlanDelta::Structural;
+        }
+    }
+    let mut edits = Vec::new();
+    for (idx, (o, n)) in old.nodes.iter().zip(&new.nodes).enumerate() {
+        if o.sql == n.sql {
+            continue;
+        }
+        match classify_stage_edit(&o.query, &n.query) {
+            Some(kind) => edits.push(StageEdit { stage: idx, kind }),
+            None => return PlanDelta::Structural,
+        }
+    }
+    if edits.is_empty() {
+        // SQL all equal but roots differ: cannot happen with Merkle
+        // fingerprints over identical wiring, but classify conservatively.
+        return PlanDelta::Structural;
+    }
+    PlanDelta::Edits(edits)
+}
+
+/// Classify how one stage's query changed, if delta-maintainably.
+pub fn classify_stage_edit(old: &Query, new: &Query) -> Option<StageEditKind> {
+    // The surrounding query must be a plain select with identical
+    // ordering/limit framing on both sides.
+    if old.ctes != new.ctes
+        || old.order_by != new.order_by
+        || old.limit != new.limit
+        || old.offset != new.offset
+    {
+        return None;
+    }
+    let (SetExpr::Select(o), SetExpr::Select(n)) = (&old.body, &new.body) else {
+        return None;
+    };
+    if same_but_selection(o, n) && o.selection != n.selection {
+        return Some(StageEditKind::FilterTweak);
+    }
+    if same_but_projection(o, n) && o.projection != n.projection {
+        return Some(StageEditKind::Projection);
+    }
+    None
+}
+
+/// Every clause equal except (possibly) the WHERE predicate.
+fn same_but_selection(o: &Select, n: &Select) -> bool {
+    o.distinct == n.distinct
+        && o.projection == n.projection
+        && o.from == n.from
+        && o.joins == n.joins
+        && o.group_by == n.group_by
+        && o.having == n.having
+        && o.qualify == n.qualify
+}
+
+/// Every clause equal except (possibly) the SELECT list.
+fn same_but_projection(o: &Select, n: &Select) -> bool {
+    o.distinct == n.distinct
+        && o.from == n.from
+        && o.joins == n.joins
+        && o.selection == n.selection
+        && o.group_by == n.group_by
+        && o.having == n.having
+        && o.qualify == n.qualify
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_sql::{parse_query, Dialect};
+
+    fn plan(sql: &str) -> StagePlan {
+        StagePlan::from_query(&parse_query(sql).unwrap(), &Dialect::generic())
+    }
+
+    #[test]
+    fn identical_plans() {
+        let p = plan("WITH s AS (SELECT a FROM t) SELECT a FROM s");
+        assert_eq!(classify_plan_delta(&p, &p), PlanDelta::Identical);
+    }
+
+    #[test]
+    fn filter_tweak_classifies() {
+        let p1 =
+            plan("WITH s AS (SELECT a FROM t), f AS (SELECT * FROM s WHERE a > 1) SELECT a FROM f");
+        let p2 =
+            plan("WITH s AS (SELECT a FROM t), f AS (SELECT * FROM s WHERE a > 2) SELECT a FROM f");
+        let delta = classify_plan_delta(&p1, &p2);
+        assert_eq!(
+            delta,
+            PlanDelta::Edits(vec![StageEdit {
+                stage: 1,
+                kind: StageEditKind::FilterTweak,
+            }])
+        );
+    }
+
+    #[test]
+    fn added_and_removed_filters_classify() {
+        let p1 = plan("WITH s AS (SELECT a FROM t) SELECT a FROM s");
+        let p2 = plan("WITH s AS (SELECT a FROM t WHERE a > 2) SELECT a FROM s");
+        assert_eq!(
+            classify_plan_delta(&p1, &p2).edits(),
+            &[StageEdit {
+                stage: 0,
+                kind: StageEditKind::FilterTweak,
+            }]
+        );
+        assert_eq!(
+            classify_plan_delta(&p2, &p1).edits(),
+            &[StageEdit {
+                stage: 0,
+                kind: StageEditKind::FilterTweak,
+            }]
+        );
+    }
+
+    #[test]
+    fn projection_change_classifies_including_sink_passthrough() {
+        let p1 = plan("WITH s AS (SELECT a FROM t) SELECT a AS a FROM s");
+        let p2 = plan("WITH s AS (SELECT a, a + 1 AS b FROM t) SELECT a AS a, b AS b FROM s");
+        let delta = classify_plan_delta(&p1, &p2);
+        assert_eq!(
+            delta,
+            PlanDelta::Edits(vec![
+                StageEdit {
+                    stage: 0,
+                    kind: StageEditKind::Projection,
+                },
+                StageEdit {
+                    stage: 1,
+                    kind: StageEditKind::Projection,
+                },
+            ])
+        );
+    }
+
+    #[test]
+    fn structural_changes_detected() {
+        // Regroup: GROUP BY key changed.
+        let p1 = plan("WITH s AS (SELECT a, b FROM t) SELECT a, SUM(b) AS s FROM s GROUP BY a");
+        let p2 = plan("WITH s AS (SELECT a, b FROM t) SELECT b, SUM(a) AS s FROM s GROUP BY b");
+        assert_eq!(classify_plan_delta(&p1, &p2), PlanDelta::Structural);
+        // Stage count changed.
+        let p3 = plan("WITH s AS (SELECT a FROM t), f AS (SELECT * FROM s) SELECT a FROM f");
+        let p4 = plan("WITH s AS (SELECT a FROM t) SELECT a FROM s");
+        assert_eq!(classify_plan_delta(&p3, &p4), PlanDelta::Structural);
+    }
+
+    #[test]
+    fn simultaneous_filter_and_projection_change_is_structural() {
+        let p1 = plan("WITH s AS (SELECT a FROM t) SELECT a FROM s WHERE a > 1");
+        let p2 = plan("WITH s AS (SELECT a FROM t) SELECT a, a + 1 AS b FROM s WHERE a > 2");
+        assert_eq!(classify_plan_delta(&p1, &p2), PlanDelta::Structural);
+    }
+
+    #[test]
+    fn order_by_change_is_structural() {
+        let p1 = plan("WITH s AS (SELECT a FROM t) SELECT a FROM s ORDER BY a");
+        let p2 = plan("WITH s AS (SELECT a FROM t) SELECT a FROM s ORDER BY a DESC");
+        assert_eq!(classify_plan_delta(&p1, &p2), PlanDelta::Structural);
+    }
+}

@@ -26,6 +26,7 @@
 //! grouped by the join key so cardinality never changes.
 
 mod context;
+pub mod delta;
 mod formula;
 pub mod stageplan;
 mod stages;
@@ -38,6 +39,7 @@ use sigma_sql::{Dialect, Query};
 use crate::document::ElementKind;
 use crate::error::CoreError;
 pub use crate::schema::CompiledQuery;
+pub use delta::{classify_plan_delta, PlanDelta, StageEdit, StageEditKind};
 pub use stageplan::{Fingerprint, StageNode, StagePlan};
 
 use crate::schema::SchemaProvider;

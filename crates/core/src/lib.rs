@@ -33,7 +33,10 @@ pub mod schema;
 pub mod table;
 pub mod viz;
 
-pub use compile::{CompileOptions, CompiledQuery, Compiler, Fingerprint, StageNode, StagePlan};
+pub use compile::{
+    classify_plan_delta, CompileOptions, CompiledQuery, Compiler, Fingerprint, PlanDelta,
+    StageEdit, StageEditKind, StageNode, StagePlan,
+};
 pub use document::{Element, ElementKind, Page, Workbook};
 pub use error::CoreError;
 pub use schema::SchemaProvider;

@@ -5,7 +5,7 @@
 //! workload queue → customer CDW → result back (by query id).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -77,6 +77,21 @@ pub struct QueryOutcome {
     /// the canonical cache key for this workbook state. Browser clients
     /// key their result cache on it without compiling themselves.
     pub root_fingerprint: sigma_core::Fingerprint,
+    /// The compiled stage DAG: standalone per-stage SQL, Merkle
+    /// fingerprints, and table dependencies. Browser clients keep the
+    /// last plan per element and diff it against the next edit's plan to
+    /// run only the invalidated suffix locally.
+    pub stages: StagePlan,
+    /// Interior stage results riding back with the answer, as
+    /// `(fingerprint hex, batch)` pairs — the client seeds its
+    /// fingerprint-keyed stage cache from these so the *next* edit can
+    /// reuse them without any warehouse round trip. Only stages whose
+    /// persisted result is still live and fits the ship cap are included.
+    pub stage_results: Vec<(String, Batch)>,
+    /// Schemas of the warehouse tables the element reads, letting the
+    /// client compile subsequent edits locally even when the tables
+    /// themselves were never prefetched.
+    pub table_schemas: Vec<(String, Arc<sigma_value::Schema>)>,
 }
 
 /// The multi-tenant Sigma service.
@@ -92,6 +107,11 @@ pub struct SigmaService {
     /// executes as its own warehouse query keyed by its Merkle fingerprint,
     /// so an edit re-executes only the stages downstream of the change.
     stage_caching: AtomicBool,
+    /// Byte budget for interior stage results shipped back on each
+    /// [`QueryOutcome`] (0 disables shipping). Mirrors the prefetch
+    /// philosophy: small intermediates ride along so the browser can run
+    /// residual suffixes without another round trip.
+    stage_ship_cap: AtomicUsize,
 }
 
 /// `SchemaProvider` over a live warehouse connection.
@@ -116,6 +136,7 @@ impl SigmaService {
             connections: RwLock::new(HashMap::new()),
             default_concurrency: 8,
             stage_caching: AtomicBool::new(true),
+            stage_ship_cap: AtomicUsize::new(8 << 20),
         }
     }
 
@@ -133,6 +154,16 @@ impl SigmaService {
 
     pub fn stage_caching(&self) -> bool {
         self.stage_caching.load(Ordering::Relaxed)
+    }
+
+    /// Set the byte budget for stage results shipped on each outcome
+    /// (0 disables shipping entirely).
+    pub fn set_stage_ship_cap(&self, bytes: usize) {
+        self.stage_ship_cap.store(bytes, Ordering::Relaxed);
+    }
+
+    pub fn stage_ship_cap(&self) -> usize {
+        self.stage_ship_cap.load(Ordering::Relaxed)
     }
 
     /// Register a warehouse connection for an org.
@@ -325,6 +356,38 @@ impl SigmaService {
                 (r.batch, ServedFrom::Warehouse)
             }
         };
+        // Ship small live interior stage results (and the table schemas
+        // the element reads) so the client can serve the next edit's
+        // residual suffix — or a delta fast path — without a round trip.
+        let ship_cap = self.stage_ship_cap();
+        let mut stage_results: Vec<(String, Batch)> = Vec::new();
+        if ship_cap > 0 && plan.nodes.len() > 1 {
+            let mut shipped = 0usize;
+            // Walk interior stages deepest-last so, under cap pressure,
+            // the stages nearest the sink (the most valuable reuse
+            // frontier for small edits) win the budget.
+            for node in plan.nodes[..plan.nodes.len() - 1].iter().rev() {
+                let key = DirKey::for_stage(req.connection, node.fingerprint);
+                let Some(qid) = directory.lookup_stage(key) else {
+                    continue;
+                };
+                let Some(b) = warehouse.persisted_result(&qid) else {
+                    continue;
+                };
+                let bytes = b.byte_size();
+                if shipped + bytes > ship_cap {
+                    continue;
+                }
+                shipped += bytes;
+                stage_results.push((node.fingerprint.hex(), b));
+            }
+        }
+        let table_schemas: Vec<(String, Arc<sigma_value::Schema>)> = plan
+            .sink()
+            .all_tables
+            .iter()
+            .filter_map(|t| warehouse.table_schema(t).map(|s| (t.clone(), s)))
+            .collect();
         Ok(QueryOutcome {
             batch,
             query_id,
@@ -335,6 +398,9 @@ impl SigmaService {
             stages_executed,
             rows_scanned,
             root_fingerprint,
+            stages: plan,
+            stage_results,
+            table_schemas,
         })
     }
 
