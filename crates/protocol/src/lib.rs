@@ -1,0 +1,30 @@
+//! The Sigma wire protocol: how browsers talk to the networked service.
+//!
+//! Two layers:
+//!
+//! * [`frame`] — length-prefixed, CRC-32-checked, versioned envelopes over
+//!   any `Read`/`Write` stream. A corrupt, truncated, oversized, or
+//!   wrong-version frame is a clean [`FrameError`], never a panic or a
+//!   runaway allocation.
+//! * [`message`] — serde-encoded [`Request`]/[`Response`] payloads
+//!   covering the session lifecycle (auth → open session → query/upload/
+//!   explain → close). Result batches travel as the bit-exact
+//!   `sigma_value::codec` encoding, so a networked query answer is
+//!   byte-identical to the same query answered in process.
+//!
+//! This crate is deliberately transport- and service-agnostic: it depends
+//! only on `sigma-value` and the serde shims, so clients can speak the
+//! protocol without linking the engine.
+
+pub mod frame;
+pub mod message;
+
+pub use frame::{
+    crc32, encode_frame, read_frame, write_frame, FrameError, HEADER_BYTES, MAGIC, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+pub use message::{
+    decode_request, decode_response, encode_request, encode_response, read_request, read_response,
+    write_request, write_response, ErrorKind, Request, Response, WireBatch, WireOutcome,
+    WirePriority,
+};

@@ -1,0 +1,286 @@
+//! Protocol codec pins:
+//!
+//! 1. **Roundtrip**: `decode(encode(m)) == m` for arbitrary requests and
+//!    responses, including batches with adversarial floats and non-ASCII
+//!    text (proptest over a seeded generator).
+//! 2. **Rejection**: truncated frames, corrupt payloads, bad magic, and
+//!    oversized length prefixes are clean errors, never panics or huge
+//!    allocations.
+//! 3. **Versioning**: a frame stamped with an unknown version decodes to
+//!    [`FrameError::UnsupportedVersion`] without touching the payload.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sigma_protocol::{
+    decode_request, decode_response, encode_request, encode_response, frame, read_frame, ErrorKind,
+    FrameError, Request, Response, WireBatch, WireOutcome, WirePriority,
+};
+use sigma_value::{Batch, ColumnBuilder, DataType, Field, Schema, Value};
+
+/// Tiny deterministic generator: one u64 seed yields a full message.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn string(&mut self) -> String {
+        const POOL: &[&str] = &[
+            "",
+            "flights",
+            "Dep Delay",
+            "naïve—台北",
+            "with \"quotes\" and \\ slashes",
+            "line\nbreak\ttab",
+            "tok-1-42",
+        ];
+        POOL[self.pick(POOL.len() as u64) as usize].to_string()
+    }
+}
+
+/// Adversarial float pool: values most likely to break a codec that
+/// routes through text.
+const FLOATS: &[f64] = &[
+    0.0,
+    -0.0,
+    1.5,
+    -1.0e300,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    f64::MIN_POSITIVE,
+    f64::NAN,
+];
+
+fn build_batch(rng: &mut Lcg) -> Batch {
+    let cols = rng.pick(4) as usize;
+    let rows = rng.pick(24) as usize;
+    let mut fields = Vec::new();
+    let mut columns = Vec::new();
+    for c in 0..cols {
+        let dtype = match rng.pick(4) {
+            0 => DataType::Int,
+            1 => DataType::Float,
+            2 => DataType::Text,
+            _ => DataType::Bool,
+        };
+        fields.push(Field::new(format!("c{c}"), dtype));
+        let mut b = ColumnBuilder::new(dtype, rows);
+        for _ in 0..rows {
+            if rng.pick(5) == 0 {
+                b.push(Value::Null).unwrap();
+                continue;
+            }
+            let v = match dtype {
+                DataType::Int => Value::Int(rng.next() as i64),
+                DataType::Float => Value::Float(FLOATS[rng.pick(FLOATS.len() as u64) as usize]),
+                DataType::Text => Value::Text(rng.string()),
+                _ => Value::Bool(rng.next().is_multiple_of(2)),
+            };
+            b.push(v).unwrap();
+        }
+        columns.push(b.finish());
+    }
+    let schema = Arc::new(Schema::new(fields));
+    Batch::new(schema, columns).expect("builder columns match schema")
+}
+
+fn build_request(rng: &mut Lcg) -> Request {
+    match rng.pick(7) {
+        0 => Request::Auth {
+            token: rng.string(),
+        },
+        1 => Request::OpenSession {
+            connection: rng.string(),
+        },
+        2 => Request::QueryElement {
+            workbook_json: rng.string(),
+            element: rng.string(),
+            priority: if rng.pick(2) == 0 {
+                WirePriority::Interactive
+            } else {
+                WirePriority::Background
+            },
+            deadline_ms: if rng.pick(2) == 0 {
+                None
+            } else {
+                Some(rng.pick(100_000))
+            },
+        },
+        3 => Request::Explain {
+            workbook_json: rng.string(),
+            element: rng.string(),
+        },
+        4 => Request::UploadCsv {
+            table: rng.string(),
+            csv: rng.string(),
+        },
+        5 => Request::Ping,
+        _ => Request::CloseSession,
+    }
+}
+
+fn build_response(rng: &mut Lcg) -> Response {
+    match rng.pick(8) {
+        0 => Response::AuthOk {
+            user_id: rng.next(),
+            org: rng.next(),
+            name: rng.string(),
+            role: "creator".into(),
+        },
+        1 => Response::SessionOpened {
+            connection: rng.string(),
+        },
+        2 => Response::Query(WireOutcome {
+            batch: WireBatch::from_batch(&build_batch(rng)),
+            query_id: rng.string(),
+            sql: rng.string(),
+            served_from: "warehouse".into(),
+            queue_wait_us: rng.pick(1_000_000),
+            stage_hits: rng.pick(8),
+            stages_executed: rng.pick(8),
+            rows_scanned: rng.pick(100_000),
+        }),
+        3 => Response::Explained { sql: rng.string() },
+        4 => Response::Uploaded {
+            rows: rng.pick(1000),
+        },
+        5 => Response::Pong,
+        6 => Response::Overloaded {
+            retry_after_ms: rng.pick(10_000),
+        },
+        _ => Response::Error {
+            kind: match rng.pick(6) {
+                0 => ErrorKind::Unauthenticated,
+                1 => ErrorKind::Forbidden,
+                2 => ErrorKind::NotFound,
+                3 => ErrorKind::BadRequest,
+                4 => ErrorKind::DeadlineExceeded,
+                _ => ErrorKind::Internal,
+            },
+            message: rng.string(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn request_roundtrip(seed in any::<u64>()) {
+        let req = build_request(&mut Lcg(seed));
+        let frame_bytes = encode_request(&req).expect("encode");
+        let mut cursor = std::io::Cursor::new(frame_bytes);
+        let payload = read_frame(&mut cursor).expect("framing");
+        prop_assert_eq!(decode_request(&payload).expect("decode"), req);
+    }
+
+    #[test]
+    fn response_roundtrip(seed in any::<u64>()) {
+        let resp = build_response(&mut Lcg(seed));
+        let frame_bytes = encode_response(&resp).expect("encode");
+        let mut cursor = std::io::Cursor::new(frame_bytes);
+        let payload = read_frame(&mut cursor).expect("framing");
+        prop_assert_eq!(decode_response(&payload).expect("decode"), resp);
+    }
+
+    /// Batches survive the hex armor bit-exactly: re-encoding the decoded
+    /// batch reproduces the original codec bytes.
+    #[test]
+    fn wire_batch_is_bit_exact(seed in any::<u64>()) {
+        let batch = build_batch(&mut Lcg(seed));
+        let wire = WireBatch::from_batch(&batch);
+        let decoded = wire.to_batch().expect("decode");
+        prop_assert_eq!(
+            sigma_value::codec::encode_batch(&decoded),
+            sigma_value::codec::encode_batch(&batch)
+        );
+    }
+
+    /// Truncating a valid frame anywhere yields a clean error, not a
+    /// panic: mid-header is Closed/Truncated, mid-payload Truncated.
+    #[test]
+    fn truncated_frame_rejected(seed in any::<u64>(), frac in 0.0f64..1.0) {
+        let req = build_request(&mut Lcg(seed));
+        let bytes = encode_request(&req).expect("encode");
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        let mut cursor = std::io::Cursor::new(&bytes[..cut]);
+        match read_frame(&mut cursor) {
+            Err(FrameError::Closed) => prop_assert_eq!(cut, 0),
+            Err(FrameError::Truncated) => {}
+            other => prop_assert!(false, "truncation at {} gave {:?}", cut, other),
+        }
+    }
+
+    /// Any single flipped payload byte is caught by the CRC.
+    #[test]
+    fn corrupt_payload_rejected(seed in any::<u64>(), victim in any::<u64>()) {
+        let req = build_request(&mut Lcg(seed));
+        let mut bytes = encode_request(&req).expect("encode");
+        // Every request payload is non-empty JSON, so there is always a
+        // payload byte to corrupt.
+        prop_assert!(bytes.len() > frame::HEADER_BYTES);
+        let idx = frame::HEADER_BYTES
+            + (victim as usize) % (bytes.len() - frame::HEADER_BYTES);
+        bytes[idx] ^= 0x40;
+        let mut cursor = std::io::Cursor::new(bytes);
+        prop_assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Corrupt { .. })
+        ));
+    }
+}
+
+#[test]
+fn unknown_version_is_a_clean_error() {
+    let mut bytes = encode_request(&Request::Ping).unwrap();
+    // Stamp a future version into the header.
+    bytes[4..6].copy_from_slice(&99u16.to_le_bytes());
+    let mut cursor = std::io::Cursor::new(bytes);
+    assert_eq!(
+        read_frame(&mut cursor).unwrap_err(),
+        FrameError::UnsupportedVersion(99)
+    );
+}
+
+#[test]
+fn bad_magic_rejected() {
+    let mut bytes = encode_request(&Request::Ping).unwrap();
+    bytes[0] = b'X';
+    let mut cursor = std::io::Cursor::new(bytes);
+    assert!(matches!(
+        read_frame(&mut cursor).unwrap_err(),
+        FrameError::BadMagic(_)
+    ));
+}
+
+/// A hostile length prefix is rejected before any allocation is sized
+/// from it.
+#[test]
+fn oversized_length_prefix_rejected() {
+    let mut bytes = encode_request(&Request::Ping).unwrap();
+    bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    let mut cursor = std::io::Cursor::new(bytes);
+    assert_eq!(
+        read_frame(&mut cursor).unwrap_err(),
+        FrameError::TooLarge(u32::MAX)
+    );
+}
+
+/// Garbage that parses as JSON but not as a message is a decode error.
+#[test]
+fn wrong_shape_payload_rejected() {
+    let payload = br#"{"definitely": "not a request"}"#;
+    assert!(decode_request(payload).is_err());
+    assert!(decode_response(payload).is_err());
+    assert!(decode_request(b"\xff\xfe not utf8").is_err());
+}

@@ -1,0 +1,235 @@
+//! Blocking client for the Sigma wire protocol.
+//!
+//! One [`SigmaClient`] is one session: a TCP stream plus the
+//! auth → open-session handshake state. Methods map one-to-one onto
+//! [`Request`] variants and block until the server's reply frame arrives.
+//!
+//! Backpressure is part of the API, not an error to swallow:
+//! [`SigmaClient::query_element`] returns [`QueryReply`], forcing callers
+//! to decide what a shed request means for them (retry after the hint,
+//! drop the keystroke, surface a spinner). Genuine failures — transport
+//! errors, auth rejections — stay in [`ClientError`].
+
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use sigma_protocol::{ErrorKind, FrameError, Request, Response, WirePriority};
+use sigma_value::Batch;
+
+/// Client-side failure: transport trouble, a server-reported error, or a
+/// reply that does not fit the request that was sent.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    Frame(FrameError),
+    /// The server answered with an error response.
+    Server {
+        kind: ErrorKind,
+        message: String,
+    },
+    /// The server answered with a response of the wrong shape.
+    UnexpectedResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Server { kind, message } => {
+                write!(f, "server error ({kind:?}): {message}")
+            }
+            ClientError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A query answer with the wire batch already decoded.
+#[derive(Debug, Clone)]
+pub struct RemoteOutcome {
+    pub batch: Batch,
+    pub query_id: String,
+    pub sql: String,
+    /// `"warehouse"`, `"query_directory"`, or `"stage_reuse"`.
+    pub served_from: String,
+    pub queue_wait: Duration,
+    pub stage_hits: u64,
+    pub stages_executed: u64,
+    pub rows_scanned: u64,
+}
+
+/// Outcome of a query submission: an answer, or explicit backpressure.
+#[derive(Debug)]
+pub enum QueryReply {
+    Ok(RemoteOutcome),
+    /// The tenant's admission queue was full; retry no sooner than the
+    /// hint.
+    Overloaded {
+        retry_after: Duration,
+    },
+}
+
+/// Identity echoed back by a successful [`SigmaClient::auth`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionUser {
+    pub user_id: u64,
+    pub org: u64,
+    pub name: String,
+    pub role: String,
+}
+
+/// One blocking protocol session over TCP.
+pub struct SigmaClient {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+}
+
+impl SigmaClient {
+    /// Connect to a server (no handshake yet — call [`auth`](Self::auth)
+    /// next).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<SigmaClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone()?;
+        Ok(SigmaClient {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        sigma_protocol::write_request(&mut self.writer, request)?;
+        Ok(sigma_protocol::read_response(&mut self.reader)?)
+    }
+
+    /// Present a bearer token. The server re-validates it on *every*
+    /// subsequent request, so a mid-session revocation fails the next
+    /// call even after a successful `auth`.
+    pub fn auth(&mut self, token: &str) -> Result<SessionUser, ClientError> {
+        match self.call(&Request::Auth {
+            token: token.to_string(),
+        })? {
+            Response::AuthOk {
+                user_id,
+                org,
+                name,
+                role,
+            } => Ok(SessionUser {
+                user_id,
+                org,
+                name,
+                role,
+            }),
+            other => Err(unexpected("AuthOk", other)),
+        }
+    }
+
+    /// Bind this session to a warehouse connection.
+    pub fn open_session(&mut self, connection: &str) -> Result<(), ClientError> {
+        match self.call(&Request::OpenSession {
+            connection: connection.to_string(),
+        })? {
+            Response::SessionOpened { .. } => Ok(()),
+            other => Err(unexpected("SessionOpened", other)),
+        }
+    }
+
+    /// Run one element query. Admission shedding comes back as
+    /// [`QueryReply::Overloaded`]; every other server-side failure is a
+    /// [`ClientError::Server`].
+    pub fn query_element(
+        &mut self,
+        workbook_json: &str,
+        element: &str,
+        priority: WirePriority,
+        deadline: Option<Duration>,
+    ) -> Result<QueryReply, ClientError> {
+        match self.call(&Request::QueryElement {
+            workbook_json: workbook_json.to_string(),
+            element: element.to_string(),
+            priority,
+            deadline_ms: deadline.map(|d| d.as_millis().max(1) as u64),
+        })? {
+            Response::Query(outcome) => {
+                let batch = outcome
+                    .batch
+                    .to_batch()
+                    .map_err(|e| ClientError::UnexpectedResponse(format!("bad wire batch: {e}")))?;
+                Ok(QueryReply::Ok(RemoteOutcome {
+                    batch,
+                    query_id: outcome.query_id,
+                    sql: outcome.sql,
+                    served_from: outcome.served_from,
+                    queue_wait: Duration::from_micros(outcome.queue_wait_us),
+                    stage_hits: outcome.stage_hits,
+                    stages_executed: outcome.stages_executed,
+                    rows_scanned: outcome.rows_scanned,
+                }))
+            }
+            Response::Overloaded { retry_after_ms } => Ok(QueryReply::Overloaded {
+                retry_after: Duration::from_millis(retry_after_ms),
+            }),
+            other => Err(unexpected("Query", other)),
+        }
+    }
+
+    /// Compile an element and return its SQL without executing it.
+    pub fn explain(&mut self, workbook_json: &str, element: &str) -> Result<String, ClientError> {
+        match self.call(&Request::Explain {
+            workbook_json: workbook_json.to_string(),
+            element: element.to_string(),
+        })? {
+            Response::Explained { sql } => Ok(sql),
+            other => Err(unexpected("Explained", other)),
+        }
+    }
+
+    /// Upload a CSV as a warehouse table; returns the row count.
+    pub fn upload_csv(&mut self, table: &str, csv: &str) -> Result<u64, ClientError> {
+        match self.call(&Request::UploadCsv {
+            table: table.to_string(),
+            csv: csv.to_string(),
+        })? {
+            Response::Uploaded { rows } => Ok(rows),
+            other => Err(unexpected("Uploaded", other)),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", other)),
+        }
+    }
+
+    /// Graceful close: the server acknowledges and ends the session.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        match self.call(&Request::CloseSession)? {
+            Response::Closed => Ok(()),
+            other => Err(unexpected("Closed", other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: Response) -> ClientError {
+    if let Response::Error { kind, message } = got {
+        return ClientError::Server { kind, message };
+    }
+    ClientError::UnexpectedResponse(format!("wanted {wanted}, got {got:?}"))
+}

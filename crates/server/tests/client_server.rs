@@ -1,0 +1,312 @@
+//! End-to-end tests over a real TCP socket: client ↔ server ↔ service.
+//!
+//! The pins that matter:
+//!
+//! 1. **Bit-identical transport** — a query answered over the wire is
+//!    byte-for-byte the batch the in-process service returns.
+//! 2. **Immediate revocation** — revoking a token fails the *next*
+//!    request of an already-authenticated, already-connected session.
+//! 3. **Explicit shedding** — under admission pressure the server answers
+//!    `Overloaded` with a retry hint instead of queueing without bound.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sigma_core::document::ElementKind;
+use sigma_core::table::{ColumnDef, DataSource, FilterPredicate, FilterSpec, Level, TableSpec};
+use sigma_core::Workbook;
+use sigma_protocol::{ErrorKind, WirePriority};
+use sigma_server::{serve, ClientError, QueryReply, SigmaClient};
+use sigma_service::workload::Priority;
+use sigma_service::{AdmissionConfig, QueryRequest};
+use sigma_value::Value;
+use sigma_workbook::demo::{demo_service, demo_warehouse};
+
+/// A grouped flights workbook whose fingerprint varies with `min_delay`,
+/// so distinct thresholds compile to distinct queries (no free rides from
+/// the query directory).
+fn flights_workbook(min_delay: f64) -> Workbook {
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
+    t.add_column(ColumnDef::source("Carrier", "carrier"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Dep Delay", "dep_delay"))
+        .unwrap();
+    t.filters.push(FilterSpec {
+        column: "Dep Delay".into(),
+        predicate: FilterPredicate::Range {
+            min: Some(Value::Float(min_delay)),
+            max: None,
+        },
+    });
+    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Flights", "Count()", 1))
+        .unwrap();
+    t.detail_level = 1;
+    let mut wb = Workbook::new(Some("net"));
+    wb.add_element(0, "Delays", ElementKind::Table(t)).unwrap();
+    wb
+}
+
+fn start_server(rows: usize) -> (sigma_server::ServerHandle, String) {
+    let (service, token) = demo_service(demo_warehouse(rows));
+    let handle = serve(service, "127.0.0.1:0").expect("bind");
+    (handle, token)
+}
+
+#[test]
+fn networked_query_is_bit_identical_to_in_process() {
+    let (handle, token) = start_server(2_000);
+    let addr = handle.addr();
+
+    let mut client = SigmaClient::connect(addr).expect("connect");
+    let user = client.auth(&token).expect("auth");
+    assert_eq!(user.name, "analyst");
+    client.open_session("primary").expect("open session");
+
+    let wb = flights_workbook(5.0);
+    let json = wb.to_json().unwrap();
+    let QueryReply::Ok(remote) = client
+        .query_element(&json, "Delays", WirePriority::Interactive, None)
+        .expect("query")
+    else {
+        panic!("unexpected shed in an idle server");
+    };
+
+    // The same request in process, against the same service instance.
+    let local = handle
+        .service()
+        .run_query(&QueryRequest {
+            token: &token,
+            connection: "primary",
+            workbook_json: &json,
+            element: "Delays",
+            priority: Priority::Interactive,
+        })
+        .expect("in-process query");
+
+    assert_eq!(
+        sigma_value::codec::encode_batch(&remote.batch),
+        sigma_value::codec::encode_batch(&local.batch),
+        "networked answer must be byte-identical to the in-process answer"
+    );
+    assert_eq!(remote.sql, local.sql);
+    assert!(remote.batch.num_rows() > 0);
+
+    client.close().expect("close");
+    handle.shutdown();
+}
+
+#[test]
+fn explain_upload_and_ping_roundtrip() {
+    let (handle, token) = start_server(500);
+    let mut client = SigmaClient::connect(handle.addr()).expect("connect");
+    client.auth(&token).expect("auth");
+    client.open_session("primary").expect("open session");
+
+    client.ping().expect("ping");
+
+    let wb = flights_workbook(0.0);
+    let sql = client
+        .explain(&wb.to_json().unwrap(), "Delays")
+        .expect("explain");
+    assert!(sql.to_ascii_lowercase().contains("select"));
+
+    let rows = client
+        .upload_csv("regions", "region,code\nWest,W\nEast,E\n")
+        .expect("upload");
+    assert_eq!(rows, 2);
+    // The uploaded table is immediately queryable through the service.
+    assert!(handle.service().check_connection(&token, "primary").is_ok());
+
+    client.close().expect("close");
+}
+
+#[test]
+fn requests_before_auth_or_session_are_rejected() {
+    let (handle, token) = start_server(200);
+    let mut client = SigmaClient::connect(handle.addr()).expect("connect");
+
+    // No auth yet: everything but ping/auth is Unauthenticated.
+    let err = client.open_session("primary").unwrap_err();
+    let ClientError::Server { kind, .. } = err else {
+        panic!("want server error, got {err:?}");
+    };
+    assert_eq!(kind, ErrorKind::Unauthenticated);
+
+    // Authenticated but no session: queries are a clean BadRequest.
+    client.auth(&token).expect("auth");
+    let wb = flights_workbook(1.0).to_json().unwrap();
+    let err = client
+        .query_element(&wb, "Delays", WirePriority::Interactive, None)
+        .unwrap_err();
+    let ClientError::Server { kind, .. } = err else {
+        panic!("want server error, got {err:?}");
+    };
+    assert_eq!(kind, ErrorKind::BadRequest);
+
+    // A bad token is rejected at auth time.
+    let err = client.auth("not-a-token").unwrap_err();
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            kind: ErrorKind::Unauthenticated,
+            ..
+        }
+    ));
+}
+
+/// Satellite 2's server-tier half: a session that authenticated and ran
+/// queries successfully loses access the moment its token is revoked —
+/// no cached identity keeps it alive.
+#[test]
+fn revocation_takes_effect_mid_session() {
+    let (handle, token) = start_server(500);
+    let mut client = SigmaClient::connect(handle.addr()).expect("connect");
+    client.auth(&token).expect("auth");
+    client.open_session("primary").expect("open session");
+
+    let wb = flights_workbook(2.0).to_json().unwrap();
+    assert!(matches!(
+        client
+            .query_element(&wb, "Delays", WirePriority::Interactive, None)
+            .expect("pre-revocation query"),
+        QueryReply::Ok(_)
+    ));
+
+    assert!(handle.service().tenancy.revoke_token(&token));
+
+    // Same session, same socket, next request: dead immediately.
+    let err = client
+        .query_element(&wb, "Delays", WirePriority::Interactive, None)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ClientError::Server {
+                kind: ErrorKind::Unauthenticated,
+                ..
+            }
+        ),
+        "revoked session must fail its next request, got {err:?}"
+    );
+    // Explain is gated the same way.
+    let err = client.explain(&wb, "Delays").unwrap_err();
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            kind: ErrorKind::Unauthenticated,
+            ..
+        }
+    ));
+}
+
+/// Under admission pressure the server sheds with `Overloaded` + a retry
+/// hint; admitted requests still complete. Tight quota (1 slot, 1 queued)
+/// with 6 concurrent sessions issuing distinct queries guarantees
+/// overlap far beyond capacity.
+#[test]
+fn overload_sheds_with_retry_hint_instead_of_queueing() {
+    let (handle, token) = start_server(4_000);
+    assert!(handle.service().set_connection_admission(
+        "primary",
+        AdmissionConfig {
+            max_concurrent: 1,
+            tenant_quota: 1,
+            queue_bound: 1,
+            default_deadline: None,
+        },
+    ));
+
+    let addr = handle.addr();
+    let shed = Arc::new(AtomicUsize::new(0));
+    let ok = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(std::sync::Barrier::new(6));
+    let threads: Vec<_> = (0..6)
+        .map(|c| {
+            let token = token.clone();
+            let shed = shed.clone();
+            let ok = ok.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let mut client = SigmaClient::connect(addr).expect("connect");
+                client.auth(&token).expect("auth");
+                client.open_session("primary").expect("open session");
+                barrier.wait();
+                for rep in 0..10 {
+                    // Unique threshold per request: every query compiles
+                    // fresh, so admission control sees real work.
+                    let min = (c * 100 + rep) as f64 / 10.0;
+                    let json = flights_workbook(min).to_json().unwrap();
+                    match client
+                        .query_element(&json, "Delays", WirePriority::Interactive, None)
+                        .expect("transport stays healthy under shed")
+                    {
+                        QueryReply::Ok(outcome) => {
+                            assert!(outcome.batch.num_rows() > 0);
+                            ok.fetch_add(1, Ordering::SeqCst);
+                        }
+                        QueryReply::Overloaded { retry_after } => {
+                            assert!(retry_after >= Duration::from_millis(1));
+                            assert!(retry_after <= Duration::from_secs(5));
+                            shed.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    let shed = shed.load(Ordering::SeqCst);
+    let ok = ok.load(Ordering::SeqCst);
+    assert!(ok > 0, "some requests must be admitted");
+    assert!(
+        shed > 0,
+        "6 sessions against a 1-slot/1-queued connection must shed (ok={ok})"
+    );
+    // The shed counter made it into the service-side stats too.
+    let stats = handle.service().workload_stats("primary").expect("stats");
+    assert_eq!(stats.shed, shed as u64);
+    assert!(stats.peak_waiting <= 1, "queue bound was never exceeded");
+}
+
+/// Sessions are independent: closing one (or it crashing mid-frame) does
+/// not disturb another, and the active-session gauge tracks both.
+#[test]
+fn sessions_are_isolated() {
+    let (handle, token) = start_server(200);
+    let addr = handle.addr();
+
+    let mut a = SigmaClient::connect(addr).expect("connect a");
+    let mut b = SigmaClient::connect(addr).expect("connect b");
+    a.auth(&token).expect("auth a");
+    b.auth(&token).expect("auth b");
+    a.open_session("primary").unwrap();
+    b.open_session("primary").unwrap();
+
+    // Kill A abruptly (drop without CloseSession). B keeps working.
+    drop(a);
+    b.ping().expect("b outlives a's disconnect");
+    let wb = flights_workbook(3.0).to_json().unwrap();
+    assert!(matches!(
+        b.query_element(&wb, "Delays", WirePriority::Interactive, None)
+            .expect("query on b"),
+        QueryReply::Ok(_)
+    ));
+    b.close().expect("close b");
+
+    // The gauge drains once both sockets are gone.
+    for _ in 0..100 {
+        if handle.active_sessions() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(handle.active_sessions(), 0);
+}

@@ -1,6 +1,7 @@
 //! Service error type.
 
 use std::fmt;
+use std::time::Duration;
 
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
@@ -16,6 +17,12 @@ pub enum ServiceError {
     Warehouse(String),
     /// Invalid request shape.
     BadRequest(String),
+    /// Load shed at admission control: the tenant's queue is full. The
+    /// request was rejected immediately; clients should back off for
+    /// `retry_after` before resubmitting.
+    Overloaded { retry_after: Duration },
+    /// The request's deadline expired while waiting for admission.
+    DeadlineExceeded { waited: Duration },
 }
 
 impl fmt::Display for ServiceError {
@@ -27,11 +34,30 @@ impl fmt::Display for ServiceError {
             ServiceError::Core(m) => write!(f, "workbook error: {m}"),
             ServiceError::Warehouse(m) => write!(f, "warehouse error: {m}"),
             ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::Overloaded { retry_after } => {
+                write!(f, "overloaded; retry after {retry_after:?}")
+            }
+            ServiceError::DeadlineExceeded { waited } => {
+                write!(f, "deadline exceeded after waiting {waited:?}")
+            }
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
+
+impl From<crate::workload::AdmissionError> for ServiceError {
+    fn from(e: crate::workload::AdmissionError) -> Self {
+        match e {
+            crate::workload::AdmissionError::Overloaded { retry_after } => {
+                ServiceError::Overloaded { retry_after }
+            }
+            crate::workload::AdmissionError::DeadlineExceeded { waited } => {
+                ServiceError::DeadlineExceeded { waited }
+            }
+        }
+    }
+}
 
 impl From<sigma_core::CoreError> for ServiceError {
     fn from(e: sigma_core::CoreError) -> Self {

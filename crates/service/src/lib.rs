@@ -26,3 +26,4 @@ pub mod workload;
 pub use cache::{DirKey, DirectoryStats, QueryDirectory};
 pub use error::ServiceError;
 pub use service::{QueryOutcome, QueryRequest, ServedFrom, SigmaService};
+pub use workload::{AdmissionConfig, AdmissionError, Priority, TenantStats, WorkloadStats};

@@ -21,7 +21,7 @@ use crate::documents::DocumentStore;
 use crate::error::ServiceError;
 use crate::materialize::Materializer;
 use crate::tenancy::{Grants, Role, Tenancy, User};
-use crate::workload::{Priority, WorkloadManager, WorkloadStats};
+use crate::workload::{AdmissionConfig, Priority, WorkloadManager, WorkloadStats};
 
 /// A configured warehouse connection ("Sigma allows multiple warehouse
 /// configurations per customer", §2).
@@ -235,6 +235,60 @@ impl SigmaService {
             .map(|c| c.workload.stats())
     }
 
+    /// Replace one connection's admission-control policy (concurrency
+    /// limit, per-tenant quota, queue bound, default deadline). Returns
+    /// false for an unknown connection.
+    pub fn set_connection_admission(&self, connection: &str, config: AdmissionConfig) -> bool {
+        match self.connections.read().get(connection) {
+            Some(c) => {
+                c.workload.set_config(config);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The admission policy currently applied to a connection.
+    pub fn connection_admission(&self, connection: &str) -> Option<AdmissionConfig> {
+        self.connections
+            .read()
+            .get(connection)
+            .map(|c| c.workload.config())
+    }
+
+    /// Set an org's weighted-fair-queueing weight on a connection
+    /// (default 1). Returns false for an unknown connection.
+    pub fn set_tenant_weight(&self, connection: &str, org: u64, weight: u32) -> bool {
+        match self.connections.read().get(connection) {
+            Some(c) => {
+                c.workload.set_tenant_weight(org, weight);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Per-org admission statistics on a connection (fairness
+    /// observables for the traffic-replay bench and the server tier).
+    pub fn tenant_workload_stats(
+        &self,
+        connection: &str,
+        org: u64,
+    ) -> Option<crate::workload::TenantStats> {
+        self.connections
+            .read()
+            .get(connection)
+            .map(|c| c.workload.tenant_stats(org))
+    }
+
+    /// Validate that `token` may use `connection` (exists and belongs to
+    /// the caller's org) without running a query — the server tier's
+    /// `open_session` check.
+    pub fn check_connection(&self, token: &str, connection: &str) -> Result<(), ServiceError> {
+        let user = self.tenancy.authenticate(token)?;
+        self.connection_for(&user, connection).map(|_| ())
+    }
+
     /// Compile an element of a workbook against a connection, applying
     /// materialized-view substitution.
     pub fn compile(
@@ -269,8 +323,23 @@ impl SigmaService {
 
     /// The full §2 lifecycle for one element query.
     pub fn run_query(&self, req: &QueryRequest<'_>) -> Result<QueryOutcome, ServiceError> {
+        self.run_query_deadline(req, None)
+    }
+
+    /// [`run_query`](Self::run_query) with an admission deadline: each
+    /// workload-queue wait is bounded by `deadline`, and a full tenant
+    /// queue sheds the request immediately with
+    /// [`ServiceError::Overloaded`] instead of queueing without bound.
+    pub fn run_query_deadline(
+        &self,
+        req: &QueryRequest<'_>,
+        deadline: Option<Duration>,
+    ) -> Result<QueryOutcome, ServiceError> {
         // 1. Authentication.
         let user = self.tenancy.authenticate(req.token)?;
+        // Admission control is per tenant: the user's org is the
+        // fair-queueing principal on the connection's workload manager.
+        let tenant = user.org;
         // 2. Access control (connection scoping).
         let (warehouse, directory, workload) = self.connection_for(&user, req.connection)?;
         // 3. Workbook state arrives as JSON.
@@ -298,7 +367,9 @@ impl SigmaService {
                     &workload,
                     &directory,
                     req.connection,
+                    tenant,
                     req.priority,
+                    deadline,
                     &plan,
                     &mut queue_wait,
                     &mut stage_hits,
@@ -306,6 +377,11 @@ impl SigmaService {
                     &mut rows_scanned,
                 ) {
                     Ok(qid) => return Ok::<_, ServiceError>(qid),
+                    // Admission rejections are backpressure, not cache
+                    // staleness: retrying flattened would *add* load to an
+                    // already saturated warehouse. Propagate immediately.
+                    Err(e @ ServiceError::Overloaded { .. })
+                    | Err(e @ ServiceError::DeadlineExceeded { .. }) => return Err(e),
                     Err(_) => {
                         // A reused stage's persisted result can be evicted
                         // between the cache walk's liveness check and the
@@ -322,9 +398,9 @@ impl SigmaService {
                     }
                 }
             }
-            let (result, wait) = workload.submit(req.priority, || {
+            let (result, wait) = workload.submit_for(tenant, req.priority, deadline, || {
                 warehouse.execute_sql(&sql).map_err(ServiceError::from)
-            });
+            })?;
             queue_wait = wait;
             let r = result?;
             stages_executed += 1;
@@ -345,7 +421,11 @@ impl SigmaService {
                 // ultimately served from, so reset them to the flattened
                 // re-run's accounting.
                 directory.invalidate_key(root_key);
-                let (result, wait) = workload.submit(req.priority, || warehouse.execute_sql(&sql));
+                let (result, wait) = workload
+                    .submit_for(tenant, req.priority, deadline, || {
+                        warehouse.execute_sql(&sql)
+                    })
+                    .map_err(ServiceError::from)?;
                 queue_wait = wait;
                 let r = result?;
                 stage_hits = 0;
@@ -575,7 +655,11 @@ impl SigmaService {
         let compiled = Compiler::new(workbook, &schemas, options).compile_element(element)?;
         let table = format!("mat_{}", element.to_ascii_lowercase().replace(' ', "_"));
         let ddl = format!("CREATE OR REPLACE TABLE {table} AS\n{}", compiled.sql);
-        let (result, _) = workload.submit(Priority::Background, || warehouse.execute_sql(&ddl));
+        let (result, _) = workload
+            .submit_for(user.org, Priority::Background, None, || {
+                warehouse.execute_sql(&ddl)
+            })
+            .map_err(ServiceError::from)?;
         result?;
         self.materializer.register(element, &table, refresh_every);
         self.materializer.mark_refreshed(element);
@@ -634,7 +718,9 @@ fn run_stage_pipeline(
     workload: &WorkloadManager,
     directory: &QueryDirectory,
     connection: &str,
+    tenant: u64,
     priority: Priority,
+    deadline: Option<Duration>,
     plan: &StagePlan,
     queue_wait: &mut Duration,
     stage_hits: &mut usize,
@@ -693,8 +779,14 @@ fn run_stage_pipeline(
                     .collect();
                 sigma_sql::substitute_result_scans(&mut query, &scans);
                 let stmt = sigma_sql::Statement::Query(query);
-                let (result, wait) =
-                    workload.submit(priority, || warehouse.execute_statement(&stmt));
+                // The deadline bounds each stage's queue wait; a request
+                // stuck behind saturation fails fast rather than holding
+                // its session thread through the whole residual suffix.
+                let (result, wait) = workload
+                    .submit_for(tenant, priority, deadline, || {
+                        warehouse.execute_statement(&stmt)
+                    })
+                    .map_err(ServiceError::from)?;
                 *queue_wait += wait;
                 let r = result?;
                 *stages_executed += 1;

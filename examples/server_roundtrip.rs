@@ -1,0 +1,139 @@
+//! The networked front end, end to end: start a `sigma-server` on a
+//! loopback socket, connect a protocol client, and walk the session
+//! lifecycle — auth, open session, explain, query, upload — then watch
+//! admission control shed under a deliberately tiny quota.
+//!
+//! ```sh
+//! cargo run --example server_roundtrip
+//! ```
+
+use std::time::Duration;
+
+use sigma_core::document::ElementKind;
+use sigma_core::table::{ColumnDef, DataSource, Level, TableSpec};
+use sigma_core::Workbook;
+use sigma_protocol::WirePriority;
+use sigma_server::{serve, QueryReply, SigmaClient};
+use sigma_service::AdmissionConfig;
+use sigma_workbook::demo::{demo_service, demo_warehouse};
+
+fn flights_by_carrier() -> Workbook {
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
+    t.add_column(ColumnDef::source("Carrier", "carrier"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Dep Delay", "dep_delay"))
+        .unwrap();
+    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Flights", "Count()", 1))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Avg Delay", "Avg([Dep Delay])", 1))
+        .unwrap();
+    t.detail_level = 1;
+    let mut wb = Workbook::new(Some("Networked"));
+    wb.add_element(0, "ByCarrier", ElementKind::Table(t))
+        .unwrap();
+    wb
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A demo org ("acme"), one creator, one warehouse connection
+    // ("primary") with the synthetic flights workload.
+    let (service, token) = demo_service(demo_warehouse(5_000));
+    let handle = serve(service, "127.0.0.1:0")?;
+    println!("server listening on {}", handle.addr());
+
+    // --- session lifecycle -------------------------------------------
+    let mut client = SigmaClient::connect(handle.addr())?;
+    let user = client.auth(&token)?;
+    println!("authenticated as {} (org {})", user.name, user.org);
+    client.open_session("primary")?;
+
+    let wb = flights_by_carrier();
+    let json = wb.to_json()?;
+
+    let sql = client.explain(&json, "ByCarrier")?;
+    println!("\ncompiled SQL:\n{sql}\n");
+
+    match client.query_element(&json, "ByCarrier", WirePriority::Interactive, None)? {
+        QueryReply::Ok(outcome) => println!(
+            "query {} -> {} rows ({} , queue wait {:?})",
+            outcome.query_id,
+            outcome.batch.num_rows(),
+            outcome.served_from,
+            outcome.queue_wait,
+        ),
+        QueryReply::Overloaded { retry_after } => {
+            println!("shed; retry after {retry_after:?}")
+        }
+    }
+
+    let rows = client.upload_csv("regions", "region,code\nWest,W\nEast,E\n")?;
+    println!("uploaded regions: {rows} rows");
+
+    // --- admission control under pressure ----------------------------
+    // One slot, one queued request: concurrent sessions beyond that get
+    // an explicit Overloaded + retry hint instead of waiting in line.
+    handle.service().set_connection_admission(
+        "primary",
+        AdmissionConfig {
+            max_concurrent: 1,
+            tenant_quota: 1,
+            queue_bound: 1,
+            default_deadline: Some(Duration::from_millis(500)),
+        },
+    );
+    let mut shed = 0;
+    let mut ok = 0;
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = handle.addr();
+            let token = token.clone();
+            std::thread::spawn(move || {
+                let mut c = SigmaClient::connect(addr).unwrap();
+                c.auth(&token).unwrap();
+                c.open_session("primary").unwrap();
+                // A unique filter threshold per request defeats the
+                // query directory, so each request is real warehouse
+                // work.
+                let mut results = Vec::new();
+                for rep in 0..5 {
+                    let mut wb = flights_by_carrier();
+                    if let Some(el) = wb.element_mut("ByCarrier") {
+                        if let ElementKind::Table(t) = &mut el.kind {
+                            t.filters.push(sigma_core::table::FilterSpec {
+                                column: "Dep Delay".into(),
+                                predicate: sigma_core::table::FilterPredicate::Range {
+                                    min: Some(sigma_value::Value::Float((i * 10 + rep) as f64)),
+                                    max: None,
+                                },
+                            });
+                        }
+                    }
+                    let json = wb.to_json().unwrap();
+                    results.push(matches!(
+                        c.query_element(&json, "ByCarrier", WirePriority::Interactive, None),
+                        Ok(QueryReply::Ok(_))
+                    ));
+                }
+                results
+            })
+        })
+        .collect();
+    for t in threads {
+        for admitted in t.join().unwrap() {
+            if admitted {
+                ok += 1;
+            } else {
+                shed += 1;
+            }
+        }
+    }
+    println!("under a 1-slot quota: {ok} admitted, {shed} shed/expired");
+
+    client.close()?;
+    handle.shutdown();
+    Ok(())
+}

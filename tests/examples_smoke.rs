@@ -270,3 +270,51 @@ fn architecture_tour_two_tabs_share_directory() {
     assert!(wl.admitted > 0);
     assert!(warehouse.queries_executed() > 0);
 }
+
+#[test]
+fn server_roundtrip_session_lifecycle_over_tcp() {
+    use sigma_protocol::WirePriority;
+    use sigma_server::{serve, QueryReply, SigmaClient};
+
+    let (service, token) = demo::demo_service(demo::demo_warehouse(ROWS));
+    let handle = serve(service, "127.0.0.1:0").expect("bind");
+
+    let mut client = SigmaClient::connect(handle.addr()).expect("connect");
+    let user = client.auth(&token).expect("auth");
+    assert_eq!(user.name, "analyst");
+    client.open_session("primary").expect("open session");
+
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
+    t.add_column(ColumnDef::source("Carrier", "carrier"))
+        .unwrap();
+    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Flights", "Count()", 1))
+        .unwrap();
+    t.detail_level = 1;
+    let mut wb = Workbook::new(Some("net"));
+    wb.add_element(0, "ByCarrier", ElementKind::Table(t))
+        .unwrap();
+    let json = wb.to_json().unwrap();
+
+    let sql = client.explain(&json, "ByCarrier").expect("explain");
+    assert!(sql.to_ascii_lowercase().contains("select"));
+
+    let QueryReply::Ok(outcome) = client
+        .query_element(&json, "ByCarrier", WirePriority::Interactive, None)
+        .expect("query")
+    else {
+        panic!("unexpected shed on an idle server");
+    };
+    assert_eq!(outcome.batch.num_rows(), 8); // 8 carriers
+
+    let rows = client
+        .upload_csv("regions", "region,code\nWest,W\nEast,E\n")
+        .expect("upload");
+    assert_eq!(rows, 2);
+
+    client.close().expect("close");
+    handle.shutdown();
+}
