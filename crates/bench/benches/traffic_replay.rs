@@ -60,6 +60,7 @@ const ADMISSION: AdmissionConfig = AdmissionConfig {
     tenant_quota: 2,
     queue_bound: 4,
     default_deadline: None,
+    exec_threads: 0,
 };
 
 /// One step of the scripted edit session. `phase` perturbs the filter

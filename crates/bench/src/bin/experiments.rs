@@ -149,6 +149,10 @@ fn e5_local_eval() {
     let fetched = tab.prefetch(&env.warehouse, &PrefetchPolicy::default());
     let time = median_time(5, || {
         tab.cache.invalidate_element("ByState");
+        // Each evaluation seeds the stage cache, which would turn the
+        // next iteration into the delta fast path; clear it so this row
+        // keeps measuring full local-engine evaluation.
+        tab.local.clear_stages();
         let out = tab.query_element(&wb, "ByState").unwrap();
         assert_eq!(out.source, Source::LocalEngine);
     });

@@ -254,6 +254,17 @@ impl StageCache {
         victims.len()
     }
 
+    /// Drop every cached stage result (hit/miss/eviction counters keep
+    /// their history). Harnesses that want to measure the no-stage-reuse
+    /// tiers use this; ordinary invalidation should stay table-targeted.
+    pub fn clear(&self) -> usize {
+        let mut entries = self.entries.lock();
+        let dropped = entries.len();
+        entries.clear();
+        self.stats.lock().bytes = 0;
+        dropped
+    }
+
     pub fn len(&self) -> usize {
         self.entries.lock().len()
     }

@@ -109,6 +109,12 @@ impl LocalEngine {
         self.stages.contains(fingerprint)
     }
 
+    /// Drop every cached stage result, forcing the next evaluation to run
+    /// the full plan through the engine (no delta/residual reuse).
+    pub fn clear_stages(&self) -> usize {
+        self.stages.clear()
+    }
+
     pub fn stage_stats(&self) -> CacheStats {
         self.stages.stats()
     }

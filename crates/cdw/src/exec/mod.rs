@@ -1,8 +1,9 @@
 //! The vectorized executor: [`Plan`] → [`Batch`].
 //!
 //! Operators retain the storage partition structure wherever the plan
-//! allows it, so work spreads across worker threads (crossbeam scoped
-//! threads, the `parallelism` knob the scalability experiment E8 sweeps).
+//! allows it, so work spreads across the persistent process-wide worker
+//! pool (the `parallelism` knob the scalability experiment E8 sweeps,
+//! clamped to the pool's execution budget — see [`scheduler`]).
 //! Work distribution is morsel-driven by default: Filter/Project chains
 //! and the partial half of two-phase aggregation stream fixed-size
 //! morsels through fused per-morsel pipelines scheduled by an LPT-seeded
@@ -82,7 +83,7 @@ use crate::storage::{SpillHandle, SpillReader, SpillWriter};
 use crate::window::compute_window;
 
 pub(crate) mod pipeline;
-pub(crate) mod scheduler;
+pub mod scheduler;
 
 pub use pipeline::DEFAULT_MORSEL_ROWS;
 
@@ -159,6 +160,30 @@ pub struct ExecCtx<'a> {
     pub adaptive_morsels: bool,
     /// Per-operator memory budget and spill accounting.
     pub memory: ExecMemoryTracker,
+    /// Per-query scheduler counters (tasks, own-queue hits, steals,
+    /// unparks) recorded by every `run_stealing` call this query makes.
+    pub sched: scheduler::SchedCounters,
+}
+
+impl ExecCtx<'_> {
+    /// Worker slots this query can actually occupy: the configured
+    /// per-query `parallelism` clamped to the process-wide pool target.
+    pub fn effective_parallelism(&self) -> usize {
+        scheduler::effective_workers(self.parallelism)
+    }
+
+    /// Morsel height for pipelined stages, or `None` when execution is
+    /// effectively serial. With one worker slot the morsel lane would run
+    /// the exact same code as the static split plus queue overhead, so
+    /// every morsel entry point gates through this instead of reading
+    /// `morsel_rows` directly.
+    pub fn morsel_exec(&self) -> Option<usize> {
+        if self.effective_parallelism() > 1 {
+            self.morsel_rows
+        } else {
+            None
+        }
+    }
 }
 
 /// Accounts operator state against a configurable byte budget and records
@@ -293,6 +318,14 @@ pub struct ExecStats {
     pub spilled_bytes: usize,
     /// Spill rounds taken: aggregation/join bucket passes plus sort runs.
     pub spill_rounds: usize,
+    /// Parallel tasks dispatched through the worker pool (0 = all serial).
+    pub sched_tasks: usize,
+    /// Tasks a worker popped from its own deque (locality hits).
+    pub sched_local: usize,
+    /// Tasks taken from another worker's deque.
+    pub sched_steals: usize,
+    /// Parked pool workers woken for this query's jobs.
+    pub sched_unparks: usize,
 }
 
 impl ExecStats {
@@ -345,6 +378,10 @@ impl ExecStats {
             "memory: budget={budget} spilled_bytes={} spill_rounds={}\n",
             self.spilled_bytes, self.spill_rounds,
         ));
+        out.push_str(&format!(
+            "scheduler: tasks={} local={} steals={} unparks={}\n",
+            self.sched_tasks, self.sched_local, self.sched_steals, self.sched_unparks,
+        ));
         out
     }
 }
@@ -357,6 +394,10 @@ pub fn execute(plan: &Plan, ctx: &ExecCtx, stats: &mut ExecStats) -> Result<Batc
     stats.memory_budget = ctx.memory.budget();
     stats.spilled_bytes = ctx.memory.spilled_bytes();
     stats.spill_rounds = ctx.memory.spill_rounds();
+    stats.sched_tasks = ctx.sched.tasks();
+    stats.sched_local = ctx.sched.local();
+    stats.sched_steals = ctx.sched.steals();
+    stats.sched_unparks = ctx.sched.unparks();
     concat_parts(parts, schema)
 }
 
@@ -491,7 +532,7 @@ fn execute_node(
             // Morsel mode fuses the whole Filter/Project chain below this
             // node into one pipeline (the chain's inner nodes never reach
             // execute_node).
-            if ctx.morsel_rows.is_some() {
+            if ctx.morsel_exec().is_some() {
                 return pipeline::execute_chain(plan, ctx, stats, depth, eval_ns, morsels);
             }
             let parts = execute_parts(input, ctx, stats, depth + 1)?;
@@ -518,7 +559,7 @@ fn execute_node(
             exprs,
             schema,
         } => {
-            if ctx.morsel_rows.is_some() {
+            if ctx.morsel_exec().is_some() {
                 return pipeline::execute_chain(plan, ctx, stats, depth, eval_ns, morsels);
             }
             let parts = execute_parts(input, ctx, stats, depth + 1)?;
@@ -579,7 +620,7 @@ fn execute_node(
                     // order as always. Budgeted queries fall through to the
                     // partition-granular path so the spill estimate and the
                     // out-of-core arithmetic stay byte-identical.
-                    if ctx.morsel_rows.is_some() && ctx.memory.budget().is_none() {
+                    if ctx.morsel_exec().is_some() && ctx.memory.budget().is_none() {
                         let cagg = compile_agg_exprs(pgroups, paggs, &input_types(pinput))?;
                         let fused = pipeline::execute_fused_partial(
                             pinput,
@@ -613,7 +654,7 @@ fn execute_node(
                         // morsel in parallel (bit-identical group states —
                         // see `morsel_spilled_aggregate`).
                         let pmorsels = AtomicUsize::new(0);
-                        let (batch, partial_rows) = if ctx.morsel_rows.is_some() {
+                        let (batch, partial_rows) = if ctx.morsel_exec().is_some() {
                             pipeline::morsel_spilled_aggregate(
                                 &parts, &cagg, paggs, schema, ctx, est, &peval_ns, &pmorsels,
                             )?
@@ -657,7 +698,7 @@ fn execute_node(
                 // (continuous per-group accumulation, no partial merge);
                 // morsel mode splits it into morsels whose per-bucket
                 // records fold back in morsel order — the same sequence.
-                let (batch, _) = if ctx.morsel_rows.is_some() {
+                let (batch, _) = if ctx.morsel_exec().is_some() {
                     pipeline::morsel_spilled_aggregate(
                         std::slice::from_ref(&part),
                         &cagg,
@@ -696,7 +737,7 @@ fn execute_node(
                 // Morsel mode parallelizes both hot phases (expression
                 // eval per morsel, sort+compute per partition) and is
                 // pinned bit-identical to the static path.
-                let col = if ctx.morsel_rows.is_some() && batch.num_rows() > 0 {
+                let col = if ctx.morsel_exec().is_some() && batch.num_rows() > 0 {
                     crate::window::compute_window_morsel(
                         call, &batch, out_type, ctx, eval_ns, morsels,
                     )?
@@ -781,7 +822,7 @@ fn execute_node(
                 // partition's matches (see `probe_morsel_split`), and
                 // FULL's matched-right sets union across morsels before
                 // the unmatched-right sweep below.
-                if ctx.morsel_rows.is_some() {
+                if ctx.morsel_exec().is_some() {
                     pipeline::morsel_probe(
                         &lparts,
                         &right_batch,
@@ -863,7 +904,7 @@ fn execute_node(
             // sorts) and k-way merges by (keys, row id) — the unique total
             // order a stable whole-input sort produces, so the permutation
             // is identical to the static path below.
-            if ctx.morsel_rows.is_some() && batch.num_rows() > 1 {
+            if ctx.morsel_exec().is_some() && batch.num_rows() > 1 {
                 return Ok(vec![Part::new(pipeline::morsel_sort(
                     &batch, &compiled, &sort_keys, ctx, eval_ns, morsels,
                 )?)]);
@@ -1006,7 +1047,7 @@ where
     T: Send,
     F: Fn(I) -> Result<T, CdwError> + Sync,
 {
-    scheduler::run_stealing(ctx.parallelism, parts, cost, f)
+    scheduler::run_stealing(ctx.parallelism, parts, cost, f, &ctx.sched)
 }
 
 // ---------------------------------------------------------------------
@@ -2086,6 +2127,14 @@ fn filter_residual_pairs(
 
 /// Gather join output columns for `(left idx, optional right idx)` rows;
 /// a `None` right index null-extends the right half (LEFT/FULL).
+///
+/// Assembly is a vectorized gather per column ([`Column::take`] /
+/// [`Column::take_opt`]), not a per-cell `Value` push — the old builder
+/// loop allocated a `String` for every Text cell, and that malloc churn
+/// (multiplied across probe workers) was what made parallel LEFT-join
+/// probes slower than serial. `take_opt` writes builder-default payloads
+/// into null slots, so the output stays byte-identical to the builder
+/// loop it replaces.
 fn assemble_join_columns(
     left: &Batch,
     right: &Batch,
@@ -2094,25 +2143,14 @@ fn assemble_join_columns(
     schema: &Arc<Schema>,
 ) -> Result<Batch, CdwError> {
     let lwidth = left.num_columns();
-    let total = lidx.len();
     let mut columns: Vec<Column> = Vec::with_capacity(schema.len());
     for (c, field) in schema.fields().iter().enumerate() {
-        let mut b = ColumnBuilder::new(field.dtype, total);
-        if c < lwidth {
-            let src = left.column(c);
-            for &li in lidx {
-                b.push(src.value(li)).map_err(CdwError::from)?;
-            }
+        let col = if c < lwidth {
+            left.column(c).take(lidx)
         } else {
-            let src = right.column(c - lwidth);
-            for ri in ridx {
-                match ri {
-                    Some(ri) => b.push(src.value(*ri)).map_err(CdwError::from)?,
-                    None => b.push_null(),
-                }
-            }
-        }
-        columns.push(b.finish());
+            right.column(c - lwidth).take_opt(ridx)
+        };
+        columns.push(coerce_column(col, field.dtype)?);
     }
     Batch::new(schema.clone(), columns).map_err(CdwError::from)
 }
@@ -2247,12 +2285,8 @@ fn assemble_right_only(
         if c < lwidth {
             columns.push(Column::nulls(field.dtype, unmatched.len()));
         } else {
-            let src = right.column(c - lwidth);
-            let mut b = ColumnBuilder::new(field.dtype, unmatched.len());
-            for &ri in unmatched {
-                b.push(src.value(ri)).map_err(CdwError::from)?;
-            }
-            columns.push(b.finish());
+            let col = right.column(c - lwidth).take(unmatched);
+            columns.push(coerce_column(col, field.dtype)?);
         }
     }
     Batch::new(schema.clone(), columns).map_err(CdwError::from)
@@ -2417,7 +2451,7 @@ fn spilled_join(
         .map(|_| SpillWriter::create())
         .collect::<Result<_, _>>()?;
     for (p, left) in lparts.iter().enumerate() {
-        let lcols: Vec<Column> = if ctx.morsel_rows.is_some() {
+        let lcols: Vec<Column> = if ctx.morsel_exec().is_some() {
             pipeline::morsel_eval_columns(left, left_keys, ctx, eval_ns, morsels)?
         } else {
             timed(eval_ns, || {
@@ -2454,7 +2488,7 @@ fn spilled_join(
     // Morsel mode runs buckets on the work-stealing scheduler; the
     // static oracle keeps the sequential one-bucket-at-a-time loop.
     let nparts = lparts.len();
-    let per_bucket: Vec<Vec<Vec<(usize, usize)>>> = if ctx.morsel_rows.is_some() {
+    let per_bucket: Vec<Vec<Vec<(usize, usize)>>> = if ctx.morsel_exec().is_some() {
         let items: Vec<(&SpillHandle, &SpillHandle)> =
             bhandles.iter().zip(phandles.iter()).collect();
         par_map(
@@ -2519,6 +2553,7 @@ mod tests {
     /// until a second thread arrives, bounded by a deadline.
     #[test]
     fn par_map_distributes_across_threads() {
+        scheduler::grow_worker_pool_target(4);
         let catalog = Catalog::new();
         let results = HashMap::new();
         let ctx = ExecCtx {
@@ -2529,6 +2564,7 @@ mod tests {
             morsel_rows: Some(DEFAULT_MORSEL_ROWS),
             adaptive_morsels: false,
             memory: ExecMemoryTracker::new(None),
+            sched: scheduler::SchedCounters::default(),
         };
         let seen = Mutex::new(HashSet::new());
         let out = par_map(
@@ -2562,6 +2598,7 @@ mod tests {
             morsel_rows: Some(DEFAULT_MORSEL_ROWS),
             adaptive_morsels: false,
             memory: ExecMemoryTracker::new(None),
+            sched: scheduler::SchedCounters::default(),
         };
         let caller = std::thread::current().id();
         par_map(
@@ -2589,6 +2626,7 @@ mod tests {
             morsel_rows: Some(DEFAULT_MORSEL_ROWS),
             adaptive_morsels: false,
             memory: ExecMemoryTracker::new(None),
+            sched: scheduler::SchedCounters::default(),
         }
     }
 
@@ -2611,6 +2649,7 @@ mod tests {
     /// scheduler's slots unwind out of `run_stealing`.
     #[test]
     fn killed_spill_worker_leaves_no_temp_files() {
+        scheduler::grow_worker_pool_target(4);
         let _guard = crate::storage::spill_test_support::lock();
         let catalog = Catalog::new();
         let results = HashMap::new();
@@ -2649,6 +2688,7 @@ mod tests {
     /// never-claimed) are removed.
     #[test]
     fn spill_worker_error_propagates_and_cleans_up() {
+        scheduler::grow_worker_pool_target(4);
         let _guard = crate::storage::spill_test_support::lock();
         let catalog = Catalog::new();
         let results = HashMap::new();

@@ -467,6 +467,7 @@ pub(super) fn execute_chain(
             morsels,
             |m| m.len().max(1),
             |m| apply_stages(&compiled, &m, ctx),
+            &ctx.sched,
         )?
         .into_iter()
         .map(|state| match state {
@@ -573,6 +574,7 @@ pub(super) fn execute_fused_partial(
                 timed(eval_ns, || eval_group_arg_cols(batch, sel, cagg, &ctx.eval))?;
             Ok(EvaledMorsel { groups, args, rows })
         },
+        &ctx.sched,
     )?;
     let chain_elapsed = started.elapsed();
 
@@ -620,6 +622,7 @@ pub(super) fn execute_fused_partial(
             }
             Ok(table)
         },
+        &ctx.sched,
     )?;
     Ok(FusedPartial {
         tables,
@@ -714,6 +717,7 @@ pub(super) fn morsel_probe(
                 lb, right, build, kind, left_keys, residual, schema, &ctx.eval, eval_ns,
             )
         },
+        &ctx.sched,
     )?;
 
     let mut out = Vec::with_capacity(lparts.len());
@@ -858,6 +862,7 @@ pub(super) fn morsel_spilled_aggregate(
             }
             Ok(per_bucket)
         },
+        &ctx.sched,
     )?;
 
     // Sequential appends in (partition, morsel) order, so each bucket
@@ -990,6 +995,7 @@ pub(crate) fn morsel_eval_columns(
                     .collect::<Result<Vec<_>, _>>()
             })
         },
+        &ctx.sched,
     )?;
     if per_chunk.len() == 1 {
         return Ok(per_chunk.into_iter().next().expect("one chunk"));
@@ -1066,6 +1072,7 @@ pub(super) fn morsel_sort(
                 ctx.memory.record_rounds(1);
                 writer.finish()
             },
+            &ctx.sched,
         )?;
         let merged = merge_spilled_runs(&handles, key_cols.len(), sort_keys, rows)?;
         return Ok(batch.take(&merged));
@@ -1081,6 +1088,7 @@ pub(super) fn morsel_sort(
             sort::sort_subset(&refs, sort_keys, &mut idx);
             Ok(idx)
         },
+        &ctx.sched,
     )?;
     let merged = kway_merge_runs(&runs, &refs, sort_keys, rows);
     Ok(batch.take(&merged))

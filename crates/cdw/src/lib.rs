@@ -19,8 +19,10 @@
 //!   (`tests/eval_oracle.rs` pins them bit-identical),
 //! * a vectorized, partition-parallel executor: scans, filters, projections,
 //!   unions, partial aggregation/dedup, and hash-join probes all run one
-//!   task per partition across crossbeam scoped threads (the `parallelism`
-//!   knob), with partial aggregate states merged associatively in
+//!   task per partition on a persistent, locality-aware work-stealing
+//!   worker pool shared by every query in the process (the `parallelism`
+//!   knob requests threads per query; `set_worker_pool_target` caps the
+//!   process), with partial aggregate states merged associatively in
 //!   partition order so results are bit-identical at any parallelism —
 //!   this is the stand-in for the CDW elasticity the paper leans on;
 //!   filters emit **selection vectors** instead of materializing, so
@@ -55,5 +57,9 @@ pub mod storage;
 pub mod window;
 
 pub use error::CdwError;
+pub use exec::scheduler::{
+    grow_worker_pool_target, set_worker_pool_target, worker_pool_stats, worker_pool_target,
+    SchedCounters, WorkerPoolStats,
+};
 pub use exec::{ExecMemoryTracker, ExecStats, OpStats};
 pub use session::{ResultSet, Warehouse, WarehouseConfig};

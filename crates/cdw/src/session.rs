@@ -422,6 +422,7 @@ impl Warehouse {
             morsel_rows: config.morsel_rows,
             adaptive_morsels: config.adaptive_morsels,
             memory: crate::exec::ExecMemoryTracker::new(config.memory_budget),
+            sched: crate::exec::scheduler::SchedCounters::default(),
         };
         execute(&plan, &ctx, stats)
     }

@@ -215,6 +215,7 @@ pub fn compute_window_morsel(
                 groups,
             })
         },
+        &ctx.sched,
     )?;
 
     // Merge per-morsel partition groups sequentially in morsel order —
@@ -277,6 +278,7 @@ pub fn compute_window_morsel(
             )?;
             Ok(vals)
         },
+        &ctx.sched,
     )?;
     let mut out: Vec<Value> = vec![Value::Null; rows];
     for vals in outputs {

@@ -22,6 +22,17 @@ use sigma_cdw::Warehouse;
 use sigma_value::{Batch, Column, DataType, Field, Schema, Value};
 use std::sync::Arc;
 
+/// Open the persistent worker pool to 16 slots for every test in this
+/// binary. `parallelism = p` then occupies `min(p, 16)` pool slots, so
+/// sweeping `parallelism` {1, 4, 16} is exactly a sweep of pooled worker
+/// counts {1, 4, 16} — the per-query knob and the pool budget clamp
+/// through `effective_workers(min(requested, pool_target))`. Grow-only
+/// (monotonic `fetch_max`) so concurrent tests in this binary can't race
+/// each other's budgets.
+fn open_pool() {
+    sigma_cdw::grow_worker_pool_target(16);
+}
+
 /// Queries covering the operators the two-phase refactor touches.
 const QUERIES: &[&str] = &[
     // Grouped aggregation across every mergeable state.
@@ -95,6 +106,7 @@ fn dim_batch() -> Batch {
 }
 
 fn load(rows: &[(i64, Option<i64>, i64)], partition_rows: usize) -> Warehouse {
+    open_pool();
     let wh = Warehouse::default();
     wh.load_table_partitioned("t", fact_batch(rows), partition_rows)
         .unwrap();
@@ -108,6 +120,7 @@ fn load(rows: &[(i64, Option<i64>, i64)], partition_rows: usize) -> Warehouse {
 /// This is the layout static `i % threads` chunking handled worst and the
 /// work-stealing scheduler must handle without changing a single bit.
 fn load_skewed(rows: &[(i64, Option<i64>, i64)], tails: usize) -> Warehouse {
+    open_pool();
     let wh = Warehouse::default();
     let batch = fact_batch(rows);
     let n = batch.num_rows();
@@ -282,6 +295,37 @@ fn skewed_layout_morsel_stats_and_equivalence() {
     assert_eq!(partial.morsels, 19, "{partial:?}");
     let analyzed = wh.explain_analyze(sql).unwrap();
     assert!(analyzed.contains("morsels=19"), "{analyzed}");
+
+    // The pooled scheduler reports per-query counters: a 4-way morselized
+    // aggregate dispatches parallel tasks, and every task is accounted to
+    // either an own-queue pop or a steal.
+    assert!(analyzed.contains("scheduler: tasks="), "{analyzed}");
+    assert!(
+        analyzed.contains("local=") && analyzed.contains("steals="),
+        "{analyzed}"
+    );
+    let sched_line = analyzed
+        .lines()
+        .find(|l| l.starts_with("scheduler:"))
+        .unwrap();
+    let field = |k: &str| -> usize {
+        sched_line
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix(k))
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let (tasks, local, steals) = (field("tasks="), field("local="), field("steals="));
+    assert!(
+        tasks > 0,
+        "parallel query dispatched no tasks: {sched_line}"
+    );
+    assert_eq!(
+        local + steals,
+        tasks,
+        "every task is an own-queue pop or a steal: {sched_line}"
+    );
 }
 
 /// The newly morselized operators must actually engage the morsel path

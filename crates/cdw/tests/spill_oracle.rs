@@ -50,6 +50,10 @@ const QUERIES: &[&str] = &[
 ];
 
 fn load(rows: &[(i64, Option<i64>, i64)], partition_rows: usize) -> Warehouse {
+    // Open the shared worker pool so `parallelism = p` occupies p slots;
+    // the sweep below then exercises pooled worker counts, and the morsel
+    // paths (which gate off when execution is effectively serial) engage.
+    sigma_cdw::grow_worker_pool_target(16);
     let wh = Warehouse::default();
     let schema = Arc::new(Schema::new(vec![
         Field::new("g", DataType::Int),

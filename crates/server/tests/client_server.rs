@@ -218,6 +218,7 @@ fn overload_sheds_with_retry_hint_instead_of_queueing() {
             tenant_quota: 1,
             queue_bound: 1,
             default_deadline: None,
+            exec_threads: 0,
         },
     ));
 

@@ -1,0 +1,168 @@
+//! Thread-count probe for the shared execution pool, alone in its own
+//! binary so /proc/self/task arithmetic cannot race other tests'
+//! threads.
+//!
+//! Many concurrent sessions run aggressively parallel queries against
+//! one server while the admission policy pins the process-wide execution
+//! budget to two worker threads. The pin: after pool warmup, the process
+//! spawns **no per-query threads** — total OS threads never rise beyond
+//! the baseline plus the execution budget, and the pool's own workers
+//! never exceed that budget. Under the old per-operator scoped-thread
+//! dispatch this probe saw sessions × parallelism fresh threads per
+//! query wave.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use sigma_core::document::ElementKind;
+use sigma_core::table::{ColumnDef, DataSource, FilterPredicate, FilterSpec, Level, TableSpec};
+use sigma_core::Workbook;
+use sigma_protocol::WirePriority;
+use sigma_server::{serve, QueryReply, SigmaClient};
+use sigma_service::AdmissionConfig;
+use sigma_value::Value;
+use sigma_workbook::demo::{demo_service, demo_warehouse};
+
+const SESSIONS: usize = 6;
+const EXEC_THREADS: usize = 2;
+
+fn flights_workbook(min_delay: f64) -> Workbook {
+    let mut t = TableSpec::new(DataSource::WarehouseTable {
+        table: "flights".into(),
+    });
+    t.add_column(ColumnDef::source("Carrier", "carrier"))
+        .unwrap();
+    t.add_column(ColumnDef::source("Dep Delay", "dep_delay"))
+        .unwrap();
+    t.filters.push(FilterSpec {
+        column: "Dep Delay".into(),
+        predicate: FilterPredicate::Range {
+            min: Some(Value::Float(min_delay)),
+            max: None,
+        },
+    });
+    t.add_level(1, Level::keyed("By Carrier", vec!["Carrier".into()]))
+        .unwrap();
+    t.add_column(ColumnDef::formula("Flights", "Count()", 1))
+        .unwrap();
+    t.detail_level = 1;
+    let mut wb = Workbook::new(Some("cap"));
+    wb.add_element(0, "Delays", ElementKind::Table(t)).unwrap();
+    wb
+}
+
+/// Snapshot of live threads: (total count, count named `cdw-worker*`).
+/// `None` off Linux (the /proc probe is the whole point of this test, so
+/// it simply passes elsewhere).
+fn thread_census() -> Option<(usize, usize)> {
+    let mut total = 0;
+    let mut workers = 0;
+    for entry in std::fs::read_dir("/proc/self/task").ok()? {
+        let Ok(entry) = entry else { continue };
+        total += 1;
+        let comm = std::fs::read_to_string(entry.path().join("comm")).unwrap_or_default();
+        if comm.trim_end().starts_with("cdw-worker") {
+            workers += 1;
+        }
+    }
+    Some((total, workers))
+}
+
+#[test]
+fn concurrent_sessions_share_one_capped_worker_pool() {
+    let warehouse = demo_warehouse(4_000);
+    // Each query asks for 8-way parallelism; the shared pool budget must
+    // clamp what they collectively get.
+    warehouse.set_parallelism(8);
+    let (service, token) = demo_service(warehouse);
+    let handle = serve(service, "127.0.0.1:0").expect("bind");
+    assert!(handle.service().set_connection_admission(
+        "primary",
+        AdmissionConfig {
+            max_concurrent: SESSIONS,
+            tenant_quota: SESSIONS,
+            queue_bound: 64,
+            default_deadline: None,
+            exec_threads: EXEC_THREADS,
+        },
+    ));
+
+    let addr = handle.addr();
+    let warmed = Arc::new(Barrier::new(SESSIONS + 1));
+    let wave = Arc::new(Barrier::new(SESSIONS + 1));
+    let done = Arc::new(AtomicUsize::new(0));
+    let threads: Vec<_> = (0..SESSIONS)
+        .map(|c| {
+            let token = token.clone();
+            let warmed = warmed.clone();
+            let wave = wave.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut client = SigmaClient::connect(addr).expect("connect");
+                client.auth(&token).expect("auth");
+                client.open_session("primary").expect("open session");
+                // Warmup: one query per session spins the pool up to its
+                // budget before the baseline census.
+                let json = flights_workbook(c as f64).to_json().unwrap();
+                let QueryReply::Ok(_) = client
+                    .query_element(&json, "Delays", WirePriority::Interactive, None)
+                    .expect("warmup query")
+                else {
+                    panic!("warmup shed under an {SESSIONS}-slot limit");
+                };
+                warmed.wait();
+                wave.wait();
+                for rep in 0..5 {
+                    // Unique threshold per request: each compiles to a
+                    // distinct query, so every one executes for real.
+                    let min = (c * 100 + rep) as f64 / 7.0;
+                    let json = flights_workbook(min).to_json().unwrap();
+                    let QueryReply::Ok(outcome) = client
+                        .query_element(&json, "Delays", WirePriority::Interactive, None)
+                        .expect("wave query")
+                    else {
+                        panic!("wave query shed under an {SESSIONS}-slot limit");
+                    };
+                    assert!(outcome.batch.num_rows() > 0);
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+
+    warmed.wait();
+    let baseline = thread_census();
+    wave.wait();
+
+    // Sample the census while the wave runs; the peak is what per-query
+    // spawning would inflate.
+    let mut peak_total = 0usize;
+    let mut peak_workers = 0usize;
+    while done.load(Ordering::SeqCst) < SESSIONS {
+        if let Some((total, workers)) = thread_census() {
+            peak_total = peak_total.max(total);
+            peak_workers = peak_workers.max(workers);
+        }
+        std::thread::yield_now();
+    }
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    if let Some((baseline_total, baseline_workers)) = baseline {
+        assert!(
+            peak_workers <= EXEC_THREADS,
+            "pool grew past its {EXEC_THREADS}-thread budget: {peak_workers} workers"
+        );
+        // The only threads that may appear after warmup are pool workers
+        // the warmup didn't force into existence yet.
+        let allowed = baseline_total + EXEC_THREADS.saturating_sub(baseline_workers);
+        assert!(
+            peak_total <= allowed,
+            "threads grew from {baseline_total} to {peak_total} during the query wave \
+             (budget {EXEC_THREADS}, {baseline_workers} pool workers at baseline): \
+             something spawns per-query threads"
+        );
+    }
+    handle.shutdown();
+}

@@ -59,6 +59,17 @@ pub struct AdmissionConfig {
     pub queue_bound: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// Execution worker budget: the target size of the engine's shared
+    /// worker pool while this policy is in force. Admitted queries draw
+    /// their parallel workers from this one pool, so total execution
+    /// threads stay at `exec_threads` no matter how many queries
+    /// `max_concurrent` lets run — admission × per-query parallelism no
+    /// longer multiplies into oversubscription. `0` (the default) leaves
+    /// the pool at its current target (the host's parallelism unless
+    /// something set it). The pool is process-wide: with several managed
+    /// connections in one process, the most recently applied nonzero
+    /// budget wins.
+    pub exec_threads: usize,
 }
 
 impl AdmissionConfig {
@@ -69,6 +80,7 @@ impl AdmissionConfig {
             tenant_quota: max_concurrent,
             queue_bound: 1024,
             default_deadline: None,
+            exec_threads: 0,
         }
     }
 
@@ -175,6 +187,17 @@ impl QueueState {
     }
 }
 
+/// Point the engine's shared worker pool at the policy's execution
+/// budget (no-op when `exec_threads` is 0). The manager owns both knobs
+/// of warehouse load — how many queries run (`max_concurrent`) and how
+/// many threads execute them (`exec_threads`) — so one config draws both
+/// from one budget.
+fn apply_exec_budget(config: &AdmissionConfig) {
+    if config.exec_threads > 0 {
+        sigma_cdw::set_worker_pool_target(config.exec_threads);
+    }
+}
+
 /// Admission-controlled gateway to one warehouse.
 pub struct WorkloadManager {
     config: Mutex<AdmissionConfig>,
@@ -188,6 +211,7 @@ impl WorkloadManager {
     }
 
     pub fn with_config(config: AdmissionConfig) -> WorkloadManager {
+        apply_exec_budget(&config);
         WorkloadManager {
             config: Mutex::new(config.normalized()),
             state: Mutex::new(QueueState {
@@ -210,6 +234,7 @@ impl WorkloadManager {
     /// Replace the admission policy. Takes effect for subsequent
     /// admission decisions; already-running work is unaffected.
     pub fn set_config(&self, config: AdmissionConfig) {
+        apply_exec_budget(&config);
         *self.config.lock() = config.normalized();
         // A raised limit may unblock waiters immediately.
         let mut st = self.state.lock();
@@ -539,6 +564,7 @@ mod tests {
             tenant_quota: 1,
             queue_bound: 16,
             default_deadline: None,
+            exec_threads: 0,
         }));
         let m = mgr.clone();
         let slow = std::thread::spawn(move || {
@@ -622,6 +648,7 @@ mod tests {
             tenant_quota: 1,
             queue_bound: 1,
             default_deadline: None,
+            exec_threads: 0,
         }));
         let m = mgr.clone();
         let blocker = std::thread::spawn(move || {
@@ -666,6 +693,7 @@ mod tests {
             tenant_quota: 1,
             queue_bound: 64,
             default_deadline: None,
+            exec_threads: 0,
         }));
         mgr.set_tenant_weight(1, 3);
         mgr.set_tenant_weight(2, 1);

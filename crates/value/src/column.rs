@@ -361,32 +361,122 @@ impl Column {
         self.take(&indices)
     }
 
-    /// Contiguous sub-range `[offset, offset+len)`.
-    pub fn slice(&self, offset: usize, len: usize) -> Column {
-        let indices: Vec<usize> = (offset..offset + len).collect();
-        self.take(&indices)
+    /// Gather rows by *optional* index: `None` produces a null slot
+    /// holding the builder default payload, so the output is
+    /// byte-identical to pushing `Value::Null` through a
+    /// [`ColumnBuilder`]. This is the vectorized form of per-row
+    /// `builder.push(src.value(i))` loops (join null-extension), without
+    /// boxing a [`Value`] — and without a `String` allocation — per cell.
+    pub fn take_opt(&self, indices: &[Option<usize>]) -> Column {
+        fn gather<T: Clone>(src: &[T], indices: &[Option<usize>], default: T) -> Vec<T> {
+            indices
+                .iter()
+                .map(|ix| match ix {
+                    Some(i) => src[*i].clone(),
+                    None => default.clone(),
+                })
+                .collect()
+        }
+        let validity: Vec<bool> = indices
+            .iter()
+            .map(|ix| ix.is_some_and(|i| !self.is_null(i)))
+            .collect();
+        let validity = Some(validity).filter(|m| m.iter().any(|&b| !b));
+        let data = match self.data.as_ref() {
+            ColumnData::Bool(v) => ColumnData::Bool(gather(v, indices, false)),
+            ColumnData::Int(v) => ColumnData::Int(gather(v, indices, 0)),
+            ColumnData::Float(v) => ColumnData::Float(gather(v, indices, 0.0)),
+            ColumnData::Text(v) => ColumnData::Text(gather(v, indices, String::new())),
+            ColumnData::Date(v) => ColumnData::Date(gather(v, indices, 0)),
+            ColumnData::Timestamp(v) => ColumnData::Timestamp(gather(v, indices, 0)),
+        };
+        Column {
+            data: std::sync::Arc::new(data),
+            validity: validity.map(std::sync::Arc::new),
+        }
     }
 
-    /// Concatenate same-typed columns.
+    /// Contiguous sub-range `[offset, offset+len)` — a straight range
+    /// copy (no per-element index gather; the morsel executor slices hot
+    /// paths with this).
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|m| m[offset..offset + len].to_vec())
+            .filter(|m| m.iter().any(|&b| !b));
+        let data = match self.data.as_ref() {
+            ColumnData::Bool(v) => ColumnData::Bool(v[offset..offset + len].to_vec()),
+            ColumnData::Int(v) => ColumnData::Int(v[offset..offset + len].to_vec()),
+            ColumnData::Float(v) => ColumnData::Float(v[offset..offset + len].to_vec()),
+            ColumnData::Text(v) => ColumnData::Text(v[offset..offset + len].to_vec()),
+            ColumnData::Date(v) => ColumnData::Date(v[offset..offset + len].to_vec()),
+            ColumnData::Timestamp(v) => ColumnData::Timestamp(v[offset..offset + len].to_vec()),
+        };
+        Column {
+            data: std::sync::Arc::new(data),
+            validity: validity.map(std::sync::Arc::new),
+        }
+    }
+
+    /// Concatenate same-typed columns. Payload vectors are extended
+    /// slice-at-a-time (no per-cell [`Value`] boxing); null slots are
+    /// rewritten to the builder defaults so the result is byte-identical
+    /// to pushing every value through a [`ColumnBuilder`].
     pub fn concat(parts: &[&Column]) -> Result<Column, ValueError> {
+        fn extend<T: Clone>(out: &mut Vec<T>, part: &Column, src: &[T], default: &T) {
+            match part.validity() {
+                None => out.extend(src.iter().cloned()),
+                Some(mask) => out.extend(src.iter().zip(mask).map(|(v, &ok)| {
+                    if ok {
+                        v.clone()
+                    } else {
+                        default.clone()
+                    }
+                })),
+            }
+        }
+        macro_rules! concat_as {
+            ($variant:ident, $accessor:ident, $default:expr) => {{
+                let mut out = Vec::with_capacity(parts.iter().map(|c| c.len()).sum());
+                for part in parts {
+                    let src = part.$accessor().ok_or_else(|| ValueError::TypeMismatch {
+                        expected: parts[0].dtype().name().to_string(),
+                        found: part.dtype().name().to_string(),
+                    })?;
+                    extend(&mut out, part, src, &$default);
+                }
+                ColumnData::$variant(out)
+            }};
+        }
         let Some(first) = parts.first() else {
             return Err(ValueError::invalid("concat of zero columns"));
         };
-        let dtype = first.dtype();
-        let total: usize = parts.iter().map(|c| c.len()).sum();
-        let mut b = ColumnBuilder::new(dtype, total);
-        for part in parts {
-            if part.dtype() != dtype {
-                return Err(ValueError::TypeMismatch {
-                    expected: dtype.name().to_string(),
-                    found: part.dtype().name().to_string(),
-                });
+        let data = match first.data.as_ref() {
+            ColumnData::Bool(_) => concat_as!(Bool, bools, false),
+            ColumnData::Int(_) => concat_as!(Int, ints, 0i64),
+            ColumnData::Float(_) => concat_as!(Float, floats, 0.0f64),
+            ColumnData::Text(_) => concat_as!(Text, texts, String::new()),
+            ColumnData::Date(_) => concat_as!(Date, dates, 0i32),
+            ColumnData::Timestamp(_) => concat_as!(Timestamp, timestamps, 0i64),
+        };
+        let any_invalid = parts
+            .iter()
+            .any(|c| c.validity().is_some_and(|m| m.iter().any(|&b| !b)));
+        let validity = any_invalid.then(|| {
+            let mut mask = Vec::with_capacity(data.len());
+            for part in parts {
+                match part.validity() {
+                    Some(m) => mask.extend_from_slice(m),
+                    None => mask.extend(std::iter::repeat_n(true, part.len())),
+                }
             }
-            for i in 0..part.len() {
-                b.push(part.value(i))?;
-            }
-        }
-        Ok(b.finish())
+            mask
+        });
+        Ok(Column {
+            data: std::sync::Arc::new(data),
+            validity: validity.map(std::sync::Arc::new),
+        })
     }
 
     /// Cast every value to `target`, erroring on lossy/unsupported casts.
@@ -730,6 +820,68 @@ mod tests {
         assert_eq!(sliced.len(), 2);
         assert!(sliced.is_null(0));
         assert_eq!(sliced.value(1), Value::Int(30));
+    }
+
+    /// `take_opt` is the vectorized form of a builder loop pushing
+    /// `src.value(i)` / `Value::Null` — outputs must match that loop
+    /// byte-for-byte (null slots hold builder defaults, all-valid masks
+    /// are dropped).
+    #[test]
+    fn take_opt_matches_builder_loop() {
+        let col =
+            Column::from_opt_texts(vec![Some("a".to_string()), None, Some("ccc".to_string())]);
+        let indices = [Some(2), None, Some(1), Some(0), None];
+        let fast = col.take_opt(&indices);
+        let mut b = ColumnBuilder::new(DataType::Text, indices.len());
+        for ix in indices {
+            match ix {
+                Some(i) => b.push(col.value(i)).unwrap(),
+                None => b.push_null(),
+            }
+        }
+        assert_eq!(fast, b.finish());
+
+        // No `None`s over a dense source: the mask is dropped entirely.
+        let dense = Column::from_ints(vec![1, 2, 3]).take_opt(&[Some(0), Some(2)]);
+        assert!(dense.validity().is_none());
+        assert_eq!(dense.ints().unwrap(), &[1, 3]);
+    }
+
+    /// The slice-at-a-time `concat` must be byte-identical to the
+    /// builder-based one it replaced: null slots rewritten to defaults,
+    /// no validity mask unless a real null is present.
+    #[test]
+    fn concat_matches_builder_loop() {
+        let cases: Vec<Vec<Column>> = vec![
+            vec![
+                Column::from_opt_ints(vec![Some(1), None]),
+                Column::from_ints(vec![7, 8, 9]),
+            ],
+            vec![
+                Column::from_opt_texts(vec![Some("xy".into()), None]),
+                Column::from_texts(vec!["z".into()]),
+            ],
+            vec![
+                Column::from_opt_floats(vec![None, Some(2.5)]),
+                Column::from_opt_floats(vec![Some(-0.0)]),
+            ],
+            // All-valid parts: result must carry no mask at all.
+            vec![
+                Column::from_bools(vec![true]),
+                Column::from_bools(vec![false, true]),
+            ],
+        ];
+        for cols in cases {
+            let refs: Vec<&Column> = cols.iter().collect();
+            let fast = Column::concat(&refs).unwrap();
+            let mut b = ColumnBuilder::new(cols[0].dtype(), fast.len());
+            for part in &cols {
+                for i in 0..part.len() {
+                    b.push(part.value(i)).unwrap();
+                }
+            }
+            assert_eq!(fast, b.finish());
+        }
     }
 
     #[test]

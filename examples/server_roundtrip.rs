@@ -83,6 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             tenant_quota: 1,
             queue_bound: 1,
             default_deadline: Some(Duration::from_millis(500)),
+            exec_threads: 0,
         },
     );
     let mut shed = 0;
